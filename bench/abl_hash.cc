@@ -1,0 +1,67 @@
+/**
+ * @file
+ * §5.2 design-claim ablation: the trial-and-error perfect-hash search
+ * "quickly" finds collision-free shift/XOR parameters in near-optimal
+ * spaces. Sweeps branch-set sizes drawn from realistic PC layouts and
+ * reports tries, space inflation over the optimum, and search time.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/hashfn.h"
+#include "support/rng.h"
+
+using namespace ipds;
+
+namespace {
+
+/** Branch PCs of a synthetic function: 4-byte slots, ~1 branch per 6
+ *  instructions, as in compiled code. */
+std::vector<uint64_t>
+branchPcs(Rng &rng, size_t n)
+{
+    std::vector<uint64_t> pcs;
+    uint64_t pc = 0x1000 + rng.below(1 << 20) * 4;
+    for (size_t i = 0; i < n; i++) {
+        pc += 4 * (1 + rng.below(12));
+        pcs.push_back(pc);
+    }
+    return pcs;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: perfect-hash search (§5.2) ===\n\n");
+    std::printf("%8s %10s %12s %14s %12s\n", "branches", "avg-tries",
+                "avg-space", "space/optimal", "avg-us");
+
+    Rng rng(7);
+    for (size_t n : {2, 4, 8, 16, 32, 64, 128, 256}) {
+        const int reps = 200;
+        uint64_t tries = 0, space = 0;
+        double us = 0;
+        uint32_t optimal = 1;
+        while (optimal < n)
+            optimal <<= 1;
+        for (int r = 0; r < reps; r++) {
+            auto pcs = branchPcs(rng, n);
+            auto t0 = std::chrono::steady_clock::now();
+            HashParams p = findPerfectHash(pcs);
+            us += std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - t0).count();
+            tries += p.tries;
+            space += p.space();
+        }
+        std::printf("%8zu %10.1f %12.1f %14.2f %12.2f\n", n,
+                    double(tries) / reps, double(space) / reps,
+                    double(space) / reps / optimal, us / reps);
+    }
+    std::printf("\n(claim: a collision-free hash is found within a "
+                "handful of tries and\n little or no space inflation, "
+                "so the runtime tables need no tags)\n");
+    return 0;
+}

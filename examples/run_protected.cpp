@@ -1,0 +1,211 @@
+/**
+ * @file
+ * CLI driver: compile a MiniC program, attach IPDS, and run it — the
+ * workflow a downstream user of this library automates.
+ *
+ * Usage:
+ *   run_protected <prog.minic|workload-name> [options]
+ *     --inputs a,b,c       session input lines (comma separated)
+ *     --attack VAR=VALUE   corrupt entry-function local VAR
+ *     --at N               ...after the Nth input event (default 1)
+ *     --image out.ipds     also write the §5.4 program image
+ *     --stats              print detector statistics
+ *
+ * Exit code: 0 clean run, 2 IPDS alarm, 1 usage/compile error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/image.h"
+#include "core/program.h"
+#include "ipds/detector.h"
+#include "support/diag.h"
+#include "vm/vm.h"
+#include "workloads/workloads.h"
+
+using namespace ipds;
+
+namespace {
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == ',') {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: run_protected <prog.minic|workload> "
+                 "[--inputs a,b,c] [--attack VAR=VALUE]\n"
+                 "                     [--at N] [--image out.ipds] "
+                 "[--stats]\n");
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+
+    std::string target = argv[1];
+    std::vector<std::string> inputs;
+    std::string attackVar;
+    int64_t attackValue = 0;
+    uint32_t attackAt = 1;
+    std::string imagePath;
+    bool wantStats = false;
+
+    for (int i = 2; i < argc; i++) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::exit(usage());
+            }
+            return argv[++i];
+        };
+        if (a == "--inputs") {
+            inputs = splitCommas(next());
+        } else if (a == "--attack") {
+            std::string spec = next();
+            size_t eq = spec.find('=');
+            if (eq == std::string::npos)
+                return usage();
+            attackVar = spec.substr(0, eq);
+            attackValue = std::strtoll(spec.c_str() + eq + 1,
+                                       nullptr, 10);
+        } else if (a == "--at") {
+            attackAt = static_cast<uint32_t>(std::atoi(next()));
+        } else if (a == "--image") {
+            imagePath = next();
+        } else if (a == "--stats") {
+            wantStats = true;
+        } else {
+            return usage();
+        }
+    }
+
+    // Resolve the target: bundled workload or file on disk.
+    std::string source;
+    std::string name = target;
+    bool found = false;
+    for (const auto &wl : allWorkloads()) {
+        if (wl.name == target) {
+            source = wl.source;
+            if (inputs.empty())
+                inputs = wl.benignInputs;
+            found = true;
+        }
+    }
+    if (!found) {
+        std::ifstream in(target);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n", target.c_str());
+            return 1;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        source = ss.str();
+    }
+
+    try {
+        CompiledProgram prog = compileAndAnalyze(source, name);
+        std::fprintf(stderr,
+                     "[ipds] %u branches, %u checked, tables %llu "
+                     "bits, compiled in %.2f ms\n",
+                     prog.stats.numBranches, prog.stats.numCheckable,
+                     static_cast<unsigned long long>(
+                         prog.stats.totalBsvBits +
+                         prog.stats.totalBcvBits +
+                         prog.stats.totalBatBits),
+                     prog.stats.compileSeconds * 1000.0);
+
+        if (!imagePath.empty()) {
+            auto blob = buildImage(prog);
+            std::ofstream out(imagePath, std::ios::binary);
+            out.write(reinterpret_cast<const char *>(blob.data()),
+                      static_cast<std::streamsize>(blob.size()));
+            std::fprintf(stderr, "[ipds] wrote %zu-byte image to %s\n",
+                         blob.size(), imagePath.c_str());
+        }
+
+        Vm vm(prog.mod);
+        vm.setInputs(inputs);
+        Detector det(prog);
+        vm.addObserver(&det);
+
+        if (!attackVar.empty()) {
+            TamperSpec spec;
+            spec.randomStackTarget = false;
+            spec.afterInputEvent = attackAt;
+            spec.addr = vm.entryLocalAddr(attackVar);
+            uint64_t v = static_cast<uint64_t>(attackValue);
+            spec.bytes.resize(8);
+            for (int b = 0; b < 8; b++)
+                spec.bytes[b] = static_cast<uint8_t>(v >> (8 * b));
+            vm.setTamper(spec);
+            std::fprintf(stderr,
+                         "[ipds] armed attack: %s=%lld after input "
+                         "#%u\n", attackVar.c_str(),
+                         static_cast<long long>(attackValue),
+                         attackAt);
+        }
+
+        RunResult r = vm.run();
+        std::fputs(r.output.c_str(), stdout);
+
+        if (wantStats) {
+            const DetectorStats &ds = det.stats();
+            std::fprintf(stderr,
+                         "[ipds] branches %llu, checks %llu, "
+                         "updates %llu, actions %llu, max depth %zu\n",
+                         static_cast<unsigned long long>(
+                             ds.branchesSeen),
+                         static_cast<unsigned long long>(
+                             ds.checksPerformed),
+                         static_cast<unsigned long long>(
+                             ds.updatesApplied),
+                         static_cast<unsigned long long>(
+                             ds.actionsApplied),
+                         ds.maxStackDepth);
+        }
+
+        if (det.alarmed()) {
+            const Alarm &a = det.alarms().front();
+            std::fprintf(stderr,
+                         "[ipds] *** INFEASIBLE PATH at pc=0x%llx in "
+                         "%s: expected %s, went %s ***\n",
+                         static_cast<unsigned long long>(a.pc),
+                         prog.mod.functions[a.func].name.c_str(),
+                         a.expected == BsvState::Taken ? "taken"
+                                                       : "not-taken",
+                         a.actualTaken ? "taken" : "not-taken");
+            return 2;
+        }
+        std::fprintf(stderr, "[ipds] clean run (exit %lld)\n",
+                     static_cast<long long>(r.exitCode));
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

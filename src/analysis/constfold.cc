@@ -1,0 +1,89 @@
+#include "analysis/constfold.h"
+
+namespace ipds {
+
+namespace {
+
+bool
+evalConst(const Function &fn, const DefMap &dm, Vreg v, int64_t &out,
+          int depth)
+{
+    if (v == kNoVreg || depth > 64)
+        return false;
+    InstRef r = dm.def(v);
+    if (!r.valid())
+        return false;
+    const Inst &in = fn.blocks[r.block].insts[r.index];
+    switch (in.op) {
+      case Op::ConstInt:
+        out = in.imm;
+        return true;
+      case Op::Cmp: {
+        int64_t a, b;
+        if (!evalConst(fn, dm, in.srcA, a, depth + 1) ||
+            !evalConst(fn, dm, in.srcB, b, depth + 1)) {
+            return false;
+        }
+        bool r = false;
+        switch (in.pred) {
+          case Pred::EQ: r = a == b; break;
+          case Pred::NE: r = a != b; break;
+          case Pred::LT: r = a < b; break;
+          case Pred::LE: r = a <= b; break;
+          case Pred::GT: r = a > b; break;
+          case Pred::GE: r = a >= b; break;
+        }
+        out = r ? 1 : 0;
+        return true;
+      }
+      case Op::Bin: {
+        int64_t a, b;
+        if (!evalConst(fn, dm, in.srcA, a, depth + 1) ||
+            !evalConst(fn, dm, in.srcB, b, depth + 1)) {
+            return false;
+        }
+        switch (in.bin) {
+          case BinOp::Add: out = a + b; return true;
+          case BinOp::Sub: out = a - b; return true;
+          case BinOp::Mul: out = a * b; return true;
+          case BinOp::Div:
+            if (b == 0)
+                return false;
+            out = a / b;
+            return true;
+          case BinOp::Rem:
+            if (b == 0)
+                return false;
+            out = a % b;
+            return true;
+          case BinOp::And: out = a & b; return true;
+          case BinOp::Or: out = a | b; return true;
+          case BinOp::Xor: out = a ^ b; return true;
+          case BinOp::Shl:
+            if (b < 0 || b > 63)
+                return false;
+            out = static_cast<int64_t>(
+                static_cast<uint64_t>(a) << b);
+            return true;
+          case BinOp::Shr:
+            if (b < 0 || b > 63)
+                return false;
+            out = a >> b;
+            return true;
+        }
+        return false;
+      }
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+bool
+constValue(const Function &fn, const DefMap &dm, Vreg v, int64_t &out)
+{
+    return evalConst(fn, dm, v, out, 0);
+}
+
+} // namespace ipds

@@ -1,0 +1,26 @@
+#ifndef IPDS_ANALYSIS_CONSTFOLD_H
+#define IPDS_ANALYSIS_CONSTFOLD_H
+
+/**
+ * @file
+ * Compile-time evaluation of vregs whose def chains bottom out in
+ * constants. Shared by points-to (exact buffer offsets), the branch
+ * correlation analysis (compare-against-constant extraction, pure-call
+ * scalar arguments) and tests.
+ */
+
+#include "analysis/defmap.h"
+#include "ir/ir.h"
+
+namespace ipds {
+
+/**
+ * If @p v evaluates to a compile-time constant, store it in @p out and
+ * return true. Handles ConstInt and Bin over constant operands.
+ */
+bool constValue(const Function &fn, const DefMap &dm, Vreg v,
+                int64_t &out);
+
+} // namespace ipds
+
+#endif // IPDS_ANALYSIS_CONSTFOLD_H

@@ -1,0 +1,28 @@
+#include "analysis/defmap.h"
+
+#include "support/diag.h"
+
+namespace ipds {
+
+DefMap::DefMap(const Function &fn)
+{
+    defs.assign(fn.nextVreg, InstRef{});
+    for (const auto &bb : fn.blocks) {
+        for (uint32_t i = 0; i < bb.insts.size(); i++) {
+            const Inst &in = bb.insts[i];
+            if (in.dst != kNoVreg)
+                defs[in.dst] = InstRef{bb.id, i};
+        }
+    }
+}
+
+const Inst &
+DefMap::defInst(const Function &fn, Vreg v) const
+{
+    InstRef r = def(v);
+    if (!r.valid())
+        panic("DefMap: v%u has no definition in %s", v, fn.name.c_str());
+    return fn.blocks[r.block].insts[r.index];
+}
+
+} // namespace ipds

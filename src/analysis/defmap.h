@@ -1,0 +1,53 @@
+#ifndef IPDS_ANALYSIS_DEFMAP_H
+#define IPDS_ANALYSIS_DEFMAP_H
+
+/**
+ * @file
+ * Def map: vreg -> defining instruction. Because vregs are
+ * single-assignment, the map is exact and def-use chains form a DAG,
+ * which the affine-chain walker in core/ relies on.
+ */
+
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace ipds {
+
+/** Position of an instruction inside its function. */
+struct InstRef
+{
+    BlockId block = kNoBlock;
+    uint32_t index = 0;
+
+    bool valid() const { return block != kNoBlock; }
+    bool operator==(const InstRef &o) const
+    {
+        return block == o.block && index == o.index;
+    }
+};
+
+/**
+ * Per-function lookup from vreg to its unique defining instruction.
+ */
+class DefMap
+{
+  public:
+    explicit DefMap(const Function &fn);
+
+    /** Defining instruction position of @p v; invalid() if undefined. */
+    InstRef def(Vreg v) const
+    {
+        return v < defs.size() ? defs[v] : InstRef{};
+    }
+
+    /** The defining instruction itself; panics if undefined. */
+    const Inst &defInst(const Function &fn, Vreg v) const;
+
+  private:
+    std::vector<InstRef> defs;
+};
+
+} // namespace ipds
+
+#endif // IPDS_ANALYSIS_DEFMAP_H

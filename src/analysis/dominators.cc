@@ -1,0 +1,94 @@
+#include "analysis/dominators.h"
+
+#include <algorithm>
+
+#include "support/diag.h"
+
+namespace ipds {
+
+Dominators::Dominators(const Function &fn)
+{
+    size_t n = fn.blocks.size();
+    idoms.assign(n, kNoBlock);
+    rpoIndex.assign(n, -1);
+
+    // Reverse postorder over reachable blocks.
+    std::vector<BlockId> order;
+    std::vector<int8_t> state(n, 0);
+    std::vector<std::pair<BlockId, size_t>> stack;
+    stack.emplace_back(0, 0);
+    state[0] = 1;
+    while (!stack.empty()) {
+        auto &[b, next] = stack.back();
+        auto succs = fn.blocks[b].successors();
+        if (next < succs.size()) {
+            BlockId s = succs[next++];
+            if (!state[s]) {
+                state[s] = 1;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            order.push_back(b);
+            stack.pop_back();
+        }
+    }
+    std::reverse(order.begin(), order.end());
+    for (size_t i = 0; i < order.size(); i++)
+        rpoIndex[order[i]] = static_cast<int32_t>(i);
+
+    // Predecessors restricted to reachable blocks.
+    std::vector<std::vector<BlockId>> preds(n);
+    for (BlockId b : order)
+        for (BlockId s : fn.blocks[b].successors())
+            preds[s].push_back(b);
+
+    auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (rpoIndex[a] > rpoIndex[b])
+                a = idoms[a];
+            while (rpoIndex[b] > rpoIndex[a])
+                b = idoms[b];
+        }
+        return a;
+    };
+
+    idoms[0] = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b : order) {
+            if (b == 0)
+                continue;
+            BlockId newIdom = kNoBlock;
+            for (BlockId p : preds[b]) {
+                if (idoms[p] == kNoBlock)
+                    continue;
+                newIdom = newIdom == kNoBlock ? p
+                                              : intersect(p, newIdom);
+            }
+            if (newIdom != kNoBlock && idoms[b] != newIdom) {
+                idoms[b] = newIdom;
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+Dominators::dominates(BlockId a, BlockId b) const
+{
+    if (!reachable(b) || !reachable(a))
+        return false;
+    BlockId cur = b;
+    while (true) {
+        if (cur == a)
+            return true;
+        if (cur == 0)
+            return a == 0;
+        cur = idoms[cur];
+        if (cur == kNoBlock)
+            return false;
+    }
+}
+
+} // namespace ipds

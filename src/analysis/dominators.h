@@ -1,0 +1,40 @@
+#ifndef IPDS_ANALYSIS_DOMINATORS_H
+#define IPDS_ANALYSIS_DOMINATORS_H
+
+/**
+ * @file
+ * Dominator tree (iterative Cooper–Harvey–Kennedy). Used by reports and
+ * tests; the BAT construction itself works on edge regions and does not
+ * need dominance, but downstream tooling (correlation explorer) uses it
+ * to present guard relationships.
+ */
+
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace ipds {
+
+/** Immediate-dominator tree for one function. */
+class Dominators
+{
+  public:
+    explicit Dominators(const Function &fn);
+
+    /** Immediate dominator of @p b; entry block dominates itself. */
+    BlockId idom(BlockId b) const { return idoms[b]; }
+
+    /** True if block @p a dominates block @p b. */
+    bool dominates(BlockId a, BlockId b) const;
+
+    /** True if @p b is reachable from the entry block. */
+    bool reachable(BlockId b) const { return rpoIndex[b] >= 0; }
+
+  private:
+    std::vector<BlockId> idoms;
+    std::vector<int32_t> rpoIndex;
+};
+
+} // namespace ipds
+
+#endif // IPDS_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,184 @@
+#include "analysis/effects.h"
+
+#include "support/diag.h"
+
+namespace ipds {
+
+Effects::Effects(const Module &mod, const LocTable &locs,
+                 const PointsTo &pt)
+    : mod(mod), locs(locs), pt(pt)
+{
+    writes.resize(mod.functions.size());
+    solve();
+}
+
+/**
+ * Object-granularity may-writes of a single instruction, EXCLUDING the
+ * transitive effects of user-function calls (those come from the
+ * summary fixpoint). Returns false if nothing relevant is written.
+ */
+bool
+Effects::instWrites(FuncId f, const Inst &in, ObjSet &out) const
+{
+    switch (in.op) {
+      case Op::Store:
+        out.add(in.object);
+        return true;
+      case Op::StoreInd: {
+        ObjSet tgt = pt.resolve(f, in.srcA);
+        out.merge(tgt);
+        return true;
+      }
+      case Op::Call: {
+        if (in.builtin == Builtin::None)
+            return false; // handled via summary
+        const auto &fx = builtinEffects(in.builtin);
+        if (fx.writesParams == 0)
+            return false;
+        for (uint32_t i = 0; i < in.args.size(); i++) {
+            if (!(fx.writesParams & (1u << i)))
+                continue;
+            ObjSet tgt = pt.resolve(f, in.args[i]);
+            out.merge(tgt);
+        }
+        return true;
+      }
+      default:
+        return false;
+    }
+}
+
+void
+Effects::solve()
+{
+    // Bottom-up fixpoint over the call graph; recursion converges
+    // because sets only grow.
+    bool changed = true;
+    int rounds = 0;
+    while (changed) {
+        changed = false;
+        if (++rounds > 1000)
+            panic("Effects::solve did not converge");
+        for (const auto &fn : mod.functions) {
+            ObjSet acc = writes[fn.id];
+            for (const auto &bb : fn.blocks) {
+                for (const auto &in : bb.insts) {
+                    ObjSet w;
+                    instWrites(fn.id, in, w);
+                    acc.merge(w);
+                    if (in.op == Op::Call &&
+                        in.builtin == Builtin::None) {
+                        acc.merge(writes[in.callee]);
+                    }
+                }
+            }
+            // Drop this function's own locals: invisible after return.
+            if (!acc.top) {
+                for (auto it = acc.objs.begin();
+                     it != acc.objs.end();) {
+                    const MemObject &obj = mod.objects[*it];
+                    if (obj.kind == ObjectKind::Local &&
+                        obj.owner == fn.id) {
+                        it = acc.objs.erase(it);
+                    } else {
+                        ++it;
+                    }
+                }
+            }
+            if (!(acc.top == writes[fn.id].top &&
+                  acc.objs == writes[fn.id].objs)) {
+                writes[fn.id] = std::move(acc);
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+ClobberSet::hitsLoc(const LocTable &locs, LocId l) const
+{
+    if (all)
+        return true;
+    const MemLoc &m = locs.loc(l);
+    for (ObjectId obj : objects)
+        if (obj == m.obj)
+            return true;
+    for (const auto &[obj, off, size] : ranges) {
+        if (obj == m.obj && off < m.off + m.size && m.off < off + size)
+            return true;
+    }
+    return false;
+}
+
+bool
+ClobberSet::hitsRange(const Module &mod, ObjectId target, int64_t off,
+                      int64_t len) const
+{
+    if (all)
+        return true;
+    int64_t end = len < 0 ? static_cast<int64_t>(mod.objects[target].size)
+                          : off + len;
+    for (ObjectId obj : objects)
+        if (obj == target)
+            return true;
+    for (const auto &[obj, roff, rsize] : ranges) {
+        if (obj != target)
+            continue;
+        int64_t rlo = static_cast<int64_t>(roff);
+        int64_t rhi = rlo + static_cast<int64_t>(rsize);
+        if (rlo < end && off < rhi)
+            return true;
+    }
+    return false;
+}
+
+ClobberSet
+Effects::objectClobbers(const ObjSet &objs) const
+{
+    ClobberSet out;
+    if (objs.top) {
+        out.all = true;
+        return out;
+    }
+    for (ObjectId obj : objs.objs) {
+        if (mod.objects[obj].kind == ObjectKind::Const)
+            continue; // read-only memory is secure (paper §3)
+        out.objects.push_back(obj);
+    }
+    return out;
+}
+
+ClobberSet
+Effects::clobbers(FuncId f, const Inst &in) const
+{
+    switch (in.op) {
+      case Op::Store: {
+        // Direct store: clobbers exactly its byte range.
+        ClobberSet out;
+        out.ranges.emplace_back(in.object,
+                                static_cast<uint32_t>(in.imm),
+                                static_cast<uint32_t>(in.size));
+        return out;
+      }
+      case Op::StoreInd: {
+        ObjSet tgt = pt.resolve(f, in.srcA);
+        return objectClobbers(tgt);
+      }
+      case Op::Call: {
+        ObjSet w;
+        if (in.builtin != Builtin::None) {
+            instWrites(f, in, w);
+        } else {
+            // PointsTo already folded actual arguments into the
+            // callee's parameter sets, so the callee's summary covers
+            // writes through pointers we pass in.
+            w = writes[in.callee];
+        }
+        return objectClobbers(w);
+      }
+      default:
+        return {};
+    }
+}
+
+} // namespace ipds

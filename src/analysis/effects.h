@@ -1,0 +1,90 @@
+#ifndef IPDS_ANALYSIS_EFFECTS_H
+#define IPDS_ANALYSIS_EFFECTS_H
+
+/**
+ * @file
+ * Memory side-effect summaries.
+ *
+ * Implements the paper's §5.3 treatment of calls: every call site is
+ * converted into (possibly aliased) pseudo stores. Builtins use exact
+ * effect tables; user functions get a bottom-up may-write summary over
+ * the call graph; anything unresolvable clobbers everything.
+ *
+ * The per-instruction interface is what the BAT construction consumes:
+ * for each instruction, which locations does it (may-)clobber, and if
+ * it is a direct load, which location does it read.
+ */
+
+#include <vector>
+
+#include "analysis/memloc.h"
+#include "analysis/pointsto.h"
+#include "ir/ir.h"
+
+namespace ipds {
+
+/**
+ * Set of memory bytes an instruction may write, at three granularities:
+ * everything, whole objects (indirect stores, call effects), and exact
+ * byte ranges (direct stores). Keeping ranges and objects separate —
+ * rather than expanding to enumerated locations — matters because
+ * pure-call read sets cover buffer bytes no scalar location names.
+ */
+struct ClobberSet
+{
+    /** True: clobbers every non-const byte in memory (give up). */
+    bool all = false;
+    /** Objects clobbered in their entirety. */
+    std::vector<ObjectId> objects;
+    /** Exact byte ranges written: (object, offset, size). */
+    std::vector<std::tuple<ObjectId, uint32_t, uint32_t>> ranges;
+
+    bool empty() const
+    {
+        return !all && objects.empty() && ranges.empty();
+    }
+
+    /** May this clobber write any byte of location @p l? */
+    bool hitsLoc(const LocTable &locs, LocId l) const;
+
+    /** May this clobber write any byte of [off, off+len) in @p obj
+     *  (len < 0 meaning "to the end of the object")? */
+    bool hitsRange(const Module &mod, ObjectId obj, int64_t off,
+                   int64_t len) const;
+};
+
+/**
+ * Module-wide effect analysis. Construct once per compiled module.
+ */
+class Effects
+{
+  public:
+    Effects(const Module &mod, const LocTable &locs, const PointsTo &pt);
+
+    /** Locations instruction @p in (in function @p f) may clobber. */
+    ClobberSet clobbers(FuncId f, const Inst &in) const;
+
+    /**
+     * May-write object summary of calling function @p f (non-local
+     * state only, per §5.3: writes to the callee's own locals are
+     * invisible after return).
+     */
+    const ObjSet &funcWrites(FuncId f) const { return writes[f]; }
+
+    /** Convert an object set into a whole-object clobber set. */
+    ClobberSet objectClobbers(const ObjSet &objs) const;
+
+  private:
+    void solve();
+    /** Clobbers of one instruction at object granularity. */
+    bool instWrites(FuncId f, const Inst &in, ObjSet &out) const;
+
+    const Module &mod;
+    const LocTable &locs;
+    const PointsTo &pt;
+    std::vector<ObjSet> writes;
+};
+
+} // namespace ipds
+
+#endif // IPDS_ANALYSIS_EFFECTS_H

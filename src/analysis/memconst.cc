@@ -1,0 +1,149 @@
+#include "analysis/memconst.h"
+
+#include "analysis/constfold.h"
+#include "analysis/defmap.h"
+#include "analysis/dominators.h"
+#include "support/diag.h"
+
+namespace ipds {
+
+namespace {
+
+/** Little-endian constant from an object's initializer bytes. */
+int64_t
+initValue(const MemObject &obj)
+{
+    uint64_t v = 0;
+    for (uint32_t i = 0; i < obj.size && i < 8; i++) {
+        uint8_t b = i < obj.init.size() ? obj.init[i] : 0;
+        v |= static_cast<uint64_t>(b) << (8 * i);
+    }
+    if (obj.size == 1)
+        return static_cast<int64_t>(v & 0xff);
+    return static_cast<int64_t>(v);
+}
+
+} // namespace
+
+MemConsts::MemConsts(const Module &mod, const LocTable &locs,
+                     const Effects &fx)
+{
+    struct Candidate
+    {
+        bool alive = true;
+        bool haveConst = false;
+        int64_t value = 0;
+        /** Const-store sites (function-local; locals only). */
+        std::vector<InstRef> stores;
+        std::vector<InstRef> loads;
+    };
+
+    std::map<LocId, Candidate> cands;
+    for (LocId l = 0; l < locs.size(); l++) {
+        const MemLoc &ml = locs.loc(l);
+        const MemObject &obj = mod.objects[ml.obj];
+        if (obj.isArray || ml.off != 0 || ml.size != obj.size)
+            continue;
+        if (obj.kind == ObjectKind::Const)
+            continue; // handled by constant folding of init loads? no:
+                      // const scalars do not occur in MiniC.
+        cands.emplace(l, Candidate{});
+    }
+
+    // One pass over the whole module classifies every candidate.
+    for (const auto &fn : mod.functions) {
+        DefMap dm(fn);
+        for (const auto &bb : fn.blocks) {
+            for (uint32_t i = 0; i < bb.insts.size(); i++) {
+                const Inst &in = bb.insts[i];
+                if (in.op == Op::Load) {
+                    LocId l = locs.forInst(in);
+                    auto it = cands.find(l);
+                    if (it != cands.end())
+                        it->second.loads.push_back({bb.id, i});
+                    continue;
+                }
+                ClobberSet cs = fx.clobbers(fn.id, in);
+                if (cs.empty())
+                    continue;
+                for (auto &[l, cand] : cands) {
+                    if (!cand.alive)
+                        continue;
+                    bool direct = in.op == Op::Store &&
+                        locs.forInst(in) == l;
+                    if (direct) {
+                        int64_t c;
+                        if (!constValue(fn, dm, in.srcA, c)) {
+                            cand.alive = false;
+                            continue;
+                        }
+                        if (cand.haveConst && cand.value != c) {
+                            cand.alive = false;
+                            continue;
+                        }
+                        cand.haveConst = true;
+                        cand.value = c;
+                        cand.stores.push_back({bb.id, i});
+                    } else if (cs.hitsLoc(locs, l)) {
+                        // Partial overlap, indirect store or call
+                        // effect: the location is not a constant.
+                        cand.alive = false;
+                    }
+                }
+            }
+        }
+    }
+
+    for (auto &[l, cand] : cands) {
+        if (!cand.alive)
+            continue;
+        const MemLoc &ml = locs.loc(l);
+        const MemObject &obj = mod.objects[ml.obj];
+        if (obj.kind == ObjectKind::Global) {
+            int64_t iv = initValue(obj);
+            if (cand.haveConst && cand.value != iv)
+                continue; // stores disagree with the initial image
+            consts.emplace(l, cand.haveConst ? cand.value : iv);
+            continue;
+        }
+        // Locals: value undefined before the first store, so every
+        // load must be dominated by a const store.
+        if (!cand.haveConst || cand.loads.empty())
+            continue;
+        const Function &fn = mod.functions[obj.owner];
+        Dominators dom(fn);
+        bool ok = true;
+        for (const InstRef &ld : cand.loads) {
+            bool dominated = false;
+            for (const InstRef &st : cand.stores) {
+                if (st.block == ld.block) {
+                    if (st.index < ld.index) {
+                        dominated = true;
+                        break;
+                    }
+                } else if (dom.dominates(st.block, ld.block)) {
+                    dominated = true;
+                    break;
+                }
+            }
+            if (!dominated) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            consts.emplace(l, cand.value);
+    }
+}
+
+bool
+MemConsts::constLoc(LocId l, int64_t &out) const
+{
+    auto it = consts.find(l);
+    if (it == consts.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+} // namespace ipds

@@ -1,0 +1,53 @@
+#ifndef IPDS_ANALYSIS_MEMCONST_H
+#define IPDS_ANALYSIS_MEMCONST_H
+
+/**
+ * @file
+ * Memory constant propagation: identify scalar locations that hold one
+ * compile-time constant at every load.
+ *
+ * SUIF (the paper's compiler) runs classic scalar optimizations before
+ * the correlation analysis, so comparisons against configuration
+ * scalars like `threshold = 4` reach the analysis as compares against
+ * constants. This pass recovers the same effect: a location qualifies
+ * iff
+ *   - it is a whole scalar object, never hit by indirect stores or
+ *     call effects,
+ *   - every direct store to it stores the same constant c,
+ *   - every load of it is dominated by one of those stores (locals),
+ *     or the object's initializer equals c (globals),
+ * in which case loads of it may be treated as the literal c.
+ *
+ * Note the soundness direction: in any benign execution the location
+ * always reads c, so no false positive can result. If an ATTACK
+ * corrupts the location, branches modelled with c diverge — which is
+ * detection, not a false positive.
+ */
+
+#include <map>
+
+#include "analysis/effects.h"
+#include "analysis/memloc.h"
+
+namespace ipds {
+
+/** The memory-constant solution for a module. */
+class MemConsts
+{
+  public:
+    MemConsts(const Module &mod, const LocTable &locs,
+              const Effects &fx);
+
+    /** If @p l always loads constant @p out, return true. */
+    bool constLoc(LocId l, int64_t &out) const;
+
+    /** Number of qualifying locations (reports). */
+    size_t count() const { return consts.size(); }
+
+  private:
+    std::map<LocId, int64_t> consts;
+};
+
+} // namespace ipds
+
+#endif // IPDS_ANALYSIS_MEMCONST_H

@@ -1,0 +1,98 @@
+#include "analysis/memloc.h"
+
+#include "support/diag.h"
+
+namespace ipds {
+
+LocTable::LocTable(const Module &mod)
+{
+    byObject.resize(mod.objects.size());
+    // Whole scalar objects are always locations: they are the natural
+    // attack targets even if a particular build never loads them.
+    for (const auto &obj : mod.objects) {
+        if (!obj.isArray)
+            intern(mod, obj.id, 0, static_cast<uint8_t>(obj.size));
+    }
+    // Plus every (object, offset, size) touched by a direct access.
+    for (const auto &fn : mod.functions) {
+        for (const auto &bb : fn.blocks) {
+            for (const auto &in : bb.insts) {
+                if (in.op == Op::Load || in.op == Op::Store) {
+                    intern(mod, in.object,
+                           static_cast<uint32_t>(in.imm),
+                           static_cast<uint8_t>(in.size));
+                }
+            }
+        }
+    }
+}
+
+LocId
+LocTable::intern(const Module &mod, ObjectId obj, uint32_t off,
+                 uint8_t size)
+{
+    auto key = std::make_tuple(obj, off, size);
+    auto it = index.find(key);
+    if (it != index.end())
+        return it->second;
+    MemLoc l;
+    l.obj = obj;
+    l.off = off;
+    l.size = size;
+    l.name = off == 0 ? mod.objects[obj].name
+                      : strprintf("%s+%u", mod.objects[obj].name.c_str(),
+                                  off);
+    LocId id = static_cast<LocId>(locs.size());
+    locs.push_back(std::move(l));
+    index.emplace(key, id);
+    byObject[obj].push_back(id);
+    return id;
+}
+
+LocId
+LocTable::find(ObjectId obj, uint32_t off, uint8_t size) const
+{
+    auto it = index.find(std::make_tuple(obj, off, size));
+    return it == index.end() ? kNoLoc : it->second;
+}
+
+LocId
+LocTable::forInst(const Inst &in) const
+{
+    if (in.op != Op::Load && in.op != Op::Store)
+        return kNoLoc;
+    return find(in.object, static_cast<uint32_t>(in.imm),
+                static_cast<uint8_t>(in.size));
+}
+
+const std::vector<LocId> &
+LocTable::objectLocs(ObjectId obj) const
+{
+    if (obj >= byObject.size())
+        return empty;
+    return byObject[obj];
+}
+
+bool
+LocTable::overlap(LocId a, LocId b) const
+{
+    const MemLoc &x = locs[a];
+    const MemLoc &y = locs[b];
+    if (x.obj != y.obj)
+        return false;
+    return x.off < y.off + y.size && y.off < x.off + x.size;
+}
+
+std::vector<LocId>
+LocTable::overlapping(ObjectId obj, uint32_t off, uint32_t size) const
+{
+    std::vector<LocId> out;
+    for (LocId id : objectLocs(obj)) {
+        const MemLoc &l = locs[id];
+        if (l.off < off + size && off < l.off + l.size)
+            out.push_back(id);
+    }
+    return out;
+}
+
+} // namespace ipds

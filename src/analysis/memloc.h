@@ -1,0 +1,79 @@
+#ifndef IPDS_ANALYSIS_MEMLOC_H
+#define IPDS_ANALYSIS_MEMLOC_H
+
+/**
+ * @file
+ * Memory locations: the analyzable units of memory-resident state.
+ *
+ * A location is an (object, offset, size) triple reached by at least one
+ * direct Load/Store in the module: whole scalar objects and
+ * constant-index array elements. Indirect accesses are summarised at
+ * object granularity — an indirect store into an object clobbers every
+ * location inside it, and an indirect load infers nothing, which is the
+ * paper's conservative rule for multiply-aliased accesses.
+ */
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace ipds {
+
+/** Id of a memory location. */
+using LocId = uint32_t;
+constexpr LocId kNoLoc = 0xffffffff;
+
+/** One analyzable memory location. */
+struct MemLoc
+{
+    ObjectId obj = kNoObject;
+    uint32_t off = 0;
+    uint8_t size = 8;
+    /** Printable "name[+off]" form for reports. */
+    std::string name;
+};
+
+/**
+ * Table of all memory locations in a module, plus object -> locations
+ * indexing and overlap queries.
+ */
+class LocTable
+{
+  public:
+    /** Scan @p mod and enumerate all directly accessed locations. */
+    explicit LocTable(const Module &mod);
+
+    size_t size() const { return locs.size(); }
+    const MemLoc &loc(LocId id) const { return locs[id]; }
+
+    /** Location of a direct access; kNoLoc if never enumerated. */
+    LocId find(ObjectId obj, uint32_t off, uint8_t size) const;
+
+    /** Location accessed by a direct Load/Store inst; kNoLoc else. */
+    LocId forInst(const Inst &in) const;
+
+    /** All locations inside @p obj. */
+    const std::vector<LocId> &objectLocs(ObjectId obj) const;
+
+    /** True if two locations' byte ranges intersect. */
+    bool overlap(LocId a, LocId b) const;
+
+    /** Locations of @p obj overlapping [off, off+size). */
+    std::vector<LocId> overlapping(ObjectId obj, uint32_t off,
+                                   uint32_t size) const;
+
+  private:
+    LocId intern(const Module &mod, ObjectId obj, uint32_t off,
+                 uint8_t size);
+
+    std::vector<MemLoc> locs;
+    std::map<std::tuple<ObjectId, uint32_t, uint8_t>, LocId> index;
+    std::vector<std::vector<LocId>> byObject;
+    std::vector<LocId> empty;
+};
+
+} // namespace ipds
+
+#endif // IPDS_ANALYSIS_MEMLOC_H

@@ -1,0 +1,438 @@
+#include "analysis/pointsto.h"
+
+#include "analysis/constfold.h"
+#include "support/diag.h"
+
+namespace ipds {
+
+bool
+ObjSet::merge(const ObjSet &o)
+{
+    if (top)
+        return false;
+    if (o.top) {
+        top = true;
+        objs.clear();
+        return true;
+    }
+    bool changed = false;
+    for (ObjectId id : o.objs)
+        changed |= objs.insert(id).second;
+    return changed;
+}
+
+bool
+ObjSet::add(ObjectId obj)
+{
+    if (top)
+        return false;
+    return objs.insert(obj).second;
+}
+
+bool
+ObjSet::setTop()
+{
+    if (top)
+        return false;
+    top = true;
+    objs.clear();
+    return true;
+}
+
+PointsTo::PointsTo(const Module &mod, const LocTable &locs)
+    : mod(mod), locs(locs)
+{
+    defMaps.reserve(mod.functions.size());
+    for (const auto &fn : mod.functions)
+        defMaps.emplace_back(fn);
+    slotSets.resize(locs.size());
+    objIndirect.resize(mod.objects.size());
+    argSets.resize(mod.functions.size());
+    for (const auto &fn : mod.functions)
+        argSets[fn.id].resize(fn.numParams);
+    retSets.resize(mod.functions.size());
+    exactArgs.resize(mod.functions.size());
+    for (const auto &fn : mod.functions)
+        exactArgs[fn.id].resize(fn.numParams);
+    solve();
+    findParamSlots();
+    solveExactArgs();
+}
+
+void
+PointsTo::findParamSlots()
+{
+    // Count direct stores per object and find address exposures.
+    std::map<ObjectId, uint32_t> storeCount;
+    std::set<ObjectId> addressTaken;
+    std::map<ObjectId, int64_t> spillArg; // slot -> GetArg index
+
+    for (const auto &fn : mod.functions) {
+        DefMap dm(fn);
+        for (const auto &bb : fn.blocks) {
+            for (const auto &in : bb.insts) {
+                if (in.op == Op::AddrOf) {
+                    addressTaken.insert(in.object);
+                } else if (in.op == Op::Store) {
+                    storeCount[in.object]++;
+                    // Is this the entry spill `store slot, getarg(i)`?
+                    InstRef r = dm.def(in.srcA);
+                    if (r.valid()) {
+                        const Inst &def =
+                            fn.blocks[r.block].insts[r.index];
+                        if (def.op == Op::GetArg && in.imm == 0)
+                            spillArg[in.object] = def.imm;
+                    }
+                }
+            }
+        }
+    }
+    for (const auto &[obj, arg] : spillArg) {
+        if (storeCount[obj] == 1 && !addressTaken.count(obj) &&
+            !mod.objects[obj].isArray &&
+            mod.objects[obj].kind == ObjectKind::Local) {
+            paramSlots.emplace(obj, static_cast<uint32_t>(arg));
+        }
+    }
+}
+
+/**
+ * Evaluate the points-to set of a vreg by walking its def DAG. The
+ * @p visiting vector breaks cycles (there are none in a def DAG, but
+ * loads re-enter through slot sets which are read, not recursed).
+ */
+ObjSet
+PointsTo::eval(FuncId f, Vreg v, std::vector<int8_t> &visiting) const
+{
+    if (v == kNoVreg)
+        return {};
+    if (visiting[v]) {
+        // Defensive: a def DAG cannot cycle, but never hang if it does.
+        ObjSet t;
+        t.setTop();
+        return t;
+    }
+    visiting[v] = 1;
+    const Function &fn = mod.functions[f];
+    InstRef r = defMaps[f].def(v);
+    ObjSet out;
+    if (!r.valid()) {
+        out.setTop();
+        visiting[v] = 0;
+        return out;
+    }
+    const Inst &in = fn.blocks[r.block].insts[r.index];
+    switch (in.op) {
+      case Op::ConstInt:
+        break; // integer literal: points nowhere
+      case Op::AddrOf:
+        out.add(in.object);
+        break;
+      case Op::Bin:
+        if (in.bin == BinOp::Add || in.bin == BinOp::Sub) {
+            // Pointer arithmetic stays within the object (language
+            // semantics; runtime overflow is the attack, not the norm).
+            out.merge(eval(f, in.srcA, visiting));
+            out.merge(eval(f, in.srcB, visiting));
+        } else {
+            // Any other operator on a pointer loses track of it.
+            ObjSet a = eval(f, in.srcA, visiting);
+            ObjSet b = eval(f, in.srcB, visiting);
+            if (!a.empty() || !b.empty())
+                out.setTop();
+        }
+        break;
+      case Op::Cmp:
+        break;
+      case Op::Load: {
+        LocId l = locs.forInst(in);
+        if (l == kNoLoc) {
+            out.setTop();
+        } else {
+            out.merge(slotSets[l]);
+            out.merge(objIndirect[in.object]);
+        }
+        break;
+      }
+      case Op::LoadInd: {
+        ObjSet addr = eval(f, in.srcA, visiting);
+        if (addr.top) {
+            out.setTop();
+        } else {
+            for (ObjectId obj : addr.objs) {
+                for (LocId l : locs.objectLocs(obj))
+                    out.merge(slotSets[l]);
+                out.merge(objIndirect[obj]);
+            }
+            out.merge(escaped);
+        }
+        break;
+      }
+      case Op::GetArg:
+        out.merge(argSets[f][static_cast<size_t>(in.imm)]);
+        break;
+      case Op::Call:
+        if (in.builtin == Builtin::None)
+            out.merge(retSets[in.callee]);
+        // Builtins never return pointers in this language.
+        break;
+      default:
+        out.setTop();
+        break;
+    }
+    visiting[v] = 0;
+    return out;
+}
+
+void
+PointsTo::solve()
+{
+    bool changed = true;
+    int rounds = 0;
+    while (changed) {
+        changed = false;
+        if (++rounds > 1000)
+            panic("PointsTo::solve did not converge");
+        for (const auto &fn : mod.functions) {
+            std::vector<int8_t> visiting(fn.nextVreg, 0);
+            for (const auto &bb : fn.blocks) {
+                for (const auto &in : bb.insts) {
+                    switch (in.op) {
+                      case Op::Store: {
+                        LocId l = locs.forInst(in);
+                        ObjSet v = eval(fn.id, in.srcA, visiting);
+                        if (v.empty())
+                            break;
+                        if (l == kNoLoc)
+                            changed |= escaped.merge(v);
+                        else
+                            changed |= slotSets[l].merge(v);
+                        break;
+                      }
+                      case Op::StoreInd: {
+                        ObjSet v = eval(fn.id, in.srcB, visiting);
+                        if (v.empty())
+                            break;
+                        ObjSet addr = eval(fn.id, in.srcA, visiting);
+                        if (addr.top) {
+                            changed |= escaped.merge(v);
+                            break;
+                        }
+                        for (ObjectId obj : addr.objs)
+                            changed |= objIndirect[obj].merge(v);
+                        break;
+                      }
+                      case Op::Call: {
+                        if (in.builtin != Builtin::None)
+                            break;
+                        auto &callee = argSets[in.callee];
+                        for (size_t i = 0;
+                             i < in.args.size() && i < callee.size();
+                             i++) {
+                            ObjSet v =
+                                eval(fn.id, in.args[i], visiting);
+                            changed |= callee[i].merge(v);
+                        }
+                        break;
+                      }
+                      case Op::Ret: {
+                        if (in.srcA != kNoVreg) {
+                            ObjSet v = eval(fn.id, in.srcA, visiting);
+                            changed |= retSets[fn.id].merge(v);
+                        }
+                        break;
+                      }
+                      default:
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Fixpoint over the call graph: a parameter binds to an exact
+ * (object, offset) iff every call site of its function passes exactly
+ * that address. Chains through intermediate wrappers resolve over
+ * successive rounds (a caller's argument may itself be a bound
+ * parameter).
+ */
+void
+PointsTo::solveExactArgs()
+{
+    bool converged = false;
+    for (int round = 0; round < 32 && !converged; round++) {
+        // Candidate per (callee, arg): unset / value / conflict.
+        struct Cand
+        {
+            int state = 0; // 0 = unseen, 1 = value, 2 = conflict
+            ObjectId obj = kNoObject;
+            int64_t off = 0;
+        };
+        std::vector<std::vector<Cand>> cands(mod.functions.size());
+        for (const auto &fn : mod.functions)
+            cands[fn.id].resize(fn.numParams);
+
+        for (const auto &fn : mod.functions) {
+            for (const auto &bb : fn.blocks) {
+                for (const auto &in : bb.insts) {
+                    if (in.op != Op::Call ||
+                        in.builtin != Builtin::None)
+                        continue;
+                    auto &cs = cands[in.callee];
+                    for (uint32_t i = 0;
+                         i < in.args.size() && i < cs.size(); i++) {
+                        Cand &c = cs[i];
+                        if (c.state == 2)
+                            continue;
+                        ObjectId obj;
+                        int64_t off;
+                        if (!resolveExact(fn.id, in.args[i], obj,
+                                          off, true)) {
+                            c.state = 2;
+                            continue;
+                        }
+                        if (c.state == 0) {
+                            c.state = 1;
+                            c.obj = obj;
+                            c.off = off;
+                        } else if (c.obj != obj || c.off != off) {
+                            c.state = 2;
+                        }
+                    }
+                }
+            }
+        }
+
+        bool changed = false;
+        for (const auto &fn : mod.functions) {
+            for (uint32_t i = 0; i < fn.numParams; i++) {
+                const Cand &c = cands[fn.id][i];
+                ExactArg next;
+                if (c.state == 1) {
+                    next.valid = true;
+                    next.obj = c.obj;
+                    next.off = c.off;
+                }
+                ExactArg &cur = exactArgs[fn.id][i];
+                if (cur.valid != next.valid || cur.obj != next.obj ||
+                    cur.off != next.off) {
+                    cur = next;
+                    changed = true;
+                }
+            }
+        }
+        converged = !changed;
+    }
+    if (!converged) {
+        // Only a self-consistent fixed point is provably sound; an
+        // unconverged state is not, so drop everything (detection
+        // loss only, never a false positive).
+        for (auto &perFunc : exactArgs)
+            for (auto &e : perFunc)
+                e = ExactArg{};
+    }
+}
+
+bool
+PointsTo::argExact(FuncId f, uint32_t idx, ObjectId &obj,
+                   int64_t &off) const
+{
+    if (idx >= exactArgs[f].size())
+        return false;
+    const ExactArg &e = exactArgs[f][idx];
+    if (!e.valid)
+        return false;
+    obj = e.obj;
+    off = e.off;
+    return true;
+}
+
+ObjSet
+PointsTo::resolve(FuncId f, Vreg v) const
+{
+    std::vector<int8_t> visiting(mod.functions[f].nextVreg, 0);
+    return eval(f, v, visiting);
+}
+
+bool
+PointsTo::resolveExact(FuncId f, Vreg v, ObjectId &obj, int64_t &off,
+                       bool interproc) const
+{
+    const Function &fn = mod.functions[f];
+    const DefMap &dm = defMaps[f];
+    int64_t acc = 0;
+    Vreg cur = v;
+    for (int depth = 0; depth < 64; depth++) {
+        InstRef r = dm.def(cur);
+        if (!r.valid())
+            return false;
+        const Inst &in = fn.blocks[r.block].insts[r.index];
+        switch (in.op) {
+          case Op::AddrOf:
+            obj = in.object;
+            off = acc + in.imm;
+            return true;
+          case Op::GetArg: {
+            if (!interproc)
+                return false;
+            ObjectId aObj;
+            int64_t aOff;
+            if (!argExact(f, static_cast<uint32_t>(in.imm), aObj,
+                          aOff))
+                return false;
+            obj = aObj;
+            off = acc + aOff;
+            return true;
+          }
+          case Op::Load: {
+            // Loads from an untouched parameter spill slot read the
+            // incoming argument.
+            if (!interproc || in.imm != 0)
+                return false;
+            auto it = paramSlots.find(in.object);
+            if (it == paramSlots.end() ||
+                mod.objects[in.object].owner != f)
+                return false;
+            ObjectId aObj;
+            int64_t aOff;
+            if (!argExact(f, it->second, aObj, aOff))
+                return false;
+            obj = aObj;
+            off = acc + aOff;
+            return true;
+          }
+          case Op::Bin: {
+            if (in.bin != BinOp::Add && in.bin != BinOp::Sub)
+                return false;
+            // One side must be a compile-time constant chain.
+            int64_t c;
+            if (constValue(fn, dm, in.srcB, c)) {
+                acc += in.bin == BinOp::Add ? c : -c;
+                cur = in.srcA;
+            } else if (in.bin == BinOp::Add &&
+                       constValue(fn, dm, in.srcA, c)) {
+                acc += c;
+                cur = in.srcB;
+            } else {
+                return false;
+            }
+            break;
+          }
+          default:
+            return false;
+        }
+    }
+    return false;
+}
+
+const ObjSet &
+PointsTo::argSet(FuncId f, uint32_t idx) const
+{
+    if (idx >= argSets[f].size())
+        panic("PointsTo::argSet: bad arg index %u", idx);
+    return argSets[f][idx];
+}
+
+} // namespace ipds

@@ -1,0 +1,123 @@
+#ifndef IPDS_ANALYSIS_POINTSTO_H
+#define IPDS_ANALYSIS_POINTSTO_H
+
+/**
+ * @file
+ * Flow-insensitive, field-insensitive points-to analysis (Andersen
+ * style), standing in for the Wilson–Lam pass the paper runs under SUIF.
+ *
+ * The result answers one question for the rest of the system: which
+ * memory objects can a given address vreg reference? Any failure to
+ * resolve returns Top, and every client treats Top conservatively, so
+ * imprecision can only reduce detection, never add false positives.
+ */
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/defmap.h"
+#include "analysis/memloc.h"
+#include "ir/ir.h"
+
+namespace ipds {
+
+/** A may-point-to set: either Top (anything) or a set of objects. */
+struct ObjSet
+{
+    bool top = false;
+    std::set<ObjectId> objs;
+
+    bool empty() const { return !top && objs.empty(); }
+
+    /** Union @p o into this; returns true iff this changed. */
+    bool merge(const ObjSet &o);
+
+    /** Add a single object; returns true iff this changed. */
+    bool add(ObjectId obj);
+
+    /** Make this Top; returns true iff this changed. */
+    bool setTop();
+};
+
+/**
+ * Module-wide points-to solution.
+ */
+class PointsTo
+{
+  public:
+    /** Build and solve for @p mod. @p locs must outlive this object. */
+    PointsTo(const Module &mod, const LocTable &locs);
+
+    /**
+     * Objects the value of vreg @p v (in function @p f) may reference
+     * when used as an address.
+     */
+    ObjSet resolve(FuncId f, Vreg v) const;
+
+    /**
+     * Resolve @p v to a single (object, constant offset) if its def
+     * chain is AddrOf plus constant adjustments only. Used to identify
+     * the exact buffers read by pure builtins (strncmp correlation).
+     *
+     * With @p interproc, a chain may also root at a parameter whose
+     * every call site passes the same exact (object, offset) — the
+     * monomorphic-argument case, which lets `check(user)`-style
+     * helpers classify their internal strcmp branches.
+     *
+     * Returns false if not exactly resolvable.
+     */
+    bool resolveExact(FuncId f, Vreg v, ObjectId &obj, int64_t &off,
+                      bool interproc = false) const;
+
+    /** Exact (object, offset) of parameter @p idx if every call site
+     *  agrees; false otherwise. */
+    bool argExact(FuncId f, uint32_t idx, ObjectId &obj,
+                  int64_t &off) const;
+
+    /** Points-to set of function @p f's parameter @p idx. */
+    const ObjSet &argSet(FuncId f, uint32_t idx) const;
+
+  private:
+    void solve();
+    void solveExactArgs();
+    ObjSet eval(FuncId f, Vreg v, std::vector<int8_t> &visiting) const;
+
+    /** Exact argument binding for the interprocedural case. */
+    struct ExactArg
+    {
+        bool valid = false;
+        ObjectId obj = kNoObject;
+        int64_t off = 0;
+    };
+    std::vector<std::vector<ExactArg>> exactArgs;
+
+    /**
+     * Parameter spill slots that provably always hold the incoming
+     * argument: written exactly once (the entry spill of GetArg i)
+     * and never address-taken. Loads from them read the argument.
+     */
+    std::map<ObjectId, uint32_t> paramSlots;
+    void findParamSlots();
+
+    const Module &mod;
+    const LocTable &locs;
+    std::vector<DefMap> defMaps;
+
+    /** Pointer values stored into each location. */
+    std::vector<ObjSet> slotSets;
+    /** Pointer values stored indirectly into each object. */
+    std::vector<ObjSet> objIndirect;
+    /** Per (function, arg) incoming pointer sets. */
+    std::vector<std::vector<ObjSet>> argSets;
+    /** Per function return-value pointer sets. */
+    std::vector<ObjSet> retSets;
+    /** Pointers stored through unresolved addresses. */
+    ObjSet escaped;
+
+    ObjSet emptySet;
+};
+
+} // namespace ipds
+
+#endif // IPDS_ANALYSIS_POINTSTO_H

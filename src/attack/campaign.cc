@@ -1,0 +1,118 @@
+#include "attack/campaign.h"
+
+#include "support/diag.h"
+#include "support/rng.h"
+
+namespace ipds {
+
+uint32_t
+CampaignResult::numCfChanged() const
+{
+    uint32_t n = 0;
+    for (const auto &o : outcomes)
+        n += o.cfChanged ? 1 : 0;
+    return n;
+}
+
+uint32_t
+CampaignResult::numDetected() const
+{
+    uint32_t n = 0;
+    for (const auto &o : outcomes)
+        n += o.detected ? 1 : 0;
+    return n;
+}
+
+double
+CampaignResult::pctCfChanged() const
+{
+    return attacks() ? 100.0 * numCfChanged() / attacks() : 0.0;
+}
+
+double
+CampaignResult::pctDetected() const
+{
+    return attacks() ? 100.0 * numDetected() / attacks() : 0.0;
+}
+
+double
+CampaignResult::pctDetectedOfCf() const
+{
+    uint32_t cf = numCfChanged();
+    return cf ? 100.0 * numDetected() / cf : 0.0;
+}
+
+bool
+benignRunIsClean(const CompiledProgram &prog,
+                 const std::vector<std::string> &inputs, uint64_t fuel)
+{
+    Vm vm(prog.mod);
+    vm.setInputs(inputs);
+    vm.setFuel(fuel);
+    Detector det(prog);
+    vm.addObserver(&det);
+    vm.run();
+    return !det.alarmed();
+}
+
+CampaignResult
+runCampaign(const CompiledProgram &prog,
+            const std::vector<std::string> &inputs,
+            const CampaignConfig &cfg)
+{
+    CampaignResult res;
+    res.program = prog.mod.name;
+
+    // Golden run: benign session, detector attached. Its branch trace
+    // is the control-flow reference, and it must never alarm.
+    std::vector<BranchEvent> golden;
+    {
+        Vm vm(prog.mod);
+        vm.setInputs(inputs);
+        vm.setFuel(cfg.fuel);
+        Detector det(prog);
+        vm.addObserver(&det);
+        RunResult r = vm.run();
+        if (r.exit == ExitKind::OutOfFuel)
+            warn("campaign %s: golden run hit the fuel limit",
+                 prog.mod.name.c_str());
+        res.falsePositive = det.alarmed();
+        res.goldenSteps = r.steps;
+        res.goldenInputEvents = r.inputEventCount;
+        golden = std::move(r.branchTrace);
+    }
+
+    uint32_t maxEvent = std::max(1u, res.goldenInputEvents);
+    for (uint32_t i = 0; i < cfg.numAttacks; i++) {
+        uint64_t seed = cfg.baseSeed + 0x9e37 * (i + 1);
+        Rng trigRng(seed ^ 0xabcdef);
+
+        Vm vm(prog.mod);
+        vm.setInputs(inputs);
+        vm.setFuel(cfg.fuel);
+        Detector det(prog);
+        vm.addObserver(&det);
+
+        TamperSpec spec;
+        spec.randomStackTarget = true;
+        spec.seed = seed;
+        spec.afterInputEvent =
+            1 + static_cast<uint32_t>(trigRng.below(maxEvent));
+        vm.setTamper(spec);
+
+        RunResult r = vm.run();
+        AttackOutcome out;
+        out.fired = r.tamper.fired;
+        out.exit = r.exit;
+        out.tamper = r.tamper;
+        out.cfChanged = !(r.branchTrace == golden);
+        out.detected = det.alarmed();
+        if (out.detected)
+            out.detectionBranchIndex =
+                det.alarms().front().branchIndex;
+        res.outcomes.push_back(std::move(out));
+    }
+    return res;
+}
+
+} // namespace ipds

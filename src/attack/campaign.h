@@ -1,0 +1,97 @@
+#ifndef IPDS_ATTACK_CAMPAIGN_H
+#define IPDS_ATTACK_CAMPAIGN_H
+
+/**
+ * @file
+ * Simulated-attack campaigns (paper §6).
+ *
+ * Each campaign runs one benign "golden" session of a program, then
+ * attacks it N times independently: every attack re-runs the same
+ * session but corrupts one randomly selected live local stack location
+ * at a randomly selected input event — the paper's model of a
+ * format-string / targeted-overflow write. Outcomes are classified by
+ *
+ *  - did the tampering change control flow (branch trace differs from
+ *    the golden trace)?
+ *  - did IPDS raise an alarm?
+ *
+ * The golden run itself executes under the detector and must never
+ * alarm (zero false positives); the campaign records a violation if it
+ * ever does.
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/program.h"
+#include "ipds/detector.h"
+#include "vm/vm.h"
+
+namespace ipds {
+
+/** Classification of one attack. */
+struct AttackOutcome
+{
+    bool fired = false;       ///< the tamper actually happened
+    bool cfChanged = false;   ///< branch trace differs from golden
+    bool detected = false;    ///< IPDS alarmed
+    ExitKind exit = ExitKind::Returned;
+    TamperRecord tamper;
+    /** Dynamic branch count at first alarm (detection promptness). */
+    uint64_t detectionBranchIndex = 0;
+};
+
+/** Campaign parameters. */
+struct CampaignConfig
+{
+    uint32_t numAttacks = 100;
+    uint64_t baseSeed = 0x1905;
+    /** Instruction budget per run (tampered runs can loop forever). */
+    uint64_t fuel = 2'000'000;
+    /** Analysis feature switches (for ablation benches). */
+    CorrOptions corr;
+};
+
+/** Campaign results with the Figure 7 aggregates. */
+struct CampaignResult
+{
+    std::string program;
+    std::vector<AttackOutcome> outcomes;
+    bool falsePositive = false; ///< golden run alarmed (must be false)
+    uint64_t goldenSteps = 0;
+    uint32_t goldenInputEvents = 0;
+
+    uint32_t attacks() const
+    {
+        return static_cast<uint32_t>(outcomes.size());
+    }
+    uint32_t numCfChanged() const;
+    uint32_t numDetected() const;
+
+    /** %% of attacks that changed control flow (Figure 7, bar 1). */
+    double pctCfChanged() const;
+    /** %% of attacks detected by IPDS (Figure 7, bar 2). */
+    double pctDetected() const;
+    /** Detected as a share of control-flow-changing attacks (59.3%%
+     *  average in the paper). */
+    double pctDetectedOfCf() const;
+};
+
+/**
+ * Run a campaign against @p prog using benign session @p inputs.
+ */
+CampaignResult runCampaign(const CompiledProgram &prog,
+                           const std::vector<std::string> &inputs,
+                           const CampaignConfig &cfg);
+
+/**
+ * Run only the benign session under the detector; returns true iff no
+ * alarm fired (the zero-false-positive property).
+ */
+bool benignRunIsClean(const CompiledProgram &prog,
+                      const std::vector<std::string> &inputs,
+                      uint64_t fuel = 2'000'000);
+
+} // namespace ipds
+
+#endif // IPDS_ATTACK_CAMPAIGN_H

@@ -1,0 +1,209 @@
+#include "attack/overflow.h"
+
+#include <cstring>
+
+#include "core/program.h"
+#include "ipds/detector.h"
+#include "support/diag.h"
+#include "support/rng.h"
+
+namespace ipds {
+
+namespace {
+
+const char *kPattern = "get_input_n(";
+
+/** Byte offset of the @p occurrence-th bounded read; npos if none. */
+size_t
+findRead(const std::string &src, uint32_t occurrence)
+{
+    size_t pos = 0;
+    for (uint32_t i = 0;; i++) {
+        pos = src.find(kPattern, pos);
+        if (pos == std::string::npos)
+            return std::string::npos;
+        if (i == occurrence)
+            return pos;
+        pos += 1;
+    }
+}
+
+/**
+ * Translate a branch trace into build-independent tokens
+ * (function id, branch ordinal within the function, direction): the
+ * planted variant shifts every PC, so traces from different builds
+ * can only be compared structurally.
+ */
+std::vector<uint64_t>
+canonicalize(const CompiledProgram &prog,
+             const std::vector<BranchEvent> &trace)
+{
+    std::map<uint64_t, uint64_t> token; // pc -> func<<21 | idx<<1
+    for (const auto &cf : prog.funcs) {
+        for (uint32_t i = 0; i < cf.bat.branchPcs.size(); i++) {
+            token[cf.bat.branchPcs[i]] =
+                (static_cast<uint64_t>(cf.bat.func) << 21) |
+                (static_cast<uint64_t>(i) << 1);
+        }
+    }
+    std::vector<uint64_t> out;
+    out.reserve(trace.size());
+    for (const auto &ev : trace)
+        out.push_back(token[ev.pc] | (ev.taken ? 1 : 0));
+    return out;
+}
+
+} // namespace
+
+uint32_t
+countInputReads(const std::string &source)
+{
+    uint32_t n = 0;
+    size_t pos = 0;
+    while ((pos = source.find(kPattern, pos)) != std::string::npos) {
+        n++;
+        pos += 1;
+    }
+    return n;
+}
+
+std::string
+plantVulnerability(const std::string &source, uint32_t occurrence)
+{
+    size_t pos = findRead(source, occurrence);
+    if (pos == std::string::npos)
+        fatal("plantVulnerability: no bounded read #%u", occurrence);
+    // get_input_n(buf, N)  ->  get_input(buf)
+    size_t open = pos + std::string(kPattern).size();
+    size_t comma = source.find(',', open);
+    size_t close = source.find(')', open);
+    if (comma == std::string::npos || close == std::string::npos ||
+        comma > close)
+        fatal("plantVulnerability: malformed read at byte %zu", pos);
+    std::string buf = source.substr(open, comma - open);
+    std::string out = source.substr(0, pos);
+    out += "get_input(" + buf + ")";
+    out += source.substr(close + 1);
+    return out;
+}
+
+CampaignResult
+runOverflowCampaign(const std::string &source, const std::string &name,
+                    const std::vector<std::string> &inputs,
+                    const CampaignConfig &cfg)
+{
+    uint32_t reads = countInputReads(source);
+    if (reads == 0)
+        fatal("runOverflowCampaign: %s has no bounded reads",
+              name.c_str());
+
+    CampaignResult res;
+    res.program = name;
+
+    // The original (bounded) program is the reference: running it on
+    // the attack inputs yields the no-corruption behaviour of the
+    // same data, so any trace divergence of the vulnerable variant is
+    // attributable to the overflow itself, not to the input change.
+    CompiledProgram original = compileAndAnalyze(source, name);
+
+    std::vector<CompiledProgram> variants;
+    // Input lines that reach each variant's unbounded read in the
+    // benign session — the lines a real exploit would target.
+    std::vector<std::vector<uint32_t>> vulnLines(reads);
+    variants.reserve(reads);
+    for (uint32_t v = 0; v < reads; v++) {
+        variants.push_back(
+            compileAndAnalyze(plantVulnerability(source, v),
+                              strprintf("%s#v%u", name.c_str(), v)));
+        // Benign session on each variant must be alarm-free; its
+        // event log tells us which lines feed the planted read.
+        Vm vm(variants.back().mod);
+        vm.setInputs(inputs);
+        vm.setFuel(cfg.fuel);
+        Detector det(variants.back());
+        vm.addObserver(&det);
+        RunResult r = vm.run();
+        res.falsePositive |= det.alarmed();
+        res.goldenSteps = std::max(res.goldenSteps, r.steps);
+        res.goldenInputEvents = r.inputEventCount;
+
+        uint64_t plantedPc = 0;
+        for (const auto &fn : variants.back().mod.functions)
+            for (const auto &bb : fn.blocks)
+                for (const auto &in : bb.insts)
+                    if (in.op == Op::Call &&
+                        in.builtin == Builtin::GetInput)
+                        plantedPc = in.pc;
+        for (uint32_t e = 0; e < r.inputEventPcs.size(); e++)
+            if (r.inputEventPcs[e] == plantedPc)
+                vulnLines[v].push_back(e);
+    }
+
+    static const char *tokens[] = {"admin", "root", "secret",
+                                   "anonymous", "sys:", "1", "99999"};
+    for (uint32_t i = 0; i < cfg.numAttacks; i++) {
+        Rng rng(cfg.baseSeed + 0x51ed * (i + 1));
+        uint32_t v = static_cast<uint32_t>(rng.below(variants.size()));
+        const CompiledProgram &var = variants[v];
+        // A real exploit targets the vulnerable read; fall back to a
+        // random line when the benign session never reaches it.
+        uint32_t line;
+        if (!vulnLines[v].empty()) {
+            line = vulnLines[v][rng.below(vulnLines[v].size())];
+        } else {
+            line = static_cast<uint32_t>(
+                rng.below(std::max<size_t>(1, inputs.size())));
+        }
+
+        std::string payload(
+            8 + static_cast<size_t>(rng.below(133)),
+            static_cast<char>('A' + rng.below(26)));
+        if (rng.chance(0.5)) {
+            const char *tok = tokens[rng.below(7)];
+            size_t at = rng.below(payload.size());
+            payload.replace(at, std::min(std::strlen(tok),
+                                         payload.size() - at),
+                            tok);
+        }
+        std::vector<std::string> attacked = inputs;
+        if (line < attacked.size())
+            attacked[line] = payload;
+        else
+            attacked.push_back(payload);
+
+        // Reference: bounded program, same inputs. This is a benign-
+        // semantics run and must itself never alarm (extra zero-FP
+        // coverage on arbitrary inputs).
+        std::vector<uint64_t> reference;
+        {
+            Vm vm(original.mod);
+            vm.setInputs(attacked);
+            vm.setFuel(cfg.fuel);
+            Detector det(original);
+            vm.addObserver(&det);
+            RunResult r = vm.run();
+            res.falsePositive |= det.alarmed();
+            reference = canonicalize(original, r.branchTrace);
+        }
+
+        Vm vm(var.mod);
+        vm.setInputs(attacked);
+        vm.setFuel(cfg.fuel);
+        Detector det(var);
+        vm.addObserver(&det);
+        RunResult r = vm.run();
+
+        AttackOutcome out;
+        out.fired = true; // the payload was delivered by construction
+        out.exit = r.exit;
+        out.cfChanged = canonicalize(var, r.branchTrace) != reference;
+        out.detected = det.alarmed();
+        if (out.detected)
+            out.detectionBranchIndex =
+                det.alarms().front().branchIndex;
+        res.outcomes.push_back(std::move(out));
+    }
+    return res;
+}
+
+} // namespace ipds

@@ -1,0 +1,52 @@
+#ifndef IPDS_ATTACK_OVERFLOW_H
+#define IPDS_ATTACK_OVERFLOW_H
+
+/**
+ * @file
+ * Buffer-overflow attack campaigns through the input channel.
+ *
+ * The paper (§6): "we manually introduce more buffer overflow
+ * vulnerabilities into the server programs originally only having a
+ * few". This module does the same mechanically: plantVulnerability()
+ * replaces one bounded input read (`get_input_n(buf, N)`) in a
+ * workload's source with the unbounded `get_input(buf)`, and
+ * runOverflowCampaign() attacks each planted variant by sending an
+ * overlong payload on that read — a REAL overflow that runs past the
+ * buffer into neighbouring stack state, not an out-of-band poke.
+ */
+
+#include <string>
+#include <vector>
+
+#include "attack/campaign.h"
+
+namespace ipds {
+
+/** Number of bounded input reads that could be made vulnerable. */
+uint32_t countInputReads(const std::string &source);
+
+/**
+ * Return @p source with its @p occurrence-th (0-based)
+ * `get_input_n(buf, N)` replaced by the unbounded `get_input(buf)`.
+ * Throws FatalError if the occurrence does not exist.
+ */
+std::string plantVulnerability(const std::string &source,
+                               uint32_t occurrence);
+
+/**
+ * Overflow campaign: for each attack, pick a planted variant and an
+ * input event, replace that session line with an overlong payload
+ * (filler plus, sometimes, a meaningful token such as a credential
+ * string), run, and classify exactly like the poke campaign.
+ *
+ * The golden runs of every variant execute under the detector and
+ * must stay alarm-free (the benign script never overflows).
+ */
+CampaignResult runOverflowCampaign(const std::string &source,
+                                   const std::string &name,
+                                   const std::vector<std::string> &inputs,
+                                   const CampaignConfig &cfg);
+
+} // namespace ipds
+
+#endif // IPDS_ATTACK_OVERFLOW_H

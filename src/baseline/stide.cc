@@ -1,0 +1,44 @@
+#include "baseline/stide.h"
+
+#include "support/diag.h"
+
+namespace ipds {
+
+StideModel::StideModel(uint32_t w)
+    : window(w)
+{
+    if (window == 0)
+        panic("StideModel: window must be nonzero");
+}
+
+std::vector<uint16_t>
+StideModel::windowAt(const std::vector<uint16_t> &trace, size_t i) const
+{
+    return {trace.begin() + static_cast<ptrdiff_t>(i),
+            trace.begin() + static_cast<ptrdiff_t>(i + window)};
+}
+
+void
+StideModel::train(const std::vector<uint16_t> &trace)
+{
+    if (trace.size() < window) {
+        // Short traces are stored whole so they can still match.
+        grams.insert(trace);
+        return;
+    }
+    for (size_t i = 0; i + window <= trace.size(); i++)
+        grams.insert(windowAt(trace, i));
+}
+
+uint64_t
+StideModel::anomalies(const std::vector<uint16_t> &trace) const
+{
+    if (trace.size() < window)
+        return grams.count(trace) ? 0 : 1;
+    uint64_t n = 0;
+    for (size_t i = 0; i + window <= trace.size(); i++)
+        n += grams.count(windowAt(trace, i)) ? 0 : 1;
+    return n;
+}
+
+} // namespace ipds

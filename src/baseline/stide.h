@@ -1,0 +1,89 @@
+#ifndef IPDS_BASELINE_STIDE_H
+#define IPDS_BASELINE_STIDE_H
+
+/**
+ * @file
+ * Baseline anomaly detector: sliding-window system-call sequence
+ * modeling after Forrest et al., "A Sense of Self for Unix Processes"
+ * (the paper's reference [7]) — the prior art IPDS argues against.
+ *
+ * The model records every length-N window of system-call identifiers
+ * seen during training; at detection time, any window absent from the
+ * database is an anomaly. The paper's argument is about granularity:
+ * system calls are orders of magnitude sparser than branches, so
+ * attacks that warp control flow *between* system calls — or that
+ * change only which data flows into the same call sequence — are
+ * invisible at this level, while IPDS sees them. Conversely, stide
+ * alarms on any benign behaviour missing from training (false
+ * positives), which IPDS structurally cannot do.
+ *
+ * "System calls" in this reproduction are the VM's builtin calls
+ * (input/output/library entry points), which is exactly the program/
+ * OS boundary the original work instrumented.
+ */
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "vm/vm.h"
+
+namespace ipds {
+
+/** Records the system-call (builtin) id sequence of a run. */
+class SyscallTrace : public ExecObserver
+{
+  public:
+    void
+    onInst(const Inst &in, uint64_t, uint32_t, bool) override
+    {
+        if (in.op == Op::Call && in.builtin != Builtin::None)
+            seq.push_back(static_cast<uint16_t>(in.builtin));
+    }
+
+    const std::vector<uint16_t> &sequence() const { return seq; }
+    void clear() { seq.clear(); }
+
+  private:
+    std::vector<uint16_t> seq;
+};
+
+/** The stide N-gram database. */
+class StideModel
+{
+  public:
+    /** @p window is the paper-era default of 6 unless overridden. */
+    explicit StideModel(uint32_t window = 6);
+
+    /** Add every window of @p trace to the normal database. */
+    void train(const std::vector<uint16_t> &trace);
+
+    /**
+     * Number of windows of @p trace absent from the database. Zero
+     * means "normal".
+     */
+    uint64_t anomalies(const std::vector<uint16_t> &trace) const;
+
+    /** True if the trace contains any anomalous window. */
+    bool
+    flags(const std::vector<uint16_t> &trace) const
+    {
+        return anomalies(trace) > 0;
+    }
+
+    /** Distinct windows stored. */
+    size_t patterns() const { return grams.size(); }
+
+    uint32_t windowSize() const { return window; }
+
+  private:
+    std::vector<uint16_t> windowAt(const std::vector<uint16_t> &trace,
+                                   size_t i) const;
+
+    uint32_t window;
+    std::set<std::vector<uint16_t>> grams;
+};
+
+} // namespace ipds
+
+#endif // IPDS_BASELINE_STIDE_H

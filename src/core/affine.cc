@@ -1,0 +1,89 @@
+#include "core/affine.h"
+
+#include "analysis/constfold.h"
+
+namespace ipds {
+
+namespace {
+
+/** offset += sign*c, detecting overflow. Returns false on overflow. */
+bool
+accumulate(int64_t &offset, int sign, int64_t c)
+{
+    int64_t scaled;
+    if (__builtin_mul_overflow(static_cast<int64_t>(sign), c, &scaled))
+        return false;
+    return !__builtin_add_overflow(offset, scaled, &offset);
+}
+
+} // namespace
+
+AffineExpr
+traceAffine(const Function &fn, const DefMap &dm, const LocTable &locs,
+            Vreg v)
+{
+    int sign = 1;
+    int64_t offset = 0;
+    Vreg cur = v;
+
+    for (int depth = 0; depth < 64; depth++) {
+        InstRef r = dm.def(cur);
+        if (!r.valid())
+            return {};
+        const Inst &in = fn.blocks[r.block].insts[r.index];
+        switch (in.op) {
+          case Op::Load: {
+            LocId l = locs.forInst(in);
+            if (l == kNoLoc)
+                return {};
+            AffineExpr out;
+            out.valid = true;
+            out.loc = l;
+            out.load = r;
+            out.loadDst = in.dst;
+            out.sign = sign;
+            out.offset = offset;
+            return out;
+          }
+          case Op::Bin: {
+            int64_t c;
+            if (in.bin == BinOp::Add) {
+                // chain + c or c + chain: offset += sign*c.
+                if (constValue(fn, dm, in.srcB, c)) {
+                    cur = in.srcA;
+                } else if (constValue(fn, dm, in.srcA, c)) {
+                    cur = in.srcB;
+                } else {
+                    return {};
+                }
+                if (!accumulate(offset, sign, c))
+                    return {};
+                break;
+            }
+            if (in.bin == BinOp::Sub) {
+                if (constValue(fn, dm, in.srcB, c)) {
+                    // chain - c: offset -= sign*c.
+                    if (!accumulate(offset, -sign, c))
+                        return {};
+                    cur = in.srcA;
+                } else if (constValue(fn, dm, in.srcA, c)) {
+                    // c - chain: offset += sign*c, then negate chain.
+                    if (!accumulate(offset, sign, c))
+                        return {};
+                    sign = -sign;
+                    cur = in.srcB;
+                } else {
+                    return {};
+                }
+                break;
+            }
+            return {};
+          }
+          default:
+            return {};
+        }
+    }
+    return {};
+}
+
+} // namespace ipds

@@ -1,0 +1,41 @@
+#ifndef IPDS_CORE_AFFINE_H
+#define IPDS_CORE_AFFINE_H
+
+/**
+ * @file
+ * Affine def-chain extraction: recognise vregs of the form
+ * `sign * load(loc) + offset` built from a direct load and simple
+ * +/- constant arithmetic. This implements the paper's "after a
+ * variable is loaded into a register, the register participates in
+ * further calculations before it is used in a conditional branch"
+ * (Figure 3.c: r1 = y - 1; branch on r1 still correlates with y).
+ */
+
+#include "analysis/defmap.h"
+#include "analysis/memloc.h"
+#include "ir/ir.h"
+
+namespace ipds {
+
+/** Result of tracing a vreg: value == sign * M[loc] + offset. */
+struct AffineExpr
+{
+    bool valid = false;
+    LocId loc = kNoLoc;
+    InstRef load;       ///< the root Load instruction
+    Vreg loadDst = kNoVreg; ///< vreg defined by the root load
+    int sign = 1;
+    int64_t offset = 0;
+};
+
+/**
+ * Trace @p v's def chain. Returns an invalid AffineExpr if the chain
+ * involves anything but one direct load and +/- constants, or if
+ * offset arithmetic overflows.
+ */
+AffineExpr traceAffine(const Function &fn, const DefMap &dm,
+                       const LocTable &locs, Vreg v);
+
+} // namespace ipds
+
+#endif // IPDS_CORE_AFFINE_H

@@ -1,0 +1,257 @@
+#include "core/batbuild.h"
+
+#include <map>
+#include <set>
+
+#include "analysis/constfold.h"
+#include "core/affine.h"
+#include "support/diag.h"
+
+namespace ipds {
+
+const char *
+brActionName(BrAction a)
+{
+    switch (a) {
+      case BrAction::NC: return "NC";
+      case BrAction::SetT: return "SET_T";
+      case BrAction::SetNT: return "SET_NT";
+      case BrAction::SetUN: return "SET_UN";
+    }
+    return "?";
+}
+
+size_t
+FuncBat::totalActions() const
+{
+    size_t n = entryActions.size();
+    for (const auto &l : onTaken)
+        n += l.size();
+    for (const auto &l : onNotTaken)
+        n += l.size();
+    return n;
+}
+
+namespace {
+
+/**
+ * Walks one edge region and accumulates the net action per branch.
+ */
+class RegionWalker
+{
+  public:
+    RegionWalker(const Module &mod, const Function &fn,
+                 const LocTable &locs, const Effects &fx,
+                 const FuncCorrelation &corr, const CorrOptions &opts,
+                 const DefMap &dm)
+        : mod(mod), fn(fn), locs(locs), fx(fx), corr(corr), opts(opts),
+          dm(dm)
+    {}
+
+    /**
+     * Walk from @p start with optional initial fact (@p fact_loc ==
+     * UINT32_MAX for none) and return the folded action list.
+     */
+    ActionList
+    walk(BlockId start, uint32_t fact_loc, const Interval &fact)
+    {
+        facts.clear();
+        loadFacts.clear();
+        net.clear();
+
+        if (fact_loc != UINT32_MAX) {
+            facts[fact_loc] = fact;
+            applyFact(fact_loc, fact, /*is_new_value=*/false);
+        }
+
+        std::set<BlockId> visited;
+        BlockId cur = start;
+        while (visited.insert(cur).second) {
+            const BasicBlock &bb = fn.blocks[cur];
+            for (const auto &in : bb.insts) {
+                if (in.isTerminator())
+                    break;
+                step(in);
+            }
+            const Inst &term = bb.terminator();
+            if (term.op != Op::Jmp)
+                break; // Br: next edges take over; Ret: done
+            cur = term.target;
+        }
+
+        ActionList out;
+        out.reserve(net.size());
+        for (const auto &[idx, act] : net)
+            out.emplace_back(idx, act);
+        return out;
+    }
+
+  private:
+    void
+    emit(uint32_t branch_idx, BrAction act)
+    {
+        net[branch_idx] = act;
+    }
+
+    /**
+     * A location's value is (newly or still) known to lie in @p ival.
+     * Emit SET_T / SET_NT to branches whose trigger it subsumes. If the
+     * value was just (re)defined (@p is_new_value), branches we cannot
+     * decide get SET_UN; a pure knowledge refinement leaves them alone.
+     */
+    void
+    applyFact(uint32_t corr_loc, const Interval &ival, bool is_new_value)
+    {
+        for (uint32_t bidx : corr.locBranches[corr_loc]) {
+            const BranchInfo &b = corr.branches[bidx];
+            if (!ival.isInvalid() && ival.subsumedBy(b.takenSet))
+                emit(bidx, BrAction::SetT);
+            else if (!ival.isInvalid() &&
+                     ival.subsumedBy(b.notTakenSet))
+                emit(bidx, BrAction::SetNT);
+            else if (is_new_value)
+                emit(bidx, BrAction::SetUN);
+        }
+    }
+
+    /** Kill every correlation location the clobber may touch. */
+    void
+    kill(const ClobberSet &cs)
+    {
+        if (cs.empty())
+            return;
+        size_t nLocs = locs.size();
+        for (uint32_t cl = 0; cl < corr.numCorrLocs; cl++) {
+            if (corr.locBranches[cl].empty() && !facts.count(cl))
+                continue;
+            bool hit;
+            if (cl < nLocs) {
+                hit = cs.hitsLoc(locs, cl);
+            } else {
+                hit = false;
+                const PureSig &sig = corr.sigs[cl - nLocs];
+                for (const auto &rr : sig.reads) {
+                    if (cs.hitsRange(mod, rr.obj, rr.off, rr.len)) {
+                        hit = true;
+                        break;
+                    }
+                }
+            }
+            if (!hit)
+                continue;
+            facts.erase(cl);
+            for (uint32_t bidx : corr.locBranches[cl])
+                emit(bidx, BrAction::SetUN);
+        }
+    }
+
+    /**
+     * Value range of vreg @p v at this point in the region, if
+     * derivable: a compile-time constant, or an affine transform of a
+     * load executed inside the region under a live fact.
+     */
+    bool
+    valueRange(Vreg v, Interval &out) const
+    {
+        int64_t c;
+        if (opts.constStoreFacts && constValue(fn, dm, v, c)) {
+            out = Interval::point(c);
+            return true;
+        }
+        AffineExpr af = traceAffine(fn, dm, locs, v);
+        if (!af.valid)
+            return false;
+        if (!opts.affineChains && (af.sign != 1 || af.offset != 0))
+            return false;
+        auto it = loadFacts.find(af.loadDst);
+        if (it == loadFacts.end())
+            return false;
+        out = it->second.affineImage(af.sign, af.offset);
+        return !out.isInvalid();
+    }
+
+    void
+    step(const Inst &in)
+    {
+        // Record facts captured by loads executed inside the region:
+        // the loaded register keeps this range forever (registers are
+        // not attackable), even if memory is clobbered afterwards.
+        if (in.op == Op::Load) {
+            LocId l = locs.forInst(in);
+            if (l != kNoLoc) {
+                auto it = facts.find(l);
+                if (it != facts.end())
+                    loadFacts[in.dst] = it->second;
+            }
+            return;
+        }
+
+        if (in.op == Op::Store) {
+            Interval stored;
+            bool known = valueRange(in.srcA, stored);
+            kill(fx.clobbers(fn.id, in));
+            LocId l = locs.forInst(in);
+            if (l != kNoLoc && known) {
+                facts[l] = stored;
+                applyFact(l, stored, /*is_new_value=*/true);
+            }
+            return;
+        }
+
+        // Everything else (indirect stores, calls) just clobbers.
+        ClobberSet cs = fx.clobbers(fn.id, in);
+        kill(cs);
+    }
+
+    const Module &mod;
+    const Function &fn;
+    const LocTable &locs;
+    const Effects &fx;
+    const FuncCorrelation &corr;
+    const CorrOptions &opts;
+    const DefMap &dm;
+
+    std::map<uint32_t, Interval> facts;
+    std::map<Vreg, Interval> loadFacts;
+    std::map<uint32_t, BrAction> net;
+};
+
+} // namespace
+
+FuncBat
+buildBat(const Module &mod, const Function &fn, const LocTable &locs,
+         const Effects &fx, const FuncCorrelation &corr,
+         const CorrOptions &opts)
+{
+    FuncBat out;
+    out.func = fn.id;
+    out.numBranches = static_cast<uint32_t>(corr.branches.size());
+    out.branchPcs.resize(out.numBranches);
+    out.bcv.resize(out.numBranches, false);
+    out.onTaken.resize(out.numBranches);
+    out.onNotTaken.resize(out.numBranches);
+
+    for (const auto &b : corr.branches) {
+        out.branchPcs[b.idx] = b.pc;
+        out.bcv[b.idx] = b.checkable;
+    }
+
+    DefMap dm(fn);
+    RegionWalker walker(mod, fn, locs, fx, corr, opts, dm);
+
+    out.entryActions = walker.walk(0, UINT32_MAX, Interval::full());
+
+    for (const auto &b : corr.branches) {
+        const Inst &br = fn.blocks[b.block].insts[b.instIdx];
+        bool hasFact = b.kind != CondKind::Unknown && b.checkable;
+        out.onTaken[b.idx] = walker.walk(
+            br.target, hasFact ? b.corrLoc : UINT32_MAX, b.takenSet);
+        out.onNotTaken[b.idx] =
+            walker.walk(br.fallthrough,
+                        hasFact ? b.corrLoc : UINT32_MAX,
+                        b.notTakenSet);
+    }
+    return out;
+}
+
+} // namespace ipds

@@ -1,0 +1,80 @@
+#ifndef IPDS_CORE_BATBUILD_H
+#define IPDS_CORE_BATBUILD_H
+
+/**
+ * @file
+ * Branch Action Table construction — the algorithm of the paper's
+ * Figure 5, reformulated over CFG edge regions.
+ *
+ * For each (branch, direction) edge — plus a pseudo-edge for function
+ * entry — we walk the straight-line region the edge deterministically
+ * executes (through unconditional jumps, up to the next conditional
+ * branch or return) and fold its events into one net action per
+ * affected branch:
+ *
+ *  - the edge's own range fact (branch direction => location range)
+ *    emits SET_T / SET_NT to branches whose trigger range it subsumes;
+ *  - a store with a derivable value range (constant, or an affine
+ *    transform of a load made under a live fact) re-establishes the
+ *    location and emits SET_T / SET_NT / SET_UN accordingly;
+ *  - any other may-write (stores, call effects, input builtins) kills
+ *    the affected locations and emits SET_UN;
+ *  - later events override earlier ones, exactly as the runtime would
+ *    apply them sequentially.
+ *
+ * The result is the logical BAT/BCV content for one function; packing
+ * into bits is done by core/tables.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "core/correlation.h"
+
+namespace ipds {
+
+/** The four BAT actions of the paper (§5.1). */
+enum class BrAction : uint8_t
+{
+    NC = 0,    ///< no change
+    SetT = 1,  ///< set expected direction to taken
+    SetNT = 2, ///< set expected direction to not-taken
+    SetUN = 3, ///< set expected direction to unknown
+};
+
+const char *brActionName(BrAction a);
+
+/** Ordered list of (branch index, action) pairs for one trigger. */
+using ActionList = std::vector<std::pair<uint32_t, BrAction>>;
+
+/**
+ * Logical per-function tables: which branches are checked (BCV) and
+ * what each executed (branch, direction) does to the others (BAT).
+ */
+struct FuncBat
+{
+    FuncId func = kNoFunc;
+    uint32_t numBranches = 0;
+    /** PC of each branch, by branch index (hash-table keys). */
+    std::vector<uint64_t> branchPcs;
+    /** BCV: branch index -> checked? */
+    std::vector<bool> bcv;
+    /** BAT: actions applied after the branch executes taken. */
+    std::vector<ActionList> onTaken;
+    /** BAT: actions applied after the branch executes not-taken. */
+    std::vector<ActionList> onNotTaken;
+    /** Actions applied when the function is entered. */
+    ActionList entryActions;
+
+    /** Total number of (branch, action) entries across all lists. */
+    size_t totalActions() const;
+};
+
+/** Build the logical tables for @p fn from its correlation result. */
+FuncBat buildBat(const Module &mod, const Function &fn,
+                 const LocTable &locs, const Effects &fx,
+                 const FuncCorrelation &corr, const CorrOptions &opts);
+
+} // namespace ipds
+
+#endif // IPDS_CORE_BATBUILD_H

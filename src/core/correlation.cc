@@ -1,0 +1,336 @@
+#include "core/correlation.h"
+
+#include "analysis/constfold.h"
+#include "core/affine.h"
+#include "support/diag.h"
+
+namespace ipds {
+
+std::string
+PureSig::str(const Module &mod) const
+{
+    std::string s = builtinName(builtin);
+    s += "(";
+    bool first = true;
+    for (const auto &[obj, off] : ptrArgs) {
+        if (!first)
+            s += ", ";
+        first = false;
+        s += mod.objects[obj].name;
+        if (off != 0)
+            s += strprintf("+%lld", static_cast<long long>(off));
+    }
+    for (int64_t v : scalarArgs) {
+        if (!first)
+            s += ", ";
+        first = false;
+        s += strprintf("%lld", static_cast<long long>(v));
+    }
+    s += ")";
+    return s;
+}
+
+uint32_t
+FuncCorrelation::numCheckable() const
+{
+    uint32_t n = 0;
+    for (const auto &b : branches)
+        n += b.checkable ? 1 : 0;
+    return n;
+}
+
+namespace {
+
+/** Mirror a predicate across its operands: (a pred b) == (b mirror b). */
+Pred
+mirrorPred(Pred p)
+{
+    switch (p) {
+      case Pred::EQ: return Pred::EQ;
+      case Pred::NE: return Pred::NE;
+      case Pred::LT: return Pred::GT;
+      case Pred::LE: return Pred::GE;
+      case Pred::GT: return Pred::LT;
+      case Pred::GE: return Pred::LE;
+    }
+    panic("mirrorPred: bad predicate");
+}
+
+/**
+ * Derive the byte ranges a pure builtin reads from resolved pointer and
+ * scalar arguments. Returns false if the ranges cannot be bounded
+ * inside their objects (the conservative answer is then "unknown").
+ */
+bool
+pureReadRanges(const Module &mod, Builtin b,
+               const std::vector<std::pair<ObjectId, int64_t>> &ptrs,
+               const std::vector<int64_t> &scalars,
+               std::vector<ReadRange> &out)
+{
+    auto addRange = [&](size_t ptr_idx, int64_t len) {
+        const auto &[obj, off] = ptrs[ptr_idx];
+        const MemObject &o = mod.objects[obj];
+        if (off < 0 || off >= static_cast<int64_t>(o.size))
+            return false; // statically out of bounds: give up
+        ReadRange rr;
+        rr.obj = obj;
+        rr.off = off;
+        rr.len = len;
+        out.push_back(rr);
+        return true;
+    };
+    switch (b) {
+      case Builtin::Strcmp:
+        return ptrs.size() == 2 && addRange(0, -1) && addRange(1, -1);
+      case Builtin::Strncmp:
+      case Builtin::Memcmp: {
+        if (ptrs.size() != 2 || scalars.size() != 1)
+            return false;
+        int64_t n = scalars[0];
+        if (n < 0)
+            return false;
+        if (n == 0)
+            return true; // reads nothing; constant result
+        return addRange(0, n) && addRange(1, n);
+      }
+      case Builtin::Strlen:
+      case Builtin::Atoi:
+        return ptrs.size() == 1 && addRange(0, -1);
+      default:
+        return false;
+    }
+}
+
+/**
+ * True if any instruction in block @p bb with index in (from, to)
+ * clobbers location @p loc.
+ */
+bool
+clobberedBetweenLoc(const Module &, const Function &,
+                    const Effects &fx, const LocTable &locs,
+                    const BasicBlock &bb, uint32_t from, uint32_t to,
+                    FuncId f, LocId loc)
+{
+    for (uint32_t i = from + 1; i < to; i++) {
+        if (fx.clobbers(f, bb.insts[i]).hitsLoc(locs, loc))
+            return true;
+    }
+    return false;
+}
+
+/** Same, but against a set of read ranges. */
+bool
+clobberedBetweenReads(const Module &mod, const Function &fn,
+                      const Effects &fx, const BasicBlock &bb,
+                      uint32_t from, uint32_t to, FuncId f,
+                      const std::vector<ReadRange> &reads)
+{
+    (void)fn;
+    for (uint32_t i = from + 1; i < to; i++) {
+        ClobberSet cs = fx.clobbers(f, bb.insts[i]);
+        if (cs.empty())
+            continue;
+        for (const auto &rr : reads) {
+            if (cs.hitsRange(mod, rr.obj, rr.off, rr.len))
+                return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * Evaluate one side of a compare as a constant: a literal chain, or —
+ * with memory constant propagation — an affine transform of a load
+ * from a location that always holds the same constant.
+ */
+bool
+sideConst(const Function &fn, const DefMap &dm, const LocTable &locs,
+          const MemConsts *mc, const CorrOptions &opts, Vreg v,
+          int64_t &out)
+{
+    if (constValue(fn, dm, v, out))
+        return true;
+    if (!opts.memConstProp || mc == nullptr)
+        return false;
+    AffineExpr af = traceAffine(fn, dm, locs, v);
+    if (!af.valid)
+        return false;
+    int64_t base;
+    if (!mc->constLoc(af.loc, base))
+        return false;
+    int64_t scaled;
+    if (__builtin_mul_overflow(static_cast<int64_t>(af.sign), base,
+                               &scaled))
+        return false;
+    return !__builtin_add_overflow(scaled, af.offset, &out);
+}
+
+/** Intern @p sig in @p sigs, returning its index. */
+uint32_t
+internSig(std::vector<PureSig> &sigs, PureSig sig)
+{
+    for (uint32_t i = 0; i < sigs.size(); i++)
+        if (sigs[i] == sig)
+            return i;
+    sigs.push_back(std::move(sig));
+    return static_cast<uint32_t>(sigs.size() - 1);
+}
+
+} // namespace
+
+FuncCorrelation
+analyzeFunction(const Module &mod, const Function &fn,
+                const LocTable &locs, const PointsTo &pt,
+                const Effects &fx, const MemConsts *mc,
+                const CorrOptions &opts)
+{
+    FuncCorrelation out;
+    out.func = fn.id;
+    DefMap dm(fn);
+
+    for (const auto &bb : fn.blocks) {
+        for (uint32_t i = 0; i < bb.insts.size(); i++) {
+            const Inst &br = bb.insts[i];
+            if (!br.isCondBranch())
+                continue;
+
+            BranchInfo bi;
+            bi.idx = static_cast<uint32_t>(out.branches.size());
+            bi.block = bb.id;
+            bi.instIdx = i;
+            bi.pc = br.pc;
+            out.branchAt[{bb.id, i}] = bi.idx;
+
+            // Expect cond = Cmp(valueSide, const) up to operand order.
+            InstRef condRef = dm.def(br.srcA);
+            if (!condRef.valid()) {
+                out.branches.push_back(bi);
+                continue;
+            }
+            const Inst &cmp =
+                fn.blocks[condRef.block].insts[condRef.index];
+            if (cmp.op != Op::Cmp) {
+                out.branches.push_back(bi);
+                continue;
+            }
+            Vreg valueSide = kNoVreg;
+            Pred pred = cmp.pred;
+            int64_t c = 0;
+            if (sideConst(fn, dm, locs, mc, opts, cmp.srcB, c)) {
+                valueSide = cmp.srcA;
+            } else if (sideConst(fn, dm, locs, mc, opts, cmp.srcA,
+                                 c)) {
+                valueSide = cmp.srcB;
+                pred = mirrorPred(pred);
+            } else {
+                out.branches.push_back(bi);
+                continue;
+            }
+
+            // --- Range classification --------------------------------
+            AffineExpr af = traceAffine(fn, dm, locs, valueSide);
+            if (af.valid && !opts.affineChains &&
+                (af.sign != 1 || af.offset != 0)) {
+                af.valid = false;
+            }
+            if (af.valid) {
+                Interval tk =
+                    Interval::fromAffineCond(af.sign, af.offset, pred,
+                                             c);
+                Interval nt = Interval::fromAffineCond(
+                    af.sign, af.offset, negatePred(pred), c);
+                if (!tk.isInvalid() && !nt.isInvalid()) {
+                    bi.kind = CondKind::Range;
+                    bi.corrLoc = af.loc;
+                    bi.takenSet = tk;
+                    bi.notTakenSet = nt;
+                    bi.checkable =
+                        af.load.block == bb.id &&
+                        !clobberedBetweenLoc(mod, fn, fx, locs, bb,
+                                             af.load.index, i, fn.id,
+                                             af.loc);
+                }
+                out.branches.push_back(bi);
+                continue;
+            }
+
+            // --- PureCall classification ------------------------------
+            if (opts.pureCalls) {
+                InstRef callRef = dm.def(valueSide);
+                if (callRef.valid()) {
+                    const Inst &call =
+                        fn.blocks[callRef.block].insts[callRef.index];
+                    if (call.op == Op::Call &&
+                        call.builtin != Builtin::None &&
+                        builtinEffects(call.builtin).pure) {
+                        const auto &bfx = builtinEffects(call.builtin);
+                        uint8_t ptrMask =
+                            bfx.readsParams | bfx.writesParams;
+                        PureSig sig;
+                        sig.builtin = call.builtin;
+                        bool ok = true;
+                        for (uint32_t a = 0; a < call.args.size();
+                             a++) {
+                            if (ptrMask & (1u << a)) {
+                                ObjectId obj;
+                                int64_t off;
+                                if (!pt.resolveExact(
+                                        fn.id, call.args[a], obj, off,
+                                        opts.interprocArgs)) {
+                                    ok = false;
+                                    break;
+                                }
+                                sig.ptrArgs.emplace_back(obj, off);
+                            } else {
+                                int64_t v;
+                                if (!constValue(fn, dm, call.args[a],
+                                                v)) {
+                                    ok = false;
+                                    break;
+                                }
+                                sig.scalarArgs.push_back(v);
+                            }
+                        }
+                        if (ok) {
+                            ok = pureReadRanges(mod, sig.builtin,
+                                                sig.ptrArgs,
+                                                sig.scalarArgs,
+                                                sig.reads);
+                        }
+                        if (ok) {
+                            Interval tk = Interval::fromPred(pred, c);
+                            Interval nt = Interval::fromPred(
+                                negatePred(pred), c);
+                            std::vector<ReadRange> reads = sig.reads;
+                            uint32_t sigId =
+                                internSig(out.sigs, std::move(sig));
+                            bi.kind = CondKind::PureCall;
+                            bi.corrLoc =
+                                static_cast<uint32_t>(locs.size()) +
+                                sigId;
+                            bi.takenSet = tk;
+                            bi.notTakenSet = nt;
+                            bi.checkable =
+                                callRef.block == bb.id &&
+                                !clobberedBetweenReads(mod, fn, fx, bb,
+                                                       callRef.index, i,
+                                                       fn.id, reads);
+                        }
+                    }
+                }
+            }
+            out.branches.push_back(bi);
+        }
+    }
+
+    out.numCorrLocs =
+        static_cast<uint32_t>(locs.size() + out.sigs.size());
+    out.locBranches.assign(out.numCorrLocs, {});
+    for (const auto &b : out.branches) {
+        if (b.kind != CondKind::Unknown && b.checkable)
+            out.locBranches[b.corrLoc].push_back(b.idx);
+    }
+    return out;
+}
+
+} // namespace ipds

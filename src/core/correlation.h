@@ -1,0 +1,153 @@
+#ifndef IPDS_CORE_CORRELATION_H
+#define IPDS_CORE_CORRELATION_H
+
+/**
+ * @file
+ * Branch correlation analysis (paper §4, first half of §5.1).
+ *
+ * For every conditional branch in a function, classify its condition:
+ *
+ *  - Range: the condition register is an affine transform of a direct
+ *    load, compared against a constant. The branch's taken/not-taken
+ *    outcomes correspond to value ranges of the loaded memory location.
+ *  - PureCall: the condition compares the result of a pure builtin
+ *    (strncmp/strcmp/memcmp/strlen/atoi) with fully resolved arguments
+ *    against a constant. The call result acts as a *virtual location*
+ *    whose value only changes when the bytes it reads change. This is
+ *    what detects the Figure 1 attack: two `strncmp(user,"admin",5)`
+ *    checks must agree unless `user` was clobbered in between.
+ *  - Unknown: nothing inferable; never checked (conservative).
+ *
+ * A classified branch is *checkable* only if its memory read (the root
+ * load / the pure call) sits in the same basic block as the branch with
+ * no may-clobber of the read bytes in between. This guarantees that
+ * whenever the branch executes, its outcome reflects the location's
+ * current memory value — the property that makes false positives
+ * impossible (see DESIGN.md §5.1).
+ *
+ * Correlation locations ("corr locs") unify both kinds: ids
+ * [0, numLocs) are real memory locations, ids [numLocs, ...) are
+ * virtual pure-call results.
+ */
+
+#include <map>
+#include <vector>
+
+#include "analysis/defmap.h"
+#include "analysis/effects.h"
+#include "analysis/memconst.h"
+#include "analysis/memloc.h"
+#include "analysis/pointsto.h"
+#include "core/interval.h"
+#include "ir/ir.h"
+
+namespace ipds {
+
+/** A byte range read by a pure call: [off, off+len) of obj, or to the
+ *  end of the object when len < 0. */
+struct ReadRange
+{
+    ObjectId obj = kNoObject;
+    int64_t off = 0;
+    int64_t len = -1;
+
+    bool operator==(const ReadRange &o) const
+    {
+        return obj == o.obj && off == o.off && len == o.len;
+    }
+};
+
+/** Identity of a pure-call value: callee plus fully resolved args. */
+struct PureSig
+{
+    Builtin builtin = Builtin::None;
+    /** (object, offset) for each pointer argument, in position order. */
+    std::vector<std::pair<ObjectId, int64_t>> ptrArgs;
+    /** Constant values of the scalar arguments, in position order. */
+    std::vector<int64_t> scalarArgs;
+    /** Bytes whose mutation invalidates the value. */
+    std::vector<ReadRange> reads;
+
+    bool operator==(const PureSig &o) const
+    {
+        return builtin == o.builtin && ptrArgs == o.ptrArgs &&
+               scalarArgs == o.scalarArgs;
+    }
+
+    std::string str(const Module &mod) const;
+};
+
+/** Classification of a conditional branch. */
+enum class CondKind : uint8_t { Unknown, Range, PureCall };
+
+/** Everything the table builder needs to know about one branch. */
+struct BranchInfo
+{
+    uint32_t idx = 0;      ///< per-function branch index
+    BlockId block = kNoBlock;
+    uint32_t instIdx = 0;  ///< position of the Br within its block
+    uint64_t pc = 0;
+
+    CondKind kind = CondKind::Unknown;
+    /**
+     * Correlation location the branch tests (real LocId for Range, or
+     * numLocs + sigId for PureCall). Only meaningful if kind != Unknown.
+     */
+    uint32_t corrLoc = 0;
+    /** Values of the location for which the branch is taken. */
+    Interval takenSet;
+    /** Values for which it is not taken. */
+    Interval notTakenSet;
+    /**
+     * True if the same-block purity rule holds, i.e. the branch may be
+     * marked in the BCV and have its direction predicted.
+     */
+    bool checkable = false;
+};
+
+/**
+ * Per-function correlation result.
+ */
+struct FuncCorrelation
+{
+    FuncId func = kNoFunc;
+    std::vector<BranchInfo> branches;  ///< indexed by branch idx
+    std::vector<PureSig> sigs;         ///< virtual locations
+    /** Branch index of the Br instruction at (block, instIdx). */
+    std::map<std::pair<BlockId, uint32_t>, uint32_t> branchAt;
+
+    /** Number of corr locs = numLocs + sigs.size(). */
+    uint32_t numCorrLocs = 0;
+    /** corrLoc -> checkable branches testing it. */
+    std::vector<std::vector<uint32_t>> locBranches;
+
+    /** Count of checkable branches. */
+    uint32_t numCheckable() const;
+};
+
+/** Feature switches for ablation experiments (DESIGN.md §5.3). */
+struct CorrOptions
+{
+    bool affineChains = true;   ///< allow +/-const chains (Fig 3.c)
+    bool pureCalls = true;      ///< strncmp-style virtual locations
+    bool constStoreFacts = true;///< `x = 5` establishes x in [5,5]
+    bool memConstProp = true;   ///< treat single-constant scalars as
+                                ///< literals (SUIF-style const prop)
+    bool interprocArgs = true;  ///< resolve pure-call pointers through
+                                ///< monomorphic parameters
+};
+
+/**
+ * Classify every conditional branch of @p fn. Virtual pure-call
+ * locations are numbered from the module-wide location count.
+ * @p mc may be null to disable memory constant propagation.
+ */
+FuncCorrelation analyzeFunction(const Module &mod, const Function &fn,
+                                const LocTable &locs,
+                                const PointsTo &pt, const Effects &fx,
+                                const MemConsts *mc,
+                                const CorrOptions &opts);
+
+} // namespace ipds
+
+#endif // IPDS_CORE_CORRELATION_H

@@ -1,0 +1,62 @@
+#include "core/hashfn.h"
+
+#include <set>
+
+#include "support/diag.h"
+
+namespace ipds {
+
+namespace {
+
+/** True if @p p maps all @p pcs to distinct slots. */
+bool
+collisionFree(const HashParams &p, const std::vector<uint64_t> &pcs,
+              std::vector<uint8_t> &scratch)
+{
+    scratch.assign(p.space(), 0);
+    for (uint64_t pc : pcs) {
+        uint32_t slot = p.apply(pc);
+        if (scratch[slot])
+            return false;
+        scratch[slot] = 1;
+    }
+    return true;
+}
+
+} // namespace
+
+HashParams
+findPerfectHash(const std::vector<uint64_t> &pcs, uint8_t max_shift)
+{
+    {
+        std::set<uint64_t> uniq(pcs.begin(), pcs.end());
+        if (uniq.size() != pcs.size())
+            panic("findPerfectHash: duplicate branch PCs");
+    }
+
+    uint8_t log2 = 0;
+    while ((1u << log2) < pcs.size())
+        log2++;
+
+    std::vector<uint8_t> scratch;
+    uint32_t tries = 0;
+    for (; log2 < 31; log2++) {
+        for (uint8_t s1 = 1; s1 <= max_shift; s1++) {
+            for (uint8_t s2 = s1; s2 <= max_shift; s2++) {
+                HashParams p;
+                p.shift1 = s1;
+                p.shift2 = s2;
+                p.log2Space = log2;
+                tries++;
+                if (collisionFree(p, pcs, scratch)) {
+                    p.tries = tries;
+                    return p;
+                }
+            }
+        }
+    }
+    panic("findPerfectHash: no collision-free hash up to 2^31 slots "
+          "for %zu branches", pcs.size());
+}
+
+} // namespace ipds

@@ -1,0 +1,58 @@
+#ifndef IPDS_CORE_HASHFN_H
+#define IPDS_CORE_HASHFN_H
+
+/**
+ * @file
+ * Collision-free branch-PC hashing (paper §5.2).
+ *
+ * Branch PCs are hashed into the BSV/BCV/BAT index space with a
+ * parameterisable shift/XOR function. The compiler searches, by trial
+ * and error, for parameters that produce NO collisions among the
+ * function's branch PCs in the smallest power-of-two space, enlarging
+ * the space when the search fails. Because the function is
+ * collision-free, the runtime tables need no tags.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace ipds {
+
+/** The chosen hash function: parameters plus space size. */
+struct HashParams
+{
+    uint8_t shift1 = 0;    ///< first XOR-folding shift
+    uint8_t shift2 = 0;    ///< second XOR-folding shift
+    uint8_t log2Space = 0; ///< hash space size = 1 << log2Space
+    /** Number of parameter combinations tried before success. */
+    uint32_t tries = 0;
+
+    uint32_t space() const { return 1u << log2Space; }
+
+    /** Hash a branch PC into [0, space). Shift/XOR only. */
+    uint32_t
+    apply(uint64_t pc) const
+    {
+        uint64_t h = pc >> 2; // instructions are 4-byte aligned
+        h ^= h >> shift1;
+        h ^= h >> shift2;
+        return static_cast<uint32_t>(h & (space() - 1));
+    }
+};
+
+/**
+ * Find collision-free parameters for @p pcs.
+ *
+ * Starts from the smallest power-of-two space holding the PCs and, per
+ * space size, tries all (shift1, shift2) pairs up to @p max_shift;
+ * doubles the space on failure. Always succeeds eventually (a space
+ * large enough to index PCs directly is collision-free by construction).
+ *
+ * @param pcs distinct branch PCs (an empty list yields a 1-slot space).
+ */
+HashParams findPerfectHash(const std::vector<uint64_t> &pcs,
+                           uint8_t max_shift = 24);
+
+} // namespace ipds
+
+#endif // IPDS_CORE_HASHFN_H

@@ -1,0 +1,135 @@
+#include "core/image.h"
+
+#include "support/diag.h"
+
+namespace ipds {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x49504453; // "IPDS"
+constexpr uint32_t kVersion = 1;
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (int i = 0; i < 4; i++)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; i++)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t
+getU32(const std::vector<uint8_t> &in, size_t &pos)
+{
+    if (pos + 4 > in.size())
+        fatal("IPDS image truncated at byte %zu", pos);
+    uint32_t v = 0;
+    for (int i = 0; i < 4; i++)
+        v |= static_cast<uint32_t>(in[pos++]) << (8 * i);
+    return v;
+}
+
+uint64_t
+getU64(const std::vector<uint8_t> &in, size_t &pos)
+{
+    if (pos + 8 > in.size())
+        fatal("IPDS image truncated at byte %zu", pos);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; i++)
+        v |= static_cast<uint64_t>(in[pos++]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+buildImage(const CompiledProgram &prog)
+{
+    // Pack each function's tables first so offsets are known.
+    std::vector<std::vector<uint8_t>> packed;
+    packed.reserve(prog.funcs.size());
+    for (const auto &cf : prog.funcs)
+        packed.push_back(cf.tables.pack());
+
+    std::vector<uint8_t> out;
+    putU32(out, kMagic);
+    putU32(out, kVersion);
+    putU32(out, static_cast<uint32_t>(prog.funcs.size()));
+
+    // Function info table: fixed-size records.
+    uint64_t headerBytes = 12 +
+        static_cast<uint64_t>(prog.funcs.size()) * (8 + 8 + 8 + 3 + 5);
+    uint64_t cursor = headerBytes;
+    for (size_t i = 0; i < prog.funcs.size(); i++) {
+        const Function &fn = prog.mod.functions[i];
+        const HashParams &h = prog.funcs[i].tables.hash;
+        putU64(out, fn.entryPc);
+        putU64(out, cursor);
+        putU64(out, packed[i].size());
+        out.push_back(h.shift1);
+        out.push_back(h.shift2);
+        out.push_back(h.log2Space);
+        // Reserved padding keeps records 8-byte friendly.
+        for (int p = 0; p < 5; p++)
+            out.push_back(0);
+        cursor += packed[i].size();
+    }
+    if (out.size() != headerBytes)
+        panic("buildImage: header size accounting is off (%zu vs "
+              "%llu)", out.size(),
+              static_cast<unsigned long long>(headerBytes));
+
+    for (const auto &blob : packed)
+        out.insert(out.end(), blob.begin(), blob.end());
+    return out;
+}
+
+ProgramImage
+loadImage(const std::vector<uint8_t> &blob)
+{
+    size_t pos = 0;
+    if (getU32(blob, pos) != kMagic)
+        fatal("not an IPDS image (bad magic)");
+    if (getU32(blob, pos) != kVersion)
+        fatal("unsupported IPDS image version");
+    uint32_t count = getU32(blob, pos);
+    if (count > (1u << 20))
+        fatal("implausible function count %u in IPDS image", count);
+
+    ProgramImage img;
+    img.imageBytes = blob.size();
+    img.functions.reserve(count);
+    for (uint32_t i = 0; i < count; i++) {
+        FuncInfoEntry e;
+        e.func = i;
+        e.entryPc = getU64(blob, pos);
+        e.tableOffset = getU64(blob, pos);
+        e.tableBytes = getU64(blob, pos);
+        if (pos + 8 > blob.size())
+            fatal("IPDS image truncated in info record %u", i);
+        e.hash.shift1 = blob[pos++];
+        e.hash.shift2 = blob[pos++];
+        e.hash.log2Space = blob[pos++];
+        pos += 5; // reserved
+        if (e.tableOffset + e.tableBytes > blob.size())
+            fatal("IPDS image: table %u out of range", i);
+        img.functions.push_back(e);
+    }
+
+    img.tables.reserve(count);
+    for (const auto &e : img.functions) {
+        std::vector<uint8_t> sub(
+            blob.begin() + static_cast<ptrdiff_t>(e.tableOffset),
+            blob.begin() +
+                static_cast<ptrdiff_t>(e.tableOffset + e.tableBytes));
+        img.tables.push_back(FuncTables::unpack(sub, e.func));
+    }
+    return img;
+}
+
+} // namespace ipds

@@ -1,0 +1,60 @@
+#ifndef IPDS_CORE_IMAGE_H
+#define IPDS_CORE_IMAGE_H
+
+/**
+ * @file
+ * The IPDS program image (§5.4): everything the compiler attaches to
+ * the protected binary so the runtime system can check it —
+ *
+ *  - a function information table, one entry per function, carrying
+ *    the function's entry address, its hash-function parameters and
+ *    the offsets/sizes of its packed tables;
+ *  - the concatenated packed BCV/BAT images (the BSV is runtime state;
+ *    only its size is derived from the hash space).
+ *
+ * The image is a flat byte blob with a small header; load() round-
+ * trips it back into the runtime form the detector consumes. On the
+ * paper's hardware this blob is mapped into reserved, processor-
+ * protected memory at program load.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "core/program.h"
+
+namespace ipds {
+
+/** One entry of the function information table (§5.4). */
+struct FuncInfoEntry
+{
+    FuncId func = kNoFunc;
+    uint64_t entryPc = 0;
+    HashParams hash;
+    uint64_t tableOffset = 0; ///< byte offset of the packed tables
+    uint64_t tableBytes = 0;
+};
+
+/** A loaded program image. */
+struct ProgramImage
+{
+    std::vector<FuncInfoEntry> functions;
+    std::vector<FuncTables> tables; ///< indexed by FuncId
+
+    /** Total size in bytes of the serialized form. */
+    uint64_t imageBytes = 0;
+};
+
+/** Serialize every function's tables plus the info table. */
+std::vector<uint8_t> buildImage(const CompiledProgram &prog);
+
+/**
+ * Parse an image produced by buildImage. Throws FatalError on a
+ * malformed blob (bad magic, truncated table, out-of-range offsets) —
+ * a hostile image must never crash the loader.
+ */
+ProgramImage loadImage(const std::vector<uint8_t> &blob);
+
+} // namespace ipds
+
+#endif // IPDS_CORE_IMAGE_H

@@ -1,0 +1,285 @@
+#include "core/interval.h"
+
+#include <limits>
+
+#include "support/diag.h"
+
+namespace ipds {
+
+namespace {
+
+constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+
+/** a + b with overflow detection. */
+bool
+addOvf(int64_t a, int64_t b, int64_t &out)
+{
+    return __builtin_add_overflow(a, b, &out);
+}
+
+/** a - b with overflow detection. */
+bool
+subOvf(int64_t a, int64_t b, int64_t &out)
+{
+    return __builtin_sub_overflow(a, b, &out);
+}
+
+} // namespace
+
+Interval
+Interval::range(int64_t lo_, int64_t hi_)
+{
+    if (lo_ > hi_)
+        return empty();
+    Interval i;
+    i.hasLo = true;
+    i.hasHi = true;
+    i.lo = lo_;
+    i.hi = hi_;
+    return i;
+}
+
+Interval
+Interval::point(int64_t v)
+{
+    return range(v, v);
+}
+
+Interval
+Interval::empty()
+{
+    Interval i;
+    i.state = State::Empty;
+    return i;
+}
+
+Interval
+Interval::full()
+{
+    return Interval();
+}
+
+Interval
+Interval::invalid()
+{
+    Interval i;
+    i.state = State::Invalid;
+    return i;
+}
+
+Interval
+Interval::allBut(int64_t c)
+{
+    Interval i;
+    i.state = State::Punctured;
+    i.lo = c;
+    return i;
+}
+
+Interval
+Interval::fromPred(Pred pred, int64_t c)
+{
+    Interval i;
+    switch (pred) {
+      case Pred::EQ:
+        return point(c);
+      case Pred::NE:
+        return allBut(c);
+      case Pred::LT:
+        if (c == kMin)
+            return empty();
+        i.hasHi = true;
+        i.hi = c - 1;
+        return i;
+      case Pred::LE:
+        i.hasHi = true;
+        i.hi = c;
+        return i;
+      case Pred::GT:
+        if (c == kMax)
+            return empty();
+        i.hasLo = true;
+        i.lo = c + 1;
+        return i;
+      case Pred::GE:
+        i.hasLo = true;
+        i.lo = c;
+        return i;
+    }
+    panic("Interval::fromPred: bad predicate");
+}
+
+Interval
+Interval::fromAffineCond(int sign, int64_t offset, Pred pred, int64_t c)
+{
+    if (sign != 1 && sign != -1)
+        panic("fromAffineCond: sign must be +/-1, got %d", sign);
+    // Solve sign*v + offset <pred> c  =>  sign*v <pred> (c - offset).
+    int64_t rhs;
+    if (subOvf(c, offset, rhs))
+        return invalid();
+    if (sign == 1)
+        return fromPred(pred, rhs);
+    // -v <pred> rhs  =>  v <flipped-pred> -rhs.
+    if (rhs == kMin)
+        return invalid(); // -rhs overflows
+    int64_t nrhs = -rhs;
+    switch (pred) {
+      case Pred::EQ: return fromPred(Pred::EQ, nrhs);
+      case Pred::NE: return fromPred(Pred::NE, nrhs);
+      case Pred::LT: return fromPred(Pred::GT, nrhs);
+      case Pred::LE: return fromPred(Pred::GE, nrhs);
+      case Pred::GT: return fromPred(Pred::LT, nrhs);
+      case Pred::GE: return fromPred(Pred::LE, nrhs);
+    }
+    panic("fromAffineCond: bad predicate");
+}
+
+bool
+Interval::contains(int64_t v) const
+{
+    if (state == State::Punctured)
+        return v != lo;
+    if (state != State::Normal)
+        return false;
+    if (hasLo && v < lo)
+        return false;
+    if (hasHi && v > hi)
+        return false;
+    return true;
+}
+
+bool
+Interval::subsumedBy(const Interval &other) const
+{
+    if (state == State::Invalid || other.state == State::Invalid)
+        return false;
+    if (state == State::Empty)
+        return true;
+    if (other.state == State::Empty)
+        return false;
+    if (other.state == State::Punctured) {
+        if (state == State::Punctured)
+            return lo == other.lo;
+        // Normal ⊆ allBut(c) iff the interval misses c.
+        return !contains(other.lo);
+    }
+    if (state == State::Punctured) {
+        // allBut(c) is unbounded both ways: only full() contains it.
+        return other.isFull();
+    }
+    if (other.hasLo && (!hasLo || lo < other.lo))
+        return false;
+    if (other.hasHi && (!hasHi || hi > other.hi))
+        return false;
+    return true;
+}
+
+Interval
+Interval::affineImage(int sign, int64_t offset) const
+{
+    if (sign != 1 && sign != -1)
+        panic("affineImage: sign must be +/-1, got %d", sign);
+    if (state == State::Punctured) {
+        // allBut(c) maps to allBut(sign*c + offset).
+        int64_t scaled;
+        if (__builtin_mul_overflow(static_cast<int64_t>(sign), lo,
+                                   &scaled))
+            return invalid();
+        int64_t p;
+        if (__builtin_add_overflow(scaled, offset, &p))
+            return invalid();
+        return allBut(p);
+    }
+    if (state != State::Normal)
+        return *this;
+    Interval out;
+    if (sign == 1) {
+        out.hasLo = hasLo;
+        out.hasHi = hasHi;
+        if (hasLo && addOvf(lo, offset, out.lo))
+            return invalid();
+        if (hasHi && addOvf(hi, offset, out.hi))
+            return invalid();
+    } else {
+        // v -> -v + offset swaps and negates the bounds.
+        out.hasLo = hasHi;
+        out.hasHi = hasLo;
+        if (hasHi && subOvf(offset, hi, out.lo))
+            return invalid();
+        if (hasLo && subOvf(offset, lo, out.hi))
+            return invalid();
+    }
+    return out;
+}
+
+Interval
+Interval::intersect(const Interval &other) const
+{
+    if (state == State::Invalid || other.state == State::Invalid)
+        return invalid();
+    if (state == State::Empty || other.state == State::Empty)
+        return empty();
+    // Punctured intersections are widened to a superset (see header).
+    if (state == State::Punctured && other.state == State::Punctured)
+        return lo == other.lo ? *this : full();
+    if (state == State::Punctured)
+        return other;
+    if (other.state == State::Punctured)
+        return *this;
+    Interval out;
+    out.hasLo = hasLo || other.hasLo;
+    out.hasHi = hasHi || other.hasHi;
+    if (hasLo && other.hasLo)
+        out.lo = std::max(lo, other.lo);
+    else if (hasLo)
+        out.lo = lo;
+    else
+        out.lo = other.lo;
+    if (hasHi && other.hasHi)
+        out.hi = std::min(hi, other.hi);
+    else if (hasHi)
+        out.hi = hi;
+    else
+        out.hi = other.hi;
+    if (out.hasLo && out.hasHi && out.lo > out.hi)
+        return empty();
+    return out;
+}
+
+bool
+Interval::operator==(const Interval &o) const
+{
+    if (state != o.state)
+        return false;
+    if (state == State::Punctured)
+        return lo == o.lo;
+    if (state != State::Normal)
+        return true;
+    if (hasLo != o.hasLo || hasHi != o.hasHi)
+        return false;
+    if (hasLo && lo != o.lo)
+        return false;
+    if (hasHi && hi != o.hi)
+        return false;
+    return true;
+}
+
+std::string
+Interval::str() const
+{
+    if (state == State::Invalid)
+        return "<invalid>";
+    if (state == State::Empty)
+        return "<empty>";
+    if (state == State::Punctured)
+        return strprintf("!=%lld", static_cast<long long>(lo));
+    std::string l = hasLo ? strprintf("%lld", static_cast<long long>(lo))
+                          : "-inf";
+    std::string h = hasHi ? strprintf("%lld", static_cast<long long>(hi))
+                          : "+inf";
+    return "[" + l + ", " + h + "]";
+}
+
+} // namespace ipds

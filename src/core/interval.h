@@ -1,0 +1,129 @@
+#ifndef IPDS_CORE_INTERVAL_H
+#define IPDS_CORE_INTERVAL_H
+
+/**
+ * @file
+ * Integer value ranges and the subsumption relation at the heart of the
+ * paper's branch correlation (§4): branch bs's direction implies a range
+ * for a variable; if that range subsumes branch bl's trigger range, bl's
+ * outcome is forced.
+ *
+ * Ranges are closed intervals over signed 64-bit values with explicit
+ * infinities. All arithmetic detects overflow and degrades to "invalid"
+ * rather than wrapping — an invalid range makes a branch unckeckable,
+ * never incorrectly checked (zero-false-positive discipline).
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "ir/ir.h"
+
+namespace ipds {
+
+/**
+ * A value set over signed 64-bit integers: a closed interval [lo, hi]
+ * possibly unbounded on either side, a punctured line (everything but
+ * one point — the image of a != comparison), the empty set, or an
+ * invalid marker (analysis overflow — treat as unusable).
+ *
+ * Punctured sets matter in practice: the not-taken direction of an
+ * equality test (`strncmp(u, "admin", 5) == 0` falling through) must
+ * still force later identical tests not-taken, and "v != c" is not an
+ * interval.
+ */
+class Interval
+{
+  public:
+    /** The full interval (-inf, +inf). */
+    Interval() = default;
+
+    /** The interval [lo, hi]; empty if lo > hi. */
+    static Interval range(int64_t lo, int64_t hi);
+
+    /** The single point [v, v]. */
+    static Interval point(int64_t v);
+
+    /** The empty interval. */
+    static Interval empty();
+
+    /** The full interval. */
+    static Interval full();
+
+    /** An invalid (overflowed) interval. */
+    static Interval invalid();
+
+    /** Everything except the single point @p c. */
+    static Interval allBut(int64_t c);
+
+    /**
+     * The set of values v satisfying `v <pred> c`.
+     * E.g. fromPred(LT, 5) = (-inf, 4]; fromPred(NE, 5) = allBut(5).
+     */
+    static Interval fromPred(Pred pred, int64_t c);
+
+    /**
+     * The set of values v such that `sign*v + offset <pred> c`, i.e.
+     * the trigger range of a branch whose condition register is an
+     * affine transform of a loaded value. @p sign must be +1 or -1.
+     */
+    static Interval fromAffineCond(int sign, int64_t offset, Pred pred,
+                                   int64_t c);
+
+    bool isInvalid() const { return state == State::Invalid; }
+    bool isEmpty() const { return state == State::Empty; }
+    bool isFull() const
+    {
+        return state == State::Normal && !hasLo && !hasHi;
+    }
+    bool isPunctured() const { return state == State::Punctured; }
+
+    /** True if this is a single point. */
+    bool isPoint() const
+    {
+        return state == State::Normal && hasLo && hasHi && lo == hi;
+    }
+
+    /** True if @p v lies inside the interval. */
+    bool contains(int64_t v) const;
+
+    /**
+     * Subsumption: every value in this interval is also in @p other
+     * (i.e. this ⊆ other). Invalid intervals subsume nothing and are
+     * subsumed by nothing. The empty interval is subsumed by anything.
+     */
+    bool subsumedBy(const Interval &other) const;
+
+    /**
+     * The image of this interval under v -> sign*v + offset. Returns
+     * invalid() if a bound would overflow. Used to push a range through
+     * an affine chain (paper Figure 3.c: y < 5 implies y-1 < 4).
+     */
+    Interval affineImage(int sign, int64_t offset) const;
+
+    /**
+     * Intersection, conservatively widened where the exact result is
+     * not representable (punctured ∩ interval): the returned set is
+     * always a superset of the true intersection, which in this
+     * codebase can only lose detection precision, never soundness.
+     */
+    Interval intersect(const Interval &other) const;
+
+    bool operator==(const Interval &o) const;
+
+    /** Render "[lo, hi]" with "-inf"/"+inf" for missing bounds. */
+    std::string str() const;
+
+  private:
+    enum class State : uint8_t { Normal, Empty, Invalid, Punctured };
+
+    State state = State::Normal;
+    bool hasLo = false;
+    bool hasHi = false;
+    int64_t lo = 0; ///< lower bound; excluded point when Punctured
+    int64_t hi = 0;
+};
+
+} // namespace ipds
+
+#endif // IPDS_CORE_INTERVAL_H

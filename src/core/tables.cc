@@ -1,0 +1,187 @@
+#include "core/tables.h"
+
+#include "support/bitstream.h"
+#include "support/diag.h"
+
+namespace ipds {
+
+FuncTables
+layoutTables(const FuncBat &bat)
+{
+    FuncTables t;
+    t.func = bat.func;
+    t.numBranches = bat.numBranches;
+    t.hash = findPerfectHash(bat.branchPcs);
+
+    uint32_t space = t.hash.space();
+    t.slotOfBranch.resize(bat.numBranches);
+    t.bcv.assign(space, false);
+    t.onTaken.resize(space);
+    t.onNotTaken.resize(space);
+
+    for (uint32_t i = 0; i < bat.numBranches; i++)
+        t.slotOfBranch[i] = t.hash.apply(bat.branchPcs[i]);
+
+    auto remapList = [&](const ActionList &src) {
+        std::vector<SlotAction> out;
+        out.reserve(src.size());
+        for (const auto &[bidx, act] : src)
+            out.push_back({t.slotOfBranch[bidx], act});
+        return out;
+    };
+
+    for (uint32_t i = 0; i < bat.numBranches; i++) {
+        uint32_t slot = t.slotOfBranch[i];
+        t.bcv[slot] = bat.bcv[i];
+        t.onTaken[slot] = remapList(bat.onTaken[i]);
+        t.onNotTaken[slot] = remapList(bat.onNotTaken[i]);
+    }
+    t.entryActions = remapList(bat.entryActions);
+
+    // --- bit accounting (Figure 8) -----------------------------------
+    uint64_t nActions = bat.totalActions();
+    unsigned ptrBits = bitsFor(nActions);
+    unsigned entryBits = t.hash.log2Space + 3;
+    t.bsvBits = 2ULL * space;
+    t.bcvBits = space;
+    t.batBits =
+        (2ULL * space + 1) * ptrBits + nActions * entryBits;
+    return t;
+}
+
+std::vector<uint8_t>
+FuncTables::pack() const
+{
+    BitWriter w;
+    uint32_t space = hash.space();
+
+    // Count actions first; the pool-pointer width depends on it.
+    uint64_t nActions = entryActions.size();
+    for (const auto &l : onTaken)
+        nActions += l.size();
+    for (const auto &l : onNotTaken)
+        nActions += l.size();
+    unsigned ptrBits = bitsFor(nActions);
+
+    // Preamble (parse metadata; lives in the function info table, not
+    // counted in the Figure-8 BAT size).
+    w.put(hash.log2Space, 5);
+    w.put(hash.shift1, 5);
+    w.put(hash.shift2, 5);
+    w.put(nActions, 32);
+
+    // BCV.
+    for (uint32_t s = 0; s < space; s++)
+        w.put(bcv[s] ? 1 : 0, 1);
+
+    // BAT headers: list start pointers (1-based; 0 = empty), in the
+    // fixed order taken[0..], nottaken[0..], entry.
+    uint64_t cursor = 0;
+    auto headerFor = [&](const std::vector<SlotAction> &l) {
+        uint64_t ptr = l.empty() ? 0 : cursor + 1;
+        cursor += l.size();
+        w.put(ptr, ptrBits);
+    };
+    for (uint32_t s = 0; s < space; s++)
+        headerFor(onTaken[s]);
+    for (uint32_t s = 0; s < space; s++)
+        headerFor(onNotTaken[s]);
+    headerFor(entryActions);
+
+    // Action pool, same order.
+    auto poolFor = [&](const std::vector<SlotAction> &l) {
+        for (size_t i = 0; i < l.size(); i++) {
+            w.put(l[i].slot, hash.log2Space == 0 ? 1 : hash.log2Space);
+            w.put(static_cast<uint64_t>(l[i].act), 2);
+            w.put(i + 1 == l.size() ? 1 : 0, 1);
+        }
+    };
+    for (uint32_t s = 0; s < space; s++)
+        poolFor(onTaken[s]);
+    for (uint32_t s = 0; s < space; s++)
+        poolFor(onNotTaken[s]);
+    poolFor(entryActions);
+
+    return w.bytes();
+}
+
+FuncTables
+FuncTables::unpack(const std::vector<uint8_t> &image, FuncId func)
+{
+    if (image.size() < 6)
+        fatal("packed tables truncated (only %zu bytes)",
+              image.size());
+    BitReader r(image);
+    FuncTables t;
+    t.func = func;
+    t.hash.log2Space = static_cast<uint8_t>(r.get(5));
+    t.hash.shift1 = static_cast<uint8_t>(r.get(5));
+    t.hash.shift2 = static_cast<uint8_t>(r.get(5));
+    uint64_t nActions = r.get(32);
+    unsigned ptrBits = bitsFor(nActions);
+    uint32_t space = t.hash.space();
+    unsigned slotBits = t.hash.log2Space == 0 ? 1 : t.hash.log2Space;
+
+    // A hostile/corrupted image must be rejected, not trusted: check
+    // that every field announced by the header actually fits before
+    // reading (or allocating) anything.
+    uint64_t avail = static_cast<uint64_t>(image.size()) * 8;
+    uint64_t need = 47 + static_cast<uint64_t>(space) +
+        (2ULL * space + 1) * ptrBits + nActions * (slotBits + 3);
+    if (t.hash.log2Space > 24 || need > avail)
+        fatal("packed tables inconsistent: header announces %llu "
+              "bits, image holds %llu",
+              static_cast<unsigned long long>(need),
+              static_cast<unsigned long long>(avail));
+
+    t.bcv.resize(space);
+    for (uint32_t s = 0; s < space; s++)
+        t.bcv[s] = r.get(1) != 0;
+
+    std::vector<uint64_t> ptrs(2 * space + 1);
+    for (auto &p : ptrs)
+        p = r.get(ptrBits);
+
+    struct PoolEntry
+    {
+        SlotAction sa;
+        bool last;
+    };
+    std::vector<PoolEntry> pool(nActions);
+    for (auto &e : pool) {
+        e.sa.slot = static_cast<uint32_t>(r.get(slotBits));
+        if (e.sa.slot >= space)
+            fatal("packed tables corrupt: action slot %u outside "
+                  "hash space %u", e.sa.slot, space);
+        e.sa.act = static_cast<BrAction>(r.get(2));
+        e.last = r.get(1) != 0;
+    }
+
+    auto listAt = [&](uint64_t ptr) {
+        std::vector<SlotAction> out;
+        if (ptr == 0)
+            return out;
+        for (uint64_t i = ptr - 1; i < pool.size(); i++) {
+            out.push_back(pool[i].sa);
+            if (pool[i].last)
+                break;
+        }
+        return out;
+    };
+
+    t.onTaken.resize(space);
+    t.onNotTaken.resize(space);
+    for (uint32_t s = 0; s < space; s++)
+        t.onTaken[s] = listAt(ptrs[s]);
+    for (uint32_t s = 0; s < space; s++)
+        t.onNotTaken[s] = listAt(ptrs[space + s]);
+    t.entryActions = listAt(ptrs[2 * space]);
+
+    t.bsvBits = 2ULL * space;
+    t.bcvBits = space;
+    t.batBits = (2ULL * space + 1) * ptrBits +
+        nActions * (t.hash.log2Space + 3);
+    return t;
+}
+
+} // namespace ipds

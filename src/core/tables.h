@@ -1,0 +1,79 @@
+#ifndef IPDS_CORE_TABLES_H
+#define IPDS_CORE_TABLES_H
+
+/**
+ * @file
+ * Slot-space table layout (paper §5.2): the logical FuncBat, rekeyed by
+ * collision-free hash slots, with exact bit-size accounting and a
+ * packed binary image.
+ *
+ * Layout of the packed image (all fields LSB-first):
+ *
+ *   header:  log2Space (5) | shift1 (5) | shift2 (5)
+ *   BCV:     1 bit per slot
+ *   BAT:     per slot and per direction a list pointer
+ *            (bitsFor(numActions) bits; 0 = empty, k = entry k-1),
+ *            one more pointer for the entry-action list, then the
+ *            action pool: each entry is target slot (log2Space bits),
+ *            action (2 bits), last-in-list flag (1 bit).
+ *
+ * The BSV itself is runtime state (2 bits per slot, initially UNKNOWN);
+ * its *size* is accounted here because Figure 8 reports it per function.
+ */
+
+#include <vector>
+
+#include "core/batbuild.h"
+#include "core/hashfn.h"
+
+namespace ipds {
+
+/** One packed action. */
+struct SlotAction
+{
+    uint32_t slot = 0;
+    BrAction act = BrAction::NC;
+};
+
+/**
+ * Per-function tables in slot space, ready for the runtime detector.
+ */
+struct FuncTables
+{
+    FuncId func = kNoFunc;
+    HashParams hash;
+    uint32_t numBranches = 0;
+
+    /** branch idx -> slot (for tests and reports). */
+    std::vector<uint32_t> slotOfBranch;
+    /** BCV, indexed by slot. */
+    std::vector<bool> bcv;
+    /** BAT action lists, indexed by slot. */
+    std::vector<std::vector<SlotAction>> onTaken;
+    std::vector<std::vector<SlotAction>> onNotTaken;
+    /** Actions applied on function entry. */
+    std::vector<SlotAction> entryActions;
+
+    /** Table sizes in bits (Figure 8 accounting). */
+    uint64_t bsvBits = 0;
+    uint64_t bcvBits = 0;
+    uint64_t batBits = 0;
+
+    /** Serialize BCV+BAT into the binary image described above. */
+    std::vector<uint8_t> pack() const;
+
+    /**
+     * Parse a packed image back (hash params from the header; action
+     * lists deduplicated by pointer equality are re-expanded). Used by
+     * tests to prove the attached-binary round trip.
+     */
+    static FuncTables unpack(const std::vector<uint8_t> &image,
+                             FuncId func);
+};
+
+/** Rekey @p bat into slot space using a fresh perfect hash. */
+FuncTables layoutTables(const FuncBat &bat);
+
+} // namespace ipds
+
+#endif // IPDS_CORE_TABLES_H

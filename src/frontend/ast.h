@@ -1,0 +1,171 @@
+#ifndef IPDS_FRONTEND_AST_H
+#define IPDS_FRONTEND_AST_H
+
+/**
+ * @file
+ * Abstract syntax tree for MiniC. Nodes are owned via unique_ptr; the
+ * parser produces a Program which the code generator lowers to IR.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ipds {
+
+/** Surface types. Arrays are a property of declarations, not of Type. */
+enum class MiniTy : uint8_t
+{
+    Int,     ///< 64-bit signed integer
+    Char,    ///< 8-bit unsigned byte
+    PtrInt,  ///< pointer to int
+    PtrChar, ///< pointer to char
+    Void,    ///< function return only
+};
+
+/** True for the two pointer types. */
+inline bool
+isPtr(MiniTy t)
+{
+    return t == MiniTy::PtrInt || t == MiniTy::PtrChar;
+}
+
+/** Size in bytes of the pointee of a pointer type. */
+inline uint32_t
+pointeeSize(MiniTy t)
+{
+    return t == MiniTy::PtrChar ? 1u : 8u;
+}
+
+// --------------------------------------------------------------------
+// Expressions
+// --------------------------------------------------------------------
+
+enum class ExprKind : uint8_t
+{
+    IntLit,   ///< integer / char literal
+    StrLit,   ///< string literal (decays to const char*)
+    Var,      ///< identifier reference
+    Index,    ///< base[index]
+    Deref,    ///< *ptr
+    AddrOf,   ///< &var
+    Unary,    ///< -e, !e
+    Binary,   ///< e1 op e2 (arith, compare, logical)
+    Call,     ///< f(args...)
+};
+
+enum class UnOp : uint8_t { Neg, Not };
+
+enum class BinKind : uint8_t
+{
+    Add, Sub, Mul, Div, Rem, BitAnd, BitOr, BitXor, Shl, Shr,
+    Eq, Ne, Lt, Le, Gt, Ge, LogAnd, LogOr,
+};
+
+struct Expr
+{
+    ExprKind kind;
+    uint32_t line = 0;
+
+    int64_t intValue = 0;            ///< IntLit
+    std::string strValue;            ///< StrLit bytes (no NUL)
+    std::string name;                ///< Var / Call callee / AddrOf target
+    UnOp unOp = UnOp::Neg;           ///< Unary
+    BinKind binOp = BinKind::Add;    ///< Binary
+    std::unique_ptr<Expr> lhs;       ///< Binary lhs / Index base /
+                                     ///< Deref operand / Unary operand
+    std::unique_ptr<Expr> rhs;       ///< Binary rhs / Index subscript
+    std::vector<std::unique_ptr<Expr>> args; ///< Call arguments
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+// --------------------------------------------------------------------
+// Statements
+// --------------------------------------------------------------------
+
+enum class StmtKind : uint8_t
+{
+    Decl,     ///< local variable declaration
+    Assign,   ///< lvalue = expr
+    If,       ///< if/else
+    While,    ///< while loop
+    For,      ///< for loop (desugared while)
+    Return,   ///< return [expr]
+    ExprStmt, ///< expression (call) for side effects
+    Block,    ///< { ... }
+    Break,
+    Continue,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt
+{
+    StmtKind kind;
+    uint32_t line = 0;
+
+    // Decl
+    MiniTy declTy = MiniTy::Int;
+    std::string declName;
+    uint32_t arrayLen = 0; ///< 0 => scalar
+
+    // Assign: target (Var/Index/Deref) = value
+    ExprPtr target;
+    ExprPtr value;
+
+    // If/While/For: cond; For also init/step statements
+    ExprPtr cond;
+    StmtPtr init;
+    StmtPtr step;
+    StmtPtr thenBody;
+    StmtPtr elseBody;
+
+    // Return / ExprStmt
+    ExprPtr expr;
+
+    // Block
+    std::vector<StmtPtr> body;
+};
+
+// --------------------------------------------------------------------
+// Declarations
+// --------------------------------------------------------------------
+
+struct ParamDecl
+{
+    MiniTy ty = MiniTy::Int;
+    std::string name;
+};
+
+struct FuncDecl
+{
+    std::string name;
+    MiniTy retTy = MiniTy::Void;
+    std::vector<ParamDecl> params;
+    StmtPtr body;
+    uint32_t line = 0;
+};
+
+struct GlobalDecl
+{
+    MiniTy ty = MiniTy::Int;
+    std::string name;
+    uint32_t arrayLen = 0;     ///< 0 => scalar
+    bool hasInit = false;
+    int64_t initInt = 0;       ///< scalar initializer
+    std::string initStr;       ///< char-array initializer
+    uint32_t line = 0;
+};
+
+struct Program
+{
+    std::vector<GlobalDecl> globals;
+    std::vector<FuncDecl> functions;
+};
+
+} // namespace ipds
+
+#endif // IPDS_FRONTEND_AST_H

@@ -1,0 +1,719 @@
+#include "frontend/codegen.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "frontend/parser.h"
+#include "ir/builder.h"
+#include "support/diag.h"
+
+namespace ipds {
+
+namespace {
+
+/** A typed value: the vreg holding it plus its surface type. */
+struct Value
+{
+    Vreg reg = kNoVreg;
+    MiniTy ty = MiniTy::Int;
+};
+
+/** What a name refers to inside a function. */
+struct VarInfo
+{
+    ObjectId obj = kNoObject;
+    MiniTy ty = MiniTy::Int; ///< element type for arrays
+    bool isArray = false;
+};
+
+/** Width of a scalar of type @p ty when stored in memory. */
+MemSize
+memSizeOf(MiniTy ty)
+{
+    return ty == MiniTy::Char ? MemSize::I8 : MemSize::I64;
+}
+
+class CodeGen
+{
+  public:
+    explicit CodeGen(const Program &prog, const std::string &mod_name)
+        : prog(prog)
+    {
+        mod.name = mod_name;
+    }
+
+    Module
+    run()
+    {
+        declareGlobals();
+        declareFunctions();
+        for (const auto &fd : prog.functions)
+            genFunction(fd);
+        FuncId mainId = mod.findFunction("main");
+        if (mainId == kNoFunc)
+            fatal("program has no 'main' function");
+        mod.entry = mainId;
+        return std::move(mod);
+    }
+
+  private:
+    // ---- program-level tables ---------------------------------------
+
+    void
+    declareGlobals()
+    {
+        for (const auto &g : prog.globals) {
+            if (globals.count(g.name))
+                fatal("line %u: duplicate global '%s'",
+                      g.line, g.name.c_str());
+            MemObject obj;
+            obj.name = g.name;
+            obj.kind = ObjectKind::Global;
+            VarInfo info;
+            info.ty = g.ty;
+            if (g.arrayLen > 0) {
+                info.isArray = true;
+                obj.isArray = true;
+                obj.elem = memSizeOf(g.ty);
+                obj.size = g.arrayLen *
+                    static_cast<uint32_t>(obj.elem);
+            } else {
+                obj.size = static_cast<uint32_t>(memSizeOf(g.ty));
+            }
+            if (g.hasInit) {
+                if (!g.initStr.empty() || (g.arrayLen && g.ty ==
+                                           MiniTy::Char)) {
+                    obj.init.assign(g.initStr.begin(), g.initStr.end());
+                    obj.init.push_back(0);
+                    if (obj.init.size() > obj.size)
+                        fatal("line %u: initializer longer than '%s'",
+                              g.line, g.name.c_str());
+                } else {
+                    uint64_t v = static_cast<uint64_t>(g.initInt);
+                    for (uint32_t i = 0; i < obj.size && i < 8; i++)
+                        obj.init.push_back(
+                            static_cast<uint8_t>(v >> (8 * i)));
+                }
+            }
+            info.obj = mod.addObject(std::move(obj));
+            globals.emplace(g.name, info);
+        }
+    }
+
+    void
+    declareFunctions()
+    {
+        for (const auto &fd : prog.functions) {
+            if (funcIds.count(fd.name))
+                fatal("line %u: duplicate function '%s'",
+                      fd.line, fd.name.c_str());
+            if (builtinByName(fd.name) != Builtin::None)
+                fatal("line %u: '%s' shadows a builtin",
+                      fd.line, fd.name.c_str());
+            FuncId id = static_cast<FuncId>(funcIds.size());
+            funcIds.emplace(fd.name, id);
+        }
+    }
+
+    /** Intern a string literal as a NUL-terminated const object. */
+    ObjectId
+    internString(const std::string &bytes)
+    {
+        auto it = stringPool.find(bytes);
+        if (it != stringPool.end())
+            return it->second;
+        MemObject obj;
+        obj.name = strprintf("$str%zu", stringPool.size());
+        obj.kind = ObjectKind::Const;
+        obj.isArray = true;
+        obj.elem = MemSize::I8;
+        obj.init.assign(bytes.begin(), bytes.end());
+        obj.init.push_back(0);
+        obj.size = static_cast<uint32_t>(obj.init.size());
+        ObjectId oid = mod.addObject(std::move(obj));
+        stringPool.emplace(bytes, oid);
+        return oid;
+    }
+
+    // ---- function-level state ---------------------------------------
+
+    struct LoopCtx
+    {
+        BlockId continueTo;
+        BlockId breakTo;
+    };
+
+    void
+    genFunction(const FuncDecl &fd)
+    {
+        bool retsValue = fd.retTy != MiniTy::Void;
+        fb = std::make_unique<FuncBuilder>(
+            mod, fd.name, static_cast<uint32_t>(fd.params.size()),
+            retsValue);
+        if (fb->funcId() != funcIds.at(fd.name))
+            panic("function id mismatch for %s", fd.name.c_str());
+
+        locals.clear();
+        loops.clear();
+        curRetTy = fd.retTy;
+        tempCount = 0;
+
+        // Spill parameters to memory slots so they are attackable and
+        // analyzable memory-resident variables.
+        for (size_t i = 0; i < fd.params.size(); i++) {
+            const auto &p = fd.params[i];
+            if (locals.count(p.name))
+                fatal("line %u: duplicate parameter '%s'",
+                      fd.line, p.name.c_str());
+            VarInfo info;
+            info.ty = p.ty;
+            info.obj = fb->addLocal(
+                p.name, static_cast<uint32_t>(memSizeOf(p.ty)));
+            locals.emplace(p.name, info);
+            Vreg v = fb->getArg(static_cast<uint32_t>(i));
+            fb->store(info.obj, v, 0, memSizeOf(p.ty));
+        }
+
+        genStmt(*fd.body);
+
+        if (!fb->blockTerminated()) {
+            if (retsValue)
+                fb->ret(fb->constInt(0));
+            else
+                fb->ret();
+        }
+        fb->finish();
+        fb.reset();
+    }
+
+    VarInfo
+    lookupVar(const std::string &name, uint32_t line)
+    {
+        auto it = locals.find(name);
+        if (it != locals.end())
+            return it->second;
+        auto git = globals.find(name);
+        if (git != globals.end())
+            return git->second;
+        fatal("line %u: undeclared variable '%s'", line, name.c_str());
+    }
+
+    // ---- statements --------------------------------------------------
+
+    void
+    genStmt(const Stmt &s)
+    {
+        fb->setLine(s.line);
+        switch (s.kind) {
+          case StmtKind::Block:
+            for (const auto &child : s.body)
+                genStmt(*child);
+            break;
+          case StmtKind::Decl:
+            genDecl(s);
+            break;
+          case StmtKind::Assign:
+            genAssign(s);
+            break;
+          case StmtKind::If:
+            genIf(s);
+            break;
+          case StmtKind::While:
+            genWhile(s);
+            break;
+          case StmtKind::For:
+            genFor(s);
+            break;
+          case StmtKind::Return:
+            genReturn(s);
+            break;
+          case StmtKind::ExprStmt:
+            genExpr(*s.expr);
+            break;
+          case StmtKind::Break: {
+            if (loops.empty())
+                fatal("line %u: break outside a loop", s.line);
+            fb->jmp(loops.back().breakTo);
+            startDeadBlock();
+            break;
+          }
+          case StmtKind::Continue: {
+            if (loops.empty())
+                fatal("line %u: continue outside a loop", s.line);
+            fb->jmp(loops.back().continueTo);
+            startDeadBlock();
+            break;
+          }
+        }
+    }
+
+    /** After an explicit terminator, park codegen in a fresh block. */
+    void
+    startDeadBlock()
+    {
+        BlockId dead = fb->newBlock("dead");
+        fb->setBlock(dead);
+    }
+
+    void
+    genDecl(const Stmt &s)
+    {
+        if (locals.count(s.declName))
+            fatal("line %u: duplicate local '%s'",
+                  s.line, s.declName.c_str());
+        VarInfo info;
+        info.ty = s.declTy;
+        if (s.arrayLen > 0) {
+            info.isArray = true;
+            MemSize elem = memSizeOf(s.declTy);
+            info.obj = fb->addArray(
+                s.declName,
+                s.arrayLen * static_cast<uint32_t>(elem), elem);
+        } else {
+            info.obj = fb->addLocal(
+                s.declName, static_cast<uint32_t>(memSizeOf(s.declTy)));
+        }
+        locals.emplace(s.declName, info);
+    }
+
+    void
+    genAssign(const Stmt &s)
+    {
+        const Expr &t = *s.target;
+        Value v = genExpr(*s.value);
+        switch (t.kind) {
+          case ExprKind::Var: {
+            VarInfo info = lookupVar(t.name, t.line);
+            if (info.isArray)
+                fatal("line %u: cannot assign to array '%s'",
+                      t.line, t.name.c_str());
+            fb->store(info.obj, v.reg, 0, memSizeOf(info.ty));
+            break;
+          }
+          case ExprKind::Index: {
+            auto [addr, elem, direct] = genIndexAddr(t);
+            if (direct.first) {
+                fb->store(direct.second.obj, v.reg, direct.second.off,
+                          elem);
+            } else {
+                fb->storeInd(addr, v.reg, elem);
+            }
+            break;
+          }
+          case ExprKind::Deref: {
+            Value p = genExpr(*t.lhs);
+            if (!isPtr(p.ty))
+                fatal("line %u: dereference of non-pointer", t.line);
+            MemSize elem =
+                p.ty == MiniTy::PtrChar ? MemSize::I8 : MemSize::I64;
+            fb->storeInd(p.reg, v.reg, elem);
+            break;
+          }
+          default:
+            fatal("line %u: invalid assignment target", t.line);
+        }
+    }
+
+    void
+    genIf(const Stmt &s)
+    {
+        BlockId thenB = fb->newBlock("then");
+        BlockId elseB = s.elseBody ? fb->newBlock("else") : kNoBlock;
+        BlockId done = fb->newBlock("endif");
+        genCondBr(*s.cond, thenB, s.elseBody ? elseB : done);
+        fb->setBlock(thenB);
+        genStmt(*s.thenBody);
+        if (!fb->blockTerminated())
+            fb->jmp(done);
+        if (s.elseBody) {
+            fb->setBlock(elseB);
+            genStmt(*s.elseBody);
+            if (!fb->blockTerminated())
+                fb->jmp(done);
+        }
+        fb->setBlock(done);
+    }
+
+    void
+    genWhile(const Stmt &s)
+    {
+        BlockId head = fb->newBlock("while.head");
+        BlockId body = fb->newBlock("while.body");
+        BlockId done = fb->newBlock("while.done");
+        fb->jmp(head);
+        fb->setBlock(head);
+        genCondBr(*s.cond, body, done);
+        fb->setBlock(body);
+        loops.push_back({head, done});
+        genStmt(*s.thenBody);
+        loops.pop_back();
+        if (!fb->blockTerminated())
+            fb->jmp(head);
+        fb->setBlock(done);
+    }
+
+    void
+    genFor(const Stmt &s)
+    {
+        if (s.init)
+            genStmt(*s.init);
+        BlockId head = fb->newBlock("for.head");
+        BlockId body = fb->newBlock("for.body");
+        BlockId stepB = fb->newBlock("for.step");
+        BlockId done = fb->newBlock("for.done");
+        fb->jmp(head);
+        fb->setBlock(head);
+        if (s.cond)
+            genCondBr(*s.cond, body, done);
+        else
+            fb->jmp(body);
+        fb->setBlock(body);
+        loops.push_back({stepB, done});
+        genStmt(*s.thenBody);
+        loops.pop_back();
+        if (!fb->blockTerminated())
+            fb->jmp(stepB);
+        fb->setBlock(stepB);
+        if (s.step)
+            genStmt(*s.step);
+        fb->jmp(head);
+        fb->setBlock(done);
+    }
+
+    void
+    genReturn(const Stmt &s)
+    {
+        if (curRetTy == MiniTy::Void) {
+            if (s.expr)
+                fatal("line %u: returning a value from void function",
+                      s.line);
+            fb->ret();
+        } else {
+            if (!s.expr)
+                fatal("line %u: missing return value", s.line);
+            Value v = genExpr(*s.expr);
+            fb->ret(v.reg);
+        }
+        startDeadBlock();
+    }
+
+    // ---- conditions ---------------------------------------------------
+
+    /**
+     * Emit control flow for a condition: jump to @p t_blk if @p e is
+     * true, @p f_blk otherwise. Logical operators become CFG structure;
+     * comparisons feed Br directly.
+     */
+    void
+    genCondBr(const Expr &e, BlockId t_blk, BlockId f_blk)
+    {
+        if (e.kind == ExprKind::Binary && e.binOp == BinKind::LogAnd) {
+            BlockId mid = fb->newBlock("and.rhs");
+            genCondBr(*e.lhs, mid, f_blk);
+            fb->setBlock(mid);
+            genCondBr(*e.rhs, t_blk, f_blk);
+            return;
+        }
+        if (e.kind == ExprKind::Binary && e.binOp == BinKind::LogOr) {
+            BlockId mid = fb->newBlock("or.rhs");
+            genCondBr(*e.lhs, t_blk, mid);
+            fb->setBlock(mid);
+            genCondBr(*e.rhs, t_blk, f_blk);
+            return;
+        }
+        if (e.kind == ExprKind::Unary && e.unOp == UnOp::Not) {
+            genCondBr(*e.lhs, f_blk, t_blk);
+            return;
+        }
+        if (e.kind == ExprKind::Binary && isComparison(e.binOp)) {
+            Value a = genExpr(*e.lhs);
+            Value b = genExpr(*e.rhs);
+            Vreg c = fb->cmp(predFor(e.binOp), a.reg, b.reg);
+            fb->br(c, t_blk, f_blk);
+            return;
+        }
+        // Fallback: value != 0.
+        Value v = genExpr(e);
+        Vreg zero = fb->constInt(0);
+        Vreg c = fb->cmp(Pred::NE, v.reg, zero);
+        fb->br(c, t_blk, f_blk);
+    }
+
+    static bool
+    isComparison(BinKind k)
+    {
+        switch (k) {
+          case BinKind::Eq: case BinKind::Ne: case BinKind::Lt:
+          case BinKind::Le: case BinKind::Gt: case BinKind::Ge:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    static Pred
+    predFor(BinKind k)
+    {
+        switch (k) {
+          case BinKind::Eq: return Pred::EQ;
+          case BinKind::Ne: return Pred::NE;
+          case BinKind::Lt: return Pred::LT;
+          case BinKind::Le: return Pred::LE;
+          case BinKind::Gt: return Pred::GT;
+          case BinKind::Ge: return Pred::GE;
+          default: panic("predFor: not a comparison");
+        }
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    /** Direct-access description for constant-index array accesses. */
+    struct DirectAccess
+    {
+        ObjectId obj = kNoObject;
+        int64_t off = 0;
+    };
+
+    /**
+     * Compute the address of base[index]. Returns the address vreg, the
+     * element width, and — when the index is a compile-time constant
+     * into a named array — a direct (object, offset) description so the
+     * caller can emit a uniquely-aliased access instead.
+     */
+    std::tuple<Vreg, MemSize, std::pair<bool, DirectAccess>>
+    genIndexAddr(const Expr &e)
+    {
+        const Expr &base = *e.lhs;
+        // Constant index into a named array => direct access.
+        if (base.kind == ExprKind::Var &&
+            e.rhs->kind == ExprKind::IntLit) {
+            VarInfo info = lookupVar(base.name, base.line);
+            if (info.isArray) {
+                MemSize elem = memSizeOf(info.ty);
+                int64_t off = e.rhs->intValue *
+                    static_cast<int64_t>(elem);
+                const MemObject &obj = mod.objects[info.obj];
+                if (off < 0 ||
+                    off + static_cast<int64_t>(elem) >
+                        static_cast<int64_t>(obj.size)) {
+                    fatal("line %u: constant index out of bounds for "
+                          "'%s'", e.line, base.name.c_str());
+                }
+                DirectAccess da{info.obj, off};
+                return {kNoVreg, elem, {true, da}};
+            }
+        }
+        Value b = genExpr(base);
+        if (!isPtr(b.ty))
+            fatal("line %u: subscript of non-array/pointer", e.line);
+        MemSize elem =
+            b.ty == MiniTy::PtrChar ? MemSize::I8 : MemSize::I64;
+        Value idx = genExpr(*e.rhs);
+        Vreg scaled = idx.reg;
+        if (elem == MemSize::I64) {
+            Vreg eight = fb->constInt(8);
+            scaled = fb->bin(BinOp::Mul, idx.reg, eight);
+        }
+        Vreg addr = fb->bin(BinOp::Add, b.reg, scaled);
+        return {addr, elem, {false, {}}};
+    }
+
+    Value
+    genExpr(const Expr &e)
+    {
+        fb->setLine(e.line);
+        switch (e.kind) {
+          case ExprKind::IntLit:
+            return {fb->constInt(e.intValue), MiniTy::Int};
+          case ExprKind::StrLit: {
+            ObjectId oid = internString(e.strValue);
+            return {fb->addrOf(oid), MiniTy::PtrChar};
+          }
+          case ExprKind::Var: {
+            VarInfo info = lookupVar(e.name, e.line);
+            if (info.isArray) {
+                // Array decays to a pointer to its first element.
+                MiniTy pty = info.ty == MiniTy::Char ? MiniTy::PtrChar
+                                                     : MiniTy::PtrInt;
+                return {fb->addrOf(info.obj), pty};
+            }
+            Vreg v = fb->load(info.obj, 0, memSizeOf(info.ty));
+            return {v, info.ty};
+          }
+          case ExprKind::Index: {
+            auto [addr, elem, direct] = genIndexAddr(e);
+            MiniTy ty = elem == MemSize::I8 ? MiniTy::Char : MiniTy::Int;
+            if (direct.first) {
+                Vreg v = fb->load(direct.second.obj, direct.second.off,
+                                  elem);
+                return {v, ty};
+            }
+            return {fb->loadInd(addr, elem), ty};
+          }
+          case ExprKind::Deref: {
+            Value p = genExpr(*e.lhs);
+            if (!isPtr(p.ty))
+                fatal("line %u: dereference of non-pointer", e.line);
+            MemSize elem =
+                p.ty == MiniTy::PtrChar ? MemSize::I8 : MemSize::I64;
+            MiniTy ty = elem == MemSize::I8 ? MiniTy::Char : MiniTy::Int;
+            return {fb->loadInd(p.reg, elem), ty};
+          }
+          case ExprKind::AddrOf: {
+            VarInfo info = lookupVar(e.name, e.line);
+            MiniTy pty = info.ty == MiniTy::Char ? MiniTy::PtrChar
+                                                 : MiniTy::PtrInt;
+            return {fb->addrOf(info.obj), pty};
+          }
+          case ExprKind::Unary: {
+            if (e.unOp == UnOp::Neg) {
+                Value v = genExpr(*e.lhs);
+                Vreg zero = fb->constInt(0);
+                return {fb->bin(BinOp::Sub, zero, v.reg), MiniTy::Int};
+            }
+            // !e as a value: (e == 0)
+            Value v = genExpr(*e.lhs);
+            Vreg zero = fb->constInt(0);
+            return {fb->cmp(Pred::EQ, v.reg, zero), MiniTy::Int};
+          }
+          case ExprKind::Binary:
+            return genBinary(e);
+          case ExprKind::Call:
+            return genCall(e);
+        }
+        panic("genExpr: unhandled expression kind");
+    }
+
+    Value
+    genBinary(const Expr &e)
+    {
+        if (e.binOp == BinKind::LogAnd || e.binOp == BinKind::LogOr)
+            return genLogicalValue(e);
+        if (isComparison(e.binOp)) {
+            Value a = genExpr(*e.lhs);
+            Value b = genExpr(*e.rhs);
+            return {fb->cmp(predFor(e.binOp), a.reg, b.reg),
+                    MiniTy::Int};
+        }
+        Value a = genExpr(*e.lhs);
+        Value b = genExpr(*e.rhs);
+        // Pointer arithmetic: scale the integer side by pointee size.
+        if ((e.binOp == BinKind::Add || e.binOp == BinKind::Sub) &&
+            (isPtr(a.ty) || isPtr(b.ty))) {
+            Value ptr = isPtr(a.ty) ? a : b;
+            Value off = isPtr(a.ty) ? b : a;
+            if (isPtr(a.ty) && isPtr(b.ty))
+                fatal("line %u: pointer +/- pointer not supported",
+                      e.line);
+            if (!isPtr(a.ty) && e.binOp == BinKind::Sub)
+                fatal("line %u: int - pointer is invalid", e.line);
+            Vreg scaled = off.reg;
+            if (pointeeSize(ptr.ty) == 8) {
+                Vreg eight = fb->constInt(8);
+                scaled = fb->bin(BinOp::Mul, off.reg, eight);
+            }
+            BinOp op =
+                e.binOp == BinKind::Add ? BinOp::Add : BinOp::Sub;
+            return {fb->bin(op, ptr.reg, scaled), ptr.ty};
+        }
+        BinOp op;
+        switch (e.binOp) {
+          case BinKind::Add: op = BinOp::Add; break;
+          case BinKind::Sub: op = BinOp::Sub; break;
+          case BinKind::Mul: op = BinOp::Mul; break;
+          case BinKind::Div: op = BinOp::Div; break;
+          case BinKind::Rem: op = BinOp::Rem; break;
+          case BinKind::BitAnd: op = BinOp::And; break;
+          case BinKind::BitOr: op = BinOp::Or; break;
+          case BinKind::BitXor: op = BinOp::Xor; break;
+          case BinKind::Shl: op = BinOp::Shl; break;
+          case BinKind::Shr: op = BinOp::Shr; break;
+          default: panic("genBinary: unexpected operator");
+        }
+        return {fb->bin(op, a.reg, b.reg), MiniTy::Int};
+    }
+
+    /** `a && b` / `a || b` used as a value: lower via a temp slot. */
+    Value
+    genLogicalValue(const Expr &e)
+    {
+        ObjectId tmp = fb->addLocal(strprintf("$sc%u", tempCount++), 8);
+        BlockId tBlk = fb->newBlock("sc.true");
+        BlockId fBlk = fb->newBlock("sc.false");
+        BlockId done = fb->newBlock("sc.done");
+        genCondBr(e, tBlk, fBlk);
+        fb->setBlock(tBlk);
+        fb->store(tmp, fb->constInt(1));
+        fb->jmp(done);
+        fb->setBlock(fBlk);
+        fb->store(tmp, fb->constInt(0));
+        fb->jmp(done);
+        fb->setBlock(done);
+        return {fb->load(tmp), MiniTy::Int};
+    }
+
+    Value
+    genCall(const Expr &e)
+    {
+        std::vector<Vreg> args;
+        args.reserve(e.args.size());
+        for (const auto &a : e.args)
+            args.push_back(genExpr(*a).reg);
+
+        Builtin b = builtinByName(e.name);
+        if (b != Builtin::None) {
+            const auto &fx = builtinEffects(b);
+            if (args.size() != fx.numParams)
+                fatal("line %u: %s expects %u args, got %zu",
+                      e.line, e.name.c_str(), fx.numParams,
+                      args.size());
+            Vreg dst = fb->callBuiltin(b, std::move(args));
+            return {dst, MiniTy::Int};
+        }
+
+        auto it = funcIds.find(e.name);
+        if (it == funcIds.end())
+            fatal("line %u: call to undeclared function '%s'",
+                  e.line, e.name.c_str());
+        const FuncDecl &decl = prog.functions[it->second];
+        if (args.size() != decl.params.size())
+            fatal("line %u: %s expects %zu args, got %zu",
+                  e.line, e.name.c_str(), decl.params.size(),
+                  args.size());
+        bool wantsValue = decl.retTy != MiniTy::Void;
+        Vreg dst = fb->call(it->second, std::move(args), wantsValue);
+        return {dst, wantsValue ? MiniTy::Int : MiniTy::Void};
+    }
+
+    const Program &prog;
+    Module mod;
+    std::unique_ptr<FuncBuilder> fb;
+
+    std::unordered_map<std::string, VarInfo> globals;
+    std::unordered_map<std::string, VarInfo> locals;
+    std::unordered_map<std::string, FuncId> funcIds;
+    std::map<std::string, ObjectId> stringPool;
+    std::vector<LoopCtx> loops;
+    MiniTy curRetTy = MiniTy::Void;
+    uint32_t tempCount = 0;
+};
+
+} // namespace
+
+Module
+compileProgram(const Program &prog, const std::string &mod_name)
+{
+    return CodeGen(prog, mod_name).run();
+}
+
+Module
+compileMiniC(const std::string &src, const std::string &mod_name)
+{
+    Program prog = parseProgram(src);
+    Module mod = compileProgram(prog, mod_name);
+    mod.assignAddresses();
+    mod.verify();
+    return mod;
+}
+
+} // namespace ipds

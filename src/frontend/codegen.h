@@ -1,0 +1,40 @@
+#ifndef IPDS_FRONTEND_CODEGEN_H
+#define IPDS_FRONTEND_CODEGEN_H
+
+/**
+ * @file
+ * MiniC AST -> IR lowering.
+ *
+ * Lowering decisions that matter to the rest of the system:
+ *
+ *  - Every variable (including parameters) gets a memory slot; parameters
+ *    are spilled at function entry. Variables are therefore
+ *    memory-resident and attackable, as the paper's model requires.
+ *  - Scalar variable reads/writes lower to direct Load/Store on the
+ *    object; array accesses with a constant index lower to direct
+ *    accesses at a constant offset; everything else is indirect.
+ *  - Conditions lower through recursive cond-branch generation so that
+ *    `&&`, `||` and `!` become CFG structure and every conditional
+ *    branch tests the result of a single Cmp (or a != 0 test). This is
+ *    the canonical shape the branch-correlation analysis recognises.
+ */
+
+#include <string>
+
+#include "frontend/ast.h"
+#include "ir/ir.h"
+
+namespace ipds {
+
+/** Lower a parsed program. Throws FatalError on semantic errors. */
+Module compileProgram(const Program &prog, const std::string &mod_name);
+
+/**
+ * One-call convenience: parse + lower + assign addresses + verify.
+ * This is the entry point used by tests, examples and the workloads.
+ */
+Module compileMiniC(const std::string &src, const std::string &mod_name);
+
+} // namespace ipds
+
+#endif // IPDS_FRONTEND_CODEGEN_H

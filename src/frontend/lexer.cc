@@ -1,0 +1,267 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "support/diag.h"
+
+namespace ipds {
+
+const char *
+tokName(Tok t)
+{
+    switch (t) {
+      case Tok::End: return "<eof>";
+      case Tok::Ident: return "identifier";
+      case Tok::IntLit: return "integer literal";
+      case Tok::StrLit: return "string literal";
+      case Tok::CharLit: return "char literal";
+      case Tok::KwInt: return "'int'";
+      case Tok::KwChar: return "'char'";
+      case Tok::KwVoid: return "'void'";
+      case Tok::KwIf: return "'if'";
+      case Tok::KwElse: return "'else'";
+      case Tok::KwWhile: return "'while'";
+      case Tok::KwFor: return "'for'";
+      case Tok::KwReturn: return "'return'";
+      case Tok::KwBreak: return "'break'";
+      case Tok::KwContinue: return "'continue'";
+      case Tok::LParen: return "'('";
+      case Tok::RParen: return "')'";
+      case Tok::LBrace: return "'{'";
+      case Tok::RBrace: return "'}'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::Comma: return "','";
+      case Tok::Semi: return "';'";
+      case Tok::Assign: return "'='";
+      case Tok::Plus: return "'+'";
+      case Tok::Minus: return "'-'";
+      case Tok::Star: return "'*'";
+      case Tok::Slash: return "'/'";
+      case Tok::Percent: return "'%'";
+      case Tok::Amp: return "'&'";
+      case Tok::Pipe: return "'|'";
+      case Tok::Caret: return "'^'";
+      case Tok::Shl: return "'<<'";
+      case Tok::Shr: return "'>>'";
+      case Tok::AmpAmp: return "'&&'";
+      case Tok::PipePipe: return "'||'";
+      case Tok::Bang: return "'!'";
+      case Tok::Eq: return "'=='";
+      case Tok::Ne: return "'!='";
+      case Tok::Lt: return "'<'";
+      case Tok::Le: return "'<='";
+      case Tok::Gt: return "'>'";
+      case Tok::Ge: return "'>='";
+    }
+    return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, Tok> keywords = {
+    {"int", Tok::KwInt}, {"char", Tok::KwChar}, {"void", Tok::KwVoid},
+    {"if", Tok::KwIf}, {"else", Tok::KwElse}, {"while", Tok::KwWhile},
+    {"for", Tok::KwFor}, {"return", Tok::KwReturn},
+    {"break", Tok::KwBreak}, {"continue", Tok::KwContinue},
+};
+
+/** Decode one escape sequence after a backslash; advances @p i. */
+char
+decodeEscape(const std::string &src, size_t &i, uint32_t line)
+{
+    if (i >= src.size())
+        fatal("line %u: dangling backslash", line);
+    char c = src[i++];
+    switch (c) {
+      case 'n': return '\n';
+      case 't': return '\t';
+      case 'r': return '\r';
+      case '0': return '\0';
+      case '\\': return '\\';
+      case '\'': return '\'';
+      case '"': return '"';
+      default:
+        fatal("line %u: unknown escape '\\%c'", line, c);
+    }
+}
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &src)
+{
+    std::vector<Token> out;
+    size_t i = 0;
+    uint32_t line = 1;
+
+    auto push = [&](Tok kind) {
+        Token t;
+        t.kind = kind;
+        t.line = line;
+        out.push_back(std::move(t));
+    };
+
+    while (i < src.size()) {
+        char c = src[i];
+        if (c == '\n') {
+            line++;
+            i++;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            i++;
+            continue;
+        }
+        // comments
+        if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+            while (i < src.size() && src[i] != '\n')
+                i++;
+            continue;
+        }
+        if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < src.size() &&
+                   !(src[i] == '*' && src[i + 1] == '/')) {
+                if (src[i] == '\n')
+                    line++;
+                i++;
+            }
+            if (i + 1 >= src.size())
+                fatal("line %u: unterminated block comment", line);
+            i += 2;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            int64_t v = 0;
+            while (i < src.size() &&
+                   std::isdigit(static_cast<unsigned char>(src[i]))) {
+                v = v * 10 + (src[i] - '0');
+                i++;
+            }
+            Token t;
+            t.kind = Tok::IntLit;
+            t.value = v;
+            t.line = line;
+            out.push_back(std::move(t));
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t start = i;
+            while (i < src.size() &&
+                   (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                    src[i] == '_')) {
+                i++;
+            }
+            std::string word = src.substr(start, i - start);
+            auto kw = keywords.find(word);
+            Token t;
+            t.line = line;
+            if (kw != keywords.end()) {
+                t.kind = kw->second;
+            } else {
+                t.kind = Tok::Ident;
+                t.text = std::move(word);
+            }
+            out.push_back(std::move(t));
+            continue;
+        }
+        if (c == '"') {
+            i++;
+            std::string bytes;
+            while (i < src.size() && src[i] != '"') {
+                if (src[i] == '\n')
+                    fatal("line %u: newline in string literal", line);
+                if (src[i] == '\\') {
+                    i++;
+                    bytes.push_back(decodeEscape(src, i, line));
+                } else {
+                    bytes.push_back(src[i++]);
+                }
+            }
+            if (i >= src.size())
+                fatal("line %u: unterminated string literal", line);
+            i++;
+            Token t;
+            t.kind = Tok::StrLit;
+            t.text = std::move(bytes);
+            t.line = line;
+            out.push_back(std::move(t));
+            continue;
+        }
+        if (c == '\'') {
+            i++;
+            if (i >= src.size())
+                fatal("line %u: unterminated char literal", line);
+            char v;
+            if (src[i] == '\\') {
+                i++;
+                v = decodeEscape(src, i, line);
+            } else {
+                v = src[i++];
+            }
+            if (i >= src.size() || src[i] != '\'')
+                fatal("line %u: unterminated char literal", line);
+            i++;
+            Token t;
+            t.kind = Tok::CharLit;
+            t.value = static_cast<unsigned char>(v);
+            t.line = line;
+            out.push_back(std::move(t));
+            continue;
+        }
+
+        auto two = [&](char second) {
+            return i + 1 < src.size() && src[i + 1] == second;
+        };
+        switch (c) {
+          case '(': push(Tok::LParen); i++; break;
+          case ')': push(Tok::RParen); i++; break;
+          case '{': push(Tok::LBrace); i++; break;
+          case '}': push(Tok::RBrace); i++; break;
+          case '[': push(Tok::LBracket); i++; break;
+          case ']': push(Tok::RBracket); i++; break;
+          case ',': push(Tok::Comma); i++; break;
+          case ';': push(Tok::Semi); i++; break;
+          case '+': push(Tok::Plus); i++; break;
+          case '-': push(Tok::Minus); i++; break;
+          case '*': push(Tok::Star); i++; break;
+          case '/': push(Tok::Slash); i++; break;
+          case '%': push(Tok::Percent); i++; break;
+          case '^': push(Tok::Caret); i++; break;
+          case '&':
+            if (two('&')) { push(Tok::AmpAmp); i += 2; }
+            else { push(Tok::Amp); i++; }
+            break;
+          case '|':
+            if (two('|')) { push(Tok::PipePipe); i += 2; }
+            else { push(Tok::Pipe); i++; }
+            break;
+          case '=':
+            if (two('=')) { push(Tok::Eq); i += 2; }
+            else { push(Tok::Assign); i++; }
+            break;
+          case '!':
+            if (two('=')) { push(Tok::Ne); i += 2; }
+            else { push(Tok::Bang); i++; }
+            break;
+          case '<':
+            if (two('=')) { push(Tok::Le); i += 2; }
+            else if (two('<')) { push(Tok::Shl); i += 2; }
+            else { push(Tok::Lt); i++; }
+            break;
+          case '>':
+            if (two('=')) { push(Tok::Ge); i += 2; }
+            else if (two('>')) { push(Tok::Shr); i += 2; }
+            else { push(Tok::Gt); i++; }
+            break;
+          default:
+            fatal("line %u: unexpected character '%c'", line, c);
+        }
+    }
+    push(Tok::End);
+    return out;
+}
+
+} // namespace ipds

@@ -1,0 +1,53 @@
+#ifndef IPDS_FRONTEND_LEXER_H
+#define IPDS_FRONTEND_LEXER_H
+
+/**
+ * @file
+ * Tokenizer for MiniC, the small C-like language the workloads are
+ * written in (see README for the language reference).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipds {
+
+/** Token kinds. One enumerator per punctuator/keyword/literal class. */
+enum class Tok : uint8_t
+{
+    End, Ident, IntLit, StrLit, CharLit,
+    // keywords
+    KwInt, KwChar, KwVoid, KwIf, KwElse, KwWhile, KwFor, KwReturn,
+    KwBreak, KwContinue,
+    // punctuation
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semi,
+    // operators
+    Assign, Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Shl, Shr,
+    AmpAmp, PipePipe, Bang,
+    Eq, Ne, Lt, Le, Gt, Ge,
+};
+
+/** A single token with its source position and payload. */
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;   ///< identifier spelling or string-literal bytes
+    int64_t value = 0;  ///< integer/char literal value
+    uint32_t line = 1;
+};
+
+/** Printable name of a token kind, for diagnostics. */
+const char *tokName(Tok t);
+
+/**
+ * Tokenize @p src. Throws FatalError with a line number on malformed
+ * input (unterminated string, bad character, bad escape).
+ */
+std::vector<Token> tokenize(const std::string &src);
+
+} // namespace ipds
+
+#endif // IPDS_FRONTEND_LEXER_H

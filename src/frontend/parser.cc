@@ -1,0 +1,478 @@
+#include "frontend/parser.h"
+
+#include "frontend/lexer.h"
+#include "support/diag.h"
+
+namespace ipds {
+
+namespace {
+
+/**
+ * The parser proper. Standard recursive descent with precedence
+ * climbing for binary expressions.
+ */
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens)
+        : toks(std::move(tokens))
+    {}
+
+    Program
+    run()
+    {
+        Program prog;
+        while (!at(Tok::End)) {
+            // Both globals and functions start with a type keyword.
+            uint32_t line = cur().line;
+            MiniTy ty = parseType(true);
+            std::string name = expectIdent();
+            if (at(Tok::LParen)) {
+                prog.functions.push_back(parseFunction(ty, name, line));
+            } else {
+                prog.globals.push_back(parseGlobal(ty, name, line));
+            }
+        }
+        return prog;
+    }
+
+  private:
+    const Token &cur() const { return toks[pos]; }
+    bool at(Tok t) const { return cur().kind == t; }
+
+    const Token &
+    advance()
+    {
+        const Token &t = cur();
+        if (t.kind != Tok::End)
+            pos++;
+        return t;
+    }
+
+    bool
+    accept(Tok t)
+    {
+        if (at(t)) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    const Token &
+    expect(Tok t)
+    {
+        if (!at(t))
+            fatal("line %u: expected %s, found %s",
+                  cur().line, tokName(t), tokName(cur().kind));
+        return advance();
+    }
+
+    std::string
+    expectIdent()
+    {
+        return expect(Tok::Ident).text;
+    }
+
+    /** Parse a type spec: int, char, void (if allowed), with '*'. */
+    MiniTy
+    parseType(bool allow_void)
+    {
+        MiniTy base;
+        if (accept(Tok::KwInt)) {
+            base = MiniTy::Int;
+        } else if (accept(Tok::KwChar)) {
+            base = MiniTy::Char;
+        } else if (allow_void && accept(Tok::KwVoid)) {
+            return MiniTy::Void;
+        } else {
+            fatal("line %u: expected a type, found %s",
+                  cur().line, tokName(cur().kind));
+        }
+        if (accept(Tok::Star))
+            return base == MiniTy::Int ? MiniTy::PtrInt : MiniTy::PtrChar;
+        return base;
+    }
+
+    GlobalDecl
+    parseGlobal(MiniTy ty, std::string name, uint32_t line)
+    {
+        if (ty == MiniTy::Void)
+            fatal("line %u: global '%s' cannot be void",
+                  line, name.c_str());
+        GlobalDecl g;
+        g.ty = ty;
+        g.name = std::move(name);
+        g.line = line;
+        if (accept(Tok::LBracket)) {
+            g.arrayLen =
+                static_cast<uint32_t>(expect(Tok::IntLit).value);
+            expect(Tok::RBracket);
+            if (g.arrayLen == 0)
+                fatal("line %u: zero-length array", line);
+        }
+        if (accept(Tok::Assign)) {
+            g.hasInit = true;
+            if (at(Tok::StrLit)) {
+                if (g.ty != MiniTy::Char || g.arrayLen == 0)
+                    fatal("line %u: string initializer needs char[]",
+                          line);
+                g.initStr = advance().text;
+            } else if (at(Tok::IntLit) || at(Tok::CharLit)) {
+                g.initInt = advance().value;
+            } else if (at(Tok::Minus)) {
+                advance();
+                g.initInt = -expect(Tok::IntLit).value;
+            } else {
+                fatal("line %u: bad global initializer", cur().line);
+            }
+        }
+        expect(Tok::Semi);
+        return g;
+    }
+
+    FuncDecl
+    parseFunction(MiniTy ret_ty, std::string name, uint32_t line)
+    {
+        FuncDecl fn;
+        fn.retTy = ret_ty;
+        fn.name = std::move(name);
+        fn.line = line;
+        expect(Tok::LParen);
+        if (!at(Tok::RParen)) {
+            if (accept(Tok::KwVoid)) {
+                // "f(void)" — empty parameter list
+            } else {
+                do {
+                    ParamDecl p;
+                    p.ty = parseType(false);
+                    p.name = expectIdent();
+                    fn.params.push_back(std::move(p));
+                } while (accept(Tok::Comma));
+            }
+        }
+        expect(Tok::RParen);
+        fn.body = parseBlock();
+        return fn;
+    }
+
+    StmtPtr
+    makeStmt(StmtKind kind, uint32_t line)
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = kind;
+        s->line = line;
+        return s;
+    }
+
+    StmtPtr
+    parseBlock()
+    {
+        uint32_t line = cur().line;
+        expect(Tok::LBrace);
+        auto blk = makeStmt(StmtKind::Block, line);
+        while (!at(Tok::RBrace) && !at(Tok::End))
+            blk->body.push_back(parseStmt());
+        expect(Tok::RBrace);
+        return blk;
+    }
+
+    StmtPtr
+    parseStmt()
+    {
+        uint32_t line = cur().line;
+        if (at(Tok::LBrace))
+            return parseBlock();
+        if (at(Tok::KwInt) || at(Tok::KwChar))
+            return parseDecl();
+        if (accept(Tok::KwIf)) {
+            auto s = makeStmt(StmtKind::If, line);
+            expect(Tok::LParen);
+            s->cond = parseExpr();
+            expect(Tok::RParen);
+            s->thenBody = parseStmt();
+            if (accept(Tok::KwElse))
+                s->elseBody = parseStmt();
+            return s;
+        }
+        if (accept(Tok::KwWhile)) {
+            auto s = makeStmt(StmtKind::While, line);
+            expect(Tok::LParen);
+            s->cond = parseExpr();
+            expect(Tok::RParen);
+            s->thenBody = parseStmt();
+            return s;
+        }
+        if (accept(Tok::KwFor)) {
+            auto s = makeStmt(StmtKind::For, line);
+            expect(Tok::LParen);
+            if (!at(Tok::Semi))
+                s->init = parseSimpleStmt();
+            expect(Tok::Semi);
+            if (!at(Tok::Semi))
+                s->cond = parseExpr();
+            expect(Tok::Semi);
+            if (!at(Tok::RParen))
+                s->step = parseSimpleStmt();
+            expect(Tok::RParen);
+            s->thenBody = parseStmt();
+            return s;
+        }
+        if (accept(Tok::KwReturn)) {
+            auto s = makeStmt(StmtKind::Return, line);
+            if (!at(Tok::Semi))
+                s->expr = parseExpr();
+            expect(Tok::Semi);
+            return s;
+        }
+        if (accept(Tok::KwBreak)) {
+            expect(Tok::Semi);
+            return makeStmt(StmtKind::Break, line);
+        }
+        if (accept(Tok::KwContinue)) {
+            expect(Tok::Semi);
+            return makeStmt(StmtKind::Continue, line);
+        }
+        auto s = parseSimpleStmt();
+        expect(Tok::Semi);
+        return s;
+    }
+
+    StmtPtr
+    parseDecl()
+    {
+        uint32_t line = cur().line;
+        auto s = makeStmt(StmtKind::Decl, line);
+        s->declTy = parseType(false);
+        s->declName = expectIdent();
+        if (accept(Tok::LBracket)) {
+            if (isPtr(s->declTy))
+                fatal("line %u: array of pointers not supported", line);
+            s->arrayLen =
+                static_cast<uint32_t>(expect(Tok::IntLit).value);
+            expect(Tok::RBracket);
+            if (s->arrayLen == 0)
+                fatal("line %u: zero-length array", line);
+        }
+        // Optional initializer desugars to declaration + assignment,
+        // wrapped in a block so one Stmt is still returned.
+        if (accept(Tok::Assign)) {
+            if (s->arrayLen != 0)
+                fatal("line %u: local array initializers not supported",
+                      line);
+            auto asn = makeStmt(StmtKind::Assign, line);
+            auto tgt = std::make_unique<Expr>();
+            tgt->kind = ExprKind::Var;
+            tgt->line = line;
+            tgt->name = s->declName;
+            asn->target = std::move(tgt);
+            asn->value = parseExpr();
+            expect(Tok::Semi);
+            auto blk = makeStmt(StmtKind::Block, line);
+            blk->body.push_back(std::move(s));
+            blk->body.push_back(std::move(asn));
+            return blk;
+        }
+        expect(Tok::Semi);
+        return s;
+    }
+
+    /** Assignment or expression statement, without the trailing ';'. */
+    StmtPtr
+    parseSimpleStmt()
+    {
+        uint32_t line = cur().line;
+        ExprPtr e = parseExpr();
+        if (accept(Tok::Assign)) {
+            if (e->kind != ExprKind::Var && e->kind != ExprKind::Index &&
+                e->kind != ExprKind::Deref) {
+                fatal("line %u: invalid assignment target", line);
+            }
+            auto s = makeStmt(StmtKind::Assign, line);
+            s->target = std::move(e);
+            s->value = parseExpr();
+            return s;
+        }
+        auto s = makeStmt(StmtKind::ExprStmt, line);
+        s->expr = std::move(e);
+        return s;
+    }
+
+    // ---- expressions, precedence climbing ---------------------------
+
+    ExprPtr
+    makeExpr(ExprKind kind, uint32_t line)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = kind;
+        e->line = line;
+        return e;
+    }
+
+    ExprPtr
+    parseExpr()
+    {
+        return parseBinary(0);
+    }
+
+    /** Binding power of a binary operator token; -1 if not binary. */
+    static int
+    precedence(Tok t)
+    {
+        switch (t) {
+          case Tok::PipePipe: return 1;
+          case Tok::AmpAmp: return 2;
+          case Tok::Pipe: return 3;
+          case Tok::Caret: return 4;
+          case Tok::Amp: return 5;
+          case Tok::Eq: case Tok::Ne: return 6;
+          case Tok::Lt: case Tok::Le: case Tok::Gt: case Tok::Ge:
+            return 7;
+          case Tok::Shl: case Tok::Shr: return 8;
+          case Tok::Plus: case Tok::Minus: return 9;
+          case Tok::Star: case Tok::Slash: case Tok::Percent: return 10;
+          default: return -1;
+        }
+    }
+
+    static BinKind
+    binKindFor(Tok t)
+    {
+        switch (t) {
+          case Tok::PipePipe: return BinKind::LogOr;
+          case Tok::AmpAmp: return BinKind::LogAnd;
+          case Tok::Pipe: return BinKind::BitOr;
+          case Tok::Caret: return BinKind::BitXor;
+          case Tok::Amp: return BinKind::BitAnd;
+          case Tok::Eq: return BinKind::Eq;
+          case Tok::Ne: return BinKind::Ne;
+          case Tok::Lt: return BinKind::Lt;
+          case Tok::Le: return BinKind::Le;
+          case Tok::Gt: return BinKind::Gt;
+          case Tok::Ge: return BinKind::Ge;
+          case Tok::Shl: return BinKind::Shl;
+          case Tok::Shr: return BinKind::Shr;
+          case Tok::Plus: return BinKind::Add;
+          case Tok::Minus: return BinKind::Sub;
+          case Tok::Star: return BinKind::Mul;
+          case Tok::Slash: return BinKind::Div;
+          case Tok::Percent: return BinKind::Rem;
+          default: panic("binKindFor: not a binary operator");
+        }
+    }
+
+    ExprPtr
+    parseBinary(int min_prec)
+    {
+        ExprPtr lhs = parseUnary();
+        while (true) {
+            int prec = precedence(cur().kind);
+            if (prec < 0 || prec < min_prec)
+                return lhs;
+            Tok opTok = advance().kind;
+            ExprPtr rhs = parseBinary(prec + 1);
+            auto e = makeExpr(ExprKind::Binary, lhs->line);
+            e->binOp = binKindFor(opTok);
+            e->lhs = std::move(lhs);
+            e->rhs = std::move(rhs);
+            lhs = std::move(e);
+        }
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        uint32_t line = cur().line;
+        if (accept(Tok::Minus)) {
+            auto e = makeExpr(ExprKind::Unary, line);
+            e->unOp = UnOp::Neg;
+            e->lhs = parseUnary();
+            return e;
+        }
+        if (accept(Tok::Bang)) {
+            auto e = makeExpr(ExprKind::Unary, line);
+            e->unOp = UnOp::Not;
+            e->lhs = parseUnary();
+            return e;
+        }
+        if (accept(Tok::Star)) {
+            auto e = makeExpr(ExprKind::Deref, line);
+            e->lhs = parseUnary();
+            return e;
+        }
+        if (accept(Tok::Amp)) {
+            auto e = makeExpr(ExprKind::AddrOf, line);
+            e->name = expectIdent();
+            return e;
+        }
+        return parsePostfix();
+    }
+
+    ExprPtr
+    parsePostfix()
+    {
+        ExprPtr e = parsePrimary();
+        while (at(Tok::LBracket)) {
+            uint32_t line = advance().line;
+            auto idx = makeExpr(ExprKind::Index, line);
+            idx->lhs = std::move(e);
+            idx->rhs = parseExpr();
+            expect(Tok::RBracket);
+            e = std::move(idx);
+        }
+        return e;
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        uint32_t line = cur().line;
+        if (at(Tok::IntLit) || at(Tok::CharLit)) {
+            auto e = makeExpr(ExprKind::IntLit, line);
+            e->intValue = advance().value;
+            return e;
+        }
+        if (at(Tok::StrLit)) {
+            auto e = makeExpr(ExprKind::StrLit, line);
+            e->strValue = advance().text;
+            return e;
+        }
+        if (accept(Tok::LParen)) {
+            ExprPtr e = parseExpr();
+            expect(Tok::RParen);
+            return e;
+        }
+        if (at(Tok::Ident)) {
+            std::string name = advance().text;
+            if (accept(Tok::LParen)) {
+                auto e = makeExpr(ExprKind::Call, line);
+                e->name = std::move(name);
+                if (!at(Tok::RParen)) {
+                    do {
+                        e->args.push_back(parseExpr());
+                    } while (accept(Tok::Comma));
+                }
+                expect(Tok::RParen);
+                return e;
+            }
+            auto e = makeExpr(ExprKind::Var, line);
+            e->name = std::move(name);
+            return e;
+        }
+        fatal("line %u: unexpected %s in expression",
+              line, tokName(cur().kind));
+    }
+
+    std::vector<Token> toks;
+    size_t pos = 0;
+};
+
+} // namespace
+
+Program
+parseProgram(const std::string &src)
+{
+    return Parser(tokenize(src)).run();
+}
+
+} // namespace ipds

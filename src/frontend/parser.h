@@ -1,0 +1,21 @@
+#ifndef IPDS_FRONTEND_PARSER_H
+#define IPDS_FRONTEND_PARSER_H
+
+/**
+ * @file
+ * Recursive-descent parser for MiniC. Produces an AST Program; all
+ * syntax errors throw FatalError with a source line.
+ */
+
+#include <string>
+
+#include "frontend/ast.h"
+
+namespace ipds {
+
+/** Parse MiniC source text into an AST. */
+Program parseProgram(const std::string &src);
+
+} // namespace ipds
+
+#endif // IPDS_FRONTEND_PARSER_H

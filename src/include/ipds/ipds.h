@@ -1,0 +1,46 @@
+#ifndef IPDS_INCLUDE_IPDS_IPDS_H
+#define IPDS_INCLUDE_IPDS_IPDS_H
+
+/**
+ * @file
+ * Umbrella header: the public API of the IPDS library.
+ *
+ * Typical embedding:
+ *
+ *   #include <ipds/ipds.h>
+ *
+ *   ipds::CompiledProgram prog =
+ *       ipds::compileAndAnalyze(source, "myserver");
+ *   ipds::Vm vm(prog.mod);
+ *   vm.setInputs({"hello"});
+ *   ipds::Detector det(prog);
+ *   vm.addObserver(&det);
+ *   ipds::RunResult r = vm.run();
+ *   if (det.alarmed()) { ... }
+ *
+ * Layered headers, if you need less than everything:
+ *   - frontend/codegen.h   MiniC -> IR only
+ *   - core/program.h       compile + analysis pipeline
+ *   - core/image.h         the attachable binary image (§5.4)
+ *   - vm/vm.h              execution, tampering, traces
+ *   - ipds/detector.h      the runtime checker
+ *   - timing/cpu.h         Table 1 performance model
+ *   - attack/campaign.h    attack experiments (pokes)
+ *   - attack/overflow.h    attack experiments (planted overflows)
+ *   - opt/passes.h         optional IR optimizations
+ *   - baseline/stide.h     learned-model baseline
+ */
+
+#include "attack/campaign.h"
+#include "attack/overflow.h"
+#include "baseline/stide.h"
+#include "core/image.h"
+#include "core/program.h"
+#include "frontend/codegen.h"
+#include "ipds/detector.h"
+#include "opt/passes.h"
+#include "timing/cpu.h"
+#include "vm/vm.h"
+#include "workloads/workloads.h"
+
+#endif // IPDS_INCLUDE_IPDS_IPDS_H

@@ -1,0 +1,118 @@
+#ifndef IPDS_IPDS_DETECTOR_H
+#define IPDS_IPDS_DETECTOR_H
+
+/**
+ * @file
+ * The runtime half of IPDS (paper §5.4), functionally modelled.
+ *
+ * Per protected process the hardware keeps stacks of BSV/BCV/BAT
+ * tables, one frame per active function. Every committed conditional
+ * branch is hashed into its function's tables; if the BCV marks it, the
+ * actual direction is verified against the BSV's expected direction
+ * (UNKNOWN matches anything; any other mismatch is an attack alarm).
+ * The branch's BAT action list then updates the BSVs.
+ *
+ * Timing (queueing, spills, latency) is modelled separately in
+ * src/timing; this class is exact w.r.t. detection semantics and also
+ * emits request descriptors the timing model consumes.
+ */
+
+#include <functional>
+#include <vector>
+
+#include "core/program.h"
+#include "vm/vm.h"
+
+namespace ipds {
+
+/** Expected-direction encoding stored in the BSV (2 bits). */
+enum class BsvState : uint8_t
+{
+    Unknown = 0,
+    Taken = 1,
+    NotTaken = 2,
+};
+
+/** One detected infeasible path. */
+struct Alarm
+{
+    FuncId func = kNoFunc;
+    uint64_t pc = 0;
+    bool actualTaken = false;
+    BsvState expected = BsvState::Unknown;
+    uint64_t branchIndex = 0; ///< dynamic branch count at detection
+};
+
+/** A unit of work sent to the (modelled) IPDS hardware engine. */
+struct IpdsRequest
+{
+    enum class Kind : uint8_t
+    {
+        Check,     ///< verify actual vs expected direction
+        Update,    ///< apply a BAT action list
+        PushFrame, ///< function entry: push fresh tables
+        PopFrame,  ///< function exit: pop tables
+    };
+    Kind kind = Kind::Update;
+    FuncId func = kNoFunc;
+    uint64_t pc = 0;
+    /** BAT entries walked by an Update (list walk cost, §6). */
+    uint32_t actionCount = 0;
+    /** Table bits pushed/popped (spill cost modelling). */
+    uint64_t tableBits = 0;
+};
+
+/** Aggregate functional statistics of one run. */
+struct DetectorStats
+{
+    uint64_t branchesSeen = 0;
+    uint64_t checksPerformed = 0;
+    uint64_t updatesApplied = 0;
+    uint64_t actionsApplied = 0;
+    uint64_t framesPushed = 0;
+    size_t maxStackDepth = 0;
+};
+
+/**
+ * Functional IPDS detector; attach to a Vm as an ExecObserver.
+ */
+class Detector : public ExecObserver
+{
+  public:
+    /** @p prog must outlive the detector. */
+    explicit Detector(const CompiledProgram &prog);
+
+    /** Clear all state between runs. */
+    void reset();
+
+    /** Optional sink receiving every hardware request in order. */
+    void setRequestSink(std::function<void(const IpdsRequest &)> sink);
+
+    void onFunctionEnter(FuncId f) override;
+    void onFunctionExit(FuncId f) override;
+    void onBranch(FuncId f, uint64_t pc, bool taken) override;
+
+    bool alarmed() const { return !alarmList.empty(); }
+    const std::vector<Alarm> &alarms() const { return alarmList; }
+    const DetectorStats &stats() const { return stat; }
+
+  private:
+    struct FrameTables
+    {
+        FuncId func = kNoFunc;
+        std::vector<BsvState> bsv; ///< indexed by hash slot
+    };
+
+    void applyActions(FrameTables &ft,
+                      const std::vector<SlotAction> &list);
+
+    const CompiledProgram &prog;
+    std::vector<FrameTables> stack;
+    std::vector<Alarm> alarmList;
+    DetectorStats stat;
+    std::function<void(const IpdsRequest &)> sink;
+};
+
+} // namespace ipds
+
+#endif // IPDS_IPDS_DETECTOR_H

@@ -1,0 +1,270 @@
+#include "ir/builder.h"
+
+#include "support/diag.h"
+
+namespace ipds {
+
+FuncBuilder::FuncBuilder(Module &mod, const std::string &fname,
+                         uint32_t num_params, bool returns_value)
+    : mod(mod)
+{
+    Function f;
+    f.id = static_cast<FuncId>(mod.functions.size());
+    f.name = fname;
+    f.numParams = num_params;
+    f.returnsValue = returns_value;
+    fid = f.id;
+    mod.functions.push_back(std::move(f));
+    cur = newBlock("entry");
+}
+
+Function &
+FuncBuilder::fn()
+{
+    return mod.functions[fid];
+}
+
+ObjectId
+FuncBuilder::addLocal(const std::string &lname, uint32_t size)
+{
+    MemObject obj;
+    obj.name = fn().name + "." + lname;
+    obj.kind = ObjectKind::Local;
+    obj.owner = fid;
+    obj.size = size;
+    ObjectId oid = mod.addObject(std::move(obj));
+    fn().locals.push_back(oid);
+    return oid;
+}
+
+ObjectId
+FuncBuilder::addArray(const std::string &lname, uint32_t bytes,
+                      MemSize elem)
+{
+    MemObject obj;
+    obj.name = fn().name + "." + lname;
+    obj.kind = ObjectKind::Local;
+    obj.owner = fid;
+    obj.size = bytes;
+    obj.isArray = true;
+    obj.elem = elem;
+    ObjectId oid = mod.addObject(std::move(obj));
+    fn().locals.push_back(oid);
+    return oid;
+}
+
+BlockId
+FuncBuilder::newBlock(const std::string &label)
+{
+    BasicBlock bb;
+    bb.id = static_cast<BlockId>(fn().blocks.size());
+    bb.label = label;
+    fn().blocks.push_back(std::move(bb));
+    return fn().blocks.back().id;
+}
+
+void
+FuncBuilder::setBlock(BlockId b)
+{
+    if (b >= fn().blocks.size())
+        panic("FuncBuilder::setBlock: bad block %u", b);
+    cur = b;
+}
+
+bool
+FuncBuilder::blockTerminated() const
+{
+    const auto &bb = mod.functions[fid].blocks[cur];
+    return !bb.insts.empty() && bb.insts.back().isTerminator();
+}
+
+Inst &
+FuncBuilder::emit(Inst in)
+{
+    if (blockTerminated())
+        panic("FuncBuilder: emitting into terminated bb%u of %s",
+              cur, fn().name.c_str());
+    in.line = curLine;
+    auto &insts = fn().blocks[cur].insts;
+    insts.push_back(std::move(in));
+    return insts.back();
+}
+
+Vreg
+FuncBuilder::freshVreg()
+{
+    return fn().nextVreg++;
+}
+
+Vreg
+FuncBuilder::constInt(int64_t v)
+{
+    Inst in;
+    in.op = Op::ConstInt;
+    in.dst = freshVreg();
+    in.imm = v;
+    return emit(std::move(in)).dst;
+}
+
+Vreg
+FuncBuilder::addrOf(ObjectId obj, int64_t offset)
+{
+    Inst in;
+    in.op = Op::AddrOf;
+    in.dst = freshVreg();
+    in.object = obj;
+    in.imm = offset;
+    return emit(std::move(in)).dst;
+}
+
+Vreg
+FuncBuilder::load(ObjectId obj, int64_t offset, MemSize size)
+{
+    Inst in;
+    in.op = Op::Load;
+    in.dst = freshVreg();
+    in.object = obj;
+    in.imm = offset;
+    in.size = size;
+    return emit(std::move(in)).dst;
+}
+
+Vreg
+FuncBuilder::loadInd(Vreg addr, MemSize size)
+{
+    Inst in;
+    in.op = Op::LoadInd;
+    in.dst = freshVreg();
+    in.srcA = addr;
+    in.size = size;
+    return emit(std::move(in)).dst;
+}
+
+Vreg
+FuncBuilder::bin(BinOp op, Vreg a, Vreg b)
+{
+    Inst in;
+    in.op = Op::Bin;
+    in.bin = op;
+    in.dst = freshVreg();
+    in.srcA = a;
+    in.srcB = b;
+    return emit(std::move(in)).dst;
+}
+
+Vreg
+FuncBuilder::cmp(Pred p, Vreg a, Vreg b)
+{
+    Inst in;
+    in.op = Op::Cmp;
+    in.pred = p;
+    in.dst = freshVreg();
+    in.srcA = a;
+    in.srcB = b;
+    return emit(std::move(in)).dst;
+}
+
+Vreg
+FuncBuilder::getArg(uint32_t idx)
+{
+    Inst in;
+    in.op = Op::GetArg;
+    in.dst = freshVreg();
+    in.imm = idx;
+    return emit(std::move(in)).dst;
+}
+
+Vreg
+FuncBuilder::call(FuncId callee, std::vector<Vreg> args, bool wants_value)
+{
+    Inst in;
+    in.op = Op::Call;
+    in.callee = callee;
+    in.args = std::move(args);
+    if (wants_value)
+        in.dst = freshVreg();
+    return emit(std::move(in)).dst;
+}
+
+Vreg
+FuncBuilder::callBuiltin(Builtin b, std::vector<Vreg> args)
+{
+    Inst in;
+    in.op = Op::Call;
+    in.builtin = b;
+    in.args = std::move(args);
+    if (builtinEffects(b).returnsValue)
+        in.dst = freshVreg();
+    return emit(std::move(in)).dst;
+}
+
+void
+FuncBuilder::store(ObjectId obj, Vreg val, int64_t offset, MemSize size)
+{
+    Inst in;
+    in.op = Op::Store;
+    in.object = obj;
+    in.srcA = val;
+    in.imm = offset;
+    in.size = size;
+    emit(std::move(in));
+}
+
+void
+FuncBuilder::storeInd(Vreg addr, Vreg val, MemSize size)
+{
+    Inst in;
+    in.op = Op::StoreInd;
+    in.srcA = addr;
+    in.srcB = val;
+    in.size = size;
+    emit(std::move(in));
+}
+
+void
+FuncBuilder::br(Vreg cond, BlockId taken, BlockId not_taken)
+{
+    Inst in;
+    in.op = Op::Br;
+    in.srcA = cond;
+    in.target = taken;
+    in.fallthrough = not_taken;
+    emit(std::move(in));
+}
+
+void
+FuncBuilder::jmp(BlockId target)
+{
+    Inst in;
+    in.op = Op::Jmp;
+    in.target = target;
+    emit(std::move(in));
+}
+
+void
+FuncBuilder::ret(Vreg v)
+{
+    Inst in;
+    in.op = Op::Ret;
+    in.srcA = v;
+    emit(std::move(in));
+}
+
+void
+FuncBuilder::finish()
+{
+    for (auto &bb : fn().blocks) {
+        if (bb.insts.empty() || !bb.insts.back().isTerminator()) {
+            if (fn().returnsValue)
+                panic("FuncBuilder: %s bb%u falls off the end of a "
+                      "value-returning function",
+                      fn().name.c_str(), bb.id);
+            Inst in;
+            in.op = Op::Ret;
+            bb.insts.push_back(std::move(in));
+        }
+    }
+    fn().computePreds();
+}
+
+} // namespace ipds

@@ -1,0 +1,103 @@
+#ifndef IPDS_IR_BUILDER_H
+#define IPDS_IR_BUILDER_H
+
+/**
+ * @file
+ * Convenience API for constructing IR, used by the MiniC code generator
+ * and by tests that hand-build CFGs (e.g. the Figure 2/3/4 examples from
+ * the paper).
+ */
+
+#include "ir/ir.h"
+
+namespace ipds {
+
+/**
+ * Builds one function inside a module. Typical usage:
+ *
+ *   FuncBuilder fb(mod, "main", 0, false);
+ *   ObjectId x = fb.addLocal("x", 8);
+ *   Vreg c = fb.constInt(5);
+ *   fb.store(x, c);
+ *   ...
+ *   fb.ret();
+ *   fb.finish();
+ */
+class FuncBuilder
+{
+  public:
+    /**
+     * Start building function @p fname with @p num_params parameters.
+     * The function is appended to @p mod immediately; finish() seals it.
+     */
+    FuncBuilder(Module &mod, const std::string &fname, uint32_t num_params,
+                bool returns_value);
+
+    /** The function id being built. */
+    FuncId funcId() const { return fid; }
+
+    /** Create a scalar local (8 bytes). Returns its object id. */
+    ObjectId addLocal(const std::string &lname, uint32_t size = 8);
+
+    /** Create an array/buffer local. */
+    ObjectId addArray(const std::string &lname, uint32_t bytes,
+                      MemSize elem = MemSize::I8);
+
+    /** Create a new (empty) basic block; does not switch to it. */
+    BlockId newBlock(const std::string &label = "");
+
+    /** Direct subsequent instructions into block @p b. */
+    void setBlock(BlockId b);
+
+    /** Current insertion block. */
+    BlockId curBlock() const { return cur; }
+
+    /** True if the current block already has a terminator. */
+    bool blockTerminated() const;
+
+    // --- value-producing instructions -------------------------------
+    Vreg constInt(int64_t v);
+    Vreg addrOf(ObjectId obj, int64_t offset = 0);
+    Vreg load(ObjectId obj, int64_t offset = 0,
+              MemSize size = MemSize::I64);
+    Vreg loadInd(Vreg addr, MemSize size = MemSize::I64);
+    Vreg bin(BinOp op, Vreg a, Vreg b);
+    Vreg cmp(Pred p, Vreg a, Vreg b);
+    Vreg getArg(uint32_t idx);
+    /** Call a user function by id. dst valid iff it returns a value. */
+    Vreg call(FuncId callee, std::vector<Vreg> args, bool wants_value);
+    /** Call a builtin. dst valid iff the builtin returns a value. */
+    Vreg callBuiltin(Builtin b, std::vector<Vreg> args);
+
+    // --- void instructions -------------------------------------------
+    void store(ObjectId obj, Vreg val, int64_t offset = 0,
+               MemSize size = MemSize::I64);
+    void storeInd(Vreg addr, Vreg val, MemSize size = MemSize::I64);
+    void br(Vreg cond, BlockId taken, BlockId not_taken);
+    void jmp(BlockId target);
+    void ret(Vreg v = kNoVreg);
+
+    /** Set the source line attached to subsequently emitted insts. */
+    void setLine(uint32_t line) { curLine = line; }
+
+    /**
+     * Seal the function: ensure every block is terminated (void
+     * functions get an implicit `ret`; anything else panics) and refresh
+     * predecessor lists.
+     */
+    void finish();
+
+  private:
+    Inst &emit(Inst in);
+    Vreg freshVreg();
+    Function &fn();
+
+    Module &mod;
+    FuncId fid;
+    BlockId cur = 0;
+    uint32_t curLine = 0;
+};
+
+} // namespace ipds
+
+#endif // IPDS_IR_BUILDER_H

@@ -1,0 +1,87 @@
+#include "ir/builtins.h"
+
+#include <array>
+#include <unordered_map>
+
+#include "support/diag.h"
+
+namespace ipds {
+
+namespace {
+
+struct BuiltinDesc
+{
+    const char *name;
+    BuiltinEffects fx;
+};
+
+// Parameter bitmasks: bit i set => parameter i's pointee is touched.
+constexpr uint8_t P0 = 1 << 0;
+constexpr uint8_t P1 = 1 << 1;
+
+const std::array<BuiltinDesc,
+                 static_cast<size_t>(Builtin::NumBuiltins)> descs = {{
+    {"", {}},
+    {"print_str", {.readsParams = P0, .numParams = 1}},
+    {"print_int", {.numParams = 1}},
+    {"get_input", {.writesParams = P0, .input = true, .numParams = 1}},
+    {"get_input_n", {.writesParams = P0, .input = true, .numParams = 2}},
+    {"input_int",
+     {.input = true, .returnsValue = true, .numParams = 0}},
+    {"strcpy", {.readsParams = P1, .writesParams = P0, .numParams = 2}},
+    {"strncpy", {.readsParams = P1, .writesParams = P0, .numParams = 3}},
+    {"strcat",
+     {.readsParams = P0 | P1, .writesParams = P0, .numParams = 2}},
+    {"strcmp",
+     {.readsParams = P0 | P1, .pure = true, .returnsValue = true,
+      .numParams = 2}},
+    {"strncmp",
+     {.readsParams = P0 | P1, .pure = true, .returnsValue = true,
+      .numParams = 3}},
+    {"strlen",
+     {.readsParams = P0, .pure = true, .returnsValue = true,
+      .numParams = 1}},
+    {"memset", {.writesParams = P0, .numParams = 3}},
+    {"memcpy", {.readsParams = P1, .writesParams = P0, .numParams = 3}},
+    {"memcmp",
+     {.readsParams = P0 | P1, .pure = true, .returnsValue = true,
+      .numParams = 3}},
+    {"atoi",
+     {.readsParams = P0, .pure = true, .returnsValue = true,
+      .numParams = 1}},
+    {"exit", {.noreturn = true, .numParams = 1}},
+    {"abort", {.noreturn = true, .numParams = 0}},
+}};
+
+} // namespace
+
+const BuiltinEffects &
+builtinEffects(Builtin b)
+{
+    if (b == Builtin::None || b >= Builtin::NumBuiltins)
+        panic("builtinEffects: invalid builtin %d", static_cast<int>(b));
+    return descs[static_cast<size_t>(b)].fx;
+}
+
+const char *
+builtinName(Builtin b)
+{
+    if (b >= Builtin::NumBuiltins)
+        panic("builtinName: invalid builtin %d", static_cast<int>(b));
+    return descs[static_cast<size_t>(b)].name;
+}
+
+Builtin
+builtinByName(const std::string &name)
+{
+    static const std::unordered_map<std::string, Builtin> index = [] {
+        std::unordered_map<std::string, Builtin> m;
+        for (size_t i = 1; i < descs.size(); i++)
+            m.emplace(descs[i].name, static_cast<Builtin>(i));
+        return m;
+    }();
+    auto it = index.find(name);
+    return it == index.end() ? Builtin::None : it->second;
+}
+
+} // namespace ipds

@@ -1,0 +1,79 @@
+#ifndef IPDS_IR_BUILTINS_H
+#define IPDS_IR_BUILTINS_H
+
+/**
+ * @file
+ * Builtin (C-library-style) functions known to the compiler and the VM.
+ *
+ * The paper (§5.3) handles standard C library calls specially because
+ * their memory side effects are known exactly. Each builtin here carries
+ * an effect descriptor: which pointer parameters are read, which are
+ * written, and whether the function is a pure function of the bytes it
+ * reads (enabling the strncmp-style branch correlation of Figure 1).
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace ipds {
+
+/** Identifiers for the builtins implemented by the VM. */
+enum class Builtin : uint8_t
+{
+    None,       ///< not a builtin (user-defined function)
+    PrintStr,   ///< print_str(ptr): write NUL-terminated string to stdout
+    PrintInt,   ///< print_int(v): write integer to stdout
+    GetInput,   ///< get_input(buf): UNBOUNDED copy of next input line
+    GetInputN,  ///< get_input_n(buf, n): bounded copy of next input line
+    InputInt,   ///< input_int(): next input line parsed as integer
+    Strcpy,     ///< strcpy(dst, src): UNBOUNDED copy (overflow vector)
+    Strncpy,    ///< strncpy(dst, src, n)
+    Strcat,     ///< strcat(dst, src): UNBOUNDED append (overflow vector)
+    Strcmp,     ///< strcmp(a, b) -> int (pure)
+    Strncmp,    ///< strncmp(a, b, n) -> int (pure)
+    Strlen,     ///< strlen(s) -> int (pure)
+    Memset,     ///< memset(dst, byte, n)
+    Memcpy,     ///< memcpy(dst, src, n)
+    Memcmp,     ///< memcmp(a, b, n) -> int (pure)
+    Atoi,       ///< atoi(s) -> int (pure)
+    Exit,       ///< exit(code): terminate the program
+    Abort,      ///< abort(): terminate with failure
+    NumBuiltins
+};
+
+/** Static side-effect description of a builtin (paper §5.3). */
+struct BuiltinEffects
+{
+    /** Bitmask of parameter indices whose pointees may be READ. */
+    uint8_t readsParams = 0;
+    /** Bitmask of parameter indices whose pointees may be WRITTEN. */
+    uint8_t writesParams = 0;
+    /**
+     * True if the return value is a pure function of scalar args plus the
+     * bytes read through readsParams (strcmp/strncmp/strlen/memcmp/atoi).
+     * Pure builtins enable same-outcome correlation between two calls
+     * with identical arguments and no intervening clobber.
+     */
+    bool pure = false;
+    /** True if the call consumes external input (never correlatable). */
+    bool input = false;
+    /** True if the call terminates the program. */
+    bool noreturn = false;
+    /** True if the call returns a value. */
+    bool returnsValue = false;
+    /** Number of parameters. */
+    uint8_t numParams = 0;
+};
+
+/** Effect descriptor for @p b. Panics on Builtin::None. */
+const BuiltinEffects &builtinEffects(Builtin b);
+
+/** Source-level name ("strcpy", ...). Empty for Builtin::None. */
+const char *builtinName(Builtin b);
+
+/** Look a builtin up by source name; Builtin::None if unknown. */
+Builtin builtinByName(const std::string &name);
+
+} // namespace ipds
+
+#endif // IPDS_IR_BUILTINS_H

@@ -1,0 +1,149 @@
+#include "ir/ir.h"
+
+#include <algorithm>
+
+#include "support/diag.h"
+
+namespace ipds {
+
+Pred
+negatePred(Pred p)
+{
+    switch (p) {
+      case Pred::EQ: return Pred::NE;
+      case Pred::NE: return Pred::EQ;
+      case Pred::LT: return Pred::GE;
+      case Pred::LE: return Pred::GT;
+      case Pred::GT: return Pred::LE;
+      case Pred::GE: return Pred::LT;
+    }
+    panic("negatePred: bad predicate");
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::ConstInt: return "const";
+      case Op::AddrOf: return "addrof";
+      case Op::Load: return "load";
+      case Op::LoadInd: return "loadind";
+      case Op::Store: return "store";
+      case Op::StoreInd: return "storeind";
+      case Op::Bin: return "bin";
+      case Op::Cmp: return "cmp";
+      case Op::Br: return "br";
+      case Op::Jmp: return "jmp";
+      case Op::Call: return "call";
+      case Op::Ret: return "ret";
+      case Op::GetArg: return "getarg";
+    }
+    return "?";
+}
+
+const char *
+binOpName(BinOp op)
+{
+    switch (op) {
+      case BinOp::Add: return "add";
+      case BinOp::Sub: return "sub";
+      case BinOp::Mul: return "mul";
+      case BinOp::Div: return "div";
+      case BinOp::Rem: return "rem";
+      case BinOp::And: return "and";
+      case BinOp::Or: return "or";
+      case BinOp::Xor: return "xor";
+      case BinOp::Shl: return "shl";
+      case BinOp::Shr: return "shr";
+    }
+    return "?";
+}
+
+const char *
+predName(Pred p)
+{
+    switch (p) {
+      case Pred::EQ: return "eq";
+      case Pred::NE: return "ne";
+      case Pred::LT: return "lt";
+      case Pred::LE: return "le";
+      case Pred::GT: return "gt";
+      case Pred::GE: return "ge";
+    }
+    return "?";
+}
+
+const Inst &
+BasicBlock::terminator() const
+{
+    if (insts.empty() || !insts.back().isTerminator())
+        panic("block %u has no terminator", id);
+    return insts.back();
+}
+
+Inst &
+BasicBlock::terminator()
+{
+    if (insts.empty() || !insts.back().isTerminator())
+        panic("block %u has no terminator", id);
+    return insts.back();
+}
+
+std::vector<BlockId>
+BasicBlock::successors() const
+{
+    const Inst &t = terminator();
+    switch (t.op) {
+      case Op::Br: return {t.target, t.fallthrough};
+      case Op::Jmp: return {t.target};
+      default: return {};
+    }
+}
+
+void
+Function::computePreds()
+{
+    preds.assign(blocks.size(), {});
+    for (const auto &bb : blocks)
+        for (BlockId s : bb.successors())
+            preds[s].push_back(bb.id);
+}
+
+void
+Module::assignAddresses()
+{
+    uint64_t pc = 0x1000;
+    for (auto &fn : functions) {
+        fn.entryPc = pc;
+        fn.numCondBranches = 0;
+        for (auto &bb : fn.blocks) {
+            for (auto &inst : bb.insts) {
+                inst.pc = pc;
+                pc += 4;
+                if (inst.isCondBranch())
+                    fn.numCondBranches++;
+            }
+        }
+        // Pad between functions so PCs never collide across functions.
+        pc = (pc + 0xff) & ~0xffULL;
+    }
+}
+
+FuncId
+Module::findFunction(const std::string &fname) const
+{
+    for (const auto &fn : functions)
+        if (fn.name == fname)
+            return fn.id;
+    return kNoFunc;
+}
+
+ObjectId
+Module::addObject(MemObject obj)
+{
+    obj.id = static_cast<ObjectId>(objects.size());
+    objects.push_back(std::move(obj));
+    return objects.back().id;
+}
+
+} // namespace ipds

@@ -1,0 +1,252 @@
+#ifndef IPDS_IR_IR_H
+#define IPDS_IR_IR_H
+
+/**
+ * @file
+ * The intermediate representation consumed by every other subsystem.
+ *
+ * Design notes, chosen to match the machine model of the paper:
+ *
+ *  - Virtual registers are single-assignment: every value-producing
+ *    instruction defines a fresh vreg, so each vreg has exactly one
+ *    defining instruction and def-use chains are a DAG. There are no phi
+ *    nodes because...
+ *  - ...program variables live in MEMORY. Locals get stack slots, globals
+ *    get a data segment, and variable reads/writes are explicit Load /
+ *    Store instructions (no mem2reg). This mirrors SUIF-era codegen and
+ *    is precisely what makes the paper's memory-resident-variable
+ *    correlation analysis meaningful and attacks on stack data effective.
+ *  - Direct accesses to a named object at a constant offset (LoadVar /
+ *    StoreVar) are distinguished from indirect accesses through a pointer
+ *    register (LoadInd / StoreInd): the former are uniquely aliased by
+ *    construction; the latter go through alias analysis.
+ *  - All scalars are 64-bit signed integers; byte (i8) accesses exist for
+ *    character buffers. Addresses are plain 64-bit integers into the VM's
+ *    flat address space, so buffer overflows clobber real neighbours.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/builtins.h"
+
+namespace ipds {
+
+/** A virtual register id. Value 0 is reserved as "no register". */
+using Vreg = uint32_t;
+constexpr Vreg kNoVreg = 0;
+
+/** Basic-block id, an index into Function::blocks. */
+using BlockId = uint32_t;
+constexpr BlockId kNoBlock = 0xffffffff;
+
+/** Memory object id, an index into Module::objects. */
+using ObjectId = uint32_t;
+constexpr ObjectId kNoObject = 0xffffffff;
+
+/** Function id, an index into Module::functions. */
+using FuncId = uint32_t;
+constexpr FuncId kNoFunc = 0xffffffff;
+
+/** Access width of a memory operation. */
+enum class MemSize : uint8_t
+{
+    I8 = 1,  ///< one byte (char)
+    I64 = 8, ///< eight bytes (int / pointer)
+};
+
+/** Where a memory object lives. */
+enum class ObjectKind : uint8_t
+{
+    Local,  ///< stack slot of a particular function
+    Global, ///< mutable data segment
+    Const,  ///< read-only data segment (string literals etc.)
+};
+
+/**
+ * A named memory object: a scalar variable or an array/buffer.
+ *
+ * Arrays are modelled as a single abstract object; any indexed access is
+ * an indirect access into it.
+ */
+struct MemObject
+{
+    ObjectId id = kNoObject;
+    std::string name;
+    ObjectKind kind = ObjectKind::Local;
+    /** Owning function for locals; kNoFunc for globals/consts. */
+    FuncId owner = kNoFunc;
+    /** Total size in bytes. */
+    uint32_t size = 8;
+    /** True for arrays/buffers (indexed, multi-element). */
+    bool isArray = false;
+    /** Element width for arrays. */
+    MemSize elem = MemSize::I64;
+    /** True once any AddrOf of this object exists (set by analysis). */
+    bool addressTaken = false;
+    /** Initial bytes for Global/Const objects (zero-filled if shorter). */
+    std::vector<uint8_t> init;
+};
+
+/** Instruction opcodes. */
+enum class Op : uint8_t
+{
+    ConstInt, ///< dst = imm
+    AddrOf,   ///< dst = &object + imm (object's base address)
+    Load,     ///< dst = mem[object + imm], direct, width=size
+    LoadInd,  ///< dst = mem[srcA], indirect, width=size
+    Store,    ///< mem[object + imm] = srcA, direct, width=size
+    StoreInd, ///< mem[srcA] = srcB, indirect, width=size
+    Bin,      ///< dst = srcA <binop> srcB
+    Cmp,      ///< dst = (srcA <pred> srcB) ? 1 : 0
+    Br,       ///< if (srcA != 0) goto target (taken) else goto fallthrough
+    Jmp,      ///< goto target
+    Call,     ///< dst = callee(args...); builtin or user function
+    Ret,      ///< return srcA (or nothing if srcA == kNoVreg)
+    GetArg,   ///< dst = incoming argument #imm
+};
+
+/** Binary arithmetic operators for Op::Bin. */
+enum class BinOp : uint8_t
+{
+    Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr,
+};
+
+/** Comparison predicates for Op::Cmp (signed). */
+enum class Pred : uint8_t
+{
+    EQ, NE, LT, LE, GT, GE,
+};
+
+/** Return the predicate whose result is the logical negation of @p p. */
+Pred negatePred(Pred p);
+
+/** Printable names. */
+const char *opName(Op op);
+const char *binOpName(BinOp op);
+const char *predName(Pred p);
+
+/**
+ * One IR instruction. A tagged struct rather than a class hierarchy:
+ * instructions are stored by value in their block, keeping the IR compact
+ * and cache-friendly for the simulator.
+ */
+struct Inst
+{
+    Op op = Op::Jmp;
+    MemSize size = MemSize::I64; ///< width for memory ops
+    BinOp bin = BinOp::Add;      ///< operator for Op::Bin
+    Pred pred = Pred::EQ;        ///< predicate for Op::Cmp
+    Builtin builtin = Builtin::None; ///< builtin callee for Op::Call
+
+    Vreg dst = kNoVreg;  ///< defined vreg (kNoVreg if none)
+    Vreg srcA = kNoVreg; ///< first operand
+    Vreg srcB = kNoVreg; ///< second operand
+    int64_t imm = 0;     ///< immediate (ConstInt value, offset, arg index)
+
+    ObjectId object = kNoObject; ///< for AddrOf/Load/Store
+    FuncId callee = kNoFunc;     ///< for Op::Call on user functions
+
+    BlockId target = kNoBlock;      ///< Br taken target / Jmp target
+    BlockId fallthrough = kNoBlock; ///< Br not-taken target
+
+    std::vector<Vreg> args; ///< call arguments
+
+    /** Code address assigned by Module::assignAddresses(). */
+    uint64_t pc = 0;
+    /** Source line for diagnostics (0 if unknown). */
+    uint32_t line = 0;
+
+    /** True for instructions that end a basic block. */
+    bool isTerminator() const
+    {
+        return op == Op::Br || op == Op::Jmp || op == Op::Ret;
+    }
+
+    /** True for conditional branches (the unit of IPDS checking). */
+    bool isCondBranch() const { return op == Op::Br; }
+};
+
+/** A straight-line sequence of instructions ending in one terminator. */
+struct BasicBlock
+{
+    BlockId id = kNoBlock;
+    std::string label;
+    std::vector<Inst> insts;
+
+    /** The terminator instruction. Panics if the block is empty. */
+    const Inst &terminator() const;
+    Inst &terminator();
+
+    /** Successor block ids, in (taken, fallthrough) order for Br. */
+    std::vector<BlockId> successors() const;
+};
+
+/**
+ * A function: blocks, locals and signature. Block 0 is the entry block.
+ */
+struct Function
+{
+    FuncId id = kNoFunc;
+    std::string name;
+    uint32_t numParams = 0;
+    bool returnsValue = false;
+    std::vector<BasicBlock> blocks;
+    /** Ids of this function's local MemObjects, in frame layout order. */
+    std::vector<ObjectId> locals;
+    /** One past the highest vreg id used in this function. */
+    Vreg nextVreg = 1;
+
+    /** Total conditional-branch count (filled by assignAddresses). */
+    uint32_t numCondBranches = 0;
+    /** Entry PC (filled by assignAddresses). */
+    uint64_t entryPc = 0;
+
+    /** Predecessor lists; call computePreds() after CFG mutation. */
+    std::vector<std::vector<BlockId>> preds;
+    void computePreds();
+};
+
+/**
+ * A whole program: functions plus all memory objects.
+ */
+struct Module
+{
+    std::string name;
+    std::vector<Function> functions;
+    std::vector<MemObject> objects;
+
+    /** Index of the entry function ("main"). */
+    FuncId entry = kNoFunc;
+
+    /**
+     * Assign a code address to every instruction (4 bytes each, functions
+     * laid out consecutively starting at 0x1000), count conditional
+     * branches and record function entry PCs. Must run before table
+     * construction, hashing or execution.
+     */
+    void assignAddresses();
+
+    /** Find a function id by name; kNoFunc if absent. */
+    FuncId findFunction(const std::string &fname) const;
+
+    /** Create a new memory object and return its id. */
+    ObjectId addObject(MemObject obj);
+
+    /** Render the whole module as text (tests, correlation explorer). */
+    std::string print() const;
+
+    /**
+     * Structural validation: terminators present and last, branch targets
+     * in range, vregs defined before use within a block path-insensitively
+     * (single-assignment check), object/function references valid.
+     * Panics with a descriptive message on the first violation.
+     */
+    void verify() const;
+};
+
+} // namespace ipds
+
+#endif // IPDS_IR_IR_H

@@ -1,0 +1,152 @@
+#include "ir/ir.h"
+
+#include <sstream>
+
+#include "support/diag.h"
+
+/**
+ * @file
+ * Textual rendering of modules for tests, debugging and the correlation
+ * explorer example. The format is intentionally assembler-like:
+ *
+ *   func main() {
+ *   bb0:
+ *     v1 = const 5
+ *     store i64 x, v1
+ *     ...
+ *     br v3 -> bb1, bb2
+ *   }
+ */
+
+namespace ipds {
+
+namespace {
+
+std::string
+vregName(Vreg v)
+{
+    return v == kNoVreg ? std::string("_") : strprintf("v%u", v);
+}
+
+std::string
+sizeName(MemSize s)
+{
+    return s == MemSize::I8 ? "i8" : "i64";
+}
+
+void
+printInst(std::ostringstream &os, const Module &m, const Inst &in)
+{
+    os << "    ";
+    switch (in.op) {
+      case Op::ConstInt:
+        os << vregName(in.dst) << " = const " << in.imm;
+        break;
+      case Op::AddrOf:
+        os << vregName(in.dst) << " = addrof "
+           << m.objects[in.object].name;
+        if (in.imm != 0)
+            os << "+" << in.imm;
+        break;
+      case Op::Load:
+        os << vregName(in.dst) << " = load " << sizeName(in.size) << " "
+           << m.objects[in.object].name;
+        if (in.imm != 0)
+            os << "+" << in.imm;
+        break;
+      case Op::LoadInd:
+        os << vregName(in.dst) << " = loadind " << sizeName(in.size)
+           << " [" << vregName(in.srcA) << "]";
+        break;
+      case Op::Store:
+        os << "store " << sizeName(in.size) << " "
+           << m.objects[in.object].name;
+        if (in.imm != 0)
+            os << "+" << in.imm;
+        os << ", " << vregName(in.srcA);
+        break;
+      case Op::StoreInd:
+        os << "storeind " << sizeName(in.size) << " ["
+           << vregName(in.srcA) << "], " << vregName(in.srcB);
+        break;
+      case Op::Bin:
+        os << vregName(in.dst) << " = " << binOpName(in.bin) << " "
+           << vregName(in.srcA) << ", " << vregName(in.srcB);
+        break;
+      case Op::Cmp:
+        os << vregName(in.dst) << " = cmp " << predName(in.pred) << " "
+           << vregName(in.srcA) << ", " << vregName(in.srcB);
+        break;
+      case Op::Br:
+        os << "br " << vregName(in.srcA) << " -> bb" << in.target
+           << ", bb" << in.fallthrough;
+        break;
+      case Op::Jmp:
+        os << "jmp bb" << in.target;
+        break;
+      case Op::Call: {
+        if (in.dst != kNoVreg)
+            os << vregName(in.dst) << " = ";
+        os << "call ";
+        if (in.builtin != Builtin::None)
+            os << builtinName(in.builtin);
+        else
+            os << m.functions[in.callee].name;
+        os << "(";
+        for (size_t i = 0; i < in.args.size(); i++) {
+            if (i)
+                os << ", ";
+            os << vregName(in.args[i]);
+        }
+        os << ")";
+        break;
+      }
+      case Op::Ret:
+        os << "ret";
+        if (in.srcA != kNoVreg)
+            os << " " << vregName(in.srcA);
+        break;
+      case Op::GetArg:
+        os << vregName(in.dst) << " = getarg " << in.imm;
+        break;
+    }
+    if (in.pc != 0)
+        os << "    ; pc=0x" << std::hex << in.pc << std::dec;
+    os << "\n";
+}
+
+} // namespace
+
+std::string
+Module::print() const
+{
+    std::ostringstream os;
+    os << "module " << name << "\n";
+    for (const auto &obj : objects) {
+        if (obj.kind == ObjectKind::Local)
+            continue;
+        os << (obj.kind == ObjectKind::Const ? "const " : "global ")
+           << obj.name << " : " << obj.size << " bytes\n";
+    }
+    for (const auto &fn : functions) {
+        os << "\nfunc " << fn.name << "(" << fn.numParams << " args)"
+           << (fn.returnsValue ? " -> i64" : "") << " {\n";
+        for (ObjectId oid : fn.locals) {
+            const auto &obj = objects[oid];
+            os << "  local " << obj.name << " : " << obj.size
+               << " bytes" << (obj.isArray ? " array" : "") << "\n";
+        }
+        for (const auto &bb : fn.blocks) {
+            os << "  bb" << bb.id;
+            if (!bb.label.empty())
+                os << " (" << bb.label << ")";
+            os << ":\n";
+            for (const auto &inst : bb.insts)
+                printInst(os, *this, inst);
+        }
+        os << "}\n";
+    }
+    return os.str();
+}
+
+} // namespace ipds

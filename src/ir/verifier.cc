@@ -1,0 +1,150 @@
+#include "ir/ir.h"
+
+#include <unordered_set>
+
+#include "support/diag.h"
+
+/**
+ * @file
+ * Structural IR validation. Run after the frontend and after any pass
+ * that mutates the IR; a verifier failure is always a compiler bug.
+ */
+
+namespace ipds {
+
+namespace {
+
+void
+verifyFunction(const Module &m, const Function &fn)
+{
+    if (fn.blocks.empty())
+        panic("verify: function %s has no blocks", fn.name.c_str());
+
+    std::unordered_set<Vreg> defined;
+
+    for (const auto &bb : fn.blocks) {
+        if (bb.id >= fn.blocks.size() || &fn.blocks[bb.id] != &bb)
+            panic("verify: %s block id %u inconsistent",
+                  fn.name.c_str(), bb.id);
+        if (bb.insts.empty())
+            panic("verify: %s bb%u is empty", fn.name.c_str(), bb.id);
+        for (size_t i = 0; i < bb.insts.size(); i++) {
+            const Inst &in = bb.insts[i];
+            bool last = i + 1 == bb.insts.size();
+            if (in.isTerminator() != last)
+                panic("verify: %s bb%u inst %zu terminator misplaced",
+                      fn.name.c_str(), bb.id, i);
+
+            if (in.dst != kNoVreg) {
+                if (in.dst >= fn.nextVreg)
+                    panic("verify: %s vreg v%u >= nextVreg %u",
+                          fn.name.c_str(), in.dst, fn.nextVreg);
+                if (!defined.insert(in.dst).second)
+                    panic("verify: %s v%u assigned twice",
+                          fn.name.c_str(), in.dst);
+            }
+
+            switch (in.op) {
+              case Op::AddrOf:
+              case Op::Load:
+              case Op::Store:
+                if (in.object >= m.objects.size())
+                    panic("verify: %s references bad object %u",
+                          fn.name.c_str(), in.object);
+                if (in.op == Op::Store &&
+                    m.objects[in.object].kind == ObjectKind::Const) {
+                    panic("verify: %s stores to const object %s",
+                          fn.name.c_str(),
+                          m.objects[in.object].name.c_str());
+                }
+                break;
+              case Op::Br:
+                if (in.target >= fn.blocks.size() ||
+                    in.fallthrough >= fn.blocks.size()) {
+                    panic("verify: %s bb%u branch target out of range",
+                          fn.name.c_str(), bb.id);
+                }
+                break;
+              case Op::Jmp:
+                if (in.target >= fn.blocks.size())
+                    panic("verify: %s bb%u jump target out of range",
+                          fn.name.c_str(), bb.id);
+                break;
+              case Op::Call:
+                if (in.builtin == Builtin::None &&
+                    in.callee >= m.functions.size()) {
+                    panic("verify: %s calls bad function id %u",
+                          fn.name.c_str(), in.callee);
+                }
+                if (in.builtin != Builtin::None) {
+                    const auto &fx = builtinEffects(in.builtin);
+                    if (in.args.size() != fx.numParams)
+                        panic("verify: %s: %s expects %u args, got %zu",
+                              fn.name.c_str(), builtinName(in.builtin),
+                              fx.numParams, in.args.size());
+                }
+                break;
+              case Op::GetArg:
+                if (in.imm < 0 ||
+                    static_cast<uint32_t>(in.imm) >= fn.numParams) {
+                    panic("verify: %s getarg %lld out of range",
+                          fn.name.c_str(),
+                          static_cast<long long>(in.imm));
+                }
+                break;
+              default:
+                break;
+            }
+        }
+    }
+
+    // Second pass: every use must be a defined vreg. Because vregs are
+    // single-assignment and the builder only references previously
+    // created values, set membership is sufficient.
+    auto checkUse = [&](Vreg v, BlockId b) {
+        if (v != kNoVreg && !defined.count(v))
+            panic("verify: %s bb%u uses undefined v%u",
+                  fn.name.c_str(), b, v);
+    };
+    for (const auto &bb : fn.blocks) {
+        for (const auto &in : bb.insts) {
+            checkUse(in.srcA, bb.id);
+            checkUse(in.srcB, bb.id);
+            for (Vreg a : in.args)
+                checkUse(a, bb.id);
+        }
+    }
+
+    for (ObjectId oid : fn.locals) {
+        if (oid >= m.objects.size())
+            panic("verify: %s bad local object id %u",
+                  fn.name.c_str(), oid);
+        const auto &obj = m.objects[oid];
+        if (obj.kind != ObjectKind::Local || obj.owner != fn.id)
+            panic("verify: %s local %s has wrong kind/owner",
+                  fn.name.c_str(), obj.name.c_str());
+    }
+}
+
+} // namespace
+
+void
+Module::verify() const
+{
+    if (entry == kNoFunc || entry >= functions.size())
+        panic("verify: module %s has no entry function", name.c_str());
+    for (const auto &fn : functions) {
+        if (fn.id >= functions.size() || &functions[fn.id] != &fn)
+            panic("verify: function id %u inconsistent", fn.id);
+        verifyFunction(*this, fn);
+    }
+    for (size_t i = 0; i < objects.size(); i++) {
+        if (objects[i].id != i)
+            panic("verify: object id %zu inconsistent", i);
+        if (objects[i].size == 0)
+            panic("verify: object %s has zero size",
+                  objects[i].name.c_str());
+    }
+}
+
+} // namespace ipds

@@ -1,0 +1,340 @@
+#include "opt/passes.h"
+
+#include <algorithm>
+
+#include "analysis/constfold.h"
+#include "analysis/defmap.h"
+#include "support/diag.h"
+
+namespace ipds {
+
+uint32_t
+foldConstBranches(Function &fn)
+{
+    DefMap dm(fn);
+    uint32_t folded = 0;
+    for (auto &bb : fn.blocks) {
+        if (bb.insts.empty())
+            continue;
+        Inst &t = bb.insts.back();
+        if (t.op != Op::Br)
+            continue;
+        int64_t c;
+        if (!constValue(fn, dm, t.srcA, c))
+            continue;
+        BlockId target = c != 0 ? t.target : t.fallthrough;
+        Inst jmp;
+        jmp.op = Op::Jmp;
+        jmp.target = target;
+        jmp.line = t.line;
+        t = jmp;
+        folded++;
+    }
+    if (folded)
+        fn.computePreds();
+    return folded;
+}
+
+uint32_t
+removeUnreachable(Function &fn)
+{
+    std::vector<uint8_t> live(fn.blocks.size(), 0);
+    std::vector<BlockId> work{0};
+    live[0] = 1;
+    while (!work.empty()) {
+        BlockId b = work.back();
+        work.pop_back();
+        for (BlockId s : fn.blocks[b].successors()) {
+            if (!live[s]) {
+                live[s] = 1;
+                work.push_back(s);
+            }
+        }
+    }
+
+    uint32_t removed = 0;
+    for (const auto &bb : fn.blocks)
+        removed += live[bb.id] ? 0 : 1;
+    if (removed == 0)
+        return 0;
+
+    std::vector<BlockId> remap(fn.blocks.size(), kNoBlock);
+    std::vector<BasicBlock> kept;
+    for (auto &bb : fn.blocks) {
+        if (!live[bb.id])
+            continue;
+        remap[bb.id] = static_cast<BlockId>(kept.size());
+        kept.push_back(std::move(bb));
+    }
+
+    for (auto &bb : kept) {
+        bb.id = remap[bb.id];
+        Inst &t = bb.insts.back();
+        if (t.op == Op::Br) {
+            t.target = remap[t.target];
+            t.fallthrough = remap[t.fallthrough];
+        } else if (t.op == Op::Jmp) {
+            t.target = remap[t.target];
+        }
+    }
+    fn.blocks = std::move(kept);
+    fn.computePreds();
+    return removed;
+}
+
+namespace {
+
+/**
+ * Resolve the final destination of an edge through chains of blocks
+ * that contain nothing but a Jmp. Cycles resolve to the entry of the
+ * cycle (no retarget), never hang.
+ */
+BlockId
+resolveThrough(const Function &fn, BlockId start)
+{
+    BlockId cur = start;
+    std::vector<uint8_t> seen(fn.blocks.size(), 0);
+    while (!seen[cur]) {
+        seen[cur] = 1;
+        const BasicBlock &bb = fn.blocks[cur];
+        if (bb.insts.size() != 1 || bb.insts[0].op != Op::Jmp)
+            return cur;
+        cur = bb.insts[0].target;
+    }
+    return cur;
+}
+
+} // namespace
+
+uint32_t
+threadJumps(Function &fn)
+{
+    uint32_t changed = 0;
+
+    // 1. Bypass empty forwarding blocks.
+    for (auto &bb : fn.blocks) {
+        Inst &t = bb.insts.back();
+        if (t.op == Op::Br) {
+            BlockId nt = resolveThrough(fn, t.target);
+            BlockId nf = resolveThrough(fn, t.fallthrough);
+            if (nt != t.target || nf != t.fallthrough) {
+                t.target = nt;
+                t.fallthrough = nf;
+                changed++;
+            }
+        } else if (t.op == Op::Jmp && &bb != &fn.blocks[t.target]) {
+            BlockId n = resolveThrough(fn, t.target);
+            if (n != t.target) {
+                t.target = n;
+                changed++;
+            }
+        }
+    }
+    fn.computePreds();
+
+    // 2. Merge A -> B when A ends in Jmp B and B's only pred is A.
+    for (auto &bb : fn.blocks) {
+        while (true) {
+            Inst &t = bb.insts.back();
+            if (t.op != Op::Jmp)
+                break;
+            BlockId bId = t.target;
+            // Never merge away block 0: it is the function entry
+            // regardless of predecessor count.
+            if (bId == 0 || bId == bb.id || fn.preds[bId].size() != 1)
+                break;
+            BasicBlock &succ = fn.blocks[bId];
+            if (&succ == &bb)
+                break;
+            bb.insts.pop_back(); // drop the Jmp
+            bb.insts.insert(bb.insts.end(),
+                            std::make_move_iterator(succ.insts.begin()),
+                            std::make_move_iterator(succ.insts.end()));
+            // Leave succ as an unreachable self-loop shell; the
+            // unreachable pass deletes it.
+            succ.insts.clear();
+            Inst self;
+            self.op = Op::Jmp;
+            self.target = bId;
+            succ.insts.push_back(self);
+            fn.computePreds();
+            changed++;
+        }
+    }
+    return changed;
+}
+
+uint32_t
+eliminateDeadCode(Function &fn)
+{
+    uint32_t removedTotal = 0;
+    while (true) {
+        std::vector<uint32_t> uses(fn.nextVreg, 0);
+        for (const auto &bb : fn.blocks) {
+            for (const auto &in : bb.insts) {
+                if (in.srcA != kNoVreg)
+                    uses[in.srcA]++;
+                if (in.srcB != kNoVreg)
+                    uses[in.srcB]++;
+                for (Vreg a : in.args)
+                    uses[a]++;
+            }
+        }
+        uint32_t removed = 0;
+        for (auto &bb : fn.blocks) {
+            auto keep = [&](const Inst &in) {
+                if (in.dst == kNoVreg || uses[in.dst] > 0)
+                    return true;
+                switch (in.op) {
+                  case Op::ConstInt:
+                  case Op::AddrOf:
+                  case Op::Load:
+                  case Op::LoadInd:
+                  case Op::Cmp:
+                  case Op::GetArg:
+                    return false;
+                  case Op::Bin:
+                    // Div/Rem can trap; removing them would change
+                    // observable behaviour.
+                    return in.bin == BinOp::Div || in.bin == BinOp::Rem;
+                  default:
+                    return true; // calls, stores, terminators
+                }
+            };
+            size_t before = bb.insts.size();
+            bb.insts.erase(
+                std::remove_if(bb.insts.begin(), bb.insts.end(),
+                               [&](const Inst &in) {
+                                   return !keep(in);
+                               }),
+                bb.insts.end());
+            removed += static_cast<uint32_t>(before - bb.insts.size());
+        }
+        removedTotal += removed;
+        if (removed == 0)
+            break;
+    }
+    return removedTotal;
+}
+
+uint32_t
+forwardStores(Function &fn)
+{
+    // Map from forwarded load vreg to the stored value vreg.
+    std::vector<Vreg> subst(fn.nextVreg, kNoVreg);
+    uint32_t forwarded = 0;
+
+    for (auto &bb : fn.blocks) {
+        struct LiveStore
+        {
+            ObjectId obj;
+            int64_t off;
+            MemSize size;
+            Vreg value;
+        };
+        std::vector<LiveStore> live;
+
+        auto killAll = [&]() { live.clear(); };
+        auto killOverlap = [&](ObjectId obj, int64_t off,
+                               uint32_t size) {
+            live.erase(
+                std::remove_if(
+                    live.begin(), live.end(),
+                    [&](const LiveStore &s) {
+                        return s.obj == obj &&
+                            s.off < off + size &&
+                            off < s.off +
+                                static_cast<int64_t>(s.size);
+                    }),
+                live.end());
+        };
+
+        for (auto &in : bb.insts) {
+            switch (in.op) {
+              case Op::Store:
+                killOverlap(in.object, in.imm,
+                            static_cast<uint32_t>(in.size));
+                live.push_back({in.object, in.imm, in.size, in.srcA});
+                break;
+              case Op::StoreInd:
+                killAll(); // unknown target
+                break;
+              case Op::Call:
+                killAll(); // callee may write anything we track
+                break;
+              case Op::Load: {
+                for (const auto &s : live) {
+                    if (s.obj == in.object && s.off == in.imm &&
+                        s.size == in.size) {
+                        subst[in.dst] = s.value;
+                        forwarded++;
+                        break;
+                    }
+                }
+                break;
+              }
+              default:
+                break;
+            }
+        }
+    }
+
+    if (forwarded == 0)
+        return 0;
+
+    // Resolve chains (a forwarded load feeding another forward).
+    auto resolve = [&](Vreg v) {
+        int guard = 0;
+        while (v != kNoVreg && subst[v] != kNoVreg && guard++ < 64)
+            v = subst[v];
+        return v;
+    };
+    for (auto &bb : fn.blocks) {
+        for (auto &in : bb.insts) {
+            if (in.srcA != kNoVreg && subst[in.srcA] != kNoVreg)
+                in.srcA = resolve(in.srcA);
+            if (in.srcB != kNoVreg && subst[in.srcB] != kNoVreg)
+                in.srcB = resolve(in.srcB);
+            for (Vreg &a : in.args)
+                if (subst[a] != kNoVreg)
+                    a = resolve(a);
+        }
+    }
+    // The loads themselves are now dead; eliminateDeadCode reaps them.
+    return forwarded;
+}
+
+OptStats
+optimizeModule(Module &mod)
+{
+    OptStats st;
+    for (auto &fn : mod.functions) {
+        fn.computePreds();
+        for (int round = 0; round < 8; round++) {
+            uint32_t delta = 0;
+            uint32_t v;
+            v = forwardStores(fn);
+            st.storesForwarded += v;
+            delta += v;
+            v = foldConstBranches(fn);
+            st.branchesFolded += v;
+            delta += v;
+            v = threadJumps(fn);
+            st.jumpsThreaded += v;
+            delta += v;
+            v = removeUnreachable(fn);
+            st.blocksRemoved += v;
+            delta += v;
+            v = eliminateDeadCode(fn);
+            st.instsEliminated += v;
+            delta += v;
+            if (delta == 0)
+                break;
+        }
+    }
+    mod.assignAddresses();
+    mod.verify();
+    return st;
+}
+
+} // namespace ipds

@@ -1,0 +1,51 @@
+#include "support/bitstream.h"
+
+#include "support/diag.h"
+
+namespace ipds {
+
+void
+BitWriter::put(uint64_t value, unsigned width)
+{
+    if (width > 64)
+        panic("BitWriter::put: width %u > 64", width);
+    for (unsigned i = 0; i < width; i++) {
+        unsigned bitInByte = bits % 8;
+        if (bitInByte == 0)
+            buf.push_back(0);
+        if ((value >> i) & 1)
+            buf.back() |= static_cast<uint8_t>(1u << bitInByte);
+        bits++;
+    }
+}
+
+uint64_t
+BitReader::get(unsigned width)
+{
+    if (width > 64)
+        panic("BitReader::get: width %u > 64", width);
+    if (pos + width > buf.size() * 8)
+        panic("BitReader::get: read past end (%llu + %u > %zu bits)",
+              static_cast<unsigned long long>(pos), width,
+              buf.size() * 8);
+    uint64_t out = 0;
+    for (unsigned i = 0; i < width; i++) {
+        uint64_t byte = pos / 8;
+        unsigned bitInByte = pos % 8;
+        if ((buf[byte] >> bitInByte) & 1)
+            out |= 1ULL << i;
+        pos++;
+    }
+    return out;
+}
+
+unsigned
+bitsFor(uint64_t n)
+{
+    unsigned w = 1;
+    while ((n >> w) != 0)
+        w++;
+    return w;
+}
+
+} // namespace ipds

@@ -1,0 +1,58 @@
+#ifndef IPDS_SUPPORT_BITSTREAM_H
+#define IPDS_SUPPORT_BITSTREAM_H
+
+/**
+ * @file
+ * LSB-first bit-granular serialization, used to pack the BSV/BCV/BAT
+ * tables into the binary image attached to a compiled program and to
+ * account their sizes in bits (paper Figure 8).
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace ipds {
+
+/** Appends bit fields to a byte buffer, LSB first. */
+class BitWriter
+{
+  public:
+    /** Append the low @p width bits of @p value (width 0..64). */
+    void put(uint64_t value, unsigned width);
+
+    /** Number of bits written so far. */
+    uint64_t bitCount() const { return bits; }
+
+    /** The packed bytes (final partial byte zero-padded). */
+    const std::vector<uint8_t> &bytes() const { return buf; }
+
+  private:
+    std::vector<uint8_t> buf;
+    uint64_t bits = 0;
+};
+
+/** Reads bit fields back in the order they were written. */
+class BitReader
+{
+  public:
+    explicit BitReader(const std::vector<uint8_t> &data)
+        : buf(data)
+    {}
+
+    /** Read @p width bits (0..64). Panics on out-of-range reads. */
+    uint64_t get(unsigned width);
+
+    /** Bits consumed so far. */
+    uint64_t bitPos() const { return pos; }
+
+  private:
+    const std::vector<uint8_t> &buf;
+    uint64_t pos = 0;
+};
+
+/** Number of bits needed to represent values in [0, n]; >= 1. */
+unsigned bitsFor(uint64_t n);
+
+} // namespace ipds
+
+#endif // IPDS_SUPPORT_BITSTREAM_H

@@ -1,0 +1,155 @@
+#include "support/bitvec.h"
+
+#include <bit>
+
+#include "support/diag.h"
+
+namespace ipds {
+
+BitVec::BitVec(size_t n, bool ones)
+    : numBits(n), words((n + wordBits - 1) / wordBits, ones ? ~0ULL : 0ULL)
+{
+    clearTail();
+}
+
+void
+BitVec::resize(size_t n)
+{
+    numBits = n;
+    words.resize((n + wordBits - 1) / wordBits, 0ULL);
+    clearTail();
+}
+
+void
+BitVec::clearTail()
+{
+    size_t used = numBits % wordBits;
+    if (used != 0 && !words.empty())
+        words.back() &= (1ULL << used) - 1;
+}
+
+bool
+BitVec::test(size_t i) const
+{
+    if (i >= numBits)
+        panic("BitVec::test index %zu out of range %zu", i, numBits);
+    return (words[i / wordBits] >> (i % wordBits)) & 1ULL;
+}
+
+void
+BitVec::set(size_t i, bool v)
+{
+    if (i >= numBits)
+        panic("BitVec::set index %zu out of range %zu", i, numBits);
+    uint64_t mask = 1ULL << (i % wordBits);
+    if (v)
+        words[i / wordBits] |= mask;
+    else
+        words[i / wordBits] &= ~mask;
+}
+
+void
+BitVec::setAll()
+{
+    for (auto &w : words)
+        w = ~0ULL;
+    clearTail();
+}
+
+void
+BitVec::clearAll()
+{
+    for (auto &w : words)
+        w = 0ULL;
+}
+
+size_t
+BitVec::count() const
+{
+    size_t n = 0;
+    for (auto w : words)
+        n += static_cast<size_t>(std::popcount(w));
+    return n;
+}
+
+bool
+BitVec::none() const
+{
+    for (auto w : words)
+        if (w != 0)
+            return false;
+    return true;
+}
+
+void
+BitVec::checkSameSize(const BitVec &other) const
+{
+    if (numBits != other.numBits)
+        panic("BitVec size mismatch: %zu vs %zu", numBits, other.numBits);
+}
+
+bool
+BitVec::orWith(const BitVec &other)
+{
+    checkSameSize(other);
+    bool changed = false;
+    for (size_t i = 0; i < words.size(); i++) {
+        uint64_t nw = words[i] | other.words[i];
+        changed |= nw != words[i];
+        words[i] = nw;
+    }
+    return changed;
+}
+
+bool
+BitVec::andWith(const BitVec &other)
+{
+    checkSameSize(other);
+    bool changed = false;
+    for (size_t i = 0; i < words.size(); i++) {
+        uint64_t nw = words[i] & other.words[i];
+        changed |= nw != words[i];
+        words[i] = nw;
+    }
+    return changed;
+}
+
+bool
+BitVec::subtract(const BitVec &other)
+{
+    checkSameSize(other);
+    bool changed = false;
+    for (size_t i = 0; i < words.size(); i++) {
+        uint64_t nw = words[i] & ~other.words[i];
+        changed |= nw != words[i];
+        words[i] = nw;
+    }
+    return changed;
+}
+
+bool
+BitVec::operator==(const BitVec &other) const
+{
+    return numBits == other.numBits && words == other.words;
+}
+
+size_t
+BitVec::findFirst(size_t from) const
+{
+    if (from >= numBits)
+        return numBits;
+    size_t wi = from / wordBits;
+    uint64_t w = words[wi] & ~((1ULL << (from % wordBits)) - 1);
+    while (true) {
+        if (w != 0) {
+            size_t bit = wi * wordBits +
+                static_cast<size_t>(std::countr_zero(w));
+            return bit < numBits ? bit : numBits;
+        }
+        if (++wi >= words.size())
+            return numBits;
+        w = words[wi];
+    }
+}
+
+} // namespace ipds

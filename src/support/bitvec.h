@@ -1,0 +1,91 @@
+#ifndef IPDS_SUPPORT_BITVEC_H
+#define IPDS_SUPPORT_BITVEC_H
+
+/**
+ * @file
+ * Dense, dynamically sized bit vector used by the dataflow framework and
+ * the packed BSV/BCV table encodings.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ipds {
+
+/**
+ * A dense bit vector with set-algebra operations.
+ *
+ * All binary operations require operands of equal size; violating that is
+ * a programming error and panics.
+ */
+class BitVec
+{
+  public:
+    BitVec() = default;
+
+    /** Construct with @p n bits, all cleared (or all set if @p ones). */
+    explicit BitVec(size_t n, bool ones = false);
+
+    /** Number of bits. */
+    size_t size() const { return numBits; }
+
+    /** Resize to @p n bits; new bits are cleared. */
+    void resize(size_t n);
+
+    /** Test bit @p i. */
+    bool test(size_t i) const;
+
+    /** Set bit @p i to @p v. */
+    void set(size_t i, bool v = true);
+
+    /** Clear bit @p i. */
+    void reset(size_t i) { set(i, false); }
+
+    /** Set all bits. */
+    void setAll();
+
+    /** Clear all bits. */
+    void clearAll();
+
+    /** Number of set bits. */
+    size_t count() const;
+
+    /** True if no bit is set. */
+    bool none() const;
+
+    /** True if any bit is set. */
+    bool any() const { return !none(); }
+
+    /** In-place union. Returns true iff this changed. */
+    bool orWith(const BitVec &other);
+
+    /** In-place intersection. Returns true iff this changed. */
+    bool andWith(const BitVec &other);
+
+    /** In-place difference (this &= ~other). Returns true iff changed. */
+    bool subtract(const BitVec &other);
+
+    /** Whole-vector equality. */
+    bool operator==(const BitVec &other) const;
+
+    /**
+     * Index of the first set bit at or after @p from, or size() if none.
+     * Enables `for (i = v.findFirst(); i < v.size(); i = v.findFirst(i+1))`
+     * iteration over set bits.
+     */
+    size_t findFirst(size_t from = 0) const;
+
+  private:
+    static constexpr size_t wordBits = 64;
+
+    void checkSameSize(const BitVec &other) const;
+    void clearTail();
+
+    size_t numBits = 0;
+    std::vector<uint64_t> words;
+};
+
+} // namespace ipds
+
+#endif // IPDS_SUPPORT_BITVEC_H

@@ -1,0 +1,70 @@
+#ifndef IPDS_SUPPORT_DIAG_H
+#define IPDS_SUPPORT_DIAG_H
+
+/**
+ * @file
+ * Diagnostics: formatted strings, fatal/panic termination and warnings.
+ *
+ * Conventions follow the gem5 split: panic() marks an internal invariant
+ * violation (a bug in this library), fatal() marks a user-level error (bad
+ * input program, bad configuration) that makes continuing impossible.
+ */
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace ipds {
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style formatting into a std::string. */
+std::string vstrprintf(const char *fmt, va_list ap);
+
+/**
+ * Exception thrown by fatal(): the caller supplied something invalid
+ * (unparsable source, impossible configuration). Recoverable by the
+ * embedding application; tests catch it to assert error paths.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/**
+ * Exception thrown by panic(): an internal invariant was violated. This
+ * is a bug in the library itself, never the user's fault.
+ */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what)
+        : std::logic_error(what)
+    {}
+};
+
+/** Report an unrecoverable user-level error. Throws FatalError. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal invariant violation. Throws PanicError. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr; execution continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() output (used by benches). */
+void setQuiet(bool quiet);
+
+} // namespace ipds
+
+#endif // IPDS_SUPPORT_DIAG_H

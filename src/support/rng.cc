@@ -1,0 +1,80 @@
+#include "support/rng.h"
+
+#include "support/diag.h"
+
+namespace ipds {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+void
+Rng::reseed(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : s)
+        word = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(s[1] * 5, 7) * 9;
+    uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::below(0)");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    while (true) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::range(int64_t lo, int64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::range: lo %lld > hi %lld",
+              static_cast<long long>(lo), static_cast<long long>(hi));
+    uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<int64_t>(next());
+    return lo + static_cast<int64_t>(below(span));
+}
+
+double
+Rng::unit()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+} // namespace ipds

@@ -1,0 +1,50 @@
+#ifndef IPDS_SUPPORT_RNG_H
+#define IPDS_SUPPORT_RNG_H
+
+/**
+ * @file
+ * Deterministic pseudo-random number generation for attack campaigns and
+ * tests. We avoid std::mt19937 in public interfaces so that sequences are
+ * stable across standard-library versions (experiment reproducibility).
+ */
+
+#include <cstdint>
+
+namespace ipds {
+
+/**
+ * xoshiro256** generator, seeded via splitmix64.
+ *
+ * Deterministic across platforms; every attack campaign records its seed
+ * so an individual tampering can be replayed exactly.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x1905) { reseed(seed); }
+
+    /** Reset the stream to the one produced by @p seed. */
+    void reseed(uint64_t seed);
+
+    /** Next 64 uniformly random bits. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t range(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double unit();
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return unit() < p; }
+
+  private:
+    uint64_t s[4];
+};
+
+} // namespace ipds
+
+#endif // IPDS_SUPPORT_RNG_H

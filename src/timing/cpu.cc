@@ -1,0 +1,277 @@
+#include "timing/cpu.h"
+
+namespace ipds {
+
+CpuModel::CpuModel(const TimingConfig &c)
+    : cfg(c), l1i(cfg.l1i), l1d(cfg.l1d), l2(cfg.l2),
+      // bpred/engine keep references: bind them to our own copy, not
+      // to the caller's (possibly temporary) argument.
+      bpred(cfg), engine(cfg), tlb(cfg.tlbEntries, ~0ULL)
+{}
+
+std::function<void(const IpdsRequest &)>
+CpuModel::requestSink()
+{
+    return [this](const IpdsRequest &rq) { pending.push_back(rq); };
+}
+
+uint64_t
+CpuModel::srcReady(Vreg v) const
+{
+    if (v == kNoVreg)
+        return 0;
+    auto it = readyAt.find((uint64_t(frameDepth) << 32) | v);
+    return it == readyAt.end() ? 0 : it->second;
+}
+
+void
+CpuModel::setReady(Vreg v, uint64_t tick)
+{
+    if (v != kNoVreg)
+        readyAt[(uint64_t(frameDepth) << 32) | v] = tick;
+}
+
+uint64_t
+CpuModel::tlbAccess(uint64_t addr)
+{
+    uint64_t page = addr / cfg.pageBytes;
+    uint64_t slot = page % cfg.tlbEntries;
+    if (tlb[slot] == page)
+        return 0;
+    tlb[slot] = page;
+    tlbMissCount++;
+    return cfg.tlbMissCycles;
+}
+
+uint64_t
+CpuModel::loadLatency(uint64_t addr)
+{
+    uint64_t lat = cfg.l1d.latency + tlbAccess(addr);
+    if (l1d.access(addr))
+        return lat;
+    lat += cfg.l2.latency;
+    if (l2.access(addr))
+        return lat;
+    uint32_t chunks =
+        cfg.l1d.blockBytes / 8 > 0 ? cfg.l1d.blockBytes / 8 - 1 : 0;
+    return lat + cfg.memFirstChunk + cfg.memInterChunk * chunks;
+}
+
+void
+CpuModel::onFunctionEnter(FuncId)
+{
+    frameDepth++;
+}
+
+void
+CpuModel::onFunctionExit(FuncId)
+{
+    if (frameDepth > 0)
+        frameDepth--;
+}
+
+void
+CpuModel::onBranch(FuncId, uint64_t pc, bool taken)
+{
+    // Remember the branch; penalties are charged at its onInst commit
+    // so that detector requests enqueue at the right cycle.
+    branchPending = true;
+    pendingPc = pc;
+    pendingTaken = taken;
+}
+
+namespace {
+
+/** Synthetic library-code burst size for a builtin call. */
+uint32_t
+builtinBurst(const TimingConfig &cfg, Builtin b)
+{
+    switch (b) {
+      case Builtin::GetInput:
+      case Builtin::GetInputN:
+      case Builtin::InputInt:
+        return cfg.inputCallInsts;
+      case Builtin::PrintStr:
+      case Builtin::PrintInt:
+        return cfg.outputCallInsts;
+      case Builtin::Exit:
+      case Builtin::Abort:
+        return 0;
+      default:
+        return cfg.stringCallInsts;
+    }
+}
+
+} // namespace
+
+void
+CpuModel::onInst(const Inst &in, uint64_t mem_addr, uint32_t mem_size,
+                 bool /* is_load: direction is implied by the op */)
+{
+    const uint32_t W = cfg.commitWidth;
+    nInst++;
+
+    // ---- dispatch ---------------------------------------------------
+    uint64_t dp = dispatchTick + W / cfg.issueWidth;
+    dp = std::max(dp, redirectTick);
+    // RUU occupancy: dispatch at most ruuSize ahead of commit.
+    if (ruuRing.size() >= cfg.ruuSize) {
+        dp = std::max(dp, ruuRing.front());
+        ruuRing.pop_front();
+    }
+    // LSQ occupancy: at most lsqSize memory operations in flight.
+    if (mem_size != 0 && lsqRing.size() >= cfg.lsqSize) {
+        dp = std::max(dp, lsqRing.front());
+        lsqRing.pop_front();
+    }
+    // Fetch queue: the front end buffers at most fetchQueue
+    // instructions ahead of dispatch (a long stall drains it; the
+    // model charges the refill as a dispatch floor).
+    if (fetchRing.size() >= cfg.fetchQueue) {
+        dp = std::max(dp, fetchRing.front() + W);
+        fetchRing.pop_front();
+    }
+    fetchRing.push_back(dp);
+    // Instruction fetch: new block -> L1I probe; miss stalls dispatch.
+    uint64_t block = in.pc / cfg.l1i.blockBytes;
+    if (block != lastFetchBlock) {
+        lastFetchBlock = block;
+        uint64_t pen = tlbAccess(in.pc);
+        if (!l1i.access(in.pc)) {
+            pen += cfg.l2.latency;
+            if (!l2.access(in.pc))
+                pen += cfg.memFirstChunk;
+        }
+        dp += pen * W;
+    }
+    dispatchTick = dp;
+
+    // ---- issue & execute --------------------------------------------
+    uint64_t issue = std::max({dp, srcReady(in.srcA),
+                               srcReady(in.srcB)});
+    for (Vreg a : in.args)
+        issue = std::max(issue, srcReady(a));
+
+    uint64_t latCycles = 1;
+    switch (in.op) {
+      case Op::Load:
+      case Op::LoadInd:
+        latCycles = loadLatency(mem_addr);
+        break;
+      case Op::Store:
+      case Op::StoreInd:
+        // Stores retire through the store buffer: update tag state
+        // but do not stall the dependence chain.
+        if (mem_size != 0) {
+            tlbAccess(mem_addr);
+            if (!l1d.access(mem_addr))
+                l2.access(mem_addr);
+        }
+        latCycles = 1;
+        break;
+      case Op::Bin:
+        if (in.bin == BinOp::Div || in.bin == BinOp::Rem)
+            latCycles = 20;
+        else if (in.bin == BinOp::Mul)
+            latCycles = 3;
+        break;
+      case Op::Call:
+        // Builtins stand for untraced library code.
+        if (in.builtin != Builtin::None)
+            latCycles = cfg.builtinInstCost;
+        break;
+      default:
+        break;
+    }
+    uint64_t complete = issue + latCycles * W;
+    setReady(in.dst, complete);
+
+    // ---- commit (in order, width-limited) ----------------------------
+    uint64_t commit = std::max(lastCommitTick + 1, complete);
+
+    // Branch resolution: mispredicts redirect the front end.
+    if (in.op == Op::Br && branchPending) {
+        branchPending = false;
+        nBranch++;
+        if (!bpred.update(pendingPc, pendingTaken))
+            redirectTick = std::max(redirectTick,
+                                    complete +
+                                        cfg.mispredictPenalty * W);
+    }
+
+    // IPDS requests triggered by this instruction enqueue at commit.
+    if (cfg.ipdsEnabled && !pending.empty()) {
+        uint64_t now = commit / W;
+        bool stalled = false;
+        for (const auto &rq : pending) {
+            uint64_t stall = engine.enqueue(rq, now);
+            if (stall) {
+                commit += stall * W;
+                now = commit / W;
+                ipdsStalls += stall;
+                stalled = true;
+            }
+        }
+        pending.clear();
+        // A full request queue backs the whole pipeline up: commit
+        // waits, the window fills, dispatch stops.
+        if (stalled)
+            dispatchTick = std::max(dispatchTick, commit);
+    } else if (!cfg.ipdsEnabled) {
+        pending.clear();
+    }
+
+    // Library/kernel code behind a builtin call: pace dispatch and
+    // commit through the synthetic burst. Its branches are unprotected
+    // (§5.3) and generate no IPDS requests.
+    if (in.op == Op::Call && in.builtin != Builtin::None) {
+        uint64_t burst = builtinBurst(cfg, in.builtin);
+        commit += burst;
+        dispatchTick = std::max(dispatchTick, commit);
+        nInst += burst;
+    }
+
+    lastCommitTick = commit;
+    ruuRing.push_back(commit);
+    if (ruuRing.size() > cfg.ruuSize)
+        ruuRing.pop_front();
+    if (mem_size != 0) {
+        lsqRing.push_back(commit);
+        if (lsqRing.size() > cfg.lsqSize)
+            lsqRing.pop_front();
+    }
+}
+
+uint64_t
+CpuModel::contextSwitch(bool lazy)
+{
+    uint64_t cycles = engine.contextSwitch(lazy);
+    // The whole pipeline waits for the synchronous swap: the switch
+    // happens between instructions, so commit and dispatch both move.
+    lastCommitTick += cycles * cfg.commitWidth;
+    dispatchTick = std::max(dispatchTick, lastCommitTick);
+    // The incoming process starts with cold structures of its own;
+    // returning to this one refetches its footprint naturally through
+    // the (shared, possibly-evicted) cache models.
+    lastFetchBlock = ~0ULL;
+    return cycles;
+}
+
+TimingStats
+CpuModel::stats() const
+{
+    TimingStats s;
+    s.instructions = nInst;
+    s.cycles = curCycle();
+    s.branches = nBranch;
+    s.mispredicts = bpred.mispredicts();
+    s.l1iMisses = l1i.misses();
+    s.l1dMisses = l1d.misses();
+    s.l2Misses = l2.misses();
+    s.tlbMisses = tlbMissCount;
+    s.ipdsStallCycles = ipdsStalls;
+    s.engine = engine.stats();
+    return s;
+}
+
+} // namespace ipds

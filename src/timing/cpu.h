@@ -1,0 +1,138 @@
+#ifndef IPDS_TIMING_CPU_H
+#define IPDS_TIMING_CPU_H
+
+/**
+ * @file
+ * Trace-driven superscalar timing model, the stand-in for the paper's
+ * SimpleScalar runs (Table 1 configuration).
+ *
+ * The model is a scoreboard over the committed instruction stream:
+ *
+ *  - dispatch is paced at issueWidth per cycle, stalled by I-cache /
+ *    ITLB misses, branch-misprediction redirects and RUU occupancy
+ *    (dispatch may not run more than ruuSize instructions ahead of
+ *    commit);
+ *  - an instruction issues when its source vregs are ready and
+ *    completes after its operation latency (loads: L1/L2/memory);
+ *  - commit is in order at commitWidth per cycle;
+ *  - committed branches feed the IPDS engine; a full request queue
+ *    stalls commit (the only program-visible IPDS cost, §5.4).
+ *
+ * Cycles are accounted in integer "ticks" (1 tick = 1/commitWidth
+ * cycle) so results are exactly reproducible.
+ */
+
+#include <deque>
+#include <unordered_map>
+
+#include "ipds/detector.h"
+#include "timing/branchpred.h"
+#include "timing/cache.h"
+#include "timing/config.h"
+#include "timing/engine.h"
+#include "vm/vm.h"
+
+namespace ipds {
+
+/** Timing results of one run. */
+struct TimingStats
+{
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    uint64_t branches = 0;
+    uint64_t mispredicts = 0;
+    uint64_t l1iMisses = 0;
+    uint64_t l1dMisses = 0;
+    uint64_t l2Misses = 0;
+    uint64_t tlbMisses = 0;
+    uint64_t ipdsStallCycles = 0;
+    EngineStats engine;
+
+    double
+    ipc() const
+    {
+        return cycles ? double(instructions) / cycles : 0.0;
+    }
+};
+
+/**
+ * The CPU model. Attach to a Vm as an observer; when IPDS is enabled,
+ * also install its detector hook:
+ *
+ *   CpuModel cpu(cfg);
+ *   Detector det(prog);
+ *   det.setRequestSink(cpu.requestSink());
+ *   vm.addObserver(&det);   // detector first: requests precede commit
+ *   vm.addObserver(&cpu);
+ */
+class CpuModel : public ExecObserver
+{
+  public:
+    explicit CpuModel(const TimingConfig &cfg);
+
+    /** Sink to install on a Detector (buffers requests per branch). */
+    std::function<void(const IpdsRequest &)> requestSink();
+
+    void onInst(const Inst &in, uint64_t mem_addr, uint32_t mem_size,
+                bool is_load) override;
+    void onBranch(FuncId f, uint64_t pc, bool taken) override;
+    void onFunctionEnter(FuncId f) override;
+    void onFunctionExit(FuncId f) override;
+
+    /**
+     * Model a context switch away from and back to the protected
+     * process (§5.4): the synchronous table save/restore latency
+     * stalls the pipeline. @p lazy selects the paper's top-of-stack
+     * swap optimization. Returns the charged cycles.
+     */
+    uint64_t contextSwitch(bool lazy);
+
+    /** Finalized statistics. */
+    TimingStats stats() const;
+
+  private:
+    uint64_t curCycle() const { return lastCommitTick / cfg.commitWidth; }
+
+    /** Ready tick of a source vreg (0 if unknown). */
+    uint64_t srcReady(Vreg v) const;
+    void setReady(Vreg v, uint64_t tick);
+
+    /** Load-use latency in cycles through the hierarchy. */
+    uint64_t loadLatency(uint64_t addr);
+    /** TLB probe; returns penalty cycles. */
+    uint64_t tlbAccess(uint64_t addr);
+
+    TimingConfig cfg;
+    Cache l1i;
+    Cache l1d;
+    Cache l2;
+    BranchPredictor bpred;
+    IpdsEngine engine;
+
+    std::vector<uint64_t> tlb; ///< page tags, direct-mapped
+    uint64_t tlbMissCount = 0;
+
+    // Scoreboard state (all in ticks = 1/commitWidth cycle).
+    uint64_t dispatchTick = 0;
+    uint64_t redirectTick = 0;
+    uint64_t lastCommitTick = 0;
+    std::deque<uint64_t> ruuRing; ///< commit ticks of in-flight window
+    std::deque<uint64_t> lsqRing; ///< commit ticks of in-flight mem ops
+    std::deque<uint64_t> fetchRing; ///< dispatch ticks (fetch queue)
+    std::unordered_map<uint64_t, uint64_t> readyAt; ///< (depth,vreg)
+    uint32_t frameDepth = 0;
+
+    uint64_t nInst = 0;
+    uint64_t nBranch = 0;
+    uint64_t ipdsStalls = 0;
+    uint64_t lastFetchBlock = ~0ULL;
+
+    std::vector<IpdsRequest> pending;
+    bool branchPending = false;
+    uint64_t pendingPc = 0;
+    bool pendingTaken = false;
+};
+
+} // namespace ipds
+
+#endif // IPDS_TIMING_CPU_H

@@ -1,0 +1,136 @@
+#include "timing/engine.h"
+
+namespace ipds {
+
+IpdsEngine::IpdsEngine(const TimingConfig &c)
+    : cfg(c)
+{}
+
+uint64_t
+IpdsEngine::spillCycles(uint64_t bits) const
+{
+    return (bits + 511) / 512 * cfg.spillCyclesPer512;
+}
+
+uint64_t
+IpdsEngine::cost(const IpdsRequest &rq)
+{
+    switch (rq.kind) {
+      case IpdsRequest::Kind::Check:
+        stat.checkRequests++;
+        return cfg.tableLatency;
+      case IpdsRequest::Kind::Update:
+        // One table access for the list head plus one per fetched row
+        // of the linked action list (§6: "we may need to access the
+        // BAT table several times to handle a BSV update request").
+        stat.updateRequests++;
+        return cfg.tableLatency +
+            (rq.actionCount + cfg.batEntriesPerAccess - 1) /
+                cfg.batEntriesPerAccess;
+      case IpdsRequest::Kind::PushFrame: {
+        uint64_t c = cfg.tableLatency;
+        frames.push_back({rq.tableBits, false});
+        residentBits += rq.tableBits;
+        // Spill the deepest resident frames (not the new top) until
+        // the on-chip buffers fit again.
+        for (size_t i = 0;
+             residentBits > capacityBits() && i + 1 < frames.size();
+             i++) {
+            if (frames[i].spilled)
+                continue;
+            frames[i].spilled = true;
+            residentBits -= frames[i].bits;
+            stat.spillEvents++;
+            stat.spillBits += frames[i].bits;
+            c += spillCycles(frames[i].bits);
+        }
+        return c;
+      }
+      case IpdsRequest::Kind::PopFrame: {
+        uint64_t c = cfg.tableLatency;
+        if (!frames.empty()) {
+            if (!frames.back().spilled)
+                residentBits -= frames.back().bits;
+            frames.pop_back();
+        }
+        // The new top must be resident to continue checking.
+        if (!frames.empty() && frames.back().spilled) {
+            frames.back().spilled = false;
+            residentBits += frames.back().bits;
+            stat.fillEvents++;
+            stat.fillBits += frames.back().bits;
+            c += spillCycles(frames.back().bits);
+        }
+        return c;
+      }
+    }
+    return cfg.tableLatency;
+}
+
+uint64_t
+IpdsEngine::contextSwitch(bool lazy)
+{
+    // Bits that are resident on chip and must cross the boundary
+    // twice (save outgoing, restore incoming).
+    uint64_t residentTotal = 0;
+    for (const auto &fr : frames)
+        if (!fr.spilled)
+            residentTotal += fr.bits;
+
+    if (!lazy)
+        return 2 * spillCycles(residentTotal);
+
+    // Lazy strategy: only the active top frame swaps synchronously;
+    // everything deeper is marked spilled and migrates off the
+    // critical path (it fills on demand when popped back to).
+    uint64_t topBits = frames.empty() ? 0 : frames.back().bits;
+    for (size_t i = 0; i + 1 < frames.size(); i++) {
+        if (!frames[i].spilled) {
+            frames[i].spilled = true;
+            residentBits -= frames[i].bits;
+            stat.spillEvents++;
+            stat.spillBits += frames[i].bits;
+        }
+    }
+    return 2 * spillCycles(topBits);
+}
+
+uint64_t
+IpdsEngine::enqueue(const IpdsRequest &rq, uint64_t now)
+{
+    stat.requests++;
+
+    // Retire completed requests.
+    while (!inflight.empty() && inflight.front() <= now)
+        inflight.pop_front();
+
+    // Queue-full back-pressure: the CPU waits until the oldest request
+    // completes (the only situation where IPDS slows the program).
+    uint64_t stall = 0;
+    while (inflight.size() >= cfg.requestQueueSize) {
+        uint64_t freeAt = inflight.front();
+        stall += freeAt - now;
+        now = freeAt;
+        while (!inflight.empty() && inflight.front() <= now)
+            inflight.pop_front();
+    }
+    if (stall) {
+        stat.queueFullStalls++;
+        stat.stallCycles += stall;
+    }
+
+    uint64_t start = std::max(now, engineFree);
+    uint64_t c = cost(rq);
+    uint64_t finish = start + c;
+    stat.busyCycles += c;
+    engineFree = finish;
+    inflight.push_back(finish);
+
+    if (rq.kind == IpdsRequest::Kind::Check) {
+        stat.checkLatencySum += finish - now;
+        stat.checkLatencyCount++;
+    }
+    return stall;
+}
+
+} // namespace ipds

@@ -1,0 +1,108 @@
+#ifndef IPDS_TIMING_ENGINE_H
+#define IPDS_TIMING_ENGINE_H
+
+/**
+ * @file
+ * Timing model of the IPDS hardware engine (§5.4):
+ *
+ *  - an ordered request queue fed by committed branches and function
+ *    entries/exits; the program only stalls when the queue is full;
+ *  - a serial checker processing one table access per cycle, walking
+ *    BAT action lists entry by entry (the "link list" of §6);
+ *  - on-chip stack buffers for BSV/BCV/BAT with spill/fill of deep
+ *    frames to reserved memory, Itanium-RSE style.
+ */
+
+#include <deque>
+#include <vector>
+
+#include "ipds/detector.h"
+#include "timing/config.h"
+
+namespace ipds {
+
+/** Aggregate statistics of the IPDS engine. */
+struct EngineStats
+{
+    uint64_t requests = 0;
+    uint64_t checkRequests = 0;
+    uint64_t updateRequests = 0;
+    uint64_t busyCycles = 0;
+    uint64_t queueFullStalls = 0;   ///< events where the CPU stalled
+    uint64_t stallCycles = 0;       ///< total CPU cycles lost
+    uint64_t spillEvents = 0;
+    uint64_t spillBits = 0;
+    uint64_t fillEvents = 0;
+    uint64_t fillBits = 0;
+    /** Sum and count for mean branch-to-verdict latency (§6: 11.7). */
+    uint64_t checkLatencySum = 0;
+    uint64_t checkLatencyCount = 0;
+
+    double
+    avgCheckLatency() const
+    {
+        return checkLatencyCount
+            ? double(checkLatencySum) / checkLatencyCount : 0.0;
+    }
+};
+
+/**
+ * The engine. The CPU model calls enqueue() at the commit cycle of the
+ * triggering instruction; the return value is the number of cycles the
+ * CPU must stall (nonzero only when the request queue is full).
+ */
+class IpdsEngine
+{
+  public:
+    explicit IpdsEngine(const TimingConfig &cfg);
+
+    /** Submit a request at @p now; returns CPU stall cycles. */
+    uint64_t enqueue(const IpdsRequest &rq, uint64_t now);
+
+    /**
+     * Model a context switch (§5.4): the protected process's tables
+     * must be saved and the incoming process's restored.
+     *
+     * @param lazy if false, save and restore every resident frame
+     *        synchronously; if true, apply the paper's optimization —
+     *        swap only the top of the stacks (about 1K bits)
+     *        synchronously and migrate deeper frames in parallel with
+     *        the new process's execution (they are marked spilled and
+     *        fill on demand).
+     * @return the synchronous latency in cycles.
+     */
+    uint64_t contextSwitch(bool lazy);
+
+    const EngineStats &stats() const { return stat; }
+
+  private:
+    /** Service cost of one request, including spill/fill effects. */
+    uint64_t cost(const IpdsRequest &rq);
+
+    uint64_t spillCycles(uint64_t bits) const;
+
+    const TimingConfig &cfg;
+    EngineStats stat;
+
+    /** Completion times of queued requests, oldest first. */
+    std::deque<uint64_t> inflight;
+    uint64_t engineFree = 0;
+
+    /** On-chip table stack model. */
+    struct FrameBits
+    {
+        uint64_t bits = 0;
+        bool spilled = false;
+    };
+    std::vector<FrameBits> frames;
+    uint64_t residentBits = 0;
+
+    uint64_t capacityBits() const
+    {
+        return cfg.bsvStackBits + cfg.bcvStackBits + cfg.batStackBits;
+    }
+};
+
+} // namespace ipds
+
+#endif // IPDS_TIMING_ENGINE_H

@@ -1,0 +1,73 @@
+#include "vm/memory.h"
+
+#include <cstring>
+#include <string>
+
+namespace ipds {
+
+uint8_t
+Memory::readByte(uint64_t addr) const
+{
+    auto it = pages.find(addr >> pageBits);
+    if (it == pages.end())
+        return 0;
+    return it->second[addr & (pageSize - 1)];
+}
+
+void
+Memory::writeByte(uint64_t addr, uint8_t v)
+{
+    auto &page = pages[addr >> pageBits];
+    if (page.empty())
+        page.resize(pageSize, 0);
+    page[addr & (pageSize - 1)] = v;
+}
+
+int64_t
+Memory::readI64(uint64_t addr) const
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; i++)
+        v |= static_cast<uint64_t>(readByte(addr + i)) << (8 * i);
+    return static_cast<int64_t>(v);
+}
+
+void
+Memory::writeI64(uint64_t addr, int64_t v)
+{
+    uint64_t u = static_cast<uint64_t>(v);
+    for (int i = 0; i < 8; i++)
+        writeByte(addr + i, static_cast<uint8_t>(u >> (8 * i)));
+}
+
+std::string
+Memory::readCStr(uint64_t addr, size_t max) const
+{
+    std::string out;
+    for (size_t i = 0; i < max; i++) {
+        uint8_t b = readByte(addr + i);
+        if (b == 0)
+            break;
+        out.push_back(static_cast<char>(b));
+    }
+    return out;
+}
+
+void
+Memory::writeBytes(uint64_t addr, const void *data, size_t n)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < n; i++)
+        writeByte(addr + i, p[i]);
+}
+
+std::vector<uint8_t>
+Memory::readBytes(uint64_t addr, size_t n) const
+{
+    std::vector<uint8_t> out(n);
+    for (size_t i = 0; i < n; i++)
+        out[i] = readByte(addr + i);
+    return out;
+}
+
+} // namespace ipds

@@ -1,0 +1,54 @@
+#ifndef IPDS_VM_MEMORY_H
+#define IPDS_VM_MEMORY_H
+
+/**
+ * @file
+ * Flat byte-addressed memory for the VM, standing in for the paper's
+ * Bochs guest RAM. Sparse pages; reads of unmapped memory return zero.
+ * Buffer overflows cross object boundaries exactly as they would in a
+ * real address space — that is the attack surface the experiments need.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ipds {
+
+/** Sparse paged memory. */
+class Memory
+{
+  public:
+    /** Read one byte (0 if the page was never written). */
+    uint8_t readByte(uint64_t addr) const;
+
+    /** Write one byte, allocating the page if needed. */
+    void writeByte(uint64_t addr, uint8_t v);
+
+    /** Little-endian 64-bit read. */
+    int64_t readI64(uint64_t addr) const;
+
+    /** Little-endian 64-bit write. */
+    void writeI64(uint64_t addr, int64_t v);
+
+    /** Read a NUL-terminated string of at most @p max bytes. */
+    std::string readCStr(uint64_t addr, size_t max = 1 << 20) const;
+
+    /** Write @p bytes at @p addr (no terminator added). */
+    void writeBytes(uint64_t addr, const void *data, size_t n);
+
+    /** Read @p n raw bytes. */
+    std::vector<uint8_t> readBytes(uint64_t addr, size_t n) const;
+
+  private:
+    static constexpr uint64_t pageBits = 12;
+    static constexpr uint64_t pageSize = 1ULL << pageBits;
+
+    std::unordered_map<uint64_t, std::vector<uint8_t>> pages;
+};
+
+} // namespace ipds
+
+#endif // IPDS_VM_MEMORY_H

@@ -1,0 +1,622 @@
+#include "vm/vm.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/diag.h"
+
+namespace ipds {
+
+namespace {
+
+/** Internal control-flow exception for runtime faults. */
+struct TrapError
+{
+    std::string msg;
+};
+
+/** Internal control-flow exception for the exit() builtin. */
+struct ExitCall
+{
+    int64_t code;
+};
+
+uint64_t
+alignUp(uint64_t v, uint64_t a)
+{
+    return (v + a - 1) & ~(a - 1);
+}
+
+} // namespace
+
+Vm::Vm(const Module &prog)
+    : mod(prog)
+{
+    layoutStatics();
+    sp = stackTop;
+}
+
+void
+Vm::layoutStatics()
+{
+    staticBase.assign(mod.objects.size(), 0);
+    uint64_t constCur = constBase;
+    uint64_t globalCur = globalSegBase;
+    for (const auto &obj : mod.objects) {
+        if (obj.kind == ObjectKind::Local)
+            continue;
+        uint64_t &cur =
+            obj.kind == ObjectKind::Const ? constCur : globalCur;
+        staticBase[obj.id] = cur;
+        if (!obj.init.empty())
+            mem.writeBytes(cur, obj.init.data(), obj.init.size());
+        cur = alignUp(cur + obj.size, 8);
+    }
+}
+
+uint64_t
+Vm::globalBase(ObjectId obj) const
+{
+    if (obj >= staticBase.size() || staticBase[obj] == 0)
+        panic("globalBase: object %u is not a static object", obj);
+    return staticBase[obj];
+}
+
+uint64_t
+Vm::entryLocalAddr(const std::string &name) const
+{
+    const Function &fn = mod.functions[mod.entry];
+    std::string full = fn.name + "." + name;
+    uint64_t size = 0;
+    std::vector<uint64_t> offsets(fn.locals.size());
+    for (size_t i = 0; i < fn.locals.size(); i++) {
+        offsets[i] = size;
+        size += alignUp(mod.objects[fn.locals[i]].size, 8);
+    }
+    uint64_t base = stackTop - size;
+    for (size_t i = 0; i < fn.locals.size(); i++) {
+        if (mod.objects[fn.locals[i]].name == full)
+            return base + offsets[i];
+    }
+    panic("entryLocalAddr: no local named '%s' in %s", name.c_str(),
+          fn.name.c_str());
+}
+
+void
+Vm::setInputs(std::vector<std::string> lines)
+{
+    inputs = std::move(lines);
+    inputPos = 0;
+}
+
+void
+Vm::addObserver(ExecObserver *obs)
+{
+    observers.push_back(obs);
+}
+
+void
+Vm::setTamper(const TamperSpec &spec)
+{
+    tamperArmed = true;
+    tamperSpec = spec;
+}
+
+void
+Vm::trap(const std::string &why)
+{
+    throw TrapError{why};
+}
+
+uint64_t
+Vm::localAddr(const Frame &fr, ObjectId obj, int64_t off) const
+{
+    const MemObject &o = mod.objects[obj];
+    if (o.kind != ObjectKind::Local)
+        return staticBase[obj] + static_cast<uint64_t>(off);
+    const Function &fn = mod.functions[fr.func];
+    for (size_t i = 0; i < fn.locals.size(); i++) {
+        if (fn.locals[i] == obj)
+            return fr.localBase[i] + static_cast<uint64_t>(off);
+    }
+    panic("localAddr: object %s not a local of %s",
+          o.name.c_str(), fn.name.c_str());
+}
+
+void
+Vm::pushFrame(FuncId f, const std::vector<int64_t> &args,
+              Vreg caller_dst)
+{
+    const Function &fn = mod.functions[f];
+    Frame fr;
+    fr.func = f;
+    fr.regs.assign(fn.nextVreg, 0);
+    fr.callerDst = caller_dst;
+
+    // Lay locals out bottom-up in declaration order: a buffer overflow
+    // (increasing addresses) runs into later-declared locals and then
+    // the caller's frame, as on a real downward-growing stack.
+    uint64_t size = 0;
+    fr.localBase.resize(fn.locals.size());
+    std::vector<uint64_t> offsets(fn.locals.size());
+    for (size_t i = 0; i < fn.locals.size(); i++) {
+        offsets[i] = size;
+        size += alignUp(mod.objects[fn.locals[i]].size, 8);
+    }
+    if (sp < size + stackLimit)
+        trap("stack overflow in " + fn.name);
+    sp -= size;
+    fr.frameBase = sp;
+    for (size_t i = 0; i < fn.locals.size(); i++)
+        fr.localBase[i] = fr.frameBase + offsets[i];
+
+    // Bind arguments: GetArg reads regs via a shadow copy.
+    fr.args = args;
+
+    frames.push_back(std::move(fr));
+    for (auto *obs : observers)
+        obs->onFunctionEnter(f);
+}
+
+void
+Vm::popFrame()
+{
+    const Frame &fr = frames.back();
+    const Function &fn = mod.functions[fr.func];
+    uint64_t size = 0;
+    for (ObjectId oid : fn.locals)
+        size += alignUp(mod.objects[oid].size, 8);
+    sp += size;
+    FuncId f = fr.func;
+    frames.pop_back();
+    for (auto *obs : observers)
+        obs->onFunctionExit(f);
+}
+
+RunResult
+Vm::run()
+{
+    RunResult res;
+    if (mod.entry == kNoFunc)
+        panic("Vm::run: module has no entry point");
+    try {
+        pushFrame(mod.entry, {}, kNoVreg);
+        while (!frames.empty()) {
+            if (!step(res))
+                break;
+        }
+        if (frames.empty() && res.exit == ExitKind::Returned) {
+            // main returned; exitCode already captured in step().
+        }
+    } catch (const TrapError &t) {
+        res.exit = ExitKind::Trapped;
+        res.trapMessage = t.msg;
+    } catch (const ExitCall &e) {
+        res.exit = ExitKind::Exited;
+        res.exitCode = e.code;
+    }
+    res.steps = steps;
+    res.inputEventCount = inputEvents;
+    res.tamper = tamperDone;
+    return res;
+}
+
+bool
+Vm::step(RunResult &res)
+{
+    if (steps >= fuel) {
+        res.exit = ExitKind::OutOfFuel;
+        return false;
+    }
+    steps++;
+
+    Frame &fr = frames.back();
+    const Function &fn = mod.functions[fr.func];
+    const Inst &in = fn.blocks[fr.block].insts[fr.ip];
+
+    uint64_t memAddr = 0;
+    uint32_t memSize = 0;
+    bool isLoad = false;
+
+    switch (in.op) {
+      case Op::ConstInt:
+        fr.regs[in.dst] = in.imm;
+        fr.ip++;
+        break;
+      case Op::AddrOf:
+        fr.regs[in.dst] = static_cast<int64_t>(
+            localAddr(fr, in.object, in.imm));
+        fr.ip++;
+        break;
+      case Op::Load: {
+        memAddr = localAddr(fr, in.object, in.imm);
+        memSize = static_cast<uint32_t>(in.size);
+        isLoad = true;
+        fr.regs[in.dst] = in.size == MemSize::I8
+            ? static_cast<int64_t>(mem.readByte(memAddr))
+            : mem.readI64(memAddr);
+        fr.ip++;
+        break;
+      }
+      case Op::LoadInd: {
+        memAddr = static_cast<uint64_t>(fr.regs[in.srcA]);
+        memSize = static_cast<uint32_t>(in.size);
+        isLoad = true;
+        fr.regs[in.dst] = in.size == MemSize::I8
+            ? static_cast<int64_t>(mem.readByte(memAddr))
+            : mem.readI64(memAddr);
+        fr.ip++;
+        break;
+      }
+      case Op::Store: {
+        memAddr = localAddr(fr, in.object, in.imm);
+        memSize = static_cast<uint32_t>(in.size);
+        if (in.size == MemSize::I8)
+            mem.writeByte(memAddr,
+                          static_cast<uint8_t>(fr.regs[in.srcA]));
+        else
+            mem.writeI64(memAddr, fr.regs[in.srcA]);
+        fr.ip++;
+        break;
+      }
+      case Op::StoreInd: {
+        memAddr = static_cast<uint64_t>(fr.regs[in.srcA]);
+        memSize = static_cast<uint32_t>(in.size);
+        if (in.size == MemSize::I8)
+            mem.writeByte(memAddr,
+                          static_cast<uint8_t>(fr.regs[in.srcB]));
+        else
+            mem.writeI64(memAddr, fr.regs[in.srcB]);
+        fr.ip++;
+        break;
+      }
+      case Op::Bin: {
+        int64_t a = fr.regs[in.srcA];
+        int64_t b = fr.regs[in.srcB];
+        int64_t out = 0;
+        switch (in.bin) {
+          case BinOp::Add:
+            out = static_cast<int64_t>(static_cast<uint64_t>(a) +
+                                       static_cast<uint64_t>(b));
+            break;
+          case BinOp::Sub:
+            out = static_cast<int64_t>(static_cast<uint64_t>(a) -
+                                       static_cast<uint64_t>(b));
+            break;
+          case BinOp::Mul:
+            out = static_cast<int64_t>(static_cast<uint64_t>(a) *
+                                       static_cast<uint64_t>(b));
+            break;
+          case BinOp::Div:
+            if (b == 0)
+                trap("division by zero");
+            if (a == INT64_MIN && b == -1)
+                out = INT64_MIN;
+            else
+                out = a / b;
+            break;
+          case BinOp::Rem:
+            if (b == 0)
+                trap("remainder by zero");
+            if (a == INT64_MIN && b == -1)
+                out = 0;
+            else
+                out = a % b;
+            break;
+          case BinOp::And: out = a & b; break;
+          case BinOp::Or: out = a | b; break;
+          case BinOp::Xor: out = a ^ b; break;
+          case BinOp::Shl:
+            out = static_cast<int64_t>(static_cast<uint64_t>(a)
+                                       << (b & 63));
+            break;
+          case BinOp::Shr:
+            out = a >> (b & 63);
+            break;
+        }
+        fr.regs[in.dst] = out;
+        fr.ip++;
+        break;
+      }
+      case Op::Cmp: {
+        int64_t a = fr.regs[in.srcA];
+        int64_t b = fr.regs[in.srcB];
+        bool r = false;
+        switch (in.pred) {
+          case Pred::EQ: r = a == b; break;
+          case Pred::NE: r = a != b; break;
+          case Pred::LT: r = a < b; break;
+          case Pred::LE: r = a <= b; break;
+          case Pred::GT: r = a > b; break;
+          case Pred::GE: r = a >= b; break;
+        }
+        fr.regs[in.dst] = r ? 1 : 0;
+        fr.ip++;
+        break;
+      }
+      case Op::Br: {
+        bool taken = fr.regs[in.srcA] != 0;
+        if (recordTrace)
+            res.branchTrace.push_back({in.pc, taken});
+        for (auto *obs : observers)
+            obs->onBranch(fr.func, in.pc, taken);
+        fr.block = taken ? in.target : in.fallthrough;
+        fr.ip = 0;
+        break;
+      }
+      case Op::Jmp:
+        fr.block = in.target;
+        fr.ip = 0;
+        break;
+      case Op::Call: {
+        if (in.builtin != Builtin::None) {
+            execBuiltin(fr, in, res);
+            fr.ip++;
+        } else {
+            std::vector<int64_t> args;
+            args.reserve(in.args.size());
+            for (Vreg a : in.args)
+                args.push_back(fr.regs[a]);
+            FuncId callee = in.callee;
+            Vreg dst = in.dst;
+            fr.ip++; // resume after the call on return
+            // NOTE: fr is invalidated by pushFrame.
+            pushFrame(callee, args, dst);
+        }
+        break;
+      }
+      case Op::Ret: {
+        int64_t value =
+            in.srcA != kNoVreg ? fr.regs[in.srcA] : 0;
+        Vreg dst = fr.callerDst;
+        popFrame();
+        if (frames.empty()) {
+            res.exit = ExitKind::Returned;
+            res.exitCode = value;
+        } else if (dst != kNoVreg) {
+            frames.back().regs[dst] = value;
+        }
+        break;
+      }
+      case Op::GetArg: {
+        size_t idx = static_cast<size_t>(in.imm);
+        fr.regs[in.dst] = idx < frames.back().args.size()
+            ? frames.back().args[idx] : 0;
+        fr.ip++;
+        break;
+      }
+    }
+
+    for (auto *obs : observers)
+        obs->onInst(in, memAddr, memSize, isLoad);
+
+    if (tamperArmed && !tamperDone.fired && tamperSpec.atStep > 0 &&
+        steps >= tamperSpec.atStep) {
+        fireTamper(res);
+    }
+    return !frames.empty();
+}
+
+void
+Vm::maybeFireTamper(RunResult &res, bool input_event)
+{
+    if (!tamperArmed || tamperDone.fired || !input_event)
+        return;
+    if (tamperSpec.atStep > 0)
+        return; // step-triggered, handled in step()
+    if (inputEvents >= tamperSpec.afterInputEvent)
+        fireTamper(res);
+}
+
+void
+Vm::fireTamper(RunResult &res)
+{
+    (void)res;
+    tamperDone.fired = true;
+
+    uint64_t addr = tamperSpec.addr;
+    std::vector<uint8_t> bytes = tamperSpec.bytes;
+
+    if (tamperSpec.randomStackTarget) {
+        Rng rng(tamperSpec.seed);
+        // Candidate targets: every local object of every live frame.
+        struct Cand
+        {
+            uint64_t addr;
+            uint32_t size;
+            const MemObject *obj;
+        };
+        std::vector<Cand> cands;
+        for (const auto &fr : frames) {
+            const Function &fn = mod.functions[fr.func];
+            for (size_t i = 0; i < fn.locals.size(); i++) {
+                const MemObject &o = mod.objects[fn.locals[i]];
+                cands.push_back({fr.localBase[i], o.size, &o});
+            }
+        }
+        if (cands.empty())
+            return;
+        const Cand &c = cands[rng.below(cands.size())];
+        uint32_t width;
+        uint32_t off = 0;
+        if (c.obj->isArray) {
+            width = static_cast<uint32_t>(
+                rng.range(1, std::min<uint32_t>(8, c.size)));
+            off = static_cast<uint32_t>(
+                rng.below(c.size - width + 1));
+        } else {
+            width = c.size;
+        }
+        addr = c.addr + off;
+        bytes.resize(width);
+        // Attack values: a mix of the semantically interesting (0, 1,
+        // small) and raw garbage.
+        switch (rng.below(4)) {
+          case 0:
+            std::fill(bytes.begin(), bytes.end(), 0);
+            break;
+          case 1:
+            std::fill(bytes.begin(), bytes.end(), 0);
+            bytes[0] = 1;
+            break;
+          case 2:
+            std::fill(bytes.begin(), bytes.end(), 0);
+            bytes[0] = static_cast<uint8_t>(rng.below(64));
+            break;
+          default:
+            for (auto &b : bytes)
+                b = static_cast<uint8_t>(rng.below(256));
+            break;
+        }
+        tamperDone.objectName = c.obj->name;
+    }
+
+    tamperDone.addr = addr;
+    tamperDone.oldBytes = mem.readBytes(addr, bytes.size());
+    mem.writeBytes(addr, bytes.data(), bytes.size());
+    tamperDone.newBytes = std::move(bytes);
+}
+
+void
+Vm::execBuiltin(Frame &fr, const Inst &in, RunResult &res)
+{
+    auto arg = [&](size_t i) { return fr.regs[in.args[i]]; };
+    auto uarg = [&](size_t i) {
+        return static_cast<uint64_t>(fr.regs[in.args[i]]);
+    };
+    auto nextInput = [&]() -> std::string {
+        std::string line =
+            inputPos < inputs.size() ? inputs[inputPos++] : "";
+        inputEvents++;
+        res.inputEventPcs.push_back(in.pc);
+        return line;
+    };
+
+    switch (in.builtin) {
+      case Builtin::PrintStr:
+        res.output += mem.readCStr(uarg(0));
+        break;
+      case Builtin::PrintInt:
+        res.output += strprintf("%lld",
+                                static_cast<long long>(arg(0)));
+        break;
+      case Builtin::GetInput: {
+        std::string line = nextInput();
+        // The classic unbounded copy: writes however much arrives.
+        mem.writeBytes(uarg(0), line.data(), line.size());
+        mem.writeByte(uarg(0) + line.size(), 0);
+        maybeFireTamper(res, true);
+        break;
+      }
+      case Builtin::GetInputN: {
+        std::string line = nextInput();
+        int64_t n = arg(1);
+        if (n > 0) {
+            size_t cap = static_cast<size_t>(n - 1);
+            size_t len = std::min(line.size(), cap);
+            mem.writeBytes(uarg(0), line.data(), len);
+            mem.writeByte(uarg(0) + len, 0);
+        }
+        maybeFireTamper(res, true);
+        break;
+      }
+      case Builtin::InputInt: {
+        std::string line = nextInput();
+        fr.regs[in.dst] = std::strtoll(line.c_str(), nullptr, 10);
+        maybeFireTamper(res, true);
+        break;
+      }
+      case Builtin::Strcpy: {
+        std::string s = mem.readCStr(uarg(1));
+        mem.writeBytes(uarg(0), s.data(), s.size());
+        mem.writeByte(uarg(0) + s.size(), 0);
+        break;
+      }
+      case Builtin::Strncpy: {
+        std::string s = mem.readCStr(uarg(1));
+        int64_t n = arg(2);
+        for (int64_t i = 0; i < n; i++) {
+            uint8_t b = i < static_cast<int64_t>(s.size())
+                ? static_cast<uint8_t>(s[i]) : 0;
+            mem.writeByte(uarg(0) + i, b);
+        }
+        break;
+      }
+      case Builtin::Strcat: {
+        std::string d = mem.readCStr(uarg(0));
+        std::string s = mem.readCStr(uarg(1));
+        mem.writeBytes(uarg(0) + d.size(), s.data(), s.size());
+        mem.writeByte(uarg(0) + d.size() + s.size(), 0);
+        break;
+      }
+      case Builtin::Strcmp: {
+        std::string a = mem.readCStr(uarg(0));
+        std::string b = mem.readCStr(uarg(1));
+        int c = std::strcmp(a.c_str(), b.c_str());
+        fr.regs[in.dst] = c < 0 ? -1 : (c > 0 ? 1 : 0);
+        break;
+      }
+      case Builtin::Strncmp: {
+        int64_t n = arg(2);
+        int cmpv = 0;
+        for (int64_t i = 0; i < n; i++) {
+            uint8_t x = mem.readByte(uarg(0) + i);
+            uint8_t y = mem.readByte(uarg(1) + i);
+            if (x != y) {
+                cmpv = x < y ? -1 : 1;
+                break;
+            }
+            if (x == 0)
+                break;
+        }
+        fr.regs[in.dst] = cmpv;
+        break;
+      }
+      case Builtin::Strlen:
+        fr.regs[in.dst] =
+            static_cast<int64_t>(mem.readCStr(uarg(0)).size());
+        break;
+      case Builtin::Memset: {
+        uint8_t v = static_cast<uint8_t>(arg(1));
+        int64_t n = arg(2);
+        for (int64_t i = 0; i < n; i++)
+            mem.writeByte(uarg(0) + i, v);
+        break;
+      }
+      case Builtin::Memcpy: {
+        int64_t n = arg(2);
+        auto data = mem.readBytes(uarg(1), static_cast<size_t>(n));
+        mem.writeBytes(uarg(0), data.data(), data.size());
+        break;
+      }
+      case Builtin::Memcmp: {
+        int64_t n = arg(2);
+        int cmpv = 0;
+        for (int64_t i = 0; i < n; i++) {
+            uint8_t x = mem.readByte(uarg(0) + i);
+            uint8_t y = mem.readByte(uarg(1) + i);
+            if (x != y) {
+                cmpv = x < y ? -1 : 1;
+                break;
+            }
+        }
+        fr.regs[in.dst] = cmpv;
+        break;
+      }
+      case Builtin::Atoi: {
+        std::string s = mem.readCStr(uarg(0));
+        fr.regs[in.dst] = std::strtoll(s.c_str(), nullptr, 10);
+        break;
+      }
+      case Builtin::Exit:
+        throw ExitCall{arg(0)};
+      case Builtin::Abort:
+        trap("abort() called");
+      default:
+        panic("execBuiltin: unhandled builtin %d",
+              static_cast<int>(in.builtin));
+    }
+}
+
+} // namespace ipds

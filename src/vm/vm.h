@@ -1,0 +1,228 @@
+#ifndef IPDS_VM_VM_H
+#define IPDS_VM_VM_H
+
+/**
+ * @file
+ * Functional executor for compiled programs — the stand-in for the
+ * paper's Bochs+Linux testbed (see DESIGN.md substitutions).
+ *
+ * Responsibilities:
+ *  - execute the IR over a flat address space with a real downward-
+ *    growing stack, so overflowing a local buffer clobbers neighbouring
+ *    locals and caller frames;
+ *  - provide the C-library-style builtins (including the classic
+ *    unbounded strcpy/get_input overflow vectors);
+ *  - feed scripted input lines to the program;
+ *  - inject memory tampering at a chosen trigger (Nth input event or
+ *    instruction count), optionally picking a random live stack
+ *    location — the attack primitive of §6;
+ *  - emit events (function enter/exit, committed branches, executed
+ *    instructions with effective addresses) to observers: the IPDS
+ *    detector and the timing model.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "support/rng.h"
+#include "vm/memory.h"
+
+namespace ipds {
+
+/** How a run ended. */
+enum class ExitKind : uint8_t
+{
+    Returned, ///< main returned
+    Exited,   ///< exit() builtin
+    Trapped,  ///< runtime fault (division by zero, stack overflow...)
+    OutOfFuel,///< instruction budget exhausted (e.g. tampered loop)
+};
+
+/** One committed conditional branch. */
+struct BranchEvent
+{
+    uint64_t pc = 0;
+    bool taken = false;
+
+    bool operator==(const BranchEvent &o) const
+    {
+        return pc == o.pc && taken == o.taken;
+    }
+};
+
+/**
+ * Observer interface for execution events. All callbacks default to
+ * no-ops so implementations override only what they need.
+ */
+class ExecObserver
+{
+  public:
+    virtual ~ExecObserver() = default;
+
+    /** A call pushed a frame for @p f. */
+    virtual void onFunctionEnter(FuncId f) { (void)f; }
+
+    /** The frame for @p f was popped. */
+    virtual void onFunctionExit(FuncId f) { (void)f; }
+
+    /** A conditional branch committed. */
+    virtual void
+    onBranch(FuncId f, uint64_t pc, bool taken)
+    {
+        (void)f; (void)pc; (void)taken;
+    }
+
+    /**
+     * Any instruction committed. @p mem_addr/@p mem_size describe the
+     * data access (0 size if none), @p is_load its direction.
+     */
+    virtual void
+    onInst(const Inst &in, uint64_t mem_addr, uint32_t mem_size,
+           bool is_load)
+    {
+        (void)in; (void)mem_addr; (void)mem_size; (void)is_load;
+    }
+};
+
+/** What to corrupt and when (one attack = one tamper). */
+struct TamperSpec
+{
+    /** Trigger: after this many input events (get_input etc.)... */
+    uint32_t afterInputEvent = 0;
+    /** ...or, if nonzero, at this absolute instruction count. */
+    uint64_t atStep = 0;
+
+    /** If true, pick a random live local stack location. */
+    bool randomStackTarget = true;
+    uint64_t seed = 1; ///< RNG seed for target/value selection
+
+    /** Explicit target when randomStackTarget is false. */
+    uint64_t addr = 0;
+    std::vector<uint8_t> bytes;
+};
+
+/** Record of what a tamper actually did (for reports and replay). */
+struct TamperRecord
+{
+    bool fired = false;
+    uint64_t addr = 0;
+    std::string objectName; ///< object hit, if a named local
+    std::vector<uint8_t> oldBytes;
+    std::vector<uint8_t> newBytes;
+};
+
+/** Result of one complete run. */
+struct RunResult
+{
+    ExitKind exit = ExitKind::Returned;
+    int64_t exitCode = 0;
+    std::string output;
+    uint64_t steps = 0;
+    uint32_t inputEventCount = 0;
+    /** PC of the call that consumed each input event, in order. */
+    std::vector<uint64_t> inputEventPcs;
+    std::vector<BranchEvent> branchTrace;
+    TamperRecord tamper;
+    std::string trapMessage;
+};
+
+/**
+ * The virtual machine. One instance runs one program once.
+ */
+class Vm
+{
+  public:
+    /** @p prog must outlive the Vm. */
+    explicit Vm(const Module &prog);
+
+    /** Provide scripted input lines consumed by the input builtins. */
+    void setInputs(std::vector<std::string> lines);
+
+    /** Attach an observer (not owned). May be called multiple times. */
+    void addObserver(ExecObserver *obs);
+
+    /** Arm a single memory tamper. */
+    void setTamper(const TamperSpec &spec);
+
+    /** Cap on executed instructions (default 50M). */
+    void setFuel(uint64_t max_steps) { fuel = max_steps; }
+
+    /** Record the branch trace in the result (default on). */
+    void setRecordTrace(bool on) { recordTrace = on; }
+
+    /** Execute main() to completion. */
+    RunResult run();
+
+    /** The VM's memory (exposed for tests and examples). */
+    Memory &memory() { return mem; }
+
+    /** Base address of a Global/Const object. */
+    uint64_t globalBase(ObjectId obj) const;
+
+    /**
+     * Address local @p name of the ENTRY function will occupy at run
+     * time (deterministic: main's frame is always placed first).
+     * @p name is the bare source name, e.g. "role". Panics if absent.
+     */
+    uint64_t entryLocalAddr(const std::string &name) const;
+
+  private:
+    struct Frame
+    {
+        FuncId func = kNoFunc;
+        BlockId block = 0;
+        uint32_t ip = 0; ///< instruction index within block
+        std::vector<int64_t> regs;
+        std::vector<int64_t> args; ///< incoming argument values
+        /** Base address of each local object (parallel to locals). */
+        std::vector<uint64_t> localBase;
+        uint64_t frameBase = 0; ///< lowest address of the frame
+        Vreg callerDst = kNoVreg; ///< caller vreg for the return value
+    };
+
+    void layoutStatics();
+    void pushFrame(FuncId f, const std::vector<int64_t> &args,
+                   Vreg caller_dst);
+    void popFrame();
+    uint64_t localAddr(const Frame &fr, ObjectId obj,
+                       int64_t off) const;
+
+    /** Execute one instruction; returns false when the run ended. */
+    bool step(RunResult &res);
+    void execBuiltin(Frame &fr, const Inst &in, RunResult &res);
+
+    void maybeFireTamper(RunResult &res, bool input_event);
+    void fireTamper(RunResult &res);
+
+    [[noreturn]] void trap(const std::string &why);
+
+    const Module &mod;
+    Memory mem;
+    std::vector<uint64_t> staticBase; ///< per-object base (globals)
+    std::vector<Frame> frames;
+    uint64_t sp = 0;
+
+    std::vector<std::string> inputs;
+    size_t inputPos = 0;
+    uint32_t inputEvents = 0;
+
+    std::vector<ExecObserver *> observers;
+    bool recordTrace = true;
+    uint64_t fuel = 50'000'000;
+    uint64_t steps = 0;
+
+    bool tamperArmed = false;
+    TamperSpec tamperSpec;
+    TamperRecord tamperDone;
+
+    static constexpr uint64_t constBase = 0x10000;
+    static constexpr uint64_t globalSegBase = 0x100000;
+    static constexpr uint64_t stackTop = 0x7fff0000;
+    static constexpr uint64_t stackLimit = 0x7000000;
+};
+
+} // namespace ipds
+
+#endif // IPDS_VM_VM_H

@@ -1,0 +1,991 @@
+#include "workloads/workloads.h"
+
+#include "support/diag.h"
+
+namespace ipds {
+
+namespace {
+
+// ====================================================================
+// telnetd: login followed by a shell-like command loop. The privilege
+// decision (`root` flag) lives on main's stack and is consulted by
+// every privileged command — the classic non-control-data target.
+// ====================================================================
+const char *kTelnetd = R"(
+int sessions;
+
+int check_login(char *user, char *pass) {
+    if (strcmp(user, "root") == 0) {
+        if (strcmp(pass, "toor") == 0) {
+            return 2;
+        }
+        return 0;
+    }
+    if (strcmp(user, "guest") == 0) {
+        return 1;
+    }
+    return 0;
+}
+
+void main() {
+    char user[16];
+    char pass[16];
+    char cmd[32];
+    int level;
+    int rounds;
+    int failures;
+    int logged;
+
+    sessions = sessions + 1;
+    failures = 0;
+    level = 0;
+    logged = 0;
+
+    get_input_n(user, 16);
+    get_input_n(pass, 16);
+    level = check_login(user, pass);
+    if (level == 0) {
+        failures = failures + 1;
+        print_str("login failed\n");
+    } else {
+        print_str("welcome\n");
+    }
+
+    rounds = 0;
+    while (rounds < 6) {
+        if (level > 2) {
+            print_str("audit: impossible level\n");
+        }
+        // The shell prompt consults the privilege level every round,
+        // exactly like a real shell: root gets '#', users get '$'.
+        if (level == 2) {
+            print_str("# ");
+        } else {
+            if (level == 0) {
+                print_str("? ");
+            } else {
+                print_str("$ ");
+            }
+        }
+        get_input_n(cmd, 32);
+        if (strcmp(cmd, "quit") == 0) {
+            rounds = 6;
+        } else {
+            if (strcmp(cmd, "whoami") == 0) {
+                if (level == 2) {
+                    print_str("root\n");
+                } else {
+                    // Paranoid consistency check: an unprivileged
+                    // session must not carry the root login name.
+                    if (strcmp(user, "root") == 0) {
+                        print_str("audit: root name, no privilege\n");
+                    } else {
+                        if (level == 1) {
+                            print_str("guest\n");
+                        } else {
+                            print_str("nobody\n");
+                        }
+                    }
+                }
+            }
+            if (strcmp(cmd, "shutdown") == 0) {
+                // Defense in depth: privileged commands re-verify the
+                // login name as well as the session level.
+                if (level == 2) {
+                    if (strcmp(user, "root") == 0) {
+                        print_str("system going down\n");
+                    } else {
+                        print_str("audit: level/user mismatch\n");
+                    }
+                } else {
+                    print_str("permission denied\n");
+                }
+            }
+            if (strcmp(cmd, "stats") == 0) {
+                print_int(sessions);
+                print_str(" sessions, ");
+                print_int(failures);
+                print_str(" failures\n");
+            }
+            if (strcmp(cmd, "uptime") == 0) {
+                print_str("up since boot\n");
+            }
+            if (strncmp(cmd, "log ", 4) == 0) {
+                // Only authenticated users may append to the audit
+                // log, and the audit trail is rate limited.
+                if (level >= 1) {
+                    if (logged < 3) {
+                        print_str("logged: ");
+                        print_str(cmd + 4);
+                        print_str("\n");
+                        logged = logged + 1;
+                    } else {
+                        print_str("log rate limited\n");
+                    }
+                } else {
+                    print_str("log: login first\n");
+                }
+            }
+            rounds = rounds + 1;
+        }
+    }
+    print_str("bye\n");
+}
+)";
+
+// ====================================================================
+// wu-ftpd: USER/PASS then transfer commands; the anonymous flag and
+// the per-session transfer quota are both stack-resident decisions.
+// ====================================================================
+const char *kWuFtpd = R"(
+int xfer_total;
+
+void main() {
+    char user[16];
+    char pass[24];
+    char cmd[32];
+    char path[40];
+    int anon;
+    int quota;
+    int sent;
+    int i;
+
+    print_str("220 ftp ready\n");
+    get_input_n(user, 16);
+    anon = 0;
+    if (strcmp(user, "anonymous") == 0) {
+        anon = 1;
+    }
+    get_input_n(pass, 24);
+
+    quota = 3;
+    if (anon == 1) {
+        quota = 1;
+    }
+
+    sent = 0;
+    i = 0;
+    while (i < 5) {
+        // Per-command session logging re-derives the account class
+        // from the login name, as wu-ftpd's logging paths do.
+        if (strcmp(user, "anonymous") == 0) {
+            print_str("[anon] ");
+        } else {
+            print_str("[user] ");
+        }
+        if (anon == 1) {
+            print_str("~ftp> ");
+        } else {
+            print_str("ftp> ");
+        }
+        if (quota > 3) {
+            print_str("quota corrupt\n");
+        }
+        get_input_n(cmd, 32);
+        if (strncmp(cmd, "RETR ", 5) == 0) {
+            strncpy(path, cmd + 5, 32);
+            if (anon == 1) {
+                if (strncmp(path, "pub/", 4) == 0) {
+                    if (sent < quota) {
+                        print_str("150 sending ");
+                        print_str(path);
+                        print_str("\n");
+                        sent = sent + 1;
+                        xfer_total = xfer_total + 1;
+                    } else {
+                        print_str("452 quota exceeded\n");
+                    }
+                } else {
+                    print_str("550 access denied\n");
+                }
+            } else {
+                if (sent < quota) {
+                    print_str("150 sending ");
+                    print_str(path);
+                    print_str("\n");
+                    sent = sent + 1;
+                    xfer_total = xfer_total + 1;
+                } else {
+                    print_str("452 quota exceeded\n");
+                }
+            }
+        }
+        if (strncmp(cmd, "CWD ", 4) == 0) {
+            if (anon == 1) {
+                if (strncmp(cmd + 4, "pub", 3) == 0) {
+                    print_str("250 cwd ok\n");
+                } else {
+                    print_str("550 anonymous stays in pub\n");
+                }
+            } else {
+                print_str("250 cwd ok\n");
+            }
+        }
+        if (strcmp(cmd, "SYST") == 0) {
+            print_str("215 UNIX Type: L8\n");
+        }
+        if (strncmp(cmd, "STOR ", 5) == 0) {
+            if (anon == 1) {
+                print_str("532 anonymous upload denied\n");
+            } else {
+                if (sent < quota) {
+                    print_str("150 receiving\n");
+                    sent = sent + 1;
+                } else {
+                    print_str("452 quota exceeded\n");
+                }
+            }
+        }
+        if (strncmp(cmd, "DELE ", 5) == 0) {
+            if (anon == 1) {
+                print_str("550 anonymous cannot delete\n");
+            } else {
+                print_str("250 deleted\n");
+            }
+        }
+        if (strcmp(cmd, "QUIT") == 0) {
+            i = 5;
+        } else {
+            i = i + 1;
+        }
+    }
+    print_str("221 goodbye\n");
+}
+)";
+
+// ====================================================================
+// xinetd: super-server dispatch with per-service connection limits.
+// Range checks on the spawn counters are the correlated branches.
+// ====================================================================
+const char *kXinetd = R"(
+int started;
+
+int lookup(char *svc) {
+    if (strcmp(svc, "echo") == 0) { return 1; }
+    if (strcmp(svc, "time") == 0) { return 2; }
+    if (strcmp(svc, "admin") == 0) { return 3; }
+    return 0;
+}
+
+void main() {
+    char svc[16];
+    char peer[24];
+    int id;
+    int echo_live;
+    int admin_live;
+    int round;
+    int drop_all;
+
+    echo_live = 0;
+    admin_live = 0;
+    drop_all = 0;
+    round = 0;
+    while (round < 6) {
+        get_input_n(svc, 16);
+        get_input_n(peer, 24);
+        if (drop_all > 1) {
+            print_str("audit: switch corrupt\n");
+        }
+        // Global kill switch, consulted on every connection.
+        if (drop_all == 1) {
+            print_str("refusing all connections\n");
+            round = round + 1;
+        } else {
+        id = lookup(svc);
+        if (id == 0) {
+            print_str("unknown service\n");
+        }
+        if (id == 1) {
+            if (echo_live < 4) {
+                echo_live = echo_live + 1;
+                started = started + 1;
+                print_str("spawn echo\n");
+            } else {
+                print_str("echo: too many instances\n");
+            }
+        }
+        if (id == 2) {
+            started = started + 1;
+            print_str("spawn time\n");
+        }
+        if (id == 3) {
+            if (strncmp(peer, "10.", 3) == 0) {
+                if (admin_live < 1) {
+                    admin_live = admin_live + 1;
+                    started = started + 1;
+                    print_str("spawn admin\n");
+                } else {
+                    print_str("admin busy\n");
+                }
+            } else {
+                print_str("admin: refused from ");
+                print_str(peer);
+                print_str("\n");
+            }
+        }
+        round = round + 1;
+        }
+    }
+    print_int(started);
+    print_str(" services started\n");
+}
+)";
+
+// ====================================================================
+// crond: parses one crontab entry at startup (range validation, a
+// privileged system-tab flag), then checks it against the clock every
+// tick — so the parsed schedule and its validity flag are long-lived
+// stack state consulted between every pair of input events.
+// ====================================================================
+const char *kCrond = R"(
+int ran;
+
+void main() {
+    char job[24];
+    int minute;
+    int hour;
+    int systab;
+    int valid;
+    int now_min;
+    int now_hour;
+    int tick;
+
+    // --- parse the crontab entry once --------------------------------
+    minute = input_int();
+    hour = input_int();
+    get_input_n(job, 24);
+
+    valid = 0;
+    if (minute >= 0) {
+        if (minute < 60) {
+            if (hour >= 0) {
+                if (hour < 24) {
+                    valid = 1;
+                }
+            }
+        }
+    }
+    if (valid == 0) {
+        print_str("bad schedule\n");
+    }
+
+    systab = 0;
+    if (strncmp(job, "sys:", 4) == 0) {
+        systab = 1;
+    }
+
+    // --- clock loop ---------------------------------------------------
+    tick = 0;
+    while (tick < 4) {
+        now_min = input_int();
+        now_hour = input_int();
+
+        if (valid > 1) {
+            print_str("audit: valid flag corrupt\n");
+        }
+        // Re-validate the parsed schedule at every dispatch: a
+        // corrupted entry must never fire (defense in depth).
+        if (minute > 59) {
+            print_str("audit: schedule corrupt\n");
+        }
+        if (minute < 0) {
+            print_str("audit: schedule corrupt\n");
+        }
+        if (hour > 23) {
+            print_str("audit: schedule corrupt\n");
+        }
+        if (hour < 0) {
+            print_str("audit: schedule corrupt\n");
+        }
+        if (valid == 1) {
+            if (strncmp(job, "sys:", 4) == 0) {
+                // The system-tab decision is re-derived from the job
+                // spec at dispatch time (defense in depth vs the
+                // cached flag).
+                if (systab == 1) {
+                    if (now_min == minute) {
+                        if (now_hour == hour) {
+                            print_str("run as root: ");
+                            print_str(job);
+                            print_str("\n");
+                            ran = ran + 1;
+                        }
+                    }
+                } else {
+                    print_str("audit: systab mismatch\n");
+                }
+            } else {
+                if (now_min == minute) {
+                    if (now_hour == hour) {
+                        print_str("run as user: ");
+                        print_str(job);
+                        print_str("\n");
+                        ran = ran + 1;
+                    }
+                }
+            }
+        }
+        tick = tick + 1;
+    }
+    print_int(ran);
+    print_str(" jobs ran\n");
+}
+)";
+
+// ====================================================================
+// sysklogd: priority-filtered logging. The mask decision is recomputed
+// per message from a stack-resident threshold.
+// ====================================================================
+const char *kSysklogd = R"(
+int dropped;
+
+void main() {
+    char msg[48];
+    int threshold;
+    int pri;
+    int count;
+    int emergs;
+    int enabled;
+
+    threshold = 4;
+    enabled = 1;
+    emergs = 0;
+    count = 0;
+    while (count < 6) {
+        pri = input_int();
+        get_input_n(msg, 48);
+
+        // Config integrity assertions, evaluated per message.
+        if (threshold > 7) {
+            print_str("config corrupt: threshold\n");
+        }
+        if (threshold < 0) {
+            print_str("config corrupt: threshold\n");
+        }
+        // Logging can be toggled off by SIGHUP handling; the flag is
+        // consulted for every message.
+        if (enabled != 1) {
+            dropped = dropped + 1;
+            count = count + 1;
+        } else {
+        if (pri >= 0) {
+            if (pri < 8) {
+                if (pri <= threshold) {
+                    print_str("log[");
+                    print_int(pri);
+                    print_str("]: ");
+                    print_str(msg);
+                    print_str("\n");
+                } else {
+                    dropped = dropped + 1;
+                }
+                if (pri == 0) {
+                    emergs = emergs + 1;
+                    print_str("wall: emergency!\n");
+                }
+            } else {
+                print_str("bad priority\n");
+            }
+        } else {
+            print_str("bad priority\n");
+        }
+        count = count + 1;
+        }
+    }
+    if (emergs > 0) {
+        print_str("had emergencies\n");
+    }
+}
+)";
+
+// ====================================================================
+// atftpd: TFTP read/write requests with mode validation and a block
+// transfer loop whose bounds are attack targets.
+// ====================================================================
+const char *kAtftpd = R"(
+void main() {
+    char fname[24];
+    char mode[12];
+    int opcode;
+    int blocks;
+    int blk;
+    int allow_write;
+    int secure;
+    int round;
+
+    allow_write = 0;
+    secure = 1;
+    round = 0;
+    while (round < 3) {
+        opcode = input_int();
+        get_input_n(fname, 24);
+        get_input_n(mode, 12);
+
+        // Secure mode restricts served paths; checked per request.
+        if (secure != 1) {
+            print_str("server wide open\n");
+        }
+        if (allow_write != 0) {
+            print_str("warning: uploads enabled\n");
+        }
+        if (strcmp(mode, "octet") == 0) {
+            if (opcode == 1) {
+                if (strncmp(fname, "boot/", 5) == 0) {
+                    blocks = 4;
+                    blk = 0;
+                    while (blk < blocks) {
+                        print_str("data block ");
+                        print_int(blk);
+                        print_str("\n");
+                        blk = blk + 1;
+                    }
+                    print_str("read done\n");
+                } else {
+                    print_str("file not permitted\n");
+                }
+            }
+            if (opcode == 2) {
+                if (allow_write == 1) {
+                    print_str("write accepted\n");
+                } else {
+                    print_str("write denied\n");
+                }
+            }
+            if (opcode != 1) {
+                if (opcode != 2) {
+                    print_str("bad opcode\n");
+                }
+            }
+        } else {
+            print_str("bad mode\n");
+        }
+        round = round + 1;
+    }
+}
+)";
+
+// ====================================================================
+// httpd: request parsing with method dispatch and an /admin realm
+// guarded by a repeated credential check — the Figure 1 pattern.
+// ====================================================================
+const char *kHttpd = R"(
+int hits;
+
+void main() {
+    char method[8];
+    char url[32];
+    char auth[24];
+    int authed;
+    int maintenance;
+    int round;
+    int served;
+
+    // Session state: admin authentication persists across requests
+    // (cookie-style), and a maintenance switch gates everything.
+    authed = 0;
+    maintenance = 0;
+    served = 0;
+
+    round = 0;
+    while (round < 5) {
+        get_input_n(method, 8);
+        get_input_n(url, 32);
+        get_input_n(auth, 24);
+        hits = hits + 1;
+
+        if (authed > 1) {
+            print_str("500 session corrupt\n");
+        }
+        if (served > 20) {
+            print_str("429 too many requests\n");
+        }
+        if (maintenance == 1) {
+            print_str("503 maintenance\n");
+        } else {
+            served = served + 1;
+            if (strcmp(auth, "secret") == 0) {
+                authed = 1;
+            }
+            if (strcmp(url, "/health") == 0) {
+                print_str("200 healthy\n");
+            }
+            if (strncmp(url, "/admin", 6) == 0) {
+                if (authed == 1) {
+                    if (strcmp(method, "GET") == 0) {
+                        print_str("200 admin page\n");
+                    } else {
+                        print_str("200 admin update\n");
+                    }
+                } else {
+                    print_str("401 unauthorized\n");
+                }
+            } else {
+                if (strcmp(method, "GET") == 0) {
+                    print_str("200 ok ");
+                    print_str(url);
+                    print_str("\n");
+                } else {
+                    if (strcmp(method, "HEAD") == 0) {
+                        print_str("200\n");
+                    } else {
+                        if (strcmp(method, "POST") == 0) {
+                            print_str("200 posted\n");
+                        } else {
+                            print_str("405 bad method\n");
+                        }
+                    }
+                }
+            }
+        }
+        round = round + 1;
+    }
+}
+)";
+
+// ====================================================================
+// sendmail: SMTP state machine. The protocol state variable takes
+// small constant values and is tested everywhere — dense correlations.
+// ====================================================================
+const char *kSendmail = R"(
+int delivered;
+
+void main() {
+    char cmd[40];
+    int state;
+    int rcpts;
+    int round;
+
+    state = 0;
+    rcpts = 0;
+    print_str("220 smtp ready\n");
+
+    round = 0;
+    while (round < 8) {
+        get_input_n(cmd, 40);
+
+        if (state > 3) {
+            print_str("500 protocol state corrupt\n");
+        }
+        if (rcpts > 4) {
+            print_str("500 rcpt count corrupt\n");
+        }
+        if (strncmp(cmd, "HELO", 4) == 0) {
+            if (state == 0) {
+                state = 1;
+                print_str("250 hello\n");
+            } else {
+                print_str("503 out of order\n");
+            }
+        }
+        if (strncmp(cmd, "MAIL", 4) == 0) {
+            if (state == 1) {
+                state = 2;
+                print_str("250 sender ok\n");
+            } else {
+                print_str("503 need HELO\n");
+            }
+        }
+        if (strncmp(cmd, "RCPT", 4) == 0) {
+            if (state == 2) {
+                if (rcpts < 4) {
+                    rcpts = rcpts + 1;
+                    print_str("250 rcpt ok\n");
+                } else {
+                    print_str("452 too many rcpts\n");
+                }
+            } else {
+                print_str("503 need MAIL\n");
+            }
+        }
+        if (strncmp(cmd, "DATA", 4) == 0) {
+            if (state == 2) {
+                if (rcpts > 0) {
+                    state = 3;
+                    print_str("354 go ahead\n");
+                } else {
+                    print_str("554 no recipients\n");
+                }
+            } else {
+                print_str("503 need RCPT\n");
+            }
+        }
+        if (strcmp(cmd, "NOOP") == 0) {
+            print_str("250 ok\n");
+        }
+        if (strcmp(cmd, "RSET") == 0) {
+            if (state > 0) {
+                state = 1;
+                rcpts = 0;
+                print_str("250 reset\n");
+            } else {
+                print_str("503 need HELO\n");
+            }
+        }
+        if (strncmp(cmd, "VRFY", 4) == 0) {
+            if (state >= 1) {
+                print_str("252 cannot verify, will try\n");
+            } else {
+                print_str("503 need HELO\n");
+            }
+        }
+        if (strcmp(cmd, ".") == 0) {
+            if (state == 3) {
+                delivered = delivered + 1;
+                state = 1;
+                rcpts = 0;
+                print_str("250 delivered\n");
+            }
+        }
+        if (strcmp(cmd, "QUIT") == 0) {
+            round = 8;
+        } else {
+            round = round + 1;
+        }
+    }
+    print_str("221 closing\n");
+}
+)";
+
+// ====================================================================
+// sshd: authentication with an attempt budget and privilege
+// separation; the attempt counter is monotone (range correlation).
+// ====================================================================
+const char *kSshd = R"(
+int logins;
+
+void main() {
+    char user[16];
+    char key[32];
+    int attempts;
+    int authed;
+    int privileged;
+    int round;
+    char sess[16];
+
+    attempts = 0;
+    authed = 0;
+    privileged = 0;
+
+    while (attempts < 3) {
+        get_input_n(user, 16);
+        get_input_n(key, 32);
+        if (strcmp(user, "admin") == 0) {
+            if (strcmp(key, "rsa-ok") == 0) {
+                authed = 1;
+                privileged = 1;
+                attempts = 3;
+            } else {
+                attempts = attempts + 1;
+                print_str("auth failed\n");
+            }
+        } else {
+            if (strcmp(key, "rsa-ok") == 0) {
+                authed = 1;
+                attempts = 3;
+            } else {
+                attempts = attempts + 1;
+                print_str("auth failed\n");
+            }
+        }
+    }
+
+    if (authed == 1) {
+        logins = logins + 1;
+        print_str("session open\n");
+        round = 0;
+        while (round < 3) {
+            get_input_n(sess, 16);
+            if (privileged > 1) {
+                print_str("audit: privilege bits corrupt\n");
+            }
+            if (strcmp(sess, "sudo") == 0) {
+                // Privilege separation re-checks the principal name.
+                if (privileged == 1) {
+                    if (strcmp(user, "admin") == 0) {
+                        print_str("# root shell\n");
+                    } else {
+                        print_str("audit: priv/user mismatch\n");
+                    }
+                } else {
+                    print_str("sudo: denied\n");
+                }
+            } else {
+                print_str("$ ");
+                print_str(sess);
+                print_str("\n");
+            }
+            round = round + 1;
+        }
+        print_str("session closed\n");
+    } else {
+        print_str("too many failures\n");
+    }
+}
+)";
+
+// ====================================================================
+// portmap: RPC program registry with bounds-checked table slots and an
+// owner principal whose identity gates destructive operations.
+// ====================================================================
+const char *kPortmap = R"(
+int table_prog[8];
+int table_port[8];
+
+void main() {
+    char owner[16];
+    int op;
+    int prog;
+    int port;
+    int used;
+    int i;
+    int found;
+    int round;
+    int locked;
+    int owner_ok;
+
+    used = 0;
+    locked = 0;
+    round = 0;
+
+    // The registry owner is established at startup and re-verified
+    // whenever an unset request arrives.
+    get_input_n(owner, 16);
+    owner_ok = 0;
+    if (strcmp(owner, "root") == 0) {
+        owner_ok = 1;
+    }
+
+    while (round < 6) {
+        op = input_int();
+        prog = input_int();
+
+        if (owner_ok > 1) {
+            print_str("audit: owner bits corrupt\n");
+        }
+        // Registrations can be frozen by the admin; checked per call.
+        if (locked == 1) {
+            if (op == 1) {
+                print_str("registry locked\n");
+                op = 0;
+            }
+        }
+        if (op == 3) {
+            if (owner_ok == 1) {
+                if (strcmp(owner, "root") == 0) {
+                    print_str("unset ok\n");
+                } else {
+                    print_str("audit: owner mismatch\n");
+                }
+            } else {
+                print_str("unset denied\n");
+            }
+        }
+        if (op == 1) {
+            port = input_int();
+            if (used < 8) {
+                if (prog > 0) {
+                    if (port > 0) {
+                        if (port < 65536) {
+                            table_prog[used] = prog;
+                            table_port[used] = port;
+                            used = used + 1;
+                            print_str("registered\n");
+                        } else {
+                            print_str("bad port\n");
+                        }
+                    } else {
+                        print_str("bad port\n");
+                    }
+                } else {
+                    print_str("bad program\n");
+                }
+            } else {
+                print_str("table full\n");
+            }
+        }
+        if (op == 2) {
+            found = 0;
+            i = 0;
+            while (i < used) {
+                if (table_prog[i] == prog) {
+                    print_str("port ");
+                    print_int(table_port[i]);
+                    print_str("\n");
+                    found = 1;
+                    i = used;
+                } else {
+                    i = i + 1;
+                }
+            }
+            if (found == 0) {
+                print_str("not registered\n");
+            }
+        }
+        round = round + 1;
+    }
+}
+)";
+
+std::vector<Workload>
+makeWorkloads()
+{
+    std::vector<Workload> out;
+    out.push_back({"telnetd", "buffer overflow", kTelnetd,
+                   {"guest", "guestpw", "whoami", "stats", "shutdown",
+                    "whoami", "stats", "quit"}});
+    out.push_back({"wu-ftpd", "format string", kWuFtpd,
+                   {"anonymous", "me@example.org", "RETR pub/file1",
+                    "RETR etc/passwd", "DELE pub/file1", "RETR pub/x",
+                    "QUIT"}});
+    out.push_back({"xinetd", "buffer overflow", kXinetd,
+                   {"echo", "10.0.0.5", "time", "10.0.0.5", "admin",
+                    "10.0.0.9", "admin", "192.168.0.4", "echo",
+                    "10.1.2.3", "ident", "10.0.0.1"}});
+    out.push_back({"crond", "buffer overflow", kCrond,
+                   {"30", "12", "sys:rotate", "29", "12", "30", "12",
+                    "30", "11", "30", "12"}});
+    out.push_back({"sysklogd", "format string", kSysklogd,
+                   {"3", "daemon started", "6", "debug chatter", "0",
+                    "disk on fire", "4", "auth ok", "9",
+                    "bogus priority", "2", "link up"}});
+    out.push_back({"atftpd", "buffer overflow", kAtftpd,
+                   {"1", "boot/kernel", "octet", "2", "upload.bin",
+                    "octet", "1", "etc/shadow", "octet"}});
+    out.push_back({"httpd", "buffer overflow", kHttpd,
+                   {"GET", "/index.html", "-", "GET", "/admin/panel",
+                    "wrongpass", "GET", "/admin/panel", "secret",
+                    "POST", "/admin/config", "-", "PUT", "/file",
+                    "-"}});
+    out.push_back({"sendmail", "buffer overflow", kSendmail,
+                   {"HELO relay", "MAIL FROM:<a>", "RCPT TO:<b>",
+                    "RCPT TO:<c>", "DATA", ".", "MAIL FROM:<d>",
+                    "QUIT"}});
+    out.push_back({"sshd", "buffer overflow", kSshd,
+                   {"admin", "rsa-bad", "admin", "rsa-ok", "ls",
+                    "sudo", "logout"}});
+    out.push_back({"portmap", "buffer overflow", kPortmap,
+                   {"root", "1", "100003", "2049", "1", "100000",
+                    "111", "2", "100003", "3", "100000", "1",
+                    "100005", "70000", "2", "100000"}});
+    return out;
+}
+
+} // namespace
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> wls = makeWorkloads();
+    return wls;
+}
+
+const Workload &
+workloadByName(const std::string &name)
+{
+    for (const auto &w : allWorkloads())
+        if (w.name == name)
+            return w;
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace ipds

@@ -1,0 +1,40 @@
+#ifndef IPDS_WORKLOADS_WORKLOADS_H
+#define IPDS_WORKLOADS_WORKLOADS_H
+
+/**
+ * @file
+ * The benchmark suite: ten MiniC server-workalikes mirroring the ten
+ * vulnerable servers of the paper's §6 (telnetd, wu-ftpd, xinetd,
+ * crond, sysklogd, atftpd, httpd, sendmail, sshd, portmap).
+ *
+ * Each workload reproduces the *shape* that matters for the
+ * experiments: session loops driven by input, authentication and
+ * privilege flags held in stack locals, repeated string/range checks
+ * the compiler can correlate, and scratch state whose corruption does
+ * not change control flow (so that, as in the paper, only about half
+ * of random tamperings are control-flow-relevant at all).
+ */
+
+#include <string>
+#include <vector>
+
+namespace ipds {
+
+/** One benchmark program plus its benign session script. */
+struct Workload
+{
+    std::string name;        ///< matches the paper's server name
+    std::string vulnerability; ///< paper's vulnerability class
+    std::string source;      ///< MiniC source text
+    std::vector<std::string> benignInputs; ///< scripted session
+};
+
+/** The ten workloads, in the paper's order. */
+const std::vector<Workload> &allWorkloads();
+
+/** Find one by name; throws FatalError if missing. */
+const Workload &workloadByName(const std::string &name);
+
+} // namespace ipds
+
+#endif // IPDS_WORKLOADS_WORKLOADS_H

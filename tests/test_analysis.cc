@@ -1,0 +1,498 @@
+/**
+ * @file
+ * Analysis-layer unit tests: location table, points-to, effect
+ * summaries, memory constant propagation, dominators, const folding
+ * and affine chain extraction — checked on small MiniC programs whose
+ * IR shapes are known.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/constfold.h"
+#include "analysis/dominators.h"
+#include "analysis/effects.h"
+#include "analysis/memconst.h"
+#include "analysis/memloc.h"
+#include "analysis/pointsto.h"
+#include "core/affine.h"
+#include "frontend/codegen.h"
+#include "ir/builder.h"
+
+namespace ipds {
+namespace {
+
+/** Compiled fixture bundling a module with its analyses. */
+struct Fixture
+{
+    Module mod;
+    std::unique_ptr<LocTable> locs;
+    std::unique_ptr<PointsTo> pt;
+    std::unique_ptr<Effects> fx;
+
+    explicit Fixture(const std::string &src)
+        : mod(compileMiniC(src, "t"))
+    {
+        locs = std::make_unique<LocTable>(mod);
+        pt = std::make_unique<PointsTo>(mod, *locs);
+        fx = std::make_unique<Effects>(mod, *locs, *pt);
+    }
+
+    ObjectId
+    object(const std::string &name) const
+    {
+        for (const auto &o : mod.objects)
+            if (o.name == name)
+                return o.id;
+        return kNoObject;
+    }
+
+    LocId
+    scalarLoc(const std::string &name) const
+    {
+        ObjectId obj = object(name);
+        return locs->find(obj, 0,
+                          static_cast<uint8_t>(mod.objects[obj].size));
+    }
+};
+
+// -------------------------------------------------------------- LocTable
+
+TEST(LocTable, EnumeratesScalarsAndConstIndexedElements)
+{
+    Fixture f(R"(
+int g;
+void main() {
+    int x;
+    int a[4];
+    x = 1;
+    a[2] = x;
+    g = a[2];
+}
+)");
+    EXPECT_NE(f.scalarLoc("g"), kNoLoc);
+    EXPECT_NE(f.scalarLoc("main.x"), kNoLoc);
+    // a[2] at byte offset 16 is a location of size 8.
+    EXPECT_NE(f.locs->find(f.object("main.a"), 16, 8), kNoLoc);
+    // a[0] was never directly accessed.
+    EXPECT_EQ(f.locs->find(f.object("main.a"), 0, 8), kNoLoc);
+}
+
+TEST(LocTable, OverlapQueries)
+{
+    Fixture f(R"(
+void main() {
+    char b[8];
+    b[0] = 'a';
+    b[1] = 'b';
+    print_str(b);
+}
+)");
+    ObjectId b = f.object("main.b");
+    LocId l0 = f.locs->find(b, 0, 1);
+    LocId l1 = f.locs->find(b, 1, 1);
+    ASSERT_NE(l0, kNoLoc);
+    ASSERT_NE(l1, kNoLoc);
+    EXPECT_FALSE(f.locs->overlap(l0, l1));
+    auto hits = f.locs->overlapping(b, 0, 2);
+    EXPECT_EQ(hits.size(), 2u);
+}
+
+// -------------------------------------------------------------- PointsTo
+
+TEST(PointsTo, DirectAddressFlows)
+{
+    Fixture f(R"(
+void main() {
+    int x;
+    int *p;
+    p = &x;
+    *p = 5;
+    print_int(x);
+}
+)");
+    // The StoreInd through p must clobber exactly x.
+    const Function &fn = f.mod.functions[f.mod.entry];
+    bool checked = false;
+    for (const auto &bb : fn.blocks) {
+        for (const auto &in : bb.insts) {
+            if (in.op != Op::StoreInd)
+                continue;
+            ObjSet tgt = f.pt->resolve(fn.id, in.srcA);
+            EXPECT_FALSE(tgt.top);
+            ASSERT_EQ(tgt.objs.size(), 1u);
+            EXPECT_EQ(*tgt.objs.begin(), f.object("main.x"));
+            checked = true;
+        }
+    }
+    EXPECT_TRUE(checked);
+}
+
+TEST(PointsTo, FlowsThroughCallArguments)
+{
+    Fixture f(R"(
+void poke(int *p) { *p = 1; }
+void main() {
+    int a;
+    int b;
+    poke(&a);
+    poke(&b);
+    print_int(a + b);
+}
+)");
+    FuncId poke = f.mod.findFunction("poke");
+    const ObjSet &arg = f.pt->argSet(poke, 0);
+    EXPECT_FALSE(arg.top);
+    EXPECT_EQ(arg.objs.size(), 2u); // both a and b reach the parameter
+}
+
+TEST(PointsTo, ResolveExactThroughOffsets)
+{
+    Fixture f(R"(
+void main() {
+    char buf[32];
+    strcpy(buf + 4, "x");
+    print_str(buf);
+}
+)");
+    const Function &fn = f.mod.functions[f.mod.entry];
+    for (const auto &bb : fn.blocks) {
+        for (const auto &in : bb.insts) {
+            if (in.op == Op::Call && in.builtin == Builtin::Strcpy) {
+                ObjectId obj;
+                int64_t off;
+                ASSERT_TRUE(
+                    f.pt->resolveExact(fn.id, in.args[0], obj, off));
+                EXPECT_EQ(obj, f.object("main.buf"));
+                EXPECT_EQ(off, 4);
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- Effects
+
+TEST(Effects, DirectStoreClobbersExactRange)
+{
+    Fixture f(R"(
+void main() {
+    int x;
+    int y;
+    x = 1;
+    y = 2;
+    print_int(x + y);
+}
+)");
+    const Function &fn = f.mod.functions[f.mod.entry];
+    LocId lx = f.scalarLoc("main.x");
+    LocId ly = f.scalarLoc("main.y");
+    int stores = 0;
+    for (const auto &bb : fn.blocks) {
+        for (const auto &in : bb.insts) {
+            if (in.op != Op::Store)
+                continue;
+            ClobberSet cs = f.fx->clobbers(fn.id, in);
+            // Exactly one of x/y is hit per store.
+            EXPECT_NE(cs.hitsLoc(*f.locs, lx), cs.hitsLoc(*f.locs, ly));
+            stores++;
+        }
+    }
+    EXPECT_EQ(stores, 2);
+}
+
+TEST(Effects, BuiltinWritesResolveToTargets)
+{
+    Fixture f(R"(
+void main() {
+    char a[8];
+    char b[8];
+    strcpy(a, "x");
+    strcpy(b, a);
+    print_str(b);
+}
+)");
+    const Function &fn = f.mod.functions[f.mod.entry];
+    int calls = 0;
+    for (const auto &bb : fn.blocks) {
+        for (const auto &in : bb.insts) {
+            if (in.op != Op::Call || in.builtin != Builtin::Strcpy)
+                continue;
+            ClobberSet cs = f.fx->clobbers(fn.id, in);
+            EXPECT_FALSE(cs.all);
+            ASSERT_EQ(cs.objects.size(), 1u);
+            calls++;
+        }
+    }
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(Effects, CalleeSummaryPropagatesToCaller)
+{
+    Fixture f(R"(
+int g;
+void setg() { g = 1; }
+void outer() { setg(); }
+void main() { outer(); print_int(g); }
+)");
+    FuncId outer = f.mod.findFunction("outer");
+    const ObjSet &w = f.fx->funcWrites(outer);
+    EXPECT_FALSE(w.top);
+    EXPECT_TRUE(w.objs.count(f.object("g")));
+}
+
+TEST(Effects, OwnLocalsExcludedFromSummary)
+{
+    Fixture f(R"(
+void worker() { int t; t = 3; print_int(t); }
+void main() { worker(); }
+)");
+    FuncId worker = f.mod.findFunction("worker");
+    const ObjSet &w = f.fx->funcWrites(worker);
+    EXPECT_FALSE(w.top);
+    EXPECT_TRUE(w.objs.empty());
+}
+
+TEST(Effects, WritesThroughParamPointerCountInCaller)
+{
+    Fixture f(R"(
+void poke(int *p) { *p = 9; }
+void main() {
+    int victim;
+    victim = 1;
+    poke(&victim);
+    print_int(victim);
+}
+)");
+    const Function &fn = f.mod.functions[f.mod.entry];
+    LocId lv = f.scalarLoc("main.victim");
+    bool callChecked = false;
+    for (const auto &bb : fn.blocks) {
+        for (const auto &in : bb.insts) {
+            if (in.op == Op::Call && in.builtin == Builtin::None) {
+                ClobberSet cs = f.fx->clobbers(fn.id, in);
+                EXPECT_TRUE(cs.hitsLoc(*f.locs, lv));
+                callChecked = true;
+            }
+        }
+    }
+    EXPECT_TRUE(callChecked);
+}
+
+// -------------------------------------------------------------- MemConst
+
+TEST(MemConst, SingleConstantLocalQualifies)
+{
+    Fixture f(R"(
+void main() {
+    int limit;
+    int x;
+    limit = 10;
+    x = input_int();
+    if (x < limit) { print_str("lo"); }
+}
+)");
+    MemConsts mc(f.mod, *f.locs, *f.fx);
+    int64_t v = 0;
+    EXPECT_TRUE(mc.constLoc(f.scalarLoc("main.limit"), v));
+    EXPECT_EQ(v, 10);
+    EXPECT_FALSE(mc.constLoc(f.scalarLoc("main.x"), v));
+}
+
+TEST(MemConst, TwoDifferentStoresDisqualify)
+{
+    Fixture f(R"(
+void main() {
+    int m;
+    m = 1;
+    if (input_int() > 0) { m = 2; }
+    print_int(m);
+}
+)");
+    MemConsts mc(f.mod, *f.locs, *f.fx);
+    int64_t v;
+    EXPECT_FALSE(mc.constLoc(f.scalarLoc("main.m"), v));
+}
+
+TEST(MemConst, AddressTakenDisqualifies)
+{
+    Fixture f(R"(
+void main() {
+    int m;
+    int *p;
+    m = 4;
+    p = &m;
+    *p = input_int();
+    print_int(m);
+}
+)");
+    MemConsts mc(f.mod, *f.locs, *f.fx);
+    int64_t v;
+    EXPECT_FALSE(mc.constLoc(f.scalarLoc("main.m"), v));
+}
+
+TEST(MemConst, GlobalInitMustAgree)
+{
+    Fixture f(R"(
+int a = 7;
+int b = 7;
+void main() {
+    b = 9;
+    print_int(a + b);
+}
+)");
+    MemConsts mc(f.mod, *f.locs, *f.fx);
+    int64_t v;
+    EXPECT_TRUE(mc.constLoc(f.scalarLoc("a"), v));
+    EXPECT_EQ(v, 7);
+    EXPECT_FALSE(mc.constLoc(f.scalarLoc("b"), v)); // stores 9 != init 7
+}
+
+TEST(MemConst, LoadBeforeStoreDisqualifiesLocal)
+{
+    Fixture f(R"(
+void main() {
+    int m;
+    if (input_int() > 0) {
+        print_int(m);
+    }
+    m = 5;
+    print_int(m);
+}
+)");
+    MemConsts mc(f.mod, *f.locs, *f.fx);
+    int64_t v;
+    EXPECT_FALSE(mc.constLoc(f.scalarLoc("main.m"), v));
+}
+
+// ------------------------------------------------------------ Dominators
+
+TEST(Dominators, DiamondShape)
+{
+    Module mod;
+    FuncBuilder fb(mod, "main", 0, false);
+    BlockId entry = fb.curBlock();
+    BlockId left = fb.newBlock("left");
+    BlockId right = fb.newBlock("right");
+    BlockId join = fb.newBlock("join");
+    Vreg c = fb.constInt(1);
+    fb.br(c, left, right);
+    fb.setBlock(left);
+    fb.jmp(join);
+    fb.setBlock(right);
+    fb.jmp(join);
+    fb.setBlock(join);
+    fb.ret();
+    fb.finish();
+    mod.entry = fb.funcId();
+    mod.assignAddresses();
+    mod.verify();
+
+    Dominators dom(mod.functions[0]);
+    EXPECT_TRUE(dom.dominates(entry, join));
+    EXPECT_TRUE(dom.dominates(entry, left));
+    EXPECT_FALSE(dom.dominates(left, join));
+    EXPECT_FALSE(dom.dominates(right, join));
+    EXPECT_EQ(dom.idom(join), entry);
+    EXPECT_TRUE(dom.dominates(join, join));
+}
+
+TEST(Dominators, UnreachableBlocks)
+{
+    Module mod;
+    FuncBuilder fb(mod, "main", 0, false);
+    fb.ret();
+    BlockId dead = fb.newBlock("dead");
+    fb.setBlock(dead);
+    fb.ret();
+    fb.finish();
+    mod.entry = fb.funcId();
+    mod.assignAddresses();
+
+    Dominators dom(mod.functions[0]);
+    EXPECT_TRUE(dom.reachable(0));
+    EXPECT_FALSE(dom.reachable(dead));
+    EXPECT_FALSE(dom.dominates(0, dead));
+}
+
+// ------------------------------------------------------------- constfold
+
+TEST(ConstFold, FoldsArithmeticChains)
+{
+    Module mod;
+    FuncBuilder fb(mod, "main", 0, false);
+    Vreg a = fb.constInt(6);
+    Vreg b = fb.constInt(7);
+    Vreg m = fb.bin(BinOp::Mul, a, b);
+    Vreg s = fb.bin(BinOp::Sub, m, fb.constInt(2));
+    Vreg d = fb.bin(BinOp::Div, s, fb.constInt(4));
+    fb.ret();
+    fb.finish();
+    mod.entry = fb.funcId();
+
+    DefMap dm(mod.functions[0]);
+    int64_t out;
+    ASSERT_TRUE(constValue(mod.functions[0], dm, d, out));
+    EXPECT_EQ(out, 10); // (42-2)/4
+    // Division by zero chains do not fold.
+    (void)a;
+    (void)b;
+}
+
+TEST(ConstFold, NonConstLeavesFalse)
+{
+    Fixture f("void main() { int x; x = input_int(); "
+              "if (x + 1 > 2) { } }");
+    const Function &fn = f.mod.functions[f.mod.entry];
+    DefMap dm(fn);
+    for (const auto &bb : fn.blocks) {
+        for (const auto &in : bb.insts) {
+            if (in.op == Op::Cmp) {
+                int64_t v;
+                EXPECT_FALSE(constValue(fn, dm, in.srcA, v));
+                EXPECT_TRUE(constValue(fn, dm, in.srcB, v));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- affine
+
+TEST(Affine, TracesLoadPlusConstChains)
+{
+    Fixture f(R"(
+void main() {
+    int y;
+    y = input_int();
+    if (y - 1 < 10) { print_str("a"); }
+    if (3 - y > 0) { print_str("b"); }
+    if (y * 2 > 4) { print_str("c"); }
+}
+)");
+    const Function &fn = f.mod.functions[f.mod.entry];
+    DefMap dm(fn);
+    LocId ly = f.scalarLoc("main.y");
+
+    std::vector<AffineExpr> chains;
+    for (const auto &bb : fn.blocks) {
+        for (const auto &in : bb.insts) {
+            if (in.op == Op::Cmp) {
+                chains.push_back(
+                    traceAffine(fn, dm, *f.locs, in.srcA));
+            }
+        }
+    }
+    ASSERT_EQ(chains.size(), 3u);
+    // y - 1: sign +1, offset -1.
+    EXPECT_TRUE(chains[0].valid);
+    EXPECT_EQ(chains[0].loc, ly);
+    EXPECT_EQ(chains[0].sign, 1);
+    EXPECT_EQ(chains[0].offset, -1);
+    // 3 - y: sign -1, offset +3.
+    EXPECT_TRUE(chains[1].valid);
+    EXPECT_EQ(chains[1].sign, -1);
+    EXPECT_EQ(chains[1].offset, 3);
+    // y * 2: not affine with unit scale.
+    EXPECT_FALSE(chains[2].valid);
+}
+
+} // namespace
+} // namespace ipds

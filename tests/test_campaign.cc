@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Attack-campaign framework tests: classification logic, determinism,
+ * aggregate arithmetic and the benign-clean helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/campaign.h"
+#include "core/program.h"
+#include "workloads/workloads.h"
+
+namespace ipds {
+namespace {
+
+const char *kTarget = R"(
+void main() {
+    int flag;
+    int i;
+    char pad[24];
+    flag = 0;
+    i = 0;
+    while (i < 3) {
+        get_input_n(pad, 24);
+        if (flag == 1) { print_str("escalated\n"); }
+        i = i + 1;
+    }
+}
+)";
+
+TEST(Campaign, GoldenRunPropertiesRecorded)
+{
+    CompiledProgram prog = compileAndAnalyze(kTarget, "t");
+    CampaignConfig cfg;
+    cfg.numAttacks = 10;
+    CampaignResult res =
+        runCampaign(prog, {"a", "b", "c"}, cfg);
+    EXPECT_FALSE(res.falsePositive);
+    EXPECT_EQ(res.goldenInputEvents, 3u);
+    EXPECT_GT(res.goldenSteps, 0u);
+    EXPECT_EQ(res.attacks(), 10u);
+    for (const auto &o : res.outcomes)
+        EXPECT_TRUE(o.fired);
+}
+
+TEST(Campaign, DeterministicAcrossRuns)
+{
+    CompiledProgram prog = compileAndAnalyze(kTarget, "t");
+    CampaignConfig cfg;
+    cfg.numAttacks = 30;
+    CampaignResult a = runCampaign(prog, {"a", "b", "c"}, cfg);
+    CampaignResult b = runCampaign(prog, {"a", "b", "c"}, cfg);
+    ASSERT_EQ(a.attacks(), b.attacks());
+    for (uint32_t i = 0; i < a.attacks(); i++) {
+        EXPECT_EQ(a.outcomes[i].cfChanged, b.outcomes[i].cfChanged);
+        EXPECT_EQ(a.outcomes[i].detected, b.outcomes[i].detected);
+        EXPECT_EQ(a.outcomes[i].tamper.addr,
+                  b.outcomes[i].tamper.addr);
+    }
+    // A different base seed produces a different campaign.
+    CampaignConfig other = cfg;
+    other.baseSeed = cfg.baseSeed + 1;
+    CampaignResult c = runCampaign(prog, {"a", "b", "c"}, other);
+    bool anyDiff = false;
+    for (uint32_t i = 0; i < a.attacks(); i++)
+        anyDiff |= a.outcomes[i].tamper.addr !=
+            c.outcomes[i].tamper.addr;
+    EXPECT_TRUE(anyDiff);
+}
+
+TEST(Campaign, DetectionImpliesControlFlowChange)
+{
+    // A detected attack with an identical branch trace would mean the
+    // detector alarmed on a path the golden run also took — i.e. a
+    // false positive. Holds across every workload by construction.
+    for (const auto &wl : allWorkloads()) {
+        CompiledProgram prog = compileAndAnalyze(wl.source, wl.name);
+        CampaignConfig cfg;
+        cfg.numAttacks = 30;
+        CampaignResult res = runCampaign(prog, wl.benignInputs, cfg);
+        for (const auto &o : res.outcomes)
+            EXPECT_TRUE(!o.detected || o.cfChanged) << wl.name;
+    }
+}
+
+TEST(Campaign, AggregateArithmetic)
+{
+    CampaignResult res;
+    AttackOutcome a;
+    a.cfChanged = true;
+    a.detected = true;
+    AttackOutcome b;
+    b.cfChanged = true;
+    AttackOutcome c;
+    res.outcomes = {a, b, c, c};
+    EXPECT_EQ(res.attacks(), 4u);
+    EXPECT_EQ(res.numCfChanged(), 2u);
+    EXPECT_EQ(res.numDetected(), 1u);
+    EXPECT_DOUBLE_EQ(res.pctCfChanged(), 50.0);
+    EXPECT_DOUBLE_EQ(res.pctDetected(), 25.0);
+    EXPECT_DOUBLE_EQ(res.pctDetectedOfCf(), 50.0);
+}
+
+TEST(Campaign, EmptyResultIsSafe)
+{
+    CampaignResult res;
+    EXPECT_EQ(res.attacks(), 0u);
+    EXPECT_DOUBLE_EQ(res.pctCfChanged(), 0.0);
+    EXPECT_DOUBLE_EQ(res.pctDetectedOfCf(), 0.0);
+}
+
+TEST(Campaign, BenignCleanHelper)
+{
+    CompiledProgram prog = compileAndAnalyze(kTarget, "t");
+    EXPECT_TRUE(benignRunIsClean(prog, {"a", "b", "c"}));
+    EXPECT_TRUE(benignRunIsClean(prog, {}));
+}
+
+TEST(Campaign, FlagTamperIsDetectedDirectly)
+{
+    // Sanity of the whole chain: flag=0 is pinned NOT-taken at entry;
+    // flipping it to exactly 1 must both change control flow and trip
+    // the detector for at least one attack in a modest campaign.
+    CompiledProgram prog = compileAndAnalyze(kTarget, "t");
+    CampaignConfig cfg;
+    cfg.numAttacks = 60;
+    CampaignResult res = runCampaign(prog, {"a", "b", "c"}, cfg);
+    EXPECT_GT(res.numCfChanged(), 0u);
+    EXPECT_GT(res.numDetected(), 0u);
+}
+
+} // namespace
+} // namespace ipds

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Branch-correlation classification tests (core/correlation): the
+ * Range and PureCall classifications, the same-block purity rule that
+ * guarantees zero false positives, and feature switches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/program.h"
+#include "ir/builder.h"
+
+namespace ipds {
+namespace {
+
+/** Compile and return the entry function's correlation result. */
+struct Corr
+{
+    CompiledProgram prog;
+    explicit Corr(const std::string &src, CorrOptions opts = {})
+        : prog(compileAndAnalyze(src, "t", opts))
+    {}
+    const FuncCorrelation &main() const
+    {
+        return prog.funcs[prog.mod.entry].corr;
+    }
+    const BranchInfo &branch(size_t i) const
+    {
+        return main().branches[i];
+    }
+    std::string locName(const BranchInfo &b) const
+    {
+        return prog.locs->loc(b.corrLoc).name;
+    }
+};
+
+TEST(Correlation, PlainRangeBranch)
+{
+    Corr c(R"(
+void main() {
+    int x;
+    x = input_int();
+    if (x < 10) { print_str("a"); }
+}
+)");
+    ASSERT_EQ(c.main().branches.size(), 1u);
+    const BranchInfo &b = c.branch(0);
+    EXPECT_EQ(b.kind, CondKind::Range);
+    EXPECT_TRUE(b.checkable);
+    EXPECT_EQ(c.locName(b), "main.x");
+    EXPECT_TRUE(b.takenSet.contains(9));
+    EXPECT_FALSE(b.takenSet.contains(10));
+    EXPECT_TRUE(b.notTakenSet.contains(10));
+}
+
+TEST(Correlation, AffineChainBranch)
+{
+    Corr c(R"(
+void main() {
+    int y;
+    y = input_int();
+    if (y - 1 < 10) { print_str("a"); }
+}
+)");
+    const BranchInfo &b = c.branch(0);
+    EXPECT_EQ(b.kind, CondKind::Range);
+    // Trigger range mapped back into y-space: y-1 < 10 <=> y < 11.
+    EXPECT_TRUE(b.takenSet.contains(10));
+    EXPECT_FALSE(b.takenSet.contains(11));
+}
+
+TEST(Correlation, AffineDisabledByOption)
+{
+    CorrOptions opts;
+    opts.affineChains = false;
+    Corr c(R"(
+void main() {
+    int y;
+    y = input_int();
+    if (y - 1 < 10) { print_str("a"); }
+    if (y < 10) { print_str("b"); }
+}
+)", opts);
+    EXPECT_EQ(c.branch(0).kind, CondKind::Unknown);
+    EXPECT_EQ(c.branch(1).kind, CondKind::Range); // plain still works
+}
+
+TEST(Correlation, VarVsVarIsUnknown)
+{
+    Corr c(R"(
+void main() {
+    int a;
+    int b;
+    a = input_int();
+    b = input_int();
+    if (a < b) { print_str("x"); }
+}
+)");
+    EXPECT_EQ(c.branch(0).kind, CondKind::Unknown);
+    EXPECT_FALSE(c.branch(0).checkable);
+}
+
+TEST(Correlation, MemConstMakesVarVsConfigClassifiable)
+{
+    Corr c(R"(
+void main() {
+    int threshold;
+    int x;
+    threshold = 42;
+    x = input_int();
+    if (x < threshold) { print_str("lo"); }
+}
+)");
+    const BranchInfo &b = c.branch(0);
+    EXPECT_EQ(b.kind, CondKind::Range);
+    EXPECT_EQ(c.locName(b), "main.x");
+    EXPECT_TRUE(b.takenSet.contains(41));
+    EXPECT_FALSE(b.takenSet.contains(42));
+
+    CorrOptions off;
+    off.memConstProp = false;
+    Corr c2(R"(
+void main() {
+    int threshold;
+    int x;
+    threshold = 42;
+    x = input_int();
+    if (x < threshold) { print_str("lo"); }
+}
+)", off);
+    EXPECT_EQ(c2.branch(0).kind, CondKind::Unknown);
+}
+
+TEST(Correlation, PureCallClassification)
+{
+    Corr c(R"(
+void main() {
+    char user[16];
+    get_input_n(user, 16);
+    if (strncmp(user, "admin", 5) == 0) { print_str("a"); }
+    if (strncmp(user, "admin", 5) == 0) { print_str("b"); }
+    if (strncmp(user, "guest", 5) == 0) { print_str("c"); }
+}
+)");
+    const BranchInfo &b0 = c.branch(0);
+    const BranchInfo &b1 = c.branch(1);
+    const BranchInfo &b2 = c.branch(2);
+    EXPECT_EQ(b0.kind, CondKind::PureCall);
+    EXPECT_TRUE(b0.checkable);
+    // Identical calls share one virtual location; the different
+    // literal gets another.
+    EXPECT_EQ(b0.corrLoc, b1.corrLoc);
+    EXPECT_NE(b0.corrLoc, b2.corrLoc);
+    ASSERT_EQ(c.main().sigs.size(), 2u);
+    // Read ranges: 5 bytes of user and of the literal each.
+    const PureSig &sig = c.main().sigs[0];
+    ASSERT_EQ(sig.reads.size(), 2u);
+    EXPECT_EQ(sig.reads[0].len, 5);
+}
+
+TEST(Correlation, MonomorphicParamResolvesInterprocedurally)
+{
+    const char *src = R"(
+void check(char *s) {
+    if (strcmp(s, "x") == 0) { print_str("eq"); }
+}
+void main() {
+    char a[8];
+    get_input_n(a, 8);
+    check(a);
+    check(a);
+}
+)";
+    // Every call site passes &a: the callee's strcmp branch resolves.
+    Corr with(src);
+    const auto &corrOn =
+        with.prog.funcs[with.prog.mod.findFunction("check")].corr;
+    ASSERT_EQ(corrOn.branches.size(), 1u);
+    EXPECT_EQ(corrOn.branches[0].kind, CondKind::PureCall);
+    ASSERT_EQ(corrOn.sigs.size(), 1u);
+    EXPECT_EQ(
+        with.prog.mod.objects[corrOn.sigs[0].ptrArgs[0].first].name,
+        "main.a");
+
+    // With the feature off, the parameter is opaque again.
+    CorrOptions off;
+    off.interprocArgs = false;
+    Corr without(src, off);
+    const auto &corrOff =
+        without.prog.funcs[without.prog.mod.findFunction("check")]
+            .corr;
+    EXPECT_EQ(corrOff.branches[0].kind, CondKind::Unknown);
+}
+
+TEST(Correlation, PolymorphicParamStaysUnresolved)
+{
+    // Two call sites with different buffers: no exact binding.
+    Corr c(R"(
+void check(char *s) {
+    if (strcmp(s, "x") == 0) { print_str("eq"); }
+}
+void main() {
+    char a[8];
+    char b[8];
+    get_input_n(a, 8);
+    get_input_n(b, 8);
+    check(a);
+    check(b);
+}
+)");
+    const auto &checkCorr =
+        c.prog.funcs[c.prog.mod.findFunction("check")].corr;
+    ASSERT_EQ(checkCorr.branches.size(), 1u);
+    EXPECT_EQ(checkCorr.branches[0].kind, CondKind::Unknown);
+}
+
+TEST(Correlation, BindingChainsThroughWrappers)
+{
+    // main -> outer -> inner, the same buffer all the way down.
+    Corr c(R"(
+void inner(char *s) {
+    if (strncmp(s, "ok", 2) == 0) { print_str("y"); }
+}
+void outer(char *s) { inner(s); }
+void main() {
+    char buf[8];
+    get_input_n(buf, 8);
+    outer(buf);
+}
+)");
+    const auto &innerCorr =
+        c.prog.funcs[c.prog.mod.findFunction("inner")].corr;
+    ASSERT_EQ(innerCorr.branches.size(), 1u);
+    EXPECT_EQ(innerCorr.branches[0].kind, CondKind::PureCall);
+}
+
+TEST(Correlation, ClobberBetweenLoadAndBranchBlocksCheckability)
+{
+    // Hand-built IR: a store to x sits between x's load and the
+    // branch on it, so the branch outcome reflects a STALE value and
+    // the same-block purity rule must refuse to check it (otherwise a
+    // legitimate execution could raise a false positive).
+    Module mod;
+    FuncBuilder fb(mod, "main", 0, false);
+    ObjectId x = fb.addLocal("x");
+    BlockId thenB = fb.newBlock("then");
+    BlockId done = fb.newBlock("done");
+    Vreg v = fb.load(x);
+    fb.store(x, fb.constInt(99)); // clobber AFTER the load
+    Vreg cond = fb.cmp(Pred::LT, v, fb.constInt(10));
+    fb.br(cond, thenB, done);
+    fb.setBlock(thenB);
+    fb.jmp(done);
+    fb.setBlock(done);
+    fb.ret();
+    fb.finish();
+    mod.entry = fb.funcId();
+    mod.assignAddresses();
+    mod.verify();
+
+    CompiledProgram p = analyzeModule(std::move(mod));
+    const BranchInfo &b = p.funcs[p.mod.entry].corr.branches[0];
+    EXPECT_EQ(b.kind, CondKind::Range); // classified...
+    EXPECT_FALSE(b.checkable);          // ...but never checked
+}
+
+TEST(Correlation, InputCallKillsPurity)
+{
+    // get_input writes the buffer between the pure call and... here:
+    // call, clobber, branch within one block is impossible in MiniC
+    // source because calls are statements; instead verify that a
+    // clobbered sig's branch remains checkable only when the clobber
+    // precedes the call.
+    Corr c(R"(
+void main() {
+    char user[8];
+    get_input_n(user, 8);
+    if (strcmp(user, "root") == 0) { print_str("r"); }
+}
+)");
+    EXPECT_EQ(c.branch(0).kind, CondKind::PureCall);
+    EXPECT_TRUE(c.branch(0).checkable);
+}
+
+TEST(Correlation, NumCheckableCountsOnlyCheckable)
+{
+    Corr c(R"(
+void main() {
+    int a;
+    int b;
+    a = input_int();
+    b = input_int();
+    if (a < 5) { print_str("1"); }
+    if (a < b) { print_str("2"); }
+}
+)");
+    EXPECT_EQ(c.main().numCheckable(), 1u);
+    EXPECT_EQ(c.main().branches.size(), 2u);
+}
+
+TEST(Correlation, LocBranchesIndexGroupsByLocation)
+{
+    Corr c(R"(
+void main() {
+    int x;
+    x = input_int();
+    if (x < 5) { print_str("1"); }
+    if (x < 9) { print_str("2"); }
+    if (x == 0) { print_str("3"); }
+}
+)");
+    LocId lx = c.branch(0).corrLoc;
+    EXPECT_EQ(c.main().locBranches[lx].size(), 3u);
+}
+
+TEST(Correlation, EqualityProducesPointAndPuncturedSets)
+{
+    Corr c(R"(
+void main() {
+    int s;
+    s = input_int();
+    if (s == 2) { print_str("two"); }
+}
+)");
+    const BranchInfo &b = c.branch(0);
+    EXPECT_TRUE(b.takenSet.isPoint());
+    EXPECT_TRUE(b.notTakenSet.isPunctured());
+    EXPECT_FALSE(b.notTakenSet.contains(2));
+}
+
+TEST(Correlation, MirroredConstantOnLeft)
+{
+    Corr c(R"(
+void main() {
+    int x;
+    x = input_int();
+    if (10 > x) { print_str("lo"); } // same as x < 10
+}
+)");
+    const BranchInfo &b = c.branch(0);
+    ASSERT_EQ(b.kind, CondKind::Range);
+    EXPECT_TRUE(b.takenSet.contains(9));
+    EXPECT_FALSE(b.takenSet.contains(10));
+}
+
+} // namespace
+} // namespace ipds

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Frontend unit tests: lexer token streams, parser AST shapes and
+ * error reporting, and code generation checked structurally on the IR.
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/codegen.h"
+#include "frontend/lexer.h"
+#include "frontend/parser.h"
+#include "support/diag.h"
+
+namespace ipds {
+namespace {
+
+// ----------------------------------------------------------------- lexer
+
+TEST(Lexer, PunctuationAndOperators)
+{
+    auto toks = tokenize("(){}[],; = + - * / % & | ^ << >> && || ! "
+                         "== != < <= > >=");
+    std::vector<Tok> kinds;
+    for (const auto &t : toks)
+        kinds.push_back(t.kind);
+    std::vector<Tok> want = {
+        Tok::LParen, Tok::RParen, Tok::LBrace, Tok::RBrace,
+        Tok::LBracket, Tok::RBracket, Tok::Comma, Tok::Semi,
+        Tok::Assign, Tok::Plus, Tok::Minus, Tok::Star, Tok::Slash,
+        Tok::Percent, Tok::Amp, Tok::Pipe, Tok::Caret, Tok::Shl,
+        Tok::Shr, Tok::AmpAmp, Tok::PipePipe, Tok::Bang, Tok::Eq,
+        Tok::Ne, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::End};
+    EXPECT_EQ(kinds, want);
+}
+
+TEST(Lexer, KeywordsVersusIdentifiers)
+{
+    auto toks = tokenize("int interval if iffy while whileX");
+    EXPECT_EQ(toks[0].kind, Tok::KwInt);
+    EXPECT_EQ(toks[1].kind, Tok::Ident);
+    EXPECT_EQ(toks[1].text, "interval");
+    EXPECT_EQ(toks[2].kind, Tok::KwIf);
+    EXPECT_EQ(toks[3].kind, Tok::Ident);
+    EXPECT_EQ(toks[4].kind, Tok::KwWhile);
+    EXPECT_EQ(toks[5].kind, Tok::Ident);
+}
+
+TEST(Lexer, LiteralsAndEscapes)
+{
+    auto toks = tokenize(R"(123 'a' '\n' '\0' "hi\tthere\\")");
+    EXPECT_EQ(toks[0].kind, Tok::IntLit);
+    EXPECT_EQ(toks[0].value, 123);
+    EXPECT_EQ(toks[1].value, 'a');
+    EXPECT_EQ(toks[2].value, '\n');
+    EXPECT_EQ(toks[3].value, 0);
+    EXPECT_EQ(toks[4].kind, Tok::StrLit);
+    EXPECT_EQ(toks[4].text, "hi\tthere\\");
+}
+
+TEST(Lexer, CommentsAndLineNumbers)
+{
+    auto toks = tokenize("a // line comment\nb /* block\nspans */ c");
+    ASSERT_EQ(toks.size(), 4u); // a b c <eof>
+    EXPECT_EQ(toks[0].line, 1u);
+    EXPECT_EQ(toks[1].line, 2u);
+    EXPECT_EQ(toks[2].line, 3u);
+}
+
+TEST(Lexer, ErrorsCarryLineNumbers)
+{
+    EXPECT_THROW(tokenize("a\n@"), FatalError);
+    EXPECT_THROW(tokenize("\"unterminated"), FatalError);
+    EXPECT_THROW(tokenize("'ab'"), FatalError);
+    EXPECT_THROW(tokenize("/* never closed"), FatalError);
+    try {
+        tokenize("ok\nok\n$");
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------- parser
+
+TEST(Parser, FunctionAndGlobalShapes)
+{
+    Program p = parseProgram(R"(
+int counter;
+char name[32] = "boot";
+int add(int a, int b) { return a + b; }
+void main() { }
+)");
+    ASSERT_EQ(p.globals.size(), 2u);
+    EXPECT_EQ(p.globals[0].name, "counter");
+    EXPECT_EQ(p.globals[1].arrayLen, 32u);
+    EXPECT_EQ(p.globals[1].initStr, "boot");
+    ASSERT_EQ(p.functions.size(), 2u);
+    EXPECT_EQ(p.functions[0].params.size(), 2u);
+    EXPECT_EQ(p.functions[0].retTy, MiniTy::Int);
+    EXPECT_EQ(p.functions[1].retTy, MiniTy::Void);
+}
+
+TEST(Parser, PrecedenceShape)
+{
+    // 1 + 2 * 3 == 7 && x < 4  parses as ((1+(2*3)) == 7) && (x < 4)
+    Program p = parseProgram(
+        "void main() { int x; x = 0; if (1 + 2 * 3 == 7 && x < 4) "
+        "{ x = 1; } }");
+    const Stmt &blk = *p.functions[0].body;
+    // body: [decl] [assign] [if]
+    const Stmt &ifs = *blk.body[2];
+    ASSERT_EQ(ifs.kind, StmtKind::If);
+    const Expr &cond = *ifs.cond;
+    ASSERT_EQ(cond.kind, ExprKind::Binary);
+    EXPECT_EQ(cond.binOp, BinKind::LogAnd);
+    ASSERT_EQ(cond.lhs->kind, ExprKind::Binary);
+    EXPECT_EQ(cond.lhs->binOp, BinKind::Eq);
+    const Expr &sum = *cond.lhs->lhs;
+    EXPECT_EQ(sum.binOp, BinKind::Add);
+    EXPECT_EQ(sum.rhs->binOp, BinKind::Mul);
+}
+
+TEST(Parser, ForLoopDesugarsParts)
+{
+    Program p = parseProgram(
+        "void main() { int i; for (i = 0; i < 4; i = i + 1) { } }");
+    const Stmt &blk = *p.functions[0].body;
+    const Stmt &f = *blk.body[1];
+    ASSERT_EQ(f.kind, StmtKind::For);
+    EXPECT_NE(f.init, nullptr);
+    EXPECT_NE(f.cond, nullptr);
+    EXPECT_NE(f.step, nullptr);
+}
+
+TEST(Parser, DeclWithInitializerDesugars)
+{
+    Program p = parseProgram("void main() { int x = 5; }");
+    const Stmt &blk = *p.functions[0].body;
+    ASSERT_EQ(blk.body.size(), 1u);
+    const Stmt &wrapped = *blk.body[0];
+    ASSERT_EQ(wrapped.kind, StmtKind::Block);
+    ASSERT_EQ(wrapped.body.size(), 2u);
+    EXPECT_EQ(wrapped.body[0]->kind, StmtKind::Decl);
+    EXPECT_EQ(wrapped.body[1]->kind, StmtKind::Assign);
+}
+
+TEST(Parser, SyntaxErrors)
+{
+    EXPECT_THROW(parseProgram("void main() { if }"), FatalError);
+    EXPECT_THROW(parseProgram("void main() { x = ; }"), FatalError);
+    EXPECT_THROW(parseProgram("void main() { 1 = 2; }"), FatalError);
+    EXPECT_THROW(parseProgram("int g["), FatalError);
+    EXPECT_THROW(parseProgram("int g[0];"), FatalError);
+    EXPECT_THROW(parseProgram("void v; "), FatalError);
+}
+
+// --------------------------------------------------------------- codegen
+
+TEST(Codegen, RequiresMain)
+{
+    EXPECT_THROW(compileMiniC("void notmain() { }", "t"), FatalError);
+}
+
+TEST(Codegen, SemanticErrors)
+{
+    EXPECT_THROW(compileMiniC("void main() { x = 1; }", "t"),
+                 FatalError);
+    EXPECT_THROW(compileMiniC("void main() { int x; int x; }", "t"),
+                 FatalError);
+    EXPECT_THROW(
+        compileMiniC("void main() { break; }", "t"), FatalError);
+    EXPECT_THROW(
+        compileMiniC("void main() { int x; x = nosuch(); }", "t"),
+        FatalError);
+    EXPECT_THROW(
+        compileMiniC("void strcpy(int a) { }", "t"), FatalError);
+    // A value function may fall off its end; it returns 0 (like C's
+    // implicit int behaviour, but defined). Must NOT throw.
+    EXPECT_NO_THROW(
+        compileMiniC("int f() { } void main() { f(); }", "t"));
+    // arity mismatch on builtin
+    EXPECT_THROW(
+        compileMiniC("void main() { print_str(); }", "t"),
+        FatalError);
+}
+
+TEST(Codegen, ScalarAccessIsDirect)
+{
+    Module m = compileMiniC(
+        "void main() { int x; x = 3; if (x < 5) { x = 4; } }", "t");
+    const Function &fn = m.functions[m.entry];
+    int directLoads = 0, directStores = 0, indirect = 0;
+    for (const auto &bb : fn.blocks) {
+        for (const auto &in : bb.insts) {
+            if (in.op == Op::Load)
+                directLoads++;
+            if (in.op == Op::Store)
+                directStores++;
+            if (in.op == Op::LoadInd || in.op == Op::StoreInd)
+                indirect++;
+        }
+    }
+    EXPECT_EQ(directLoads, 1);
+    EXPECT_EQ(directStores, 2);
+    EXPECT_EQ(indirect, 0);
+}
+
+TEST(Codegen, ConstantArrayIndexIsDirect)
+{
+    Module m = compileMiniC(
+        "void main() { int a[4]; a[2] = 9; if (a[2] > 0) { } }", "t");
+    const Function &fn = m.functions[m.entry];
+    bool sawDirectStoreAtOffset16 = false;
+    bool sawDirectLoadAtOffset16 = false;
+    for (const auto &bb : fn.blocks) {
+        for (const auto &in : bb.insts) {
+            if (in.op == Op::Store && in.imm == 16)
+                sawDirectStoreAtOffset16 = true;
+            if (in.op == Op::Load && in.imm == 16)
+                sawDirectLoadAtOffset16 = true;
+        }
+    }
+    EXPECT_TRUE(sawDirectStoreAtOffset16);
+    EXPECT_TRUE(sawDirectLoadAtOffset16);
+    EXPECT_THROW(
+        compileMiniC("void main() { int a[4]; a[4] = 1; }", "t"),
+        FatalError); // constant index out of bounds
+}
+
+TEST(Codegen, VariableIndexIsIndirect)
+{
+    Module m = compileMiniC(
+        "void main() { int a[4]; int i; i = 1; a[i] = 2; }", "t");
+    const Function &fn = m.functions[m.entry];
+    bool sawIndirect = false;
+    for (const auto &bb : fn.blocks)
+        for (const auto &in : bb.insts)
+            sawIndirect |= in.op == Op::StoreInd;
+    EXPECT_TRUE(sawIndirect);
+}
+
+TEST(Codegen, ParamsAreSpilledToMemory)
+{
+    Module m = compileMiniC(
+        "int f(int a, int b) { return a + b; } "
+        "void main() { f(1, 2); }", "t");
+    const Function &f = m.functions[m.findFunction("f")];
+    EXPECT_EQ(f.locals.size(), 2u);
+    // Entry block starts with getarg/store pairs.
+    const auto &entry = f.blocks[0].insts;
+    EXPECT_EQ(entry[0].op, Op::GetArg);
+    EXPECT_EQ(entry[1].op, Op::Store);
+    EXPECT_EQ(entry[2].op, Op::GetArg);
+    EXPECT_EQ(entry[3].op, Op::Store);
+}
+
+TEST(Codegen, ShortCircuitBecomesControlFlow)
+{
+    Module m = compileMiniC(
+        "void main() { int x; int y; x = 1; y = 2; "
+        "if (x < 3 && y < 4) { x = 9; } }", "t");
+    const Function &fn = m.functions[m.entry];
+    int branches = 0;
+    for (const auto &bb : fn.blocks)
+        branches += bb.terminator().isCondBranch() ? 1 : 0;
+    EXPECT_EQ(branches, 2); // one per conjunct, no materialized value
+}
+
+TEST(Codegen, StringLiteralsInternedOnce)
+{
+    Module m = compileMiniC(
+        "void main() { print_str(\"x\"); print_str(\"x\"); "
+        "print_str(\"y\"); }", "t");
+    int constObjs = 0;
+    for (const auto &obj : m.objects)
+        constObjs += obj.kind == ObjectKind::Const ? 1 : 0;
+    EXPECT_EQ(constObjs, 2);
+}
+
+TEST(Codegen, VerifierAcceptsAllWorkloadModules)
+{
+    // compileMiniC runs the verifier internally; this asserts it stays
+    // green for a more complex program with every statement kind.
+    const char *src = R"(
+int g = 3;
+char banner[8] = "ok";
+int helper(int *p, char *s) {
+    *p = *p + 1;
+    return strlen(s);
+}
+void main() {
+    int x;
+    int arr[5];
+    char buf[16];
+    int i;
+    x = 0;
+    for (i = 0; i < 5; i = i + 1) {
+        arr[i] = i * 2;
+        if (arr[i] > 6) { break; }
+        if (arr[i] == 2) { continue; }
+        x = x + arr[i];
+    }
+    while (x > 0 || g > 100) {
+        x = x - 1;
+    }
+    strcpy(buf, banner);
+    x = helper(&x, buf) + g;
+    print_int(x);
+}
+)";
+    Module m = compileMiniC(src, "kitchen-sink");
+    EXPECT_GE(m.functions.size(), 2u);
+}
+
+} // namespace
+} // namespace ipds

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for the interval algebra underlying branch subsumption.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/interval.h"
+
+namespace ipds {
+namespace {
+
+TEST(Interval, FromPredBasics)
+{
+    EXPECT_TRUE(Interval::fromPred(Pred::LT, 5).contains(4));
+    EXPECT_FALSE(Interval::fromPred(Pred::LT, 5).contains(5));
+    EXPECT_TRUE(Interval::fromPred(Pred::LE, 5).contains(5));
+    EXPECT_TRUE(Interval::fromPred(Pred::GT, 5).contains(6));
+    EXPECT_FALSE(Interval::fromPred(Pred::GT, 5).contains(5));
+    EXPECT_TRUE(Interval::fromPred(Pred::GE, 5).contains(5));
+    EXPECT_TRUE(Interval::fromPred(Pred::EQ, 5).isPoint());
+    EXPECT_TRUE(Interval::fromPred(Pred::NE, 5).isPunctured());
+    EXPECT_FALSE(Interval::fromPred(Pred::NE, 5).contains(5));
+    EXPECT_TRUE(Interval::fromPred(Pred::NE, 5).contains(6));
+}
+
+TEST(Interval, PuncturedSubsumption)
+{
+    Interval ne5 = Interval::allBut(5);
+    // allBut(5) subsumes allBut(5) but not allBut(6).
+    EXPECT_TRUE(ne5.subsumedBy(Interval::allBut(5)));
+    EXPECT_FALSE(ne5.subsumedBy(Interval::allBut(6)));
+    // An interval missing the puncture point is subsumed.
+    EXPECT_TRUE(Interval::range(0, 4).subsumedBy(ne5));
+    EXPECT_FALSE(Interval::range(0, 5).subsumedBy(ne5));
+    EXPECT_TRUE(Interval::point(7).subsumedBy(ne5));
+    // Only full() subsumes a punctured set.
+    EXPECT_TRUE(ne5.subsumedBy(Interval::full()));
+    EXPECT_FALSE(ne5.subsumedBy(Interval::range(0, 100)));
+
+    // Affine image moves the puncture point: v != 5, w = -v + 1.
+    Interval w = ne5.affineImage(-1, 1);
+    EXPECT_FALSE(w.contains(-4));
+    EXPECT_TRUE(w.contains(4));
+}
+
+TEST(Interval, PredEdgeCases)
+{
+    // v < INT64_MIN is unsatisfiable; v > INT64_MAX likewise.
+    EXPECT_TRUE(Interval::fromPred(Pred::LT, INT64_MIN).isEmpty());
+    EXPECT_TRUE(Interval::fromPred(Pred::GT, INT64_MAX).isEmpty());
+    // (-inf, INT64_MIN] contains exactly one representable value.
+    EXPECT_TRUE(Interval::fromPred(Pred::LE, INT64_MIN)
+                    .contains(INT64_MIN));
+    EXPECT_FALSE(Interval::fromPred(Pred::LE, INT64_MIN)
+                     .contains(INT64_MIN + 1));
+    EXPECT_TRUE(Interval::fromPred(Pred::GE, INT64_MAX)
+                    .contains(INT64_MAX));
+    EXPECT_FALSE(Interval::fromPred(Pred::GE, INT64_MAX)
+                     .contains(INT64_MAX - 1));
+}
+
+TEST(Interval, SubsumptionIsThePaperRelation)
+{
+    // Paper §4: range y<5 subsumes range y<10.
+    Interval lt5 = Interval::fromPred(Pred::LT, 5);
+    Interval lt10 = Interval::fromPred(Pred::LT, 10);
+    EXPECT_TRUE(lt5.subsumedBy(lt10));
+    EXPECT_FALSE(lt10.subsumedBy(lt5));
+
+    // [0,5] subsumes [0,10] (the paper's example wording).
+    EXPECT_TRUE(Interval::range(0, 5).subsumedBy(Interval::range(0, 10)));
+    EXPECT_FALSE(
+        Interval::range(0, 10).subsumedBy(Interval::range(0, 5)));
+
+    // Everything is subsumed by full; full subsumes only full.
+    EXPECT_TRUE(lt5.subsumedBy(Interval::full()));
+    EXPECT_FALSE(Interval::full().subsumedBy(lt5));
+    EXPECT_TRUE(Interval::full().subsumedBy(Interval::full()));
+
+    // Empty is subsumed by everything.
+    EXPECT_TRUE(Interval::empty().subsumedBy(lt5));
+    EXPECT_FALSE(lt5.subsumedBy(Interval::empty()));
+
+    // Invalid participates in nothing.
+    EXPECT_FALSE(Interval::invalid().subsumedBy(Interval::full()));
+    EXPECT_FALSE(Interval::full().subsumedBy(Interval::invalid()));
+    EXPECT_FALSE(Interval::empty().subsumedBy(Interval::invalid()));
+}
+
+TEST(Interval, AffineImageFigure3c)
+{
+    // Paper Figure 3.c: y < 5, r1 = y - 1 => r1 < 4 which is < 10.
+    Interval y = Interval::fromPred(Pred::LT, 5);
+    Interval r1 = y.affineImage(1, -1);
+    EXPECT_TRUE(r1.subsumedBy(Interval::fromPred(Pred::LT, 10)));
+    EXPECT_TRUE(r1.contains(3));
+    EXPECT_FALSE(r1.contains(4));
+}
+
+TEST(Interval, AffineImageNegation)
+{
+    // v in [2, 5], w = -v + 1 => w in [-4, -1].
+    Interval v = Interval::range(2, 5);
+    Interval w = v.affineImage(-1, 1);
+    EXPECT_TRUE(w.contains(-4));
+    EXPECT_TRUE(w.contains(-1));
+    EXPECT_FALSE(w.contains(0));
+    EXPECT_FALSE(w.contains(-5));
+}
+
+TEST(Interval, AffineImageOverflowIsInvalid)
+{
+    Interval v = Interval::range(INT64_MAX - 1, INT64_MAX);
+    EXPECT_TRUE(v.affineImage(1, 10).isInvalid());
+    Interval w = Interval::range(INT64_MIN, INT64_MIN + 1);
+    EXPECT_TRUE(w.affineImage(-1, 0).isInvalid());
+}
+
+TEST(Interval, FromAffineCond)
+{
+    // -v + 3 < 1  =>  v > 2.
+    Interval i = Interval::fromAffineCond(-1, 3, Pred::LT, 1);
+    EXPECT_FALSE(i.contains(2));
+    EXPECT_TRUE(i.contains(3));
+
+    // v + 10 == 12  =>  v == 2.
+    Interval j = Interval::fromAffineCond(1, 10, Pred::EQ, 12);
+    EXPECT_TRUE(j.isPoint());
+    EXPECT_TRUE(j.contains(2));
+}
+
+TEST(Interval, Intersect)
+{
+    Interval a = Interval::fromPred(Pred::GE, 0);
+    Interval b = Interval::fromPred(Pred::LE, 10);
+    Interval c = a.intersect(b);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_TRUE(c.contains(10));
+    EXPECT_FALSE(c.contains(-1));
+    EXPECT_FALSE(c.contains(11));
+    EXPECT_TRUE(
+        Interval::range(5, 3).isEmpty()); // inverted bounds are empty
+    EXPECT_TRUE(Interval::range(0, 1)
+                    .intersect(Interval::range(2, 3)).isEmpty());
+}
+
+/** Property sweep: subsumption matches pointwise containment. */
+class IntervalPropTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(IntervalPropTest, SubsumptionMatchesContainment)
+{
+    auto [a, b] = GetParam();
+    Interval x = Interval::range(a, b);
+    for (int lo = -3; lo <= 3; lo++) {
+        for (int hi = -3; hi <= 3; hi++) {
+            Interval y = Interval::range(lo, hi);
+            bool sub = x.subsumedBy(y);
+            bool pointwise = true;
+            for (int v = a; v <= b; v++)
+                pointwise &= y.contains(v);
+            EXPECT_EQ(sub, pointwise)
+                << x.str() << " vs " << y.str();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IntervalPropTest,
+    ::testing::Combine(::testing::Range(-3, 4), ::testing::Range(-3, 4)));
+
+} // namespace
+} // namespace ipds

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * IR-layer unit tests: builder invariants, verifier diagnostics,
+ * printer output, address assignment, predicate algebra and the
+ * builtin effect tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/builtins.h"
+#include "ir/ir.h"
+#include "support/diag.h"
+
+namespace ipds {
+namespace {
+
+// ----------------------------------------------------------------- preds
+
+TEST(Ir, NegatePredIsAnInvolution)
+{
+    for (Pred p : {Pred::EQ, Pred::NE, Pred::LT, Pred::LE, Pred::GT,
+                   Pred::GE}) {
+        EXPECT_EQ(negatePred(negatePred(p)), p);
+        EXPECT_NE(negatePred(p), p);
+    }
+    EXPECT_EQ(negatePred(Pred::LT), Pred::GE);
+    EXPECT_EQ(negatePred(Pred::EQ), Pred::NE);
+}
+
+TEST(Ir, NegatePredSemantics)
+{
+    auto holds = [](Pred p, int64_t a, int64_t b) {
+        switch (p) {
+          case Pred::EQ: return a == b;
+          case Pred::NE: return a != b;
+          case Pred::LT: return a < b;
+          case Pred::LE: return a <= b;
+          case Pred::GT: return a > b;
+          case Pred::GE: return a >= b;
+        }
+        return false;
+    };
+    for (Pred p : {Pred::EQ, Pred::NE, Pred::LT, Pred::LE, Pred::GT,
+                   Pred::GE}) {
+        for (int a = -2; a <= 2; a++)
+            for (int b = -2; b <= 2; b++)
+                EXPECT_NE(holds(p, a, b), holds(negatePred(p), a, b));
+    }
+}
+
+// -------------------------------------------------------------- builtins
+
+TEST(Ir, BuiltinTableIsConsistent)
+{
+    for (int i = 1; i < static_cast<int>(Builtin::NumBuiltins); i++) {
+        Builtin b = static_cast<Builtin>(i);
+        const char *name = builtinName(b);
+        ASSERT_NE(name, nullptr);
+        EXPECT_GT(std::string(name).size(), 0u);
+        EXPECT_EQ(builtinByName(name), b) << name;
+        const BuiltinEffects &fx = builtinEffects(b);
+        // Pure builtins never write and always return a value.
+        if (fx.pure) {
+            EXPECT_EQ(fx.writesParams, 0) << name;
+            EXPECT_TRUE(fx.returnsValue) << name;
+        }
+        // Param masks never reference params beyond numParams.
+        uint8_t beyond =
+            static_cast<uint8_t>(~((1u << fx.numParams) - 1));
+        EXPECT_EQ(fx.readsParams & beyond, 0) << name;
+        EXPECT_EQ(fx.writesParams & beyond, 0) << name;
+    }
+    EXPECT_EQ(builtinByName("no_such_builtin"), Builtin::None);
+}
+
+// --------------------------------------------------------------- builder
+
+TEST(Ir, BuilderRejectsEmitAfterTerminator)
+{
+    Module mod;
+    FuncBuilder fb(mod, "f", 0, false);
+    fb.ret();
+    EXPECT_THROW(fb.constInt(1), PanicError);
+}
+
+TEST(Ir, BuilderVregsAreSingleAssignment)
+{
+    Module mod;
+    FuncBuilder fb(mod, "f", 0, false);
+    Vreg a = fb.constInt(1);
+    Vreg b = fb.constInt(2);
+    Vreg c = fb.bin(BinOp::Add, a, b);
+    EXPECT_NE(a, b);
+    EXPECT_NE(b, c);
+    fb.ret();
+    fb.finish();
+    mod.entry = fb.funcId();
+    mod.assignAddresses();
+    mod.verify();
+}
+
+TEST(Ir, FinishTerminatesOpenVoidBlocks)
+{
+    Module mod;
+    FuncBuilder fb(mod, "f", 0, false);
+    fb.constInt(7); // block left unterminated
+    fb.finish();
+    EXPECT_EQ(mod.functions[0].blocks[0].terminator().op, Op::Ret);
+}
+
+TEST(Ir, FinishPanicsOnOpenValueBlocks)
+{
+    Module mod;
+    FuncBuilder fb(mod, "f", 0, true);
+    fb.constInt(7);
+    EXPECT_THROW(fb.finish(), PanicError);
+}
+
+// -------------------------------------------------------------- verifier
+
+TEST(Ir, VerifierCatchesBadTargets)
+{
+    Module mod;
+    FuncBuilder fb(mod, "main", 0, false);
+    Vreg c = fb.constInt(1);
+    fb.br(c, 0, 0);
+    fb.finish();
+    mod.entry = fb.funcId();
+    // Corrupt the branch target after the fact.
+    mod.functions[0].blocks[0].terminator().target = 99;
+    EXPECT_THROW(mod.verify(), PanicError);
+}
+
+TEST(Ir, VerifierCatchesUseOfUndefinedVreg)
+{
+    Module mod;
+    FuncBuilder fb(mod, "main", 0, false);
+    fb.ret();
+    fb.finish();
+    mod.entry = fb.funcId();
+    // Splice in a bogus use.
+    Inst in;
+    in.op = Op::Ret;
+    in.srcA = 42;
+    mod.functions[0].blocks[0].insts.back() = in;
+    mod.functions[0].nextVreg = 50;
+    EXPECT_THROW(mod.verify(), PanicError);
+}
+
+TEST(Ir, VerifierCatchesStoreToConst)
+{
+    Module mod;
+    MemObject ro;
+    ro.name = "$lit";
+    ro.kind = ObjectKind::Const;
+    ro.size = 4;
+    ObjectId lit = mod.addObject(std::move(ro));
+    FuncBuilder fb(mod, "main", 0, false);
+    Vreg v = fb.constInt(1);
+    fb.store(lit, v);
+    fb.ret();
+    fb.finish();
+    mod.entry = fb.funcId();
+    EXPECT_THROW(mod.verify(), PanicError);
+}
+
+TEST(Ir, VerifierRequiresEntry)
+{
+    Module mod;
+    FuncBuilder fb(mod, "main", 0, false);
+    fb.ret();
+    fb.finish();
+    // entry never set
+    EXPECT_THROW(mod.verify(), PanicError);
+}
+
+// ------------------------------------------------------------- addresses
+
+TEST(Ir, AddressAssignmentIsMonotoneAndPadded)
+{
+    Module mod;
+    {
+        FuncBuilder fb(mod, "a", 0, false);
+        fb.constInt(1);
+        fb.ret();
+        fb.finish();
+        mod.entry = fb.funcId();
+    }
+    {
+        FuncBuilder fb(mod, "b", 0, false);
+        fb.ret();
+        fb.finish();
+    }
+    mod.assignAddresses();
+    const Function &a = mod.functions[0];
+    const Function &b = mod.functions[1];
+    EXPECT_EQ(a.entryPc, 0x1000u);
+    EXPECT_EQ(a.blocks[0].insts[0].pc, 0x1000u);
+    EXPECT_EQ(a.blocks[0].insts[1].pc, 0x1004u);
+    // Functions are padded apart so PCs never collide.
+    EXPECT_GT(b.entryPc, a.blocks[0].insts.back().pc);
+    EXPECT_EQ(b.entryPc % 0x100, 0u);
+}
+
+TEST(Ir, CondBranchCountsRecorded)
+{
+    Module mod;
+    FuncBuilder fb(mod, "main", 0, false);
+    BlockId t = fb.newBlock();
+    BlockId f = fb.newBlock();
+    Vreg c = fb.constInt(1);
+    fb.br(c, t, f);
+    fb.setBlock(t);
+    fb.ret();
+    fb.setBlock(f);
+    fb.ret();
+    fb.finish();
+    mod.entry = fb.funcId();
+    mod.assignAddresses();
+    EXPECT_EQ(mod.functions[0].numCondBranches, 1u);
+}
+
+// --------------------------------------------------------------- printer
+
+TEST(Ir, PrinterRendersEveryOpcode)
+{
+    Module mod;
+    MemObject g;
+    g.name = "glob";
+    g.kind = ObjectKind::Global;
+    g.size = 8;
+    ObjectId glob = mod.addObject(std::move(g));
+
+    FuncBuilder fb(mod, "main", 1, true);
+    ObjectId arr = fb.addArray("buf", 16);
+    Vreg arg = fb.getArg(0);
+    Vreg addr = fb.addrOf(arr, 2);
+    Vreg ld = fb.load(glob);
+    Vreg ldi = fb.loadInd(addr, MemSize::I8);
+    Vreg sum = fb.bin(BinOp::Add, ld, ldi);
+    Vreg cc = fb.cmp(Pred::GE, sum, arg);
+    fb.store(glob, sum);
+    fb.storeInd(addr, cc, MemSize::I8);
+    fb.callBuiltin(Builtin::PrintInt, {sum});
+    BlockId t = fb.newBlock("t");
+    BlockId f = fb.newBlock("f");
+    fb.br(cc, t, f);
+    fb.setBlock(t);
+    fb.jmp(f);
+    fb.setBlock(f);
+    fb.ret(sum);
+    fb.finish();
+    mod.entry = fb.funcId();
+    mod.assignAddresses();
+    mod.verify();
+
+    std::string text = mod.print();
+    for (const char *needle :
+         {"getarg", "addrof", "load", "loadind", "add", "cmp ge",
+          "store", "storeind", "call print_int", "br", "jmp", "ret",
+          "glob", "main.buf"}) {
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+    }
+}
+
+} // namespace
+} // namespace ipds

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Optimization-pass tests: each pass's local effect, whole-pipeline
+ * semantics preservation (same output, same visible behaviour on the
+ * workload suite), and the detector's zero-FP property on optimized
+ * code.
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/codegen.h"
+#include "ipds/detector.h"
+#include "opt/passes.h"
+#include "vm/vm.h"
+#include "workloads/workloads.h"
+
+namespace ipds {
+namespace {
+
+size_t
+countInsts(const Module &m)
+{
+    size_t n = 0;
+    for (const auto &fn : m.functions)
+        for (const auto &bb : fn.blocks)
+            n += bb.insts.size();
+    return n;
+}
+
+size_t
+countBlocks(const Module &m)
+{
+    size_t n = 0;
+    for (const auto &fn : m.functions)
+        n += fn.blocks.size();
+    return n;
+}
+
+TEST(Opt, FoldsConstantBranches)
+{
+    Module m = compileMiniC(R"(
+void main() {
+    if (1 < 2) { print_str("always"); } else { print_str("never"); }
+}
+)", "t");
+    OptStats st = optimizeModule(m);
+    EXPECT_GE(st.branchesFolded, 1u);
+    EXPECT_GE(st.blocksRemoved, 1u);
+    // No conditional branches survive.
+    for (const auto &fn : m.functions)
+        for (const auto &bb : fn.blocks)
+            EXPECT_NE(bb.terminator().op, Op::Br);
+    // Behaviour preserved.
+    Vm vm(m);
+    EXPECT_EQ(vm.run().output, "always");
+}
+
+TEST(Opt, ThreadsJumpChains)
+{
+    Module m = compileMiniC(R"(
+void main() {
+    int x;
+    x = input_int();
+    if (x < 1) { } else { }
+    if (x < 2) { } else { }
+    print_int(x);
+}
+)", "t");
+    size_t blocksBefore = countBlocks(m);
+    optimizeModule(m);
+    EXPECT_LT(countBlocks(m), blocksBefore);
+    Vm vm(m);
+    vm.setInputs({"5"});
+    EXPECT_EQ(vm.run().output, "5");
+}
+
+TEST(Opt, EliminatesDeadPureCode)
+{
+    Module m = compileMiniC(R"(
+void main() {
+    int x;
+    int unused;
+    x = 3;
+    unused = x * 100 + 7;
+    print_int(x);
+}
+)", "t");
+    size_t before = countInsts(m);
+    OptStats st = optimizeModule(m);
+    // The multiply/add feeding the dead store are NOT removable (the
+    // store itself has a side effect on memory), but the dead load
+    // shape appears elsewhere; at minimum the pipeline is a no-worse
+    // transform.
+    EXPECT_LE(countInsts(m), before);
+    (void)st;
+    Vm vm(m);
+    EXPECT_EQ(vm.run().output, "3");
+}
+
+TEST(Opt, KeepsTrappingDivision)
+{
+    Module m = compileMiniC(R"(
+void main() {
+    int x;
+    int dead;
+    x = 0;
+    dead = 5 / x;
+    print_str("after");
+}
+)", "t");
+    optimizeModule(m);
+    Vm vm(m);
+    RunResult r = vm.run();
+    // The division still traps even though its result is unused.
+    EXPECT_EQ(r.exit, ExitKind::Trapped);
+}
+
+TEST(Opt, WholeSuiteBehaviourPreserved)
+{
+    for (const auto &wl : allWorkloads()) {
+        Module plain = compileMiniC(wl.source, wl.name);
+        Module opt = compileMiniC(wl.source, wl.name);
+        OptStats st = optimizeModule(opt);
+        (void)st;
+
+        Vm v1(plain);
+        v1.setInputs(wl.benignInputs);
+        RunResult r1 = v1.run();
+        Vm v2(opt);
+        v2.setInputs(wl.benignInputs);
+        RunResult r2 = v2.run();
+
+        EXPECT_EQ(r1.output, r2.output) << wl.name;
+        EXPECT_EQ(r1.exit, r2.exit) << wl.name;
+        EXPECT_LE(r2.steps, r1.steps) << wl.name;
+    }
+}
+
+TEST(Opt, OptimizedCodeStillZeroFalsePositive)
+{
+    for (const auto &wl : allWorkloads()) {
+        Module m = compileMiniC(wl.source, wl.name);
+        optimizeModule(m);
+        CompiledProgram prog = analyzeModule(std::move(m));
+        Vm vm(prog.mod);
+        vm.setInputs(wl.benignInputs);
+        Detector det(prog);
+        vm.addObserver(&det);
+        vm.run();
+        EXPECT_FALSE(det.alarmed()) << wl.name;
+    }
+}
+
+TEST(Opt, ForwardsStoresToLoadsWithinABlock)
+{
+    Module m = compileMiniC(R"(
+void main() {
+    int x;
+    x = 7;
+    print_int(x + x);
+}
+)", "t");
+    // Without forwarding: store, two loads. With it: the loads read
+    // the stored register directly and die.
+    uint32_t fwd = 0;
+    for (auto &fn : m.functions) {
+        fn.computePreds();
+        fwd += forwardStores(fn);
+        eliminateDeadCode(fn);
+    }
+    m.assignAddresses();
+    m.verify();
+    EXPECT_GE(fwd, 2u);
+    int loads = 0;
+    for (const auto &fn : m.functions)
+        for (const auto &bb : fn.blocks)
+            for (const auto &in : bb.insts)
+                loads += in.op == Op::Load ? 1 : 0;
+    EXPECT_EQ(loads, 0);
+    Vm vm(m);
+    EXPECT_EQ(vm.run().output, "14");
+}
+
+TEST(Opt, ForwardingStopsAtCallsAndIndirectStores)
+{
+    Module m = compileMiniC(R"(
+void main() {
+    int x;
+    int *p;
+    x = 7;
+    p = &x;
+    *p = 9;
+    print_int(x); // must reload: the indirect store killed tracking
+}
+)", "t");
+    for (auto &fn : m.functions) {
+        fn.computePreds();
+        forwardStores(fn);
+        eliminateDeadCode(fn);
+    }
+    m.assignAddresses();
+    m.verify();
+    Vm vm(m);
+    EXPECT_EQ(vm.run().output, "9");
+}
+
+TEST(Opt, IdempotentOnFixpoint)
+{
+    Module m = compileMiniC(workloadByName("sendmail").source, "s");
+    optimizeModule(m);
+    size_t insts = countInsts(m);
+    size_t blocks = countBlocks(m);
+    OptStats st2 = optimizeModule(m);
+    EXPECT_EQ(countInsts(m), insts);
+    EXPECT_EQ(countBlocks(m), blocks);
+    EXPECT_EQ(st2.branchesFolded, 0u);
+    EXPECT_EQ(st2.blocksRemoved, 0u);
+    EXPECT_EQ(st2.instsEliminated, 0u);
+}
+
+} // namespace
+} // namespace ipds

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Overflow-campaign framework tests: vulnerability planting is exact,
+ * the planted build really overflows, classification isolates
+ * corruption from input change, and campaigns are deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/overflow.h"
+#include "core/program.h"
+#include "ipds/detector.h"
+#include "support/diag.h"
+#include "vm/vm.h"
+#include "workloads/workloads.h"
+
+namespace ipds {
+namespace {
+
+const char *kVictim = R"(
+void main() {
+    char buf[8];
+    int flag;
+    int i;
+    flag = 0;
+    i = 0;
+    while (i < 2) {
+        get_input_n(buf, 8);
+        if (flag != 0) { print_str("escalated\n"); }
+        i = i + 1;
+    }
+}
+)";
+
+TEST(Overflow, CountsAndPlantsReads)
+{
+    EXPECT_EQ(countInputReads(kVictim), 1u);
+    std::string planted = plantVulnerability(kVictim, 0);
+    EXPECT_EQ(countInputReads(planted), 0u);
+    EXPECT_NE(planted.find("get_input(buf)"), std::string::npos);
+    EXPECT_THROW(plantVulnerability(kVictim, 1), FatalError);
+    // Planted source still compiles.
+    EXPECT_NO_THROW(compileAndAnalyze(planted, "planted"));
+}
+
+TEST(Overflow, PlantedBuildReallyOverflows)
+{
+    CompiledProgram prog =
+        compileAndAnalyze(plantVulnerability(kVictim, 0), "v");
+    Vm vm(prog.mod);
+    // 8 filler bytes to fill buf, then a 1 that lands in flag.
+    std::string payload(8, 'x');
+    payload += '\1';
+    vm.setInputs({payload, "short"});
+    Detector det(prog);
+    vm.addObserver(&det);
+    RunResult r = vm.run();
+    EXPECT_NE(r.output.find("escalated"), std::string::npos);
+    EXPECT_TRUE(det.alarmed()) << "overflow flipped flag undetected";
+}
+
+TEST(Overflow, BoundedBuildAbsorbsTheSamePayload)
+{
+    CompiledProgram prog = compileAndAnalyze(kVictim, "b");
+    Vm vm(prog.mod);
+    std::string payload(8, 'x');
+    payload += '\1';
+    vm.setInputs({payload, "short"});
+    Detector det(prog);
+    vm.addObserver(&det);
+    RunResult r = vm.run();
+    EXPECT_EQ(r.output.find("escalated"), std::string::npos);
+    EXPECT_FALSE(det.alarmed());
+}
+
+TEST(Overflow, CampaignDeterministicAndClean)
+{
+    CampaignConfig cfg;
+    cfg.numAttacks = 30;
+    CampaignResult a =
+        runOverflowCampaign(kVictim, "v", {"one", "two"}, cfg);
+    CampaignResult b =
+        runOverflowCampaign(kVictim, "v", {"one", "two"}, cfg);
+    EXPECT_FALSE(a.falsePositive);
+    ASSERT_EQ(a.attacks(), b.attacks());
+    for (uint32_t i = 0; i < a.attacks(); i++) {
+        EXPECT_EQ(a.outcomes[i].cfChanged, b.outcomes[i].cfChanged);
+        EXPECT_EQ(a.outcomes[i].detected, b.outcomes[i].detected);
+    }
+    // This victim has a directly exposed flag: a decent share of
+    // overflows must change control flow and be detected.
+    EXPECT_GT(a.numCfChanged(), 0u);
+    EXPECT_GT(a.numDetected(), 0u);
+    // Detection still implies corruption-caused divergence.
+    for (const auto &o : a.outcomes)
+        EXPECT_TRUE(!o.detected || o.cfChanged);
+}
+
+TEST(Overflow, WholeSuiteCampaignsAreFalsePositiveFree)
+{
+    for (const auto &wl : allWorkloads()) {
+        CampaignConfig cfg;
+        cfg.numAttacks = 15;
+        CampaignResult res = runOverflowCampaign(
+            wl.source, wl.name, wl.benignInputs, cfg);
+        EXPECT_FALSE(res.falsePositive) << wl.name;
+        for (const auto &o : res.outcomes)
+            EXPECT_TRUE(!o.detected || o.cfChanged) << wl.name;
+    }
+}
+
+TEST(Overflow, InputEventPcsAreRecorded)
+{
+    CompiledProgram prog = compileAndAnalyze(kVictim, "b");
+    Vm vm(prog.mod);
+    vm.setInputs({"a", "b"});
+    RunResult r = vm.run();
+    ASSERT_EQ(r.inputEventPcs.size(), 2u);
+    EXPECT_EQ(r.inputEventPcs[0], r.inputEventPcs[1]); // same call site
+}
+
+} // namespace
+} // namespace ipds

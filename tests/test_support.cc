@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Unit tests for the support layer: bit vectors, bit streams,
+ * deterministic RNG and diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/bitstream.h"
+#include "support/bitvec.h"
+#include "support/diag.h"
+#include "support/rng.h"
+
+namespace ipds {
+namespace {
+
+// ---------------------------------------------------------------- BitVec
+
+TEST(BitVec, BasicSetTestCount)
+{
+    BitVec v(130);
+    EXPECT_EQ(v.size(), 130u);
+    EXPECT_TRUE(v.none());
+    v.set(0);
+    v.set(64);
+    v.set(129);
+    EXPECT_EQ(v.count(), 3u);
+    EXPECT_TRUE(v.test(64));
+    EXPECT_FALSE(v.test(63));
+    v.reset(64);
+    EXPECT_EQ(v.count(), 2u);
+}
+
+TEST(BitVec, AllOnesConstructionClearsTail)
+{
+    BitVec v(70, true);
+    EXPECT_EQ(v.count(), 70u);
+    v.setAll();
+    EXPECT_EQ(v.count(), 70u);
+    v.clearAll();
+    EXPECT_TRUE(v.none());
+}
+
+TEST(BitVec, SetAlgebra)
+{
+    BitVec a(100), b(100);
+    a.set(3);
+    a.set(50);
+    b.set(50);
+    b.set(99);
+
+    BitVec u = a;
+    EXPECT_TRUE(u.orWith(b));
+    EXPECT_EQ(u.count(), 3u);
+    EXPECT_FALSE(u.orWith(b)); // no change the second time
+
+    BitVec i = a;
+    EXPECT_TRUE(i.andWith(b));
+    EXPECT_EQ(i.count(), 1u);
+    EXPECT_TRUE(i.test(50));
+
+    BitVec d = a;
+    EXPECT_TRUE(d.subtract(b));
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_TRUE(d.test(3));
+}
+
+TEST(BitVec, FindFirstIteration)
+{
+    BitVec v(200);
+    std::set<size_t> want = {0, 5, 63, 64, 127, 199};
+    for (size_t i : want)
+        v.set(i);
+    std::set<size_t> got;
+    for (size_t i = v.findFirst(); i < v.size(); i = v.findFirst(i + 1))
+        got.insert(i);
+    EXPECT_EQ(got, want);
+    BitVec empty(77);
+    EXPECT_EQ(empty.findFirst(), empty.size());
+}
+
+TEST(BitVec, SizeMismatchPanics)
+{
+    BitVec a(10), b(11);
+    EXPECT_THROW(a.orWith(b), PanicError);
+    EXPECT_THROW(a.test(10), PanicError);
+}
+
+TEST(BitVec, Resize)
+{
+    BitVec v(10);
+    v.set(9);
+    v.resize(100);
+    EXPECT_TRUE(v.test(9));
+    EXPECT_FALSE(v.test(50));
+    EXPECT_EQ(v.count(), 1u);
+}
+
+// ------------------------------------------------------------- BitStream
+
+TEST(BitStream, RoundTripMixedWidths)
+{
+    BitWriter w;
+    w.put(0b101, 3);
+    w.put(0xdeadbeefcafebabeULL, 64);
+    w.put(0, 1);
+    w.put(0x7fff, 15);
+    EXPECT_EQ(w.bitCount(), 83u);
+
+    BitReader r(w.bytes());
+    EXPECT_EQ(r.get(3), 0b101u);
+    EXPECT_EQ(r.get(64), 0xdeadbeefcafebabeULL);
+    EXPECT_EQ(r.get(1), 0u);
+    EXPECT_EQ(r.get(15), 0x7fffu);
+}
+
+TEST(BitStream, ReadPastEndPanics)
+{
+    BitWriter w;
+    w.put(3, 2);
+    BitReader r(w.bytes());
+    r.get(2);
+    // The final partial byte was zero-padded: 6 more bits exist.
+    r.get(6);
+    EXPECT_THROW(r.get(1), PanicError);
+}
+
+TEST(BitStream, BitsFor)
+{
+    EXPECT_EQ(bitsFor(0), 1u);
+    EXPECT_EQ(bitsFor(1), 1u);
+    EXPECT_EQ(bitsFor(2), 2u);
+    EXPECT_EQ(bitsFor(255), 8u);
+    EXPECT_EQ(bitsFor(256), 9u);
+}
+
+/** Property: any sequence of (value, width) pairs round-trips. */
+class BitStreamPropTest : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(BitStreamPropTest, RandomRoundTrip)
+{
+    Rng rng(GetParam());
+    std::vector<std::pair<uint64_t, unsigned>> fields;
+    BitWriter w;
+    for (int i = 0; i < 200; i++) {
+        unsigned width = 1 + static_cast<unsigned>(rng.below(64));
+        uint64_t value = rng.next() &
+            (width == 64 ? ~0ULL : ((1ULL << width) - 1));
+        fields.emplace_back(value, width);
+        w.put(value, width);
+    }
+    BitReader r(w.bytes());
+    for (auto [value, width] : fields)
+        ASSERT_EQ(r.get(width), value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitStreamPropTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// ------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(7);
+    uint64_t first = a.next();
+    a.next();
+    a.reseed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversValues)
+{
+    Rng rng(1);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; i++) {
+        uint64_t v = rng.below(10);
+        ASSERT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(2);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 500; i++) {
+        int64_t v = rng.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        sawLo |= v == -3;
+        sawHi |= v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UnitInHalfOpenInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; i++) {
+        double u = rng.unit();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, DegenerateArgsPanic)
+{
+    Rng rng(4);
+    EXPECT_THROW(rng.below(0), PanicError);
+    EXPECT_THROW(rng.range(5, 4), PanicError);
+}
+
+// ------------------------------------------------------------------ diag
+
+TEST(Diag, StrprintfFormats)
+{
+    EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+TEST(Diag, FatalAndPanicThrowDistinctTypes)
+{
+    EXPECT_THROW(fatal("user error %d", 1), FatalError);
+    EXPECT_THROW(panic("bug %d", 2), PanicError);
+    try {
+        fatal("code %d", 42);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "code 42");
+    }
+}
+
+} // namespace
+} // namespace ipds

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Perfect-hash and table-layout tests: collision-freedom properties,
+ * slot mapping, bit accounting and the packed binary round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/hashfn.h"
+#include "core/program.h"
+#include "core/tables.h"
+#include "support/diag.h"
+#include "support/rng.h"
+
+namespace ipds {
+namespace {
+
+// ---------------------------------------------------------------- hashfn
+
+TEST(HashFn, EmptyAndSingle)
+{
+    HashParams p0 = findPerfectHash({});
+    EXPECT_EQ(p0.space(), 1u);
+    HashParams p1 = findPerfectHash({0x1000});
+    EXPECT_EQ(p1.space(), 1u);
+}
+
+TEST(HashFn, DuplicatePcsPanic)
+{
+    EXPECT_THROW(findPerfectHash({0x1000, 0x1000}), PanicError);
+}
+
+/** Property: the found hash is collision-free and deterministic. */
+class HashFnPropTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>>
+{};
+
+TEST_P(HashFnPropTest, CollisionFree)
+{
+    auto [n, seed] = GetParam();
+    Rng rng(seed);
+    std::set<uint64_t> pcSet;
+    uint64_t pc = 0x1000;
+    while (pcSet.size() < static_cast<size_t>(n)) {
+        pc += 4 * (1 + rng.below(10));
+        pcSet.insert(pc);
+    }
+    std::vector<uint64_t> pcs(pcSet.begin(), pcSet.end());
+
+    HashParams p = findPerfectHash(pcs);
+    std::set<uint32_t> slots;
+    for (uint64_t x : pcs)
+        slots.insert(p.apply(x));
+    EXPECT_EQ(slots.size(), pcs.size()) << "collision found";
+    EXPECT_GE(p.space(), pcs.size());
+
+    // Determinism: same input, same parameters.
+    HashParams p2 = findPerfectHash(pcs);
+    EXPECT_EQ(p.shift1, p2.shift1);
+    EXPECT_EQ(p.shift2, p2.shift2);
+    EXPECT_EQ(p.log2Space, p2.log2Space);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HashFnPropTest,
+    ::testing::Combine(::testing::Values(2, 3, 5, 9, 17, 33, 70),
+                       ::testing::Values(1u, 2u, 3u)));
+
+// ---------------------------------------------------------------- layout
+
+TEST(Tables, SlotMappingMatchesHash)
+{
+    CompiledProgram p = compileAndAnalyze(R"(
+void main() {
+    int x;
+    x = input_int();
+    if (x < 1) { print_str("a"); }
+    if (x < 2) { print_str("b"); }
+    if (x < 3) { print_str("c"); }
+}
+)", "t");
+    const CompiledFunction &cf = p.funcs[p.mod.entry];
+    const FuncTables &t = cf.tables;
+    ASSERT_EQ(t.slotOfBranch.size(), cf.bat.numBranches);
+    std::set<uint32_t> slots;
+    for (uint32_t i = 0; i < cf.bat.numBranches; i++) {
+        EXPECT_EQ(t.slotOfBranch[i],
+                  t.hash.apply(cf.bat.branchPcs[i]));
+        slots.insert(t.slotOfBranch[i]);
+    }
+    EXPECT_EQ(slots.size(), cf.bat.numBranches); // no collisions
+}
+
+TEST(Tables, BitAccountingFormula)
+{
+    CompiledProgram p = compileAndAnalyze(R"(
+void main() {
+    int x;
+    x = input_int();
+    if (x == 0) { print_str("z"); }
+}
+)", "t");
+    const FuncTables &t = p.funcs[p.mod.entry].tables;
+    EXPECT_EQ(t.bsvBits, 2ull * t.hash.space());
+    EXPECT_EQ(t.bcvBits, t.hash.space());
+    EXPECT_GT(t.batBits, 0u);
+}
+
+TEST(Tables, PackUnpackRoundTripAllWorkalikeShapes)
+{
+    // Round-trip the actual tables of a branch-rich program.
+    CompiledProgram p = compileAndAnalyze(R"(
+void main() {
+    int a;
+    int i;
+    a = input_int();
+    i = 0;
+    while (i < 4) {
+        if (a < 3) { print_str("x"); }
+        if (a == 7) { print_str("y"); } else { print_str("n"); }
+        if (a > 100) { a = input_int(); }
+        i = i + 1;
+    }
+}
+)", "t");
+    const FuncTables &t = p.funcs[p.mod.entry].tables;
+    std::vector<uint8_t> image = t.pack();
+    FuncTables u = FuncTables::unpack(image, t.func);
+
+    EXPECT_EQ(u.hash.log2Space, t.hash.log2Space);
+    EXPECT_EQ(u.hash.shift1, t.hash.shift1);
+    EXPECT_EQ(u.hash.shift2, t.hash.shift2);
+    ASSERT_EQ(u.bcv.size(), t.bcv.size());
+    EXPECT_EQ(u.bcv, t.bcv);
+
+    auto sameList = [](const std::vector<SlotAction> &a,
+                       const std::vector<SlotAction> &b) {
+        if (a.size() != b.size())
+            return false;
+        for (size_t i = 0; i < a.size(); i++)
+            if (a[i].slot != b[i].slot || a[i].act != b[i].act)
+                return false;
+        return true;
+    };
+    for (uint32_t s = 0; s < t.hash.space(); s++) {
+        EXPECT_TRUE(sameList(u.onTaken[s], t.onTaken[s])) << s;
+        EXPECT_TRUE(sameList(u.onNotTaken[s], t.onNotTaken[s])) << s;
+    }
+    EXPECT_TRUE(sameList(u.entryActions, t.entryActions));
+    EXPECT_EQ(u.batBits, t.batBits);
+}
+
+TEST(Tables, ZeroBranchFunctionPacks)
+{
+    CompiledProgram p = compileAndAnalyze(
+        "void noop() { } void main() { noop(); }", "t");
+    const FuncTables &t =
+        p.funcs[p.mod.findFunction("noop")].tables;
+    EXPECT_EQ(t.numBranches, 0u);
+    auto image = t.pack();
+    FuncTables u = FuncTables::unpack(image, t.func);
+    EXPECT_EQ(u.hash.space(), t.hash.space());
+}
+
+} // namespace
+} // namespace ipds

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Timing-substrate tests: cache geometry/LRU, the two-level branch
+ * predictor, the IPDS engine's queue and spill mechanics, and
+ * whole-model sanity (determinism, IPC bounds, IPDS-off neutrality).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/program.h"
+#include "ipds/detector.h"
+#include "support/diag.h"
+#include "timing/branchpred.h"
+#include "timing/cache.h"
+#include "timing/cpu.h"
+#include "timing/engine.h"
+#include "workloads/workloads.h"
+
+namespace ipds {
+namespace {
+
+// ----------------------------------------------------------------- cache
+
+TEST(Cache, HitsAfterFill)
+{
+    Cache c({1024, 2, 32, 1});
+    EXPECT_FALSE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x11f)); // same 32B block
+    EXPECT_FALSE(c.access(0x120)); // next block
+    EXPECT_EQ(c.misses(), 2u);
+    EXPECT_EQ(c.accesses(), 4u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2 ways, 32B blocks, 2 sets => set stride 64.
+    Cache c({128, 2, 32, 1});
+    // Three blocks mapping to set 0: 0x0, 0x80, 0x100.
+    c.access(0x0);
+    c.access(0x80);
+    c.access(0x0);    // refresh 0x0; LRU is now 0x80
+    c.access(0x100);  // evicts 0x80
+    EXPECT_TRUE(c.access(0x0));
+    EXPECT_FALSE(c.access(0x80)); // was evicted
+}
+
+TEST(Cache, ResetClears)
+{
+    Cache c({1024, 2, 32, 1});
+    c.access(0x40);
+    c.reset();
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_FALSE(c.access(0x40));
+}
+
+TEST(Cache, BadGeometryPanics)
+{
+    EXPECT_THROW(Cache({0, 2, 32, 1}), PanicError);
+    EXPECT_THROW(Cache({1000, 3, 32, 1}), PanicError); // non-pow2 sets
+}
+
+// ------------------------------------------------------------- predictor
+
+TEST(BranchPred, LearnsAStableDirection)
+{
+    TimingConfig cfg;
+    BranchPredictor bp(cfg);
+    uint64_t pc = 0x4000;
+    for (int i = 0; i < 50; i++)
+        bp.update(pc, true);
+    uint64_t before = bp.mispredicts();
+    for (int i = 0; i < 50; i++)
+        bp.update(pc, true);
+    EXPECT_EQ(bp.mispredicts(), before); // fully learned
+}
+
+TEST(BranchPred, LearnsAlternatingPatternViaHistory)
+{
+    TimingConfig cfg;
+    BranchPredictor bp(cfg);
+    uint64_t pc = 0x4000;
+    for (int i = 0; i < 400; i++)
+        bp.update(pc, i % 2 == 0);
+    uint64_t before = bp.mispredicts();
+    for (int i = 0; i < 100; i++)
+        bp.update(pc, i % 2 == 0);
+    // The 2-level history disambiguates T/NT alternation perfectly.
+    EXPECT_EQ(bp.mispredicts(), before);
+}
+
+TEST(BranchPred, CountsLookups)
+{
+    TimingConfig cfg;
+    BranchPredictor bp(cfg);
+    bp.update(0x10, true);
+    bp.update(0x20, false);
+    EXPECT_EQ(bp.lookups(), 2u);
+}
+
+// ---------------------------------------------------------------- engine
+
+TEST(Engine, RequestCosts)
+{
+    TimingConfig cfg;
+    IpdsEngine eng(cfg);
+    IpdsRequest check;
+    check.kind = IpdsRequest::Kind::Check;
+    EXPECT_EQ(eng.enqueue(check, 0), 0u);
+    EXPECT_EQ(eng.stats().checkRequests, 1u);
+    EXPECT_EQ(eng.stats().busyCycles, cfg.tableLatency);
+
+    IpdsRequest upd;
+    upd.kind = IpdsRequest::Kind::Update;
+    upd.actionCount = 9; // ceil(9/4) = 3 row fetches
+    eng.enqueue(upd, 10);
+    EXPECT_EQ(eng.stats().busyCycles,
+              cfg.tableLatency + cfg.tableLatency + 3);
+}
+
+TEST(Engine, QueueBackpressureStallsCaller)
+{
+    TimingConfig cfg;
+    cfg.requestQueueSize = 2;
+    IpdsEngine eng(cfg);
+    IpdsRequest slow;
+    slow.kind = IpdsRequest::Kind::Update;
+    slow.actionCount = 40; // 10 row fetches + 1
+    // Fill the queue at time 0; the third enqueue must stall.
+    EXPECT_EQ(eng.enqueue(slow, 0), 0u);
+    EXPECT_EQ(eng.enqueue(slow, 0), 0u);
+    uint64_t stall = eng.enqueue(slow, 0);
+    EXPECT_GT(stall, 0u);
+    EXPECT_EQ(eng.stats().queueFullStalls, 1u);
+    EXPECT_EQ(eng.stats().stallCycles, stall);
+}
+
+TEST(Engine, CheckLatencyIncludesQueueing)
+{
+    TimingConfig cfg;
+    IpdsEngine eng(cfg);
+    IpdsRequest upd;
+    upd.kind = IpdsRequest::Kind::Update;
+    upd.actionCount = 40;
+    eng.enqueue(upd, 0); // keeps the engine busy ~11 cycles
+    IpdsRequest check;
+    check.kind = IpdsRequest::Kind::Check;
+    eng.enqueue(check, 0);
+    // The check finished well after its enqueue time.
+    EXPECT_GT(eng.stats().avgCheckLatency(), cfg.tableLatency);
+}
+
+TEST(Engine, SpillAndFillAccounting)
+{
+    TimingConfig cfg;
+    cfg.bsvStackBits = 64;
+    cfg.bcvStackBits = 32;
+    cfg.batStackBits = 256; // total on-chip capacity: 352 bits
+    IpdsEngine eng(cfg);
+
+    auto push = [&](uint64_t bits) {
+        IpdsRequest rq;
+        rq.kind = IpdsRequest::Kind::PushFrame;
+        rq.tableBits = bits;
+        eng.enqueue(rq, 0);
+    };
+    auto pop = [&](uint64_t bits) {
+        IpdsRequest rq;
+        rq.kind = IpdsRequest::Kind::PopFrame;
+        rq.tableBits = bits;
+        eng.enqueue(rq, 0);
+    };
+
+    push(200);
+    push(200); // 400 > 352: the deeper frame spills
+    EXPECT_EQ(eng.stats().spillEvents, 1u);
+    EXPECT_EQ(eng.stats().spillBits, 200u);
+    pop(200);  // pop the top; the spilled frame must fill back
+    EXPECT_EQ(eng.stats().fillEvents, 1u);
+    EXPECT_EQ(eng.stats().fillBits, 200u);
+}
+
+// ------------------------------------------------------------- CpuModel
+
+/** Run a workload session through the model. */
+TimingStats
+runTimed(const CompiledProgram &prog,
+         const std::vector<std::string> &inputs, bool ipds_on,
+         int sessions = 3)
+{
+    TimingConfig cfg;
+    cfg.ipdsEnabled = ipds_on;
+    CpuModel cpu(cfg);
+    for (int s = 0; s < sessions; s++) {
+        Vm vm(prog.mod);
+        vm.setInputs(inputs);
+        vm.setRecordTrace(false);
+        Detector det(prog);
+        if (ipds_on) {
+            det.setRequestSink(cpu.requestSink());
+            vm.addObserver(&det);
+        }
+        vm.addObserver(&cpu);
+        vm.run();
+    }
+    return cpu.stats();
+}
+
+TEST(CpuModel, DeterministicCycleCounts)
+{
+    const Workload &wl = workloadByName("sendmail");
+    CompiledProgram prog = compileAndAnalyze(wl.source, wl.name);
+    TimingStats a = runTimed(prog, wl.benignInputs, true);
+    TimingStats b = runTimed(prog, wl.benignInputs, true);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+}
+
+TEST(CpuModel, IpcWithinPhysicalBounds)
+{
+    const Workload &wl = workloadByName("httpd");
+    CompiledProgram prog = compileAndAnalyze(wl.source, wl.name);
+    TimingStats st = runTimed(prog, wl.benignInputs, false);
+    EXPECT_GT(st.ipc(), 0.1);
+    EXPECT_LE(st.ipc(), 8.0); // commit width is the hard ceiling
+    EXPECT_GT(st.branches, 0u);
+}
+
+TEST(CpuModel, IpdsNeverSpeedsUpAndBarelySlowsDown)
+{
+    for (const char *name : {"telnetd", "sendmail"}) {
+        const Workload &wl = workloadByName(name);
+        CompiledProgram prog = compileAndAnalyze(wl.source, wl.name);
+        TimingStats off = runTimed(prog, wl.benignInputs, false);
+        TimingStats on = runTimed(prog, wl.benignInputs, true);
+        EXPECT_GE(on.cycles, off.cycles) << name;
+        // Paper claim: well under a few percent.
+        EXPECT_LT(double(on.cycles - off.cycles),
+                  0.05 * double(off.cycles))
+            << name;
+        EXPECT_GT(on.engine.requests, 0u);
+    }
+}
+
+TEST(CpuModel, CachesAndPredictorAreExercised)
+{
+    const Workload &wl = workloadByName("portmap");
+    CompiledProgram prog = compileAndAnalyze(wl.source, wl.name);
+    TimingStats st = runTimed(prog, wl.benignInputs, true);
+    EXPECT_GT(st.l1iMisses, 0u);  // cold code blocks
+    EXPECT_GT(st.tlbMisses, 0u);  // cold pages
+    EXPECT_GT(st.mispredicts, 0u); // cold counters at least
+}
+
+TEST(CpuModel, ContextSwitchChargesCycles)
+{
+    const Workload &wl = workloadByName("telnetd");
+    CompiledProgram prog = compileAndAnalyze(wl.source, wl.name);
+
+    auto runWithSwitches = [&](int switches, bool lazy) {
+        TimingConfig cfg;
+        CpuModel cpu(cfg);
+        for (int s = 0; s < 5; s++) {
+            Vm vm(prog.mod);
+            vm.setInputs(wl.benignInputs);
+            vm.setRecordTrace(false);
+            Detector det(prog);
+            det.setRequestSink(cpu.requestSink());
+            vm.addObserver(&det);
+            vm.addObserver(&cpu);
+            vm.run();
+            for (int k = 0; k < switches; k++)
+                cpu.contextSwitch(lazy);
+        }
+        return cpu.stats().cycles;
+    };
+
+    uint64_t none = runWithSwitches(0, true);
+    uint64_t lazy = runWithSwitches(50, true);
+    uint64_t eager = runWithSwitches(50, false);
+    EXPECT_GT(lazy, none);
+    // With an empty active call chain between sessions the costs may
+    // tie, but eager can never be cheaper than lazy.
+    EXPECT_GE(eager, lazy);
+}
+
+TEST(CpuModel, CheckLatencyIsSmallAndPositive)
+{
+    const Workload &wl = workloadByName("sendmail");
+    CompiledProgram prog = compileAndAnalyze(wl.source, wl.name);
+    TimingStats st = runTimed(prog, wl.benignInputs, true, 10);
+    ASSERT_GT(st.engine.checkLatencyCount, 0u);
+    double lat = st.engine.avgCheckLatency();
+    EXPECT_GE(lat, 1.0);
+    // Paper: 11.7 cycles, comfortably inside a 20-stage pipeline.
+    EXPECT_LT(lat, 20.0);
+}
+
+} // namespace
+} // namespace ipds
