@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ctxswitch.dir/abl_ctxswitch.cc.o"
+  "CMakeFiles/abl_ctxswitch.dir/abl_ctxswitch.cc.o.d"
+  "abl_ctxswitch"
+  "abl_ctxswitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ctxswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

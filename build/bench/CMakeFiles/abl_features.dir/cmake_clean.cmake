@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_features.dir/abl_features.cc.o"
+  "CMakeFiles/abl_features.dir/abl_features.cc.o.d"
+  "abl_features"
+  "abl_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hash.dir/abl_hash.cc.o"
+  "CMakeFiles/abl_hash.dir/abl_hash.cc.o.d"
+  "abl_hash"
+  "abl_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_opt.dir/abl_opt.cc.o"
+  "CMakeFiles/abl_opt.dir/abl_opt.cc.o.d"
+  "abl_opt"
+  "abl_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

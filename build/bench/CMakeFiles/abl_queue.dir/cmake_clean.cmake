@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_queue.dir/abl_queue.cc.o"
+  "CMakeFiles/abl_queue.dir/abl_queue.cc.o.d"
+  "abl_queue"
+  "abl_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_stide.dir/baseline_stide.cc.o"
+  "CMakeFiles/baseline_stide.dir/baseline_stide.cc.o.d"
+  "baseline_stide"
+  "baseline_stide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_stide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_overflow.dir/fig7_overflow.cc.o"
+  "CMakeFiles/fig7_overflow.dir/fig7_overflow.cc.o.d"
+  "fig7_overflow"
+  "fig7_overflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_overflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

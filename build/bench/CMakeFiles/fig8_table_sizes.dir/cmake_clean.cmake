@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_table_sizes.dir/fig8_table_sizes.cc.o"
+  "CMakeFiles/fig8_table_sizes.dir/fig8_table_sizes.cc.o.d"
+  "fig8_table_sizes"
+  "fig8_table_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_table_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lat_detection.dir/lat_detection.cc.o"
+  "CMakeFiles/lat_detection.dir/lat_detection.cc.o.d"
+  "lat_detection"
+  "lat_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lat_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/correlation_explorer.dir/correlation_explorer.cpp.o"
+  "CMakeFiles/correlation_explorer.dir/correlation_explorer.cpp.o.d"
+  "correlation_explorer"
+  "correlation_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correlation_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/run_protected.cpp" "examples/CMakeFiles/run_protected.dir/run_protected.cpp.o" "gcc" "examples/CMakeFiles/run_protected.dir/run_protected.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/ipds_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/ipds_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ipds_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipds/CMakeFiles/ipds_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ipds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ipds_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ipds_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ipds_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ipds_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ipds_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_protected.dir/run_protected.cpp.o"
+  "CMakeFiles/run_protected.dir/run_protected.cpp.o.d"
+  "run_protected"
+  "run_protected.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_protected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

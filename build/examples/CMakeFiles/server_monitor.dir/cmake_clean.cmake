@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_monitor.dir/server_monitor.cpp.o"
+  "CMakeFiles/server_monitor.dir/server_monitor.cpp.o.d"
+  "server_monitor"
+  "server_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("frontend")
+subdirs("analysis")
+subdirs("core")
+subdirs("opt")
+subdirs("vm")
+subdirs("ipds")
+subdirs("timing")
+subdirs("attack")
+subdirs("baseline")
+subdirs("workloads")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/constfold.cc" "src/analysis/CMakeFiles/ipds_analysis.dir/constfold.cc.o" "gcc" "src/analysis/CMakeFiles/ipds_analysis.dir/constfold.cc.o.d"
+  "/root/repo/src/analysis/defmap.cc" "src/analysis/CMakeFiles/ipds_analysis.dir/defmap.cc.o" "gcc" "src/analysis/CMakeFiles/ipds_analysis.dir/defmap.cc.o.d"
+  "/root/repo/src/analysis/dominators.cc" "src/analysis/CMakeFiles/ipds_analysis.dir/dominators.cc.o" "gcc" "src/analysis/CMakeFiles/ipds_analysis.dir/dominators.cc.o.d"
+  "/root/repo/src/analysis/effects.cc" "src/analysis/CMakeFiles/ipds_analysis.dir/effects.cc.o" "gcc" "src/analysis/CMakeFiles/ipds_analysis.dir/effects.cc.o.d"
+  "/root/repo/src/analysis/memconst.cc" "src/analysis/CMakeFiles/ipds_analysis.dir/memconst.cc.o" "gcc" "src/analysis/CMakeFiles/ipds_analysis.dir/memconst.cc.o.d"
+  "/root/repo/src/analysis/memloc.cc" "src/analysis/CMakeFiles/ipds_analysis.dir/memloc.cc.o" "gcc" "src/analysis/CMakeFiles/ipds_analysis.dir/memloc.cc.o.d"
+  "/root/repo/src/analysis/pointsto.cc" "src/analysis/CMakeFiles/ipds_analysis.dir/pointsto.cc.o" "gcc" "src/analysis/CMakeFiles/ipds_analysis.dir/pointsto.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ipds_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ipds_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipds_analysis.dir/constfold.cc.o"
+  "CMakeFiles/ipds_analysis.dir/constfold.cc.o.d"
+  "CMakeFiles/ipds_analysis.dir/defmap.cc.o"
+  "CMakeFiles/ipds_analysis.dir/defmap.cc.o.d"
+  "CMakeFiles/ipds_analysis.dir/dominators.cc.o"
+  "CMakeFiles/ipds_analysis.dir/dominators.cc.o.d"
+  "CMakeFiles/ipds_analysis.dir/effects.cc.o"
+  "CMakeFiles/ipds_analysis.dir/effects.cc.o.d"
+  "CMakeFiles/ipds_analysis.dir/memconst.cc.o"
+  "CMakeFiles/ipds_analysis.dir/memconst.cc.o.d"
+  "CMakeFiles/ipds_analysis.dir/memloc.cc.o"
+  "CMakeFiles/ipds_analysis.dir/memloc.cc.o.d"
+  "CMakeFiles/ipds_analysis.dir/pointsto.cc.o"
+  "CMakeFiles/ipds_analysis.dir/pointsto.cc.o.d"
+  "libipds_analysis.a"
+  "libipds_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipds_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipds_attack.dir/campaign.cc.o"
+  "CMakeFiles/ipds_attack.dir/campaign.cc.o.d"
+  "CMakeFiles/ipds_attack.dir/overflow.cc.o"
+  "CMakeFiles/ipds_attack.dir/overflow.cc.o.d"
+  "libipds_attack.a"
+  "libipds_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipds_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipds_baseline.dir/stide.cc.o"
+  "CMakeFiles/ipds_baseline.dir/stide.cc.o.d"
+  "libipds_baseline.a"
+  "libipds_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipds_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/affine.cc" "src/core/CMakeFiles/ipds_core.dir/affine.cc.o" "gcc" "src/core/CMakeFiles/ipds_core.dir/affine.cc.o.d"
+  "/root/repo/src/core/batbuild.cc" "src/core/CMakeFiles/ipds_core.dir/batbuild.cc.o" "gcc" "src/core/CMakeFiles/ipds_core.dir/batbuild.cc.o.d"
+  "/root/repo/src/core/correlation.cc" "src/core/CMakeFiles/ipds_core.dir/correlation.cc.o" "gcc" "src/core/CMakeFiles/ipds_core.dir/correlation.cc.o.d"
+  "/root/repo/src/core/hashfn.cc" "src/core/CMakeFiles/ipds_core.dir/hashfn.cc.o" "gcc" "src/core/CMakeFiles/ipds_core.dir/hashfn.cc.o.d"
+  "/root/repo/src/core/image.cc" "src/core/CMakeFiles/ipds_core.dir/image.cc.o" "gcc" "src/core/CMakeFiles/ipds_core.dir/image.cc.o.d"
+  "/root/repo/src/core/interval.cc" "src/core/CMakeFiles/ipds_core.dir/interval.cc.o" "gcc" "src/core/CMakeFiles/ipds_core.dir/interval.cc.o.d"
+  "/root/repo/src/core/program.cc" "src/core/CMakeFiles/ipds_core.dir/program.cc.o" "gcc" "src/core/CMakeFiles/ipds_core.dir/program.cc.o.d"
+  "/root/repo/src/core/tables.cc" "src/core/CMakeFiles/ipds_core.dir/tables.cc.o" "gcc" "src/core/CMakeFiles/ipds_core.dir/tables.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ipds_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ipds_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ipds_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ipds_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

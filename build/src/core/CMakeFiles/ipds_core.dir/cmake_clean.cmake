@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipds_core.dir/affine.cc.o"
+  "CMakeFiles/ipds_core.dir/affine.cc.o.d"
+  "CMakeFiles/ipds_core.dir/batbuild.cc.o"
+  "CMakeFiles/ipds_core.dir/batbuild.cc.o.d"
+  "CMakeFiles/ipds_core.dir/correlation.cc.o"
+  "CMakeFiles/ipds_core.dir/correlation.cc.o.d"
+  "CMakeFiles/ipds_core.dir/hashfn.cc.o"
+  "CMakeFiles/ipds_core.dir/hashfn.cc.o.d"
+  "CMakeFiles/ipds_core.dir/image.cc.o"
+  "CMakeFiles/ipds_core.dir/image.cc.o.d"
+  "CMakeFiles/ipds_core.dir/interval.cc.o"
+  "CMakeFiles/ipds_core.dir/interval.cc.o.d"
+  "CMakeFiles/ipds_core.dir/program.cc.o"
+  "CMakeFiles/ipds_core.dir/program.cc.o.d"
+  "CMakeFiles/ipds_core.dir/tables.cc.o"
+  "CMakeFiles/ipds_core.dir/tables.cc.o.d"
+  "libipds_core.a"
+  "libipds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

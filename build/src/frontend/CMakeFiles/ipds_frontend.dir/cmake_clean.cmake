@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipds_frontend.dir/codegen.cc.o"
+  "CMakeFiles/ipds_frontend.dir/codegen.cc.o.d"
+  "CMakeFiles/ipds_frontend.dir/lexer.cc.o"
+  "CMakeFiles/ipds_frontend.dir/lexer.cc.o.d"
+  "CMakeFiles/ipds_frontend.dir/parser.cc.o"
+  "CMakeFiles/ipds_frontend.dir/parser.cc.o.d"
+  "libipds_frontend.a"
+  "libipds_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipds_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

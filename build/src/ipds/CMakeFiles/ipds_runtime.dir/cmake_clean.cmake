@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipds_runtime.dir/detector.cc.o"
+  "CMakeFiles/ipds_runtime.dir/detector.cc.o.d"
+  "libipds_runtime.a"
+  "libipds_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipds_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

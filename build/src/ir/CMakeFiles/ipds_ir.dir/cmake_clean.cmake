@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipds_ir.dir/builder.cc.o"
+  "CMakeFiles/ipds_ir.dir/builder.cc.o.d"
+  "CMakeFiles/ipds_ir.dir/builtins.cc.o"
+  "CMakeFiles/ipds_ir.dir/builtins.cc.o.d"
+  "CMakeFiles/ipds_ir.dir/ir.cc.o"
+  "CMakeFiles/ipds_ir.dir/ir.cc.o.d"
+  "CMakeFiles/ipds_ir.dir/printer.cc.o"
+  "CMakeFiles/ipds_ir.dir/printer.cc.o.d"
+  "CMakeFiles/ipds_ir.dir/verifier.cc.o"
+  "CMakeFiles/ipds_ir.dir/verifier.cc.o.d"
+  "libipds_ir.a"
+  "libipds_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipds_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

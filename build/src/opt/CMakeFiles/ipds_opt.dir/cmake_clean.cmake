@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipds_opt.dir/passes.cc.o"
+  "CMakeFiles/ipds_opt.dir/passes.cc.o.d"
+  "libipds_opt.a"
+  "libipds_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipds_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/bitstream.cc" "src/support/CMakeFiles/ipds_support.dir/bitstream.cc.o" "gcc" "src/support/CMakeFiles/ipds_support.dir/bitstream.cc.o.d"
+  "/root/repo/src/support/bitvec.cc" "src/support/CMakeFiles/ipds_support.dir/bitvec.cc.o" "gcc" "src/support/CMakeFiles/ipds_support.dir/bitvec.cc.o.d"
+  "/root/repo/src/support/diag.cc" "src/support/CMakeFiles/ipds_support.dir/diag.cc.o" "gcc" "src/support/CMakeFiles/ipds_support.dir/diag.cc.o.d"
+  "/root/repo/src/support/rng.cc" "src/support/CMakeFiles/ipds_support.dir/rng.cc.o" "gcc" "src/support/CMakeFiles/ipds_support.dir/rng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipds_support.dir/bitstream.cc.o"
+  "CMakeFiles/ipds_support.dir/bitstream.cc.o.d"
+  "CMakeFiles/ipds_support.dir/bitvec.cc.o"
+  "CMakeFiles/ipds_support.dir/bitvec.cc.o.d"
+  "CMakeFiles/ipds_support.dir/diag.cc.o"
+  "CMakeFiles/ipds_support.dir/diag.cc.o.d"
+  "CMakeFiles/ipds_support.dir/rng.cc.o"
+  "CMakeFiles/ipds_support.dir/rng.cc.o.d"
+  "libipds_support.a"
+  "libipds_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipds_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipds_timing.dir/branchpred.cc.o"
+  "CMakeFiles/ipds_timing.dir/branchpred.cc.o.d"
+  "CMakeFiles/ipds_timing.dir/cache.cc.o"
+  "CMakeFiles/ipds_timing.dir/cache.cc.o.d"
+  "CMakeFiles/ipds_timing.dir/cpu.cc.o"
+  "CMakeFiles/ipds_timing.dir/cpu.cc.o.d"
+  "CMakeFiles/ipds_timing.dir/engine.cc.o"
+  "CMakeFiles/ipds_timing.dir/engine.cc.o.d"
+  "libipds_timing.a"
+  "libipds_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipds_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipds_vm.dir/memory.cc.o"
+  "CMakeFiles/ipds_vm.dir/memory.cc.o.d"
+  "CMakeFiles/ipds_vm.dir/vm.cc.o"
+  "CMakeFiles/ipds_vm.dir/vm.cc.o.d"
+  "libipds_vm.a"
+  "libipds_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipds_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipds_workloads.dir/workloads.cc.o"
+  "CMakeFiles/ipds_workloads.dir/workloads.cc.o.d"
+  "libipds_workloads.a"
+  "libipds_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipds_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cc" "tests/CMakeFiles/ipds_tests.dir/test_analysis.cc.o" "gcc" "tests/CMakeFiles/ipds_tests.dir/test_analysis.cc.o.d"
+  "/root/repo/tests/test_batbuild.cc" "tests/CMakeFiles/ipds_tests.dir/test_batbuild.cc.o" "gcc" "tests/CMakeFiles/ipds_tests.dir/test_batbuild.cc.o.d"
+  "/root/repo/tests/test_campaign.cc" "tests/CMakeFiles/ipds_tests.dir/test_campaign.cc.o" "gcc" "tests/CMakeFiles/ipds_tests.dir/test_campaign.cc.o.d"
+  "/root/repo/tests/test_correlation.cc" "tests/CMakeFiles/ipds_tests.dir/test_correlation.cc.o" "gcc" "tests/CMakeFiles/ipds_tests.dir/test_correlation.cc.o.d"
+  "/root/repo/tests/test_detector.cc" "tests/CMakeFiles/ipds_tests.dir/test_detector.cc.o" "gcc" "tests/CMakeFiles/ipds_tests.dir/test_detector.cc.o.d"
+  "/root/repo/tests/test_e2e.cc" "tests/CMakeFiles/ipds_tests.dir/test_e2e.cc.o" "gcc" "tests/CMakeFiles/ipds_tests.dir/test_e2e.cc.o.d"
+  "/root/repo/tests/test_frontend.cc" "tests/CMakeFiles/ipds_tests.dir/test_frontend.cc.o" "gcc" "tests/CMakeFiles/ipds_tests.dir/test_frontend.cc.o.d"
+  "/root/repo/tests/test_fuzz.cc" "tests/CMakeFiles/ipds_tests.dir/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/ipds_tests.dir/test_fuzz.cc.o.d"
+  "/root/repo/tests/test_image.cc" "tests/CMakeFiles/ipds_tests.dir/test_image.cc.o" "gcc" "tests/CMakeFiles/ipds_tests.dir/test_image.cc.o.d"
+  "/root/repo/tests/test_interval.cc" "tests/CMakeFiles/ipds_tests.dir/test_interval.cc.o" "gcc" "tests/CMakeFiles/ipds_tests.dir/test_interval.cc.o.d"
+  "/root/repo/tests/test_ir.cc" "tests/CMakeFiles/ipds_tests.dir/test_ir.cc.o" "gcc" "tests/CMakeFiles/ipds_tests.dir/test_ir.cc.o.d"
+  "/root/repo/tests/test_opt.cc" "tests/CMakeFiles/ipds_tests.dir/test_opt.cc.o" "gcc" "tests/CMakeFiles/ipds_tests.dir/test_opt.cc.o.d"
+  "/root/repo/tests/test_overflow.cc" "tests/CMakeFiles/ipds_tests.dir/test_overflow.cc.o" "gcc" "tests/CMakeFiles/ipds_tests.dir/test_overflow.cc.o.d"
+  "/root/repo/tests/test_stide.cc" "tests/CMakeFiles/ipds_tests.dir/test_stide.cc.o" "gcc" "tests/CMakeFiles/ipds_tests.dir/test_stide.cc.o.d"
+  "/root/repo/tests/test_support.cc" "tests/CMakeFiles/ipds_tests.dir/test_support.cc.o" "gcc" "tests/CMakeFiles/ipds_tests.dir/test_support.cc.o.d"
+  "/root/repo/tests/test_tables.cc" "tests/CMakeFiles/ipds_tests.dir/test_tables.cc.o" "gcc" "tests/CMakeFiles/ipds_tests.dir/test_tables.cc.o.d"
+  "/root/repo/tests/test_targeted.cc" "tests/CMakeFiles/ipds_tests.dir/test_targeted.cc.o" "gcc" "tests/CMakeFiles/ipds_tests.dir/test_targeted.cc.o.d"
+  "/root/repo/tests/test_timing.cc" "tests/CMakeFiles/ipds_tests.dir/test_timing.cc.o" "gcc" "tests/CMakeFiles/ipds_tests.dir/test_timing.cc.o.d"
+  "/root/repo/tests/test_vm.cc" "tests/CMakeFiles/ipds_tests.dir/test_vm.cc.o" "gcc" "tests/CMakeFiles/ipds_tests.dir/test_vm.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/ipds_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/ipds_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/ipds_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ipds_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ipds_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/ipds_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ipds_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipds/CMakeFiles/ipds_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ipds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ipds_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ipds_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ipds_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ipds_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ipds_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
