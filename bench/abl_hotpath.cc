@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Hot-path ablation: branch-events/second through the detector, before
+ * vs after the runtime fast-path overhaul.
+ *
+ * "Before" is the preserved pre-overhaul implementation
+ * (ReferenceDetector: per-branch rehash, per-entry BSV heap
+ * allocation, std::function request sink). "After" is the production
+ * Detector (precomputed slots, pooled generation-stamped frames,
+ * inline RequestRing). Both replay the identical recorded event trace
+ * — a batch of benign sessions per workload, captured once from the VM
+ * — so the measurement isolates detector cost from interpreter cost.
+ * Each side is timed over several trials and the fastest trial wins,
+ * which suppresses scheduler noise on short runs.
+ *
+ * The replay also asserts the two detectors produce identical alarms,
+ * statistics and request streams (a cheap standing differential check;
+ * the authoritative ones live in tests/).
+ *
+ * Transport is measured as deployed: the reference pays its
+ * std::function sink into a pending vector cleared per event (what the
+ * old CpuModel did); the fast path pays its inline ring push plus a
+ * per-event batch drain (what the new CpuModel does).
+ *
+ * Emits machine-readable JSON (events/sec per workload + speedup) for
+ * the perf trajectory, default BENCH_hotpath.json.
+ *
+ * Usage: abl_hotpath [--sessions N] [--repeat N] [--json PATH]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/program.h"
+#include "ipds/detector.h"
+#include "ipds/reference.h"
+#include "support/diag.h"
+#include "vm/vm.h"
+#include "workloads/workloads.h"
+
+using namespace ipds;
+
+namespace {
+
+/** One recorded observer event. */
+struct Event
+{
+    enum class Kind : uint8_t { Enter, Exit, Branch };
+    Kind kind = Kind::Branch;
+    FuncId func = kNoFunc;
+    uint64_t pc = 0;
+    bool taken = false;
+};
+
+/** Captures the exact event stream a detector would see. */
+struct Recorder : ExecObserver
+{
+    std::vector<Event> events;
+    uint64_t branches = 0;
+
+    void
+    onFunctionEnter(FuncId f) override
+    {
+        events.push_back({Event::Kind::Enter, f, 0, false});
+    }
+    void
+    onFunctionExit(FuncId f) override
+    {
+        events.push_back({Event::Kind::Exit, f, 0, false});
+    }
+    void
+    onBranch(FuncId f, uint64_t pc, bool taken) override
+    {
+        events.push_back({Event::Kind::Branch, f, pc, taken});
+        branches++;
+    }
+};
+
+/**
+ * Replay the trace into the legacy detector. The detector's sink must
+ * already append into @p pending; after each event the batch is handed
+ * to @p consume and cleared — the pre-overhaul CpuModel transport
+ * (std::function sink into a std::vector, drained per instruction).
+ */
+template <typename Consume>
+void
+replayLegacy(ReferenceDetector &det, std::vector<IpdsRequest> &pending,
+             const std::vector<Event> &trace, Consume &&consume)
+{
+    for (const Event &ev : trace) {
+        switch (ev.kind) {
+          case Event::Kind::Enter:
+            det.onFunctionEnter(ev.func);
+            break;
+          case Event::Kind::Exit:
+            det.onFunctionExit(ev.func);
+            break;
+          case Event::Kind::Branch:
+            det.onBranch(ev.func, ev.pc, ev.taken);
+            break;
+        }
+        if (!pending.empty()) {
+            for (const IpdsRequest &rq : pending)
+                consume(rq);
+            pending.clear();
+        }
+    }
+}
+
+/**
+ * Replay the trace into the fast detector, draining @p ring after each
+ * event into @p consume — the same cadence the timing model uses (one
+ * drain per committed instruction).
+ */
+template <typename Consume>
+void
+replayFast(Detector &det, RequestRing &ring,
+           const std::vector<Event> &trace, Consume &&consume)
+{
+    for (const Event &ev : trace) {
+        switch (ev.kind) {
+          case Event::Kind::Enter:
+            det.onFunctionEnter(ev.func);
+            break;
+          case Event::Kind::Exit:
+            det.onFunctionExit(ev.func);
+            break;
+          case Event::Kind::Branch:
+            det.onBranch(ev.func, ev.pc, ev.taken);
+            break;
+        }
+        ring.drain(consume);
+    }
+}
+
+double
+seconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+bool
+sameStats(const DetectorStats &a, const DetectorStats &b)
+{
+    return a.branchesSeen == b.branchesSeen &&
+        a.checksPerformed == b.checksPerformed &&
+        a.updatesApplied == b.updatesApplied &&
+        a.actionsApplied == b.actionsApplied &&
+        a.framesPushed == b.framesPushed &&
+        a.maxStackDepth == b.maxStackDepth;
+}
+
+struct Row
+{
+    std::string name;
+    uint64_t events = 0;
+    uint64_t branches = 0;
+    double legacyEps = 0; ///< events/sec, reference detector
+    double fastEps = 0;   ///< events/sec, production detector
+    double speedup() const
+    {
+        return legacyEps > 0 ? fastEps / legacyEps : 0.0;
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint32_t sessions = 24;
+    uint32_t repeat = 300;
+    std::string jsonPath = "BENCH_hotpath.json";
+    for (int i = 1; i < argc; i++) {
+        if (!std::strcmp(argv[i], "--sessions") && i + 1 < argc)
+            sessions = static_cast<uint32_t>(std::atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--repeat") && i + 1 < argc)
+            repeat = static_cast<uint32_t>(std::atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+            jsonPath = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--sessions N] [--repeat N] "
+                         "[--json PATH]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (sessions == 0)
+        sessions = 1;
+    if (repeat == 0)
+        repeat = 1;
+    constexpr uint32_t kTrials = 3;
+
+    setQuiet(true);
+    std::printf("=== Hot-path ablation: detector events/second, "
+                "legacy vs fast path ===\n");
+    std::printf("(%u recorded sessions per workload, %u replays, "
+                "best of %u trials)\n\n", sessions, repeat, kTrials);
+    std::printf("%-10s %10s %10s %14s %14s %9s\n", "benchmark",
+                "events", "branches", "legacy-ev/s", "fast-ev/s",
+                "speedup");
+
+    std::vector<Row> rows;
+    uint64_t consumed = 0; // keeps the request path observable
+    bool mismatch = false;
+    for (const auto &wl : allWorkloads()) {
+        CompiledProgram prog = compileAndAnalyze(wl.source, wl.name);
+
+        // Record a batch of benign sessions as one event stream.
+        Recorder rec;
+        for (uint32_t s = 0; s < sessions; s++) {
+            Vm vm(prog.mod);
+            vm.setInputs(wl.benignInputs);
+            vm.setRecordTrace(false);
+            vm.addObserver(&rec);
+            vm.run();
+        }
+
+        // Differential check first (one replay each, full compare).
+        ReferenceDetector refDet(prog);
+        Detector fastDet(prog);
+        RequestRing ring;
+        fastDet.setRequestRing(&ring);
+        std::vector<IpdsRequest> pending;
+        refDet.setRequestSink([&pending](const IpdsRequest &rq) {
+            pending.push_back(rq);
+        });
+        {
+            std::vector<IpdsRequest> refReqs, fastReqs;
+            replayLegacy(refDet, pending, rec.events,
+                         [&](const IpdsRequest &rq) {
+                             refReqs.push_back(rq);
+                         });
+            replayFast(fastDet, ring, rec.events,
+                       [&](const IpdsRequest &rq) {
+                           fastReqs.push_back(rq);
+                       });
+            if (!sameStats(refDet.stats(), fastDet.stats()) ||
+                refDet.alarms().size() != fastDet.alarms().size() ||
+                !(refReqs == fastReqs)) {
+                std::fprintf(stderr,
+                             "MISMATCH: %s fast path diverges from "
+                             "reference\n", wl.name.c_str());
+                mismatch = true;
+            }
+        }
+
+        // Timed replays: each side pays its deployed transport into
+        // the same counting consumer. Best trial wins.
+        auto count = [&](const IpdsRequest &) { consumed++; };
+        double legacySec = 1e100, fastSec = 1e100;
+        for (uint32_t trial = 0; trial < kTrials; trial++) {
+            auto t0 = std::chrono::steady_clock::now();
+            for (uint32_t r = 0; r < repeat; r++) {
+                refDet.reset();
+                pending.clear();
+                replayLegacy(refDet, pending, rec.events, count);
+            }
+            legacySec = std::min(legacySec, seconds(t0));
+
+            t0 = std::chrono::steady_clock::now();
+            for (uint32_t r = 0; r < repeat; r++) {
+                fastDet.reset();
+                replayFast(fastDet, ring, rec.events, count);
+            }
+            fastSec = std::min(fastSec, seconds(t0));
+        }
+
+        Row row;
+        row.name = wl.name;
+        row.events = rec.events.size();
+        row.branches = rec.branches;
+        double total = double(repeat) * double(rec.events.size());
+        row.legacyEps = legacySec > 0 ? total / legacySec : 0;
+        row.fastEps = fastSec > 0 ? total / fastSec : 0;
+        std::printf("%-10s %10llu %10llu %14.0f %14.0f %8.2fx\n",
+                    row.name.c_str(),
+                    static_cast<unsigned long long>(row.events),
+                    static_cast<unsigned long long>(row.branches),
+                    row.legacyEps, row.fastEps, row.speedup());
+        rows.push_back(std::move(row));
+    }
+
+    double geo = 1.0;
+    for (const Row &r : rows)
+        geo *= r.speedup();
+    geo = rows.empty() ? 0.0 : std::pow(geo, 1.0 / rows.size());
+    std::printf("%-10s %10s %10s %14s %14s %8.2fx\n", "geomean", "-",
+                "-", "-", "-", geo);
+    std::printf("(transport consumed %llu requests)\n",
+                static_cast<unsigned long long>(consumed));
+
+    // Machine-readable trajectory record.
+    FILE *js = std::fopen(jsonPath.c_str(), "w");
+    if (!js) {
+        std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+        return 1;
+    }
+    std::fprintf(js, "{\n  \"bench\": \"abl_hotpath\",\n"
+                     "  \"sessions\": %u,\n"
+                     "  \"repeat\": %u,\n  \"workloads\": [\n",
+                 sessions, repeat);
+    for (size_t i = 0; i < rows.size(); i++) {
+        const Row &r = rows[i];
+        std::fprintf(js,
+                     "    {\"name\": \"%s\", \"events\": %llu, "
+                     "\"branches\": %llu, \"legacy_eps\": %.0f, "
+                     "\"fast_eps\": %.0f, \"speedup\": %.3f}%s\n",
+                     r.name.c_str(),
+                     static_cast<unsigned long long>(r.events),
+                     static_cast<unsigned long long>(r.branches),
+                     r.legacyEps, r.fastEps, r.speedup(),
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(js, "  ],\n  \"geomean_speedup\": %.3f,\n"
+                     "  \"equivalent\": %s\n}\n",
+                 geo, mismatch ? "false" : "true");
+    bool writeFailed = std::ferror(js) != 0;
+    writeFailed |= std::fclose(js) != 0;
+    if (writeFailed) {
+        std::fprintf(stderr, "write to %s failed\n", jsonPath.c_str());
+        return 1;
+    }
+    std::printf("\nwrote %s\n", jsonPath.c_str());
+
+    return mismatch ? 1 : 0;
+}

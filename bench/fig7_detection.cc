@@ -37,6 +37,7 @@ main()
         CompiledProgram prog = compileAndAnalyze(wl.source, wl.name);
         CampaignConfig cfg;
         cfg.numAttacks = 100;
+        cfg.numThreads = 0; // one worker per core; results unchanged
         CampaignResult res = runCampaign(prog, wl.benignInputs, cfg);
         anyFp |= res.falsePositive;
         sumCf += res.pctCfChanged();

@@ -10,13 +10,26 @@
  * superscalar model. The only program-visible IPDS cost is request-
  * queue back-pressure, so the expected degradation is well under 1%
  * (paper average: 0.79%).
+ *
+ * The session stream is split into kShards fixed shards, each with its
+ * own CpuModel + Vm + Detector, and the shards run across a thread
+ * pool. Because the shard partition is fixed (never derived from the
+ * thread count) and shard stats merge in shard order, aggregate
+ * results are identical for any --threads value.
+ *
+ * Usage: fig9_performance [--sessions N] [--threads N]
+ *   --sessions  benign sessions per benchmark (default 300)
+ *   --threads   worker threads (default 0 = one per hardware core)
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "core/program.h"
 #include "ipds/detector.h"
 #include "support/diag.h"
+#include "support/threadpool.h"
 #include "timing/cpu.h"
 #include "workloads/workloads.h"
 
@@ -24,29 +37,41 @@ using namespace ipds;
 
 namespace {
 
-constexpr uint32_t kSessions = 300;
+/** Fixed shard count — independent of the worker thread count. */
+constexpr uint32_t kShards = 8;
 
-/** Run @p sessions benign sessions through one persistent CPU model. */
+/** Run @p sessions benign sessions, sharded over @p pool. */
 TimingStats
 simulate(const CompiledProgram &prog,
-         const std::vector<std::string> &inputs, bool ipds_on)
+         const std::vector<std::string> &inputs, bool ipds_on,
+         uint32_t sessions, ThreadPool &pool)
 {
-    TimingConfig cfg = table1Config();
-    cfg.ipdsEnabled = ipds_on;
-    CpuModel cpu(cfg);
-    for (uint32_t s = 0; s < kSessions; s++) {
-        Vm vm(prog.mod);
-        vm.setInputs(inputs);
-        vm.setRecordTrace(false);
-        Detector det(prog);
-        if (ipds_on) {
-            det.setRequestSink(cpu.requestSink());
-            vm.addObserver(&det);
+    std::vector<TimingStats> shardStats(kShards);
+    pool.parallelFor(kShards, [&](uint32_t shard) {
+        uint32_t begin = shard * sessions / kShards;
+        uint32_t end = (shard + 1) * sessions / kShards;
+        TimingConfig cfg = table1Config();
+        cfg.ipdsEnabled = ipds_on;
+        CpuModel cpu(cfg);
+        for (uint32_t s = begin; s < end; s++) {
+            Vm vm(prog.mod);
+            vm.setInputs(inputs);
+            vm.setRecordTrace(false);
+            Detector det(prog);
+            if (ipds_on) {
+                det.setRequestRing(&cpu.requestRing());
+                vm.addObserver(&det);
+            }
+            vm.addObserver(&cpu);
+            vm.run();
         }
-        vm.addObserver(&cpu);
-        vm.run();
-    }
-    return cpu.stats();
+        shardStats[shard] = cpu.stats();
+    });
+
+    TimingStats total;
+    for (const TimingStats &s : shardStats)
+        total.merge(s);
+    return total;
 }
 
 void
@@ -75,11 +100,29 @@ printTable1()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    uint32_t sessions = 300;
+    unsigned threads = 0;
+    for (int i = 1; i < argc; i++) {
+        if (!std::strcmp(argv[i], "--sessions") && i + 1 < argc)
+            sessions = static_cast<uint32_t>(std::atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
+            threads = static_cast<unsigned>(std::atoi(argv[++i]));
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--sessions N] [--threads N]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
     setQuiet(true);
+    ThreadPool pool(threads);
     std::printf("=== Figure 9: normalized performance "
-                "(%u sessions per benchmark) ===\n\n", kSessions);
+                "(%u sessions per benchmark, %u shards, %u threads) "
+                "===\n\n",
+                sessions, kShards, pool.workerCount());
     printTable1();
 
     std::printf("%-10s %12s %12s %12s %10s %10s\n", "benchmark",
@@ -89,8 +132,10 @@ main()
     double sumDegr = 0;
     for (const auto &wl : allWorkloads()) {
         CompiledProgram prog = compileAndAnalyze(wl.source, wl.name);
-        TimingStats base = simulate(prog, wl.benignInputs, false);
-        TimingStats ipds = simulate(prog, wl.benignInputs, true);
+        TimingStats base =
+            simulate(prog, wl.benignInputs, false, sessions, pool);
+        TimingStats ipds =
+            simulate(prog, wl.benignInputs, true, sessions, pool);
         double norm = ipds.cycles
             ? double(base.cycles) / double(ipds.cycles) : 1.0;
         double degr = base.cycles

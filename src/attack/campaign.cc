@@ -2,6 +2,7 @@
 
 #include "support/diag.h"
 #include "support/rng.h"
+#include "support/threadpool.h"
 
 namespace ipds {
 
@@ -82,8 +83,14 @@ runCampaign(const CompiledProgram &prog,
         golden = std::move(r.branchTrace);
     }
 
+    // Attacks are mutually independent: each run owns its Vm and
+    // Detector, seeds derive from the attack index, and outcomes land
+    // in per-index slots — so sharding them across worker threads
+    // yields results identical to the sequential loop.
     uint32_t maxEvent = std::max(1u, res.goldenInputEvents);
-    for (uint32_t i = 0; i < cfg.numAttacks; i++) {
+    res.outcomes.resize(cfg.numAttacks);
+    ThreadPool pool(cfg.numThreads);
+    pool.parallelFor(cfg.numAttacks, [&](uint32_t i) {
         uint64_t seed = cfg.baseSeed + 0x9e37 * (i + 1);
         Rng trigRng(seed ^ 0xabcdef);
 
@@ -110,8 +117,8 @@ runCampaign(const CompiledProgram &prog,
         if (out.detected)
             out.detectionBranchIndex =
                 det.alarms().front().branchIndex;
-        res.outcomes.push_back(std::move(out));
-    }
+        res.outcomes[i] = std::move(out);
+    });
     return res;
 }
 

@@ -50,6 +50,12 @@ struct CampaignConfig
     uint64_t fuel = 2'000'000;
     /** Analysis feature switches (for ablation benches). */
     CorrOptions corr;
+    /**
+     * Worker threads for the attack loop (0 = one per hardware core).
+     * Attacks are independent — per-attack RNG seeds derive from the
+     * attack index — so results are identical for any thread count.
+     */
+    unsigned numThreads = 1;
 };
 
 /** Campaign results with the Figure 7 aggregates. */

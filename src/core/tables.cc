@@ -1,5 +1,7 @@
 #include "core/tables.h"
 
+#include <algorithm>
+
 #include "support/bitstream.h"
 #include "support/diag.h"
 
@@ -37,6 +39,42 @@ layoutTables(const FuncBat &bat)
         t.onNotTaken[slot] = remapList(bat.onNotTaken[i]);
     }
     t.entryActions = remapList(bat.entryActions);
+
+    // --- runtime fast-path lookup ------------------------------------
+    // A function's branch pcs span at most its instruction count, so a
+    // dense array indexed by (pc - base) / 4 stays small and gives the
+    // detector an O(1) record read with no hashing. The record also
+    // carries the branch's action lists as spans into one flat pool, so
+    // the hot path never chases vector-of-vector pointers.
+    if (bat.numBranches > 0) {
+        uint64_t lo = bat.branchPcs[0], hi = bat.branchPcs[0];
+        for (uint64_t pc : bat.branchPcs) {
+            lo = std::min(lo, pc);
+            hi = std::max(hi, pc);
+        }
+        t.lookupBasePc = lo;
+        t.branchRecs.assign((hi - lo) / 4 + 1, BranchRec{});
+        for (uint32_t i = 0; i < bat.numBranches; i++) {
+            uint32_t slot = t.slotOfBranch[i];
+            BranchRec rec;
+            rec.slot = slot;
+            rec.checked = bat.bcv[i] ? 1 : 0;
+            rec.takenOff = static_cast<uint32_t>(t.actionPool.size());
+            rec.takenLen =
+                static_cast<uint32_t>(t.onTaken[slot].size());
+            t.actionPool.insert(t.actionPool.end(),
+                                t.onTaken[slot].begin(),
+                                t.onTaken[slot].end());
+            rec.notTakenOff =
+                static_cast<uint32_t>(t.actionPool.size());
+            rec.notTakenLen =
+                static_cast<uint32_t>(t.onNotTaken[slot].size());
+            t.actionPool.insert(t.actionPool.end(),
+                                t.onNotTaken[slot].begin(),
+                                t.onNotTaken[slot].end());
+            t.branchRecs[(bat.branchPcs[i] - lo) / 4] = rec;
+        }
+    }
 
     // --- bit accounting (Figure 8) -----------------------------------
     uint64_t nActions = bat.totalActions();

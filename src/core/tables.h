@@ -35,6 +35,26 @@ struct SlotAction
     BrAction act = BrAction::NC;
 };
 
+/** BranchRec::slot value for a pc that is not a conditional branch. */
+constexpr uint32_t kNoBranchSlot = 0xffffffff;
+
+/**
+ * Everything the detector needs about one static branch, resolved once
+ * at table-layout time: its collision-free hash slot, its BCV bit, and
+ * the offsets of its two BAT action lists inside the function's flat
+ * action pool. One 24-byte load replaces a rehash, a bit-vector probe
+ * and two vector-of-vector dereferences on the runtime hot path.
+ */
+struct BranchRec
+{
+    uint32_t slot = kNoBranchSlot;
+    uint32_t checked = 0;  ///< the branch's BCV bit
+    uint32_t takenOff = 0; ///< actionPool offset of the taken list
+    uint32_t takenLen = 0;
+    uint32_t notTakenOff = 0;
+    uint32_t notTakenLen = 0;
+};
+
 /**
  * Per-function tables in slot space, ready for the runtime detector.
  */
@@ -46,6 +66,19 @@ struct FuncTables
 
     /** branch idx -> slot (for tests and reports). */
     std::vector<uint32_t> slotOfBranch;
+    /**
+     * Runtime fast path: dense pc -> BranchRec lookup, built once at
+     * table-layout time so the detector never re-hashes a committed
+     * branch. Indexed by (pc - lookupBasePc) / 4, with slot ==
+     * kNoBranchSlot in the holes between branch pcs; actionPool holds
+     * every slot's taken/not-taken list back to back. Empty for
+     * branchless functions and for tables reconstructed from a packed
+     * image (which carries no pcs) — the detector falls back to
+     * HashParams::apply and the per-slot vectors there.
+     */
+    uint64_t lookupBasePc = 0;
+    std::vector<BranchRec> branchRecs;
+    std::vector<SlotAction> actionPool;
     /** BCV, indexed by slot. */
     std::vector<bool> bcv;
     /** BAT action lists, indexed by slot. */

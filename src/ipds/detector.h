@@ -12,15 +12,32 @@
  * (UNKNOWN matches anything; any other mismatch is an attack alarm).
  * The branch's BAT action list then updates the BSVs.
  *
+ * Hot-path engineering (see DESIGN.md "Runtime fast path"):
+ *  - branch slots and BCV bits come from the table-layout-time
+ *    slotLookup, so onBranch performs two array reads, no hashing;
+ *  - BSV frames are pooled per function and reset lazily with a
+ *    generation stamp, so entry/exit are O(entryActions) and
+ *    allocation-free in steady state;
+ *  - hardware requests stream through a RequestRing written inline,
+ *    not through a type-erased callback (the std::function sink is
+ *    kept as a slower compatibility path).
+ *
  * Timing (queueing, spills, latency) is modelled separately in
  * src/timing; this class is exact w.r.t. detection semantics and also
- * emits request descriptors the timing model consumes.
+ * emits request descriptors the timing model consumes. The pre-overhaul
+ * implementation survives as ReferenceDetector (ipds/reference.h) and
+ * the two are held byte-identical by differential tests.
  */
 
+#include <algorithm>
+#include <cassert>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/program.h"
+#include "ipds/request_ring.h"
+#include "support/diag.h"
 #include "vm/vm.h"
 
 namespace ipds {
@@ -43,25 +60,6 @@ struct Alarm
     uint64_t branchIndex = 0; ///< dynamic branch count at detection
 };
 
-/** A unit of work sent to the (modelled) IPDS hardware engine. */
-struct IpdsRequest
-{
-    enum class Kind : uint8_t
-    {
-        Check,     ///< verify actual vs expected direction
-        Update,    ///< apply a BAT action list
-        PushFrame, ///< function entry: push fresh tables
-        PopFrame,  ///< function exit: pop tables
-    };
-    Kind kind = Kind::Update;
-    FuncId func = kNoFunc;
-    uint64_t pc = 0;
-    /** BAT entries walked by an Update (list walk cost, §6). */
-    uint32_t actionCount = 0;
-    /** Table bits pushed/popped (spill cost modelling). */
-    uint64_t tableBits = 0;
-};
-
 /** Aggregate functional statistics of one run. */
 struct DetectorStats
 {
@@ -75,17 +73,29 @@ struct DetectorStats
 
 /**
  * Functional IPDS detector; attach to a Vm as an ExecObserver.
+ *
+ * The class is final and its event handlers are defined inline below:
+ * callers that hold a concrete Detector (the replay/bench loops, the
+ * sharded session runners) get devirtualized, fully inlined hot paths;
+ * only dispatch through an ExecObserver* pays a virtual call.
  */
-class Detector : public ExecObserver
+class Detector final : public ExecObserver
 {
   public:
     /** @p prog must outlive the detector. */
     explicit Detector(const CompiledProgram &prog);
 
-    /** Clear all state between runs. */
+    /** Clear all state between runs (pooled frames are kept). */
     void reset();
 
-    /** Optional sink receiving every hardware request in order. */
+    /**
+     * Fast request path: every hardware request is written into @p ring
+     * inline. The ring must be drained by the consumer at least once
+     * per committed instruction (CpuModel does). Overrides any sink.
+     */
+    void setRequestRing(RequestRing *ring);
+
+    /** Compatibility sink; ignored while a request ring is attached. */
     void setRequestSink(std::function<void(const IpdsRequest &)> sink);
 
     void onFunctionEnter(FuncId f) override;
@@ -96,22 +106,270 @@ class Detector : public ExecObserver
     const std::vector<Alarm> &alarms() const { return alarmList; }
     const DetectorStats &stats() const { return stat; }
 
+    /** Frames ever allocated (pool growth; tests assert reuse). */
+    size_t allocatedFrames() const { return framesAllocated; }
+
   private:
-    struct FrameTables
+    /**
+     * One pooled BSV frame. Each slot packs (epoch << 2) | state; a
+     * slot whose stamp differs from the frame's current epoch reads as
+     * Unknown, so re-acquiring a frame needs no O(space) clear — just
+     * an epoch bump (with a real clear every 2^30 reuses on wrap).
+     */
+    struct Frame
+    {
+        std::vector<uint32_t> word;
+        uint32_t epoch = 0;
+    };
+    static constexpr uint32_t kMaxEpoch = (1u << 30) - 1;
+
+    /**
+     * A suspended activation. The *current* activation lives unpacked
+     * in curFunc/curTables/curFrame so the per-branch path reads plain
+     * members instead of chasing stack.back(); enter pushes the old
+     * top here (including the initial sentinel, so stack.size() is the
+     * live frame count) and exit pops it back.
+     */
+    struct StackEntry
     {
         FuncId func = kNoFunc;
-        std::vector<BsvState> bsv; ///< indexed by hash slot
+        const FuncTables *tables = nullptr;
+        Frame *frame = nullptr; ///< borrowed from the function's pool
     };
 
-    void applyActions(FrameTables &ft,
-                      const std::vector<SlotAction> &list);
+    /**
+     * Per-function frame pool. Activations of one function retire in
+     * LIFO order (calls nest), so frames[0..live) are exactly the live
+     * activations: acquire is frames[live++], release is live--.
+     * Frames never move, so StackEntry can hold a stable raw pointer.
+     */
+    struct FuncPool
+    {
+        std::vector<std::unique_ptr<Frame>> frames;
+        uint32_t live = 0;
+    };
+
+    BsvState
+    read(const Frame &fr, uint32_t slot) const
+    {
+        uint32_t w = fr.word[slot];
+        return (w >> 2) == fr.epoch ? static_cast<BsvState>(w & 3)
+                                    : BsvState::Unknown;
+    }
+
+    void
+    write(Frame &fr, uint32_t slot, BsvState s)
+    {
+        fr.word[slot] = (fr.epoch << 2) | static_cast<uint32_t>(s);
+    }
+
+    void
+    emit(const IpdsRequest &rq)
+    {
+        if (ring)
+            ring->push(rq);
+        else if (sink)
+            sink(rq);
+    }
+
+    void applyActions(Frame &fr, const SlotAction *acts, uint32_t n);
 
     const CompiledProgram &prog;
-    std::vector<FrameTables> stack;
+    /** Current activation, unpacked (see StackEntry). */
+    FuncId curFunc = kNoFunc;
+    const FuncTables *curTables = nullptr;
+    Frame *curFrame = nullptr;
+    std::vector<StackEntry> stack; ///< suspended activations
+    std::vector<FuncPool> pool;
+    size_t framesAllocated = 0;
     std::vector<Alarm> alarmList;
     DetectorStats stat;
+    RequestRing *ring = nullptr;
     std::function<void(const IpdsRequest &)> sink;
 };
+
+// ---- inline hot path ---------------------------------------------------
+
+inline void
+Detector::applyActions(Frame &fr, const SlotAction *acts, uint32_t n)
+{
+    for (uint32_t i = 0; i < n; i++) {
+        const SlotAction &sa = acts[i];
+        switch (sa.act) {
+          case BrAction::NC:
+            break;
+          case BrAction::SetT:
+            write(fr, sa.slot, BsvState::Taken);
+            break;
+          case BrAction::SetNT:
+            write(fr, sa.slot, BsvState::NotTaken);
+            break;
+          case BrAction::SetUN:
+            write(fr, sa.slot, BsvState::Unknown);
+            break;
+        }
+        stat.actionsApplied++;
+    }
+}
+
+inline void
+Detector::onFunctionEnter(FuncId f)
+{
+    const FuncTables &t = prog.funcs[f].tables;
+    FuncPool &p = pool[f];
+    if (p.live == p.frames.size()) {
+        auto fresh = std::make_unique<Frame>();
+        fresh->word.assign(t.hash.space(), 0);
+        p.frames.push_back(std::move(fresh));
+        framesAllocated++;
+    }
+    Frame &fr = *p.frames[p.live++];
+    if (fr.epoch >= kMaxEpoch) {
+        // Stamp wrap: one real clear every 2^30 reuses.
+        std::fill(fr.word.begin(), fr.word.end(), 0);
+        fr.epoch = 0;
+    }
+    fr.epoch++;
+
+    applyActions(fr, t.entryActions.data(),
+                 static_cast<uint32_t>(t.entryActions.size()));
+    stack.push_back({curFunc, curTables, curFrame});
+    curFunc = f;
+    curTables = &t;
+    curFrame = &fr;
+    stat.framesPushed++;
+    stat.maxStackDepth = std::max(stat.maxStackDepth, stack.size());
+
+    if (ring || sink) {
+        IpdsRequest rq;
+        rq.kind = IpdsRequest::Kind::PushFrame;
+        rq.func = f;
+        rq.actionCount =
+            static_cast<uint32_t>(t.entryActions.size());
+        rq.tableBits = t.bsvBits + t.bcvBits + t.batBits;
+        emit(rq);
+    }
+}
+
+inline void
+Detector::onFunctionExit(FuncId f)
+{
+    if (f != curFunc)
+        panic("Detector: frame stack out of sync on exit of %s",
+              prog.mod.functions[f].name.c_str());
+    const FuncTables &t = *curTables;
+    pool[f].live--;
+    StackEntry &e = stack.back();
+    curFunc = e.func;
+    curTables = e.tables;
+    curFrame = e.frame;
+    stack.pop_back();
+
+    if (ring || sink) {
+        IpdsRequest rq;
+        rq.kind = IpdsRequest::Kind::PopFrame;
+        rq.func = f;
+        rq.tableBits = t.bsvBits + t.bcvBits + t.batBits;
+        emit(rq);
+    }
+}
+
+inline void
+Detector::onBranch(FuncId f, uint64_t pc, bool taken)
+{
+    stat.branchesSeen++;
+    if (f != curFunc)
+        panic("Detector: frame stack out of sync at branch in %s",
+              prog.mod.functions[f].name.c_str());
+    const FuncTables &t = *curTables;
+    Frame &fr = *curFrame;
+
+    uint32_t slot;
+    uint32_t checked;
+    const SlotAction *acts;
+    uint32_t nActs;
+    if (!t.branchRecs.empty()) {
+        // Fast path: slot, BCV bit and action spans were resolved at
+        // table-layout time; one record read, no hashing, no
+        // vector-of-vector chasing.
+        uint64_t idx = (pc - t.lookupBasePc) >> 2;
+        assert(idx < t.branchRecs.size() && "branch pc outside lookup");
+        const BranchRec &rec = t.branchRecs[idx];
+        assert(rec.slot != kNoBranchSlot && "pc is not a known branch");
+        assert(rec.slot == t.hash.apply(pc) && "cached slot mismatch");
+        assert(rec.checked == (t.bcv[rec.slot] ? 1u : 0u) &&
+               "cached BCV mismatch");
+        assert(rec.takenLen == t.onTaken[rec.slot].size() &&
+               rec.notTakenLen == t.onNotTaken[rec.slot].size() &&
+               "cached action span mismatch");
+        slot = rec.slot;
+        checked = rec.checked;
+        acts = t.actionPool.data() +
+            (taken ? rec.takenOff : rec.notTakenOff);
+        nActs = taken ? rec.takenLen : rec.notTakenLen;
+    } else {
+        // Tables reconstructed from a packed image carry no pcs.
+        slot = t.hash.apply(pc);
+        checked = t.bcv[slot] ? 1 : 0;
+        const auto &list = taken ? t.onTaken[slot] : t.onNotTaken[slot];
+        acts = list.data();
+        nActs = static_cast<uint32_t>(list.size());
+    }
+
+    // Check: only BCV-marked branches are verified (§5.4). The BSV
+    // read is unconditional (slot is always valid) so `checked` — a
+    // data-dependent bit — steers arithmetic, not jumps; the only
+    // branch left is the alarm push, which benign runs never take.
+    stat.checksPerformed += checked;
+    BsvState expected = read(fr, slot);
+    bool mismatch = checked != 0 &&
+        ((expected == BsvState::Taken && !taken) ||
+         (expected == BsvState::NotTaken && taken));
+    if (mismatch) {
+        Alarm a;
+        a.func = f;
+        a.pc = pc;
+        a.actualTaken = taken;
+        a.expected = expected;
+        a.branchIndex = stat.branchesSeen;
+        alarmList.push_back(a);
+    }
+
+    if (ring) {
+        // Stage a Check in the next ring slot and publish it only for
+        // checked branches; the Update that every branch queues (§5.4)
+        // then lands either on top of the abandoned Check or after the
+        // committed one.
+        IpdsRequest &cq = ring->stage();
+        cq.kind = IpdsRequest::Kind::Check;
+        cq.func = f;
+        cq.pc = pc;
+        cq.actionCount = 0;
+        cq.tableBits = 0;
+        ring->advance(checked != 0);
+        IpdsRequest &uq = ring->stage();
+        uq.kind = IpdsRequest::Kind::Update;
+        uq.func = f;
+        uq.pc = pc;
+        uq.actionCount = nActs;
+        uq.tableBits = 0;
+        ring->advance(true);
+    } else if (sink) {
+        IpdsRequest rq;
+        rq.func = f;
+        rq.pc = pc;
+        if (checked) {
+            rq.kind = IpdsRequest::Kind::Check;
+            sink(rq);
+        }
+        rq.kind = IpdsRequest::Kind::Update;
+        rq.actionCount = nActs;
+        sink(rq);
+    }
+
+    applyActions(fr, acts, nActs);
+    stat.updatesApplied++;
+}
 
 } // namespace ipds
 

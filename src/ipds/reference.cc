@@ -1,0 +1,139 @@
+#include "ipds/reference.h"
+
+#include "support/diag.h"
+
+namespace ipds {
+
+ReferenceDetector::ReferenceDetector(const CompiledProgram &prog)
+    : prog(prog)
+{}
+
+void
+ReferenceDetector::reset()
+{
+    stack.clear();
+    alarmList.clear();
+    stat = {};
+}
+
+void
+ReferenceDetector::setRequestSink(
+    std::function<void(const IpdsRequest &)> s)
+{
+    sink = std::move(s);
+}
+
+void
+ReferenceDetector::onFunctionEnter(FuncId f)
+{
+    const FuncTables &t = prog.funcs[f].tables;
+    FrameTables ft;
+    ft.func = f;
+    ft.bsv.assign(t.hash.space(), BsvState::Unknown);
+    applyActions(ft, t.entryActions);
+    stack.push_back(std::move(ft));
+    stat.framesPushed++;
+    stat.maxStackDepth = std::max(stat.maxStackDepth, stack.size());
+
+    if (sink) {
+        IpdsRequest rq;
+        rq.kind = IpdsRequest::Kind::PushFrame;
+        rq.func = f;
+        rq.actionCount =
+            static_cast<uint32_t>(t.entryActions.size());
+        rq.tableBits = t.bsvBits + t.bcvBits + t.batBits;
+        sink(rq);
+    }
+}
+
+void
+ReferenceDetector::onFunctionExit(FuncId f)
+{
+    if (stack.empty() || stack.back().func != f)
+        panic("Detector: frame stack out of sync on exit of %s",
+              prog.mod.functions[f].name.c_str());
+    const FuncTables &t = prog.funcs[f].tables;
+    stack.pop_back();
+
+    if (sink) {
+        IpdsRequest rq;
+        rq.kind = IpdsRequest::Kind::PopFrame;
+        rq.func = f;
+        rq.tableBits = t.bsvBits + t.bcvBits + t.batBits;
+        sink(rq);
+    }
+}
+
+void
+ReferenceDetector::applyActions(FrameTables &ft,
+                                const std::vector<SlotAction> &list)
+{
+    for (const auto &sa : list) {
+        switch (sa.act) {
+          case BrAction::NC:
+            break;
+          case BrAction::SetT:
+            ft.bsv[sa.slot] = BsvState::Taken;
+            break;
+          case BrAction::SetNT:
+            ft.bsv[sa.slot] = BsvState::NotTaken;
+            break;
+          case BrAction::SetUN:
+            ft.bsv[sa.slot] = BsvState::Unknown;
+            break;
+        }
+        stat.actionsApplied++;
+    }
+}
+
+void
+ReferenceDetector::onBranch(FuncId f, uint64_t pc, bool taken)
+{
+    stat.branchesSeen++;
+    if (stack.empty() || stack.back().func != f)
+        panic("Detector: frame stack out of sync at branch in %s",
+              prog.mod.functions[f].name.c_str());
+    FrameTables &ft = stack.back();
+    const FuncTables &t = prog.funcs[f].tables;
+    uint32_t slot = t.hash.apply(pc);
+
+    // Check request: only for BCV-marked branches (§5.4).
+    if (t.bcv[slot]) {
+        stat.checksPerformed++;
+        BsvState expected = ft.bsv[slot];
+        bool mismatch =
+            (expected == BsvState::Taken && !taken) ||
+            (expected == BsvState::NotTaken && taken);
+        if (mismatch) {
+            Alarm a;
+            a.func = f;
+            a.pc = pc;
+            a.actualTaken = taken;
+            a.expected = expected;
+            a.branchIndex = stat.branchesSeen;
+            alarmList.push_back(a);
+        }
+        if (sink) {
+            IpdsRequest rq;
+            rq.kind = IpdsRequest::Kind::Check;
+            rq.func = f;
+            rq.pc = pc;
+            sink(rq);
+        }
+    }
+
+    // Update request: always queued, whether or not checked (§5.4).
+    const auto &list = taken ? t.onTaken[slot] : t.onNotTaken[slot];
+    applyActions(ft, list);
+    stat.updatesApplied++;
+    if (sink) {
+        IpdsRequest rq;
+        rq.kind = IpdsRequest::Kind::Update;
+        rq.func = f;
+        rq.pc = pc;
+        rq.actionCount = static_cast<uint32_t>(list.size());
+        sink(rq);
+    }
+}
+
+} // namespace ipds

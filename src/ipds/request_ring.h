@@ -1,0 +1,110 @@
+#ifndef IPDS_IPDS_REQUEST_RING_H
+#define IPDS_IPDS_REQUEST_RING_H
+
+/**
+ * @file
+ * The request descriptor sent from the detector to the (modelled) IPDS
+ * hardware engine, and the small-buffer ring that transports it.
+ *
+ * The ring replaces the old `std::function` sink on the hot path: the
+ * detector writes records inline (no indirect call, no allocation) and
+ * the timing model drains them in batches at the commit point of the
+ * triggering instruction. Producer and consumer run on the same thread
+ * (both are Vm observers), so no synchronization is needed; the ring
+ * only bounds how far the producer may run ahead of a drain.
+ */
+
+#include <array>
+#include <cstdint>
+
+#include "ir/ir.h"
+#include "support/diag.h"
+
+namespace ipds {
+
+/** A unit of work sent to the (modelled) IPDS hardware engine. */
+struct IpdsRequest
+{
+    enum class Kind : uint8_t
+    {
+        Check,     ///< verify actual vs expected direction
+        Update,    ///< apply a BAT action list
+        PushFrame, ///< function entry: push fresh tables
+        PopFrame,  ///< function exit: pop tables
+    };
+    Kind kind = Kind::Update;
+    FuncId func = kNoFunc;
+    uint64_t pc = 0;
+    /** BAT entries walked by an Update (list walk cost, §6). */
+    uint32_t actionCount = 0;
+    /** Table bits pushed/popped (spill cost modelling). */
+    uint64_t tableBits = 0;
+
+    bool operator==(const IpdsRequest &o) const
+    {
+        return kind == o.kind && func == o.func && pc == o.pc &&
+            actionCount == o.actionCount && tableBits == o.tableBits;
+    }
+};
+
+/**
+ * Fixed-capacity FIFO of IpdsRequest. A committed instruction produces
+ * at most a handful of requests before the consumer's next drain, so
+ * overflow indicates a missing drain and is treated as a bug.
+ */
+class RequestRing
+{
+  public:
+    static constexpr uint32_t kCapacity = 1024; // power of two
+
+    void push(const IpdsRequest &rq)
+    {
+        if (tail - head == kCapacity)
+            panic("RequestRing overflow: %u requests pending without "
+                  "a drain", kCapacity);
+        buf[tail & kMask] = rq;
+        tail++;
+    }
+
+    /**
+     * Branchless producer path: stage() exposes the next free slot for
+     * in-place construction; advance(commit) then publishes it (or
+     * abandons it when @p commit is false, with no branch taken). Lets
+     * the detector build a conditional request without a data-dependent
+     * jump.
+     */
+    IpdsRequest &
+    stage()
+    {
+        if (tail - head == kCapacity)
+            panic("RequestRing overflow: %u requests pending without "
+                  "a drain", kCapacity);
+        return buf[tail & kMask];
+    }
+
+    void advance(bool commit) { tail += commit ? 1 : 0; }
+
+    bool empty() const { return head == tail; }
+    uint32_t size() const { return tail - head; }
+    void clear() { head = tail; }
+
+    /** Pop every pending request, oldest first, into @p fn. */
+    template <typename Fn>
+    void drain(Fn &&fn)
+    {
+        while (head != tail) {
+            fn(buf[head & kMask]);
+            head++;
+        }
+    }
+
+  private:
+    static constexpr uint32_t kMask = kCapacity - 1;
+    std::array<IpdsRequest, kCapacity> buf;
+    uint32_t head = 0;
+    uint32_t tail = 0;
+};
+
+} // namespace ipds
+
+#endif // IPDS_IPDS_REQUEST_RING_H

@@ -1,0 +1,105 @@
+#include "support/threadpool.h"
+
+namespace ipds {
+
+unsigned
+ThreadPool::defaultWorkers()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = defaultWorkers();
+    threads.reserve(workers - 1);
+    for (unsigned i = 1; i < workers; i++)
+        threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        stopping = true;
+    }
+    cvStart.notify_all();
+    for (auto &t : threads)
+        t.join();
+}
+
+void
+ThreadPool::runIndices()
+{
+    for (;;) {
+        uint32_t i = nextIdx.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobN)
+            break;
+        try {
+            (*jobFn)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(mtx);
+            if (!firstError)
+                firstError = std::current_exception();
+            // Abandon the remaining indices.
+            nextIdx.store(jobN, std::memory_order_relaxed);
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seenGen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(mtx);
+            cvStart.wait(lk, [&] {
+                return stopping || jobGen != seenGen;
+            });
+            if (stopping)
+                return;
+            seenGen = jobGen;
+        }
+        runIndices();
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            if (--activeWorkers == 0)
+                cvDone.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(uint32_t n,
+                        const std::function<void(uint32_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (threads.empty() || n == 1) {
+        for (uint32_t i = 0; i < n; i++)
+            fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        jobFn = &fn;
+        jobN = n;
+        nextIdx.store(0, std::memory_order_relaxed);
+        firstError = nullptr;
+        activeWorkers = static_cast<unsigned>(threads.size());
+        jobGen++;
+    }
+    cvStart.notify_all();
+    runIndices(); // the calling thread is a worker too
+    {
+        std::unique_lock<std::mutex> lk(mtx);
+        cvDone.wait(lk, [&] { return activeWorkers == 0; });
+        jobFn = nullptr;
+        if (firstError)
+            std::rethrow_exception(firstError);
+    }
+}
+
+} // namespace ipds

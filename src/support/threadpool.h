@@ -1,0 +1,82 @@
+#ifndef IPDS_SUPPORT_THREADPOOL_H
+#define IPDS_SUPPORT_THREADPOOL_H
+
+/**
+ * @file
+ * Minimal persistent thread pool for sharding independent work items
+ * (benign benchmark sessions, attack-campaign runs) across cores.
+ *
+ * Design constraints, in order:
+ *  1. Determinism — results must be a pure function of the item index,
+ *     never of scheduling. parallelFor hands out indices; callers write
+ *     results into per-index slots and merge in index order.
+ *  2. Zero dependencies — std::thread only.
+ *  3. Simplicity — one job at a time; the calling thread participates
+ *     as a worker, so ThreadPool(1) degrades to an inline loop.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ipds {
+
+class ThreadPool
+{
+  public:
+    /**
+     * @p workers total worker count including the calling thread;
+     * 0 selects std::thread::hardware_concurrency(). A pool of 1 spawns
+     * no threads and runs everything inline.
+     */
+    explicit ThreadPool(unsigned workers = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total workers, including the calling thread. */
+    unsigned workerCount() const
+    {
+        return static_cast<unsigned>(threads.size()) + 1;
+    }
+
+    /**
+     * Run fn(0) ... fn(n-1), spread over the pool; blocks until every
+     * index completed. Indices are claimed dynamically, so fn must not
+     * depend on which thread runs it or in which order indices run.
+     * The first exception thrown by fn is rethrown here (remaining
+     * indices are abandoned). Not reentrant: one parallelFor at a time.
+     */
+    void parallelFor(uint32_t n, const std::function<void(uint32_t)> &fn);
+
+    /** hardware_concurrency(), clamped to at least 1. */
+    static unsigned defaultWorkers();
+
+  private:
+    void workerLoop();
+    void runIndices();
+
+    std::vector<std::thread> threads;
+    std::mutex mtx;
+    std::condition_variable cvStart;
+    std::condition_variable cvDone;
+    uint64_t jobGen = 0;
+    bool stopping = false;
+
+    // Current job (valid while activeWorkers > 0 or inside parallelFor).
+    const std::function<void(uint32_t)> *jobFn = nullptr;
+    uint32_t jobN = 0;
+    std::atomic<uint32_t> nextIdx{0};
+    unsigned activeWorkers = 0;
+    std::exception_ptr firstError;
+};
+
+} // namespace ipds
+
+#endif // IPDS_SUPPORT_THREADPOOL_H

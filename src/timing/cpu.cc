@@ -12,7 +12,7 @@ CpuModel::CpuModel(const TimingConfig &c)
 std::function<void(const IpdsRequest &)>
 CpuModel::requestSink()
 {
-    return [this](const IpdsRequest &rq) { pending.push_back(rq); };
+    return [this](const IpdsRequest &rq) { reqRing.push(rq); };
 }
 
 uint64_t
@@ -199,11 +199,12 @@ CpuModel::onInst(const Inst &in, uint64_t mem_addr, uint32_t mem_size,
                                         cfg.mispredictPenalty * W);
     }
 
-    // IPDS requests triggered by this instruction enqueue at commit.
-    if (cfg.ipdsEnabled && !pending.empty()) {
+    // IPDS requests triggered by this instruction enqueue at commit;
+    // the detector wrote them into the ring inline, we drain in batch.
+    if (cfg.ipdsEnabled && !reqRing.empty()) {
         uint64_t now = commit / W;
         bool stalled = false;
-        for (const auto &rq : pending) {
+        reqRing.drain([&](const IpdsRequest &rq) {
             uint64_t stall = engine.enqueue(rq, now);
             if (stall) {
                 commit += stall * W;
@@ -211,14 +212,13 @@ CpuModel::onInst(const Inst &in, uint64_t mem_addr, uint32_t mem_size,
                 ipdsStalls += stall;
                 stalled = true;
             }
-        }
-        pending.clear();
+        });
         // A full request queue backs the whole pipeline up: commit
         // waits, the window fills, dispatch stops.
         if (stalled)
             dispatchTick = std::max(dispatchTick, commit);
     } else if (!cfg.ipdsEnabled) {
-        pending.clear();
+        reqRing.clear();
     }
 
     // Library/kernel code behind a builtin call: pace dispatch and

@@ -53,6 +53,26 @@ struct TimingStats
     {
         return cycles ? double(instructions) / cycles : 0.0;
     }
+
+    /**
+     * Accumulate another model's counters (session sharding): every
+     * field sums, including cycles — shards simulate disjoint session
+     * streams, so total work is the sum of per-shard work.
+     */
+    void
+    merge(const TimingStats &o)
+    {
+        instructions += o.instructions;
+        cycles += o.cycles;
+        branches += o.branches;
+        mispredicts += o.mispredicts;
+        l1iMisses += o.l1iMisses;
+        l1dMisses += o.l1dMisses;
+        l2Misses += o.l2Misses;
+        tlbMisses += o.tlbMisses;
+        ipdsStallCycles += o.ipdsStallCycles;
+        engine.merge(o.engine);
+    }
 };
 
 /**
@@ -61,7 +81,7 @@ struct TimingStats
  *
  *   CpuModel cpu(cfg);
  *   Detector det(prog);
- *   det.setRequestSink(cpu.requestSink());
+ *   det.setRequestRing(&cpu.requestRing());
  *   vm.addObserver(&det);   // detector first: requests precede commit
  *   vm.addObserver(&cpu);
  */
@@ -70,7 +90,15 @@ class CpuModel : public ExecObserver
   public:
     explicit CpuModel(const TimingConfig &cfg);
 
-    /** Sink to install on a Detector (buffers requests per branch). */
+    /**
+     * Request transport: point the detector at this ring
+     * (det.setRequestRing(&cpu.requestRing())) and requests are
+     * written inline and drained in batches at each commit — no
+     * indirect call per branch.
+     */
+    RequestRing &requestRing() { return reqRing; }
+
+    /** Compatibility sink forwarding into the ring (indirect call). */
     std::function<void(const IpdsRequest &)> requestSink();
 
     void onInst(const Inst &in, uint64_t mem_addr, uint32_t mem_size,
@@ -127,7 +155,7 @@ class CpuModel : public ExecObserver
     uint64_t ipdsStalls = 0;
     uint64_t lastFetchBlock = ~0ULL;
 
-    std::vector<IpdsRequest> pending;
+    RequestRing reqRing;
     bool branchPending = false;
     uint64_t pendingPc = 0;
     bool pendingTaken = false;

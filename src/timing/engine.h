@@ -44,6 +44,24 @@ struct EngineStats
         return checkLatencyCount
             ? double(checkLatencySum) / checkLatencyCount : 0.0;
     }
+
+    /** Accumulate another engine's counters (session sharding). */
+    void
+    merge(const EngineStats &o)
+    {
+        requests += o.requests;
+        checkRequests += o.checkRequests;
+        updateRequests += o.updateRequests;
+        busyCycles += o.busyCycles;
+        queueFullStalls += o.queueFullStalls;
+        stallCycles += o.stallCycles;
+        spillEvents += o.spillEvents;
+        spillBits += o.spillBits;
+        fillEvents += o.fillEvents;
+        fillBits += o.fillBits;
+        checkLatencySum += o.checkLatencySum;
+        checkLatencyCount += o.checkLatencyCount;
+    }
 };
 
 /**

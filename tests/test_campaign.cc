@@ -129,5 +129,32 @@ TEST(Campaign, FlagTamperIsDetectedDirectly)
     EXPECT_GT(res.numDetected(), 0u);
 }
 
+TEST(Campaign, ThreadCountDoesNotChangeOutcomes)
+{
+    // Attack i's seed and result slot depend only on i, so running the
+    // campaign over a thread pool must reproduce the single-threaded
+    // outcomes exactly, attack by attack.
+    CompiledProgram prog = compileAndAnalyze(kTarget, "t");
+    CampaignConfig cfg;
+    cfg.numAttacks = 40;
+    cfg.numThreads = 1;
+    CampaignResult serial = runCampaign(prog, {"a", "b", "c"}, cfg);
+    cfg.numThreads = 4;
+    CampaignResult parallel = runCampaign(prog, {"a", "b", "c"}, cfg);
+
+    EXPECT_FALSE(serial.falsePositive);
+    EXPECT_FALSE(parallel.falsePositive);
+    ASSERT_EQ(serial.outcomes.size(), parallel.outcomes.size());
+    for (size_t i = 0; i < serial.outcomes.size(); i++) {
+        const AttackOutcome &s = serial.outcomes[i];
+        const AttackOutcome &p = parallel.outcomes[i];
+        EXPECT_EQ(s.fired, p.fired) << i;
+        EXPECT_EQ(s.cfChanged, p.cfChanged) << i;
+        EXPECT_EQ(s.detected, p.detected) << i;
+        EXPECT_EQ(s.exit, p.exit) << i;
+        EXPECT_EQ(s.detectionBranchIndex, p.detectionBranchIndex) << i;
+    }
+}
+
 } // namespace
 } // namespace ipds

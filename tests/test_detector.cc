@@ -2,18 +2,49 @@
  * @file
  * Runtime-detector unit tests: BSV state machine semantics, table
  * stack push/pop across calls, UNKNOWN-matches-anything, alarm
- * payloads, statistics and the request-sink protocol the timing model
- * consumes.
+ * payloads, statistics, the request-sink protocol the timing model
+ * consumes, frame-pool reuse, and golden equivalence of the fast-path
+ * Detector against the preserved pre-overhaul ReferenceDetector.
  */
 
 #include <gtest/gtest.h>
 
 #include "core/program.h"
 #include "ipds/detector.h"
+#include "ipds/reference.h"
 #include "vm/vm.h"
+#include "workloads/workloads.h"
 
 namespace ipds {
 namespace {
+
+/** Field-by-field stats comparison (failure names the workload). */
+void
+expectSameStats(const DetectorStats &ref, const DetectorStats &fast,
+                const std::string &what)
+{
+    EXPECT_EQ(ref.branchesSeen, fast.branchesSeen) << what;
+    EXPECT_EQ(ref.checksPerformed, fast.checksPerformed) << what;
+    EXPECT_EQ(ref.updatesApplied, fast.updatesApplied) << what;
+    EXPECT_EQ(ref.actionsApplied, fast.actionsApplied) << what;
+    EXPECT_EQ(ref.framesPushed, fast.framesPushed) << what;
+    EXPECT_EQ(ref.maxStackDepth, fast.maxStackDepth) << what;
+}
+
+void
+expectSameAlarms(const std::vector<Alarm> &ref,
+                 const std::vector<Alarm> &fast,
+                 const std::string &what)
+{
+    ASSERT_EQ(ref.size(), fast.size()) << what;
+    for (size_t i = 0; i < ref.size(); i++) {
+        EXPECT_EQ(ref[i].func, fast[i].func) << what;
+        EXPECT_EQ(ref[i].pc, fast[i].pc) << what;
+        EXPECT_EQ(ref[i].actualTaken, fast[i].actualTaken) << what;
+        EXPECT_EQ(ref[i].expected, fast[i].expected) << what;
+        EXPECT_EQ(ref[i].branchIndex, fast[i].branchIndex) << what;
+    }
+}
 
 TEST(Detector, FreshTablesPerInvocation)
 {
@@ -252,6 +283,117 @@ void main() {
     // alarm anyway.
     EXPECT_EQ(det.alarms().size(), 1u);
     EXPECT_EQ(det.alarms().front().expected, BsvState::NotTaken);
+}
+
+// ---------------------------------------------------- frame pool
+
+TEST(DetectorFramePool, DeepRecursionReusesFrames)
+{
+    CompiledProgram p = compileAndAnalyze(R"(
+int down(int n) {
+    if (n == 0) { return 0; }
+    return down(n - 1);
+}
+void main() { print_int(down(8)); print_int(down(8)); }
+)", "t");
+    Detector det(p);
+    Vm vm(p.mod);
+    vm.addObserver(&det);
+    vm.run();
+    EXPECT_FALSE(det.alarmed());
+    // 1 main frame + 2x9 down frames pushed, but the second recursion
+    // reuses the first one's pool: allocation is bounded by the peak
+    // depth, not the push count.
+    EXPECT_EQ(det.stats().framesPushed, 19u);
+    EXPECT_EQ(det.allocatedFrames(), 10u);
+
+    // A second session on the same detector allocates nothing at all.
+    det.reset();
+    Vm vm2(p.mod);
+    vm2.addObserver(&det);
+    vm2.run();
+    EXPECT_EQ(det.allocatedFrames(), 10u);
+}
+
+TEST(DetectorFramePool, StaleGenerationSlotsReadUnknown)
+{
+    // probe's two correlated branches pin each other's BSV slots when
+    // v > 5. The middle probe(1) call reuses the probe(9) frame from
+    // the pool; its slots still hold the stale SET_T words, which must
+    // read as UNKNOWN under the new generation — a leak would alarm on
+    // the not-taken evaluation.
+    CompiledProgram p = compileAndAnalyze(R"(
+void probe(int v) {
+    if (v > 5) { print_str("a"); }
+    if (v > 5) { print_str("b"); }
+}
+void main() {
+    probe(9);
+    probe(1);
+    probe(9);
+}
+)", "t");
+    Detector det(p);
+    Vm vm(p.mod);
+    vm.addObserver(&det);
+    RunResult r = vm.run();
+    EXPECT_EQ(r.output, "abab");
+    EXPECT_FALSE(det.alarmed());
+    EXPECT_EQ(det.stats().checksPerformed, 6u); // both branches, 3 calls
+    EXPECT_EQ(det.stats().framesPushed, 4u);    // main + 3x probe
+    EXPECT_EQ(det.allocatedFrames(), 2u);       // main + 1 pooled probe
+}
+
+// ---------------------------------------------------- golden equivalence
+
+TEST(DetectorGolden, BenignWorkloadsMatchReference)
+{
+    // The pre-overhaul implementation is preserved verbatim as
+    // ReferenceDetector; both observe the same execution and must
+    // produce identical alarms and statistics on every workload.
+    for (const auto &wl : allWorkloads()) {
+        CompiledProgram prog = compileAndAnalyze(wl.source, wl.name);
+        ReferenceDetector refDet(prog);
+        Detector fastDet(prog);
+        Vm vm(prog.mod);
+        vm.setInputs(wl.benignInputs);
+        vm.setRecordTrace(false);
+        vm.addObserver(&refDet);
+        vm.addObserver(&fastDet);
+        vm.run();
+        expectSameStats(refDet.stats(), fastDet.stats(), wl.name);
+        expectSameAlarms(refDet.alarms(), fastDet.alarms(), wl.name);
+        EXPECT_FALSE(fastDet.alarmed()) << wl.name;
+    }
+}
+
+TEST(DetectorGolden, TamperedRunMatchesReference)
+{
+    CompiledProgram p = compileAndAnalyze(R"(
+void main() {
+    int flag;
+    flag = 0;
+    input_int();
+    if (flag == 1) { print_str("escalated"); }
+}
+)", "t");
+    ReferenceDetector refDet(p);
+    Detector fastDet(p);
+    Vm vm(p.mod);
+    vm.setInputs({"x"});
+    vm.addObserver(&refDet);
+    vm.addObserver(&fastDet);
+    TamperSpec spec;
+    spec.randomStackTarget = false;
+    spec.afterInputEvent = 1;
+    spec.addr = vm.entryLocalAddr("flag");
+    spec.bytes = {1, 0, 0, 0, 0, 0, 0, 0};
+    vm.setTamper(spec);
+    vm.run();
+
+    EXPECT_TRUE(refDet.alarmed());
+    expectSameStats(refDet.stats(), fastDet.stats(), "tampered");
+    expectSameAlarms(refDet.alarms(), fastDet.alarms(), "tampered");
 }
 
 } // namespace

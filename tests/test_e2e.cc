@@ -3,14 +3,17 @@
  * End-to-end integration tests: MiniC source -> compiled & analyzed
  * program -> VM execution with the IPDS detector attached. Covers the
  * paper's motivating scenario (Figure 1), benign zero-false-positive
- * runs, and direct tamper detection.
+ * runs, direct tamper detection, and equivalence of the RequestRing
+ * transport against the legacy std::function sink.
  */
 
 #include <gtest/gtest.h>
 
 #include "core/program.h"
 #include "ipds/detector.h"
+#include "ipds/reference.h"
 #include "vm/vm.h"
+#include "workloads/workloads.h"
 
 namespace ipds {
 namespace {
@@ -211,6 +214,61 @@ void main() {
         RunResult r = vm.run();
         EXPECT_TRUE(r.tamper.fired);
         EXPECT_TRUE(det.alarmed()) << "flip of secret not detected";
+    }
+}
+
+/** Drains a RequestRing into a log at the timing model's cadence
+ *  (once per committed instruction). */
+struct RingDrainObserver : ExecObserver
+{
+    RequestRing *ring = nullptr;
+    std::vector<IpdsRequest> log;
+
+    void
+    onInst(const Inst &, uint64_t, uint32_t, bool) override
+    {
+        ring->drain(
+            [this](const IpdsRequest &rq) { log.push_back(rq); });
+    }
+};
+
+TEST(EndToEnd, RequestRingStreamMatchesLegacySink)
+{
+    // The RequestRing transport must deliver byte-for-byte the stream
+    // the pre-overhaul std::function sink produced: the timing model's
+    // cycle accounting is driven by it. Both detectors watch the same
+    // execution of every workload; the ring is drained per committed
+    // instruction exactly as CpuModel does.
+    for (const auto &wl : allWorkloads()) {
+        CompiledProgram prog = compileAndAnalyze(wl.source, wl.name);
+
+        std::vector<IpdsRequest> sinkLog;
+        ReferenceDetector refDet(prog);
+        refDet.setRequestSink([&sinkLog](const IpdsRequest &rq) {
+            sinkLog.push_back(rq);
+        });
+
+        Detector fastDet(prog);
+        RequestRing ring;
+        fastDet.setRequestRing(&ring);
+        RingDrainObserver drainer;
+        drainer.ring = &ring;
+
+        Vm vm(prog.mod);
+        vm.setInputs(wl.benignInputs);
+        vm.setRecordTrace(false);
+        vm.addObserver(&refDet);
+        vm.addObserver(&fastDet);
+        vm.addObserver(&drainer);
+        vm.run();
+        // Requests emitted after the last committed instruction.
+        ring.drain(
+            [&drainer](const IpdsRequest &rq) {
+                drainer.log.push_back(rq);
+            });
+
+        ASSERT_FALSE(sinkLog.empty()) << wl.name;
+        EXPECT_TRUE(sinkLog == drainer.log) << wl.name;
     }
 }
 

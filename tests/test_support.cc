@@ -1,17 +1,21 @@
 /**
  * @file
  * Unit tests for the support layer: bit vectors, bit streams,
- * deterministic RNG and diagnostics.
+ * deterministic RNG, diagnostics and the thread pool.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
 #include <set>
+#include <stdexcept>
 
 #include "support/bitstream.h"
 #include "support/bitvec.h"
 #include "support/diag.h"
 #include "support/rng.h"
+#include "support/threadpool.h"
 
 namespace ipds {
 namespace {
@@ -239,6 +243,75 @@ TEST(Diag, FatalAndPanicThrowDistinctTypes)
     } catch (const FatalError &e) {
         EXPECT_STREQ(e.what(), "code 42");
     }
+}
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPool, ResultsIndependentOfWorkerCount)
+{
+    // Per-index result slots: the outcome must be a pure function of
+    // the index, whatever the pool size or scheduling.
+    auto runWith = [](unsigned workers) {
+        ThreadPool pool(workers);
+        std::vector<uint64_t> out(97);
+        pool.parallelFor(97, [&](uint32_t i) {
+            out[i] = uint64_t(i) * i + 13;
+        });
+        return out;
+    };
+    std::vector<uint64_t> single = runWith(1);
+    EXPECT_EQ(single, runWith(3));
+    EXPECT_EQ(single, runWith(8));
+    for (uint32_t i = 0; i < single.size(); i++)
+        EXPECT_EQ(single[i], uint64_t(i) * i + 13);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::atomic<uint64_t> sum{0};
+    std::vector<std::atomic<uint32_t>> hits(1000);
+    pool.parallelFor(1000, [&](uint32_t i) {
+        hits[i].fetch_add(1);
+        sum.fetch_add(i);
+    });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1u);
+    EXPECT_EQ(sum.load(), 999u * 1000u / 2);
+}
+
+TEST(ThreadPool, ZeroItemsIsNoop)
+{
+    ThreadPool pool(3);
+    bool ran = false;
+    pool.parallelFor(0, [&](uint32_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(64,
+                                  [&](uint32_t i) {
+                                      if (i == 17)
+                                          throw std::runtime_error("x");
+                                  }),
+                 std::runtime_error);
+    // The pool is reusable after a failed job.
+    std::atomic<uint32_t> count{0};
+    pool.parallelFor(32, [&](uint32_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 32u);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.workerCount(), 1u);
+    std::thread::id caller = std::this_thread::get_id();
+    pool.parallelFor(8, [&](uint32_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+    EXPECT_GE(ThreadPool::defaultWorkers(), 1u);
 }
 
 } // namespace

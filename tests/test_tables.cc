@@ -93,6 +93,62 @@ void main() {
     EXPECT_EQ(slots.size(), cf.bat.numBranches); // no collisions
 }
 
+TEST(Tables, BranchRecsResolveSlotBcvAndActionSpans)
+{
+    // The layout-time BranchRec cache feeding the detector's hot path
+    // must agree with the authoritative structures: hash slot, BCV bit
+    // and the flattened copies of both action lists.
+    CompiledProgram p = compileAndAnalyze(R"(
+void helper(int v) {
+    if (v > 3) { print_str("h"); }
+}
+void main() {
+    int x;
+    x = input_int();
+    if (x < 1) { print_str("a"); }
+    if (x < 1) { print_str("b"); }
+    helper(x);
+}
+)", "t");
+    for (const CompiledFunction &cf : p.funcs) {
+        const FuncTables &t = cf.tables;
+        if (cf.bat.numBranches == 0) {
+            EXPECT_TRUE(t.branchRecs.empty());
+            continue;
+        }
+        ASSERT_FALSE(t.branchRecs.empty());
+        for (uint32_t i = 0; i < cf.bat.numBranches; i++) {
+            uint64_t pc = cf.bat.branchPcs[i];
+            ASSERT_GE(pc, t.lookupBasePc);
+            uint64_t idx = (pc - t.lookupBasePc) / 4;
+            ASSERT_LT(idx, t.branchRecs.size());
+            const BranchRec &rec = t.branchRecs[idx];
+            uint32_t slot = t.slotOfBranch[i];
+            EXPECT_EQ(rec.slot, slot);
+            EXPECT_EQ(rec.checked, t.bcv[slot] ? 1u : 0u);
+            ASSERT_EQ(rec.takenLen, t.onTaken[slot].size());
+            ASSERT_EQ(rec.notTakenLen, t.onNotTaken[slot].size());
+            for (uint32_t k = 0; k < rec.takenLen; k++) {
+                EXPECT_EQ(t.actionPool[rec.takenOff + k].slot,
+                          t.onTaken[slot][k].slot);
+                EXPECT_EQ(t.actionPool[rec.takenOff + k].act,
+                          t.onTaken[slot][k].act);
+            }
+            for (uint32_t k = 0; k < rec.notTakenLen; k++) {
+                EXPECT_EQ(t.actionPool[rec.notTakenOff + k].slot,
+                          t.onNotTaken[slot][k].slot);
+                EXPECT_EQ(t.actionPool[rec.notTakenOff + k].act,
+                          t.onNotTaken[slot][k].act);
+            }
+        }
+        // Exactly the branch pcs are mapped; holes stay unmapped.
+        uint32_t mapped = 0;
+        for (const BranchRec &rec : t.branchRecs)
+            mapped += rec.slot != kNoBranchSlot ? 1 : 0;
+        EXPECT_EQ(mapped, cf.bat.numBranches);
+    }
+}
+
 TEST(Tables, BitAccountingFormula)
 {
     CompiledProgram p = compileAndAnalyze(R"(
