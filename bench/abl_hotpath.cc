@@ -151,7 +151,7 @@ bool
 sameStats(const DetectorStats &a, const DetectorStats &b)
 {
     return a.branchesSeen == b.branchesSeen &&
-        a.checksPerformed == b.checksPerformed &&
+        a.checksEnqueued == b.checksEnqueued &&
         a.updatesApplied == b.updatesApplied &&
         a.actionsApplied == b.actionsApplied &&
         a.framesPushed == b.framesPushed &&

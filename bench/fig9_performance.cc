@@ -11,26 +11,27 @@
  * queue back-pressure, so the expected degradation is well under 1%
  * (paper average: 0.79%).
  *
- * The session stream is split into kShards fixed shards, each with its
- * own CpuModel + Vm + Detector, and the shards run across a thread
- * pool. Because the shard partition is fixed (never derived from the
- * thread count) and shard stats merge in shard order, aggregate
- * results are identical for any --threads value.
+ * The session stream runs through the ipds::Session facade with a
+ * fixed kShards-way shard split: each shard owns its CpuModel + Vm +
+ * Detector, and shard stats merge in shard order, so aggregate results
+ * are identical for any --threads value.
  *
- * Usage: fig9_performance [--sessions N] [--threads N]
+ * Usage: fig9_performance [--sessions N] [--threads N] [--json PATH]
  *   --sessions  benign sessions per benchmark (default 300)
  *   --threads   worker threads (default 0 = one per hardware core)
+ *   --json      write a machine-readable report (BENCH_fig9.json)
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/program.h"
-#include "ipds/detector.h"
+#include "obs/session.h"
 #include "support/diag.h"
 #include "support/threadpool.h"
-#include "timing/cpu.h"
 #include "workloads/workloads.h"
 
 using namespace ipds;
@@ -40,38 +41,24 @@ namespace {
 /** Fixed shard count — independent of the worker thread count. */
 constexpr uint32_t kShards = 8;
 
-/** Run @p sessions benign sessions, sharded over @p pool. */
+/** Run @p sessions benign sessions through the Session facade. */
 TimingStats
 simulate(const CompiledProgram &prog,
          const std::vector<std::string> &inputs, bool ipds_on,
-         uint32_t sessions, ThreadPool &pool)
+         uint32_t sessions, unsigned threads)
 {
-    std::vector<TimingStats> shardStats(kShards);
-    pool.parallelFor(kShards, [&](uint32_t shard) {
-        uint32_t begin = shard * sessions / kShards;
-        uint32_t end = (shard + 1) * sessions / kShards;
-        TimingConfig cfg = table1Config();
-        cfg.ipdsEnabled = ipds_on;
-        CpuModel cpu(cfg);
-        for (uint32_t s = begin; s < end; s++) {
-            Vm vm(prog.mod);
-            vm.setInputs(inputs);
-            vm.setRecordTrace(false);
-            Detector det(prog);
-            if (ipds_on) {
-                det.setRequestRing(&cpu.requestRing());
-                vm.addObserver(&det);
-            }
-            vm.addObserver(&cpu);
-            vm.run();
-        }
-        shardStats[shard] = cpu.stats();
-    });
-
-    TimingStats total;
-    for (const TimingStats &s : shardStats)
-        total.merge(s);
-    return total;
+    TimingConfig cfg = table1Config();
+    cfg.ipdsEnabled = ipds_on;
+    return Session::builder()
+        .program(prog)
+        .inputs(inputs)
+        .timing(cfg)
+        .sessions(sessions)
+        .shards(kShards)
+        .threads(threads)
+        .build()
+        .run()
+        .timingStats();
 }
 
 void
@@ -97,6 +84,47 @@ printTable1()
                 c.tableLatency);
 }
 
+struct Row
+{
+    std::string name;
+    uint64_t baseCycles = 0, ipdsCycles = 0, stalls = 0;
+    double norm = 1.0, degr = 0.0;
+};
+
+void
+writeJson(const char *path, uint32_t sessions,
+          const std::vector<Row> &rows, double avgDegr)
+{
+    FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"fig9_performance\",\n");
+    std::fprintf(f, "  \"sessions\": %u,\n", sessions);
+    std::fprintf(f, "  \"shards\": %u,\n", kShards);
+    std::fprintf(f, "  \"workloads\": [\n");
+    for (size_t i = 0; i < rows.size(); i++) {
+        const Row &r = rows[i];
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"base_cycles\": %llu, "
+            "\"ipds_cycles\": %llu, \"normalized\": %.4f, "
+            "\"degradation_pct\": %.3f, \"stall_cycles\": %llu}%s\n",
+            r.name.c_str(),
+            static_cast<unsigned long long>(r.baseCycles),
+            static_cast<unsigned long long>(r.ipdsCycles), r.norm,
+            r.degr, static_cast<unsigned long long>(r.stalls),
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"avg_degradation_pct\": %.3f\n", avgDegr);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path);
+}
+
 } // namespace
 
 int
@@ -104,25 +132,28 @@ main(int argc, char **argv)
 {
     uint32_t sessions = 300;
     unsigned threads = 0;
+    const char *jsonPath = nullptr;
     for (int i = 1; i < argc; i++) {
         if (!std::strcmp(argv[i], "--sessions") && i + 1 < argc)
             sessions = static_cast<uint32_t>(std::atoi(argv[++i]));
         else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
             threads = static_cast<unsigned>(std::atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+            jsonPath = argv[++i];
         else {
             std::fprintf(stderr,
-                         "usage: %s [--sessions N] [--threads N]\n",
+                         "usage: %s [--sessions N] [--threads N] "
+                         "[--json PATH]\n",
                          argv[0]);
             return 2;
         }
     }
 
     setQuiet(true);
-    ThreadPool pool(threads);
     std::printf("=== Figure 9: normalized performance "
                 "(%u sessions per benchmark, %u shards, %u threads) "
                 "===\n\n",
-                sessions, kShards, pool.workerCount());
+                sessions, kShards, ThreadPool(threads).workerCount());
     printTable1();
 
     std::printf("%-10s %12s %12s %12s %10s %10s\n", "benchmark",
@@ -130,12 +161,13 @@ main(int argc, char **argv)
                 "degr(%)", "stalls");
 
     double sumDegr = 0;
+    std::vector<Row> rows;
     for (const auto &wl : allWorkloads()) {
         CompiledProgram prog = compileAndAnalyze(wl.source, wl.name);
         TimingStats base =
-            simulate(prog, wl.benignInputs, false, sessions, pool);
+            simulate(prog, wl.benignInputs, false, sessions, threads);
         TimingStats ipds =
-            simulate(prog, wl.benignInputs, true, sessions, pool);
+            simulate(prog, wl.benignInputs, true, sessions, threads);
         double norm = ipds.cycles
             ? double(base.cycles) / double(ipds.cycles) : 1.0;
         double degr = base.cycles
@@ -143,6 +175,8 @@ main(int argc, char **argv)
                 double(base.cycles)
             : 0.0;
         sumDegr += degr;
+        rows.push_back({wl.name, base.cycles, ipds.cycles,
+                        ipds.ipdsStallCycles, norm, degr});
         std::printf("%-10s %12llu %12llu %12.4f %10.3f %10llu\n",
                     wl.name.c_str(),
                     static_cast<unsigned long long>(base.cycles),
@@ -152,9 +186,12 @@ main(int argc, char **argv)
                         ipds.ipdsStallCycles));
     }
     size_t n = allWorkloads().size();
+    double avgDegr = sumDegr / n;
     std::printf("%-10s %12s %12s %12s %10.3f\n", "average", "-", "-",
-                "-", sumDegr / n);
+                "-", avgDegr);
     std::printf("\npaper average degradation: 0.79%% "
                 "(negligible in most cases)\n");
+    if (jsonPath)
+        writeJson(jsonPath, sessions, rows, avgDegr);
     return 0;
 }

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Minimal JSON validator for the bench-smoke suite: checks that a
+ * bench's --json artifact is well-formed (full RFC 8259 grammar, no
+ * extensions) so a malformed BENCH_*.json fails CI instead of
+ * poisoning downstream tooling. No third-party parser: the grammar
+ * fits in a page.
+ *
+ * Usage: json_lint FILE...   (exit 0 iff every file parses)
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+struct Parser
+{
+    const std::string &s;
+    size_t i = 0;
+    std::string err;
+
+    explicit Parser(const std::string &text) : s(text) {}
+
+    bool fail(const std::string &msg)
+    {
+        if (err.empty())
+            err = msg + " at offset " + std::to_string(i);
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (i < s.size() &&
+               (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                s[i] == '\r'))
+            i++;
+    }
+
+    bool eat(char c)
+    {
+        if (i < s.size() && s[i] == c) {
+            i++;
+            return true;
+        }
+        return fail(std::string("expected '") + c + "'");
+    }
+
+    bool literal(const char *lit)
+    {
+        for (const char *p = lit; *p; p++)
+            if (i >= s.size() || s[i++] != *p)
+                return fail(std::string("bad literal ") + lit);
+        return true;
+    }
+
+    bool string()
+    {
+        if (!eat('"'))
+            return false;
+        while (i < s.size() && s[i] != '"') {
+            if (static_cast<unsigned char>(s[i]) < 0x20)
+                return fail("raw control character in string");
+            if (s[i] == '\\') {
+                i++;
+                if (i >= s.size())
+                    return fail("truncated escape");
+                char e = s[i++];
+                if (e == 'u') {
+                    for (int k = 0; k < 4; k++, i++)
+                        if (i >= s.size() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(s[i])))
+                            return fail("bad \\u escape");
+                } else if (!std::strchr("\"\\/bfnrt", e)) {
+                    return fail("bad escape");
+                }
+            } else {
+                i++;
+            }
+        }
+        return eat('"');
+    }
+
+    bool digits()
+    {
+        if (i >= s.size() ||
+            !std::isdigit(static_cast<unsigned char>(s[i])))
+            return fail("expected digit");
+        while (i < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[i])))
+            i++;
+        return true;
+    }
+
+    bool number()
+    {
+        if (i < s.size() && s[i] == '-')
+            i++;
+        if (i < s.size() && s[i] == '0') {
+            i++;
+        } else if (!digits()) {
+            return false;
+        }
+        if (i < s.size() && s[i] == '.') {
+            i++;
+            if (!digits())
+                return false;
+        }
+        if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+            i++;
+            if (i < s.size() && (s[i] == '+' || s[i] == '-'))
+                i++;
+            if (!digits())
+                return false;
+        }
+        return true;
+    }
+
+    bool value()
+    {
+        skipWs();
+        if (i >= s.size())
+            return fail("unexpected end of input");
+        switch (s[i]) {
+          case '{': {
+            i++;
+            skipWs();
+            if (i < s.size() && s[i] == '}') {
+                i++;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                if (!string())
+                    return false;
+                skipWs();
+                if (!eat(':'))
+                    return false;
+                if (!value())
+                    return false;
+                skipWs();
+                if (i < s.size() && s[i] == ',') {
+                    i++;
+                    continue;
+                }
+                return eat('}');
+            }
+          }
+          case '[': {
+            i++;
+            skipWs();
+            if (i < s.size() && s[i] == ']') {
+                i++;
+                return true;
+            }
+            for (;;) {
+                if (!value())
+                    return false;
+                skipWs();
+                if (i < s.size() && s[i] == ',') {
+                    i++;
+                    continue;
+                }
+                return eat(']');
+            }
+          }
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool document()
+    {
+        if (!value())
+            return false;
+        skipWs();
+        if (i != s.size())
+            return fail("trailing garbage");
+        return true;
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: json_lint FILE...\n");
+        return 1;
+    }
+    int rc = 0;
+    for (int a = 1; a < argc; a++) {
+        std::ifstream in(argv[a], std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "json_lint: cannot open %s\n",
+                         argv[a]);
+            rc = 1;
+            continue;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        std::string text = ss.str();
+        Parser p(text);
+        if (!p.document()) {
+            std::fprintf(stderr, "json_lint: %s: %s\n", argv[a],
+                         p.err.c_str());
+            rc = 1;
+        } else {
+            std::printf("json_lint: %s OK (%zu bytes)\n", argv[a],
+                        text.size());
+        }
+    }
+    return rc;
+}

@@ -4,7 +4,8 @@
  *
  *   1. compile a MiniC program (the compiler derives branch
  *      correlations and emits BSV/BCV/BAT tables),
- *   2. run it benignly under the runtime detector (no alarm, ever),
+ *   2. run it benignly under the runtime detector via the
+ *      ipds::Session facade (no alarm, ever),
  *   3. corrupt one memory cell mid-run and watch the infeasible path
  *      trip the detector.
  *
@@ -14,7 +15,7 @@
 #include <cstdio>
 
 #include "core/program.h"
-#include "ipds/detector.h"
+#include "obs/session.h"
 #include "vm/vm.h"
 
 using namespace ipds;
@@ -62,39 +63,39 @@ main()
 
     // -- 2. benign run --------------------------------------------------
     {
-        Vm vm(prog.mod);
-        vm.setInputs({"7", "x", "x", "x"});
-        Detector det(prog);
-        vm.addObserver(&det);
-        RunResult r = vm.run();
-        std::printf("benign run:\n%s", r.output.c_str());
+        Session s = Session::builder()
+                        .program(prog)
+                        .inputs({"7", "x", "x", "x"})
+                        .build();
+        s.run();
+        std::printf("benign run:\n%s", s.result().output.c_str());
         std::printf("=> %s (checks: %llu)\n\n",
-                    det.alarmed() ? "ALARM (bug!)" : "no alarm",
+                    s.alarmed() ? "ALARM (bug!)" : "no alarm",
                     static_cast<unsigned long long>(
-                        det.stats().checksPerformed));
+                        s.detectorStats().checksEnqueued));
     }
 
     // -- 3. attacked run -------------------------------------------------
     {
-        Vm vm(prog.mod);
-        vm.setInputs({"7", "x", "x", "x"});
-        Detector det(prog);
-        vm.addObserver(&det);
-
         // Flip `role` to 1 after the second input is consumed — the
-        // kind of corruption a non-control-data attack performs.
+        // kind of corruption a non-control-data attack performs. A
+        // scratch Vm resolves the variable's stack address.
         TamperSpec spec;
         spec.randomStackTarget = false;
         spec.afterInputEvent = 2;
-        spec.addr = vm.entryLocalAddr("role");
+        spec.addr = Vm(prog.mod).entryLocalAddr("role");
         spec.bytes = {1, 0, 0, 0, 0, 0, 0, 0};
-        vm.setTamper(spec);
 
-        RunResult r = vm.run();
+        Session s = Session::builder()
+                        .program(prog)
+                        .inputs({"7", "x", "x", "x"})
+                        .tamper(spec)
+                        .build();
+        s.run();
         std::printf("attacked run (corrupted role=1 @ input #2):\n%s",
-                    r.output.c_str());
-        if (det.alarmed()) {
-            const Alarm &a = det.alarms().front();
+                    s.result().output.c_str());
+        if (s.alarmed()) {
+            const Alarm &a = s.alarms().front();
             std::printf("=> ALARM: infeasible path at pc=0x%llx "
                         "(expected %s, went %s)\n",
                         static_cast<unsigned long long>(a.pc),

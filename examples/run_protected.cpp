@@ -1,7 +1,9 @@
 /**
  * @file
  * CLI driver: compile a MiniC program, attach IPDS, and run it — the
- * workflow a downstream user of this library automates.
+ * workflow a downstream user of this library automates. The run is
+ * assembled through the ipds::Session facade; --stats prints the
+ * session's metrics export (the same JSON the benches publish).
  *
  * Usage:
  *   run_protected <prog.minic|workload-name> [options]
@@ -9,7 +11,7 @@
  *     --attack VAR=VALUE   corrupt entry-function local VAR
  *     --at N               ...after the Nth input event (default 1)
  *     --image out.ipds     also write the §5.4 program image
- *     --stats              print detector statistics
+ *     --stats              print session metrics as JSON
  *
  * Exit code: 0 clean run, 2 IPDS alarm, 1 usage/compile error.
  */
@@ -22,7 +24,7 @@
 
 #include "core/image.h"
 #include "core/program.h"
-#include "ipds/detector.h"
+#include "obs/session.h"
 #include "support/diag.h"
 #include "vm/vm.h"
 #include "workloads/workloads.h"
@@ -148,21 +150,19 @@ main(int argc, char **argv)
                          blob.size(), imagePath.c_str());
         }
 
-        Vm vm(prog.mod);
-        vm.setInputs(inputs);
-        Detector det(prog);
-        vm.addObserver(&det);
+        Session::Builder builder = Session::builder();
+        builder.program(prog).inputs(inputs);
 
         if (!attackVar.empty()) {
             TamperSpec spec;
             spec.randomStackTarget = false;
             spec.afterInputEvent = attackAt;
-            spec.addr = vm.entryLocalAddr(attackVar);
+            spec.addr = Vm(prog.mod).entryLocalAddr(attackVar);
             uint64_t v = static_cast<uint64_t>(attackValue);
             spec.bytes.resize(8);
             for (int b = 0; b < 8; b++)
                 spec.bytes[b] = static_cast<uint8_t>(v >> (8 * b));
-            vm.setTamper(spec);
+            builder.tamper(spec);
             std::fprintf(stderr,
                          "[ipds] armed attack: %s=%lld after input "
                          "#%u\n", attackVar.c_str(),
@@ -170,27 +170,16 @@ main(int argc, char **argv)
                          attackAt);
         }
 
-        RunResult r = vm.run();
-        std::fputs(r.output.c_str(), stdout);
+        Session session = builder.build();
+        session.run();
+        std::fputs(session.result().output.c_str(), stdout);
 
-        if (wantStats) {
-            const DetectorStats &ds = det.stats();
-            std::fprintf(stderr,
-                         "[ipds] branches %llu, checks %llu, "
-                         "updates %llu, actions %llu, max depth %zu\n",
-                         static_cast<unsigned long long>(
-                             ds.branchesSeen),
-                         static_cast<unsigned long long>(
-                             ds.checksPerformed),
-                         static_cast<unsigned long long>(
-                             ds.updatesApplied),
-                         static_cast<unsigned long long>(
-                             ds.actionsApplied),
-                         ds.maxStackDepth);
-        }
+        if (wantStats)
+            std::fprintf(stderr, "%s\n",
+                         session.metricsJson().c_str());
 
-        if (det.alarmed()) {
-            const Alarm &a = det.alarms().front();
+        if (session.alarmed()) {
+            const Alarm &a = session.alarms().front();
             std::fprintf(stderr,
                          "[ipds] *** INFEASIBLE PATH at pc=0x%llx in "
                          "%s: expected %s, went %s ***\n",
@@ -202,7 +191,8 @@ main(int argc, char **argv)
             return 2;
         }
         std::fprintf(stderr, "[ipds] clean run (exit %lld)\n",
-                     static_cast<long long>(r.exitCode));
+                     static_cast<long long>(
+                         session.result().exitCode));
         return 0;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());

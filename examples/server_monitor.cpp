@@ -2,8 +2,9 @@
  * @file
  * Server monitoring demo: runs one of the bundled server workloads
  * (default: httpd) under the full stack — functional VM, IPDS
- * detector, and the Table 1 superscalar timing model — then launches
- * a small attack campaign and prints an operations-style report.
+ * detector, and the Table 1 superscalar timing model — assembled via
+ * the ipds::Session facade, then launches a small attack campaign and
+ * prints an operations-style report.
  *
  * Usage:  ./build/examples/server_monitor [workload-name] [attacks]
  */
@@ -13,9 +14,8 @@
 
 #include "attack/campaign.h"
 #include "core/program.h"
-#include "ipds/detector.h"
+#include "obs/session.h"
 #include "support/diag.h"
-#include "timing/cpu.h"
 #include "workloads/workloads.h"
 
 using namespace ipds;
@@ -44,16 +44,13 @@ main(int argc, char **argv)
 
     // --- one benign session under the timing model -------------------
     {
-        TimingConfig cfg = table1Config();
-        CpuModel cpu(cfg);
-        Detector det(prog);
-        det.setRequestSink(cpu.requestSink());
-        Vm vm(prog.mod);
-        vm.setInputs(wl.benignInputs);
-        vm.addObserver(&det);
-        vm.addObserver(&cpu);
-        RunResult r = vm.run();
-        TimingStats st = cpu.stats();
+        Session s = Session::builder()
+                        .program(prog)
+                        .inputs(wl.benignInputs)
+                        .timing(table1Config())
+                        .build();
+        s.run();
+        const TimingStats &st = s.timingStats();
         std::printf("[timing] %llu insts in %llu cycles (IPC %.2f) | "
                     "%llu checks, avg verdict %.1f cyc | "
                     "%llu IPDS stall cycles\n",
@@ -66,7 +63,8 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         st.ipdsStallCycles));
         std::printf("[benign] exit=%d, alarms=%zu (must be 0)\n\n",
-                    static_cast<int>(r.exit), det.alarms().size());
+                    static_cast<int>(s.result().exit),
+                    s.alarms().size());
     }
 
     // --- attack campaign ------------------------------------------------

@@ -1,5 +1,6 @@
 #include "attack/campaign.h"
 
+#include "obs/names.h"
 #include "support/diag.h"
 #include "support/rng.h"
 #include "support/threadpool.h"
@@ -41,6 +42,26 @@ CampaignResult::pctDetectedOfCf() const
 {
     uint32_t cf = numCfChanged();
     return cf ? 100.0 * numDetected() / cf : 0.0;
+}
+
+void
+CampaignResult::exportMetrics(obs::MetricsRegistry &reg) const
+{
+    namespace n = obs::names;
+    reg.add(reg.counter(n::kCampAttacks), attacks());
+    uint32_t fired = 0;
+    for (const auto &o : outcomes)
+        fired += o.fired ? 1 : 0;
+    reg.add(reg.counter(n::kCampFired), fired);
+    reg.add(reg.counter(n::kCampCfChanged), numCfChanged());
+    reg.add(reg.counter(n::kCampDetected), numDetected());
+    reg.add(reg.counter(n::kCampFalsePositives),
+            falsePositive ? 1 : 0);
+    obs::MetricHandle h =
+        reg.histogram(n::kCampDetectionBranchHist);
+    for (const auto &o : outcomes)
+        if (o.detected)
+            reg.observe(h, o.detectionBranchIndex);
 }
 
 bool

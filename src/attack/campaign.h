@@ -25,6 +25,7 @@
 
 #include "core/program.h"
 #include "ipds/detector.h"
+#include "obs/metrics.h"
 #include "vm/vm.h"
 
 namespace ipds {
@@ -81,6 +82,14 @@ struct CampaignResult
     /** Detected as a share of control-flow-changing attacks (59.3%%
      *  average in the paper). */
     double pctDetectedOfCf() const;
+
+    /**
+     * Export the campaign aggregates into @p reg under the shared
+     * naming scheme (obs/names.h, ipds.campaign.*). Deterministic:
+     * derived from the outcome slots, which are index-ordered
+     * regardless of the worker-thread count.
+     */
+    void exportMetrics(obs::MetricsRegistry &reg) const;
 };
 
 /**

@@ -5,20 +5,28 @@
  * @file
  * Umbrella header: the public API of the IPDS library.
  *
- * Typical embedding:
+ * Typical embedding — the ipds::Session facade assembles the whole
+ * stack (VM, detector, optional timing model, metrics, tracing):
  *
  *   #include <ipds/ipds.h>
  *
  *   ipds::CompiledProgram prog =
  *       ipds::compileAndAnalyze(source, "myserver");
- *   ipds::Vm vm(prog.mod);
- *   vm.setInputs({"hello"});
- *   ipds::Detector det(prog);
- *   vm.addObserver(&det);
- *   ipds::RunResult r = vm.run();
- *   if (det.alarmed()) { ... }
+ *   ipds::Session s = ipds::Session::builder()
+ *                         .program(prog)
+ *                         .inputs({"hello"})
+ *                         .build();
+ *   s.run();
+ *   if (s.alarmed()) { ... }
+ *   std::puts(s.metricsJson().c_str());   // ipds.detector.* etc.
  *
- * Layered headers, if you need less than everything:
+ * Scale the same recipe up with .sessions(n).shards(k).threads(t) —
+ * aggregates are bit-identical for every thread count — and attach
+ * the Table 1 timing model with .timing(table1Config()).
+ *
+ * Advanced, layered headers, if you need less than everything (the
+ * pre-Session wiring of Vm + Detector + CpuModel by hand remains
+ * fully supported):
  *   - frontend/codegen.h   MiniC -> IR only
  *   - core/program.h       compile + analysis pipeline
  *   - core/image.h         the attachable binary image (§5.4)
@@ -29,6 +37,9 @@
  *   - attack/overflow.h    attack experiments (planted overflows)
  *   - opt/passes.h         optional IR optimizations
  *   - baseline/stide.h     learned-model baseline
+ *   - obs/metrics.h        named counters/gauges/histograms
+ *   - obs/trace.h          structured event tracer + exporters
+ *   - obs/session.h        the Session facade on its own
  */
 
 #include "attack/campaign.h"
@@ -38,6 +49,9 @@
 #include "core/program.h"
 #include "frontend/codegen.h"
 #include "ipds/detector.h"
+#include "obs/metrics.h"
+#include "obs/session.h"
+#include "obs/trace.h"
 #include "opt/passes.h"
 #include "timing/cpu.h"
 #include "vm/vm.h"

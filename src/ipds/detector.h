@@ -37,6 +37,7 @@
 
 #include "core/program.h"
 #include "ipds/request_ring.h"
+#include "obs/trace.h"
 #include "support/diag.h"
 #include "vm/vm.h"
 
@@ -60,15 +61,45 @@ struct Alarm
     uint64_t branchIndex = 0; ///< dynamic branch count at detection
 };
 
-/** Aggregate functional statistics of one run. */
+/**
+ * Aggregate functional statistics of one run. Field names follow the
+ * shared metric naming scheme (obs/names.h): branchesSeen is exported
+ * as "ipds.detector.branches_seen", and so on.
+ */
 struct DetectorStats
 {
     uint64_t branchesSeen = 0;
-    uint64_t checksPerformed = 0;
+    uint64_t checksEnqueued = 0;
     uint64_t updatesApplied = 0;
     uint64_t actionsApplied = 0;
     uint64_t framesPushed = 0;
     size_t maxStackDepth = 0;
+
+    /**
+     * Accumulate another run's counters (multi-session aggregation):
+     * counts sum, the depth gauge takes the maximum.
+     */
+    void
+    merge(const DetectorStats &o)
+    {
+        branchesSeen += o.branchesSeen;
+        checksEnqueued += o.checksEnqueued;
+        updatesApplied += o.updatesApplied;
+        actionsApplied += o.actionsApplied;
+        framesPushed += o.framesPushed;
+        maxStackDepth = std::max(maxStackDepth, o.maxStackDepth);
+    }
+
+    bool
+    operator==(const DetectorStats &o) const
+    {
+        return branchesSeen == o.branchesSeen &&
+            checksEnqueued == o.checksEnqueued &&
+            updatesApplied == o.updatesApplied &&
+            actionsApplied == o.actionsApplied &&
+            framesPushed == o.framesPushed &&
+            maxStackDepth == o.maxStackDepth;
+    }
 };
 
 /**
@@ -97,6 +128,14 @@ class Detector final : public ExecObserver
 
     /** Compatibility sink; ignored while a request ring is attached. */
     void setRequestSink(std::function<void(const IpdsRequest &)> sink);
+
+    /**
+     * Attach a structured-event tracer (obs/trace.h): branch commits,
+     * check enqueues, frame push/pop and alarms are recorded under
+     * their categories. Null (the default) keeps the hot path at a
+     * single predictable branch per event.
+     */
+    void setTracer(obs::Tracer *t) { trc = t; }
 
     void onFunctionEnter(FuncId f) override;
     void onFunctionExit(FuncId f) override;
@@ -186,6 +225,7 @@ class Detector final : public ExecObserver
     DetectorStats stat;
     RequestRing *ring = nullptr;
     std::function<void(const IpdsRequest &)> sink;
+    obs::Tracer *trc = nullptr;
 };
 
 // ---- inline hot path ---------------------------------------------------
@@ -249,6 +289,10 @@ Detector::onFunctionEnter(FuncId f)
         rq.tableBits = t.bsvBits + t.bcvBits + t.batBits;
         emit(rq);
     }
+    if (trc)
+        trc->record(obs::kCatFrame, obs::TraceKind::FramePush, f, 0,
+                    t.bsvBits + t.bcvBits + t.batBits,
+                    static_cast<uint32_t>(t.entryActions.size()));
 }
 
 inline void
@@ -272,6 +316,9 @@ Detector::onFunctionExit(FuncId f)
         rq.tableBits = t.bsvBits + t.bcvBits + t.batBits;
         emit(rq);
     }
+    if (trc)
+        trc->record(obs::kCatFrame, obs::TraceKind::FramePop, f, 0,
+                    t.bsvBits + t.bcvBits + t.batBits);
 }
 
 inline void
@@ -320,7 +367,7 @@ Detector::onBranch(FuncId f, uint64_t pc, bool taken)
     // read is unconditional (slot is always valid) so `checked` — a
     // data-dependent bit — steers arithmetic, not jumps; the only
     // branch left is the alarm push, which benign runs never take.
-    stat.checksPerformed += checked;
+    stat.checksEnqueued += checked;
     BsvState expected = read(fr, slot);
     bool mismatch = checked != 0 &&
         ((expected == BsvState::Taken && !taken) ||
@@ -333,6 +380,10 @@ Detector::onBranch(FuncId f, uint64_t pc, bool taken)
         a.expected = expected;
         a.branchIndex = stat.branchesSeen;
         alarmList.push_back(a);
+        if (trc)
+            trc->record(obs::kCatAlarm, obs::TraceKind::Alarm, f, pc,
+                        taken ? 1 : 0,
+                        static_cast<uint32_t>(expected));
     }
 
     if (ring) {
@@ -365,6 +416,14 @@ Detector::onBranch(FuncId f, uint64_t pc, bool taken)
         rq.kind = IpdsRequest::Kind::Update;
         rq.actionCount = nActs;
         sink(rq);
+    }
+
+    if (trc) {
+        trc->record(obs::kCatBranch, obs::TraceKind::BranchCommit, f,
+                    pc, taken ? 1 : 0, checked);
+        if (checked)
+            trc->record(obs::kCatCheck, obs::TraceKind::CheckEnqueue,
+                        f, pc, taken ? 1 : 0);
     }
 
     applyActions(fr, acts, nActs);

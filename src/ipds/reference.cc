@@ -99,7 +99,7 @@ ReferenceDetector::onBranch(FuncId f, uint64_t pc, bool taken)
 
     // Check request: only for BCV-marked branches (§5.4).
     if (t.bcv[slot]) {
-        stat.checksPerformed++;
+        stat.checksEnqueued++;
         BsvState expected = ft.bsv[slot];
         bool mismatch =
             (expected == BsvState::Taken && !taken) ||

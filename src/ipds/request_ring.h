@@ -88,14 +88,34 @@ class RequestRing
     uint32_t size() const { return tail - head; }
     void clear() { head = tail; }
 
-    /** Pop every pending request, oldest first, into @p fn. */
+    /**
+     * Pop every pending request, oldest first, into @p fn. Occupancy
+     * accounting (high-water mark, drain count) lives here on the
+     * consumer side, so the producer path stays store-only.
+     */
     template <typename Fn>
     void drain(Fn &&fn)
     {
-        while (head != tail) {
+        uint32_t pending = tail - head;
+        if (pending == 0)
+            return; // empty drain: no accounting, no stores
+        if (pending > highWater)
+            highWater = pending;
+        drains++;
+        do {
             fn(buf[head & kMask]);
             head++;
-        }
+        } while (head != tail);
+    }
+
+    /** Deepest queue occupancy ever seen at a drain point. */
+    uint32_t maxOccupancy() const { return highWater; }
+    /** Non-empty drains (each models one commit-point batch). */
+    uint64_t drainCount() const { return drains; }
+    void resetStats()
+    {
+        highWater = 0;
+        drains = 0;
     }
 
   private:
@@ -103,6 +123,8 @@ class RequestRing
     std::array<IpdsRequest, kCapacity> buf;
     uint32_t head = 0;
     uint32_t tail = 0;
+    uint32_t highWater = 0;
+    uint64_t drains = 0;
 };
 
 } // namespace ipds

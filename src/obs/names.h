@@ -1,0 +1,105 @@
+#ifndef IPDS_OBS_NAMES_H
+#define IPDS_OBS_NAMES_H
+
+/**
+ * @file
+ * The one metric naming scheme, shared by every producer.
+ *
+ * Names are dotted paths, `ipds.<component>.<snake_case_field>`, and
+ * mirror the stats structs field-for-field (DetectorStats,
+ * TimingStats, EngineStats, CampaignResult), so a value seen in a
+ * metrics export can be traced straight back to its producer. Benches
+ * and embedders read these through Session::metricsJson() /
+ * Session::metrics() instead of reaching into Detector::stats() and
+ * friends.
+ *
+ * Kinds: counters unless noted; `.max_` prefixed fields are gauges
+ * merged by maximum; `_hist` suffixed names are histograms.
+ */
+
+namespace ipds {
+namespace obs {
+namespace names {
+
+// DetectorStats (ipds/detector.h)
+inline constexpr const char *kDetBranchesSeen =
+    "ipds.detector.branches_seen";
+inline constexpr const char *kDetChecksEnqueued =
+    "ipds.detector.checks_enqueued";
+inline constexpr const char *kDetUpdatesApplied =
+    "ipds.detector.updates_applied";
+inline constexpr const char *kDetActionsApplied =
+    "ipds.detector.actions_applied";
+inline constexpr const char *kDetFramesPushed =
+    "ipds.detector.frames_pushed";
+inline constexpr const char *kDetMaxStackDepth = ///< gauge
+    "ipds.detector.max_stack_depth";
+inline constexpr const char *kDetAlarms = "ipds.detector.alarms";
+
+// Request transport (ipds/request_ring.h)
+inline constexpr const char *kRingMaxOccupancy = ///< gauge
+    "ipds.ring.max_occupancy";
+inline constexpr const char *kRingDrains = "ipds.ring.drains";
+
+// CpuModel / TimingStats (timing/cpu.h)
+inline constexpr const char *kCpuInstructions =
+    "ipds.cpu.instructions";
+inline constexpr const char *kCpuCycles = "ipds.cpu.cycles";
+inline constexpr const char *kCpuBranches = "ipds.cpu.branches";
+inline constexpr const char *kCpuMispredicts =
+    "ipds.cpu.mispredicts";
+inline constexpr const char *kCpuL1iMisses = "ipds.cpu.l1i_misses";
+inline constexpr const char *kCpuL1dMisses = "ipds.cpu.l1d_misses";
+inline constexpr const char *kCpuL2Misses = "ipds.cpu.l2_misses";
+inline constexpr const char *kCpuTlbMisses = "ipds.cpu.tlb_misses";
+inline constexpr const char *kCpuIpdsStallCycles =
+    "ipds.cpu.ipds_stall_cycles";
+
+// IpdsEngine / EngineStats (timing/engine.h)
+inline constexpr const char *kEngRequests = "ipds.engine.requests";
+inline constexpr const char *kEngCheckRequests =
+    "ipds.engine.check_requests";
+inline constexpr const char *kEngUpdateRequests =
+    "ipds.engine.update_requests";
+inline constexpr const char *kEngBusyCycles =
+    "ipds.engine.busy_cycles";
+inline constexpr const char *kEngQueueFullStalls =
+    "ipds.engine.queue_full_stalls";
+inline constexpr const char *kEngStallCycles =
+    "ipds.engine.stall_cycles";
+inline constexpr const char *kEngSpillEvents =
+    "ipds.engine.spill_events";
+inline constexpr const char *kEngSpillBits = "ipds.engine.spill_bits";
+inline constexpr const char *kEngFillEvents =
+    "ipds.engine.fill_events";
+inline constexpr const char *kEngFillBits = "ipds.engine.fill_bits";
+inline constexpr const char *kEngCheckLatencySum =
+    "ipds.engine.check_latency_sum";
+inline constexpr const char *kEngCheckLatencyCount =
+    "ipds.engine.check_latency_count";
+
+// Session facade (obs/session.h)
+inline constexpr const char *kSessRuns = "ipds.session.runs";
+inline constexpr const char *kSessSteps = "ipds.session.steps";
+inline constexpr const char *kSessInputEvents =
+    "ipds.session.input_events";
+inline constexpr const char *kSessTraceDropped =
+    "ipds.session.trace_dropped";
+
+// Attack campaigns (attack/campaign.h)
+inline constexpr const char *kCampAttacks = "ipds.campaign.attacks";
+inline constexpr const char *kCampFired = "ipds.campaign.fired";
+inline constexpr const char *kCampCfChanged =
+    "ipds.campaign.cf_changed";
+inline constexpr const char *kCampDetected =
+    "ipds.campaign.detected";
+inline constexpr const char *kCampFalsePositives =
+    "ipds.campaign.false_positives";
+inline constexpr const char *kCampDetectionBranchHist = ///< histogram
+    "ipds.campaign.detection_branch_index_hist";
+
+} // namespace names
+} // namespace obs
+} // namespace ipds
+
+#endif // IPDS_OBS_NAMES_H

@@ -1,0 +1,223 @@
+#include "obs/session.h"
+
+#include <optional>
+
+#include "obs/names.h"
+#include "support/diag.h"
+#include "support/threadpool.h"
+
+namespace ipds {
+
+namespace obs {
+
+void
+exportDetectorStats(const DetectorStats &s, uint64_t alarms,
+                    MetricsRegistry &reg)
+{
+    namespace n = names;
+    reg.add(reg.counter(n::kDetBranchesSeen), s.branchesSeen);
+    reg.add(reg.counter(n::kDetChecksEnqueued), s.checksEnqueued);
+    reg.add(reg.counter(n::kDetUpdatesApplied), s.updatesApplied);
+    reg.add(reg.counter(n::kDetActionsApplied), s.actionsApplied);
+    reg.add(reg.counter(n::kDetFramesPushed), s.framesPushed);
+    reg.setMax(reg.gauge(n::kDetMaxStackDepth), s.maxStackDepth);
+    reg.add(reg.counter(n::kDetAlarms), alarms);
+}
+
+void
+exportTimingStats(const TimingStats &s, MetricsRegistry &reg)
+{
+    namespace n = names;
+    reg.add(reg.counter(n::kCpuInstructions), s.instructions);
+    reg.add(reg.counter(n::kCpuCycles), s.cycles);
+    reg.add(reg.counter(n::kCpuBranches), s.branches);
+    reg.add(reg.counter(n::kCpuMispredicts), s.mispredicts);
+    reg.add(reg.counter(n::kCpuL1iMisses), s.l1iMisses);
+    reg.add(reg.counter(n::kCpuL1dMisses), s.l1dMisses);
+    reg.add(reg.counter(n::kCpuL2Misses), s.l2Misses);
+    reg.add(reg.counter(n::kCpuTlbMisses), s.tlbMisses);
+    reg.add(reg.counter(n::kCpuIpdsStallCycles), s.ipdsStallCycles);
+    reg.setMax(reg.gauge(n::kRingMaxOccupancy), s.ringMaxOccupancy);
+    reg.add(reg.counter(n::kRingDrains), s.ringDrains);
+    reg.add(reg.counter(n::kEngRequests), s.engine.requests);
+    reg.add(reg.counter(n::kEngCheckRequests),
+            s.engine.checkRequests);
+    reg.add(reg.counter(n::kEngUpdateRequests),
+            s.engine.updateRequests);
+    reg.add(reg.counter(n::kEngBusyCycles), s.engine.busyCycles);
+    reg.add(reg.counter(n::kEngQueueFullStalls),
+            s.engine.queueFullStalls);
+    reg.add(reg.counter(n::kEngStallCycles), s.engine.stallCycles);
+    reg.add(reg.counter(n::kEngSpillEvents), s.engine.spillEvents);
+    reg.add(reg.counter(n::kEngSpillBits), s.engine.spillBits);
+    reg.add(reg.counter(n::kEngFillEvents), s.engine.fillEvents);
+    reg.add(reg.counter(n::kEngFillBits), s.engine.fillBits);
+    reg.add(reg.counter(n::kEngCheckLatencySum),
+            s.engine.checkLatencySum);
+    reg.add(reg.counter(n::kEngCheckLatencyCount),
+            s.engine.checkLatencyCount);
+}
+
+} // namespace obs
+
+Session::Builder
+Session::builder()
+{
+    return Builder();
+}
+
+Session
+Session::Builder::build()
+{
+    if (!o.prog)
+        fatal("Session: no program() configured");
+    if (o.shards > 256)
+        fatal("Session: at most 256 shards (got %u)", o.shards);
+    if (o.shards > 1 && !o.extraObservers.empty())
+        fatal("Session: observe() requires a single shard (observers "
+              "would be shared across shard threads)");
+    if (!o.detectorExplicit && o.useTiming)
+        o.detectorOn = o.timingCfg.ipdsEnabled;
+    if (!o.recordTraceExplicit)
+        o.recordTrace = o.sessions == 1;
+    return Session(std::move(o));
+}
+
+Session::Session(Options o)
+    : opt(std::move(o))
+{}
+
+/** Everything one shard produces; merged in shard order at the join. */
+struct Session::ShardOut
+{
+    DetectorStats det;
+    TimingStats tim;
+    std::vector<Alarm> alarms;
+    obs::MetricsRegistry reg;
+    std::vector<obs::TraceEvent> trace;
+    uint64_t traceDropped = 0;
+    uint64_t runs = 0;
+    uint64_t steps = 0;
+    uint64_t inputEvents = 0;
+    RunResult firstResult;
+    bool hasFirst = false;
+};
+
+void
+Session::runShard(uint32_t shard, ShardOut &out) const
+{
+    const uint32_t begin = shard * opt.sessions / opt.shards;
+    const uint32_t end = (shard + 1) * opt.sessions / opt.shards;
+
+    obs::Tracer tracer(opt.traceCategories, opt.traceCapacity);
+    tracer.setShard(static_cast<uint8_t>(shard));
+    obs::Tracer *trc =
+        opt.traceCategories != 0 ? &tracer : nullptr;
+
+    std::optional<CpuModel> cpu;
+    if (opt.useTiming) {
+        cpu.emplace(opt.timingCfg);
+        if (trc)
+            cpu->setTracer(trc);
+    }
+
+    for (uint32_t s = begin; s < end; s++) {
+        Vm vm(opt.prog->mod);
+        vm.setInputs(opt.inputs);
+        vm.setFuel(opt.fuel);
+        vm.setRecordTrace(opt.recordTrace);
+        if (trc)
+            vm.setTracer(trc, s);
+        if (opt.hasTamper)
+            vm.setTamper(opt.tamperSpec);
+
+        // Detector first: its requests must precede the timing
+        // model's commit-point drain of the same instruction.
+        Detector det(*opt.prog);
+        if (opt.detectorOn) {
+            if (cpu)
+                det.setRequestRing(&cpu->requestRing());
+            if (trc)
+                det.setTracer(trc);
+            vm.addObserver(&det);
+        }
+        if (cpu)
+            vm.addObserver(&*cpu);
+        for (ExecObserver *obs : opt.extraObservers)
+            vm.addObserver(obs);
+
+        RunResult r = vm.run();
+        out.runs++;
+        out.steps += r.steps;
+        out.inputEvents += r.inputEventCount;
+        if (opt.detectorOn) {
+            out.det.merge(det.stats());
+            out.alarms.insert(out.alarms.end(), det.alarms().begin(),
+                              det.alarms().end());
+        }
+        if (s == 0) {
+            out.firstResult = std::move(r);
+            out.hasFirst = true;
+        }
+    }
+
+    if (cpu)
+        out.tim = cpu->stats();
+    out.traceDropped = tracer.dropped();
+    out.trace = tracer.events();
+
+    // Per-shard registry: identical registration order in every shard
+    // (and every run), so the shard-order merge below is deterministic
+    // and the exported JSON shape is stable.
+    namespace n = obs::names;
+    out.reg.add(out.reg.counter(n::kSessRuns), out.runs);
+    out.reg.add(out.reg.counter(n::kSessSteps), out.steps);
+    out.reg.add(out.reg.counter(n::kSessInputEvents),
+                out.inputEvents);
+    out.reg.add(out.reg.counter(n::kSessTraceDropped),
+                out.traceDropped);
+    if (opt.detectorOn)
+        obs::exportDetectorStats(out.det, out.alarms.size(), out.reg);
+    if (opt.useTiming)
+        obs::exportTimingStats(out.tim, out.reg);
+}
+
+Session &
+Session::run()
+{
+    alarmList.clear();
+    detStat = {};
+    timStat = {};
+    firstResult = {};
+    registry = {};
+    traceLog.clear();
+    traceLost = 0;
+
+    std::vector<ShardOut> outs(opt.shards);
+    if (opt.shards == 1 && opt.threads == 1) {
+        runShard(0, outs[0]);
+    } else {
+        ThreadPool pool(opt.threads);
+        pool.parallelFor(opt.shards, [&](uint32_t s) {
+            runShard(s, outs[s]);
+        });
+    }
+
+    // Deterministic join: merge in shard order, independent of which
+    // worker ran which shard.
+    for (ShardOut &out : outs) {
+        detStat.merge(out.det);
+        timStat.merge(out.tim);
+        alarmList.insert(alarmList.end(), out.alarms.begin(),
+                         out.alarms.end());
+        registry.merge(out.reg);
+        traceLog.insert(traceLog.end(), out.trace.begin(),
+                        out.trace.end());
+        traceLost += out.traceDropped;
+        if (out.hasFirst)
+            firstResult = std::move(out.firstResult);
+    }
+    return *this;
+}
+
+} // namespace ipds

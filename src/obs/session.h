@@ -1,0 +1,290 @@
+#ifndef IPDS_OBS_SESSION_H
+#define IPDS_OBS_SESSION_H
+
+/**
+ * @file
+ * The Session facade: the one sanctioned way to assemble an IPDS run.
+ *
+ * Before this facade, every harness hand-wired the same four classes —
+ * compileAndAnalyze → Vm → Detector → CpuModel — in its own slightly
+ * different order, with its own ad-hoc counters. Session owns that
+ * wiring, plus the observability subsystem's lifetimes (one
+ * MetricsRegistry and one Tracer per run), and scales from a
+ * single-session embedding:
+ *
+ *   ipds::Session s = ipds::Session::builder()
+ *                         .program(prog)
+ *                         .inputs({"guest", "hello"})
+ *                         .build();
+ *   s.run();
+ *   if (s.alarmed()) { ... }
+ *   std::puts(s.metricsJson().c_str());
+ *
+ * to a sharded multi-session benchmark:
+ *
+ *   ipds::Session s = ipds::Session::builder()
+ *                         .program(prog)
+ *                         .inputs(wl.benignInputs)
+ *                         .timing(table1Config())
+ *                         .sessions(300).shards(8).threads(0)
+ *                         .build();
+ *   TimingStats t = s.run().timingStats();
+ *
+ * Sharding semantics match the fig9 harness exactly: the session
+ * stream splits into a FIXED number of shards (never derived from the
+ * thread count), each shard owns its CpuModel / detectors / metrics /
+ * tracer, and shard outputs merge in shard order at the join — so
+ * every aggregate, metric and trace is bit-identical for any
+ * `threads` value.
+ *
+ * The layered headers (vm/vm.h, ipds/detector.h, timing/cpu.h) remain
+ * public for advanced embeddings; see the umbrella header ipds/ipds.h.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/program.h"
+#include "ipds/detector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "timing/config.h"
+#include "timing/cpu.h"
+#include "vm/vm.h"
+
+namespace ipds {
+
+namespace obs {
+
+/**
+ * Export @p s into @p reg under the shared naming scheme
+ * (obs/names.h, ipds.detector.*). @p alarms is the alarm count.
+ */
+void exportDetectorStats(const DetectorStats &s, uint64_t alarms,
+                         MetricsRegistry &reg);
+
+/** Export @p s into @p reg (ipds.cpu.*, ipds.ring.*, ipds.engine.*). */
+void exportTimingStats(const TimingStats &s, MetricsRegistry &reg);
+
+} // namespace obs
+
+class Session
+{
+  public:
+    class Builder;
+
+    /** Start assembling a run. */
+    static Builder builder();
+
+    /**
+     * Execute the configured run: all sessions, all shards. Reusable;
+     * a second call reruns from scratch and replaces every result.
+     * Returns *this so accessors chain off the call.
+     */
+    Session &run();
+
+    // ---- results (valid after run()) --------------------------------
+
+    bool alarmed() const { return !alarmList.empty(); }
+    /** All alarms, session order (shard-merge is deterministic). */
+    const std::vector<Alarm> &alarms() const { return alarmList; }
+
+    /** Detector aggregates over every session. */
+    const DetectorStats &detectorStats() const { return detStat; }
+
+    /** Timing aggregates (zero unless timing() was configured). */
+    const TimingStats &timingStats() const { return timStat; }
+
+    /** VM result of session 0 (output, exit code, branch trace). */
+    const RunResult &result() const { return firstResult; }
+
+    /** The run's metrics, under the obs/names.h naming scheme. */
+    const obs::MetricsRegistry &metrics() const { return registry; }
+    obs::MetricsRegistry &metrics() { return registry; }
+
+    /** JSON metrics export — what benches should publish instead of
+     *  reaching into Detector::stats(). */
+    std::string metricsJson() const { return registry.toJson(); }
+    /** Plain-text metrics summary. */
+    std::string metricsText() const { return registry.toText(); }
+
+    /** Retained trace events, shard order then record order. */
+    const std::vector<obs::TraceEvent> &traceEvents() const
+    {
+        return traceLog;
+    }
+    /** chrome://tracing export of traceEvents(). */
+    std::string traceChromeJson() const
+    {
+        return obs::toChromeJson(traceLog);
+    }
+    /** Events lost to ring wraparound across all shards. */
+    uint64_t traceDropped() const { return traceLost; }
+
+  private:
+    friend class Builder;
+
+    struct Options
+    {
+        const CompiledProgram *prog = nullptr;
+        std::vector<std::string> inputs;
+        uint32_t sessions = 1;
+        uint32_t shards = 1;
+        unsigned threads = 1;
+        bool useTiming = false;
+        TimingConfig timingCfg;
+        bool detectorOn = true;
+        bool detectorExplicit = false;
+        uint64_t fuel = 50'000'000;
+        bool hasTamper = false;
+        TamperSpec tamperSpec;
+        bool recordTrace = true;
+        bool recordTraceExplicit = false;
+        std::vector<ExecObserver *> extraObservers;
+        uint32_t traceCategories = 0; ///< 0: tracing off
+        uint32_t traceCapacity = 4096;
+    };
+
+    explicit Session(Options o);
+
+    struct ShardOut;
+    void runShard(uint32_t shard, ShardOut &out) const;
+
+    Options opt;
+
+    // Results.
+    std::vector<Alarm> alarmList;
+    DetectorStats detStat;
+    TimingStats timStat;
+    RunResult firstResult;
+    obs::MetricsRegistry registry;
+    std::vector<obs::TraceEvent> traceLog;
+    uint64_t traceLost = 0;
+};
+
+/**
+ * Fluent builder. Every setter returns *this; build() validates and
+ * produces the Session. The CompiledProgram is borrowed and must
+ * outlive the Session.
+ */
+class Session::Builder
+{
+  public:
+    /** The compiled program to run (required). */
+    Builder &program(const CompiledProgram &p)
+    {
+        o.prog = &p;
+        return *this;
+    }
+
+    /** Scripted session input lines. */
+    Builder &inputs(std::vector<std::string> lines)
+    {
+        o.inputs = std::move(lines);
+        return *this;
+    }
+
+    /** Benign sessions to run (default 1). */
+    Builder &sessions(uint32_t n)
+    {
+        o.sessions = n ? n : 1;
+        return *this;
+    }
+
+    /**
+     * Fixed shard count (default 1, max 256). Aggregates are a pure
+     * function of (sessions, shards), never of threads.
+     */
+    Builder &shards(uint32_t k)
+    {
+        o.shards = k ? k : 1;
+        return *this;
+    }
+
+    /** Worker threads (default 1; 0 = one per hardware core). */
+    Builder &threads(unsigned t)
+    {
+        o.threads = t;
+        return *this;
+    }
+
+    /**
+     * Attach the Table 1 timing model. Unless detector() overrides
+     * it, cfg.ipdsEnabled also decides whether the detector runs —
+     * a disabled-IPDS timing run is the paper's baseline.
+     */
+    Builder &timing(const TimingConfig &cfg)
+    {
+        o.useTiming = true;
+        o.timingCfg = cfg;
+        return *this;
+    }
+
+    /** Force the detector on or off. */
+    Builder &detector(bool on)
+    {
+        o.detectorOn = on;
+        o.detectorExplicit = true;
+        return *this;
+    }
+
+    /** Instruction budget per session (default 50M). */
+    Builder &fuel(uint64_t f)
+    {
+        o.fuel = f;
+        return *this;
+    }
+
+    /** Arm a memory tamper (applied to every session). */
+    Builder &tamper(const TamperSpec &spec)
+    {
+        o.hasTamper = true;
+        o.tamperSpec = spec;
+        return *this;
+    }
+
+    /**
+     * Record the VM branch trace in result() (defaults to on for
+     * single-session runs, off for multi-session runs).
+     */
+    Builder &recordTrace(bool on)
+    {
+        o.recordTrace = on;
+        o.recordTraceExplicit = true;
+        return *this;
+    }
+
+    /**
+     * Attach an extra ExecObserver to every Vm (not owned). Only
+     * valid for single-shard runs: a shared observer across shard
+     * threads would race.
+     */
+    Builder &observe(ExecObserver *obs)
+    {
+        o.extraObservers.push_back(obs);
+        return *this;
+    }
+
+    /**
+     * Enable structured tracing for the given category mask
+     * (obs::TraceCat bits, intersected with the compiled-in mask) and
+     * per-shard ring capacity.
+     */
+    Builder &trace(uint32_t categories, uint32_t capacity = 4096)
+    {
+        o.traceCategories = categories;
+        o.traceCapacity = capacity;
+        return *this;
+    }
+
+    /** Validate and assemble. Throws FatalError on a bad recipe. */
+    Session build();
+
+  private:
+    Session::Options o;
+};
+
+} // namespace ipds
+
+#endif // IPDS_OBS_SESSION_H

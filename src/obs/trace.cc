@@ -1,0 +1,164 @@
+#include "obs/trace.h"
+
+#include <bit>
+
+#include "support/diag.h"
+
+namespace ipds {
+namespace obs {
+
+const char *
+traceKindName(TraceKind k)
+{
+    switch (k) {
+      case TraceKind::BranchCommit:
+        return "branch_commit";
+      case TraceKind::CheckEnqueue:
+        return "check_enqueue";
+      case TraceKind::RequestDequeue:
+        return "request_dequeue";
+      case TraceKind::FramePush:
+        return "frame_push";
+      case TraceKind::FramePop:
+        return "frame_pop";
+      case TraceKind::Spill:
+        return "spill";
+      case TraceKind::Fill:
+        return "fill";
+      case TraceKind::Alarm:
+        return "alarm";
+      case TraceKind::SessionBegin:
+        return "session_begin";
+      case TraceKind::SessionEnd:
+        return "session_end";
+      case TraceKind::InputEvent:
+        return "input_event";
+    }
+    return "?";
+}
+
+Tracer::Tracer(uint32_t categories, uint32_t capacity)
+    : enabledMask(categories & kCompiledCategories)
+{
+    if (capacity < 2)
+        capacity = 2;
+    ring.resize(std::bit_ceil(capacity));
+    capMask = ring.size() - 1;
+}
+
+void
+Tracer::recordSlow(TraceCat c, TraceKind k, uint32_t func,
+                   uint64_t pc, uint64_t a, uint32_t b)
+{
+    TraceEvent &ev = ring[static_cast<size_t>(nextSeq) & capMask];
+    ev.seq = nextSeq++;
+    ev.pc = pc;
+    ev.a = a;
+    ev.b = b;
+    ev.func = func;
+    ev.cat = static_cast<uint16_t>(c);
+    ev.kind = k;
+    ev.shard = shard;
+}
+
+size_t
+Tracer::size() const
+{
+    return nextSeq < ring.size() ? static_cast<size_t>(nextSeq)
+                                 : ring.size();
+}
+
+uint64_t
+Tracer::dropped() const
+{
+    return nextSeq < ring.size() ? 0 : nextSeq - ring.size();
+}
+
+const TraceEvent &
+Tracer::at(size_t i) const
+{
+    if (i >= size())
+        panic("Tracer::at: index %zu out of range (%zu events)", i,
+              size());
+    return ring[static_cast<size_t>(dropped() + i) & capMask];
+}
+
+size_t
+Tracer::countCat(TraceCat c) const
+{
+    size_t n = 0;
+    size_t sz = size();
+    for (size_t i = 0; i < sz; i++)
+        n += (at(i).cat & c) ? 1 : 0;
+    return n;
+}
+
+std::vector<TraceEvent>
+Tracer::events() const
+{
+    std::vector<TraceEvent> out;
+    size_t sz = size();
+    out.reserve(sz);
+    for (size_t i = 0; i < sz; i++)
+        out.push_back(at(i));
+    return out;
+}
+
+void
+Tracer::clear()
+{
+    nextSeq = 0;
+}
+
+std::string
+Tracer::toChromeJson() const
+{
+    return obs::toChromeJson(events());
+}
+
+std::string
+Tracer::toText() const
+{
+    return obs::toText(events());
+}
+
+std::string
+toChromeJson(const std::vector<TraceEvent> &events)
+{
+    // The "JSON array" flavour of the chrome://tracing format: every
+    // record becomes an instant event; pid 0, tid = shard, ts = seq
+    // (microsecond units are nominal — ordering is what matters).
+    std::string out = "[\n";
+    for (size_t i = 0; i < events.size(); i++) {
+        const TraceEvent &ev = events[i];
+        out += strprintf(
+            "  {\"name\": \"%s\", \"ph\": \"i\", \"s\": \"t\", "
+            "\"pid\": 0, \"tid\": %u, \"ts\": %llu, "
+            "\"args\": {\"cat\": %u, \"func\": %u, "
+            "\"pc\": %llu, \"a\": %llu, \"b\": %u}}%s\n",
+            traceKindName(ev.kind), ev.shard,
+            static_cast<unsigned long long>(ev.seq), ev.cat, ev.func,
+            static_cast<unsigned long long>(ev.pc),
+            static_cast<unsigned long long>(ev.a), ev.b,
+            i + 1 < events.size() ? "," : "");
+    }
+    out += "]\n";
+    return out;
+}
+
+std::string
+toText(const std::vector<TraceEvent> &events)
+{
+    std::string out;
+    for (const TraceEvent &ev : events)
+        out += strprintf(
+            "[%u:%8llu] %-15s func=%u pc=0x%llx a=%llu b=%u\n",
+            ev.shard, static_cast<unsigned long long>(ev.seq),
+            traceKindName(ev.kind), ev.func,
+            static_cast<unsigned long long>(ev.pc),
+            static_cast<unsigned long long>(ev.a), ev.b);
+    return out;
+}
+
+} // namespace obs
+} // namespace ipds

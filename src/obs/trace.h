@@ -1,0 +1,169 @@
+#ifndef IPDS_OBS_TRACE_H
+#define IPDS_OBS_TRACE_H
+
+/**
+ * @file
+ * Ring-buffered structured event tracer.
+ *
+ * Event categories form a bitmask with two gates:
+ *
+ *  - compile time: the CMake option IPDS_TRACE_CATEGORIES (README)
+ *    becomes the macro of the same name; a category compiled out can
+ *    never record, whatever the runtime mask says;
+ *  - run time: the tracer's constructor mask. record() folds both into
+ *    one word, so a disabled category costs exactly one predictable
+ *    branch on the hot path — and components that hold a `Tracer *`
+ *    pay only a null check when tracing is off entirely.
+ *
+ * The buffer is a fixed-capacity ring: the newest events win, the
+ * `dropped` counter says how many fell off the front. Sharded sessions
+ * give each shard its own tracer (tagged via setShard) and concatenate
+ * the per-shard snapshots in shard order at the join, keeping output
+ * deterministic for any worker-thread count.
+ *
+ * Exporters: chrome://tracing JSON (load in about://tracing or
+ * Perfetto) and a plain-text dump; both are free functions over event
+ * vectors so merged streams export the same way as live tracers.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipds {
+namespace obs {
+
+/** Event categories (bitmask). */
+enum TraceCat : uint32_t
+{
+    kCatBranch = 1u << 0,  ///< committed conditional branches
+    kCatCheck = 1u << 1,   ///< direction checks enqueued
+    kCatQueue = 1u << 2,   ///< request-queue enqueue/dequeue traffic
+    kCatFrame = 1u << 3,   ///< BSV frame push/pop
+    kCatSpill = 1u << 4,   ///< table-stack spill/fill traffic
+    kCatAlarm = 1u << 5,   ///< infeasible-path alarms, with cause
+    kCatSession = 1u << 6, ///< session begin/end, input events
+    kCatAll = 0x7f,
+};
+
+/**
+ * Categories baked in at build time (CMake option
+ * IPDS_TRACE_CATEGORIES: "all", "none" or a numeric mask).
+ */
+#ifdef IPDS_TRACE_CATEGORIES
+inline constexpr uint32_t kCompiledCategories = IPDS_TRACE_CATEGORIES;
+#else
+inline constexpr uint32_t kCompiledCategories = kCatAll;
+#endif
+
+/** What happened (the category tells which subsystem). */
+enum class TraceKind : uint8_t
+{
+    BranchCommit,  ///< Branch: pc, a=taken, b=checked
+    CheckEnqueue,  ///< Check: pc, a=actual direction
+    RequestDequeue,///< Queue: pc, a=request kind, b=stall cycles
+    FramePush,     ///< Frame: a=entry actions, b=table bits
+    FramePop,      ///< Frame: b=table bits
+    Spill,         ///< Spill: a=bits spilled
+    Fill,          ///< Spill: a=bits filled
+    Alarm,         ///< Alarm: pc, a=actual, b=expected BsvState
+    SessionBegin,  ///< Session: a=session index
+    SessionEnd,    ///< Session: a=session index, b=steps
+    InputEvent,    ///< Session: pc of the consuming call, a=event #
+};
+
+/** Human-readable name of @p k (exporters, tests). */
+const char *traceKindName(TraceKind k);
+
+/** One recorded event. Trivially copyable. */
+struct TraceEvent
+{
+    uint64_t seq = 0; ///< per-tracer record index (drop-stable)
+    uint64_t pc = 0;
+    uint64_t a = 0;          ///< kind-specific payload
+    uint32_t b = 0;          ///< kind-specific payload
+    uint32_t func = 0xffffffff; ///< FuncId, if the event has one
+    uint16_t cat = 0;
+    TraceKind kind = TraceKind::BranchCommit;
+    uint8_t shard = 0;
+};
+
+class Tracer
+{
+  public:
+    /**
+     * @p categories runtime category mask (intersected with the
+     * compiled-in mask); @p capacity ring size, rounded up to a power
+     * of two.
+     */
+    explicit Tracer(uint32_t categories = kCatAll,
+                    uint32_t capacity = 4096);
+
+    /** Effective mask (runtime AND compile time). */
+    uint32_t mask() const { return enabledMask; }
+    bool wants(TraceCat c) const { return (enabledMask & c) != 0; }
+
+    /** Tag subsequently recorded events (sharded sessions). */
+    void setShard(uint8_t s) { shard = s; }
+
+    /**
+     * Record one event. Disabled category: one predictable branch,
+     * nothing else. The ring write is deliberately out of line so the
+     * inline footprint at call sites (detector/VM hot paths) is just
+     * the mask test and a never-taken call.
+     */
+    void
+    record(TraceCat c, TraceKind k, uint32_t func = 0xffffffff,
+           uint64_t pc = 0, uint64_t a = 0, uint32_t b = 0)
+    {
+        if (!(enabledMask & c))
+            return;
+        recordSlow(c, k, func, pc, a, b);
+    }
+
+    /** Events currently held (≤ capacity). */
+    size_t size() const;
+    size_t capacity() const { return ring.size(); }
+    /** Events lost to ring wraparound. */
+    uint64_t dropped() const;
+    /** Total record() calls that passed the category gate. */
+    uint64_t recorded() const { return nextSeq; }
+
+    /** i-th retained event, oldest first (0 ≤ i < size()). */
+    const TraceEvent &at(size_t i) const;
+
+    /** Count retained events in category @p c. */
+    size_t countCat(TraceCat c) const;
+
+    /** Snapshot of retained events, oldest first. */
+    std::vector<TraceEvent> events() const;
+
+    void clear();
+
+    std::string toChromeJson() const;
+    std::string toText() const;
+
+  private:
+    void recordSlow(TraceCat c, TraceKind k, uint32_t func,
+                    uint64_t pc, uint64_t a, uint32_t b);
+
+    std::vector<TraceEvent> ring;
+    size_t capMask = 0;
+    uint64_t nextSeq = 0;
+    uint32_t enabledMask = 0;
+    uint8_t shard = 0;
+};
+
+/**
+ * chrome://tracing "trace events" JSON over @p events (one instant
+ * event per record; shard becomes the tid, seq the timestamp).
+ */
+std::string toChromeJson(const std::vector<TraceEvent> &events);
+
+/** Plain-text dump, one event per line. */
+std::string toText(const std::vector<TraceEvent> &events);
+
+} // namespace obs
+} // namespace ipds
+
+#endif // IPDS_OBS_TRACE_H

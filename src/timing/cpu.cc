@@ -15,6 +15,13 @@ CpuModel::requestSink()
     return [this](const IpdsRequest &rq) { reqRing.push(rq); };
 }
 
+void
+CpuModel::setTracer(obs::Tracer *t)
+{
+    trc = t;
+    engine.setTracer(t);
+}
+
 uint64_t
 CpuModel::srcReady(Vreg v) const
 {
@@ -212,6 +219,11 @@ CpuModel::onInst(const Inst &in, uint64_t mem_addr, uint32_t mem_size,
                 ipdsStalls += stall;
                 stalled = true;
             }
+            if (trc)
+                trc->record(obs::kCatQueue,
+                            obs::TraceKind::RequestDequeue, rq.func,
+                            rq.pc, static_cast<uint64_t>(rq.kind),
+                            static_cast<uint32_t>(stall));
         });
         // A full request queue backs the whole pipeline up: commit
         // waits, the window fills, dispatch stops.
@@ -270,6 +282,8 @@ CpuModel::stats() const
     s.l2Misses = l2.misses();
     s.tlbMisses = tlbMissCount;
     s.ipdsStallCycles = ipdsStalls;
+    s.ringMaxOccupancy = reqRing.maxOccupancy();
+    s.ringDrains = reqRing.drainCount();
     s.engine = engine.stats();
     return s;
 }

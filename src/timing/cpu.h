@@ -46,6 +46,10 @@ struct TimingStats
     uint64_t l2Misses = 0;
     uint64_t tlbMisses = 0;
     uint64_t ipdsStallCycles = 0;
+    /** Deepest request-ring occupancy seen at a drain (gauge). */
+    uint64_t ringMaxOccupancy = 0;
+    /** Non-empty ring drains (commit-point batches). */
+    uint64_t ringDrains = 0;
     EngineStats engine;
 
     double
@@ -71,6 +75,9 @@ struct TimingStats
         l2Misses += o.l2Misses;
         tlbMisses += o.tlbMisses;
         ipdsStallCycles += o.ipdsStallCycles;
+        ringMaxOccupancy = std::max(ringMaxOccupancy,
+                                    o.ringMaxOccupancy);
+        ringDrains += o.ringDrains;
         engine.merge(o.engine);
     }
 };
@@ -100,6 +107,13 @@ class CpuModel : public ExecObserver
 
     /** Compatibility sink forwarding into the ring (indirect call). */
     std::function<void(const IpdsRequest &)> requestSink();
+
+    /**
+     * Attach a structured-event tracer: request dequeues (with stall
+     * cycles) are recorded under kCatQueue, engine spill/fill traffic
+     * under kCatSpill. Null keeps the drain loop trace-free.
+     */
+    void setTracer(obs::Tracer *t);
 
     void onInst(const Inst &in, uint64_t mem_addr, uint32_t mem_size,
                 bool is_load) override;
@@ -156,6 +170,7 @@ class CpuModel : public ExecObserver
     uint64_t lastFetchBlock = ~0ULL;
 
     RequestRing reqRing;
+    obs::Tracer *trc = nullptr;
     bool branchPending = false;
     uint64_t pendingPc = 0;
     bool pendingTaken = false;

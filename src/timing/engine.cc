@@ -43,6 +43,9 @@ IpdsEngine::cost(const IpdsRequest &rq)
             stat.spillEvents++;
             stat.spillBits += frames[i].bits;
             c += spillCycles(frames[i].bits);
+            if (trc)
+                trc->record(obs::kCatSpill, obs::TraceKind::Spill,
+                            rq.func, rq.pc, frames[i].bits);
         }
         return c;
       }
@@ -60,6 +63,9 @@ IpdsEngine::cost(const IpdsRequest &rq)
             stat.fillEvents++;
             stat.fillBits += frames.back().bits;
             c += spillCycles(frames.back().bits);
+            if (trc)
+                trc->record(obs::kCatSpill, obs::TraceKind::Fill,
+                            rq.func, rq.pc, frames.back().bits);
         }
         return c;
       }
@@ -90,6 +96,9 @@ IpdsEngine::contextSwitch(bool lazy)
             residentBits -= frames[i].bits;
             stat.spillEvents++;
             stat.spillBits += frames[i].bits;
+            if (trc)
+                trc->record(obs::kCatSpill, obs::TraceKind::Spill,
+                            kNoFunc, 0, frames[i].bits);
         }
     }
     return 2 * spillCycles(topBits);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "ipds/detector.h"
+#include "obs/trace.h"
 #include "timing/config.h"
 
 namespace ipds {
@@ -77,6 +78,9 @@ class IpdsEngine
     /** Submit a request at @p now; returns CPU stall cycles. */
     uint64_t enqueue(const IpdsRequest &rq, uint64_t now);
 
+    /** Trace spill/fill traffic under kCatSpill (null: no tracing). */
+    void setTracer(obs::Tracer *t) { trc = t; }
+
     /**
      * Model a context switch (§5.4): the protected process's tables
      * must be saved and the incoming process's restored.
@@ -101,6 +105,7 @@ class IpdsEngine
 
     const TimingConfig &cfg;
     EngineStats stat;
+    obs::Tracer *trc = nullptr;
 
     /** Completion times of queued requests, oldest first. */
     std::deque<uint64_t> inflight;

@@ -180,6 +180,9 @@ Vm::run()
     RunResult res;
     if (mod.entry == kNoFunc)
         panic("Vm::run: module has no entry point");
+    if (trc)
+        trc->record(obs::kCatSession, obs::TraceKind::SessionBegin,
+                    mod.entry, 0, sessionIndex);
     try {
         pushFrame(mod.entry, {}, kNoVreg);
         while (!frames.empty()) {
@@ -199,6 +202,10 @@ Vm::run()
     res.steps = steps;
     res.inputEventCount = inputEvents;
     res.tamper = tamperDone;
+    if (trc)
+        trc->record(obs::kCatSession, obs::TraceKind::SessionEnd,
+                    mod.entry, 0, sessionIndex,
+                    static_cast<uint32_t>(steps));
     return res;
 }
 
@@ -490,6 +497,9 @@ Vm::execBuiltin(Frame &fr, const Inst &in, RunResult &res)
             inputPos < inputs.size() ? inputs[inputPos++] : "";
         inputEvents++;
         res.inputEventPcs.push_back(in.pc);
+        if (trc)
+            trc->record(obs::kCatSession, obs::TraceKind::InputEvent,
+                        fr.func, in.pc, inputEvents);
         return line;
     };
 

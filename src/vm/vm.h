@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "ir/ir.h"
+#include "obs/trace.h"
 #include "support/rng.h"
 #include "vm/memory.h"
 
@@ -152,6 +153,18 @@ class Vm
     /** Record the branch trace in the result (default on). */
     void setRecordTrace(bool on) { recordTrace = on; }
 
+    /**
+     * Attach a structured-event tracer (obs/trace.h): run begin/end
+     * and input events are recorded under kCatSession. The session
+     * index tags multi-session streams (Session facade).
+     */
+    void
+    setTracer(obs::Tracer *t, uint64_t session_index = 0)
+    {
+        trc = t;
+        sessionIndex = session_index;
+    }
+
     /** Execute main() to completion. */
     RunResult run();
 
@@ -209,6 +222,8 @@ class Vm
     uint32_t inputEvents = 0;
 
     std::vector<ExecObserver *> observers;
+    obs::Tracer *trc = nullptr;
+    uint64_t sessionIndex = 0;
     bool recordTrace = true;
     uint64_t fuel = 50'000'000;
     uint64_t steps = 0;

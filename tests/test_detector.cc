@@ -24,7 +24,7 @@ expectSameStats(const DetectorStats &ref, const DetectorStats &fast,
                 const std::string &what)
 {
     EXPECT_EQ(ref.branchesSeen, fast.branchesSeen) << what;
-    EXPECT_EQ(ref.checksPerformed, fast.checksPerformed) << what;
+    EXPECT_EQ(ref.checksEnqueued, fast.checksEnqueued) << what;
     EXPECT_EQ(ref.updatesApplied, fast.updatesApplied) << what;
     EXPECT_EQ(ref.actionsApplied, fast.actionsApplied) << what;
     EXPECT_EQ(ref.framesPushed, fast.framesPushed) << what;
@@ -109,7 +109,7 @@ void main() {
     RunResult r = vm.run();
     EXPECT_EQ(r.output, "+-+-");
     EXPECT_FALSE(det.alarmed());
-    EXPECT_GT(det.stats().checksPerformed, 0u);
+    EXPECT_GT(det.stats().checksEnqueued, 0u);
 }
 
 TEST(Detector, AlarmPayloadIdentifiesBranch)
@@ -222,7 +222,7 @@ void main() {
     }
     EXPECT_EQ(depth, 0);
     EXPECT_EQ(maxDepth, 2);
-    EXPECT_EQ(checks, det.stats().checksPerformed);
+    EXPECT_EQ(checks, det.stats().checksEnqueued);
     EXPECT_EQ(updates, det.stats().updatesApplied);
     // Every checked branch also updates, never the reverse missing.
     EXPECT_GE(updates, checks);
@@ -245,7 +245,7 @@ void main() {
     Detector det(p);
     vm.addObserver(&det);
     vm.run();
-    EXPECT_EQ(det.stats().checksPerformed, 0u);
+    EXPECT_EQ(det.stats().checksEnqueued, 0u);
     EXPECT_EQ(det.stats().updatesApplied, 1u);
     EXPECT_EQ(det.stats().branchesSeen, 1u);
 }
@@ -339,7 +339,7 @@ void main() {
     RunResult r = vm.run();
     EXPECT_EQ(r.output, "abab");
     EXPECT_FALSE(det.alarmed());
-    EXPECT_EQ(det.stats().checksPerformed, 6u); // both branches, 3 calls
+    EXPECT_EQ(det.stats().checksEnqueued, 6u); // both branches, 3 calls
     EXPECT_EQ(det.stats().framesPushed, 4u);    // main + 3x probe
     EXPECT_EQ(det.allocatedFrames(), 2u);       // main + 1 pooled probe
 }

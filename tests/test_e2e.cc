@@ -1,10 +1,12 @@
 /**
  * @file
  * End-to-end integration tests: MiniC source -> compiled & analyzed
- * program -> VM execution with the IPDS detector attached. Covers the
- * paper's motivating scenario (Figure 1), benign zero-false-positive
- * runs, direct tamper detection, and equivalence of the RequestRing
- * transport against the legacy std::function sink.
+ * program -> execution under the ipds::Session facade (VM + IPDS
+ * detector). Covers the paper's motivating scenario (Figure 1),
+ * benign zero-false-positive runs, direct tamper detection, and
+ * equivalence of the RequestRing transport against the legacy
+ * std::function sink (the one test that still hand-wires the layers,
+ * because it observes the transport itself).
  */
 
 #include <gtest/gtest.h>
@@ -12,6 +14,7 @@
 #include "core/program.h"
 #include "ipds/detector.h"
 #include "ipds/reference.h"
+#include "obs/session.h"
 #include "vm/vm.h"
 #include "workloads/workloads.h"
 
@@ -48,50 +51,55 @@ void main() {
 }
 )";
 
-RunResult
-runWithDetector(const CompiledProgram &prog,
-                std::vector<std::string> inputs, Detector &det)
-{
-    Vm vm(prog.mod);
-    vm.setInputs(std::move(inputs));
-    vm.addObserver(&det);
-    return vm.run();
-}
-
 TEST(EndToEnd, Figure1BenignRunHasNoAlarm)
 {
     CompiledProgram prog = compileAndAnalyze(kFigure1, "fig1");
-    Detector det(prog);
-    RunResult r = runWithDetector(prog, {"guest", "hello"}, det);
-    EXPECT_EQ(r.exit, ExitKind::Returned);
-    EXPECT_NE(r.output.find("pre: guest"), std::string::npos);
-    EXPECT_NE(r.output.find("post: guest"), std::string::npos);
-    EXPECT_FALSE(det.alarmed());
+    Session s = Session::builder()
+                    .program(prog)
+                    .inputs({"guest", "hello"})
+                    .build();
+    s.run();
+    EXPECT_EQ(s.result().exit, ExitKind::Returned);
+    EXPECT_NE(s.result().output.find("pre: guest"),
+              std::string::npos);
+    EXPECT_NE(s.result().output.find("post: guest"),
+              std::string::npos);
+    EXPECT_FALSE(s.alarmed());
 }
 
 TEST(EndToEnd, Figure1AdminBenignRunHasNoAlarm)
 {
     CompiledProgram prog = compileAndAnalyze(kFigure1, "fig1");
-    Detector det(prog);
-    RunResult r = runWithDetector(prog, {"admin", "hello"}, det);
-    EXPECT_NE(r.output.find("pre: admin"), std::string::npos);
-    EXPECT_NE(r.output.find("post: admin"), std::string::npos);
-    EXPECT_FALSE(det.alarmed());
+    Session s = Session::builder()
+                    .program(prog)
+                    .inputs({"admin", "hello"})
+                    .build();
+    s.run();
+    EXPECT_NE(s.result().output.find("pre: admin"),
+              std::string::npos);
+    EXPECT_NE(s.result().output.find("post: admin"),
+              std::string::npos);
+    EXPECT_FALSE(s.alarmed());
 }
 
 TEST(EndToEnd, Figure1OverflowAttackIsDetected)
 {
     CompiledProgram prog = compileAndAnalyze(kFigure1, "fig1");
-    Detector det(prog);
     // 16 filler bytes to cross str[16], then "admin" lands in user.
     std::string payload(16, 'A');
     payload += "admin";
-    RunResult r = runWithDetector(prog, {"guest", payload}, det);
+    Session s = Session::builder()
+                    .program(prog)
+                    .inputs({"guest", payload})
+                    .build();
+    s.run();
     // The tampering flipped the second check: privilege escalation...
-    EXPECT_NE(r.output.find("pre: guest"), std::string::npos);
-    EXPECT_NE(r.output.find("post: admin"), std::string::npos);
+    EXPECT_NE(s.result().output.find("pre: guest"),
+              std::string::npos);
+    EXPECT_NE(s.result().output.find("post: admin"),
+              std::string::npos);
     // ...and IPDS must flag the infeasible path.
-    EXPECT_TRUE(det.alarmed());
+    EXPECT_TRUE(s.alarmed());
 }
 
 TEST(EndToEnd, Figure1ChecksAreMarked)
@@ -130,10 +138,13 @@ TEST(EndToEnd, Figure2BenignLoopNoAlarm)
     CompiledProgram prog = compileAndAnalyze(kFigure2, "fig2");
     for (auto inputs : std::vector<std::vector<std::string>>{
              {"-5"}, {"7", "3", "2", "-1"}, {"0", "0", "0", "0"}}) {
-        Detector det(prog);
-        RunResult r = runWithDetector(prog, inputs, det);
-        EXPECT_EQ(r.exit, ExitKind::Returned);
-        EXPECT_FALSE(det.alarmed());
+        Session s = Session::builder()
+                        .program(prog)
+                        .inputs(inputs)
+                        .build();
+        s.run();
+        EXPECT_EQ(s.result().exit, ExitKind::Returned);
+        EXPECT_FALSE(s.alarmed());
     }
 }
 
@@ -143,25 +154,25 @@ TEST(EndToEnd, Figure2TamperIsDetected)
     // decreases. Corrupting x to a positive value between iterations
     // creates an infeasible path at the next x<0 test.
     CompiledProgram prog = compileAndAnalyze(kFigure2, "fig2");
-    Vm vm(prog.mod);
-    vm.setInputs({"-5"});
-    Detector det(prog);
-    vm.addObserver(&det);
 
     TamperSpec spec;
     spec.randomStackTarget = false;
     spec.atStep = 40; // mid-loop
     for (const auto &obj : prog.mod.objects) {
         if (obj.name == "x")
-            spec.addr = vm.globalBase(obj.id);
+            spec.addr = Vm(prog.mod).globalBase(obj.id);
     }
     ASSERT_NE(spec.addr, 0u);
     spec.bytes = {100, 0, 0, 0, 0, 0, 0, 0}; // x = 100
-    vm.setTamper(spec);
 
-    RunResult r = vm.run();
-    EXPECT_TRUE(r.tamper.fired);
-    EXPECT_TRUE(det.alarmed());
+    Session s = Session::builder()
+                    .program(prog)
+                    .inputs({"-5"})
+                    .tamper(spec)
+                    .build();
+    s.run();
+    EXPECT_TRUE(s.result().tamper.fired);
+    EXPECT_TRUE(s.alarmed());
 }
 
 /** Same-direction correlation (paper scenario 2): x unchanged between
@@ -190,30 +201,33 @@ void main() {
 
     // Benign: no alarm across all iterations.
     {
-        Detector det(prog);
-        RunResult r = runWithDetector(
-            prog, {"a", "b", "c", "d"}, det);
-        EXPECT_EQ(r.exit, ExitKind::Returned);
-        EXPECT_FALSE(det.alarmed());
+        Session s = Session::builder()
+                        .program(prog)
+                        .inputs({"a", "b", "c", "d"})
+                        .build();
+        s.run();
+        EXPECT_EQ(s.result().exit, ExitKind::Returned);
+        EXPECT_FALSE(s.alarmed());
     }
 
     // Tamper secret after the second input: next secret>5 test flips.
     {
-        Vm vm(prog.mod);
-        vm.setInputs({"a", "b", "c", "d"});
-        Detector det(prog);
-        vm.addObserver(&det);
         TamperSpec spec;
         spec.randomStackTarget = false;
         spec.afterInputEvent = 2;
         for (const auto &obj : prog.mod.objects)
             if (obj.name == "secret")
-                spec.addr = vm.globalBase(obj.id);
+                spec.addr = Vm(prog.mod).globalBase(obj.id);
         spec.bytes = {0, 0, 0, 0, 0, 0, 0, 0}; // secret = 0
-        vm.setTamper(spec);
-        RunResult r = vm.run();
-        EXPECT_TRUE(r.tamper.fired);
-        EXPECT_TRUE(det.alarmed()) << "flip of secret not detected";
+
+        Session s = Session::builder()
+                        .program(prog)
+                        .inputs({"a", "b", "c", "d"})
+                        .tamper(spec)
+                        .build();
+        s.run();
+        EXPECT_TRUE(s.result().tamper.fired);
+        EXPECT_TRUE(s.alarmed()) << "flip of secret not detected";
     }
 }
 
