@@ -23,6 +23,7 @@ Detector::reset()
         p.live = 0;
     alarmList.clear();
     stat = {};
+    curSeq = 0;
 }
 
 void

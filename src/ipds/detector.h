@@ -137,9 +137,39 @@ class Detector final : public ExecObserver
      */
     void setTracer(obs::Tracer *t) { trc = t; }
 
+    /**
+     * Branches are the only events the detector consumes (the paper's
+     * hardware watches the branch stream); declaring that lets the
+     * threaded engine skip instruction-event delivery entirely when
+     * the detector is the only observer.
+     */
+    bool wantsInstEvents() const override { return false; }
+
     void onFunctionEnter(FuncId f) override;
     void onFunctionExit(FuncId f) override;
     void onBranch(FuncId f, uint64_t pc, bool taken) override;
+
+    /**
+     * Batched delivery: one virtual call per block instead of two per
+     * branch. Only branch events matter to the detector (onInst is a
+     * no-op), and the batch contract guarantees every branch event
+     * belongs to b.func, so this is a direct devirtualized loop over
+     * the events. Requests are stamped with the in-batch event index
+     * (IpdsRequest::seq) so a draining consumer can replay them at
+     * per-instruction cadence.
+     */
+    void
+    onBatch(const EventBatch &b) override
+    {
+        for (uint32_t i = 0; i < b.n; i++) {
+            const VmInstEvent &e = b.ev[i];
+            if (e.isBranch) {
+                curSeq = i;
+                onBranch(b.func, e.inst->pc, e.taken);
+            }
+        }
+        curSeq = 0;
+    }
 
     bool alarmed() const { return !alarmList.empty(); }
     const std::vector<Alarm> &alarms() const { return alarmList; }
@@ -225,6 +255,8 @@ class Detector final : public ExecObserver
     DetectorStats stat;
     RequestRing *ring = nullptr;
     std::function<void(const IpdsRequest &)> sink;
+    /** In-batch event index stamped onto emitted requests (onBatch). */
+    uint32_t curSeq = 0;
     obs::Tracer *trc = nullptr;
 };
 
@@ -397,6 +429,7 @@ Detector::onBranch(FuncId f, uint64_t pc, bool taken)
         cq.pc = pc;
         cq.actionCount = 0;
         cq.tableBits = 0;
+        cq.seq = curSeq;
         ring->advance(checked != 0);
         IpdsRequest &uq = ring->stage();
         uq.kind = IpdsRequest::Kind::Update;
@@ -404,11 +437,13 @@ Detector::onBranch(FuncId f, uint64_t pc, bool taken)
         uq.pc = pc;
         uq.actionCount = nActs;
         uq.tableBits = 0;
+        uq.seq = curSeq;
         ring->advance(true);
     } else if (sink) {
         IpdsRequest rq;
         rq.func = f;
         rq.pc = pc;
+        rq.seq = curSeq;
         if (checked) {
             rq.kind = IpdsRequest::Kind::Check;
             sink(rq);

@@ -39,6 +39,16 @@ struct IpdsRequest
     uint32_t actionCount = 0;
     /** Table bits pushed/popped (spill cost modelling). */
     uint64_t tableBits = 0;
+    /**
+     * Transport metadata, not request content: index of the producing
+     * event within its EventBatch (0 for per-event delivery and for
+     * frame push/pop). Lets a consumer that receives a whole batch of
+     * requests up front drain them at the same per-instruction cadence
+     * as per-event delivery (drainThrough), so queue-depth accounting
+     * and timing stay identical across delivery modes. Excluded from
+     * operator== — request streams compare equal across modes.
+     */
+    uint32_t seq = 0;
 
     bool operator==(const IpdsRequest &o) const
     {
@@ -46,6 +56,9 @@ struct IpdsRequest
             actionCount == o.actionCount && tableBits == o.tableBits;
     }
 };
+
+/** drainThrough() limit that admits every request. */
+inline constexpr uint32_t kDrainAllSeq = 0xffffffffu;
 
 /**
  * Fixed-capacity FIFO of IpdsRequest. A committed instruction produces
@@ -106,6 +119,30 @@ class RequestRing
             fn(buf[head & kMask]);
             head++;
         } while (head != tail);
+    }
+
+    /**
+     * Pop oldest-first while the head request's seq is <= @p seq_limit.
+     * With kDrainAllSeq this is drain(). Accounting counts what was
+     * POPPED, not what was pending: a batched producer enqueues a whole
+     * block's requests ahead of the consumer's replay, so pending would
+     * overstate occupancy relative to per-event delivery, while the
+     * popped count at each commit point is identical in both modes.
+     */
+    template <typename Fn>
+    void drainThrough(uint32_t seq_limit, Fn &&fn)
+    {
+        uint32_t popped = 0;
+        while (head != tail && buf[head & kMask].seq <= seq_limit) {
+            fn(buf[head & kMask]);
+            head++;
+            popped++;
+        }
+        if (popped == 0)
+            return;
+        if (popped > highWater)
+            highWater = popped;
+        drains++;
     }
 
     /** Deepest queue occupancy ever seen at a drain point. */

@@ -78,6 +78,13 @@ inline constexpr const char *kEngCheckLatencySum =
 inline constexpr const char *kEngCheckLatencyCount =
     "ipds.engine.check_latency_count";
 
+// Vm throughput (vm/vm.h VmStats)
+inline constexpr const char *kVmInstructions =
+    "ipds.vm.instructions";
+inline constexpr const char *kVmBlocks = "ipds.vm.blocks";
+inline constexpr const char *kVmEventBatchFlushes =
+    "ipds.vm.event_batch_flushes";
+
 // Session facade (obs/session.h)
 inline constexpr const char *kSessRuns = "ipds.session.runs";
 inline constexpr const char *kSessSteps = "ipds.session.steps";

@@ -99,6 +99,9 @@ struct Session::ShardOut
     uint64_t runs = 0;
     uint64_t steps = 0;
     uint64_t inputEvents = 0;
+    uint64_t vmInstructions = 0;
+    uint64_t vmBlocks = 0;
+    uint64_t vmFlushes = 0;
     RunResult firstResult;
     bool hasFirst = false;
 };
@@ -121,8 +124,12 @@ Session::runShard(uint32_t shard, ShardOut &out) const
             cpu->setTracer(trc);
     }
 
+    // One predecode shared by every session in the shard; per-run Vm
+    // construction then skips the decode cache's validation walk.
+    auto dec = decodeCached(opt.prog->mod);
+
     for (uint32_t s = begin; s < end; s++) {
-        Vm vm(opt.prog->mod);
+        Vm vm(opt.prog->mod, dec);
         vm.setInputs(opt.inputs);
         vm.setFuel(opt.fuel);
         vm.setRecordTrace(opt.recordTrace);
@@ -150,6 +157,9 @@ Session::runShard(uint32_t shard, ShardOut &out) const
         out.runs++;
         out.steps += r.steps;
         out.inputEvents += r.inputEventCount;
+        out.vmInstructions += vm.vmStats().instructions;
+        out.vmBlocks += vm.vmStats().blocks;
+        out.vmFlushes += vm.vmStats().eventBatchFlushes;
         if (opt.detectorOn) {
             out.det.merge(det.stats());
             out.alarms.insert(out.alarms.end(), det.alarms().begin(),
@@ -176,6 +186,11 @@ Session::runShard(uint32_t shard, ShardOut &out) const
                 out.inputEvents);
     out.reg.add(out.reg.counter(n::kSessTraceDropped),
                 out.traceDropped);
+    out.reg.add(out.reg.counter(n::kVmInstructions),
+                out.vmInstructions);
+    out.reg.add(out.reg.counter(n::kVmBlocks), out.vmBlocks);
+    out.reg.add(out.reg.counter(n::kVmEventBatchFlushes),
+                out.vmFlushes);
     if (opt.detectorOn)
         obs::exportDetectorStats(out.det, out.alarms.size(), out.reg);
     if (opt.useTiming)

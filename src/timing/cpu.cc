@@ -115,6 +115,27 @@ void
 CpuModel::onInst(const Inst &in, uint64_t mem_addr, uint32_t mem_size,
                  bool /* is_load: direction is implied by the op */)
 {
+    instCore(in, mem_addr, mem_size, kDrainAllSeq);
+}
+
+void
+CpuModel::onBatch(const EventBatch &b)
+{
+    for (uint32_t i = 0; i < b.n; i++) {
+        const VmInstEvent &e = b.ev[i];
+        if (e.isBranch) {
+            branchPending = true;
+            pendingPc = e.inst->pc;
+            pendingTaken = e.taken;
+        }
+        instCore(*e.inst, e.memAddr, e.memSize, i);
+    }
+}
+
+void
+CpuModel::instCore(const Inst &in, uint64_t mem_addr,
+                   uint32_t mem_size, uint32_t drain_seq)
+{
     const uint32_t W = cfg.commitWidth;
     nInst++;
 
@@ -211,7 +232,7 @@ CpuModel::onInst(const Inst &in, uint64_t mem_addr, uint32_t mem_size,
     if (cfg.ipdsEnabled && !reqRing.empty()) {
         uint64_t now = commit / W;
         bool stalled = false;
-        reqRing.drain([&](const IpdsRequest &rq) {
+        reqRing.drainThrough(drain_seq, [&](const IpdsRequest &rq) {
             uint64_t stall = engine.enqueue(rq, now);
             if (stall) {
                 commit += stall * W;

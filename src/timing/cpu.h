@@ -92,7 +92,7 @@ struct TimingStats
  *   vm.addObserver(&det);   // detector first: requests precede commit
  *   vm.addObserver(&cpu);
  */
-class CpuModel : public ExecObserver
+class CpuModel final : public ExecObserver
 {
   public:
     explicit CpuModel(const TimingConfig &cfg);
@@ -122,6 +122,15 @@ class CpuModel : public ExecObserver
     void onFunctionExit(FuncId f) override;
 
     /**
+     * Batched delivery: replays the per-event commit pipeline with one
+     * virtual call per block. Requests the detector enqueued for the
+     * whole batch are drained per instruction via their seq stamps
+     * (drainThrough), so queue depths, stalls and cycles are
+     * bit-identical to per-event delivery.
+     */
+    void onBatch(const EventBatch &b) override;
+
+    /**
      * Model a context switch away from and back to the protected
      * process (§5.4): the synchronous table save/restore latency
      * stalls the pipeline. @p lazy selects the paper's top-of-stack
@@ -134,6 +143,14 @@ class CpuModel : public ExecObserver
 
   private:
     uint64_t curCycle() const { return lastCommitTick / cfg.commitWidth; }
+
+    /**
+     * One committed instruction through the scoreboard. @p drain_seq
+     * bounds the ring drain at this commit point: kDrainAllSeq for
+     * per-event delivery, the in-batch event index for onBatch.
+     */
+    void instCore(const Inst &in, uint64_t mem_addr, uint32_t mem_size,
+                  uint32_t drain_seq);
 
     /** Ready tick of a source vreg (0 if unknown). */
     uint64_t srcReady(Vreg v) const;

@@ -1,0 +1,437 @@
+#include "vm/decode.h"
+
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+#include "support/diag.h"
+
+namespace ipds {
+
+namespace {
+
+uint64_t
+alignUp8(uint64_t v)
+{
+    return (v + 7) & ~uint64_t(7);
+}
+
+/** FNV-1a, 64-bit. */
+struct Fnv
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    void
+    mix(uint64_t v)
+    {
+        for (int i = 0; i < 8; i++) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    }
+};
+
+DecOp
+binToDec(BinOp b)
+{
+    switch (b) {
+      case BinOp::Add: return DecOp::Add;
+      case BinOp::Sub: return DecOp::Sub;
+      case BinOp::Mul: return DecOp::Mul;
+      case BinOp::Div: return DecOp::Div;
+      case BinOp::Rem: return DecOp::Rem;
+      case BinOp::And: return DecOp::And;
+      case BinOp::Or: return DecOp::Or;
+      case BinOp::Xor: return DecOp::Xor;
+      case BinOp::Shl: return DecOp::Shl;
+      case BinOp::Shr: return DecOp::Shr;
+    }
+    panic("binToDec: bad BinOp %d", static_cast<int>(b));
+}
+
+DecOp
+predToDec(Pred p)
+{
+    switch (p) {
+      case Pred::EQ: return DecOp::CmpEq;
+      case Pred::NE: return DecOp::CmpNe;
+      case Pred::LT: return DecOp::CmpLt;
+      case Pred::LE: return DecOp::CmpLe;
+      case Pred::GT: return DecOp::CmpGt;
+      case Pred::GE: return DecOp::CmpGe;
+    }
+    panic("predToDec: bad Pred %d", static_cast<int>(p));
+}
+
+DecOp
+predToFused(Pred p)
+{
+    switch (p) {
+      case Pred::EQ: return DecOp::BrCmpEq;
+      case Pred::NE: return DecOp::BrCmpNe;
+      case Pred::LT: return DecOp::BrCmpLt;
+      case Pred::LE: return DecOp::BrCmpLe;
+      case Pred::GT: return DecOp::BrCmpGt;
+      case Pred::GE: return DecOp::BrCmpGe;
+    }
+    panic("predToFused: bad Pred %d", static_cast<int>(p));
+}
+
+/** Frame offset of @p obj within @p df, resolved at decode time. */
+uint64_t
+localOffsetOf(const Module &mod, const Function &fn,
+              const DecodedFunc &df, ObjectId obj)
+{
+    for (size_t i = 0; i < fn.locals.size(); i++) {
+        if (fn.locals[i] == obj)
+            return df.localOffset[i];
+    }
+    panic("decode: object %s is not a local of %s",
+          mod.objects[obj].name.c_str(), fn.name.c_str());
+}
+
+void
+decodeFunction(const Module &mod, const std::vector<uint64_t> &statics,
+               const Function &fn, DecodedFunc &df)
+{
+    // Frame layout, identical to the switch engine's pushFrame:
+    // bottom-up in declaration order, each local rounded up to 8.
+    df.localOffset.resize(fn.locals.size());
+    uint64_t size = 0;
+    for (size_t i = 0; i < fn.locals.size(); i++) {
+        df.localOffset[i] = size;
+        size += alignUp8(mod.objects[fn.locals[i]].size);
+    }
+    df.frameSize = size;
+
+    df.blockStart.resize(fn.blocks.size());
+    uint32_t at = 0;
+    for (size_t b = 0; b < fn.blocks.size(); b++) {
+        df.blockStart[b] = at;
+        at += static_cast<uint32_t>(fn.blocks[b].insts.size());
+    }
+    df.ops.reserve(at);
+
+    for (const BasicBlock &bb : fn.blocks) {
+        for (size_t k = 0; k < bb.insts.size(); k++) {
+            const Inst &in = bb.insts[k];
+            DecodedOp d;
+            d.src = &in;
+            const bool isLocal = in.object != kNoObject &&
+                mod.objects[in.object].kind == ObjectKind::Local;
+            switch (in.op) {
+              case Op::ConstInt:
+                d.op = DecOp::ConstInt;
+                d.dst = in.dst;
+                d.imm = in.imm;
+                break;
+              case Op::AddrOf:
+                d.dst = in.dst;
+                if (isLocal) {
+                    d.op = DecOp::AddrLocal;
+                    d.imm = static_cast<int64_t>(
+                        localOffsetOf(mod, fn, df, in.object) +
+                        static_cast<uint64_t>(in.imm));
+                } else {
+                    d.op = DecOp::AddrStatic;
+                    d.imm = static_cast<int64_t>(
+                        statics[in.object] +
+                        static_cast<uint64_t>(in.imm));
+                }
+                break;
+              case Op::Load:
+                d.dst = in.dst;
+                if (isLocal) {
+                    d.op = in.size == MemSize::I8 ? DecOp::LoadLoc8
+                                                  : DecOp::LoadLoc64;
+                    d.imm = static_cast<int64_t>(
+                        localOffsetOf(mod, fn, df, in.object) +
+                        static_cast<uint64_t>(in.imm));
+                } else {
+                    d.op = in.size == MemSize::I8 ? DecOp::LoadSt8
+                                                  : DecOp::LoadSt64;
+                    d.imm = static_cast<int64_t>(
+                        statics[in.object] +
+                        static_cast<uint64_t>(in.imm));
+                }
+                break;
+              case Op::LoadInd:
+                d.op = in.size == MemSize::I8 ? DecOp::LoadInd8
+                                              : DecOp::LoadInd64;
+                d.dst = in.dst;
+                d.a = in.srcA;
+                break;
+              case Op::Store:
+                d.a = in.srcA;
+                if (isLocal) {
+                    d.op = in.size == MemSize::I8 ? DecOp::StoreLoc8
+                                                  : DecOp::StoreLoc64;
+                    d.imm = static_cast<int64_t>(
+                        localOffsetOf(mod, fn, df, in.object) +
+                        static_cast<uint64_t>(in.imm));
+                } else {
+                    d.op = in.size == MemSize::I8 ? DecOp::StoreSt8
+                                                  : DecOp::StoreSt64;
+                    d.imm = static_cast<int64_t>(
+                        statics[in.object] +
+                        static_cast<uint64_t>(in.imm));
+                }
+                break;
+              case Op::StoreInd:
+                d.op = in.size == MemSize::I8 ? DecOp::StoreInd8
+                                              : DecOp::StoreInd64;
+                d.a = in.srcA;
+                d.b = in.srcB;
+                break;
+              case Op::Bin:
+                d.op = binToDec(in.bin);
+                d.dst = in.dst;
+                d.a = in.srcA;
+                d.b = in.srcB;
+                break;
+              case Op::Cmp:
+                // The dominant pattern is compare-then-branch on the
+                // result; fuse the pair (the Br op stays at the next
+                // index — see DecOp::BrCmpEq).
+                d.op = (k + 1 < bb.insts.size() &&
+                        bb.insts[k + 1].op == Op::Br &&
+                        bb.insts[k + 1].srcA == in.dst)
+                           ? predToFused(in.pred)
+                           : predToDec(in.pred);
+                d.dst = in.dst;
+                d.a = in.srcA;
+                d.b = in.srcB;
+                break;
+              case Op::Br:
+                d.op = DecOp::Br;
+                d.dst = in.srcA; // condition vreg
+                d.a = df.blockStart[in.target];
+                d.b = df.blockStart[in.fallthrough];
+                break;
+              case Op::Jmp:
+                d.op = DecOp::Jmp;
+                d.a = df.blockStart[in.target];
+                break;
+              case Op::Call:
+                if (in.builtin != Builtin::None) {
+                    d.op = DecOp::CallBuiltin;
+                } else {
+                    d.op = DecOp::CallUser;
+                    d.dst = in.dst;
+                    d.a = in.callee;
+                    d.b = static_cast<uint32_t>(df.argPool.size());
+                    d.nArgs = static_cast<uint16_t>(in.args.size());
+                    df.argPool.insert(df.argPool.end(),
+                                      in.args.begin(), in.args.end());
+                }
+                break;
+              case Op::Ret:
+                d.op = DecOp::RetOp;
+                d.a = in.srcA;
+                break;
+              case Op::GetArg:
+                d.op = DecOp::GetArg;
+                d.dst = in.dst;
+                d.imm = in.imm;
+                break;
+            }
+            df.ops.push_back(d);
+        }
+    }
+}
+
+} // namespace
+
+std::vector<uint64_t>
+computeStaticBases(const Module &mod)
+{
+    std::vector<uint64_t> base(mod.objects.size(), 0);
+    uint64_t constCur = kConstSegBase;
+    uint64_t globalCur = kGlobalSegBase;
+    for (const auto &obj : mod.objects) {
+        if (obj.kind == ObjectKind::Local)
+            continue;
+        uint64_t &cur =
+            obj.kind == ObjectKind::Const ? constCur : globalCur;
+        base[obj.id] = cur;
+        cur = alignUp8(cur + obj.size);
+    }
+    return base;
+}
+
+namespace {
+
+/** One instruction folded into a few words (spot digest). */
+void
+appendInst(std::vector<uint64_t> &out, const Inst &in)
+{
+    out.push_back(static_cast<uint64_t>(in.op) |
+                  (static_cast<uint64_t>(in.size) << 8) |
+                  (static_cast<uint64_t>(in.bin) << 16) |
+                  (static_cast<uint64_t>(in.pred) << 24) |
+                  (static_cast<uint64_t>(in.builtin) << 32));
+    out.push_back((static_cast<uint64_t>(in.dst) << 32) | in.srcA);
+    out.push_back(static_cast<uint64_t>(in.imm));
+    out.push_back(in.pc);
+}
+
+/**
+ * Structural identity of a module: everything a cached decode
+ * depends on, as a flat word vector cheap to rebuild and compare.
+ *
+ * Checked on EVERY Vm construction, so this is O(blocks), not
+ * O(instructions) — a full content hash here once dominated whole
+ * benchmark runs. Identity is what actually protects the cached
+ * decode: DecodedOp::src points into each block's inst array, so the
+ * vector records the ADDRESSES of every container the decode
+ * dereferences (the functions vector, each blocks vector, each inst
+ * array) plus their sizes. A recompiled module at a reused address
+ * only revives a stale decode if the allocator also reproduced every
+ * one of those buffer addresses and block sizes; the first/last-
+ * instruction spot digest per block closes that residue. (In-place
+ * mutation of a Module after its first run is outside the contract,
+ * as for any code cache.)
+ */
+void
+moduleIdentity(const Module &mod, std::vector<uint64_t> &out)
+{
+    out.clear();
+    out.push_back(reinterpret_cast<uint64_t>(mod.functions.data()));
+    out.push_back(mod.functions.size());
+    out.push_back(reinterpret_cast<uint64_t>(mod.objects.data()));
+    out.push_back(mod.objects.size());
+    out.push_back(mod.entry);
+    for (const Function &fn : mod.functions) {
+        out.push_back(reinterpret_cast<uint64_t>(fn.blocks.data()));
+        out.push_back(fn.blocks.size());
+        out.push_back(fn.locals.size());
+        out.push_back(fn.nextVreg);
+        for (const BasicBlock &bb : fn.blocks) {
+            out.push_back(reinterpret_cast<uint64_t>(bb.insts.data()));
+            out.push_back(bb.insts.size());
+            if (!bb.insts.empty()) {
+                appendInst(out, bb.insts.front());
+                appendInst(out, bb.insts.back());
+            }
+        }
+    }
+}
+
+/**
+ * Lockstep re-walk of moduleIdentity against a stored vector: no
+ * allocation, no stores, first mismatch exits. This is the per-Vm-
+ * construction hot path of decodeCached; keep the traversal order
+ * EXACTLY in sync with moduleIdentity above.
+ */
+bool
+identityMatches(const Module &mod, const std::vector<uint64_t> &id)
+{
+    size_t n = 0;
+    const size_t len = id.size();
+    auto eat = [&](uint64_t v) { return n < len && id[n++] == v; };
+    auto eatInst = [&](const Inst &in) {
+        return eat(static_cast<uint64_t>(in.op) |
+                   (static_cast<uint64_t>(in.size) << 8) |
+                   (static_cast<uint64_t>(in.bin) << 16) |
+                   (static_cast<uint64_t>(in.pred) << 24) |
+                   (static_cast<uint64_t>(in.builtin) << 32)) &&
+               eat((static_cast<uint64_t>(in.dst) << 32) | in.srcA) &&
+               eat(static_cast<uint64_t>(in.imm)) && eat(in.pc);
+    };
+    if (!eat(reinterpret_cast<uint64_t>(mod.functions.data())) ||
+        !eat(mod.functions.size()) ||
+        !eat(reinterpret_cast<uint64_t>(mod.objects.data())) ||
+        !eat(mod.objects.size()) || !eat(mod.entry))
+        return false;
+    for (const Function &fn : mod.functions) {
+        if (!eat(reinterpret_cast<uint64_t>(fn.blocks.data())) ||
+            !eat(fn.blocks.size()) || !eat(fn.locals.size()) ||
+            !eat(fn.nextVreg))
+            return false;
+        for (const BasicBlock &bb : fn.blocks) {
+            if (!eat(reinterpret_cast<uint64_t>(bb.insts.data())) ||
+                !eat(bb.insts.size()))
+                return false;
+            if (!bb.insts.empty() &&
+                (!eatInst(bb.insts.front()) ||
+                 !eatInst(bb.insts.back())))
+                return false;
+        }
+    }
+    return n == len;
+}
+
+} // namespace
+
+uint64_t
+moduleFingerprint(const Module &mod)
+{
+    std::vector<uint64_t> ident;
+    moduleIdentity(mod, ident);
+    Fnv f;
+    for (uint64_t w : ident)
+        f.mix(w);
+    return f.h;
+}
+
+std::shared_ptr<const DecodedProgram>
+decodeModule(const Module &mod)
+{
+    auto dp = std::make_shared<DecodedProgram>();
+    dp->staticBase = computeStaticBases(mod);
+    moduleIdentity(mod, dp->identity);
+    dp->funcs.resize(mod.functions.size());
+    for (size_t i = 0; i < mod.functions.size(); i++)
+        decodeFunction(mod, dp->staticBase, mod.functions[i],
+                       dp->funcs[i]);
+
+    // Prebuild the static data segments as whole pages; runs attach
+    // them copy-on-write instead of rewriting the bytes per Vm.
+    std::map<uint64_t, std::vector<uint8_t>> img; // sorted by pageNo
+    for (const auto &obj : mod.objects) {
+        if (obj.kind == ObjectKind::Local || obj.init.empty())
+            continue;
+        const uint64_t base = dp->staticBase[obj.id];
+        size_t off = 0;
+        while (off < obj.init.size()) {
+            const uint64_t a = base + off;
+            const size_t chunk = std::min<size_t>(
+                Memory::pageSize - (a & (Memory::pageSize - 1)),
+                obj.init.size() - off);
+            auto &pg = img[a >> Memory::pageBits];
+            if (pg.empty())
+                pg.resize(Memory::pageSize, 0);
+            std::memcpy(pg.data() + (a & (Memory::pageSize - 1)),
+                        obj.init.data() + off, chunk);
+            off += chunk;
+        }
+    }
+    dp->staticImage.reserve(img.size());
+    for (auto &kv : img)
+        dp->staticImage.push_back({kv.first, std::move(kv.second)});
+    return dp;
+}
+
+std::shared_ptr<const DecodedProgram>
+decodeCached(const Module &mod)
+{
+    static std::mutex mu;
+    static std::unordered_map<const Module *,
+                              std::shared_ptr<const DecodedProgram>>
+        cache;
+
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(&mod);
+    if (it != cache.end() && identityMatches(mod, it->second->identity))
+        return it->second;
+    // Bound the map: stale Module addresses accumulate in long-running
+    // embedders (each new compile may land anywhere); a rare full drop
+    // is cheaper than eviction bookkeeping.
+    if (cache.size() >= 64)
+        cache.clear();
+    auto dp = decodeModule(mod);
+    cache[&mod] = dp;
+    return dp;
+}
+
+} // namespace ipds

@@ -1,0 +1,162 @@
+#ifndef IPDS_VM_DECODE_H
+#define IPDS_VM_DECODE_H
+
+/**
+ * @file
+ * One-time predecode pass for the VM's threaded execution engine.
+ *
+ * The switch interpreter re-derives everything per instruction: it
+ * chases Function -> BasicBlock -> Inst, linearly scans fn.locals to
+ * turn an ObjectId into a frame address, and dispatches through nested
+ * switches (Op, then BinOp/Pred/Builtin). The predecoder pays those
+ * costs once per Module instead:
+ *
+ *  - blocks are concatenated into one flat DecodedOp array per
+ *    function; branch targets become flat op indices, so taking an
+ *    edge is a single integer assignment;
+ *  - operands are resolved: direct loads/stores carry a folded
+ *    frame-slot displacement (local) or absolute address (static);
+ *  - sub-switches are flattened into distinct opcodes (one DecOp per
+ *    BinOp, per Pred, per access width and address mode), sized for a
+ *    computed-goto dispatch table;
+ *  - the frame layout (per-local offsets, frame size) is computed per
+ *    function, shared with Vm::pushFrame so the two can never drift.
+ *
+ * Every DecodedOp keeps a pointer to its source Inst: observer events
+ * and builtin execution still see the original IR, so predecoding is
+ * invisible to everything downstream of the VM.
+ *
+ * DecodedPrograms are immutable and shared: decodeCached() memoizes
+ * per Module (validated by a content fingerprint, so address reuse or
+ * in-place mutation re-decodes instead of returning stale ops).
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ir/ir.h"
+#include "vm/memory.h"
+
+namespace ipds {
+
+/**
+ * Flattened opcodes. One label each in the threaded dispatch table —
+ * keep the order in vm.cc's table exactly in sync.
+ */
+enum class DecOp : uint8_t
+{
+    ConstInt,
+    AddrLocal,  ///< dst = frameBase + imm
+    AddrStatic, ///< dst = imm (absolute)
+    LoadLoc8,   ///< dst = mem8[frameBase + imm]
+    LoadLoc64,
+    LoadSt8,    ///< dst = mem8[imm]
+    LoadSt64,
+    LoadInd8,   ///< dst = mem8[regs[a]]
+    LoadInd64,
+    StoreLoc8,  ///< mem8[frameBase + imm] = regs[a]
+    StoreLoc64,
+    StoreSt8,
+    StoreSt64,
+    StoreInd8,  ///< mem8[regs[a]] = regs[b]
+    StoreInd64,
+    Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr,
+    CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,
+    Br,          ///< if (regs[dst]) ip = a else ip = b
+    Jmp,         ///< ip = a
+    CallUser,    ///< callee a, args argPool[b..b+nArgs), result dst
+    CallBuiltin, ///< executes via src (args/builtin read from the Inst)
+    RetOp,       ///< return regs[a] (a == kNoVreg: void)
+    GetArg,      ///< dst = args[imm]
+    /**
+     * Fused compare-and-branch: a Cmp whose result feeds the
+     * IMMEDIATELY following Br in the same block. The op at the next
+     * flat index is that Br (kept intact so a fuel/tamper checkpoint
+     * can still split the pair); the fused handler consumes it inline,
+     * skipping one dispatch per conditional branch. Events, steps and
+     * the regs[dst] write are unchanged.
+     */
+    BrCmpEq, BrCmpNe, BrCmpLt, BrCmpLe, BrCmpGt, BrCmpGe,
+    Count_,
+};
+
+/** One predecoded instruction (32 bytes). */
+struct DecodedOp
+{
+    DecOp op = DecOp::Jmp;
+    uint8_t pad_ = 0;
+    uint16_t nArgs = 0; ///< CallUser argument count
+    uint32_t dst = 0;   ///< dst vreg; Br: condition vreg
+    uint32_t a = 0;     ///< srcA / flat taken target / callee FuncId
+    uint32_t b = 0;     ///< srcB / flat fallthrough / argPool offset
+    int64_t imm = 0;    ///< ConstInt value / folded displacement
+    const Inst *src = nullptr; ///< source IR (events, builtins, pc)
+};
+
+/** One function's flat op array plus its frame layout. */
+struct DecodedFunc
+{
+    std::vector<DecodedOp> ops;
+    /** Flat index of each BasicBlock's first op. */
+    std::vector<uint32_t> blockStart;
+    /** CallUser argument vregs, all calls back to back. */
+    std::vector<Vreg> argPool;
+    /** Frame-relative offset of each local (parallel to fn.locals). */
+    std::vector<uint64_t> localOffset;
+    /** Total frame bytes (each local rounded up to 8). */
+    uint64_t frameSize = 0;
+};
+
+/** A whole predecoded Module. Immutable once built. */
+struct DecodedProgram
+{
+    std::vector<DecodedFunc> funcs;
+    /** Base address of each Const/Global object (0 for locals). */
+    std::vector<uint64_t> staticBase;
+    /**
+     * Page-aligned initial bytes of the static segments. Every run's
+     * Memory attaches this image copy-on-write (Vm::layoutStatics), so
+     * constructing a Vm no longer rewrites the static data.
+     */
+    StaticImage staticImage;
+    /** Identity vector the decode was built from (cache validation). */
+    std::vector<uint64_t> identity;
+};
+
+/** Static data segment layout (deterministic per Module). */
+inline constexpr uint64_t kConstSegBase = 0x10000;
+inline constexpr uint64_t kGlobalSegBase = 0x100000;
+
+/**
+ * Lay out Const/Global objects into their segments. Returns per-object
+ * base addresses (0 for locals). Shared by the decoder and
+ * Vm::layoutStatics so decoded absolute addresses always match the
+ * VM's own placement.
+ */
+std::vector<uint64_t> computeStaticBases(const Module &mod);
+
+/**
+ * Cheap O(blocks) identity fingerprint over everything a cached
+ * decode depends on: the addresses and sizes of every container the
+ * decode dereferences (notably the inst arrays DecodedOp::src points
+ * into) plus a per-block boundary-instruction spot digest. It
+ * deliberately does NOT hash full instruction content. decodeCached
+ * validates by comparing the underlying identity vector directly;
+ * this hash of it is exposed for logging and tests.
+ */
+uint64_t moduleFingerprint(const Module &mod);
+
+/** Predecode @p mod (addresses must already be assigned). */
+std::shared_ptr<const DecodedProgram> decodeModule(const Module &mod);
+
+/**
+ * Memoizing wrapper: one decode per live Module. Keyed by address and
+ * validated by fingerprint, so a recompiled or mutated module at a
+ * reused address decodes afresh. Thread-safe.
+ */
+std::shared_ptr<const DecodedProgram> decodeCached(const Module &mod);
+
+} // namespace ipds
+
+#endif // IPDS_VM_DECODE_H

@@ -1,30 +1,66 @@
 #include "vm/memory.h"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 
 namespace ipds {
 
-uint8_t
-Memory::readByte(uint64_t addr) const
+const std::vector<uint8_t> *
+Memory::imageFind(uint64_t pageNo) const
 {
-    auto it = pages.find(addr >> pageBits);
-    if (it == pages.end())
-        return 0;
-    return it->second[addr & (pageSize - 1)];
+    auto it = std::lower_bound(
+        image->begin(), image->end(), pageNo,
+        [](const ImagePage &p, uint64_t n) { return p.pageNo < n; });
+    return (it != image->end() && it->pageNo == pageNo) ? &it->bytes
+                                                        : nullptr;
 }
 
-void
-Memory::writeByte(uint64_t addr, uint8_t v)
+const uint8_t *
+Memory::peekSlow(uint64_t addr) const
 {
-    auto &page = pages[addr >> pageBits];
-    if (page.empty())
-        page.resize(pageSize, 0);
-    page[addr & (pageSize - 1)] = v;
+    const uint64_t pn = addr >> pageBits;
+    auto it = pages.find(pn);
+    if (it != pages.end()) {
+        // Values in the node-based table and the page buffers
+        // themselves are never moved or freed, so the caches can hold
+        // raw pointers.
+        roPage = pn;
+        roData = it->second.data();
+        return roData + (addr & (pageSize - 1));
+    }
+    if (image) {
+        if (const std::vector<uint8_t> *img = imageFind(pn)) {
+            roPage = pn;
+            roData = img->data();
+            return roData + (addr & (pageSize - 1));
+        }
+    }
+    return nullptr;
+}
+
+uint8_t *
+Memory::ensureSlow(uint64_t addr)
+{
+    const uint64_t pn = addr >> pageBits;
+    auto &page = pages[pn];
+    if (page.empty()) {
+        const std::vector<uint8_t> *img =
+            image ? imageFind(pn) : nullptr;
+        if (img)
+            page = *img; // copy-on-write: first store to an imaged page
+        else
+            page.resize(pageSize, 0);
+        if (roPage == pn)
+            roData = page.data(); // the image bytes are now stale
+    }
+    cachedPage = pn;
+    cachedData = page.data();
+    return cachedData + (addr & (pageSize - 1));
 }
 
 int64_t
-Memory::readI64(uint64_t addr) const
+Memory::readI64Slow(uint64_t addr) const
 {
     uint64_t v = 0;
     for (int i = 0; i < 8; i++)
@@ -33,41 +69,146 @@ Memory::readI64(uint64_t addr) const
 }
 
 void
-Memory::writeI64(uint64_t addr, int64_t v)
+Memory::writeI64Slow(uint64_t addr, int64_t v)
 {
     uint64_t u = static_cast<uint64_t>(v);
     for (int i = 0; i < 8; i++)
         writeByte(addr + i, static_cast<uint8_t>(u >> (8 * i)));
 }
 
+// The bulk operations below walk whole in-page runs per iteration
+// (memchr / memcpy) instead of going byte-by-byte through the page
+// cache: string builtins call them dozens of times per benchmark
+// session, and an unmapped page reads as zeros, which for a C string
+// is an immediate NUL terminator.
+
 std::string
 Memory::readCStr(uint64_t addr, size_t max) const
 {
     std::string out;
-    for (size_t i = 0; i < max; i++) {
-        uint8_t b = readByte(addr + i);
-        if (b == 0)
-            break;
-        out.push_back(static_cast<char>(b));
-    }
+    readCStrInto(out, addr, max);
     return out;
+}
+
+void
+Memory::readCStrInto(std::string &out, uint64_t addr, size_t max) const
+{
+    while (max > 0) {
+        const uint8_t *p = peek(addr);
+        if (!p)
+            break; // unmapped ⇒ zero byte ⇒ terminator
+        const size_t chunk = std::min<size_t>(
+            pageSize - (addr & (pageSize - 1)), max);
+        const void *nul = std::memchr(p, 0, chunk);
+        const size_t len =
+            nul ? static_cast<size_t>(
+                      static_cast<const uint8_t *>(nul) - p)
+                : chunk;
+        out.append(reinterpret_cast<const char *>(p), len);
+        if (nul)
+            break;
+        addr += chunk;
+        max -= chunk;
+    }
+}
+
+int
+Memory::cstrCmp(uint64_t a, uint64_t b, size_t max) const
+{
+    size_t i = 0;
+    while (i < max) {
+        const uint8_t *pa = peek(a + i);
+        const uint8_t *pb = peek(b + i);
+        const size_t chunk = std::min<size_t>(
+            std::min<size_t>(pageSize - ((a + i) & (pageSize - 1)),
+                             pageSize - ((b + i) & (pageSize - 1))),
+            max - i);
+        if (!pa && !pb)
+            return 0; // both unmapped ⇒ both strings end here
+        for (size_t k = 0; k < chunk; k++) {
+            const uint8_t x = pa ? pa[k] : 0;
+            const uint8_t y = pb ? pb[k] : 0;
+            if (x != y)
+                return x < y ? -1 : 1;
+            if (x == 0)
+                return 0;
+        }
+        i += chunk;
+    }
+    return 0;
+}
+
+size_t
+Memory::cstrLen(uint64_t addr, size_t max) const
+{
+    size_t n = 0;
+    while (n < max) {
+        const uint8_t *p = peek(addr + n);
+        if (!p)
+            break;
+        const size_t chunk = std::min<size_t>(
+            pageSize - ((addr + n) & (pageSize - 1)), max - n);
+        const void *nul = std::memchr(p, 0, chunk);
+        if (nul) {
+            return n + static_cast<size_t>(
+                           static_cast<const uint8_t *>(nul) - p);
+        }
+        n += chunk;
+    }
+    return n;
 }
 
 void
 Memory::writeBytes(uint64_t addr, const void *data, size_t n)
 {
     const uint8_t *p = static_cast<const uint8_t *>(data);
-    for (size_t i = 0; i < n; i++)
-        writeByte(addr + i, p[i]);
+    while (n > 0) {
+        uint8_t *d = ensure(addr);
+        const size_t chunk = std::min<size_t>(
+            pageSize - (addr & (pageSize - 1)), n);
+        std::memcpy(d, p, chunk);
+        addr += chunk;
+        p += chunk;
+        n -= chunk;
+    }
+}
+
+void
+Memory::fillBytes(uint64_t addr, uint8_t v, size_t n)
+{
+    while (n > 0) {
+        uint8_t *d = ensure(addr);
+        const size_t chunk = std::min<size_t>(
+            pageSize - (addr & (pageSize - 1)), n);
+        std::memset(d, v, chunk);
+        addr += chunk;
+        n -= chunk;
+    }
 }
 
 std::vector<uint8_t>
 Memory::readBytes(uint64_t addr, size_t n) const
 {
-    std::vector<uint8_t> out(n);
-    for (size_t i = 0; i < n; i++)
-        out[i] = readByte(addr + i);
+    std::vector<uint8_t> out(n); // zero-filled: unmapped reads as 0
+    readInto(out.data(), addr, n);
     return out;
+}
+
+void
+Memory::readInto(void *dst, uint64_t addr, size_t n) const
+{
+    uint8_t *d = static_cast<uint8_t *>(dst);
+    size_t off = 0;
+    while (off < n) {
+        const uint8_t *p = peek(addr + off);
+        const size_t chunk = std::min<size_t>(
+            pageSize - ((addr + off) & (pageSize - 1)), n - off);
+        if (p)
+            std::memcpy(d + off, p, chunk);
+        else
+            std::memset(d + off, 0, chunk);
+        off += chunk;
+    }
 }
 
 } // namespace ipds

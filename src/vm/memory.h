@@ -7,46 +7,168 @@
  * Bochs guest RAM. Sparse pages; reads of unmapped memory return zero.
  * Buffer overflows cross object boundaries exactly as they would in a
  * real address space — that is the attack surface the experiments need.
+ *
+ * Accesses are hot-path code for the interpreter: a one-entry page
+ * cache in front of the sparse page table makes the common case (the
+ * current stack frame's page) a pointer add instead of a hash lookup,
+ * and 64-bit accesses that stay inside a page are single memcpys.
+ * Pages are never freed and the table is node-based, so the cached
+ * page pointer stays valid for the lifetime of the Memory.
  */
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 namespace ipds {
 
-/** Sparse paged memory. */
+/** One page of read-only backing bytes (Memory::pageSize of them). */
+struct ImagePage
+{
+    uint64_t pageNo = 0;
+    std::vector<uint8_t> bytes;
+};
+
+/**
+ * Page-aligned read-only backing image, sorted by pageNo. Reads of
+ * pages absent from the sparse table fall back to these bytes; the
+ * first write to an imaged page copies it into the table
+ * (copy-on-write). Lets every run share one prebuilt static-data
+ * segment instead of rewriting it per Vm construction.
+ */
+using StaticImage = std::vector<ImagePage>;
+
+/** Sparse paged memory with a one-entry page cache. */
 class Memory
 {
   public:
+    static constexpr uint64_t pageBits = 12;
+    static constexpr uint64_t pageSize = 1ULL << pageBits;
+
+    /**
+     * Attach a read-only backing image. @p img must outlive the
+     * Memory; owned pages created before the attach shadow it.
+     */
+    void setImage(const StaticImage *img) { image = img; }
     /** Read one byte (0 if the page was never written). */
-    uint8_t readByte(uint64_t addr) const;
+    uint8_t
+    readByte(uint64_t addr) const
+    {
+        const uint8_t *p = peek(addr);
+        return p ? *p : 0;
+    }
 
     /** Write one byte, allocating the page if needed. */
-    void writeByte(uint64_t addr, uint8_t v);
+    void
+    writeByte(uint64_t addr, uint8_t v)
+    {
+        *ensure(addr) = v;
+    }
 
     /** Little-endian 64-bit read. */
-    int64_t readI64(uint64_t addr) const;
+    int64_t
+    readI64(uint64_t addr) const
+    {
+        if constexpr (std::endian::native == std::endian::little) {
+            if ((addr & (pageSize - 1)) <= pageSize - 8) {
+                const uint8_t *p = peek(addr);
+                if (!p)
+                    return 0;
+                int64_t v;
+                std::memcpy(&v, p, 8);
+                return v;
+            }
+        }
+        return readI64Slow(addr);
+    }
 
     /** Little-endian 64-bit write. */
-    void writeI64(uint64_t addr, int64_t v);
+    void
+    writeI64(uint64_t addr, int64_t v)
+    {
+        if constexpr (std::endian::native == std::endian::little) {
+            if ((addr & (pageSize - 1)) <= pageSize - 8) {
+                std::memcpy(ensure(addr), &v, 8);
+                return;
+            }
+        }
+        writeI64Slow(addr, v);
+    }
 
     /** Read a NUL-terminated string of at most @p max bytes. */
     std::string readCStr(uint64_t addr, size_t max = 1 << 20) const;
 
+    /** Length of the C string at @p addr without materializing it. */
+    size_t cstrLen(uint64_t addr, size_t max = 1 << 20) const;
+
+    /** Append the C string at @p addr to @p out (no materializing). */
+    void readCStrInto(std::string &out, uint64_t addr,
+                      size_t max = 1 << 20) const;
+
+    /**
+     * strcmp of the C strings at @p a and @p b, result clamped to
+     * {-1, 0, 1}. Resolves each page once per chunk, so comparing two
+     * strings does not thrash the one-entry page cache byte by byte.
+     */
+    int cstrCmp(uint64_t a, uint64_t b, size_t max = 1 << 20) const;
+
     /** Write @p bytes at @p addr (no terminator added). */
     void writeBytes(uint64_t addr, const void *data, size_t n);
+
+    /** memset n bytes starting at @p addr. */
+    void fillBytes(uint64_t addr, uint8_t v, size_t n);
 
     /** Read @p n raw bytes. */
     std::vector<uint8_t> readBytes(uint64_t addr, size_t n) const;
 
+    /** Read @p n raw bytes into caller storage (no allocation). */
+    void readInto(void *dst, uint64_t addr, size_t n) const;
+
   private:
-    static constexpr uint64_t pageBits = 12;
-    static constexpr uint64_t pageSize = 1ULL << pageBits;
+    /**
+     * Byte pointer if the page exists (owned or imaged), nullptr
+     * otherwise. Two cache entries: the write cache (also readable)
+     * and a read-only one, so a read stream over one page does not
+     * evict the page the write stream is on — e.g. loads from a
+     * global while storing to the stack frame.
+     */
+    const uint8_t *
+    peek(uint64_t addr) const
+    {
+        if ((addr >> pageBits) == cachedPage)
+            return cachedData + (addr & (pageSize - 1));
+        if ((addr >> pageBits) == roPage)
+            return roData + (addr & (pageSize - 1));
+        return peekSlow(addr);
+    }
+
+    /** Byte pointer, allocating (zeroed) the page if needed. */
+    uint8_t *
+    ensure(uint64_t addr)
+    {
+        if ((addr >> pageBits) == cachedPage)
+            return cachedData + (addr & (pageSize - 1));
+        return ensureSlow(addr);
+    }
+
+    const uint8_t *peekSlow(uint64_t addr) const;
+    uint8_t *ensureSlow(uint64_t addr);
+    int64_t readI64Slow(uint64_t addr) const;
+    void writeI64Slow(uint64_t addr, int64_t v);
+    const std::vector<uint8_t> *imageFind(uint64_t pageNo) const;
 
     std::unordered_map<uint64_t, std::vector<uint8_t>> pages;
+    const StaticImage *image = nullptr;
+    /** Last page written (readable too); ~0 = nothing cached. */
+    mutable uint64_t cachedPage = ~0ULL;
+    mutable uint8_t *cachedData = nullptr;
+    /** Last page read (may point into the image); ~0 = none. */
+    mutable uint64_t roPage = ~0ULL;
+    mutable const uint8_t *roData = nullptr;
 };
 
 } // namespace ipds

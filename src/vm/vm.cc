@@ -1,10 +1,22 @@
 #include "vm/vm.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "support/diag.h"
+
+// Dispatch strategy for the threaded engine: computed goto (one
+// indirect jump per opcode, so the branch predictor learns per-opcode
+// successor patterns) when the build opts in and the compiler supports
+// GNU label values; a dense switch over the flattened DecOp space
+// otherwise.
+#if defined(IPDS_VM_THREADED) && defined(__GNUC__)
+#define IPDS_VM_CGOTO 1
+#else
+#define IPDS_VM_CGOTO 0
+#endif
 
 namespace ipds {
 
@@ -22,62 +34,51 @@ struct ExitCall
     int64_t code;
 };
 
-uint64_t
-alignUp(uint64_t v, uint64_t a)
-{
-    return (v + a - 1) & ~(a - 1);
-}
-
 } // namespace
 
 Vm::Vm(const Module &prog)
-    : mod(prog)
+    : Vm(prog, decodeCached(prog))
+{
+}
+
+Vm::Vm(const Module &prog,
+       std::shared_ptr<const DecodedProgram> predecoded)
+    : mod(prog), dec(std::move(predecoded))
 {
     layoutStatics();
     sp = stackTop;
+    frames.reserve(8);
 }
 
 void
 Vm::layoutStatics()
 {
-    staticBase.assign(mod.objects.size(), 0);
-    uint64_t constCur = constBase;
-    uint64_t globalCur = globalSegBase;
-    for (const auto &obj : mod.objects) {
-        if (obj.kind == ObjectKind::Local)
-            continue;
-        uint64_t &cur =
-            obj.kind == ObjectKind::Const ? constCur : globalCur;
-        staticBase[obj.id] = cur;
-        if (!obj.init.empty())
-            mem.writeBytes(cur, obj.init.data(), obj.init.size());
-        cur = alignUp(cur + obj.size, 8);
-    }
+    // Placement comes from the shared predecode layout
+    // (computeStaticBases) and the initial bytes from its prebuilt
+    // page image, attached copy-on-write: constructing a Vm writes no
+    // static data at all. `dec` is held by this Vm, so the image
+    // outlives `mem`.
+    mem.setImage(&dec->staticImage);
 }
 
 uint64_t
 Vm::globalBase(ObjectId obj) const
 {
-    if (obj >= staticBase.size() || staticBase[obj] == 0)
+    if (obj >= dec->staticBase.size() || dec->staticBase[obj] == 0)
         panic("globalBase: object %u is not a static object", obj);
-    return staticBase[obj];
+    return dec->staticBase[obj];
 }
 
 uint64_t
 Vm::entryLocalAddr(const std::string &name) const
 {
     const Function &fn = mod.functions[mod.entry];
+    const DecodedFunc &df = dec->funcs[mod.entry];
     std::string full = fn.name + "." + name;
-    uint64_t size = 0;
-    std::vector<uint64_t> offsets(fn.locals.size());
-    for (size_t i = 0; i < fn.locals.size(); i++) {
-        offsets[i] = size;
-        size += alignUp(mod.objects[fn.locals[i]].size, 8);
-    }
-    uint64_t base = stackTop - size;
+    uint64_t base = stackTop - df.frameSize;
     for (size_t i = 0; i < fn.locals.size(); i++) {
         if (mod.objects[fn.locals[i]].name == full)
-            return base + offsets[i];
+            return base + df.localOffset[i];
     }
     panic("entryLocalAddr: no local named '%s' in %s", name.c_str(),
           fn.name.c_str());
@@ -114,7 +115,7 @@ Vm::localAddr(const Frame &fr, ObjectId obj, int64_t off) const
 {
     const MemObject &o = mod.objects[obj];
     if (o.kind != ObjectKind::Local)
-        return staticBase[obj] + static_cast<uint64_t>(off);
+        return dec->staticBase[obj] + static_cast<uint64_t>(off);
     const Function &fn = mod.functions[fr.func];
     for (size_t i = 0; i < fn.locals.size(); i++) {
         if (fn.locals[i] == obj)
@@ -129,49 +130,48 @@ Vm::pushFrame(FuncId f, const std::vector<int64_t> &args,
               Vreg caller_dst)
 {
     const Function &fn = mod.functions[f];
+    const DecodedFunc &df = dec->funcs[f];
     Frame fr;
     fr.func = f;
     fr.regs.assign(fn.nextVreg, 0);
     fr.callerDst = caller_dst;
 
-    // Lay locals out bottom-up in declaration order: a buffer overflow
-    // (increasing addresses) runs into later-declared locals and then
-    // the caller's frame, as on a real downward-growing stack.
-    uint64_t size = 0;
-    fr.localBase.resize(fn.locals.size());
-    std::vector<uint64_t> offsets(fn.locals.size());
-    for (size_t i = 0; i < fn.locals.size(); i++) {
-        offsets[i] = size;
-        size += alignUp(mod.objects[fn.locals[i]].size, 8);
-    }
-    if (sp < size + stackLimit)
+    // Locals lie bottom-up in declaration order (precomputed by the
+    // predecoder): a buffer overflow (increasing addresses) runs into
+    // later-declared locals and then the caller's frame, as on a real
+    // downward-growing stack.
+    if (sp < df.frameSize + stackLimit)
         trap("stack overflow in " + fn.name);
-    sp -= size;
+    sp -= df.frameSize;
     fr.frameBase = sp;
+    fr.localBase.resize(fn.locals.size());
     for (size_t i = 0; i < fn.locals.size(); i++)
-        fr.localBase[i] = fr.frameBase + offsets[i];
+        fr.localBase[i] = fr.frameBase + df.localOffset[i];
 
     // Bind arguments: GetArg reads regs via a shadow copy.
     fr.args = args;
 
     frames.push_back(std::move(fr));
-    for (auto *obs : observers)
-        obs->onFunctionEnter(f);
+    stats_.blocks++; // the callee's entry block
+    if (soloObs)
+        soloObs->onFunctionEnter(f);
+    else
+        for (auto *obs : observers)
+            obs->onFunctionEnter(f);
 }
 
 void
 Vm::popFrame()
 {
     const Frame &fr = frames.back();
-    const Function &fn = mod.functions[fr.func];
-    uint64_t size = 0;
-    for (ObjectId oid : fn.locals)
-        size += alignUp(mod.objects[oid].size, 8);
-    sp += size;
+    sp += dec->funcs[fr.func].frameSize;
     FuncId f = fr.func;
     frames.pop_back();
-    for (auto *obs : observers)
-        obs->onFunctionExit(f);
+    if (soloObs)
+        soloObs->onFunctionExit(f);
+    else
+        for (auto *obs : observers)
+            obs->onFunctionExit(f);
 }
 
 RunResult
@@ -183,14 +183,22 @@ Vm::run()
     if (trc)
         trc->record(obs::kCatSession, obs::TraceKind::SessionBegin,
                     mod.entry, 0, sessionIndex);
+    soloObs = observers.size() == 1 ? observers[0] : nullptr;
+    instEventsOn = false;
+    for (ExecObserver *obs : observers)
+        instEventsOn |= obs->wantsInstEvents();
     try {
         pushFrame(mod.entry, {}, kNoVreg);
-        while (!frames.empty()) {
-            if (!step(res))
-                break;
-        }
-        if (frames.empty() && res.exit == ExitKind::Returned) {
-            // main returned; exitCode already captured in step().
+        if (engineKind == VmEngine::Threaded) {
+            if (batchedDelivery)
+                runThreadedImpl<true>(res);
+            else
+                runThreadedImpl<false>(res);
+        } else {
+            while (!frames.empty()) {
+                if (!step(res))
+                    break;
+            }
         }
     } catch (const TrapError &t) {
         res.exit = ExitKind::Trapped;
@@ -200,6 +208,7 @@ Vm::run()
         res.exitCode = e.code;
     }
     res.steps = steps;
+    stats_.instructions = steps;
     res.inputEventCount = inputEvents;
     res.tamper = tamperDone;
     if (trc)
@@ -213,6 +222,13 @@ bool
 Vm::step(RunResult &res)
 {
     if (steps >= fuel) {
+        // A step-armed tamper at exactly the fuel boundary must fire
+        // before the out-of-fuel bail: both engines check fuel at
+        // batch granularity, so the two conditions can trip in the
+        // same check, and fuel exhaustion must not mask the tamper.
+        if (tamperArmed && !tamperDone.fired &&
+            tamperSpec.atStep > 0 && steps >= tamperSpec.atStep)
+            fireTamper(res);
         res.exit = ExitKind::OutOfFuel;
         return false;
     }
@@ -346,15 +362,20 @@ Vm::step(RunResult &res)
         bool taken = fr.regs[in.srcA] != 0;
         if (recordTrace)
             res.branchTrace.push_back({in.pc, taken});
-        for (auto *obs : observers)
-            obs->onBranch(fr.func, in.pc, taken);
+        if (soloObs)
+            soloObs->onBranch(fr.func, in.pc, taken);
+        else
+            for (auto *obs : observers)
+                obs->onBranch(fr.func, in.pc, taken);
         fr.block = taken ? in.target : in.fallthrough;
         fr.ip = 0;
+        stats_.blocks++;
         break;
       }
       case Op::Jmp:
         fr.block = in.target;
         fr.ip = 0;
+        stats_.blocks++;
         break;
       case Op::Call: {
         if (in.builtin != Builtin::None) {
@@ -395,8 +416,11 @@ Vm::step(RunResult &res)
       }
     }
 
-    for (auto *obs : observers)
-        obs->onInst(in, memAddr, memSize, isLoad);
+    if (soloObs)
+        soloObs->onInst(in, memAddr, memSize, isLoad);
+    else
+        for (auto *obs : observers)
+            obs->onInst(in, memAddr, memSize, isLoad);
 
     if (tamperArmed && !tamperDone.fired && tamperSpec.atStep > 0 &&
         steps >= tamperSpec.atStep) {
@@ -404,6 +428,483 @@ Vm::step(RunResult &res)
     }
     return !frames.empty();
 }
+
+#if IPDS_VM_CGOTO
+#define IPDS_OP(name) L_##name:
+#define IPDS_DISPATCH()                                                \
+    do {                                                               \
+        if (budget == 0)                                               \
+            goto checkpoint;                                           \
+        budget--;                                                      \
+        d = &ops[ip++];                                                \
+        goto *kLabels[static_cast<size_t>(d->op)];                     \
+    } while (0)
+#else
+#define IPDS_OP(name) case DecOp::name:
+#define IPDS_DISPATCH() goto dispatch
+#endif
+
+template <bool Batched>
+void
+Vm::runThreadedImpl(RunResult &res)
+{
+    // Every local lives above the first label: the dispatch gotos must
+    // not jump over an initialization.
+    Frame *fr = &frames.back();
+    const DecodedFunc *df = &dec->funcs[fr->func];
+    const DecodedOp *ops = df->ops.data();
+    int64_t *regs = fr->regs.data();
+    uint32_t ip = 0;
+    const DecodedOp *d = nullptr;
+    // One chunk = the ops until the next fuel/tamper/buffer boundary.
+    // A single countdown replaces the per-instruction fuel and tamper
+    // checks: chunk ends are scheduled exactly at those boundaries, so
+    // checkpoint-granularity checks observe the same step counts as
+    // the switch engine's per-instruction ones.
+    uint64_t chunkSize = 0;
+    uint64_t budget = 0;
+    uint64_t blk = 0;
+    [[maybe_unused]] VmInstEvent evBuf[kBatchCap];
+    [[maybe_unused]] uint32_t nev = 0;
+    [[maybe_unused]] FuncId batchFunc = kNoFunc;
+    ExecObserver *const solo = soloObs;
+    [[maybe_unused]] const bool anyObs = !observers.empty();
+
+    auto flush = [&]() {
+        if constexpr (Batched) {
+            if (nev == 0)
+                return;
+            EventBatch b;
+            b.func = batchFunc;
+            b.ev = evBuf;
+            b.n = nev;
+            stats_.eventBatchFlushes++;
+            if (solo)
+                solo->onBatch(b);
+            else
+                for (auto *obs : observers)
+                    obs->onBatch(b);
+            nev = 0;
+        }
+    };
+    // Instruction events are skipped wholesale when no observer wants
+    // them (detector-only deployment): branches remain the only
+    // delivered events, mirroring the paper's hardware interface.
+    const bool instEv = instEventsOn;
+    auto emitInst = [&](uint64_t mem_addr, uint32_t mem_size,
+                        bool is_load) {
+        if (!instEv)
+            return;
+        if constexpr (Batched) {
+            VmInstEvent &e = evBuf[nev++];
+            e.inst = d->src;
+            e.memAddr = mem_addr;
+            e.memSize = mem_size;
+            e.isLoad = is_load;
+            e.isBranch = false;
+            e.taken = false;
+            if (nev == kBatchCap)
+                flush();
+        } else if (solo) {
+            solo->onInst(*d->src, mem_addr, mem_size, is_load);
+        } else {
+            for (auto *obs : observers)
+                obs->onInst(*d->src, mem_addr, mem_size, is_load);
+        }
+    };
+    // Commits the conditional branch in *d: trace entry, branch event
+    // (one buffered event carries both the branch and the inst commit
+    // in batched mode; per-event mode fans out onBranch before the
+    // inst event, matching the switch engine), then takes the edge.
+    // Shared by the Br handler and the fused compare-and-branch ops.
+    auto commitBranch = [&](bool taken) {
+        if (recordTrace)
+            res.branchTrace.push_back({d->src->pc, taken});
+        if constexpr (Batched) {
+            if (anyObs) {
+                VmInstEvent &e = evBuf[nev++];
+                e.inst = d->src;
+                e.memAddr = 0;
+                e.memSize = 0;
+                e.isLoad = false;
+                e.isBranch = true;
+                e.taken = taken;
+                batchFunc = fr->func;
+                if (nev == kBatchCap)
+                    flush();
+            }
+        } else {
+            if (solo)
+                solo->onBranch(fr->func, d->src->pc, taken);
+            else
+                for (auto *obs : observers)
+                    obs->onBranch(fr->func, d->src->pc, taken);
+            emitInst(0, 0, false);
+        }
+        ip = taken ? d->a : d->b;
+        blk++;
+    };
+
+    try {
+#if IPDS_VM_CGOTO
+        // Must mirror the DecOp declaration order exactly
+        // (static_assert below pins the count).
+        static const void *const kLabels[] = {
+            &&L_ConstInt, &&L_AddrLocal, &&L_AddrStatic,
+            &&L_LoadLoc8, &&L_LoadLoc64, &&L_LoadSt8, &&L_LoadSt64,
+            &&L_LoadInd8, &&L_LoadInd64,
+            &&L_StoreLoc8, &&L_StoreLoc64, &&L_StoreSt8, &&L_StoreSt64,
+            &&L_StoreInd8, &&L_StoreInd64,
+            &&L_Add, &&L_Sub, &&L_Mul, &&L_Div, &&L_Rem,
+            &&L_And, &&L_Or, &&L_Xor, &&L_Shl, &&L_Shr,
+            &&L_CmpEq, &&L_CmpNe, &&L_CmpLt, &&L_CmpLe, &&L_CmpGt,
+            &&L_CmpGe,
+            &&L_Br, &&L_Jmp, &&L_CallUser, &&L_CallBuiltin,
+            &&L_RetOp, &&L_GetArg,
+            &&L_BrCmpEq, &&L_BrCmpNe, &&L_BrCmpLt, &&L_BrCmpLe,
+            &&L_BrCmpGt, &&L_BrCmpGe,
+        };
+        static_assert(sizeof(kLabels) / sizeof(kLabels[0]) ==
+                          static_cast<size_t>(DecOp::Count_),
+                      "dispatch table out of sync with DecOp");
+        IPDS_DISPATCH();
+#else
+    dispatch:
+        if (budget == 0)
+            goto checkpoint;
+        budget--;
+        d = &ops[ip++];
+        switch (d->op) {
+#endif
+
+        IPDS_OP(ConstInt) {
+            regs[d->dst] = d->imm;
+            emitInst(0, 0, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(AddrLocal) {
+            regs[d->dst] = static_cast<int64_t>(
+                fr->frameBase + static_cast<uint64_t>(d->imm));
+            emitInst(0, 0, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(AddrStatic) {
+            regs[d->dst] = d->imm;
+            emitInst(0, 0, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(LoadLoc8) {
+            uint64_t ad =
+                fr->frameBase + static_cast<uint64_t>(d->imm);
+            regs[d->dst] = static_cast<int64_t>(mem.readByte(ad));
+            emitInst(ad, 1, true);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(LoadLoc64) {
+            uint64_t ad =
+                fr->frameBase + static_cast<uint64_t>(d->imm);
+            regs[d->dst] = mem.readI64(ad);
+            emitInst(ad, 8, true);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(LoadSt8) {
+            uint64_t ad = static_cast<uint64_t>(d->imm);
+            regs[d->dst] = static_cast<int64_t>(mem.readByte(ad));
+            emitInst(ad, 1, true);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(LoadSt64) {
+            uint64_t ad = static_cast<uint64_t>(d->imm);
+            regs[d->dst] = mem.readI64(ad);
+            emitInst(ad, 8, true);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(LoadInd8) {
+            uint64_t ad = static_cast<uint64_t>(regs[d->a]);
+            regs[d->dst] = static_cast<int64_t>(mem.readByte(ad));
+            emitInst(ad, 1, true);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(LoadInd64) {
+            uint64_t ad = static_cast<uint64_t>(regs[d->a]);
+            regs[d->dst] = mem.readI64(ad);
+            emitInst(ad, 8, true);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(StoreLoc8) {
+            uint64_t ad =
+                fr->frameBase + static_cast<uint64_t>(d->imm);
+            mem.writeByte(ad, static_cast<uint8_t>(regs[d->a]));
+            emitInst(ad, 1, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(StoreLoc64) {
+            uint64_t ad =
+                fr->frameBase + static_cast<uint64_t>(d->imm);
+            mem.writeI64(ad, regs[d->a]);
+            emitInst(ad, 8, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(StoreSt8) {
+            uint64_t ad = static_cast<uint64_t>(d->imm);
+            mem.writeByte(ad, static_cast<uint8_t>(regs[d->a]));
+            emitInst(ad, 1, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(StoreSt64) {
+            uint64_t ad = static_cast<uint64_t>(d->imm);
+            mem.writeI64(ad, regs[d->a]);
+            emitInst(ad, 8, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(StoreInd8) {
+            uint64_t ad = static_cast<uint64_t>(regs[d->a]);
+            mem.writeByte(ad, static_cast<uint8_t>(regs[d->b]));
+            emitInst(ad, 1, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(StoreInd64) {
+            uint64_t ad = static_cast<uint64_t>(regs[d->a]);
+            mem.writeI64(ad, regs[d->b]);
+            emitInst(ad, 8, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(Add) {
+            regs[d->dst] = static_cast<int64_t>(
+                static_cast<uint64_t>(regs[d->a]) +
+                static_cast<uint64_t>(regs[d->b]));
+            emitInst(0, 0, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(Sub) {
+            regs[d->dst] = static_cast<int64_t>(
+                static_cast<uint64_t>(regs[d->a]) -
+                static_cast<uint64_t>(regs[d->b]));
+            emitInst(0, 0, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(Mul) {
+            regs[d->dst] = static_cast<int64_t>(
+                static_cast<uint64_t>(regs[d->a]) *
+                static_cast<uint64_t>(regs[d->b]));
+            emitInst(0, 0, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(Div) {
+            int64_t a = regs[d->a];
+            int64_t b = regs[d->b];
+            if (b == 0)
+                trap("division by zero");
+            regs[d->dst] =
+                (a == INT64_MIN && b == -1) ? INT64_MIN : a / b;
+            emitInst(0, 0, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(Rem) {
+            int64_t a = regs[d->a];
+            int64_t b = regs[d->b];
+            if (b == 0)
+                trap("remainder by zero");
+            regs[d->dst] = (a == INT64_MIN && b == -1) ? 0 : a % b;
+            emitInst(0, 0, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(And) {
+            regs[d->dst] = regs[d->a] & regs[d->b];
+            emitInst(0, 0, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(Or) {
+            regs[d->dst] = regs[d->a] | regs[d->b];
+            emitInst(0, 0, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(Xor) {
+            regs[d->dst] = regs[d->a] ^ regs[d->b];
+            emitInst(0, 0, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(Shl) {
+            regs[d->dst] = static_cast<int64_t>(
+                static_cast<uint64_t>(regs[d->a])
+                << (regs[d->b] & 63));
+            emitInst(0, 0, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(Shr) {
+            regs[d->dst] = regs[d->a] >> (regs[d->b] & 63);
+            emitInst(0, 0, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(CmpEq) {
+            regs[d->dst] = regs[d->a] == regs[d->b] ? 1 : 0;
+            emitInst(0, 0, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(CmpNe) {
+            regs[d->dst] = regs[d->a] != regs[d->b] ? 1 : 0;
+            emitInst(0, 0, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(CmpLt) {
+            regs[d->dst] = regs[d->a] < regs[d->b] ? 1 : 0;
+            emitInst(0, 0, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(CmpLe) {
+            regs[d->dst] = regs[d->a] <= regs[d->b] ? 1 : 0;
+            emitInst(0, 0, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(CmpGt) {
+            regs[d->dst] = regs[d->a] > regs[d->b] ? 1 : 0;
+            emitInst(0, 0, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(CmpGe) {
+            regs[d->dst] = regs[d->a] >= regs[d->b] ? 1 : 0;
+            emitInst(0, 0, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(Br) {
+            commitBranch(regs[d->dst] != 0);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(Jmp) {
+            ip = d->a;
+            blk++;
+            emitInst(0, 0, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(CallUser) {
+            // The batch must not span the enter event; the call inst's
+            // own event lands in the new batch, matching the
+            // per-event order (enter, then the call's onInst).
+            flush();
+            argScratch.clear();
+            for (uint32_t i = 0; i < d->nArgs; i++)
+                argScratch.push_back(regs[df->argPool[d->b + i]]);
+            fr->ip = ip; // resume after the call on return
+            pushFrame(static_cast<FuncId>(d->a), argScratch, d->dst);
+            fr = &frames.back();
+            df = &dec->funcs[fr->func];
+            ops = df->ops.data();
+            regs = fr->regs.data();
+            ip = 0;
+            // d still points into the caller's op array (stable:
+            // DecodedProgram is immutable), so the call inst's event
+            // can be emitted after the frame switch.
+            emitInst(0, 0, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(CallBuiltin) {
+            execBuiltin(*fr, *d->src, res);
+            emitInst(0, 0, false);
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(RetOp) {
+            int64_t value = d->a != kNoVreg ? regs[d->a] : 0;
+            Vreg dst = fr->callerDst;
+            flush();
+            popFrame();
+            emitInst(0, 0, false);
+            if (frames.empty()) {
+                res.exit = ExitKind::Returned;
+                res.exitCode = value;
+                steps += chunkSize - budget;
+                stats_.blocks += blk;
+                flush();
+                return;
+            }
+            fr = &frames.back();
+            df = &dec->funcs[fr->func];
+            ops = df->ops.data();
+            regs = fr->regs.data();
+            ip = fr->ip;
+            if (dst != kNoVreg)
+                regs[dst] = value;
+            IPDS_DISPATCH();
+        }
+        IPDS_OP(GetArg) {
+            size_t idx = static_cast<size_t>(d->imm);
+            regs[d->dst] = idx < fr->args.size() ? fr->args[idx] : 0;
+            emitInst(0, 0, false);
+            IPDS_DISPATCH();
+        }
+
+// Fused compare-and-branch. The cmp half commits first (result still
+// written — it may be live past the branch); if the chunk has budget
+// left, the paired Br at the next index is consumed inline instead of
+// going back through dispatch. At a chunk boundary (budget == 0) the
+// pair splits: the checkpoint runs between the two commits and the Br
+// then dispatches normally — exactly the interleaving the switch
+// engine's per-instruction checks produce.
+#define IPDS_OP_BRCMP(name, cmpop)                                     \
+        IPDS_OP(BrCmp##name) {                                         \
+            const bool cond = regs[d->a] cmpop regs[d->b];             \
+            regs[d->dst] = cond ? 1 : 0;                               \
+            emitInst(0, 0, false);                                     \
+            if (budget != 0) {                                         \
+                budget--;                                              \
+                d = &ops[ip++];                                        \
+                commitBranch(cond);                                    \
+            }                                                          \
+            IPDS_DISPATCH();                                           \
+        }
+
+        IPDS_OP_BRCMP(Eq, ==)
+        IPDS_OP_BRCMP(Ne, !=)
+        IPDS_OP_BRCMP(Lt, <)
+        IPDS_OP_BRCMP(Le, <=)
+        IPDS_OP_BRCMP(Gt, >)
+        IPDS_OP_BRCMP(Ge, >=)
+#undef IPDS_OP_BRCMP
+
+#if !IPDS_VM_CGOTO
+          case DecOp::Count_:
+            break;
+        }
+        panic("threaded dispatch: corrupt opcode");
+#endif
+
+    checkpoint:
+        // Only fuel exhaustion and step-armed tampers land here: the
+        // event buffer flushes itself at the append sites when full,
+        // so chunks are not capped by remaining batch capacity and a
+        // typical run re-enters the checkpoint once or twice total.
+        steps += chunkSize - budget;
+        stats_.blocks += blk;
+        blk = 0;
+        // A step-armed tamper at exactly the fuel boundary must fire
+        // before the out-of-fuel bail (see the matching check in
+        // step()).
+        if (tamperArmed && !tamperDone.fired &&
+            tamperSpec.atStep > 0 && steps >= tamperSpec.atStep)
+            fireTamper(res);
+        if (steps >= fuel) {
+            fr->ip = ip;
+            flush();
+            res.exit = ExitKind::OutOfFuel;
+            return;
+        }
+        chunkSize = fuel - steps;
+        if (tamperArmed && !tamperDone.fired &&
+            tamperSpec.atStep > steps)
+            chunkSize = std::min(chunkSize, tamperSpec.atStep - steps);
+        budget = chunkSize;
+        IPDS_DISPATCH();
+    } catch (...) {
+        // Trap/exit unwinding: the faulting op counted a step but is
+        // not delivered, exactly like the switch engine.
+        steps += chunkSize - budget;
+        stats_.blocks += blk;
+        flush();
+        throw;
+    }
+}
+
+#undef IPDS_OP
+#undef IPDS_DISPATCH
 
 void
 Vm::maybeFireTamper(RunResult &res, bool input_event)
@@ -492,9 +993,11 @@ Vm::execBuiltin(Frame &fr, const Inst &in, RunResult &res)
     auto uarg = [&](size_t i) {
         return static_cast<uint64_t>(fr.regs[in.args[i]]);
     };
-    auto nextInput = [&]() -> std::string {
-        std::string line =
-            inputPos < inputs.size() ? inputs[inputPos++] : "";
+    static const std::string kNoMoreInput;
+    auto nextInput = [&]() -> const std::string & {
+        const std::string &line =
+            inputPos < inputs.size() ? inputs[inputPos++]
+                                     : kNoMoreInput;
         inputEvents++;
         res.inputEventPcs.push_back(in.pc);
         if (trc)
@@ -505,14 +1008,17 @@ Vm::execBuiltin(Frame &fr, const Inst &in, RunResult &res)
 
     switch (in.builtin) {
       case Builtin::PrintStr:
-        res.output += mem.readCStr(uarg(0));
+        mem.readCStrInto(res.output, uarg(0));
         break;
-      case Builtin::PrintInt:
-        res.output += strprintf("%lld",
+      case Builtin::PrintInt: {
+        char buf[24];
+        int len = std::snprintf(buf, sizeof buf, "%lld",
                                 static_cast<long long>(arg(0)));
+        res.output.append(buf, static_cast<size_t>(len));
         break;
+      }
       case Builtin::GetInput: {
-        std::string line = nextInput();
+        const std::string &line = nextInput();
         // The classic unbounded copy: writes however much arrives.
         mem.writeBytes(uarg(0), line.data(), line.size());
         mem.writeByte(uarg(0) + line.size(), 0);
@@ -520,7 +1026,7 @@ Vm::execBuiltin(Frame &fr, const Inst &in, RunResult &res)
         break;
       }
       case Builtin::GetInputN: {
-        std::string line = nextInput();
+        const std::string &line = nextInput();
         int64_t n = arg(1);
         if (n > 0) {
             size_t cap = static_cast<size_t>(n - 1);
@@ -532,15 +1038,28 @@ Vm::execBuiltin(Frame &fr, const Inst &in, RunResult &res)
         break;
       }
       case Builtin::InputInt: {
-        std::string line = nextInput();
+        const std::string &line = nextInput();
         fr.regs[in.dst] = std::strtoll(line.c_str(), nullptr, 10);
         maybeFireTamper(res, true);
         break;
       }
       case Builtin::Strcpy: {
-        std::string s = mem.readCStr(uarg(1));
-        mem.writeBytes(uarg(0), s.data(), s.size());
-        mem.writeByte(uarg(0) + s.size(), 0);
+        // The source is read in full BEFORE any write: an overflow
+        // can make the regions overlap, and interleaving would then
+        // chase the moving terminator. Short strings (the common
+        // case, including typical overflow payloads) stage through a
+        // stack buffer instead of a heap std::string.
+        uint8_t buf[512];
+        const size_t len = mem.cstrLen(uarg(1));
+        if (len < sizeof buf) {
+            mem.readInto(buf, uarg(1), len);
+            buf[len] = 0;
+            mem.writeBytes(uarg(0), buf, len + 1);
+        } else {
+            std::string s = mem.readCStr(uarg(1));
+            mem.writeBytes(uarg(0), s.data(), s.size());
+            mem.writeByte(uarg(0) + s.size(), 0);
+        }
         break;
       }
       case Builtin::Strncpy: {
@@ -554,19 +1073,24 @@ Vm::execBuiltin(Frame &fr, const Inst &in, RunResult &res)
         break;
       }
       case Builtin::Strcat: {
-        std::string d = mem.readCStr(uarg(0));
-        std::string s = mem.readCStr(uarg(1));
-        mem.writeBytes(uarg(0) + d.size(), s.data(), s.size());
-        mem.writeByte(uarg(0) + d.size() + s.size(), 0);
+        // Same read-everything-first discipline as Strcpy.
+        const size_t dlen = mem.cstrLen(uarg(0));
+        uint8_t buf[512];
+        const size_t slen = mem.cstrLen(uarg(1));
+        if (slen < sizeof buf) {
+            mem.readInto(buf, uarg(1), slen);
+            buf[slen] = 0;
+            mem.writeBytes(uarg(0) + dlen, buf, slen + 1);
+        } else {
+            std::string s = mem.readCStr(uarg(1));
+            mem.writeBytes(uarg(0) + dlen, s.data(), s.size());
+            mem.writeByte(uarg(0) + dlen + s.size(), 0);
+        }
         break;
       }
-      case Builtin::Strcmp: {
-        std::string a = mem.readCStr(uarg(0));
-        std::string b = mem.readCStr(uarg(1));
-        int c = std::strcmp(a.c_str(), b.c_str());
-        fr.regs[in.dst] = c < 0 ? -1 : (c > 0 ? 1 : 0);
+      case Builtin::Strcmp:
+        fr.regs[in.dst] = mem.cstrCmp(uarg(0), uarg(1));
         break;
-      }
       case Builtin::Strncmp: {
         int64_t n = arg(2);
         int cmpv = 0;
@@ -585,13 +1109,13 @@ Vm::execBuiltin(Frame &fr, const Inst &in, RunResult &res)
       }
       case Builtin::Strlen:
         fr.regs[in.dst] =
-            static_cast<int64_t>(mem.readCStr(uarg(0)).size());
+            static_cast<int64_t>(mem.cstrLen(uarg(0)));
         break;
       case Builtin::Memset: {
-        uint8_t v = static_cast<uint8_t>(arg(1));
         int64_t n = arg(2);
-        for (int64_t i = 0; i < n; i++)
-            mem.writeByte(uarg(0) + i, v);
+        if (n > 0)
+            mem.fillBytes(uarg(0), static_cast<uint8_t>(arg(1)),
+                          static_cast<size_t>(n));
         break;
       }
       case Builtin::Memcpy: {

@@ -28,6 +28,7 @@
 #include "ir/ir.h"
 #include "obs/trace.h"
 #include "support/rng.h"
+#include "vm/decode.h"
 #include "vm/memory.h"
 
 namespace ipds {
@@ -54,6 +55,39 @@ struct BranchEvent
 };
 
 /**
+ * One buffered instruction event (batched delivery). Captures exactly
+ * what the per-event callbacks carry: the committed instruction, its
+ * data access, and — for conditional branches — the direction.
+ */
+struct VmInstEvent
+{
+    const Inst *inst = nullptr;
+    uint64_t memAddr = 0;
+    uint32_t memSize = 0; ///< 0: no data access
+    bool isLoad = false;
+    bool isBranch = false; ///< Op::Br: onBranch precedes onInst
+    bool taken = false;
+};
+
+/**
+ * A run of buffered events delivered in one observer call.
+ *
+ * Contract (see DESIGN.md "VM execution engine"):
+ *  - events appear in commit order;
+ *  - every isBranch event belongs to @p func — a batch never spans a
+ *    function enter/exit, which are still delivered per-event and
+ *    always flush the pending batch first;
+ *  - the call/ret instruction's own event lands in the batch AFTER its
+ *    enter/exit, matching the per-event callback order.
+ */
+struct EventBatch
+{
+    FuncId func = kNoFunc; ///< function of every branch event
+    const VmInstEvent *ev = nullptr;
+    uint32_t n = 0;
+};
+
+/**
  * Observer interface for execution events. All callbacks default to
  * no-ops so implementations override only what they need.
  */
@@ -61,6 +95,18 @@ class ExecObserver
 {
   public:
     virtual ~ExecObserver() = default;
+
+    /**
+     * Declare whether this observer consumes per-instruction events
+     * (onInst / non-branch batch entries). The threaded engine skips
+     * instruction-event construction and delivery entirely when no
+     * attached observer wants them — the common deployment (detector
+     * only) then pays per BRANCH, like the paper's hardware, instead
+     * of per instruction. An observer returning false must tolerate
+     * batches that carry only branch events. The switch engine is the
+     * golden reference and always delivers everything.
+     */
+    virtual bool wantsInstEvents() const { return true; }
 
     /** A call pushed a frame for @p f. */
     virtual void onFunctionEnter(FuncId f) { (void)f; }
@@ -84,6 +130,24 @@ class ExecObserver
            bool is_load)
     {
         (void)in; (void)mem_addr; (void)mem_size; (void)is_load;
+    }
+
+    /**
+     * A batch of buffered events (batched delivery engine). The
+     * default replays the per-event callbacks in order, so observers
+     * that don't override this see exactly the per-event stream; hot
+     * observers override it to pay one virtual call per run of
+     * events instead of one per instruction.
+     */
+    virtual void
+    onBatch(const EventBatch &b)
+    {
+        for (uint32_t i = 0; i < b.n; i++) {
+            const VmInstEvent &e = b.ev[i];
+            if (e.isBranch)
+                onBranch(b.func, e.inst->pc, e.taken);
+            onInst(*e.inst, e.memAddr, e.memSize, e.isLoad);
+        }
     }
 };
 
@@ -129,6 +193,21 @@ struct RunResult
     std::string trapMessage;
 };
 
+/** Which execution core runs the program. */
+enum class VmEngine : uint8_t
+{
+    Switch,   ///< golden-reference big-switch interpreter
+    Threaded, ///< predecoded blocks + threaded dispatch (default)
+};
+
+/** Throughput counters of one run (obs/names.h ipds.vm.*). */
+struct VmStats
+{
+    uint64_t instructions = 0;
+    uint64_t blocks = 0; ///< basic blocks entered
+    uint64_t eventBatchFlushes = 0;
+};
+
 /**
  * The virtual machine. One instance runs one program once.
  */
@@ -137,6 +216,16 @@ class Vm
   public:
     /** @p prog must outlive the Vm. */
     explicit Vm(const Module &prog);
+
+    /**
+     * Construct with an explicitly shared predecode (see
+     * decodeModule). Session-per-run embedders construct one Vm per
+     * run over the same program; passing the handle skips the decode
+     * cache's per-construction validation walk. @p predecoded must
+     * have been built from @p prog in its current state.
+     */
+    Vm(const Module &prog,
+       std::shared_ptr<const DecodedProgram> predecoded);
 
     /** Provide scripted input lines consumed by the input builtins. */
     void setInputs(std::vector<std::string> lines);
@@ -152,6 +241,20 @@ class Vm
 
     /** Record the branch trace in the result (default on). */
     void setRecordTrace(bool on) { recordTrace = on; }
+
+    /** Select the execution core (default Threaded). */
+    void setEngine(VmEngine e) { engineKind = e; }
+    VmEngine engine() const { return engineKind; }
+
+    /**
+     * Threaded engine only: deliver observer events as per-block
+     * EventBatches (default) or one virtual call per event. The
+     * switch engine always delivers per-event.
+     */
+    void setBatchedDelivery(bool on) { batchedDelivery = on; }
+
+    /** Throughput counters (valid after run()). */
+    const VmStats &vmStats() const { return stats_; }
 
     /**
      * Attach a structured-event tracer (obs/trace.h): run begin/end
@@ -204,6 +307,13 @@ class Vm
 
     /** Execute one instruction; returns false when the run ended. */
     bool step(RunResult &res);
+
+    /**
+     * Predecoded threaded dispatch loop; runs to completion (or out
+     * of fuel). Batched selects EventBatch vs per-event delivery.
+     */
+    template <bool Batched> void runThreadedImpl(RunResult &res);
+
     void execBuiltin(Frame &fr, const Inst &in, RunResult &res);
 
     void maybeFireTamper(RunResult &res, bool input_event);
@@ -212,8 +322,8 @@ class Vm
     [[noreturn]] void trap(const std::string &why);
 
     const Module &mod;
+    std::shared_ptr<const DecodedProgram> dec;
     Memory mem;
-    std::vector<uint64_t> staticBase; ///< per-object base (globals)
     std::vector<Frame> frames;
     uint64_t sp = 0;
 
@@ -222,18 +332,27 @@ class Vm
     uint32_t inputEvents = 0;
 
     std::vector<ExecObserver *> observers;
+    /** The single observer when exactly one is attached (fast path). */
+    ExecObserver *soloObs = nullptr;
+    /** Any attached observer wants per-instruction events. */
+    bool instEventsOn = true;
     obs::Tracer *trc = nullptr;
     uint64_t sessionIndex = 0;
     bool recordTrace = true;
+    VmEngine engineKind = VmEngine::Threaded;
+    bool batchedDelivery = true;
     uint64_t fuel = 50'000'000;
     uint64_t steps = 0;
+    VmStats stats_;
+    std::vector<int64_t> argScratch; ///< reused CallUser arg buffer
 
     bool tamperArmed = false;
     TamperSpec tamperSpec;
     TamperRecord tamperDone;
 
-    static constexpr uint64_t constBase = 0x10000;
-    static constexpr uint64_t globalSegBase = 0x100000;
+    /** Events buffered per block before one onBatch flush. */
+    static constexpr uint32_t kBatchCap = 64;
+
     static constexpr uint64_t stackTop = 0x7fff0000;
     static constexpr uint64_t stackLimit = 0x7000000;
 };

@@ -17,304 +17,12 @@
 #include "support/rng.h"
 #include "vm/vm.h"
 
+#include "program_gen.h"
+
 namespace ipds {
 namespace {
 
-/** Random program generator. Deterministic per seed. */
-class ProgramGen
-{
-  public:
-    explicit ProgramGen(uint64_t seed)
-        : rng(seed)
-    {}
-
-    std::string
-    generate()
-    {
-        src.clear();
-        intVars.clear();
-        bufVars.clear();
-        loopCounter = 0;
-
-        // Globals.
-        int nGlobals = static_cast<int>(rng.below(3));
-        for (int i = 0; i < nGlobals; i++) {
-            std::string n = strprintf("g%d", i);
-            if (rng.chance(0.5))
-                src += strprintf("int %s = %lld;\n", n.c_str(),
-                                 static_cast<long long>(
-                                     rng.range(-9, 9)));
-            else
-                src += strprintf("int %s;\n", n.c_str());
-            intVars.push_back(n);
-        }
-
-        // Optional helper function.
-        hasHelper = rng.chance(0.6);
-        if (hasHelper) {
-            src += "int helper(int a, int b) {\n";
-            src += "    if (a < b) { return a + 1; }\n";
-            if (!intVars.empty() && rng.chance(0.5))
-                src += strprintf("    %s = %s + 1;\n",
-                                 intVars[0].c_str(),
-                                 intVars[0].c_str());
-            src += "    return b - a;\n}\n";
-        }
-
-        // Optional pointer-taking helper (exercises interprocedural
-        // exact-argument resolution and pure-call correlation).
-        hasChecker = rng.chance(0.6);
-        if (hasChecker) {
-            src += "int checker(char *s) {\n";
-            src += "    if (strncmp(s, \"se\", 2) == 0) { "
-                   "return 1; }\n";
-            if (rng.chance(0.4))
-                src += "    if (strlen(s) > 4) { return 2; }\n";
-            src += "    return 0;\n}\n";
-        }
-
-        src += "void main() {\n";
-        int nInts = 2 + static_cast<int>(rng.below(3));
-        for (int i = 0; i < nInts; i++) {
-            std::string n = strprintf("x%d", i);
-            src += strprintf("    int %s;\n", n.c_str());
-            intVars.push_back(n);
-        }
-        int nBufs = 1 + static_cast<int>(rng.below(2));
-        for (int i = 0; i < nBufs; i++) {
-            std::string n = strprintf("buf%d", i);
-            src += strprintf("    char %s[16];\n", n.c_str());
-            bufVars.push_back(n);
-        }
-        // Initialize everything to defined values.
-        for (int i = 0; i < nInts; i++)
-            src += strprintf("    x%d = %lld;\n", i,
-                             static_cast<long long>(rng.range(-5, 9)));
-        for (const auto &b : bufVars)
-            src += strprintf("    strcpy(%s, \"seed\");\n", b.c_str());
-
-        statements(2 + static_cast<int>(rng.below(5)), 1);
-        src += "}\n";
-        return src;
-    }
-
-    /** Input lines consumed by the generated input calls (generous). */
-    std::vector<std::string>
-    inputs()
-    {
-        std::vector<std::string> in;
-        for (int i = 0; i < 40; i++) {
-            if (rng.chance(0.5))
-                in.push_back(strprintf(
-                    "%lld", static_cast<long long>(rng.range(-99, 99))));
-            else
-                in.push_back(std::string(rng.below(14), 'a' + i % 26));
-        }
-        return in;
-    }
-
-  private:
-    void
-    indent(int depth)
-    {
-        src.append(static_cast<size_t>(depth * 4), ' ');
-    }
-
-    std::string
-    intExpr(int depth)
-    {
-        if (depth > 2 || rng.chance(0.3))
-            return rng.chance(0.5) && !intVars.empty()
-                ? intVars[rng.below(intVars.size())]
-                : strprintf("%lld",
-                            static_cast<long long>(rng.range(-9, 9)));
-        static const char *ops[] = {"+", "-", "*", "&", "|", "^"};
-        return "(" + intExpr(depth + 1) + " " +
-            ops[rng.below(6)] + " " + intExpr(depth + 1) + ")";
-    }
-
-    std::string
-    cond()
-    {
-        switch (rng.below(4)) {
-          case 0:
-            return strprintf("%s %s %lld",
-                             intVars[rng.below(intVars.size())].c_str(),
-                             pred(), static_cast<long long>(
-                                 rng.range(-9, 9)));
-          case 1:
-            return strprintf(
-                "strncmp(%s, \"se\", 2) == 0",
-                bufVars[rng.below(bufVars.size())].c_str());
-          case 2:
-            return "(" + cond() + ") && (" + cond() + ")";
-          default:
-            return intExpr(1) + " " + pred() + " " + intExpr(1);
-        }
-    }
-
-    const char *
-    pred()
-    {
-        static const char *p[] = {"<", "<=", ">", ">=", "==", "!="};
-        return p[rng.below(6)];
-    }
-
-    void
-    statements(int count, int depth)
-    {
-        for (int i = 0; i < count; i++)
-            statement(depth);
-    }
-
-    void
-    statement(int depth)
-    {
-        if (depth > 3) {
-            indent(depth);
-            src += "print_int(1);\n";
-            return;
-        }
-        switch (rng.below(10)) {
-          case 0: { // assignment
-            indent(depth);
-            src += strprintf("%s = %s;\n",
-                             intVars[rng.below(intVars.size())].c_str(),
-                             intExpr(0).c_str());
-            break;
-          }
-          case 1: { // if / if-else
-            indent(depth);
-            src += strprintf("if (%s) {\n", cond().c_str());
-            statements(1 + static_cast<int>(rng.below(2)), depth + 1);
-            if (rng.chance(0.5)) {
-                indent(depth);
-                src += "} else {\n";
-                statements(1, depth + 1);
-            }
-            indent(depth);
-            src += "}\n";
-            break;
-          }
-          case 2: { // bounded loop with a dedicated fresh counter
-            std::string c = strprintf("lc%d", loopCounter++);
-            indent(depth);
-            src += strprintf("int %s;\n", c.c_str());
-            indent(depth);
-            src += strprintf("%s = 0;\n", c.c_str());
-            indent(depth);
-            src += strprintf("while (%s < %llu) {\n", c.c_str(),
-                             static_cast<unsigned long long>(
-                                 1 + rng.below(4)));
-            inLoop++;
-            statements(1 + static_cast<int>(rng.below(2)), depth + 1);
-            inLoop--;
-            indent(depth + 1);
-            src += strprintf("%s = %s + 1;\n", c.c_str(), c.c_str());
-            indent(depth);
-            src += "}\n";
-            break;
-          }
-          case 3: { // input into int
-            indent(depth);
-            src += strprintf("%s = input_int();\n",
-                             intVars[rng.below(intVars.size())]
-                                 .c_str());
-            break;
-          }
-          case 4: { // bounded input into buffer
-            indent(depth);
-            src += strprintf("get_input_n(%s, 16);\n",
-                             bufVars[rng.below(bufVars.size())]
-                                 .c_str());
-            break;
-          }
-          case 5: { // string ops within bounds
-            indent(depth);
-            const std::string &b = bufVars[rng.below(bufVars.size())];
-            if (rng.chance(0.5))
-                src += strprintf("strcpy(%s, \"v%llu\");\n", b.c_str(),
-                                 static_cast<unsigned long long>(
-                                     rng.below(100)));
-            else
-                src += strprintf("print_int(strlen(%s));\n",
-                                 b.c_str());
-            break;
-          }
-          case 6: { // helper call
-            indent(depth);
-            if (hasChecker && rng.chance(0.5))
-                src += strprintf("%s = checker(%s);\n",
-                                 intVars[rng.below(intVars.size())]
-                                     .c_str(),
-                                 bufVars[rng.below(bufVars.size())]
-                                     .c_str());
-            else if (hasHelper)
-                src += strprintf("%s = helper(%s, %s);\n",
-                                 intVars[rng.below(intVars.size())]
-                                     .c_str(),
-                                 intExpr(1).c_str(),
-                                 intExpr(1).c_str());
-            else
-                src += strprintf("print_int(%s);\n",
-                                 intExpr(0).c_str());
-            break;
-          }
-          case 7: { // bounded for loop
-            std::string c = strprintf("lc%d", loopCounter++);
-            indent(depth);
-            src += strprintf("int %s;\n", c.c_str());
-            indent(depth);
-            src += strprintf(
-                "for (%s = 0; %s < %llu; %s = %s + 1) {\n", c.c_str(),
-                c.c_str(),
-                static_cast<unsigned long long>(1 + rng.below(4)),
-                c.c_str(), c.c_str());
-            inLoop++;
-            inForLoop++;
-            statements(1 + static_cast<int>(rng.below(2)), depth + 1);
-            inForLoop--;
-            inLoop--;
-            indent(depth);
-            src += "}\n";
-            break;
-          }
-          case 8: { // break / continue, guarded, only inside loops
-            indent(depth);
-            if (inForLoop > 0) {
-                src += strprintf("if (%s) { %s; }\n", cond().c_str(),
-                                 rng.chance(0.5) ? "break"
-                                                 : "continue");
-            } else if (inLoop > 0) {
-                src += strprintf("if (%s) { break; }\n",
-                                 cond().c_str());
-            } else {
-                src += strprintf("print_int(%s);\n",
-                                 intExpr(0).c_str());
-            }
-            break;
-          }
-          default: { // output
-            indent(depth);
-            src += strprintf("print_str(%s);\n",
-                             bufVars[rng.below(bufVars.size())]
-                                 .c_str());
-            break;
-          }
-        }
-    }
-
-    Rng rng;
-    std::string src;
-    std::vector<std::string> intVars;
-    std::vector<std::string> bufVars;
-    bool hasHelper = false;
-    bool hasChecker = false;
-    int loopCounter = 0;
-    int inLoop = 0;    ///< nesting depth where `break` is legal
-    int inForLoop = 0; ///< depth where `continue` is also safe (the
-                       ///< for-step still advances the counter)
-};
+using testutil::ProgramGen;
 
 class ZeroFpFuzz : public ::testing::TestWithParam<uint64_t>
 {};

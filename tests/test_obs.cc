@@ -301,6 +301,75 @@ TEST(Session, MatchesHandWiredDetectorRun)
     EXPECT_EQ(s.result().steps, r.steps);
 }
 
+TEST(Session, SoloObserverFastPathMatchesMultiObserver)
+{
+    // The VM devirtualizes dispatch when exactly one observer is
+    // attached; adding a second (no-op) observer forces the generic
+    // fan-out. Both paths must produce identical results and metrics.
+    CompiledProgram prog =
+        compileAndAnalyze(kLoopProgram, "obs_loop");
+    const std::vector<std::string> inputs{"7", "1", "2", "3", "4"};
+
+    // Declines inst events like the Detector, so attaching it leaves
+    // the VM in the same (branch-only) delivery mode as the solo run
+    // and flush counts stay comparable.
+    struct NoopObserver final : ExecObserver
+    {
+        bool wantsInstEvents() const override { return false; }
+    };
+
+    auto runWith = [&](bool extra_noop) {
+        struct Out
+        {
+            RunResult res;
+            DetectorStats det;
+            size_t alarms;
+            VmStats vm;
+        } out;
+        NoopObserver noop;
+        Vm vm(prog.mod);
+        vm.setInputs(inputs);
+        Detector det(prog);
+        vm.addObserver(&det);
+        if (extra_noop)
+            vm.addObserver(&noop);
+        out.res = vm.run();
+        out.det = det.stats();
+        out.alarms = det.alarms().size();
+        out.vm = vm.vmStats();
+        return out;
+    };
+
+    auto solo = runWith(false);
+    auto multi = runWith(true);
+    EXPECT_TRUE(solo.det == multi.det);
+    EXPECT_EQ(solo.alarms, multi.alarms);
+    EXPECT_EQ(solo.res.output, multi.res.output);
+    EXPECT_EQ(solo.res.steps, multi.res.steps);
+    EXPECT_EQ(solo.res.exit, multi.res.exit);
+    EXPECT_EQ(solo.res.branchTrace, multi.res.branchTrace);
+    EXPECT_EQ(solo.vm.instructions, multi.vm.instructions);
+    EXPECT_EQ(solo.vm.blocks, multi.vm.blocks);
+    EXPECT_EQ(solo.vm.eventBatchFlushes, multi.vm.eventBatchFlushes);
+}
+
+TEST(Session, VmThroughputCountersExported)
+{
+    CompiledProgram prog =
+        compileAndAnalyze(kLoopProgram, "obs_loop");
+    Session s = Session::builder()
+                    .program(prog)
+                    .inputs({"7", "1", "2", "3", "4"})
+                    .build();
+    s.run();
+    const MetricsRegistry &m = s.metrics();
+    namespace n = obs::names;
+    EXPECT_EQ(m.value(m.find(n::kVmInstructions)),
+              s.result().steps);
+    EXPECT_GT(m.value(m.find(n::kVmBlocks)), 0u);
+    EXPECT_GT(m.value(m.find(n::kVmEventBatchFlushes)), 0u);
+}
+
 TEST(Session, MetricsMatchDetectorStatsUnderSharedNames)
 {
     CompiledProgram prog =

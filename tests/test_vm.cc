@@ -375,6 +375,37 @@ void main() {
     EXPECT_GE(r.steps, 50u);
 }
 
+TEST(VmTamper, StepTriggerAtExactFuelBoundary)
+{
+    // Regression: a tamper armed at atStep == fuel used to be skipped
+    // because the out-of-fuel check bailed before the step-count
+    // trigger was consulted. The tamper must fire (it is "at" step N,
+    // which is reached) even though no further instruction runs.
+    Module m = compileMiniC(R"(
+void main() {
+    int x;
+    x = 5;
+    while (x == 5) { x = 5; }
+}
+)", "t");
+    for (VmEngine eng : {VmEngine::Switch, VmEngine::Threaded}) {
+        Vm vm(m);
+        vm.setEngine(eng);
+        vm.setFuel(500);
+        TamperSpec spec;
+        spec.randomStackTarget = false;
+        spec.atStep = 500; // == fuel
+        spec.addr = vm.entryLocalAddr("x");
+        spec.bytes = {7};
+        vm.setTamper(spec);
+        RunResult r = vm.run();
+        EXPECT_EQ(r.exit, ExitKind::OutOfFuel)
+            << static_cast<int>(eng);
+        EXPECT_EQ(r.steps, 500u) << static_cast<int>(eng);
+        EXPECT_TRUE(r.tamper.fired) << static_cast<int>(eng);
+    }
+}
+
 // --------------------------------------------------------------- tracing
 
 TEST(VmTrace, BranchTraceMatchesControlFlow)
