@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Fault-injection ablation: what does the FaultInjector interposition
+ * layer cost when it is wired in but injecting nothing?
+ *
+ * The injector only exists in a run that armed a fault plan — deployed
+ * wiring never interposes it, so the deployed hot path pays nothing
+ * (the < 2% acceptance bar on that path is abl_hotpath's to check
+ * against its pre-fault-subsystem baseline). What THIS bench prices is
+ * the differential-harness tax: the injector becomes the Vm's only
+ * observer and forwards every event to the real targets. Three
+ * configurations replay the identical recorded event trace:
+ *
+ *   direct  — events straight into the production Detector (the
+ *             deployed wiring, the abl_hotpath fast path);
+ *   off     — events through a FaultInjector with a disabled plan
+ *             (the pure forwarding tax: one loop + virtual call);
+ *   active  — events through an armed plan (BSV flips + ring
+ *             drop/dup), for context on what injection itself costs.
+ *
+ * The off replay is also differentially checked against direct:
+ * identical alarms and statistics, or the bench fails.
+ *
+ * Emits machine-readable JSON (events/sec per configuration and the
+ * off-overhead ratio per workload), default BENCH_inject.json.
+ *
+ * Usage: abl_inject [--sessions N] [--repeat N] [--json PATH]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/program.h"
+#include "inject/fault.h"
+#include "ipds/detector.h"
+#include "support/diag.h"
+#include "vm/vm.h"
+#include "workloads/workloads.h"
+
+using namespace ipds;
+
+namespace {
+
+/** One recorded observer event. */
+struct Event
+{
+    enum class Kind : uint8_t { Enter, Exit, Branch };
+    Kind kind = Kind::Branch;
+    FuncId func = kNoFunc;
+    uint64_t pc = 0;
+    bool taken = false;
+};
+
+/** Captures the exact event stream a detector would see. */
+struct Recorder : ExecObserver
+{
+    std::vector<Event> events;
+    uint64_t branches = 0;
+
+    void
+    onFunctionEnter(FuncId f) override
+    {
+        events.push_back({Event::Kind::Enter, f, 0, false});
+    }
+    void
+    onFunctionExit(FuncId f) override
+    {
+        events.push_back({Event::Kind::Exit, f, 0, false});
+    }
+    void
+    onBranch(FuncId f, uint64_t pc, bool taken) override
+    {
+        events.push_back({Event::Kind::Branch, f, pc, taken});
+        branches++;
+    }
+};
+
+/**
+ * Replay the trace into @p obs (the detector itself, or the injector
+ * interposed in front of it), draining @p ring after each event — the
+ * cadence the timing model uses.
+ */
+template <typename Consume>
+void
+replay(ExecObserver &obs, RequestRing &ring,
+       const std::vector<Event> &trace, Consume &&consume)
+{
+    for (const Event &ev : trace) {
+        switch (ev.kind) {
+          case Event::Kind::Enter:
+            obs.onFunctionEnter(ev.func);
+            break;
+          case Event::Kind::Exit:
+            obs.onFunctionExit(ev.func);
+            break;
+          case Event::Kind::Branch:
+            obs.onBranch(ev.func, ev.pc, ev.taken);
+            break;
+        }
+        ring.drain(consume);
+    }
+}
+
+double
+seconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+struct Row
+{
+    std::string name;
+    uint64_t events = 0;
+    uint64_t branches = 0;
+    double directEps = 0; ///< events/sec, no injector
+    double offEps = 0;    ///< events/sec, disarmed injector in front
+    double activeEps = 0; ///< events/sec, armed plan
+    uint64_t faults = 0;  ///< bsv flips + ring drops/dups (active)
+
+    /** Fractional slowdown of the disarmed interposition layer. */
+    double
+    overheadOff() const
+    {
+        return offEps > 0 ? directEps / offEps - 1.0 : 0.0;
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint32_t sessions = 24;
+    uint32_t repeat = 300;
+    std::string jsonPath = "BENCH_inject.json";
+    for (int i = 1; i < argc; i++) {
+        if (!std::strcmp(argv[i], "--sessions") && i + 1 < argc)
+            sessions = static_cast<uint32_t>(std::atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--repeat") && i + 1 < argc)
+            repeat = static_cast<uint32_t>(std::atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+            jsonPath = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--sessions N] [--repeat N] "
+                         "[--json PATH]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (sessions == 0)
+        sessions = 1;
+    if (repeat == 0)
+        repeat = 1;
+    constexpr uint32_t kTrials = 3;
+
+    setQuiet(true);
+    std::printf("=== Fault-injection ablation: interposition cost on "
+                "the detector hot path ===\n");
+    std::printf("(%u recorded sessions per workload, %u replays, "
+                "best of %u trials)\n\n", sessions, repeat, kTrials);
+    std::printf("%-10s %10s %14s %14s %14s %9s\n", "benchmark",
+                "events", "direct-ev/s", "off-ev/s", "active-ev/s",
+                "off-ovh");
+
+    // The armed plan for the `active` column: branch-table flips plus
+    // ring perturbation (the classes that touch the replayed path).
+    FaultPlan armed;
+    armed.seed = 12345;
+    armed.bsvEveryBranches = 64;
+    armed.ringDropPermille = 20;
+    armed.ringDupPermille = 20;
+
+    std::vector<Row> rows;
+    uint64_t consumed = 0; // keeps the request path observable
+    bool mismatch = false;
+    for (const auto &wl : allWorkloads()) {
+        CompiledProgram prog = compileAndAnalyze(wl.source, wl.name);
+
+        Recorder rec;
+        for (uint32_t s = 0; s < sessions; s++) {
+            Vm vm(prog.mod);
+            vm.setInputs(wl.benignInputs);
+            vm.setRecordTrace(false);
+            vm.addObserver(&rec);
+            vm.run();
+        }
+
+        Detector det(prog);
+        RequestRing ring;
+        det.setRequestRing(&ring);
+        auto count = [&](const IpdsRequest &) { consumed++; };
+
+        // Differential check: a disarmed injector must be invisible.
+        FaultPlan off; // seed 0: disabled
+        FaultInjector offInj(off, 0);
+        offInj.addTarget(&det);
+        offInj.wantsInstEvents(); // cache the forwarding mode
+        det.reset();
+        replay(det, ring, rec.events, count);
+        DetectorStats directStats = det.stats();
+        size_t directAlarms = det.alarms().size();
+        det.reset();
+        replay(offInj, ring, rec.events, count);
+        if (!(det.stats() == directStats) ||
+            det.alarms().size() != directAlarms) {
+            std::fprintf(stderr,
+                         "MISMATCH: %s disarmed injector perturbs "
+                         "the detector\n", wl.name.c_str());
+            mismatch = true;
+        }
+
+        double directSec = 1e100, offSec = 1e100, activeSec = 1e100;
+        uint64_t faults = 0;
+        for (uint32_t trial = 0; trial < kTrials; trial++) {
+            auto t0 = std::chrono::steady_clock::now();
+            for (uint32_t r = 0; r < repeat; r++) {
+                det.reset();
+                replay(det, ring, rec.events, count);
+            }
+            directSec = std::min(directSec, seconds(t0));
+
+            t0 = std::chrono::steady_clock::now();
+            for (uint32_t r = 0; r < repeat; r++) {
+                det.reset();
+                replay(offInj, ring, rec.events, count);
+            }
+            offSec = std::min(offSec, seconds(t0));
+
+            t0 = std::chrono::steady_clock::now();
+            for (uint32_t r = 0; r < repeat; r++) {
+                FaultInjector inj(armed, r);
+                inj.addTarget(&det);
+                inj.addDetector(&det);
+                inj.wantsInstEvents();
+                ring.setFault(armed.ringDropPermille,
+                              armed.ringDupPermille, armed.seed ^ r);
+                det.reset();
+                replay(inj, ring, rec.events, count);
+                faults = inj.stats().bsvFlips +
+                    ring.faultDropCount() + ring.faultDupCount();
+            }
+            activeSec = std::min(activeSec, seconds(t0));
+            ring.setFault(0, 0, 1); // disarm for the next trial
+        }
+
+        Row row;
+        row.name = wl.name;
+        row.events = rec.events.size();
+        row.branches = rec.branches;
+        row.faults = faults;
+        double total = double(repeat) * double(rec.events.size());
+        row.directEps = directSec > 0 ? total / directSec : 0;
+        row.offEps = offSec > 0 ? total / offSec : 0;
+        row.activeEps = activeSec > 0 ? total / activeSec : 0;
+        std::printf("%-10s %10llu %14.0f %14.0f %14.0f %8.1f%%\n",
+                    row.name.c_str(),
+                    static_cast<unsigned long long>(row.events),
+                    row.directEps, row.offEps, row.activeEps,
+                    row.overheadOff() * 100.0);
+        rows.push_back(std::move(row));
+    }
+
+    // Aggregate off-overhead over total replayed time, not per-row
+    // ratios: short workloads have noisy per-row percentages.
+    double sumDirect = 0, sumOff = 0;
+    for (const Row &r : rows) {
+        if (r.directEps > 0)
+            sumDirect += double(r.events) / r.directEps;
+        if (r.offEps > 0)
+            sumOff += double(r.events) / r.offEps;
+    }
+    double overallOff =
+        sumDirect > 0 ? sumOff / sumDirect - 1.0 : 0.0;
+    std::printf("%-10s %10s %14s %14s %14s %8.1f%%\n", "overall",
+                "-", "-", "-", "-", overallOff * 100.0);
+    std::printf("(transport consumed %llu requests)\n",
+                static_cast<unsigned long long>(consumed));
+
+    FILE *js = std::fopen(jsonPath.c_str(), "w");
+    if (!js) {
+        std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+        return 1;
+    }
+    std::fprintf(js, "{\n  \"bench\": \"abl_inject\",\n"
+                     "  \"sessions\": %u,\n"
+                     "  \"repeat\": %u,\n  \"workloads\": [\n",
+                 sessions, repeat);
+    for (size_t i = 0; i < rows.size(); i++) {
+        const Row &r = rows[i];
+        std::fprintf(js,
+                     "    {\"name\": \"%s\", \"events\": %llu, "
+                     "\"direct_eps\": %.0f, \"off_eps\": %.0f, "
+                     "\"active_eps\": %.0f, \"overhead_off\": %.4f, "
+                     "\"active_faults\": %llu}%s\n",
+                     r.name.c_str(),
+                     static_cast<unsigned long long>(r.events),
+                     r.directEps, r.offEps, r.activeEps,
+                     r.overheadOff(),
+                     static_cast<unsigned long long>(r.faults),
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(js, "  ],\n  \"overall_overhead_off\": %.4f,\n"
+                     "  \"equivalent\": %s\n}\n",
+                 overallOff, mismatch ? "false" : "true");
+    bool writeFailed = std::ferror(js) != 0;
+    writeFailed |= std::fclose(js) != 0;
+    if (writeFailed) {
+        std::fprintf(stderr, "write to %s failed\n", jsonPath.c_str());
+        return 1;
+    }
+    std::printf("\nwrote %s\n", jsonPath.c_str());
+
+    return mismatch ? 1 : 0;
+}

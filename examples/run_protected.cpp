@@ -12,6 +12,9 @@
  *     --at N               ...after the Nth input event (default 1)
  *     --image out.ipds     also write the §5.4 program image
  *     --stats              print session metrics as JSON
+ *     --fault-seed N       run under a deterministic fault-injection
+ *                          plan derived from seed N (attaches the
+ *                          Table 1 timing model; see DESIGN.md §9)
  *
  * Exit code: 0 clean run, 2 IPDS alarm, 1 usage/compile error.
  */
@@ -24,7 +27,9 @@
 
 #include "core/image.h"
 #include "core/program.h"
+#include "inject/fault.h"
 #include "obs/session.h"
+#include "timing/config.h"
 #include "support/diag.h"
 #include "vm/vm.h"
 #include "workloads/workloads.h"
@@ -57,7 +62,7 @@ usage()
                  "usage: run_protected <prog.minic|workload> "
                  "[--inputs a,b,c] [--attack VAR=VALUE]\n"
                  "                     [--at N] [--image out.ipds] "
-                 "[--stats]\n");
+                 "[--stats] [--fault-seed N]\n");
     return 1;
 }
 
@@ -76,6 +81,7 @@ main(int argc, char **argv)
     uint32_t attackAt = 1;
     std::string imagePath;
     bool wantStats = false;
+    uint64_t faultSeed = 0;
 
     for (int i = 2; i < argc; i++) {
         std::string a = argv[i];
@@ -101,6 +107,8 @@ main(int argc, char **argv)
             imagePath = next();
         } else if (a == "--stats") {
             wantStats = true;
+        } else if (a == "--fault-seed") {
+            faultSeed = std::strtoull(next(), nullptr, 0);
         } else {
             return usage();
         }
@@ -170,9 +178,42 @@ main(int argc, char **argv)
                          attackAt);
         }
 
+        if (faultSeed != 0) {
+            FaultPlan plan = FaultPlan::fromSeed(faultSeed);
+            builder.timing(table1Config()).faultPlan(plan);
+            std::fprintf(stderr,
+                         "[ipds] fault plan (seed %llu): mem every "
+                         "~%u insts, bsv flip every %u branches, "
+                         "ring drop/dup %u/%u permille, ctx switch "
+                         "every %u branches%s\n",
+                         static_cast<unsigned long long>(faultSeed),
+                         plan.memEveryInsts, plan.bsvEveryBranches,
+                         plan.ringDropPermille, plan.ringDupPermille,
+                         plan.ctxEveryBranches,
+                         plan.spillPressure ? ", spill pressure"
+                                            : "");
+        }
+
         Session session = builder.build();
         session.run();
         std::fputs(session.result().output.c_str(), stdout);
+
+        if (faultSeed != 0) {
+            const FaultStats &fs = session.faultStats();
+            std::fprintf(stderr,
+                         "[ipds] faults injected: %llu mem tampers, "
+                         "%llu bsv flips, %llu ctx switches, %llu "
+                         "ring drops, %llu ring dups\n",
+                         static_cast<unsigned long long>(
+                             fs.memTampers),
+                         static_cast<unsigned long long>(fs.bsvFlips),
+                         static_cast<unsigned long long>(
+                             fs.ctxSwitches),
+                         static_cast<unsigned long long>(
+                             fs.ringDrops),
+                         static_cast<unsigned long long>(
+                             fs.ringDups));
+        }
 
         if (wantStats)
             std::fprintf(stderr, "%s\n",

@@ -135,6 +135,11 @@ struct CorrOptions
                                 ///< literals (SUIF-style const prop)
     bool interprocArgs = true;  ///< resolve pure-call pointers through
                                 ///< monomorphic parameters
+    /** Cap on the perfect-hash space search (1 << maxHashLog2 slots).
+     *  An exhausted search makes compileAndAnalyze throw FatalError —
+     *  a recoverable per-program failure, used by tests to exercise
+     *  the compile pipeline's error path. */
+    uint8_t maxHashLog2 = 31;
 };
 
 /**

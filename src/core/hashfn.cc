@@ -26,12 +26,14 @@ collisionFree(const HashParams &p, const std::vector<uint64_t> &pcs,
 } // namespace
 
 HashParams
-findPerfectHash(const std::vector<uint64_t> &pcs, uint8_t max_shift)
+findPerfectHash(const std::vector<uint64_t> &pcs, uint8_t max_shift,
+                uint8_t max_log2)
 {
     {
         std::set<uint64_t> uniq(pcs.begin(), pcs.end());
         if (uniq.size() != pcs.size())
-            panic("findPerfectHash: duplicate branch PCs");
+            fatal("findPerfectHash: duplicate branch PCs (%zu given, "
+                  "%zu distinct)", pcs.size(), uniq.size());
     }
 
     uint8_t log2 = 0;
@@ -40,7 +42,7 @@ findPerfectHash(const std::vector<uint64_t> &pcs, uint8_t max_shift)
 
     std::vector<uint8_t> scratch;
     uint32_t tries = 0;
-    for (; log2 < 31; log2++) {
+    for (; log2 <= max_log2 && log2 < 31; log2++) {
         for (uint8_t s1 = 1; s1 <= max_shift; s1++) {
             for (uint8_t s2 = s1; s2 <= max_shift; s2++) {
                 HashParams p;
@@ -55,8 +57,9 @@ findPerfectHash(const std::vector<uint64_t> &pcs, uint8_t max_shift)
             }
         }
     }
-    panic("findPerfectHash: no collision-free hash up to 2^31 slots "
-          "for %zu branches", pcs.size());
+    fatal("findPerfectHash: no collision-free hash up to 2^%u slots "
+          "for %zu branches (%u parameter sets tried)",
+          static_cast<unsigned>(max_log2), pcs.size(), tries);
 }
 
 } // namespace ipds

@@ -45,13 +45,21 @@ struct HashParams
  *
  * Starts from the smallest power-of-two space holding the PCs and, per
  * space size, tries all (shift1, shift2) pairs up to @p max_shift;
- * doubles the space on failure. Always succeeds eventually (a space
- * large enough to index PCs directly is collision-free by construction).
+ * doubles the space on failure, up to 1 << @p max_log2 slots. At the
+ * default cap the search always succeeds (a space large enough to
+ * index PCs directly is collision-free by construction).
+ *
+ * Failure — duplicate PCs, or no collision-free parameters within
+ * @p max_log2 — throws FatalError (support/diag.h): the function is
+ * unprotectable, but the process (a batch compile of many programs)
+ * must go on. Callers that cannot tolerate the throw should dedupe and
+ * keep the default cap.
  *
  * @param pcs distinct branch PCs (an empty list yields a 1-slot space).
  */
 HashParams findPerfectHash(const std::vector<uint64_t> &pcs,
-                           uint8_t max_shift = 24);
+                           uint8_t max_shift = 24,
+                           uint8_t max_log2 = 31);
 
 } // namespace ipds
 

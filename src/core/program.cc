@@ -29,7 +29,18 @@ analyzeModule(Module mod, const CorrOptions &opts)
                                   opts.memConstProp ? &mc : nullptr,
                                   opts);
         cf.bat = buildBat(out.mod, fn, *out.locs, fx, cf.corr, opts);
-        cf.tables = layoutTables(cf.bat);
+        try {
+            cf.tables = layoutTables(cf.bat, opts.maxHashLog2);
+        } catch (const FatalError &e) {
+            // Table layout can fail per function (perfect-hash search
+            // exhaustion, duplicate PCs). Rethrow with the function
+            // named so a batch compile reports WHICH program is
+            // unprotectable — still a recoverable FatalError, never a
+            // process abort.
+            fatal("%s: cannot lay out IPDS tables for function '%s': "
+                  "%s", out.mod.name.c_str(), fn.name.c_str(),
+                  e.what());
+        }
         out.funcs.push_back(std::move(cf));
     }
 

@@ -8,12 +8,12 @@
 namespace ipds {
 
 FuncTables
-layoutTables(const FuncBat &bat)
+layoutTables(const FuncBat &bat, uint8_t max_hash_log2)
 {
     FuncTables t;
     t.func = bat.func;
     t.numBranches = bat.numBranches;
-    t.hash = findPerfectHash(bat.branchPcs);
+    t.hash = findPerfectHash(bat.branchPcs, 24, max_hash_log2);
 
     uint32_t space = t.hash.space();
     t.slotOfBranch.resize(bat.numBranches);

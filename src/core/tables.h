@@ -104,8 +104,16 @@ struct FuncTables
                              FuncId func);
 };
 
-/** Rekey @p bat into slot space using a fresh perfect hash. */
-FuncTables layoutTables(const FuncBat &bat);
+/**
+ * Rekey @p bat into slot space using a fresh perfect hash.
+ *
+ * @p max_hash_log2 caps the hash-space search (CorrOptions::
+ * maxHashLog2); an exhausted search throws FatalError — recoverable,
+ * so a batch compile marks this one function's program unprotectable
+ * instead of dying.
+ */
+FuncTables layoutTables(const FuncBat &bat,
+                        uint8_t max_hash_log2 = 31);
 
 } // namespace ipds
 

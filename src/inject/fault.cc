@@ -1,0 +1,234 @@
+#include "inject/fault.h"
+
+namespace ipds {
+
+FaultPlan
+FaultPlan::fromSeed(uint64_t seed)
+{
+    FaultPlan p;
+    if (seed == 0)
+        return p; // disabled
+    p.seed = seed;
+    Rng r(seed);
+    p.memEveryInsts = 4000 + static_cast<uint32_t>(r.below(8000));
+    p.maxMemFaults = 2 + static_cast<uint32_t>(r.below(3));
+    p.bsvEveryBranches = 200 + static_cast<uint32_t>(r.below(800));
+    p.ringDropPermille = 5 + static_cast<uint32_t>(r.below(45));
+    p.ringDupPermille = 5 + static_cast<uint32_t>(r.below(45));
+    p.ctxEveryBranches = 300 + static_cast<uint32_t>(r.below(1200));
+    p.lazyCtx = r.chance(0.5);
+    p.spillPressure = r.chance(0.5);
+    return p;
+}
+
+void
+FaultPlan::applyTo(TimingConfig &cfg) const
+{
+    if (!enabled() || !spillPressure)
+        return;
+    // Tiny on-chip stacks: every deep call chain spills and fills, a
+    // small ring keeps the chunk-flush backpressure path hot, and a
+    // shallow depth cap exercises the graceful-degradation clamp.
+    cfg.bsvStackBits = 256;
+    cfg.bcvStackBits = 128;
+    cfg.batStackBits = 4 * 1024;
+    cfg.requestRingCapacity = 64;
+    cfg.maxFrameDepth = 64;
+}
+
+std::vector<TamperSpec>
+FaultPlan::memTamperSpecs(uint64_t salt) const
+{
+    std::vector<TamperSpec> out;
+    if (!enabled() || memEveryInsts == 0 || maxMemFaults == 0)
+        return out;
+    Rng r(seed ^ (salt * 0x9e3779b97f4a7c15ULL) ^ 0xfa1753ULL);
+    uint64_t step = 500 + r.below(memEveryInsts);
+    for (uint32_t k = 0; k < maxMemFaults; k++) {
+        TamperSpec t;
+        t.atStep = step;
+        t.randomStackTarget = true;
+        t.seed = r.next() | 1;
+        out.push_back(t);
+        step += 1 + r.below(memEveryInsts);
+    }
+    return out;
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan_, uint64_t salt)
+    : plan(plan_),
+      rng(plan_.seed ^ (salt * 0xbf58476d1ce4e5b9ULL) ^ 0x1bdULL)
+{}
+
+void
+FaultInjector::addTarget(ExecObserver *obs)
+{
+    targets.push_back(obs);
+}
+
+void
+FaultInjector::addDetector(Detector *d)
+{
+    dets.push_back(d);
+}
+
+void
+FaultInjector::addReference(ReferenceDetector *r)
+{
+    refs.push_back(r);
+}
+
+void
+FaultInjector::setCpu(CpuModel *c)
+{
+    cpu = c;
+}
+
+bool
+FaultInjector::wantsInstEvents() const
+{
+    bool any = false;
+    for (const ExecObserver *t : targets)
+        any = any || t->wantsInstEvents();
+    fwdInst = any;
+    return any;
+}
+
+void
+FaultInjector::onFunctionEnter(FuncId f)
+{
+    for (ExecObserver *t : targets)
+        t->onFunctionEnter(f);
+}
+
+void
+FaultInjector::onFunctionExit(FuncId f)
+{
+    for (ExecObserver *t : targets)
+        t->onFunctionExit(f);
+}
+
+uint32_t
+FaultInjector::dueAtBranch()
+{
+    branchCount++;
+    uint32_t due = 0;
+    if (plan.bsvEveryBranches != 0 &&
+        branchCount % plan.bsvEveryBranches == 0)
+        due |= kDueBsv;
+    if (plan.ctxEveryBranches != 0 &&
+        branchCount % plan.ctxEveryBranches == 0)
+        due |= kDueCtx;
+    return due;
+}
+
+void
+FaultInjector::applyDue()
+{
+    uint32_t due = pendingDue;
+    pendingDue = 0;
+    if (due & kDueBsv) {
+        // One draw for slot and state, applied to EVERY registered
+        // detector: the fast path and the reference model corrupt
+        // identically, so differential oracles compare the *response*
+        // to the fault, not divergent faults.
+        uint32_t space = !dets.empty() ? dets[0]->topFrameSpace()
+            : !refs.empty()            ? refs[0]->topFrameSpace()
+                                       : 0;
+        if (space != 0) {
+            uint32_t slot = static_cast<uint32_t>(rng.below(space));
+            BsvState s = static_cast<BsvState>(rng.below(3));
+            bool hit = false;
+            for (Detector *d : dets)
+                hit = d->injectBsvState(slot, s) || hit;
+            for (ReferenceDetector *r : refs)
+                hit = r->injectBsvState(slot, s) || hit;
+            if (hit) {
+                stat.bsvFlips++;
+                if (trc)
+                    trc->record(obs::kCatFault,
+                                obs::TraceKind::FaultInject,
+                                pendingFunc, pendingPc,
+                                static_cast<uint64_t>(Kind::BsvFlip),
+                                slot);
+            }
+        }
+    }
+    if ((due & kDueCtx) && cpu != nullptr) {
+        uint64_t cycles = cpu->contextSwitch(plan.lazyCtx);
+        stat.ctxSwitches++;
+        if (trc)
+            trc->record(obs::kCatFault, obs::TraceKind::FaultInject,
+                        pendingFunc, pendingPc,
+                        static_cast<uint64_t>(Kind::CtxSwitch),
+                        static_cast<uint32_t>(cycles));
+    }
+}
+
+void
+FaultInjector::onBranch(FuncId f, uint64_t pc, bool taken)
+{
+    for (ExecObserver *t : targets)
+        t->onBranch(f, pc, taken);
+    pendingDue = dueAtBranch();
+    if (pendingDue != 0) {
+        pendingFunc = f;
+        pendingPc = pc;
+        // No target consumes instruction events: the branch's onInst
+        // will never arrive (threaded engine) or carries nothing any
+        // target reads (switch engine), so the commit point is now.
+        if (!fwdInst)
+            applyDue();
+    }
+}
+
+void
+FaultInjector::onInst(const Inst &in, uint64_t mem_addr,
+                      uint32_t mem_size, bool is_load)
+{
+    for (ExecObserver *t : targets)
+        t->onInst(in, mem_addr, mem_size, is_load);
+    // A branch-triggered fault lands after the Br's own commit event.
+    if (pendingDue != 0)
+        applyDue();
+}
+
+void
+FaultInjector::forwardBatch(const EventBatch &b)
+{
+    for (ExecObserver *t : targets)
+        t->onBatch(b);
+}
+
+void
+FaultInjector::onBatch(const EventBatch &b)
+{
+    if (plan.bsvEveryBranches == 0 && plan.ctxEveryBranches == 0) {
+        forwardBatch(b);
+        return;
+    }
+    // Slice at fault points: every target sees [lo, i] — the
+    // triggering branch's entry included — before the fault applies,
+    // exactly the per-event commit order.
+    uint32_t lo = 0;
+    for (uint32_t i = 0; i < b.n; i++) {
+        if (!b.ev[i].isBranch)
+            continue;
+        uint32_t due = dueAtBranch();
+        if (due == 0)
+            continue;
+        EventBatch slice{b.func, b.ev + lo, i + 1 - lo};
+        forwardBatch(slice);
+        pendingDue = due;
+        pendingFunc = b.func;
+        pendingPc = b.ev[i].inst->pc;
+        applyDue();
+        lo = i + 1;
+    }
+    if (lo < b.n) {
+        EventBatch rest{b.func, b.ev + lo, b.n - lo};
+        forwardBatch(rest);
+    }
+}
+
+} // namespace ipds

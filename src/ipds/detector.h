@@ -178,6 +178,31 @@ class Detector final : public ExecObserver
     /** Frames ever allocated (pool growth; tests assert reuse). */
     size_t allocatedFrames() const { return framesAllocated; }
 
+    /** Hash space of the live top frame (0 if none) — the valid slot
+     *  range for injectBsvState (fault injection). */
+    uint32_t
+    topFrameSpace() const
+    {
+        return curTables ? curTables->hash.space() : 0;
+    }
+
+    /**
+     * Fault injection: overwrite @p slot of the live top BSV frame
+     * with @p s, modelling a bit flip in the on-chip table state.
+     * Returns false (no-op) when no frame is live or @p slot is out
+     * of range. ReferenceDetector mirrors this hook so differential
+     * oracles can corrupt both models identically.
+     */
+    bool
+    injectBsvState(uint32_t slot, BsvState s)
+    {
+        if (!curFrame || !curTables ||
+            slot >= curTables->hash.space())
+            return false;
+        write(*curFrame, slot, s);
+        return true;
+    }
+
   private:
     /**
      * One pooled BSV frame. Each slot packs (epoch << 2) | state; a

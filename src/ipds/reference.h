@@ -49,6 +49,25 @@ class ReferenceDetector : public ExecObserver
     const std::vector<Alarm> &alarms() const { return alarmList; }
     const DetectorStats &stats() const { return stat; }
 
+    /** Hash space of the live top frame (0 if none). */
+    uint32_t
+    topFrameSpace() const
+    {
+        return stack.empty()
+            ? 0
+            : static_cast<uint32_t>(stack.back().bsv.size());
+    }
+
+    /** Fault injection: mirror of Detector::injectBsvState. */
+    bool
+    injectBsvState(uint32_t slot, BsvState s)
+    {
+        if (stack.empty() || slot >= stack.back().bsv.size())
+            return false;
+        stack.back().bsv[slot] = s;
+        return true;
+    }
+
   private:
     struct FrameTables
     {

@@ -40,6 +40,12 @@ inline constexpr const char *kDetAlarms = "ipds.detector.alarms";
 inline constexpr const char *kRingMaxOccupancy = ///< gauge
     "ipds.ring.max_occupancy";
 inline constexpr const char *kRingDrains = "ipds.ring.drains";
+inline constexpr const char *kRingOverflowFlushes =
+    "ipds.ring.overflow_flushes";
+inline constexpr const char *kRingFaultDrops =
+    "ipds.ring.fault_drops";
+inline constexpr const char *kRingFaultDups =
+    "ipds.ring.fault_dups";
 
 // CpuModel / TimingStats (timing/cpu.h)
 inline constexpr const char *kCpuInstructions =
@@ -77,6 +83,12 @@ inline constexpr const char *kEngCheckLatencySum =
     "ipds.engine.check_latency_sum";
 inline constexpr const char *kEngCheckLatencyCount =
     "ipds.engine.check_latency_count";
+inline constexpr const char *kEngFramesDepth = ///< gauge
+    "ipds.engine.frames_depth";
+inline constexpr const char *kEngDepthClamps =
+    "ipds.engine.depth_clamps";
+inline constexpr const char *kEngAccountingClamps =
+    "ipds.engine.accounting_clamps";
 
 // Vm throughput (vm/vm.h VmStats)
 inline constexpr const char *kVmInstructions =
@@ -92,6 +104,18 @@ inline constexpr const char *kSessInputEvents =
     "ipds.session.input_events";
 inline constexpr const char *kSessTraceDropped =
     "ipds.session.trace_dropped";
+
+// Fault injection (src/inject/fault.h FaultStats)
+inline constexpr const char *kFaultMemTampers =
+    "ipds.fault.mem_tampers";
+inline constexpr const char *kFaultBsvFlips =
+    "ipds.fault.bsv_flips";
+inline constexpr const char *kFaultCtxSwitches =
+    "ipds.fault.ctx_switches";
+inline constexpr const char *kFaultRingDrops =
+    "ipds.fault.ring_drops";
+inline constexpr const char *kFaultRingDups =
+    "ipds.fault.ring_dups";
 
 // Attack campaigns (attack/campaign.h)
 inline constexpr const char *kCampAttacks = "ipds.campaign.attacks";

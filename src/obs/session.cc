@@ -56,6 +56,25 @@ exportTimingStats(const TimingStats &s, MetricsRegistry &reg)
             s.engine.checkLatencySum);
     reg.add(reg.counter(n::kEngCheckLatencyCount),
             s.engine.checkLatencyCount);
+    reg.setMax(reg.gauge(n::kEngFramesDepth), s.engine.framesDepth);
+    reg.add(reg.counter(n::kEngDepthClamps), s.engine.depthClamps);
+    reg.add(reg.counter(n::kEngAccountingClamps),
+            s.engine.accountingClamps);
+    reg.add(reg.counter(n::kRingOverflowFlushes),
+            s.ringOverflowFlushes);
+    reg.add(reg.counter(n::kRingFaultDrops), s.ringFaultDrops);
+    reg.add(reg.counter(n::kRingFaultDups), s.ringFaultDups);
+}
+
+void
+exportFaultStats(const FaultStats &s, MetricsRegistry &reg)
+{
+    namespace n = names;
+    reg.add(reg.counter(n::kFaultMemTampers), s.memTampers);
+    reg.add(reg.counter(n::kFaultBsvFlips), s.bsvFlips);
+    reg.add(reg.counter(n::kFaultCtxSwitches), s.ctxSwitches);
+    reg.add(reg.counter(n::kFaultRingDrops), s.ringDrops);
+    reg.add(reg.counter(n::kFaultRingDups), s.ringDups);
 }
 
 } // namespace obs
@@ -80,6 +99,8 @@ Session::Builder::build()
         o.detectorOn = o.timingCfg.ipdsEnabled;
     if (!o.recordTraceExplicit)
         o.recordTrace = o.sessions == 1;
+    if (o.hasFault && o.useTiming)
+        o.fault.applyTo(o.timingCfg);
     return Session(std::move(o));
 }
 
@@ -92,6 +113,7 @@ struct Session::ShardOut
 {
     DetectorStats det;
     TimingStats tim;
+    FaultStats fault;
     std::vector<Alarm> alarms;
     obs::MetricsRegistry reg;
     std::vector<obs::TraceEvent> trace;
@@ -146,14 +168,50 @@ Session::runShard(uint32_t shard, ShardOut &out) const
                 det.setRequestRing(&cpu->requestRing());
             if (trc)
                 det.setTracer(trc);
-            vm.addObserver(&det);
         }
-        if (cpu)
-            vm.addObserver(&*cpu);
-        for (ExecObserver *obs : opt.extraObservers)
-            vm.addObserver(obs);
+
+        // Fault injection interposes: the injector is the Vm's only
+        // observer and forwards to the same targets in the same
+        // order, so faults land at identical commit points in every
+        // delivery mode. Per-session salts/seeds keep aggregates a
+        // pure function of the session index.
+        FaultInjector inj(opt.fault, s);
+        if (opt.hasFault) {
+            if (trc)
+                inj.setTracer(trc);
+            if (opt.detectorOn) {
+                inj.addTarget(&det);
+                inj.addDetector(&det);
+            }
+            if (cpu) {
+                inj.addTarget(&*cpu);
+                inj.setCpu(&*cpu);
+                cpu->requestRing().setFault(
+                    opt.fault.ringDropPermille,
+                    opt.fault.ringDupPermille,
+                    opt.fault.seed ^ (s * 0x9e3779b97f4a7c15ULL));
+            }
+            for (ExecObserver *obs : opt.extraObservers)
+                inj.addTarget(obs);
+            vm.addObserver(&inj);
+            for (const TamperSpec &spec :
+                 opt.fault.memTamperSpecs(s))
+                vm.addTamper(spec);
+        } else {
+            if (opt.detectorOn)
+                vm.addObserver(&det);
+            if (cpu)
+                vm.addObserver(&*cpu);
+            for (ExecObserver *obs : opt.extraObservers)
+                vm.addObserver(obs);
+        }
 
         RunResult r = vm.run();
+        if (opt.hasFault) {
+            out.fault.merge(inj.stats());
+            for (const TamperRecord &tr : r.faultTampers)
+                out.fault.memTampers += tr.fired ? 1 : 0;
+        }
         out.runs++;
         out.steps += r.steps;
         out.inputEvents += r.inputEventCount;
@@ -171,8 +229,14 @@ Session::runShard(uint32_t shard, ShardOut &out) const
         }
     }
 
-    if (cpu)
+    if (cpu) {
         out.tim = cpu->stats();
+        if (opt.hasFault) {
+            out.fault.ringDrops =
+                cpu->requestRing().faultDropCount();
+            out.fault.ringDups = cpu->requestRing().faultDupCount();
+        }
+    }
     out.traceDropped = tracer.dropped();
     out.trace = tracer.events();
 
@@ -195,6 +259,8 @@ Session::runShard(uint32_t shard, ShardOut &out) const
         obs::exportDetectorStats(out.det, out.alarms.size(), out.reg);
     if (opt.useTiming)
         obs::exportTimingStats(out.tim, out.reg);
+    if (opt.hasFault)
+        obs::exportFaultStats(out.fault, out.reg);
 }
 
 Session &
@@ -203,6 +269,7 @@ Session::run()
     alarmList.clear();
     detStat = {};
     timStat = {};
+    fltStat = {};
     firstResult = {};
     registry = {};
     traceLog.clear();
@@ -223,6 +290,7 @@ Session::run()
     for (ShardOut &out : outs) {
         detStat.merge(out.det);
         timStat.merge(out.tim);
+        fltStat.merge(out.fault);
         alarmList.insert(alarmList.end(), out.alarms.begin(),
                          out.alarms.end());
         registry.merge(out.reg);

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "core/program.h"
+#include "inject/fault.h"
 #include "ipds/detector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -66,6 +67,9 @@ void exportDetectorStats(const DetectorStats &s, uint64_t alarms,
 
 /** Export @p s into @p reg (ipds.cpu.*, ipds.ring.*, ipds.engine.*). */
 void exportTimingStats(const TimingStats &s, MetricsRegistry &reg);
+
+/** Export @p s into @p reg (ipds.fault.*). */
+void exportFaultStats(const FaultStats &s, MetricsRegistry &reg);
 
 } // namespace obs
 
@@ -95,6 +99,9 @@ class Session
 
     /** Timing aggregates (zero unless timing() was configured). */
     const TimingStats &timingStats() const { return timStat; }
+
+    /** Injection aggregates (zero unless faultPlan() was enabled). */
+    const FaultStats &faultStats() const { return fltStat; }
 
     /** VM result of session 0 (output, exit code, branch trace). */
     const RunResult &result() const { return firstResult; }
@@ -139,6 +146,8 @@ class Session
         uint64_t fuel = 50'000'000;
         bool hasTamper = false;
         TamperSpec tamperSpec;
+        bool hasFault = false;
+        FaultPlan fault;
         bool recordTrace = true;
         bool recordTraceExplicit = false;
         std::vector<ExecObserver *> extraObservers;
@@ -157,6 +166,7 @@ class Session
     std::vector<Alarm> alarmList;
     DetectorStats detStat;
     TimingStats timStat;
+    FaultStats fltStat;
     RunResult firstResult;
     obs::MetricsRegistry registry;
     std::vector<obs::TraceEvent> traceLog;
@@ -241,6 +251,21 @@ class Session::Builder
     {
         o.hasTamper = true;
         o.tamperSpec = spec;
+        return *this;
+    }
+
+    /**
+     * Arm a fault-injection plan (src/inject/fault.h). A disabled
+     * plan (seed 0) is a no-op. When timing() is configured the
+     * plan's config-level classes (spill pressure) are applied to the
+     * TimingConfig at build(); per-run faults are salted with the
+     * session index, so results are a pure function of
+     * (program, inputs, plan, sessions, shards).
+     */
+    Builder &faultPlan(const FaultPlan &p)
+    {
+        o.hasFault = p.enabled();
+        o.fault = p;
         return *this;
     }
 

@@ -33,6 +33,8 @@ traceKindName(TraceKind k)
         return "session_end";
       case TraceKind::InputEvent:
         return "input_event";
+      case TraceKind::FaultInject:
+        return "fault_inject";
     }
     return "?";
 }

@@ -43,7 +43,8 @@ enum TraceCat : uint32_t
     kCatSpill = 1u << 4,   ///< table-stack spill/fill traffic
     kCatAlarm = 1u << 5,   ///< infeasible-path alarms, with cause
     kCatSession = 1u << 6, ///< session begin/end, input events
-    kCatAll = 0x7f,
+    kCatFault = 1u << 7,   ///< injected faults (src/inject)
+    kCatAll = 0xff,
 };
 
 /**
@@ -70,6 +71,7 @@ enum class TraceKind : uint8_t
     SessionBegin,  ///< Session: a=session index
     SessionEnd,    ///< Session: a=session index, b=steps
     InputEvent,    ///< Session: pc of the consuming call, a=event #
+    FaultInject,   ///< Fault: a=FaultInjector::Kind, b=payload
 };
 
 /** Human-readable name of @p k (exporters, tests). */

@@ -59,6 +59,17 @@ struct TimingConfig
     uint32_t requestQueueSize = 8;
     /** Cycles to spill/fill 512 bits of table state. */
     uint32_t spillCyclesPer512 = 10;
+    /** Detector->engine request ring capacity (rounded up to a power
+     *  of two). Overflow chunk-flushes, it never aborts. */
+    uint32_t requestRingCapacity = 1024;
+    /**
+     * Cap on tracked table-stack frames. Recursion deeper than this
+     * degrades gracefully: the two deepest frames merge into one
+     * spilled frame (their bits stay accounted for fill costs) instead
+     * of growing the model without bound. Counted in
+     * EngineStats::depthClamps.
+     */
+    uint32_t maxFrameDepth = 4096;
 
     /**
      * Committed-instruction equivalents charged per builtin call

@@ -6,8 +6,17 @@ CpuModel::CpuModel(const TimingConfig &c)
     : cfg(c), l1i(cfg.l1i), l1d(cfg.l1d), l2(cfg.l2),
       // bpred/engine keep references: bind them to our own copy, not
       // to the caller's (possibly temporary) argument.
-      bpred(cfg), engine(cfg), tlb(cfg.tlbEntries, ~0ULL)
-{}
+      bpred(cfg), engine(cfg), tlb(cfg.tlbEntries, ~0ULL),
+      reqRing(cfg.requestRingCapacity)
+{
+    // Ring overflow backpressure: a producer that outruns the
+    // commit-point drains hands the oldest chunk straight to the
+    // engine at the current cycle instead of aborting; any stall it
+    // causes is charged like a queue-full stall.
+    reqRing.setOverflowSink([this](const IpdsRequest &rq) {
+        ipdsStalls += engine.enqueue(rq, curCycle());
+    });
+}
 
 std::function<void(const IpdsRequest &)>
 CpuModel::requestSink()
@@ -305,6 +314,9 @@ CpuModel::stats() const
     s.ipdsStallCycles = ipdsStalls;
     s.ringMaxOccupancy = reqRing.maxOccupancy();
     s.ringDrains = reqRing.drainCount();
+    s.ringOverflowFlushes = reqRing.overflowFlushCount();
+    s.ringFaultDrops = reqRing.faultDropCount();
+    s.ringFaultDups = reqRing.faultDupCount();
     s.engine = engine.stats();
     return s;
 }

@@ -50,6 +50,11 @@ struct TimingStats
     uint64_t ringMaxOccupancy = 0;
     /** Non-empty ring drains (commit-point batches). */
     uint64_t ringDrains = 0;
+    /** Ring chunk-flush backpressure events (overflow, no abort). */
+    uint64_t ringOverflowFlushes = 0;
+    /** Requests dropped / duplicated by an armed ring fault filter. */
+    uint64_t ringFaultDrops = 0;
+    uint64_t ringFaultDups = 0;
     EngineStats engine;
 
     double
@@ -78,7 +83,26 @@ struct TimingStats
         ringMaxOccupancy = std::max(ringMaxOccupancy,
                                     o.ringMaxOccupancy);
         ringDrains += o.ringDrains;
+        ringOverflowFlushes += o.ringOverflowFlushes;
+        ringFaultDrops += o.ringFaultDrops;
+        ringFaultDups += o.ringFaultDups;
         engine.merge(o.engine);
+    }
+
+    /** Field-exact equality (differential fault-oracle tests). */
+    bool
+    operator==(const TimingStats &o) const
+    {
+        return instructions == o.instructions && cycles == o.cycles &&
+            branches == o.branches && mispredicts == o.mispredicts &&
+            l1iMisses == o.l1iMisses && l1dMisses == o.l1dMisses &&
+            l2Misses == o.l2Misses && tlbMisses == o.tlbMisses &&
+            ipdsStallCycles == o.ipdsStallCycles &&
+            ringMaxOccupancy == o.ringMaxOccupancy &&
+            ringDrains == o.ringDrains &&
+            ringOverflowFlushes == o.ringOverflowFlushes &&
+            ringFaultDrops == o.ringFaultDrops &&
+            ringFaultDups == o.ringFaultDups && engine == o.engine;
     }
 };
 

@@ -29,8 +29,28 @@ IpdsEngine::cost(const IpdsRequest &rq)
                 cfg.batEntriesPerAccess;
       case IpdsRequest::Kind::PushFrame: {
         uint64_t c = cfg.tableLatency;
+        // Depth guard: past maxFrameDepth the two deepest frames fold
+        // into one spilled frame. Their bits stay accounted (the fill
+        // on the way back out is still charged) but the model stops
+        // growing — unbounded recursion degrades precision at the
+        // bottom of the stack instead of memory footprint.
+        if (frames.size() >= cfg.maxFrameDepth && frames.size() >= 2) {
+            for (size_t i = 0; i < 2; i++) {
+                if (!frames[i].spilled) {
+                    debit(frames[i].bits);
+                    stat.spillEvents++;
+                    stat.spillBits += frames[i].bits;
+                    c += spillCycles(frames[i].bits);
+                }
+            }
+            frames[1] = {frames[0].bits + frames[1].bits, true};
+            frames.erase(frames.begin());
+            stat.depthClamps++;
+        }
         frames.push_back({rq.tableBits, false});
         residentBits += rq.tableBits;
+        stat.framesDepth =
+            std::max<uint64_t>(stat.framesDepth, frames.size());
         // Spill the deepest resident frames (not the new top) until
         // the on-chip buffers fit again.
         for (size_t i = 0;
@@ -39,7 +59,7 @@ IpdsEngine::cost(const IpdsRequest &rq)
             if (frames[i].spilled)
                 continue;
             frames[i].spilled = true;
-            residentBits -= frames[i].bits;
+            debit(frames[i].bits);
             stat.spillEvents++;
             stat.spillBits += frames[i].bits;
             c += spillCycles(frames[i].bits);
@@ -53,7 +73,7 @@ IpdsEngine::cost(const IpdsRequest &rq)
         uint64_t c = cfg.tableLatency;
         if (!frames.empty()) {
             if (!frames.back().spilled)
-                residentBits -= frames.back().bits;
+                debit(frames.back().bits);
             frames.pop_back();
         }
         // The new top must be resident to continue checking.
@@ -93,7 +113,7 @@ IpdsEngine::contextSwitch(bool lazy)
     for (size_t i = 0; i + 1 < frames.size(); i++) {
         if (!frames[i].spilled) {
             frames[i].spilled = true;
-            residentBits -= frames[i].bits;
+            debit(frames[i].bits);
             stat.spillEvents++;
             stat.spillBits += frames[i].bits;
             if (trc)

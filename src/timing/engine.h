@@ -13,6 +13,7 @@
  *    frames to reserved memory, Itanium-RSE style.
  */
 
+#include <algorithm>
 #include <deque>
 #include <vector>
 
@@ -38,6 +39,13 @@ struct EngineStats
     /** Sum and count for mean branch-to-verdict latency (§6: 11.7). */
     uint64_t checkLatencySum = 0;
     uint64_t checkLatencyCount = 0;
+    /** Deepest table stack seen (gauge, ipds.engine.frames_depth). */
+    uint64_t framesDepth = 0;
+    /** Times the depth guard merged frames (graceful degradation). */
+    uint64_t depthClamps = 0;
+    /** Times residentBits accounting saturated instead of wrapping
+     *  (only reachable under fault-perturbed request streams). */
+    uint64_t accountingClamps = 0;
 
     double
     avgCheckLatency() const
@@ -62,6 +70,28 @@ struct EngineStats
         fillBits += o.fillBits;
         checkLatencySum += o.checkLatencySum;
         checkLatencyCount += o.checkLatencyCount;
+        framesDepth = std::max(framesDepth, o.framesDepth);
+        depthClamps += o.depthClamps;
+        accountingClamps += o.accountingClamps;
+    }
+
+    bool
+    operator==(const EngineStats &o) const
+    {
+        return requests == o.requests &&
+            checkRequests == o.checkRequests &&
+            updateRequests == o.updateRequests &&
+            busyCycles == o.busyCycles &&
+            queueFullStalls == o.queueFullStalls &&
+            stallCycles == o.stallCycles &&
+            spillEvents == o.spillEvents &&
+            spillBits == o.spillBits &&
+            fillEvents == o.fillEvents && fillBits == o.fillBits &&
+            checkLatencySum == o.checkLatencySum &&
+            checkLatencyCount == o.checkLatencyCount &&
+            framesDepth == o.framesDepth &&
+            depthClamps == o.depthClamps &&
+            accountingClamps == o.accountingClamps;
     }
 };
 
@@ -97,11 +127,36 @@ class IpdsEngine
 
     const EngineStats &stats() const { return stat; }
 
+    /** Bits currently resident on chip (tests assert the invariant
+     *  residentBits == sum of non-spilled frame bits, and that it
+     *  never wraps under randomized or fault-perturbed streams). */
+    uint64_t residentTableBits() const { return residentBits; }
+    /** Tracked table-stack depth (bounded by cfg.maxFrameDepth). */
+    size_t frameDepth() const { return frames.size(); }
+
   private:
     /** Service cost of one request, including spill/fill effects. */
     uint64_t cost(const IpdsRequest &rq);
 
     uint64_t spillCycles(uint64_t bits) const;
+
+    /**
+     * Subtract @p bits from residentBits, saturating at zero. In an
+     * unfaulted run the debit is always covered (the accounting is
+     * transition-guarded); a fault-perturbed request stream (dropped
+     * or duplicated push/pop) can try to over-debit, which must clamp
+     * — counted — rather than wrap to 2^64.
+     */
+    void
+    debit(uint64_t bits)
+    {
+        if (bits > residentBits) {
+            residentBits = 0;
+            stat.accountingClamps++;
+        } else {
+            residentBits -= bits;
+        }
+    }
 
     const TimingConfig &cfg;
     EngineStats stat;

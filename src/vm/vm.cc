@@ -105,6 +105,15 @@ Vm::setTamper(const TamperSpec &spec)
 }
 
 void
+Vm::addTamper(const TamperSpec &spec)
+{
+    if (spec.atStep == 0)
+        fatal("Vm::addTamper: extra tampers must be step-triggered "
+              "(atStep > 0)");
+    extraTampers.push_back(spec);
+}
+
+void
 Vm::trap(const std::string &why)
 {
     throw TrapError{why};
@@ -187,6 +196,11 @@ Vm::run()
     instEventsOn = false;
     for (ExecObserver *obs : observers)
         instEventsOn |= obs->wantsInstEvents();
+    std::stable_sort(extraTampers.begin(), extraTampers.end(),
+                     [](const TamperSpec &a, const TamperSpec &b) {
+                         return a.atStep < b.atStep;
+                     });
+    extraFired = 0;
     try {
         pushFrame(mod.entry, {}, kNoVreg);
         if (engineKind == VmEngine::Threaded) {
@@ -211,6 +225,8 @@ Vm::run()
     stats_.instructions = steps;
     res.inputEventCount = inputEvents;
     res.tamper = tamperDone;
+    res.faultTampers = std::move(extraRecords);
+    extraRecords.clear();
     if (trc)
         trc->record(obs::kCatSession, obs::TraceKind::SessionEnd,
                     mod.entry, 0, sessionIndex,
@@ -229,6 +245,7 @@ Vm::step(RunResult &res)
         if (tamperArmed && !tamperDone.fired &&
             tamperSpec.atStep > 0 && steps >= tamperSpec.atStep)
             fireTamper(res);
+        fireDueExtraTampers();
         res.exit = ExitKind::OutOfFuel;
         return false;
     }
@@ -426,6 +443,9 @@ Vm::step(RunResult &res)
         steps >= tamperSpec.atStep) {
         fireTamper(res);
     }
+    if (extraFired < extraTampers.size() &&
+        steps >= extraTampers[extraFired].atStep)
+        fireDueExtraTampers();
     return !frames.empty();
 }
 
@@ -881,6 +901,9 @@ Vm::runThreadedImpl(RunResult &res)
         if (tamperArmed && !tamperDone.fired &&
             tamperSpec.atStep > 0 && steps >= tamperSpec.atStep)
             fireTamper(res);
+        if (extraFired < extraTampers.size() &&
+            steps >= extraTampers[extraFired].atStep)
+            fireDueExtraTampers();
         if (steps >= fuel) {
             fr->ip = ip;
             flush();
@@ -891,6 +914,10 @@ Vm::runThreadedImpl(RunResult &res)
         if (tamperArmed && !tamperDone.fired &&
             tamperSpec.atStep > steps)
             chunkSize = std::min(chunkSize, tamperSpec.atStep - steps);
+        if (extraFired < extraTampers.size() &&
+            extraTampers[extraFired].atStep > steps)
+            chunkSize = std::min(
+                chunkSize, extraTampers[extraFired].atStep - steps);
         budget = chunkSize;
         IPDS_DISPATCH();
     } catch (...) {
@@ -921,13 +948,31 @@ void
 Vm::fireTamper(RunResult &res)
 {
     (void)res;
-    tamperDone.fired = true;
+    fireTamperSpec(tamperSpec, tamperDone);
+}
 
-    uint64_t addr = tamperSpec.addr;
-    std::vector<uint8_t> bytes = tamperSpec.bytes;
+void
+Vm::fireDueExtraTampers()
+{
+    while (extraFired < extraTampers.size() &&
+           steps >= extraTampers[extraFired].atStep) {
+        extraRecords.emplace_back();
+        fireTamperSpec(extraTampers[extraFired],
+                       extraRecords.back());
+        extraFired++;
+    }
+}
 
-    if (tamperSpec.randomStackTarget) {
-        Rng rng(tamperSpec.seed);
+void
+Vm::fireTamperSpec(const TamperSpec &spec, TamperRecord &rec)
+{
+    rec.fired = true;
+
+    uint64_t addr = spec.addr;
+    std::vector<uint8_t> bytes = spec.bytes;
+
+    if (spec.randomStackTarget) {
+        Rng rng(spec.seed);
         // Candidate targets: every local object of every live frame.
         struct Cand
         {
@@ -977,13 +1022,13 @@ Vm::fireTamper(RunResult &res)
                 b = static_cast<uint8_t>(rng.below(256));
             break;
         }
-        tamperDone.objectName = c.obj->name;
+        rec.objectName = c.obj->name;
     }
 
-    tamperDone.addr = addr;
-    tamperDone.oldBytes = mem.readBytes(addr, bytes.size());
+    rec.addr = addr;
+    rec.oldBytes = mem.readBytes(addr, bytes.size());
     mem.writeBytes(addr, bytes.data(), bytes.size());
-    tamperDone.newBytes = std::move(bytes);
+    rec.newBytes = std::move(bytes);
 }
 
 void

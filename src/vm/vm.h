@@ -190,6 +190,9 @@ struct RunResult
     std::vector<uint64_t> inputEventPcs;
     std::vector<BranchEvent> branchTrace;
     TamperRecord tamper;
+    /** One record per fired addTamper() spec, firing order (fault
+     *  injection; setTamper's record stays in `tamper`). */
+    std::vector<TamperRecord> faultTampers;
     std::string trapMessage;
 };
 
@@ -235,6 +238,17 @@ class Vm
 
     /** Arm a single memory tamper. */
     void setTamper(const TamperSpec &spec);
+
+    /**
+     * Arm an additional step-triggered memory tamper (fault
+     * injection). Unlike setTamper there may be any number of these;
+     * each fires once when the step count reaches its atStep (which
+     * must be nonzero — input-event triggers are setTamper-only).
+     * Both engines fire them at identical step boundaries, so runs
+     * stay bit-identical across switch/threaded/batched execution.
+     * Fired records land in RunResult::faultTampers in firing order.
+     */
+    void addTamper(const TamperSpec &spec);
 
     /** Cap on executed instructions (default 50M). */
     void setFuel(uint64_t max_steps) { fuel = max_steps; }
@@ -318,6 +332,10 @@ class Vm
 
     void maybeFireTamper(RunResult &res, bool input_event);
     void fireTamper(RunResult &res);
+    /** Corrupt memory per @p spec, recording what happened in @p rec. */
+    void fireTamperSpec(const TamperSpec &spec, TamperRecord &rec);
+    /** Fire every armed extra tamper whose atStep has been reached. */
+    void fireDueExtraTampers();
 
     [[noreturn]] void trap(const std::string &why);
 
@@ -349,6 +367,10 @@ class Vm
     bool tamperArmed = false;
     TamperSpec tamperSpec;
     TamperRecord tamperDone;
+    /** addTamper() specs, sorted by atStep at run() entry. */
+    std::vector<TamperSpec> extraTampers;
+    size_t extraFired = 0; ///< extraTampers[0..extraFired) have fired
+    std::vector<TamperRecord> extraRecords;
 
     /** Events buffered per block before one onBatch flush. */
     static constexpr uint32_t kBatchCap = 64;
