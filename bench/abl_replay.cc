@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Trace replay ablation: detection events/second (committed branches
+ * through the detector) for three ways of driving the same stream:
+ *
+ *   live_switch    golden-reference interpreter + detector
+ *   live_threaded  threaded+batched engine + detector (deployment)
+ *   replay         ReplayEngine over a recorded trace — no VM at all
+ *
+ * This is the tentpole's wire-speed claim in one number: once a
+ * stream is recorded, re-detecting it costs varint decode plus the
+ * detector hot path, not interpretation. Each workload records a
+ * multi-session trace (repeat benign sessions) once through
+ * Session::captureTo(); the live drivers then execute the same
+ * session stream VM-by-VM while the replay driver decodes the whole
+ * trace in one pass — the deployment shape on both sides.
+ * Configurations interleave within each trial and the fastest trial
+ * wins (same discipline as abl_vm).
+ *
+ * Before timing, the capture is replayed through Session::replayFrom()
+ * and through every live engine, and alarms + DetectorStats are
+ * compared — the speedup is only reported over demonstrably
+ * equivalent drivers ("equivalent" in the JSON).
+ *
+ * Emits machine-readable JSON (events/sec per workload per driver +
+ * replay speedups), default BENCH_replay.json.
+ *
+ * Usage: abl_replay [--repeat N] [--quick] [--json PATH]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/program.h"
+#include "ipds/detector.h"
+#include "obs/session.h"
+#include "replay/reader.h"
+#include "replay/replay.h"
+#include "support/diag.h"
+#include "vm/vm.h"
+#include "workloads/workloads.h"
+
+using namespace ipds;
+
+namespace {
+
+double
+seconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+bool
+sameAlarms(const std::vector<Alarm> &a, const std::vector<Alarm> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); i++)
+        if (a[i].pc != b[i].pc || a[i].func != b[i].func ||
+            a[i].branchIndex != b[i].branchIndex)
+            return false;
+    return true;
+}
+
+void
+runLive(const CompiledProgram &prog,
+        const std::shared_ptr<const DecodedProgram> &dec,
+        const std::vector<std::string> &inputs, VmEngine engine,
+        bool batched, Detector &det)
+{
+    Vm vm(prog.mod, dec);
+    vm.setInputs(inputs);
+    vm.setRecordTrace(false);
+    vm.setEngine(engine);
+    vm.setBatchedDelivery(batched);
+    det.reset();
+    vm.addObserver(&det);
+    vm.run();
+}
+
+struct Row
+{
+    std::string name;
+    uint64_t events = 0; ///< committed branches per session
+    double epsSwitch = 0, epsThreaded = 0, epsReplay = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint32_t repeat = 200;
+    uint32_t trials = 5;
+    std::string jsonPath = "BENCH_replay.json";
+    for (int i = 1; i < argc; i++) {
+        if (!std::strcmp(argv[i], "--repeat") && i + 1 < argc)
+            repeat = static_cast<uint32_t>(std::atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--quick")) {
+            repeat = 3;
+            trials = 2;
+        } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+            jsonPath = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--repeat N] [--quick] "
+                         "[--json PATH]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (repeat == 0)
+        repeat = 1;
+
+    setQuiet(true);
+    std::printf("=== Trace replay ablation: detection events/second, "
+                "live VM vs recorded-trace replay ===\n");
+    std::printf("(benign session per workload, %u runs per trial, "
+                "best of %u trials)\n\n",
+                repeat, trials);
+    std::printf("%-10s %9s %14s %15s %14s %9s\n", "benchmark",
+                "events", "switch-e/s", "threaded-e/s", "replay-e/s",
+                "speedup");
+
+    std::vector<Row> rows;
+    bool mismatch = false;
+    for (const auto &wl : allWorkloads()) {
+        CompiledProgram prog = compileAndAnalyze(wl.source, wl.name);
+        auto dec = decodeModule(prog.mod);
+        Detector det(prog);
+
+        // Record the whole repeat-session stream once through the
+        // public facade; the trace is the replay driver's input and
+        // the equivalence oracle's pivot.
+        std::string tracePath = "abl_replay_" + wl.name + ".trc";
+        Session live = Session::builder()
+                           .program(prog)
+                           .inputs(wl.benignInputs)
+                           .sessions(repeat)
+                           .captureTo(tracePath)
+                           .build();
+        live.run();
+
+        Session rep = Session::builder()
+                          .program(prog)
+                          .replayFrom(tracePath)
+                          .build();
+        rep.run();
+        if (!(rep.detectorStats() == live.detectorStats()) ||
+            !sameAlarms(rep.alarms(), live.alarms())) {
+            std::fprintf(stderr, "MISMATCH: %s replay diverges\n",
+                         wl.name.c_str());
+            mismatch = true;
+        }
+
+        // The live engines must agree with each other too (the
+        // capture itself ran on the default threaded engine).
+        DetectorStats switchStats;
+        size_t switchAlarms = 0;
+        for (bool batched : {false, true}) {
+            runLive(prog, dec, wl.benignInputs,
+                    batched ? VmEngine::Threaded : VmEngine::Switch,
+                    batched, det);
+            if (!batched) {
+                switchStats = det.stats();
+                switchAlarms = det.alarms().size();
+            } else if (!(det.stats() == switchStats) ||
+                       det.alarms().size() != switchAlarms) {
+                std::fprintf(stderr,
+                             "MISMATCH: %s diverges across live "
+                             "engines\n",
+                             wl.name.c_str());
+                mismatch = true;
+            }
+        }
+
+        replay::TraceFile file = replay::TraceFile::load(tracePath);
+        replay::ReplayEngine eng(file, prog);
+        std::remove(tracePath.c_str());
+
+        // Timed loops, interleaved within each trial: the live
+        // drivers execute the repeat sessions VM-by-VM, the replay
+        // driver decodes the whole recorded stream in one pass.
+        double best[3] = {1e100, 1e100, 1e100};
+        for (uint32_t trial = 0; trial < trials; trial++) {
+            auto t0 = std::chrono::steady_clock::now();
+            for (uint32_t r = 0; r < repeat; r++)
+                runLive(prog, dec, wl.benignInputs, VmEngine::Switch,
+                        false, det);
+            best[0] = std::min(best[0], seconds(t0));
+
+            t0 = std::chrono::steady_clock::now();
+            for (uint32_t r = 0; r < repeat; r++)
+                runLive(prog, dec, wl.benignInputs,
+                        VmEngine::Threaded, true, det);
+            best[1] = std::min(best[1], seconds(t0));
+
+            t0 = std::chrono::steady_clock::now();
+            replay::ReplayShardResult out;
+            eng.replayShard(0, out);
+            best[2] = std::min(best[2], seconds(t0));
+        }
+
+        Row row;
+        row.name = wl.name;
+        row.events = live.detectorStats().branchesSeen / repeat;
+        double total = double(live.detectorStats().branchesSeen);
+        row.epsSwitch = best[0] > 0 ? total / best[0] : 0;
+        row.epsThreaded = best[1] > 0 ? total / best[1] : 0;
+        row.epsReplay = best[2] > 0 ? total / best[2] : 0;
+        std::printf("%-10s %9llu %14.0f %15.0f %14.0f %8.2fx\n",
+                    row.name.c_str(),
+                    static_cast<unsigned long long>(row.events),
+                    row.epsSwitch, row.epsThreaded, row.epsReplay,
+                    row.epsThreaded > 0
+                        ? row.epsReplay / row.epsThreaded
+                        : 0.0);
+        rows.push_back(std::move(row));
+    }
+
+    // Geomean replay speedup against each live driver; the headline
+    // number is vs the deployment engine (threaded+batched).
+    double geoVsSwitch = 1.0, geoVsThreaded = 1.0;
+    for (const Row &r : rows) {
+        geoVsSwitch *=
+            r.epsSwitch > 0 ? r.epsReplay / r.epsSwitch : 1.0;
+        geoVsThreaded *=
+            r.epsThreaded > 0 ? r.epsReplay / r.epsThreaded : 1.0;
+    }
+    if (!rows.empty()) {
+        geoVsSwitch = std::pow(geoVsSwitch, 1.0 / rows.size());
+        geoVsThreaded = std::pow(geoVsThreaded, 1.0 / rows.size());
+    }
+    std::printf("%-10s %9s %14s %15s %14s %8.2fx\n", "geomean", "-",
+                "-", "-", "-", geoVsThreaded);
+
+    FILE *js = std::fopen(jsonPath.c_str(), "w");
+    if (!js) {
+        std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+        return 1;
+    }
+    std::fprintf(js, "{\n  \"bench\": \"abl_replay\",\n"
+                     "  \"repeat\": %u,\n  \"workloads\": [\n",
+                 repeat);
+    for (size_t i = 0; i < rows.size(); i++) {
+        const Row &r = rows[i];
+        std::fprintf(
+            js,
+            "    {\"name\": \"%s\", \"events\": %llu, "
+            "\"live_switch_eps\": %.0f, \"live_threaded_eps\": %.0f, "
+            "\"replay_eps\": %.0f, \"speedup\": %.3f}%s\n",
+            r.name.c_str(),
+            static_cast<unsigned long long>(r.events), r.epsSwitch,
+            r.epsThreaded, r.epsReplay,
+            r.epsThreaded > 0 ? r.epsReplay / r.epsThreaded : 0.0,
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(js,
+                 "  ],\n  \"geomean_speedup_vs_switch\": %.3f,\n"
+                 "  \"geomean_speedup\": %.3f,\n"
+                 "  \"equivalent\": %s\n}\n",
+                 geoVsSwitch, geoVsThreaded,
+                 mismatch ? "false" : "true");
+    bool writeFailed = std::ferror(js) != 0;
+    writeFailed |= std::fclose(js) != 0;
+    if (writeFailed) {
+        std::fprintf(stderr, "write to %s failed\n",
+                     jsonPath.c_str());
+        return 1;
+    }
+    std::printf("\nwrote %s\n", jsonPath.c_str());
+
+    return mismatch ? 1 : 0;
+}

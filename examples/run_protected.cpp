@@ -15,6 +15,13 @@
  *     --fault-seed N       run under a deterministic fault-injection
  *                          plan derived from seed N (attaches the
  *                          Table 1 timing model; see DESIGN.md §9)
+ *     --record out.trc     capture the run's event stream into an
+ *                          IPDS trace (DESIGN.md §10); composes with
+ *                          --attack and --fault-seed, whose effects
+ *                          are recorded into the trace
+ *     --replay in.trc      re-detect a recorded trace instead of
+ *                          executing — no VM, same alarms and stats;
+ *                          excludes --record, --attack, --fault-seed
  *
  * Exit code: 0 clean run, 2 IPDS alarm, 1 usage/compile error.
  */
@@ -28,6 +35,7 @@
 #include "core/image.h"
 #include "core/program.h"
 #include "inject/fault.h"
+#include "obs/names.h"
 #include "obs/session.h"
 #include "timing/config.h"
 #include "support/diag.h"
@@ -62,7 +70,9 @@ usage()
                  "usage: run_protected <prog.minic|workload> "
                  "[--inputs a,b,c] [--attack VAR=VALUE]\n"
                  "                     [--at N] [--image out.ipds] "
-                 "[--stats] [--fault-seed N]\n");
+                 "[--stats] [--fault-seed N]\n"
+                 "                     [--record out.trc | --replay "
+                 "in.trc]\n");
     return 1;
 }
 
@@ -82,6 +92,8 @@ main(int argc, char **argv)
     std::string imagePath;
     bool wantStats = false;
     uint64_t faultSeed = 0;
+    std::string recordPath;
+    std::string replayPath;
 
     for (int i = 2; i < argc; i++) {
         std::string a = argv[i];
@@ -109,9 +121,28 @@ main(int argc, char **argv)
             wantStats = true;
         } else if (a == "--fault-seed") {
             faultSeed = std::strtoull(next(), nullptr, 0);
+        } else if (a == "--record") {
+            recordPath = next();
+        } else if (a == "--replay") {
+            replayPath = next();
         } else {
             return usage();
         }
+    }
+
+    if (!recordPath.empty() && !replayPath.empty()) {
+        std::fprintf(stderr,
+                     "--record and --replay are mutually exclusive\n");
+        return usage();
+    }
+    if (!replayPath.empty() &&
+        (faultSeed != 0 || !attackVar.empty())) {
+        // Faults and attacks are live-run concepts: recorded into a
+        // trace by --record, reproduced from it by --replay.
+        std::fprintf(stderr,
+                     "--replay excludes --fault-seed and --attack "
+                     "(record them with --record instead)\n");
+        return usage();
     }
 
     // Resolve the target: bundled workload or file on disk.
@@ -194,9 +225,33 @@ main(int argc, char **argv)
                                             : "");
         }
 
+        if (!recordPath.empty()) {
+            builder.captureTo(recordPath);
+            std::fprintf(stderr, "[ipds] recording trace to %s\n",
+                         recordPath.c_str());
+        }
+        if (!replayPath.empty())
+            builder.replayFrom(replayPath);
+
         Session session = builder.build();
         session.run();
         std::fputs(session.result().output.c_str(), stdout);
+
+        if (!replayPath.empty()) {
+            const obs::MetricsRegistry &m = session.metrics();
+            namespace n = obs::names;
+            std::fprintf(
+                stderr,
+                "[ipds] replayed %llu sessions (%llu events, %llu "
+                "bytes) from %s — no VM in the loop\n",
+                static_cast<unsigned long long>(
+                    m.value(m.find(n::kReplaySessions))),
+                static_cast<unsigned long long>(
+                    m.value(m.find(n::kReplayEvents))),
+                static_cast<unsigned long long>(
+                    m.value(m.find(n::kReplayBytes))),
+                replayPath.c_str());
+        }
 
         if (faultSeed != 0) {
             const FaultStats &fs = session.faultStats();

@@ -143,6 +143,8 @@ FaultInjector::applyDue()
                 hit = d->injectBsvState(slot, s) || hit;
             for (ReferenceDetector *r : refs)
                 hit = r->injectBsvState(slot, s) || hit;
+            if (sinkEv)
+                sinkEv->onBsvFlip(slot, s);
             if (hit) {
                 stat.bsvFlips++;
                 if (trc)
@@ -157,6 +159,8 @@ FaultInjector::applyDue()
     if ((due & kDueCtx) && cpu != nullptr) {
         uint64_t cycles = cpu->contextSwitch(plan.lazyCtx);
         stat.ctxSwitches++;
+        if (sinkEv)
+            sinkEv->onCtxSwitch(plan.lazyCtx);
         if (trc)
             trc->record(obs::kCatFault, obs::TraceKind::FaultInject,
                         pendingFunc, pendingPc,

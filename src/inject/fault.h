@@ -131,6 +131,28 @@ struct FaultStats
 };
 
 /**
+ * Sideband listener for faults that do NOT travel through the
+ * ExecObserver event stream: BSV flips go straight into the detector
+ * and context-switch storms straight into the CpuModel. A trace
+ * recorder (src/replay) registers here so those out-of-band state
+ * changes land in the recorded stream at their exact commit point —
+ * the injector calls the sink immediately after applying each fault,
+ * which is immediately after forwarding the triggering branch's
+ * events to every target.
+ */
+class FaultEventSink
+{
+  public:
+    virtual ~FaultEventSink() = default;
+
+    /** injectBsvState(slot, s) was applied to every detector. */
+    virtual void onBsvFlip(uint32_t slot, BsvState s) = 0;
+
+    /** CpuModel::contextSwitch(lazy) was forced. */
+    virtual void onCtxSwitch(bool lazy) = 0;
+};
+
+/**
  * The interposing observer. Wire it as the Vm's ONLY observer and
  * register the real observers as targets, in the order they would
  * normally be attached (detector first, then CpuModel, then extras):
@@ -173,6 +195,8 @@ class FaultInjector final : public ExecObserver
     void setCpu(CpuModel *cpu);
     /** Record kCatFault events into @p t (null: no tracing). */
     void setTracer(obs::Tracer *t) { trc = t; }
+    /** Report applied out-of-band faults to @p s (trace capture). */
+    void setEventSink(FaultEventSink *s) { sinkEv = s; }
 
     bool wantsInstEvents() const override;
     void onFunctionEnter(FuncId f) override;
@@ -202,6 +226,7 @@ class FaultInjector final : public ExecObserver
     std::vector<ReferenceDetector *> refs;
     CpuModel *cpu = nullptr;
     obs::Tracer *trc = nullptr;
+    FaultEventSink *sinkEv = nullptr;
 
     uint64_t branchCount = 0;
     uint32_t pendingDue = 0;

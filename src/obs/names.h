@@ -117,6 +117,19 @@ inline constexpr const char *kFaultRingDrops =
 inline constexpr const char *kFaultRingDups =
     "ipds.fault.ring_dups";
 
+// Trace capture & replay (src/replay)
+inline constexpr const char *kReplayChunks = "ipds.replay.chunks";
+inline constexpr const char *kReplayBytes = "ipds.replay.bytes";
+inline constexpr const char *kReplayEvents = "ipds.replay.events";
+inline constexpr const char *kReplaySessions =
+    "ipds.replay.sessions";
+inline constexpr const char *kReplayEventsPerSec = ///< gauge
+    "ipds.replay.events_per_sec";
+inline constexpr const char *kReplayCrcFailures =
+    "ipds.replay.crc_failures";
+inline constexpr const char *kReplayVersionMismatches =
+    "ipds.replay.version_mismatches";
+
 // Attack campaigns (attack/campaign.h)
 inline constexpr const char *kCampAttacks = "ipds.campaign.attacks";
 inline constexpr const char *kCampFired = "ipds.campaign.fired";

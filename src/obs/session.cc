@@ -1,8 +1,13 @@
 #include "obs/session.h"
 
+#include <chrono>
+#include <fstream>
+#include <memory>
 #include <optional>
+#include <sstream>
 
 #include "obs/names.h"
+#include "replay/replay.h"
 #include "support/diag.h"
 #include "support/threadpool.h"
 
@@ -95,6 +100,22 @@ Session::Builder::build()
     if (o.shards > 1 && !o.extraObservers.empty())
         fatal("Session: observe() requires a single shard (observers "
               "would be shared across shard threads)");
+    if (!o.capturePath.empty() && !o.replayPath.empty())
+        fatal("Session: captureTo() and replayFrom() are mutually "
+              "exclusive");
+    if (!o.replayPath.empty()) {
+        if (o.hasFault)
+            fatal("Session: replayFrom() cannot combine with "
+                  "faultPlan() — faults are captured into the trace "
+                  "and reproduced from it");
+        if (o.hasTamper)
+            fatal("Session: replayFrom() cannot combine with "
+                  "tamper() (the tamper's effects are already in the "
+                  "recorded stream)");
+        if (!o.extraObservers.empty())
+            fatal("Session: replayFrom() cannot combine with "
+                  "observe() — replay has no VM to observe");
+    }
     if (!o.detectorExplicit && o.useTiming)
         o.detectorOn = o.timingCfg.ipdsEnabled;
     if (!o.recordTraceExplicit)
@@ -129,7 +150,8 @@ struct Session::ShardOut
 };
 
 void
-Session::runShard(uint32_t shard, ShardOut &out) const
+Session::runShard(uint32_t shard, ShardOut &out,
+                  replay::TraceWriter *capture) const
 {
     const uint32_t begin = shard * opt.sessions / opt.shards;
     const uint32_t end = (shard + 1) * opt.sessions / opt.shards;
@@ -159,6 +181,19 @@ Session::runShard(uint32_t shard, ShardOut &out) const
             vm.setTracer(trc, s);
         if (opt.hasTamper)
             vm.setTamper(opt.tamperSpec);
+
+        // Capture brackets the session; when the ring-fault filter is
+        // armed below, the same parameters go into the record so
+        // replay re-arms it identically.
+        if (capture) {
+            if (opt.hasFault && cpu)
+                capture->beginSession(
+                    s, opt.fault.ringDropPermille,
+                    opt.fault.ringDupPermille,
+                    opt.fault.seed ^ (s * 0x9e3779b97f4a7c15ULL));
+            else
+                capture->beginSession(s);
+        }
 
         // Detector first: its requests must precede the timing
         // model's commit-point drain of the same instruction.
@@ -193,6 +228,14 @@ Session::runShard(uint32_t shard, ShardOut &out) const
             }
             for (ExecObserver *obs : opt.extraObservers)
                 inj.addTarget(obs);
+            // The recorder is the LAST target, so it sees the stream
+            // every real consumer saw; the event sink puts the
+            // injector's out-of-band faults into the record at their
+            // commit points.
+            if (capture) {
+                inj.addTarget(capture);
+                inj.setEventSink(capture);
+            }
             vm.addObserver(&inj);
             for (const TamperSpec &spec :
                  opt.fault.memTamperSpecs(s))
@@ -204,14 +247,24 @@ Session::runShard(uint32_t shard, ShardOut &out) const
                 vm.addObserver(&*cpu);
             for (ExecObserver *obs : opt.extraObservers)
                 vm.addObserver(obs);
+            if (capture)
+                vm.addObserver(capture);
         }
 
         RunResult r = vm.run();
+        uint64_t firedTampers = 0;
+        for (const TamperRecord &tr : r.faultTampers)
+            firedTampers += tr.fired ? 1 : 0;
         if (opt.hasFault) {
             out.fault.merge(inj.stats());
-            for (const TamperRecord &tr : r.faultTampers)
-                out.fault.memTampers += tr.fired ? 1 : 0;
+            out.fault.memTampers += firedTampers;
         }
+        if (capture)
+            capture->endSession(r.steps, r.inputEventCount,
+                                firedTampers,
+                                vm.vmStats().instructions,
+                                vm.vmStats().blocks,
+                                vm.vmStats().eventBatchFlushes);
         out.runs++;
         out.steps += r.steps;
         out.inputEvents += r.inputEventCount;
@@ -266,6 +319,9 @@ Session::runShard(uint32_t shard, ShardOut &out) const
 Session &
 Session::run()
 {
+    if (!opt.replayPath.empty())
+        return runReplay();
+
     alarmList.clear();
     detStat = {};
     timStat = {};
@@ -275,14 +331,79 @@ Session::run()
     traceLog.clear();
     traceLost = 0;
 
+    // Capture: the header is fully known up front, so it streams out
+    // first; a single shard then writes chunks straight to the file,
+    // while sharded captures buffer per shard and concatenate in
+    // shard order at the join (chunk session ids stay monotonic).
+    const bool capturing = !opt.capturePath.empty();
+    std::ofstream capFile;
+    std::vector<std::unique_ptr<std::ostringstream>> capBufs;
+    std::vector<std::unique_ptr<replay::TraceWriter>> capWriters;
+    if (capturing) {
+        capFile.open(opt.capturePath,
+                     std::ios::binary | std::ios::trunc);
+        if (!capFile)
+            fatal("Session: cannot open capture file '%s'",
+                  opt.capturePath.c_str());
+        replay::TraceMeta meta;
+        meta.moduleHash = replay::moduleContentHash(opt.prog->mod);
+        meta.sessions = opt.sessions;
+        meta.shards = opt.shards;
+        meta.hasTiming = opt.useTiming;
+        meta.timing = opt.timingCfg;
+        if (opt.useTiming)
+            meta.flags |=
+                replay::kFlagFullStream | replay::kFlagTiming;
+        if (opt.hasFault)
+            meta.flags |= replay::kFlagFault;
+        if (opt.detectorOn)
+            meta.flags |= replay::kFlagDetector;
+        std::vector<uint8_t> hdr(replay::headerBytes(meta));
+        replay::encodeHeader(meta, hdr.data());
+        capFile.write(reinterpret_cast<const char *>(hdr.data()),
+                      static_cast<std::streamsize>(hdr.size()));
+        auto mode = opt.useTiming
+            ? replay::TraceWriter::Mode::Full
+            : replay::TraceWriter::Mode::BranchesOnly;
+        for (uint32_t s = 0; s < opt.shards; s++) {
+            std::ostream *sink = &capFile;
+            if (opt.shards > 1) {
+                capBufs.push_back(
+                    std::make_unique<std::ostringstream>());
+                sink = capBufs.back().get();
+            }
+            capWriters.push_back(
+                std::make_unique<replay::TraceWriter>(*sink, mode));
+        }
+    }
+    auto captureFor = [&](uint32_t s) {
+        return capturing ? capWriters[s].get() : nullptr;
+    };
+
     std::vector<ShardOut> outs(opt.shards);
     if (opt.shards == 1 && opt.threads == 1) {
-        runShard(0, outs[0]);
+        runShard(0, outs[0], captureFor(0));
     } else {
         ThreadPool pool(opt.threads);
         pool.parallelFor(opt.shards, [&](uint32_t s) {
-            runShard(s, outs[s]);
+            runShard(s, outs[s], captureFor(s));
         });
+    }
+
+    if (capturing) {
+        for (uint32_t s = 0; s < opt.shards; s++)
+            capWriters[s]->finish();
+        if (opt.shards > 1)
+            for (uint32_t s = 0; s < opt.shards; s++) {
+                const std::string chunkBytes = capBufs[s]->str();
+                capFile.write(chunkBytes.data(),
+                              static_cast<std::streamsize>(
+                                  chunkBytes.size()));
+            }
+        capFile.close();
+        if (!capFile)
+            fatal("Session: error writing capture file '%s'",
+                  opt.capturePath.c_str());
     }
 
     // Deterministic join: merge in shard order, independent of which
@@ -300,6 +421,82 @@ Session::run()
         if (out.hasFirst)
             firstResult = std::move(out.firstResult);
     }
+    return *this;
+}
+
+Session &
+Session::runReplay()
+{
+    alarmList.clear();
+    detStat = {};
+    timStat = {};
+    fltStat = {};
+    firstResult = {};
+    registry = {};
+    traceLog.clear();
+    traceLost = 0;
+
+    replay::TraceFile tf = replay::TraceFile::load(opt.replayPath);
+    replay::ReplayEngine eng(tf, *opt.prog);
+    const replay::TraceMeta &m = tf.meta();
+
+    // Shard partition comes from the capture (aggregates are a pure
+    // function of (sessions, shards)); threads only selects replay
+    // parallelism, joined in shard order like the live path.
+    std::vector<replay::ReplayShardResult> outs(m.shards);
+    auto t0 = std::chrono::steady_clock::now();
+    if (m.shards == 1 && opt.threads == 1) {
+        eng.replayShard(0, outs[0]);
+    } else {
+        ThreadPool pool(opt.threads);
+        pool.parallelFor(m.shards, [&](uint32_t s) {
+            eng.replayShard(s, outs[s]);
+        });
+    }
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+    namespace n = obs::names;
+    uint64_t totalEvents = 0;
+    for (const replay::ReplayShardResult &r : outs) {
+        detStat.merge(r.det);
+        timStat.merge(r.tim);
+        fltStat.merge(r.fault);
+        alarmList.insert(alarmList.end(), r.alarms.begin(),
+                         r.alarms.end());
+        totalEvents += r.events;
+
+        // Per-shard registry in the SAME registration order as the
+        // live path, so the shared metrics merge to identical values;
+        // the replay-only meters append after.
+        obs::MetricsRegistry reg;
+        reg.add(reg.counter(n::kSessRuns), r.runs);
+        reg.add(reg.counter(n::kSessSteps), r.steps);
+        reg.add(reg.counter(n::kSessInputEvents), r.inputEvents);
+        reg.add(reg.counter(n::kSessTraceDropped), 0);
+        reg.add(reg.counter(n::kVmInstructions), r.vmInstructions);
+        reg.add(reg.counter(n::kVmBlocks), r.vmBlocks);
+        reg.add(reg.counter(n::kVmEventBatchFlushes), r.vmFlushes);
+        if (m.detectorOn())
+            obs::exportDetectorStats(r.det, r.alarms.size(), reg);
+        if (m.hasTiming)
+            obs::exportTimingStats(r.tim, reg);
+        if (m.faultCaptured())
+            obs::exportFaultStats(r.fault, reg);
+        reg.add(reg.counter(n::kReplayChunks), r.chunks);
+        reg.add(reg.counter(n::kReplayBytes), r.bytes);
+        reg.add(reg.counter(n::kReplayEvents), r.events);
+        registry.merge(reg);
+    }
+    registry.add(registry.counter(n::kReplayBytes),
+                 replay::headerBytes(m));
+    registry.add(registry.counter(n::kReplaySessions), m.sessions);
+    registry.add(registry.counter(n::kReplayCrcFailures), 0);
+    registry.add(registry.counter(n::kReplayVersionMismatches), 0);
+    registry.set(registry.gauge(n::kReplayEventsPerSec),
+                 secs > 0.0 ? static_cast<uint64_t>(totalEvents / secs)
+                            : 0);
     return *this;
 }
 

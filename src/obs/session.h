@@ -50,6 +50,7 @@
 #include "ipds/detector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "replay/writer.h"
 #include "timing/config.h"
 #include "timing/cpu.h"
 #include "vm/vm.h"
@@ -153,12 +154,16 @@ class Session
         std::vector<ExecObserver *> extraObservers;
         uint32_t traceCategories = 0; ///< 0: tracing off
         uint32_t traceCapacity = 4096;
+        std::string capturePath; ///< record a trace (captureTo)
+        std::string replayPath;  ///< replay a trace (replayFrom)
     };
 
     explicit Session(Options o);
 
     struct ShardOut;
-    void runShard(uint32_t shard, ShardOut &out) const;
+    void runShard(uint32_t shard, ShardOut &out,
+                  replay::TraceWriter *capture) const;
+    Session &runReplay();
 
     Options opt;
 
@@ -300,6 +305,40 @@ class Session::Builder
     {
         o.traceCategories = categories;
         o.traceCapacity = capacity;
+        return *this;
+    }
+
+    /**
+     * Record the run's committed event stream into an IPDS trace file
+     * at @p path (src/replay format). The capture attaches after the
+     * detector and timing model, so it observes without perturbing
+     * any result: the run's alarms, stats and metrics are unchanged,
+     * and a later replayFrom() of the file reproduces them
+     * bit-identically. Timing runs capture the full instruction
+     * stream; detector-only runs capture the compact branch stream.
+     */
+    Builder &captureTo(const std::string &path)
+    {
+        o.capturePath = path;
+        return *this;
+    }
+
+    /**
+     * Replay a trace recorded with captureTo() instead of executing
+     * the VM. The trace header supplies sessions, shards and the
+     * TimingConfig (so sessions()/shards()/timing() are ignored);
+     * threads() still selects replay parallelism, with the usual
+     * shard-order deterministic join. Alarms, DetectorStats,
+     * TimingStats, FaultStats and the shared metrics come out
+     * bit-identical to the capture run; result() stays empty (there
+     * is no VM output to reproduce). Incompatible with faultPlan()
+     * (faults are captured, not re-injected), tamper() and observe().
+     * Corrupt, truncated, version-skewed or foreign-module traces
+     * raise FatalError.
+     */
+    Builder &replayFrom(const std::string &path)
+    {
+        o.replayPath = path;
         return *this;
     }
 

@@ -1,0 +1,230 @@
+#include "replay/format.h"
+
+#include <array>
+
+#include "ir/ir.h"
+
+namespace ipds {
+namespace replay {
+
+namespace {
+
+std::array<uint32_t, 256>
+makeCrcTable()
+{
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+        t[i] = c;
+    }
+    return t;
+}
+
+const std::array<uint32_t, 256> kCrcTable = makeCrcTable();
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+struct Fnv
+{
+    uint64_t h = kFnvOffset;
+
+    void byte(uint8_t b)
+    {
+        h ^= b;
+        h *= kFnvPrime;
+    }
+
+    void u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            byte(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        for (char c : s)
+            byte(static_cast<uint8_t>(c));
+    }
+};
+
+} // namespace
+
+uint32_t
+crc32(const uint8_t *p, size_t n)
+{
+    uint32_t c = 0xffffffffu;
+    for (size_t i = 0; i < n; ++i)
+        c = kCrcTable[(c ^ p[i]) & 0xff] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+uint64_t
+moduleContentHash(const Module &mod)
+{
+    Fnv f;
+    f.u64(mod.functions.size());
+    f.u64(mod.objects.size());
+    f.u64(mod.entry);
+    for (const MemObject &o : mod.objects) {
+        f.str(o.name);
+        f.byte(static_cast<uint8_t>(o.kind));
+        f.u64(o.owner);
+        f.u64(o.size);
+        f.byte(o.isArray ? 1 : 0);
+        f.byte(static_cast<uint8_t>(o.elem));
+        f.u64(o.init.size());
+        for (uint8_t b : o.init)
+            f.byte(b);
+    }
+    for (const Function &fn : mod.functions) {
+        f.str(fn.name);
+        f.u64(fn.numParams);
+        f.byte(fn.returnsValue ? 1 : 0);
+        f.u64(fn.blocks.size());
+        f.u64(fn.entryPc);
+        for (const BasicBlock &bb : fn.blocks) {
+            f.u64(bb.insts.size());
+            for (const Inst &in : bb.insts) {
+                f.byte(static_cast<uint8_t>(in.op));
+                f.byte(static_cast<uint8_t>(in.size));
+                f.byte(static_cast<uint8_t>(in.bin));
+                f.byte(static_cast<uint8_t>(in.pred));
+                f.byte(static_cast<uint8_t>(in.builtin));
+                f.u64(in.dst);
+                f.u64(in.srcA);
+                f.u64(in.srcB);
+                f.u64(static_cast<uint64_t>(in.imm));
+                f.u64(in.object);
+                f.u64(in.callee);
+                f.u64(in.target);
+                f.u64(in.fallthrough);
+                f.u64(in.args.size());
+                for (Vreg a : in.args)
+                    f.u64(a);
+                f.u64(in.pc);
+            }
+        }
+    }
+    return f.h;
+}
+
+void
+packTimingConfig(const TimingConfig &cfg, uint32_t *out)
+{
+    size_t i = 0;
+    auto put = [&](uint32_t v) { out[i++] = v; };
+    auto cache = [&](const CacheConfig &c) {
+        put(c.sizeBytes);
+        put(c.ways);
+        put(c.blockBytes);
+        put(c.latency);
+    };
+    put(cfg.fetchQueue);
+    put(cfg.decodeWidth);
+    put(cfg.issueWidth);
+    put(cfg.commitWidth);
+    put(cfg.ruuSize);
+    put(cfg.lsqSize);
+    cache(cfg.l1i);
+    cache(cfg.l1d);
+    cache(cfg.l2);
+    put(cfg.memFirstChunk);
+    put(cfg.memInterChunk);
+    put(cfg.tlbMissCycles);
+    put(cfg.tlbEntries);
+    put(cfg.pageBytes);
+    put(cfg.bhtEntries);
+    put(cfg.historyBits);
+    put(cfg.btbEntries);
+    put(cfg.mispredictPenalty);
+    put(cfg.ipdsEnabled ? 1 : 0);
+    put(cfg.bsvStackBits);
+    put(cfg.bcvStackBits);
+    put(cfg.batStackBits);
+    put(cfg.tableLatency);
+    put(cfg.batEntriesPerAccess);
+    put(cfg.requestQueueSize);
+    put(cfg.spillCyclesPer512);
+    put(cfg.requestRingCapacity);
+    put(cfg.maxFrameDepth);
+    put(cfg.inputCallInsts);
+    put(cfg.outputCallInsts);
+    put(cfg.stringCallInsts);
+    put(cfg.builtinInstCost);
+    static_assert(kTimingConfigWords == 41,
+                  "field list below must match kTimingConfigWords");
+}
+
+TimingConfig
+unpackTimingConfig(const uint32_t *in)
+{
+    TimingConfig cfg;
+    size_t i = 0;
+    auto get = [&]() { return in[i++]; };
+    auto cache = [&](CacheConfig &c) {
+        c.sizeBytes = get();
+        c.ways = get();
+        c.blockBytes = get();
+        c.latency = get();
+    };
+    cfg.fetchQueue = get();
+    cfg.decodeWidth = get();
+    cfg.issueWidth = get();
+    cfg.commitWidth = get();
+    cfg.ruuSize = get();
+    cfg.lsqSize = get();
+    cache(cfg.l1i);
+    cache(cfg.l1d);
+    cache(cfg.l2);
+    cfg.memFirstChunk = get();
+    cfg.memInterChunk = get();
+    cfg.tlbMissCycles = get();
+    cfg.tlbEntries = get();
+    cfg.pageBytes = get();
+    cfg.bhtEntries = get();
+    cfg.historyBits = get();
+    cfg.btbEntries = get();
+    cfg.mispredictPenalty = get();
+    cfg.ipdsEnabled = get() != 0;
+    cfg.bsvStackBits = get();
+    cfg.bcvStackBits = get();
+    cfg.batStackBits = get();
+    cfg.tableLatency = get();
+    cfg.batEntriesPerAccess = get();
+    cfg.requestQueueSize = get();
+    cfg.spillCyclesPer512 = get();
+    cfg.requestRingCapacity = get();
+    cfg.maxFrameDepth = get();
+    cfg.inputCallInsts = get();
+    cfg.outputCallInsts = get();
+    cfg.stringCallInsts = get();
+    cfg.builtinInstCost = get();
+    return cfg;
+}
+
+void
+encodeHeader(const TraceMeta &meta, uint8_t *out)
+{
+    for (size_t i = 0; i < 8; ++i)
+        out[i] = kTraceMagic[i];
+    putU32(out + 8, meta.version);
+    putU32(out + 12, meta.flags);
+    putU64(out + 16, meta.moduleHash);
+    putU32(out + 24, meta.sessions);
+    putU32(out + 28, meta.shards);
+    putU32(out + 32, meta.hasTiming ? kTimingConfigWords : 0);
+    putU32(out + 36, crc32(out, 36));
+    if (meta.hasTiming) {
+        uint32_t words[kTimingConfigWords];
+        packTimingConfig(meta.timing, words);
+        for (uint32_t i = 0; i < kTimingConfigWords; ++i)
+            putU32(out + kHeaderBytes + 4 * i, words[i]);
+    }
+}
+
+} // namespace replay
+} // namespace ipds

@@ -1,0 +1,219 @@
+#include "replay/reader.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "support/diag.h"
+
+namespace ipds {
+namespace replay {
+
+namespace {
+
+std::vector<uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("trace: cannot open '%s'", path.c_str());
+    std::vector<uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (in.bad())
+        fatal("trace: read error on '%s'", path.c_str());
+    return bytes;
+}
+
+/** Record a defect: tally it in @p issues or throw. */
+void
+defect(ValidateResult *issues, uint64_t *tally, const char *msg,
+       size_t where)
+{
+    if (!issues)
+        fatal("trace: %s (at byte %zu)", msg, where);
+    if (tally)
+        (*tally)++;
+    if (issues->error.empty())
+        issues->error = strprintf("%s (at byte %zu)", msg, where);
+}
+
+} // namespace
+
+void
+TraceFile::parse(ValidateResult *issues)
+{
+    const uint8_t *b = bytes_.data();
+    const size_t n = bytes_.size();
+
+    if (n < kHeaderBytes ||
+        std::memcmp(b, kTraceMagic, sizeof kTraceMagic) != 0) {
+        defect(issues, nullptr, "not an IPDS trace (bad magic)", 0);
+        return;
+    }
+    meta_.version = getU32(b + 8);
+    if (meta_.version != kTraceVersion) {
+        if (!issues)
+            fatal("trace: format version %u, this build reads "
+                  "version %u — re-record the trace",
+                  meta_.version, kTraceVersion);
+        issues->versionMismatches++;
+        if (issues->error.empty())
+            issues->error = strprintf(
+                "format version %u, expected %u", meta_.version,
+                kTraceVersion);
+        return;
+    }
+    uint32_t hdrCrc = getU32(b + 36);
+    if (crc32(b, 36) != hdrCrc) {
+        defect(issues, issues ? &issues->crcFailures : nullptr,
+               "header CRC mismatch", 36);
+        return;
+    }
+    meta_.flags = getU32(b + 12);
+    meta_.moduleHash = getU64(b + 16);
+    meta_.sessions = getU32(b + 24);
+    meta_.shards = getU32(b + 28);
+    uint32_t timingWords = getU32(b + 32);
+    if (timingWords != 0 && timingWords != kTimingConfigWords) {
+        defect(issues, nullptr, "bad timing block size", 32);
+        return;
+    }
+    if (meta_.sessions == 0 || meta_.shards == 0 ||
+        meta_.shards > meta_.sessions) {
+        defect(issues, nullptr, "impossible session/shard counts", 24);
+        return;
+    }
+    meta_.hasTiming = timingWords != 0;
+    size_t off = kHeaderBytes;
+    if (meta_.hasTiming) {
+        if (n < off + 4 * kTimingConfigWords) {
+            defect(issues, nullptr, "truncated timing block", off);
+            return;
+        }
+        uint32_t words[kTimingConfigWords];
+        for (uint32_t i = 0; i < kTimingConfigWords; ++i)
+            words[i] = getU32(b + off + 4 * i);
+        meta_.timing = unpackTimingConfig(words);
+        off += 4 * kTimingConfigWords;
+    }
+
+    uint32_t prevSession = 0;
+    bool first = true;
+    while (off < n) {
+        if (n - off < kChunkHeaderBytes) {
+            defect(issues, nullptr, "truncated chunk header", off);
+            return;
+        }
+        ChunkRef c;
+        c.payloadLen = getU32(b + off);
+        c.events = getU32(b + off + 4);
+        c.session = getU32(b + off + 8);
+        uint32_t crc = getU32(b + off + 12);
+        if (c.payloadLen == 0 || n - off - kChunkHeaderBytes <
+            c.payloadLen) {
+            defect(issues, nullptr, "truncated chunk payload", off);
+            return;
+        }
+        c.payloadOff = off + kChunkHeaderBytes;
+        off = c.payloadOff + c.payloadLen;
+        if (c.session >= meta_.sessions ||
+            (!first && c.session < prevSession)) {
+            defect(issues, nullptr, "chunk session out of order", off);
+            return;
+        }
+        prevSession = c.session;
+        first = false;
+        if (crc32(b + c.payloadOff, c.payloadLen) != crc) {
+            defect(issues, issues ? &issues->crcFailures : nullptr,
+                   "chunk CRC mismatch", c.payloadOff);
+            continue; // tally mode: skip the corrupt chunk
+        }
+        index.push_back(c);
+    }
+    if (index.empty())
+        defect(issues, nullptr, "trace has no chunks", n);
+}
+
+TraceFile
+TraceFile::fromBytes(std::vector<uint8_t> bytes)
+{
+    TraceFile f;
+    f.bytes_ = std::move(bytes);
+    f.parse(nullptr);
+    return f;
+}
+
+TraceFile
+TraceFile::load(const std::string &path)
+{
+    return fromBytes(readFile(path));
+}
+
+ValidateResult
+TraceFile::validateBytes(const std::vector<uint8_t> &b)
+{
+    TraceFile f;
+    f.bytes_ = b;
+    ValidateResult r;
+    f.parse(&r);
+    r.ok = r.error.empty();
+    return r;
+}
+
+ValidateResult
+TraceFile::validate(const std::string &path)
+{
+    try {
+        return validateBytes(readFile(path));
+    } catch (const FatalError &e) {
+        ValidateResult r;
+        r.error = e.what();
+        return r;
+    }
+}
+
+Tag
+TraceReader::tag()
+{
+    uint8_t t = byte();
+    if (t < static_cast<uint8_t>(Tag::FuncEnter) ||
+        t > static_cast<uint8_t>(Tag::SessionEnd))
+        fatal("trace: unknown record tag %u (at payload byte %zu)", t,
+              off - 1);
+    return static_cast<Tag>(t);
+}
+
+uint64_t
+TraceReader::var()
+{
+    uint64_t v = 0;
+    uint32_t shift = 0;
+    for (;;) {
+        if (off == n_)
+            truncated();
+        uint8_t byte = p_[off++];
+        if (shift >= 64 || (shift == 63 && (byte & 0x7e) != 0))
+            fatal("trace: varint overflow (at payload byte %zu)", off);
+        v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            return v;
+        shift += 7;
+    }
+}
+
+uint8_t
+TraceReader::byte()
+{
+    if (off == n_)
+        truncated();
+    return p_[off++];
+}
+
+void
+TraceReader::truncated() const
+{
+    fatal("trace: record truncated (at payload byte %zu)", off);
+}
+
+} // namespace replay
+} // namespace ipds

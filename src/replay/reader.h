@@ -1,0 +1,120 @@
+#ifndef IPDS_REPLAY_READER_H
+#define IPDS_REPLAY_READER_H
+
+/**
+ * @file
+ * Trace loading and decoding.
+ *
+ * TraceFile loads a whole trace into memory, verifies the header and
+ * every chunk CRC up front, and exposes the chunk index; all
+ * malformedness — bad magic, version skew, CRC mismatches, truncation,
+ * impossible lengths — surfaces as a recoverable FatalError naming the
+ * byte offset, never as a panic or undefined behaviour. validate()
+ * runs the same checks without throwing and returns a tally (the
+ * bench/CLI probe for corrupt inputs).
+ *
+ * TraceReader is a bounds-checked record cursor over one chunk
+ * payload: every varint and operand read is length-checked, and a
+ * record that runs past the payload is a FatalError.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "replay/format.h"
+
+namespace ipds {
+namespace replay {
+
+/** One chunk's location inside the loaded trace. */
+struct ChunkRef
+{
+    size_t payloadOff = 0; ///< into TraceFile::bytes()
+    uint32_t payloadLen = 0;
+    uint32_t events = 0;  ///< logical events (InstRun expanded)
+    uint32_t session = 0; ///< every record belongs to this session
+};
+
+/** Outcome of a non-throwing integrity scan. */
+struct ValidateResult
+{
+    bool ok = false;
+    uint64_t crcFailures = 0;
+    uint64_t versionMismatches = 0;
+    std::string error; ///< first problem found ("" when ok)
+};
+
+class TraceFile
+{
+  public:
+    /** Load and verify @p path. Throws FatalError on any defect. */
+    static TraceFile load(const std::string &path);
+
+    /** Parse an in-memory image (tests). Throws FatalError. */
+    static TraceFile fromBytes(std::vector<uint8_t> bytes);
+
+    /** Integrity scan of @p path without throwing. */
+    static ValidateResult validate(const std::string &path);
+    static ValidateResult validateBytes(const std::vector<uint8_t> &b);
+
+    const TraceMeta &meta() const { return meta_; }
+    const std::vector<ChunkRef> &chunks() const { return index; }
+    const uint8_t *payload(const ChunkRef &c) const
+    {
+        return bytes_.data() + c.payloadOff;
+    }
+    size_t fileBytes() const { return bytes_.size(); }
+
+  private:
+    /**
+     * Shared parser. With @p issues null the first defect is a
+     * FatalError; otherwise defects are tallied (CRC-bad chunks are
+     * skipped) and parsing continues where structurally possible.
+     */
+    void parse(ValidateResult *issues);
+
+    TraceMeta meta_;
+    std::vector<ChunkRef> index;
+    std::vector<uint8_t> bytes_;
+};
+
+/**
+ * Bounds-checked decoder over one chunk payload. Usage:
+ *
+ *   TraceReader r(file.payload(c), c.payloadLen);
+ *   while (!r.atEnd()) { Tag t = r.tag(); ... operand reads ... }
+ *
+ * The PC/address delta context is the caller's (replay engine keeps
+ * it per chunk); the reader only frames bytes.
+ */
+class TraceReader
+{
+  public:
+    TraceReader(const uint8_t *p, size_t n) : p_(p), n_(n) {}
+
+    bool atEnd() const { return off == n_; }
+    size_t offset() const { return off; }
+
+    /** Next record tag. FatalError on an unknown tag byte. */
+    Tag tag();
+
+    /** LEB128 varint. FatalError past the payload end. */
+    uint64_t var();
+    int64_t svar() { return zigzagDecode(var()); }
+
+    /** One raw byte. */
+    uint8_t byte();
+
+  private:
+    [[noreturn]] void truncated() const;
+
+    const uint8_t *p_;
+    size_t n_;
+    size_t off = 0;
+};
+
+} // namespace replay
+} // namespace ipds
+
+#endif // IPDS_REPLAY_READER_H

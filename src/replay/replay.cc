@@ -1,0 +1,321 @@
+#include "replay/replay.h"
+
+#include <optional>
+
+#include "support/diag.h"
+
+namespace ipds {
+namespace replay {
+
+ReplayEngine::ReplayEngine(const TraceFile &f,
+                           const CompiledProgram &p)
+    : file(f), prog(p)
+{
+    const Module &mod = prog.mod;
+    if (file.meta().moduleHash != moduleContentHash(mod))
+        fatal("trace: recorded from a different program (module "
+              "content hash mismatch) — re-record the trace");
+
+    uint64_t lo = ~0ull;
+    uint64_t hi = 0;
+    for (const Function &fn : mod.functions)
+        for (const BasicBlock &bb : fn.blocks)
+            for (const Inst &in : bb.insts) {
+                lo = std::min(lo, in.pc);
+                hi = std::max(hi, in.pc);
+            }
+    if (lo > hi)
+        fatal("trace: program has no instructions");
+    basePc = lo;
+    pcIndex.assign((hi - lo) / 4 + 1, {});
+    for (const Function &fn : mod.functions)
+        for (const BasicBlock &bb : fn.blocks)
+            for (const Inst &in : bb.insts)
+                pcIndex[(in.pc - basePc) / 4] = {&in, fn.id};
+}
+
+const ReplayEngine::PcEntry &
+ReplayEngine::at(uint64_t pc) const
+{
+    uint64_t off = pc - basePc;
+    if (pc < basePc || (off & 3) != 0 || off / 4 >= pcIndex.size() ||
+        pcIndex[off / 4].inst == nullptr)
+        fatal("trace: record references pc 0x%llx outside the module",
+              static_cast<unsigned long long>(pc));
+    return pcIndex[off / 4];
+}
+
+namespace {
+
+bool
+isMemOp(Op op)
+{
+    return op == Op::Load || op == Op::LoadInd || op == Op::Store ||
+        op == Op::StoreInd;
+}
+
+} // namespace
+
+void
+ReplayEngine::replayShard(uint32_t shard, ReplayShardResult &out) const
+{
+    const TraceMeta &m = file.meta();
+    if (shard >= m.shards)
+        fatal("replay: shard %u of %u", shard, m.shards);
+    const uint32_t begin =
+        static_cast<uint32_t>(uint64_t(shard) * m.sessions / m.shards);
+    const uint32_t end = static_cast<uint32_t>(
+        uint64_t(shard + 1) * m.sessions / m.shards);
+
+    std::optional<CpuModel> cpu;
+    if (m.hasTiming)
+        cpu.emplace(m.timing);
+    const bool detOn = m.detectorOn();
+    std::optional<Detector> det;
+
+    // Shadow call stack: validated BEFORE the detector sees an event,
+    // so corrupt-but-CRC-valid traces fail with FatalError instead of
+    // tripping the detector's internal invariants.
+    std::vector<FuncId> funcStack;
+    bool open = false;
+    uint32_t expectNext = begin;
+
+    auto requireOpen = [&] {
+        if (!open)
+            fatal("trace: event record outside a session");
+    };
+
+    for (const ChunkRef &c : file.chunks()) {
+        if (c.session < begin || c.session >= end)
+            continue;
+        out.chunks++;
+        out.bytes += kChunkHeaderBytes + c.payloadLen;
+        out.events += c.events;
+
+        TraceReader r(file.payload(c), c.payloadLen);
+        uint64_t prevPc = 0;
+        uint64_t prevAddr = 0;
+        uint64_t remaining = c.events;
+        auto take = [&](uint64_t k) {
+            if (k > remaining)
+                fatal("trace: chunk event count mismatch");
+            remaining -= k;
+        };
+
+        while (!r.atEnd()) {
+            switch (Tag t = r.tag(); t) {
+              case Tag::SessionStart: {
+                take(1);
+                uint64_t idx = r.var();
+                uint8_t ringFault = r.byte();
+                uint32_t drop = 0;
+                uint32_t dup = 0;
+                uint64_t seed = 0;
+                if (ringFault) {
+                    drop = static_cast<uint32_t>(r.var());
+                    dup = static_cast<uint32_t>(r.var());
+                    seed = r.var();
+                }
+                if (open)
+                    fatal("trace: SessionStart inside an open "
+                          "session");
+                if (idx != c.session || idx != expectNext)
+                    fatal("trace: session %llu out of order "
+                          "(expected %u)",
+                          static_cast<unsigned long long>(idx),
+                          expectNext);
+                open = true;
+                expectNext = static_cast<uint32_t>(idx) + 1;
+                if (detOn) {
+                    // One Detector per shard, reset() between
+                    // sessions (the pooled-frames fast path): replay
+                    // pays decode + detection per event, not a
+                    // detector rebuild per session.
+                    if (!det)
+                        det.emplace(prog);
+                    else
+                        det->reset();
+                    if (cpu)
+                        det->setRequestRing(&cpu->requestRing());
+                }
+                if (ringFault) {
+                    if (!cpu)
+                        fatal("trace: ring-fault arming without a "
+                              "timing model");
+                    cpu->requestRing().setFault(drop, dup, seed);
+                }
+                break;
+              }
+              case Tag::SessionEnd: {
+                take(1);
+                uint64_t steps = r.var();
+                uint64_t inputEvents = r.var();
+                uint64_t memTampers = r.var();
+                uint64_t instructions = r.var();
+                uint64_t blocks = r.var();
+                uint64_t flushes = r.var();
+                requireOpen();
+                open = false;
+                out.runs++;
+                out.steps += steps;
+                out.inputEvents += inputEvents;
+                out.fault.memTampers += memTampers;
+                out.vmInstructions += instructions;
+                out.vmBlocks += blocks;
+                out.vmFlushes += flushes;
+                if (det) {
+                    out.det.merge(det->stats());
+                    out.alarms.insert(out.alarms.end(),
+                                      det->alarms().begin(),
+                                      det->alarms().end());
+                }
+                funcStack.clear();
+                break;
+              }
+              case Tag::FuncEnter: {
+                take(1);
+                uint64_t f = r.var();
+                requireOpen();
+                if (f >= prog.mod.functions.size())
+                    fatal("trace: function id %llu out of range",
+                          static_cast<unsigned long long>(f));
+                funcStack.push_back(static_cast<FuncId>(f));
+                if (det)
+                    det->onFunctionEnter(static_cast<FuncId>(f));
+                if (cpu)
+                    cpu->onFunctionEnter(static_cast<FuncId>(f));
+                break;
+              }
+              case Tag::FuncExit: {
+                take(1);
+                uint64_t f = r.var();
+                requireOpen();
+                if (funcStack.empty() || funcStack.back() != f)
+                    fatal("trace: unbalanced function exit");
+                funcStack.pop_back();
+                if (det)
+                    det->onFunctionExit(static_cast<FuncId>(f));
+                if (cpu)
+                    cpu->onFunctionExit(static_cast<FuncId>(f));
+                break;
+              }
+              case Tag::BranchTaken:
+              case Tag::BranchNotTaken: {
+                take(1);
+                uint64_t pc =
+                    prevPc + static_cast<uint64_t>(r.svar()) * 4;
+                requireOpen();
+                const PcEntry &e = at(pc);
+                if (e.inst->op != Op::Br)
+                    fatal("trace: branch record at non-branch pc");
+                if (funcStack.empty() || funcStack.back() != e.func)
+                    fatal("trace: branch outside its function's "
+                          "activation");
+                bool taken = t == Tag::BranchTaken;
+                if (det)
+                    det->onBranch(e.func, pc, taken);
+                if (cpu) {
+                    cpu->onBranch(e.func, pc, taken);
+                    cpu->onInst(*e.inst, 0, 0, false);
+                }
+                prevPc = pc;
+                break;
+              }
+              case Tag::Inst: {
+                take(1);
+                uint64_t pc =
+                    prevPc + static_cast<uint64_t>(r.svar()) * 4;
+                requireOpen();
+                const PcEntry &e = at(pc);
+                if (e.inst->op == Op::Br || isMemOp(e.inst->op))
+                    fatal("trace: plain record for a branch/memory "
+                          "instruction");
+                if (cpu)
+                    cpu->onInst(*e.inst, 0, 0, false);
+                prevPc = pc;
+                break;
+              }
+              case Tag::InstRun: {
+                uint64_t n = r.var();
+                take(n); // also rejects absurd counts up front
+                requireOpen();
+                for (uint64_t i = 0; i < n; i++) {
+                    uint64_t pc = prevPc + 4;
+                    const PcEntry &e = at(pc);
+                    if (e.inst->op == Op::Br || isMemOp(e.inst->op))
+                        fatal("trace: plain record for a "
+                              "branch/memory instruction");
+                    if (cpu)
+                        cpu->onInst(*e.inst, 0, 0, false);
+                    prevPc = pc;
+                }
+                break;
+              }
+              case Tag::MemInst: {
+                take(1);
+                uint64_t pc =
+                    prevPc + static_cast<uint64_t>(r.svar()) * 4;
+                uint64_t addr =
+                    prevAddr + static_cast<uint64_t>(r.svar());
+                requireOpen();
+                const PcEntry &e = at(pc);
+                if (!isMemOp(e.inst->op))
+                    fatal("trace: data-access record at a "
+                          "non-memory instruction");
+                if (cpu)
+                    cpu->onInst(
+                        *e.inst, addr,
+                        static_cast<uint32_t>(e.inst->size),
+                        e.inst->op == Op::Load ||
+                            e.inst->op == Op::LoadInd);
+                prevPc = pc;
+                prevAddr = addr;
+                break;
+              }
+              case Tag::BsvFlip: {
+                take(1);
+                uint64_t slot = r.var();
+                uint8_t state = r.byte();
+                requireOpen();
+                if (state > 2)
+                    fatal("trace: bad BSV state %u", state);
+                if (det &&
+                    det->injectBsvState(
+                        static_cast<uint32_t>(slot),
+                        static_cast<BsvState>(state)))
+                    out.fault.bsvFlips++;
+                break;
+              }
+              case Tag::CtxSwitch: {
+                take(1);
+                uint8_t lazy = r.byte();
+                requireOpen();
+                if (!cpu)
+                    fatal("trace: context switch without a timing "
+                          "model");
+                cpu->contextSwitch(lazy != 0);
+                out.fault.ctxSwitches++;
+                break;
+              }
+            }
+        }
+        if (remaining != 0)
+            fatal("trace: chunk event count mismatch");
+    }
+    if (open)
+        fatal("trace: truncated (a session has no end record)");
+    if (out.runs != end - begin)
+        fatal("trace: shard %u replayed %llu of %u sessions", shard,
+              static_cast<unsigned long long>(out.runs), end - begin);
+
+    if (cpu) {
+        out.tim = cpu->stats();
+        if (m.faultCaptured()) {
+            out.fault.ringDrops = cpu->requestRing().faultDropCount();
+            out.fault.ringDups = cpu->requestRing().faultDupCount();
+        }
+    }
+}
+
+} // namespace replay
+} // namespace ipds

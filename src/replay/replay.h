@@ -1,0 +1,108 @@
+#ifndef IPDS_REPLAY_REPLAY_H
+#define IPDS_REPLAY_REPLAY_H
+
+/**
+ * @file
+ * ReplayEngine: re-detect (and re-time) a recorded trace with no VM in
+ * the loop.
+ *
+ * The engine decodes chunk records back into the per-event observer
+ * calls the live run delivered — Detector::onFunctionEnter/Exit/
+ * onBranch, CpuModel::onBranch/onInst — against the SAME concrete
+ * classes, so alarms, DetectorStats and TimingStats come out
+ * bit-identical to the capture run (per-event and batched delivery are
+ * already held bit-identical by the vm-diff suite). Out-of-band fault
+ * records (BSV flips, context-switch storms, ring-fault arming) are
+ * applied at their recorded commit points, so a tamper recorded into a
+ * trace is detected identically on replay.
+ *
+ * Sharding reuses the live partition: the trace header carries the
+ * capture's (sessions, shards), each replay shard owns a CpuModel and
+ * per-session Detectors over session range [s*S/K, (s+1)*S/K), and
+ * chunk framing guarantees a chunk never spans sessions, so shards
+ * split the file at chunk boundaries. Results merge in shard order —
+ * deterministic for any worker-thread count, like the Session facade.
+ *
+ * Defensive decoding: the engine validates every PC against the
+ * module's instruction index, every function id, and its own shadow
+ * call stack BEFORE forwarding to the detector, so a corrupt-but-
+ * CRC-valid trace raises FatalError instead of tripping the
+ * detector's internal panics.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "core/program.h"
+#include "inject/fault.h"
+#include "ipds/detector.h"
+#include "replay/reader.h"
+#include "timing/cpu.h"
+
+namespace ipds {
+namespace replay {
+
+/** Everything one replay shard reproduces (plus replay-side meters). */
+struct ReplayShardResult
+{
+    DetectorStats det;
+    TimingStats tim;
+    FaultStats fault;
+    std::vector<Alarm> alarms;
+
+    // Session counters replayed from SessionEnd records.
+    uint64_t runs = 0;
+    uint64_t steps = 0;
+    uint64_t inputEvents = 0;
+    uint64_t vmInstructions = 0;
+    uint64_t vmBlocks = 0;
+    uint64_t vmFlushes = 0;
+
+    // Replay-side meters (ipds.replay.*).
+    uint64_t chunks = 0;
+    uint64_t bytes = 0;
+    uint64_t events = 0;
+};
+
+class ReplayEngine
+{
+  public:
+    /**
+     * @p file and @p prog must outlive the engine. Throws FatalError
+     * if the trace was recorded from a different program (module
+     * content-hash mismatch).
+     */
+    ReplayEngine(const TraceFile &file, const CompiledProgram &prog);
+
+    /** Session/shard geometry recorded at capture time. */
+    uint32_t sessions() const { return file.meta().sessions; }
+    uint32_t shards() const { return file.meta().shards; }
+
+    /**
+     * Replay shard @p shard (sessions [shard*S/K, (shard+1)*S/K))
+     * into @p out. Const and self-contained: shards replay
+     * concurrently. Throws FatalError on malformed records.
+     */
+    void replayShard(uint32_t shard, ReplayShardResult &out) const;
+
+  private:
+    struct PcEntry
+    {
+        const Inst *inst = nullptr;
+        FuncId func = kNoFunc;
+    };
+
+    /** Decoded instruction at @p pc; FatalError if out of range. */
+    const PcEntry &at(uint64_t pc) const;
+
+    const TraceFile &file;
+    const CompiledProgram &prog;
+    /** Flat (pc - basePc) / 4 index over every instruction. */
+    std::vector<PcEntry> pcIndex;
+    uint64_t basePc = 0;
+};
+
+} // namespace replay
+} // namespace ipds
+
+#endif // IPDS_REPLAY_REPLAY_H

@@ -1,0 +1,195 @@
+#include "replay/writer.h"
+
+namespace ipds {
+namespace replay {
+
+TraceWriter::TraceWriter(std::ostream &o, Mode mode)
+    : out(o), md(mode)
+{
+    payload.reserve(kChunkPayloadCap + 64);
+}
+
+void
+TraceWriter::putVar(uint64_t v)
+{
+    while (v >= 0x80) {
+        payload.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    payload.push_back(static_cast<uint8_t>(v));
+}
+
+void
+TraceWriter::flushRun()
+{
+    if (pendingRun == 0)
+        return;
+    uint32_t n = pendingRun;
+    pendingRun = 0;
+    tag(Tag::InstRun);
+    putVar(n);
+    chunkEvents += n;
+    eventsOut += n;
+}
+
+void
+TraceWriter::flushChunk()
+{
+    flushRun();
+    if (payload.empty())
+        return;
+    uint8_t hdr[kChunkHeaderBytes];
+    putU32(hdr, static_cast<uint32_t>(payload.size()));
+    putU32(hdr + 4, chunkEvents);
+    putU32(hdr + 8, curSession);
+    putU32(hdr + 12, crc32(payload.data(), payload.size()));
+    out.write(reinterpret_cast<const char *>(hdr), sizeof hdr);
+    out.write(reinterpret_cast<const char *>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    bytesOut += sizeof hdr + payload.size();
+    chunksOut++;
+    payload.clear();
+    chunkEvents = 0;
+    prevPc = 0;
+    prevAddr = 0;
+}
+
+void
+TraceWriter::sealRecord(uint32_t events_in_record)
+{
+    chunkEvents += events_in_record;
+    eventsOut += events_in_record;
+    if (payload.size() >= kChunkPayloadCap)
+        flushChunk();
+}
+
+void
+TraceWriter::beginSession(uint32_t index)
+{
+    flushChunk();
+    curSession = index;
+    tag(Tag::SessionStart);
+    putVar(index);
+    payload.push_back(0);
+    sealRecord();
+}
+
+void
+TraceWriter::beginSession(uint32_t index, uint32_t drop_permille,
+                          uint32_t dup_permille, uint64_t ring_seed)
+{
+    flushChunk();
+    curSession = index;
+    tag(Tag::SessionStart);
+    putVar(index);
+    payload.push_back(1);
+    putVar(drop_permille);
+    putVar(dup_permille);
+    putVar(ring_seed);
+    sealRecord();
+}
+
+void
+TraceWriter::endSession(uint64_t steps, uint64_t input_events,
+                        uint64_t mem_tampers, uint64_t instructions,
+                        uint64_t blocks, uint64_t batch_flushes)
+{
+    flushRun();
+    tag(Tag::SessionEnd);
+    putVar(steps);
+    putVar(input_events);
+    putVar(mem_tampers);
+    putVar(instructions);
+    putVar(blocks);
+    putVar(batch_flushes);
+    sealRecord();
+    flushChunk();
+}
+
+void
+TraceWriter::finish()
+{
+    flushChunk();
+}
+
+void
+TraceWriter::onFunctionEnter(FuncId f)
+{
+    flushRun();
+    tag(Tag::FuncEnter);
+    putVar(f);
+    sealRecord();
+}
+
+void
+TraceWriter::onFunctionExit(FuncId f)
+{
+    flushRun();
+    tag(Tag::FuncExit);
+    putVar(f);
+    sealRecord();
+}
+
+void
+TraceWriter::onBranch(FuncId, uint64_t pc, bool taken)
+{
+    flushRun();
+    tag(taken ? Tag::BranchTaken : Tag::BranchNotTaken);
+    putSvar(static_cast<int64_t>(pc - prevPc) / 4);
+    prevPc = pc;
+    sealRecord();
+}
+
+void
+TraceWriter::onInst(const Inst &in, uint64_t mem_addr,
+                    uint32_t mem_size, bool)
+{
+    if (md != Mode::Full)
+        return;
+    if (in.op == Op::Br)
+        return; // the branch record already carries this commit
+    if (mem_size != 0) {
+        flushRun();
+        tag(Tag::MemInst);
+        putSvar(static_cast<int64_t>(in.pc - prevPc) / 4);
+        putSvar(static_cast<int64_t>(mem_addr - prevAddr));
+        prevPc = in.pc;
+        prevAddr = mem_addr;
+        sealRecord();
+        return;
+    }
+    if (in.pc == prevPc + 4) {
+        // Sequential commit: extend the pending run, one event, zero
+        // bytes until something breaks the run.
+        pendingRun++;
+        prevPc = in.pc;
+        return;
+    }
+    flushRun();
+    tag(Tag::Inst);
+    putSvar(static_cast<int64_t>(in.pc - prevPc) / 4);
+    prevPc = in.pc;
+    sealRecord();
+}
+
+void
+TraceWriter::onBsvFlip(uint32_t slot, BsvState s)
+{
+    flushRun();
+    tag(Tag::BsvFlip);
+    putVar(slot);
+    payload.push_back(static_cast<uint8_t>(s));
+    sealRecord();
+}
+
+void
+TraceWriter::onCtxSwitch(bool lazy)
+{
+    flushRun();
+    tag(Tag::CtxSwitch);
+    payload.push_back(lazy ? 1 : 0);
+    sealRecord();
+}
+
+} // namespace replay
+} // namespace ipds

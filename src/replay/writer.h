@@ -1,0 +1,133 @@
+#ifndef IPDS_REPLAY_WRITER_H
+#define IPDS_REPLAY_WRITER_H
+
+/**
+ * @file
+ * TraceWriter: an ExecObserver that records the committed event stream
+ * into the IPDS trace format (replay/format.h).
+ *
+ * Attach it to a Vm exactly where the replayed consumers sit in the
+ * live run — after the detector and the CpuModel (or as the last
+ * FaultInjector target plus its FaultEventSink), so the recorded order
+ * is the order every consumer saw. The writer buffers records into a
+ * chunk payload and flushes whole chunks (header + CRC) to the output
+ * stream; beginSession()/endSession() bracket each session so chunks
+ * never span session boundaries and sharded replay can split the file
+ * by session index alone.
+ *
+ * Two capture modes:
+ *  - BranchesOnly: function enter/exit + branch direction — all the
+ *    Detector consumes. Instruction events are ignored even when the
+ *    engine delivers them, so switch and threaded captures of the same
+ *    run are byte-identical.
+ *  - Full: additionally every committed instruction (PC-delta runs,
+ *    data addresses for memory ops) — what the CpuModel needs to
+ *    reproduce TimingStats bit-exactly.
+ */
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "inject/fault.h"
+#include "replay/format.h"
+#include "vm/vm.h"
+
+namespace ipds {
+namespace replay {
+
+class TraceWriter final : public ExecObserver, public FaultEventSink
+{
+  public:
+    enum class Mode : uint8_t
+    {
+        BranchesOnly, ///< detector stream only
+        Full,         ///< + instruction/data stream (timing)
+    };
+
+    /**
+     * Chunks are written to @p out as they fill; the caller owns the
+     * stream and the surrounding file header. Call finish() before
+     * reading the stream back.
+     */
+    TraceWriter(std::ostream &out, Mode mode);
+
+    Mode mode() const { return md; }
+
+    // ---- session bracketing (Session facade / harness) ---------------
+
+    /** Open session @p index: flushes the current chunk and records a
+     *  SessionStart with no ring-fault arming. */
+    void beginSession(uint32_t index);
+
+    /** Open session @p index with RequestRing::setFault parameters so
+     *  replay re-arms the identical drop/dup filter. */
+    void beginSession(uint32_t index, uint32_t drop_permille,
+                      uint32_t dup_permille, uint64_t ring_seed);
+
+    /**
+     * Close the current session, recording the run counters replay
+     * reports back through the session metrics (ipds.session.* /
+     * ipds.vm.* / fault mem-tamper count), then flush the chunk.
+     */
+    void endSession(uint64_t steps, uint64_t input_events,
+                    uint64_t mem_tampers, uint64_t instructions,
+                    uint64_t blocks, uint64_t batch_flushes);
+
+    /** Flush any buffered partial chunk. Idempotent. */
+    void finish();
+
+    // ---- ExecObserver -------------------------------------------------
+
+    bool wantsInstEvents() const override { return md == Mode::Full; }
+    void onFunctionEnter(FuncId f) override;
+    void onFunctionExit(FuncId f) override;
+    void onBranch(FuncId f, uint64_t pc, bool taken) override;
+    void onInst(const Inst &in, uint64_t mem_addr, uint32_t mem_size,
+                bool is_load) override;
+    // onBatch: the inherited default replays the per-event callbacks
+    // in commit order, which is exactly the stream to record.
+
+    // ---- FaultEventSink (out-of-band fault commits) -------------------
+
+    void onBsvFlip(uint32_t slot, BsvState s) override;
+    void onCtxSwitch(bool lazy) override;
+
+    // ---- counters (ipds.replay.* on the capture side) -----------------
+
+    uint64_t bytesWritten() const { return bytesOut; }
+    uint64_t chunksWritten() const { return chunksOut; }
+    uint64_t eventsWritten() const { return eventsOut; }
+
+  private:
+    void putVar(uint64_t v);
+    void putSvar(int64_t v) { putVar(zigzagEncode(v)); }
+    void tag(Tag t) { payload.push_back(static_cast<uint8_t>(t)); }
+
+    /** Emit the pending sequential-instruction run, if any. */
+    void flushRun();
+    /** Emit the buffered chunk, if any; resets the delta context. */
+    void flushChunk();
+    /** flushRun + count an event + chunk-cap check. */
+    void sealRecord(uint32_t events_in_record = 1);
+
+    std::ostream &out;
+    Mode md;
+
+    std::vector<uint8_t> payload;
+    uint32_t chunkEvents = 0;
+    uint32_t curSession = 0;
+
+    uint64_t prevPc = 0;
+    uint64_t prevAddr = 0;
+    uint32_t pendingRun = 0;
+
+    uint64_t bytesOut = 0;
+    uint64_t chunksOut = 0;
+    uint64_t eventsOut = 0;
+};
+
+} // namespace replay
+} // namespace ipds
+
+#endif // IPDS_REPLAY_WRITER_H

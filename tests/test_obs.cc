@@ -9,6 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <set>
+#include <sstream>
+
 #include "core/program.h"
 #include "ipds/detector.h"
 #include "obs/metrics.h"
@@ -23,6 +27,7 @@ namespace {
 
 using obs::MetricsRegistry;
 using obs::Tracer;
+namespace names = obs::names;
 
 // ---------------------------------------------------------------- metrics
 
@@ -464,6 +469,100 @@ TEST(Session, TraceIsDeterministicAcrossThreadCounts)
         return obs::toText(s.traceEvents());
     };
     EXPECT_EQ(runWith(1), runWith(4));
+}
+
+TEST(Session, ExportedNamesFollowTheSchemeAndAreRegistered)
+{
+    // Every metric a full-featured run exports must (a) follow the
+    // shared naming scheme ipds.<component>.<snake_case_field> and
+    // (b) be one of the obs/names.h constants — no producer may
+    // invent a private name. A capture+replay pair covers every
+    // exporter at once: detector, timing, engine, ring, vm, session,
+    // fault and replay.
+    CompiledProgram prog =
+        compileAndAnalyze(kLoopProgram, "obs_loop");
+    std::string trc = testing::TempDir() + "obs_names.trc";
+    FaultPlan plan = FaultPlan::fromSeed(7);
+    Session::builder()
+        .program(prog)
+        .inputs({"7", "1", "2", "3", "4"})
+        .timing(table1Config())
+        .faultPlan(plan)
+        .sessions(2)
+        .captureTo(trc)
+        .build()
+        .run();
+    Session rep =
+        Session::builder().program(prog).replayFrom(trc).build();
+    rep.run();
+    std::remove(trc.c_str());
+
+    const std::set<std::string> known = {
+        names::kDetBranchesSeen, names::kDetChecksEnqueued,
+        names::kDetUpdatesApplied, names::kDetActionsApplied,
+        names::kDetFramesPushed, names::kDetMaxStackDepth,
+        names::kDetAlarms, names::kRingMaxOccupancy,
+        names::kRingDrains, names::kRingOverflowFlushes,
+        names::kRingFaultDrops, names::kRingFaultDups,
+        names::kCpuInstructions, names::kCpuCycles,
+        names::kCpuBranches, names::kCpuMispredicts,
+        names::kCpuL1iMisses, names::kCpuL1dMisses,
+        names::kCpuL2Misses, names::kCpuTlbMisses,
+        names::kCpuIpdsStallCycles, names::kEngRequests,
+        names::kEngCheckRequests, names::kEngUpdateRequests,
+        names::kEngBusyCycles, names::kEngQueueFullStalls,
+        names::kEngStallCycles, names::kEngSpillEvents,
+        names::kEngSpillBits, names::kEngFillEvents,
+        names::kEngFillBits, names::kEngCheckLatencySum,
+        names::kEngCheckLatencyCount, names::kEngFramesDepth,
+        names::kEngDepthClamps, names::kEngAccountingClamps,
+        names::kVmInstructions, names::kVmBlocks,
+        names::kVmEventBatchFlushes, names::kSessRuns,
+        names::kSessSteps, names::kSessInputEvents,
+        names::kSessTraceDropped, names::kFaultMemTampers,
+        names::kFaultBsvFlips, names::kFaultCtxSwitches,
+        names::kFaultRingDrops, names::kFaultRingDups,
+        names::kReplayChunks, names::kReplayBytes,
+        names::kReplayEvents, names::kReplaySessions,
+        names::kReplayEventsPerSec, names::kReplayCrcFailures,
+        names::kReplayVersionMismatches, names::kCampAttacks,
+        names::kCampFired, names::kCampCfChanged,
+        names::kCampDetected, names::kCampFalsePositives,
+        names::kCampDetectionBranchHist,
+    };
+
+    auto followsScheme = [](const std::string &name) {
+        size_t d1 = name.find('.');
+        size_t d2 = name.rfind('.');
+        if (d1 == std::string::npos || d2 == d1)
+            return false;
+        if (name.substr(0, d1) != "ipds")
+            return false;
+        for (char c : name.substr(d1 + 1, d2 - d1 - 1))
+            if (c < 'a' || c > 'z')
+                return false;
+        std::string field = name.substr(d2 + 1);
+        if (field.empty())
+            return false;
+        for (char c : field)
+            if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '_'))
+                return false;
+        return true;
+    };
+
+    size_t checked = 0;
+    std::istringstream in(rep.metricsText());
+    std::string line;
+    while (std::getline(in, line)) {
+        std::string name = line.substr(0, line.find(' '));
+        EXPECT_TRUE(followsScheme(name)) << name;
+        EXPECT_TRUE(known.count(name))
+            << name << " is not declared in obs/names.h";
+        checked++;
+    }
+    // Every exporter must actually have contributed.
+    EXPECT_GE(checked, 40u);
 }
 
 TEST(Session, RerunReplacesResults)

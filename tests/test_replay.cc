@@ -1,0 +1,700 @@
+/**
+ * @file
+ * Trace capture & replay suite (ctest label `replay`).
+ *
+ * The standing contract under test: a Session run recorded with
+ * captureTo() and replayed with replayFrom() reproduces alarms,
+ * DetectorStats, TimingStats, FaultStats and the shared metrics
+ * BIT-IDENTICALLY, with no VM in the loop; captures are byte-identical
+ * across VM engines and delivery modes; sharded replay is
+ * thread-count-invariant; and every corrupt, truncated, version-skewed
+ * or foreign-module trace surfaces as a recoverable FatalError, never
+ * a panic. A golden fixture in tests/data/ pins the on-disk encoding
+ * to kTraceVersion: changing the format without bumping the version
+ * fails loudly here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/program.h"
+#include "inject/fault.h"
+#include "ipds/detector.h"
+#include "obs/names.h"
+#include "obs/session.h"
+#include "replay/format.h"
+#include "replay/reader.h"
+#include "replay/replay.h"
+#include "replay/writer.h"
+#include "support/diag.h"
+#include "timing/config.h"
+#include "timing/cpu.h"
+#include "vm/vm.h"
+#include "workloads/workloads.h"
+
+#ifndef IPDS_TEST_DATA_DIR
+#error "tests/CMakeLists.txt must define IPDS_TEST_DATA_DIR"
+#endif
+
+namespace ipds {
+namespace {
+
+// ------------------------------------------------------------- helpers
+
+std::string
+tmpTracePath(const std::string &name)
+{
+    return testing::TempDir() + "ipds_" + name + ".trc";
+}
+
+std::vector<uint8_t>
+readBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+}
+
+void
+writeBytes(const std::string &path, const std::vector<uint8_t> &b)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(b.data()),
+              static_cast<std::streamsize>(b.size()));
+    ASSERT_TRUE(out.good()) << path;
+}
+
+/** Fix the header CRC after editing a header field (tests only). */
+void
+resealHeader(std::vector<uint8_t> &b)
+{
+    ASSERT_GE(b.size(), replay::kHeaderBytes);
+    replay::putU32(b.data() + 36, replay::crc32(b.data(), 36));
+}
+
+bool
+sameAlarms(const std::vector<Alarm> &a, const std::vector<Alarm> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); i++) {
+        if (a[i].func != b[i].func || a[i].pc != b[i].pc ||
+            a[i].actualTaken != b[i].actualTaken ||
+            a[i].expected != b[i].expected ||
+            a[i].branchIndex != b[i].branchIndex)
+            return false;
+    }
+    return true;
+}
+
+/** metricsText() minus the replay-side meter lines (ipds.replay.* is
+ *  new information the capture run cannot carry, and events_per_sec is
+ *  wall-clock). Everything else must match bit-for-bit. */
+std::string
+stripReplayLines(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string out, line;
+    while (std::getline(in, line)) {
+        if (line.rfind("ipds.replay.", 0) == 0)
+            continue;
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+/** Small server-ish program with a correlated privilege flag — the
+ *  same shape the obs suite uses, pinned here for tamper and golden
+ *  tests. */
+const char *kLoopProgram = R"(
+void main() {
+    int role;
+    int req;
+    role = 0;
+    if (input_int() == 42) {
+        role = 1;
+    }
+    req = 0;
+    while (req < 4) {
+        if (role == 1) {
+            print_str("p\n");
+        } else {
+            print_str("n\n");
+        }
+        input_int();
+        req = req + 1;
+    }
+}
+)";
+
+const std::vector<std::string> kLoopInputs{"7", "1", "2", "3", "4"};
+
+// ------------------------------------------------- format primitives
+
+TEST(ReplayFormat, ZigzagRoundTripsExtremes)
+{
+    for (int64_t v : {int64_t(0), int64_t(1), int64_t(-1),
+                      int64_t(1) << 40, -(int64_t(1) << 40),
+                      INT64_MAX, INT64_MIN})
+        EXPECT_EQ(replay::zigzagDecode(replay::zigzagEncode(v)), v);
+}
+
+TEST(ReplayFormat, Crc32MatchesReferenceVector)
+{
+    // The IEEE 802.3 check value for "123456789".
+    const uint8_t msg[] = {'1', '2', '3', '4', '5', '6', '7', '8',
+                           '9'};
+    EXPECT_EQ(replay::crc32(msg, sizeof msg), 0xCBF43926u);
+}
+
+TEST(ReplayFormat, TimingConfigPackIsLossless)
+{
+    TimingConfig cfg = table1Config();
+    uint32_t words[replay::kTimingConfigWords];
+    replay::packTimingConfig(cfg, words);
+    TimingConfig back = replay::unpackTimingConfig(words);
+    uint32_t words2[replay::kTimingConfigWords];
+    replay::packTimingConfig(back, words2);
+    for (uint32_t i = 0; i < replay::kTimingConfigWords; i++)
+        EXPECT_EQ(words[i], words2[i]) << "word " << i;
+}
+
+TEST(ReplayFormat, ModuleHashSeparatesPrograms)
+{
+    CompiledProgram a = compileAndAnalyze(kLoopProgram, "rt_a");
+    CompiledProgram b = compileAndAnalyze(
+        "void main() { print_str(\"x\"); }", "rt_b");
+    EXPECT_EQ(replay::moduleContentHash(a.mod),
+              replay::moduleContentHash(a.mod));
+    EXPECT_NE(replay::moduleContentHash(a.mod),
+              replay::moduleContentHash(b.mod));
+}
+
+// ------------------------------------------------------- round trips
+
+TEST(ReplayRoundTrip, AllWorkloadsDetectorOnly)
+{
+    for (const Workload &wl : allWorkloads()) {
+        CompiledProgram prog =
+            compileAndAnalyze(wl.source, wl.name);
+        std::string path = tmpTracePath("det_" + wl.name);
+
+        Session live = Session::builder()
+                           .program(prog)
+                           .inputs(wl.benignInputs)
+                           .sessions(3)
+                           .shards(2)
+                           .captureTo(path)
+                           .build();
+        live.run();
+
+        Session rep = Session::builder()
+                          .program(prog)
+                          .replayFrom(path)
+                          .build();
+        rep.run();
+
+        EXPECT_TRUE(rep.detectorStats() == live.detectorStats())
+            << wl.name;
+        EXPECT_TRUE(sameAlarms(rep.alarms(), live.alarms()))
+            << wl.name;
+        EXPECT_TRUE(rep.timingStats() == live.timingStats())
+            << wl.name;
+        std::remove(path.c_str());
+    }
+}
+
+TEST(ReplayRoundTrip, AllWorkloadsTiming)
+{
+    for (const Workload &wl : allWorkloads()) {
+        CompiledProgram prog =
+            compileAndAnalyze(wl.source, wl.name);
+        std::string path = tmpTracePath("tim_" + wl.name);
+
+        Session live = Session::builder()
+                           .program(prog)
+                           .inputs(wl.benignInputs)
+                           .timing(table1Config())
+                           .sessions(2)
+                           .shards(2)
+                           .captureTo(path)
+                           .build();
+        live.run();
+
+        Session rep = Session::builder()
+                          .program(prog)
+                          .replayFrom(path)
+                          .build();
+        rep.run();
+
+        // The full triple the tentpole promises: alarms,
+        // DetectorStats AND cycle-exact TimingStats, with no VM.
+        EXPECT_TRUE(rep.detectorStats() == live.detectorStats())
+            << wl.name;
+        EXPECT_TRUE(rep.timingStats() == live.timingStats())
+            << wl.name;
+        EXPECT_TRUE(sameAlarms(rep.alarms(), live.alarms()))
+            << wl.name;
+        std::remove(path.c_str());
+    }
+}
+
+TEST(ReplayRoundTrip, MetricsMatchModuloReplayMeters)
+{
+    const Workload &wl = workloadByName("telnetd");
+    CompiledProgram prog = compileAndAnalyze(wl.source, wl.name);
+    std::string path = tmpTracePath("metrics");
+
+    Session live = Session::builder()
+                       .program(prog)
+                       .inputs(wl.benignInputs)
+                       .timing(table1Config())
+                       .sessions(4)
+                       .shards(2)
+                       .captureTo(path)
+                       .build();
+    live.run();
+
+    // The replay builder's geometry is deliberately wrong: the trace
+    // header's (sessions, shards) must override it.
+    Session rep = Session::builder()
+                      .program(prog)
+                      .sessions(999)
+                      .shards(7)
+                      .replayFrom(path)
+                      .build();
+    rep.run();
+
+    EXPECT_EQ(stripReplayLines(rep.metricsText()),
+              live.metricsText());
+    namespace n = obs::names;
+    const obs::MetricsRegistry &m = rep.metrics();
+    EXPECT_EQ(m.value(m.find(n::kSessRuns)), 4u);
+    EXPECT_EQ(m.value(m.find(n::kReplaySessions)), 4u);
+    EXPECT_GT(m.value(m.find(n::kReplayChunks)), 0u);
+    EXPECT_GT(m.value(m.find(n::kReplayEvents)), 0u);
+    EXPECT_EQ(m.value(m.find(n::kReplayBytes)),
+              readBytes(path).size());
+    EXPECT_EQ(m.value(m.find(n::kReplayCrcFailures)), 0u);
+    // Replay has no VM output to reproduce.
+    EXPECT_EQ(rep.result().output, "");
+    std::remove(path.c_str());
+}
+
+TEST(ReplayRoundTrip, ShardedReplayIsThreadCountInvariant)
+{
+    const Workload &wl = workloadByName("wu-ftpd");
+    CompiledProgram prog = compileAndAnalyze(wl.source, wl.name);
+    std::string path = tmpTracePath("sharded");
+
+    Session::builder()
+        .program(prog)
+        .inputs(wl.benignInputs)
+        .timing(table1Config())
+        .sessions(8)
+        .shards(4)
+        .captureTo(path)
+        .build()
+        .run();
+
+    auto replayWith = [&](unsigned threads) {
+        Session s = Session::builder()
+                        .program(prog)
+                        .threads(threads)
+                        .replayFrom(path)
+                        .build();
+        s.run();
+        // events_per_sec is wall-clock; everything else — including
+        // the other ipds.replay.* meters — must be a pure function of
+        // the trace, not of the worker count.
+        std::istringstream in(s.metricsText());
+        std::string out, line;
+        while (std::getline(in, line))
+            if (line.find("events_per_sec") == std::string::npos)
+                out += line + "\n";
+        return out;
+    };
+    std::string t1 = replayWith(1);
+    EXPECT_EQ(t1, replayWith(2));
+    EXPECT_EQ(t1, replayWith(8));
+    std::remove(path.c_str());
+}
+
+// --------------------------------------- capture-side byte identity
+
+TEST(ReplayCapture, CapturesAreByteIdenticalAcrossEnginesAndDelivery)
+{
+    // BranchesOnly capture must not depend on which engine ran or how
+    // events were delivered — the compact stream is the committed
+    // event order, which the vm-diff suite holds bit-identical.
+    const Workload &wl = workloadByName("telnetd");
+    CompiledProgram prog = compileAndAnalyze(wl.source, wl.name);
+
+    auto captureWith = [&](VmEngine e, bool batched) {
+        std::ostringstream os;
+        replay::TraceWriter w(os,
+                              replay::TraceWriter::Mode::BranchesOnly);
+        Vm vm(prog.mod);
+        vm.setInputs(wl.benignInputs);
+        vm.setEngine(e);
+        vm.setBatchedDelivery(batched);
+        Detector det(prog);
+        vm.addObserver(&det);
+        vm.addObserver(&w);
+        w.beginSession(0);
+        RunResult r = vm.run();
+        // Flush count differs across delivery modes by design, so it
+        // is pinned to 0 here; steps/instructions/blocks are part of
+        // the cross-engine equivalence contract.
+        w.endSession(r.steps, r.inputEventCount, 0,
+                     vm.vmStats().instructions, vm.vmStats().blocks,
+                     0);
+        w.finish();
+        return os.str();
+    };
+
+    std::string switchStream = captureWith(VmEngine::Switch, false);
+    std::string threadedBatched =
+        captureWith(VmEngine::Threaded, true);
+    std::string threadedPerEvent =
+        captureWith(VmEngine::Threaded, false);
+    EXPECT_FALSE(switchStream.empty());
+    EXPECT_EQ(switchStream, threadedBatched);
+    EXPECT_EQ(switchStream, threadedPerEvent);
+}
+
+// ------------------------------------------------ fault composition
+
+TEST(ReplayFault, FaultPlanComposesAndReplaysIdentically)
+{
+    // Every fault class at once — mem tampers, BSV flips, ring
+    // drop/dup, context-switch storms, spill pressure — recorded into
+    // the trace and reproduced from it with identical stats.
+    const Workload &wl = workloadByName("telnetd");
+    CompiledProgram prog = compileAndAnalyze(wl.source, wl.name);
+    std::string path = tmpTracePath("fault");
+
+    FaultPlan plan;
+    plan.seed = 31;
+    plan.bsvEveryBranches = 43;
+    plan.ringDropPermille = 50;
+    plan.ringDupPermille = 30;
+    plan.ctxEveryBranches = 71;
+    plan.spillPressure = true;
+    plan.memEveryInsts = 2000;
+    plan.maxMemFaults = 2;
+
+    Session live = Session::builder()
+                       .program(prog)
+                       .inputs(wl.benignInputs)
+                       .timing(table1Config())
+                       .faultPlan(plan)
+                       .sessions(3)
+                       .shards(1)
+                       .captureTo(path)
+                       .build();
+    live.run();
+    EXPECT_GT(live.faultStats().bsvFlips +
+                  live.faultStats().ctxSwitches +
+                  live.faultStats().memTampers,
+              0u);
+
+    Session rep = Session::builder()
+                      .program(prog)
+                      .replayFrom(path)
+                      .build();
+    rep.run();
+
+    EXPECT_TRUE(rep.detectorStats() == live.detectorStats());
+    EXPECT_TRUE(rep.timingStats() == live.timingStats());
+    EXPECT_TRUE(rep.faultStats() == live.faultStats());
+    EXPECT_TRUE(sameAlarms(rep.alarms(), live.alarms()));
+    std::remove(path.c_str());
+}
+
+TEST(ReplayFault, TamperedRunAlarmsIdenticallyOnReplay)
+{
+    CompiledProgram prog =
+        compileAndAnalyze(kLoopProgram, "replay_loop");
+    std::string path = tmpTracePath("tamper");
+
+    TamperSpec spec;
+    spec.randomStackTarget = false;
+    spec.afterInputEvent = 2;
+    spec.addr = Vm(prog.mod).entryLocalAddr("role");
+    spec.bytes = {1, 0, 0, 0, 0, 0, 0, 0};
+
+    Session live = Session::builder()
+                       .program(prog)
+                       .inputs(kLoopInputs)
+                       .tamper(spec)
+                       .captureTo(path)
+                       .build();
+    live.run();
+    ASSERT_TRUE(live.alarmed());
+
+    Session rep = Session::builder()
+                      .program(prog)
+                      .replayFrom(path)
+                      .build();
+    rep.run();
+    ASSERT_TRUE(rep.alarmed());
+    EXPECT_TRUE(sameAlarms(rep.alarms(), live.alarms()));
+    EXPECT_EQ(rep.alarms().front().pc, live.alarms().front().pc);
+    std::remove(path.c_str());
+}
+
+// --------------------------------------------------- recipe guards
+
+TEST(ReplayBuilder, IncompatibleRecipesAreRejected)
+{
+    CompiledProgram prog =
+        compileAndAnalyze(kLoopProgram, "replay_loop");
+    auto expectFatal = [](Session::Builder b, const char *what) {
+        try {
+            b.build();
+            FAIL() << "expected FatalError: " << what;
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find(what),
+                      std::string::npos)
+                << e.what();
+        }
+    };
+    expectFatal(Session::builder()
+                    .program(prog)
+                    .captureTo("a.trc")
+                    .replayFrom("b.trc"),
+                "mutually exclusive");
+    expectFatal(Session::builder()
+                    .program(prog)
+                    .replayFrom("b.trc")
+                    .faultPlan(FaultPlan::fromSeed(3)),
+                "faultPlan");
+    TamperSpec spec;
+    expectFatal(Session::builder().program(prog).replayFrom(
+                    "b.trc").tamper(spec),
+                "tamper");
+}
+
+// ------------------------------------------------- corrupt traces
+
+/** One small captured trace, reused by the rejection tests. */
+std::vector<uint8_t>
+captureSmallTrace(const CompiledProgram &prog)
+{
+    std::string path = tmpTracePath("reject");
+    Session::builder()
+        .program(prog)
+        .inputs(kLoopInputs)
+        .sessions(2)
+        .captureTo(path)
+        .build()
+        .run();
+    std::vector<uint8_t> bytes = readBytes(path);
+    std::remove(path.c_str());
+    return bytes;
+}
+
+TEST(ReplayReject, ChunkCrcCorruptionIsRecoverable)
+{
+    CompiledProgram prog =
+        compileAndAnalyze(kLoopProgram, "replay_loop");
+    std::vector<uint8_t> bytes = captureSmallTrace(prog);
+    ASSERT_GT(bytes.size(),
+              replay::kHeaderBytes + replay::kChunkHeaderBytes + 4);
+
+    // Flip one payload byte: load must throw the recoverable error
+    // class, and validate must tally exactly one CRC failure.
+    bytes[replay::kHeaderBytes + replay::kChunkHeaderBytes + 2] ^=
+        0xff;
+    try {
+        replay::TraceFile::fromBytes(bytes);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("CRC"),
+                  std::string::npos)
+            << e.what();
+    }
+    replay::ValidateResult v =
+        replay::TraceFile::validateBytes(bytes);
+    EXPECT_FALSE(v.ok);
+    EXPECT_EQ(v.crcFailures, 1u);
+    EXPECT_EQ(v.versionMismatches, 0u);
+}
+
+TEST(ReplayReject, TruncationIsRecoverable)
+{
+    CompiledProgram prog =
+        compileAndAnalyze(kLoopProgram, "replay_loop");
+    std::vector<uint8_t> bytes = captureSmallTrace(prog);
+
+    std::vector<uint8_t> cut(bytes.begin(), bytes.end() - 5);
+    try {
+        replay::TraceFile::fromBytes(cut);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("truncated"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_FALSE(replay::TraceFile::validateBytes(cut).ok);
+
+    // Cutting mid-header must also stay recoverable.
+    std::vector<uint8_t> stub(bytes.begin(), bytes.begin() + 10);
+    EXPECT_THROW(replay::TraceFile::fromBytes(stub), FatalError);
+}
+
+TEST(ReplayReject, VersionSkewIsRecoverable)
+{
+    CompiledProgram prog =
+        compileAndAnalyze(kLoopProgram, "replay_loop");
+    std::vector<uint8_t> bytes = captureSmallTrace(prog);
+
+    replay::putU32(bytes.data() + 8, replay::kTraceVersion + 1);
+    resealHeader(bytes);
+    try {
+        replay::TraceFile::fromBytes(bytes);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("version"),
+                  std::string::npos)
+            << e.what();
+    }
+    replay::ValidateResult v =
+        replay::TraceFile::validateBytes(bytes);
+    EXPECT_FALSE(v.ok);
+    EXPECT_EQ(v.versionMismatches, 1u);
+}
+
+TEST(ReplayReject, BadMagicIsRecoverable)
+{
+    std::vector<uint8_t> junk(64, 0x5a);
+    try {
+        replay::TraceFile::fromBytes(junk);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("magic"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ReplayReject, ForeignModuleIsRecoverable)
+{
+    CompiledProgram prog =
+        compileAndAnalyze(kLoopProgram, "replay_loop");
+    std::vector<uint8_t> bytes = captureSmallTrace(prog);
+    replay::TraceFile file = replay::TraceFile::fromBytes(bytes);
+
+    // Same program: accepted.
+    replay::ReplayEngine ok(file, prog);
+    EXPECT_EQ(ok.sessions(), 2u);
+
+    // A different program — or the same source after an edit — is a
+    // foreign module and must be rejected before any decoding.
+    CompiledProgram other = compileAndAnalyze(
+        "void main() { print_str(\"other\"); }", "replay_other");
+    try {
+        replay::ReplayEngine bad(file, other);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("different program"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ReplayReject, CorruptPayloadCannotReachDetectorPanics)
+{
+    // A CRC-valid chunk whose records are garbage must fail as a
+    // FatalError from the replay engine's own validation, never as a
+    // detector panic. Corrupt the payload, then re-seal the chunk CRC
+    // so only the defensive decoding stands between the bytes and the
+    // detector.
+    CompiledProgram prog =
+        compileAndAnalyze(kLoopProgram, "replay_loop");
+    std::vector<uint8_t> bytes = captureSmallTrace(prog);
+
+    size_t payloadOff =
+        replay::kHeaderBytes + replay::kChunkHeaderBytes;
+    uint32_t payloadLen = replay::getU32(
+        bytes.data() + replay::kHeaderBytes);
+    ASSERT_GT(payloadLen, 8u);
+    for (size_t i = 1; i < 8; i++)
+        bytes[payloadOff + i] ^= 0xa5;
+    replay::putU32(
+        bytes.data() + replay::kHeaderBytes + 12,
+        replay::crc32(bytes.data() + payloadOff, payloadLen));
+
+    replay::TraceFile file = replay::TraceFile::fromBytes(bytes);
+    replay::ReplayEngine eng(file, prog);
+    replay::ReplayShardResult out;
+    EXPECT_THROW(eng.replayShard(0, out), FatalError);
+}
+
+// ------------------------------------------------- golden fixture
+
+TEST(ReplayGolden, FixtureBytesArePinnedToFormatVersion)
+{
+    // The encoder's output for this pinned program and script is part
+    // of the on-disk format. If this test fails you changed the trace
+    // encoding: bump replay::kTraceVersion in src/replay/format.h and
+    // regenerate the fixture with
+    //   IPDS_REGEN_GOLDEN=1 ./build/tests/ipds_replay_tests
+    //   (with --gtest_filter='ReplayGolden.*')
+    CompiledProgram prog =
+        compileAndAnalyze(kLoopProgram, "golden_loop");
+    std::string path = tmpTracePath("golden");
+    Session::builder()
+        .program(prog)
+        .inputs(kLoopInputs)
+        .sessions(2)
+        .shards(2)
+        .captureTo(path)
+        .build()
+        .run();
+    std::vector<uint8_t> fresh = readBytes(path);
+    std::remove(path.c_str());
+
+    const std::string goldenPath =
+        std::string(IPDS_TEST_DATA_DIR) + "/golden_v1.trc";
+    if (std::getenv("IPDS_REGEN_GOLDEN")) {
+        writeBytes(goldenPath, fresh);
+        GTEST_SKIP() << "regenerated " << goldenPath;
+    }
+
+    std::vector<uint8_t> golden = readBytes(goldenPath);
+    ASSERT_FALSE(golden.empty())
+        << "missing fixture " << goldenPath
+        << " — regenerate with IPDS_REGEN_GOLDEN=1";
+    EXPECT_EQ(fresh, golden)
+        << "trace encoding changed without bumping kTraceVersion "
+           "(see the versioning policy in src/replay/format.h)";
+
+    // And the pinned bytes still replay: the fixture guards decode
+    // compatibility, not just encode stability.
+    replay::TraceFile file =
+        replay::TraceFile::fromBytes(std::move(golden));
+    EXPECT_EQ(file.meta().version, replay::kTraceVersion);
+    EXPECT_EQ(file.meta().sessions, 2u);
+    EXPECT_EQ(file.meta().shards, 2u);
+    replay::ReplayEngine eng(file, prog);
+    replay::ReplayShardResult s0, s1;
+    eng.replayShard(0, s0);
+    eng.replayShard(1, s1);
+    EXPECT_EQ(s0.runs + s1.runs, 2u);
+    EXPECT_GT(s0.det.branchesSeen, 0u);
+    EXPECT_TRUE(s0.alarms.empty());
+    EXPECT_TRUE(s1.alarms.empty());
+}
+
+} // namespace
+} // namespace ipds
