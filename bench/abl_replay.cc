@@ -145,13 +145,13 @@ main(int argc, char **argv)
                            .program(prog)
                            .inputs(wl.benignInputs)
                            .sessions(repeat)
-                           .captureTo(tracePath)
+                           .plan(CapturePlan(tracePath))
                            .build();
         live.run();
 
         Session rep = Session::builder()
                           .program(prog)
-                          .replayFrom(tracePath)
+                          .plan(ReplayPlan(tracePath))
                           .build();
         rep.run();
         if (!(rep.detectorStats() == live.detectorStats()) ||

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Detection-service ablation: ingest throughput and latency for the
+ * multi-tenant server (src/serve/) fed by concurrent clients.
+ *
+ * Each workload records a multi-session trace once through a
+ * CapturePlan, replays it offline for the baseline verdict, then —
+ * per trial — stands up an in-process serve::Server and streams the
+ * same bytes from N concurrent client threads (one tenant each).
+ * The timed window covers connect → stream → Result frame for every
+ * client, i.e. the full transport + ingest-detection path. Before
+ * anything is reported, every client's alarm digest is checked
+ * against the offline replay ("equivalent" in the JSON): throughput
+ * is only claimed over streams whose verdicts are bit-identical to
+ * Session::ReplayPlan of the same trace.
+ *
+ * Reported per workload:
+ *   ingest_eps      detection events/second across all streams
+ *   p50/p99_ingest  per-frame ingest latency (enqueue -> detected),
+ *                   microseconds, from the server's own histogram
+ *
+ * Emits machine-readable JSON, default BENCH_service.json.
+ *
+ * Usage: abl_service [--sessions N] [--clients N] [--trials N]
+ *                    [--quick] [--threads N] [--json PATH]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/program.h"
+#include "obs/session.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "support/cli.h"
+#include "support/diag.h"
+#include "workloads/workloads.h"
+
+using namespace ipds;
+
+namespace {
+
+double
+seconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+std::vector<uint8_t>
+readBytes(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot read '%s'", path.c_str());
+    std::vector<uint8_t> out;
+    uint8_t buf[65536];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        out.insert(out.end(), buf, buf + n);
+    std::fclose(f);
+    return out;
+}
+
+uint64_t
+percentile(std::vector<uint64_t> &samples, double p)
+{
+    if (samples.empty())
+        return 0;
+    std::sort(samples.begin(), samples.end());
+    size_t idx = static_cast<size_t>(
+        p * static_cast<double>(samples.size() - 1) + 0.5);
+    return samples[std::min(idx, samples.size() - 1)];
+}
+
+struct Row
+{
+    std::string name;
+    uint64_t events = 0; ///< detection events per stream
+    double eps = 0;      ///< aggregate events/sec across streams
+    uint64_t p50us = 0, p99us = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    cli::ArgParser args("abl_service",
+                        "Service ingest throughput and latency vs "
+                        "offline replay");
+    uint32_t sessions = 64;
+    uint32_t clients = 4;
+    uint32_t trials = 3;
+    bool quick = false;
+    unsigned threads = 0;
+    std::string jsonPath = "BENCH_service.json";
+    args.uintOpt("sessions", &sessions,
+                 "recorded sessions per workload trace");
+    args.uintOpt("clients", &clients,
+                 "concurrent client streams per trial");
+    args.uintOpt("trials", &trials, "trials; fastest wins");
+    args.boolOpt("quick", &quick,
+                 "smoke footprint (4 sessions, 1 trial)");
+    args.threadsOpt(&threads);
+    args.jsonOpt(&jsonPath);
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+    if (quick) {
+        sessions = 4;
+        trials = 1;
+    }
+    if (sessions == 0)
+        sessions = 1;
+    if (clients == 0)
+        clients = 1;
+    if (trials == 0)
+        trials = 1;
+
+    setQuiet(true);
+    std::printf("=== Service ablation: concurrent ingest-time "
+                "detection vs offline replay ===\n");
+    std::printf("(%u-session trace per workload, %u concurrent "
+                "streams, best of %u trials)\n\n",
+                sessions, clients, trials);
+    std::printf("%-10s %9s %7s %14s %10s %10s\n", "benchmark",
+                "events", "streams", "ingest-e/s", "p50-us",
+                "p99-us");
+
+    std::vector<Row> rows;
+    bool mismatch = false;
+    for (const auto &wl : allWorkloads()) {
+        CompiledProgram prog = compileAndAnalyze(wl.source, wl.name);
+
+        std::string tracePath = "abl_service_" + wl.name + ".trc";
+        Session live = Session::builder()
+                           .program(prog)
+                           .inputs(wl.benignInputs)
+                           .sessions(sessions)
+                           .plan(CapturePlan(tracePath))
+                           .build();
+        live.run();
+        Session off = Session::builder()
+                          .program(prog)
+                          .plan(ReplayPlan(tracePath))
+                          .build();
+        off.run();
+        const uint64_t wantDigest = serve::alarmDigest(off.alarms());
+        const uint64_t events = off.detectorStats().branchesSeen;
+        std::vector<uint8_t> trace = readBytes(tracePath);
+        std::remove(tracePath.c_str());
+
+        std::string sock = "abl_service_" + wl.name + ".sock";
+        double best = 1e100;
+        std::vector<uint64_t> latencies;
+        for (uint32_t trial = 0; trial < trials; trial++) {
+            serve::ServerConfig cfg;
+            cfg.socketPath = sock;
+            cfg.threads = threads;
+            serve::Server srv(prog, cfg);
+            srv.start();
+
+            auto t0 = std::chrono::steady_clock::now();
+            std::vector<std::thread> ts;
+            std::vector<uint8_t> bad(clients, 0);
+            for (uint32_t i = 0; i < clients; i++) {
+                ts.emplace_back([&, i] {
+                    try {
+                        serve::Client c;
+                        c.connect(sock);
+                        c.hello("tenant" + std::to_string(i));
+                        c.sendTraceBytes(trace.data(), trace.size(),
+                                         0);
+                        serve::StreamResult r = c.end();
+                        if (!r.ok || r.alarmDigest != wantDigest)
+                            bad[i] = 1;
+                    } catch (const FatalError &) {
+                        bad[i] = 1;
+                    }
+                });
+            }
+            for (auto &t : ts)
+                t.join();
+            best = std::min(best, seconds(t0));
+
+            srv.waitForStreams(clients);
+            srv.stopAndJoin();
+            for (uint8_t b : bad)
+                if (b)
+                    mismatch = true;
+            if (srv.streamsFailed() != 0)
+                mismatch = true;
+            std::vector<uint64_t> ls =
+                srv.ingestLatencySamplesMicros();
+            latencies.insert(latencies.end(), ls.begin(), ls.end());
+        }
+
+        Row row;
+        row.name = wl.name;
+        row.events = events;
+        row.eps = best > 0
+                      ? double(events) * double(clients) / best
+                      : 0;
+        row.p50us = percentile(latencies, 0.50);
+        row.p99us = percentile(latencies, 0.99);
+        std::printf("%-10s %9llu %7u %14.0f %10llu %10llu\n",
+                    row.name.c_str(),
+                    static_cast<unsigned long long>(row.events),
+                    clients, row.eps,
+                    static_cast<unsigned long long>(row.p50us),
+                    static_cast<unsigned long long>(row.p99us));
+        rows.push_back(std::move(row));
+    }
+
+    if (mismatch)
+        std::fprintf(stderr, "MISMATCH: at least one stream verdict "
+                             "diverged from offline replay\n");
+
+    FILE *js = std::fopen(jsonPath.c_str(), "w");
+    if (!js) {
+        std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+        return 1;
+    }
+    std::fprintf(js,
+                 "{\n  \"bench\": \"abl_service\",\n"
+                 "  \"sessions\": %u,\n  \"clients\": %u,\n"
+                 "  \"workloads\": [\n",
+                 sessions, clients);
+    for (size_t i = 0; i < rows.size(); i++) {
+        const Row &r = rows[i];
+        std::fprintf(
+            js,
+            "    {\"name\": \"%s\", \"events\": %llu, "
+            "\"ingest_eps\": %.0f, \"p50_ingest_us\": %llu, "
+            "\"p99_ingest_us\": %llu}%s\n",
+            r.name.c_str(),
+            static_cast<unsigned long long>(r.events), r.eps,
+            static_cast<unsigned long long>(r.p50us),
+            static_cast<unsigned long long>(r.p99us),
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(js, "  ],\n  \"equivalent\": %s\n}\n",
+                 mismatch ? "false" : "true");
+    bool writeFailed = std::ferror(js) != 0;
+    writeFailed |= std::fclose(js) != 0;
+    if (writeFailed) {
+        std::fprintf(stderr, "write to %s failed\n",
+                     jsonPath.c_str());
+        return 1;
+    }
+    std::printf("\nwrote %s\n", jsonPath.c_str());
+    return mismatch ? 1 : 0;
+}

@@ -25,6 +25,7 @@
 #include "attack/campaign.h"
 #include "core/program.h"
 #include "obs/metrics.h"
+#include "support/cli.h"
 #include "support/diag.h"
 #include "workloads/workloads.h"
 
@@ -91,24 +92,17 @@ writeJson(const char *path, uint32_t attacksPer,
 int
 main(int argc, char **argv)
 {
+    cli::ArgParser args("fig7_detection",
+                        "Figure 7: detection rate for simulated "
+                        "attacks");
     uint32_t attacks = 100;
     unsigned threads = 0; // one worker per core; results unchanged
-    const char *jsonPath = nullptr;
-    for (int i = 1; i < argc; i++) {
-        if (!std::strcmp(argv[i], "--attacks") && i + 1 < argc) {
-            attacks = static_cast<uint32_t>(std::atoi(argv[++i]));
-        } else if (!std::strcmp(argv[i], "--threads") &&
-                   i + 1 < argc) {
-            threads = static_cast<unsigned>(std::atoi(argv[++i]));
-        } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
-            jsonPath = argv[++i];
-        } else {
-            std::fprintf(stderr,
-                         "usage: fig7_detection [--attacks N] "
-                         "[--threads T] [--json PATH]\n");
-            return 1;
-        }
-    }
+    std::string jsonPath;
+    args.uintOpt("attacks", &attacks, "attacks per benchmark");
+    args.threadsOpt(&threads);
+    args.jsonOpt(&jsonPath);
+    if (!args.parse(argc, argv))
+        return args.exitCode();
 
     setQuiet(true);
     std::printf("=== Figure 7: detection rate for simulated attacks "
@@ -155,8 +149,8 @@ main(int argc, char **argv)
                 "control flow; more than\n half of those are detected; "
                 "false positives are structurally impossible)\n");
 
-    if (jsonPath)
-        writeJson(jsonPath, attacks, rows, sumCf / n, sumDet / n,
+    if (!jsonPath.empty())
+        writeJson(jsonPath.c_str(), attacks, rows, sumCf / n, sumDet / n,
                   totalDetOfCf, anyFp, reg);
     return anyFp ? 1 : 0;
 }

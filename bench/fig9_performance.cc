@@ -30,6 +30,7 @@
 
 #include "core/program.h"
 #include "obs/session.h"
+#include "support/cli.h"
 #include "support/diag.h"
 #include "support/threadpool.h"
 #include "workloads/workloads.h"
@@ -130,24 +131,17 @@ writeJson(const char *path, uint32_t sessions,
 int
 main(int argc, char **argv)
 {
+    cli::ArgParser args("fig9_performance",
+                        "Figure 9: normalized performance");
     uint32_t sessions = 300;
     unsigned threads = 0;
-    const char *jsonPath = nullptr;
-    for (int i = 1; i < argc; i++) {
-        if (!std::strcmp(argv[i], "--sessions") && i + 1 < argc)
-            sessions = static_cast<uint32_t>(std::atoi(argv[++i]));
-        else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
-            threads = static_cast<unsigned>(std::atoi(argv[++i]));
-        else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
-            jsonPath = argv[++i];
-        else {
-            std::fprintf(stderr,
-                         "usage: %s [--sessions N] [--threads N] "
-                         "[--json PATH]\n",
-                         argv[0]);
-            return 2;
-        }
-    }
+    std::string jsonPath;
+    args.uintOpt("sessions", &sessions,
+                 "benign sessions per benchmark");
+    args.threadsOpt(&threads);
+    args.jsonOpt(&jsonPath);
+    if (!args.parse(argc, argv))
+        return args.exitCode();
 
     setQuiet(true);
     std::printf("=== Figure 9: normalized performance "
@@ -191,7 +185,7 @@ main(int argc, char **argv)
                 "-", avgDegr);
     std::printf("\npaper average degradation: 0.79%% "
                 "(negligible in most cases)\n");
-    if (jsonPath)
-        writeJson(jsonPath, sessions, rows, avgDegr);
+    if (!jsonPath.empty())
+        writeJson(jsonPath.c_str(), sessions, rows, avgDegr);
     return 0;
 }

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * ipds_serve — the multi-tenant detection service daemon.
+ *
+ * Compiles the protected program once, binds a unix stream socket,
+ * and detects recorded trace streams from any number of concurrent
+ * ipds_client connections AT INGEST (DESIGN.md §11). Detection is
+ * bit-identical to offline replay of the same traces; per-tenant
+ * aggregates are served on the socket as a /statsz-style text page
+ * (`ipds_client --statsz`) and printed on shutdown.
+ *
+ * Runs until SIGINT/SIGTERM, or until --streams N streams finished.
+ *
+ * Exit code: 0 on clean shutdown, 1 on usage/compile/bind error.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/program.h"
+#include "serve/server.h"
+#include "support/cli.h"
+#include "support/diag.h"
+#include "workloads/workloads.h"
+
+using namespace ipds;
+
+namespace {
+
+// The signal handler can only touch async-signal-safe state;
+// requestStop() is a self-pipe write, which qualifies.
+serve::Server *gServer = nullptr;
+
+void
+onSignal(int)
+{
+    if (gServer)
+        gServer->requestStop();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    cli::ArgParser args("ipds_serve",
+                        "Multi-tenant IPDS detection service");
+    std::string target;
+    std::string socketPath = "/tmp/ipds.sock";
+    unsigned threads = 0;
+    uint64_t streams = 0;
+    size_t maxFrame = 0;
+    size_t pendingCap = 0;
+    bool quiet = false;
+    args.positional("prog", &target,
+                    "MiniC source file or bundled workload name");
+    args.strOpt("socket", &socketPath,
+                "unix socket path to serve on");
+    args.u64Opt("streams", &streams,
+                "exit after this many streams (0 = until signal)");
+    args.sizeOpt("max-frame-bytes", &maxFrame,
+                 "reject larger frames (0 = wire default)");
+    args.sizeOpt("pending-cap", &pendingCap,
+                 "per-stream chunks in flight before backpressure");
+    args.boolOpt("quiet", &quiet, "do not print /statsz on exit");
+    args.threadsOpt(&threads);
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+
+    std::string source;
+    std::string name = target;
+    bool found = false;
+    for (const auto &wl : allWorkloads()) {
+        if (wl.name == target) {
+            source = wl.source;
+            found = true;
+        }
+    }
+    if (!found) {
+        std::ifstream in(target);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n", target.c_str());
+            return 1;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        source = ss.str();
+    }
+
+    try {
+        CompiledProgram prog = compileAndAnalyze(source, name);
+
+        serve::ServerConfig cfg;
+        cfg.socketPath = socketPath;
+        cfg.threads = threads;
+        if (maxFrame)
+            cfg.maxFrameBytes = maxFrame;
+        if (pendingCap)
+            cfg.pendingChunkCap = pendingCap;
+
+        serve::Server srv(prog, cfg);
+        gServer = &srv;
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+
+        srv.start();
+        std::fprintf(stderr,
+                     "[ipds_serve] %s: serving '%s' on %s\n",
+                     name.c_str(), name.c_str(), socketPath.c_str());
+        srv.waitForStreams(streams ? streams : UINT64_MAX);
+        srv.stopAndJoin();
+        gServer = nullptr;
+
+        if (!quiet)
+            std::fputs(srv.statszText().c_str(), stdout);
+        std::fprintf(stderr,
+                     "[ipds_serve] done: %llu streams completed, "
+                     "%llu failed\n",
+                     static_cast<unsigned long long>(
+                         srv.streamsCompleted()),
+                     static_cast<unsigned long long>(
+                         srv.streamsFailed()));
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -2,33 +2,17 @@
  * @file
  * CLI driver: compile a MiniC program, attach IPDS, and run it — the
  * workflow a downstream user of this library automates. The run is
- * assembled through the ipds::Session facade; --stats prints the
- * session's metrics export (the same JSON the benches publish).
- *
- * Usage:
- *   run_protected <prog.minic|workload-name> [options]
- *     --inputs a,b,c       session input lines (comma separated)
- *     --attack VAR=VALUE   corrupt entry-function local VAR
- *     --at N               ...after the Nth input event (default 1)
- *     --image out.ipds     also write the §5.4 program image
- *     --stats              print session metrics as JSON
- *     --fault-seed N       run under a deterministic fault-injection
- *                          plan derived from seed N (attaches the
- *                          Table 1 timing model; see DESIGN.md §9)
- *     --record out.trc     capture the run's event stream into an
- *                          IPDS trace (DESIGN.md §10); composes with
- *                          --attack and --fault-seed, whose effects
- *                          are recorded into the trace
- *     --replay in.trc      re-detect a recorded trace instead of
- *                          executing — no VM, same alarms and stats;
- *                          excludes --record, --attack, --fault-seed
+ * assembled through the ipds::Session facade and its typed plans:
+ * `--attack`/`--fault-seed` configure an ExecPlan, `--record` wraps
+ * it in a CapturePlan, `--replay` swaps in a ReplayPlan. --stats
+ * prints the session's metrics export (the same JSON the benches
+ * publish); --json writes it to a file.
  *
  * Exit code: 0 clean run, 2 IPDS alarm, 1 usage/compile error.
  */
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -37,8 +21,9 @@
 #include "inject/fault.h"
 #include "obs/names.h"
 #include "obs/session.h"
-#include "timing/config.h"
+#include "support/cli.h"
 #include "support/diag.h"
+#include "timing/config.h"
 #include "vm/vm.h"
 #include "workloads/workloads.h"
 
@@ -63,77 +48,70 @@ splitCommas(const std::string &s)
     return out;
 }
 
-int
-usage()
-{
-    std::fprintf(stderr,
-                 "usage: run_protected <prog.minic|workload> "
-                 "[--inputs a,b,c] [--attack VAR=VALUE]\n"
-                 "                     [--at N] [--image out.ipds] "
-                 "[--stats] [--fault-seed N]\n"
-                 "                     [--record out.trc | --replay "
-                 "in.trc]\n");
-    return 1;
-}
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 2)
-        return usage();
-
-    std::string target = argv[1];
-    std::vector<std::string> inputs;
-    std::string attackVar;
-    int64_t attackValue = 0;
+    cli::ArgParser args(
+        "run_protected",
+        "Compile a MiniC program, attach IPDS, and run it");
+    std::string target;
+    std::string inputsCsv;
+    std::string attackSpec;
     uint32_t attackAt = 1;
     std::string imagePath;
     bool wantStats = false;
     uint64_t faultSeed = 0;
     std::string recordPath;
     std::string replayPath;
+    unsigned threads = 1;
+    std::string jsonPath;
+    args.positional("prog", &target,
+                    "MiniC source file or bundled workload name");
+    args.strOpt("inputs", &inputsCsv,
+                "session input lines, comma separated");
+    args.strOpt("attack", &attackSpec,
+                "corrupt entry-function local, as VAR=VALUE");
+    args.uintOpt("at", &attackAt,
+                 "tamper after the Nth input event (default 1)");
+    args.strOpt("image", &imagePath,
+                "also write the program image here");
+    args.boolOpt("stats", &wantStats,
+                 "print session metrics as JSON to stderr");
+    args.u64Opt("fault-seed", &faultSeed,
+                "run under the fault plan derived from this seed");
+    args.strOpt("record", &recordPath,
+                "capture the run's event stream into an IPDS trace");
+    args.strOpt("replay", &replayPath,
+                "re-detect a recorded trace instead of executing");
+    args.threadsOpt(&threads);
+    args.jsonOpt(&jsonPath);
+    if (!args.parse(argc, argv))
+        return args.exitCode();
 
-    for (int i = 2; i < argc; i++) {
-        std::string a = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::exit(usage());
-            }
-            return argv[++i];
-        };
-        if (a == "--inputs") {
-            inputs = splitCommas(next());
-        } else if (a == "--attack") {
-            std::string spec = next();
-            size_t eq = spec.find('=');
-            if (eq == std::string::npos)
-                return usage();
-            attackVar = spec.substr(0, eq);
-            attackValue = std::strtoll(spec.c_str() + eq + 1,
-                                       nullptr, 10);
-        } else if (a == "--at") {
-            attackAt = static_cast<uint32_t>(std::atoi(next()));
-        } else if (a == "--image") {
-            imagePath = next();
-        } else if (a == "--stats") {
-            wantStats = true;
-        } else if (a == "--fault-seed") {
-            faultSeed = std::strtoull(next(), nullptr, 0);
-        } else if (a == "--record") {
-            recordPath = next();
-        } else if (a == "--replay") {
-            replayPath = next();
-        } else {
-            return usage();
+    std::vector<std::string> inputs;
+    if (!inputsCsv.empty())
+        inputs = splitCommas(inputsCsv);
+
+    std::string attackVar;
+    int64_t attackValue = 0;
+    if (!attackSpec.empty()) {
+        size_t eq = attackSpec.find('=');
+        if (eq == std::string::npos) {
+            std::fprintf(stderr,
+                         "run_protected: --attack wants VAR=VALUE\n");
+            return 1;
         }
+        attackVar = attackSpec.substr(0, eq);
+        attackValue =
+            std::strtoll(attackSpec.c_str() + eq + 1, nullptr, 10);
     }
 
     if (!recordPath.empty() && !replayPath.empty()) {
         std::fprintf(stderr,
                      "--record and --replay are mutually exclusive\n");
-        return usage();
+        return 1;
     }
     if (!replayPath.empty() &&
         (faultSeed != 0 || !attackVar.empty())) {
@@ -142,7 +120,7 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "--replay excludes --fault-seed and --attack "
                      "(record them with --record instead)\n");
-        return usage();
+        return 1;
     }
 
     // Resolve the target: bundled workload or file on disk.
@@ -190,8 +168,9 @@ main(int argc, char **argv)
         }
 
         Session::Builder builder = Session::builder();
-        builder.program(prog).inputs(inputs);
+        builder.program(prog).inputs(inputs).threads(threads);
 
+        ExecPlan exec;
         if (!attackVar.empty()) {
             TamperSpec spec;
             spec.randomStackTarget = false;
@@ -201,7 +180,7 @@ main(int argc, char **argv)
             spec.bytes.resize(8);
             for (int b = 0; b < 8; b++)
                 spec.bytes[b] = static_cast<uint8_t>(v >> (8 * b));
-            builder.tamper(spec);
+            exec.tamper(spec);
             std::fprintf(stderr,
                          "[ipds] armed attack: %s=%lld after input "
                          "#%u\n", attackVar.c_str(),
@@ -211,7 +190,8 @@ main(int argc, char **argv)
 
         if (faultSeed != 0) {
             FaultPlan plan = FaultPlan::fromSeed(faultSeed);
-            builder.timing(table1Config()).faultPlan(plan);
+            builder.timing(table1Config());
+            exec.faults(plan);
             std::fprintf(stderr,
                          "[ipds] fault plan (seed %llu): mem every "
                          "~%u insts, bsv flip every %u branches, "
@@ -226,12 +206,14 @@ main(int argc, char **argv)
         }
 
         if (!recordPath.empty()) {
-            builder.captureTo(recordPath);
+            builder.plan(CapturePlan(recordPath).exec(exec));
             std::fprintf(stderr, "[ipds] recording trace to %s\n",
                          recordPath.c_str());
+        } else if (!replayPath.empty()) {
+            builder.plan(ReplayPlan(replayPath));
+        } else {
+            builder.plan(exec);
         }
-        if (!replayPath.empty())
-            builder.replayFrom(replayPath);
 
         Session session = builder.build();
         session.run();
@@ -273,6 +255,15 @@ main(int argc, char **argv)
         if (wantStats)
             std::fprintf(stderr, "%s\n",
                          session.metricsJson().c_str());
+        if (!jsonPath.empty()) {
+            std::ofstream out(jsonPath);
+            out << session.metricsJson() << "\n";
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             jsonPath.c_str());
+                return 1;
+            }
+        }
 
         if (session.alarmed()) {
             const Alarm &a = session.alarms().front();

@@ -1,0 +1,76 @@
+#include "obs/export.h"
+
+#include "obs/names.h"
+
+namespace ipds {
+namespace obs {
+
+void
+exportDetectorStats(const DetectorStats &s, uint64_t alarms,
+                    MetricsRegistry &reg)
+{
+    namespace n = names;
+    reg.add(reg.counter(n::kDetBranchesSeen), s.branchesSeen);
+    reg.add(reg.counter(n::kDetChecksEnqueued), s.checksEnqueued);
+    reg.add(reg.counter(n::kDetUpdatesApplied), s.updatesApplied);
+    reg.add(reg.counter(n::kDetActionsApplied), s.actionsApplied);
+    reg.add(reg.counter(n::kDetFramesPushed), s.framesPushed);
+    reg.setMax(reg.gauge(n::kDetMaxStackDepth), s.maxStackDepth);
+    reg.add(reg.counter(n::kDetAlarms), alarms);
+}
+
+void
+exportTimingStats(const TimingStats &s, MetricsRegistry &reg)
+{
+    namespace n = names;
+    reg.add(reg.counter(n::kCpuInstructions), s.instructions);
+    reg.add(reg.counter(n::kCpuCycles), s.cycles);
+    reg.add(reg.counter(n::kCpuBranches), s.branches);
+    reg.add(reg.counter(n::kCpuMispredicts), s.mispredicts);
+    reg.add(reg.counter(n::kCpuL1iMisses), s.l1iMisses);
+    reg.add(reg.counter(n::kCpuL1dMisses), s.l1dMisses);
+    reg.add(reg.counter(n::kCpuL2Misses), s.l2Misses);
+    reg.add(reg.counter(n::kCpuTlbMisses), s.tlbMisses);
+    reg.add(reg.counter(n::kCpuIpdsStallCycles), s.ipdsStallCycles);
+    reg.setMax(reg.gauge(n::kRingMaxOccupancy), s.ringMaxOccupancy);
+    reg.add(reg.counter(n::kRingDrains), s.ringDrains);
+    reg.add(reg.counter(n::kEngRequests), s.engine.requests);
+    reg.add(reg.counter(n::kEngCheckRequests),
+            s.engine.checkRequests);
+    reg.add(reg.counter(n::kEngUpdateRequests),
+            s.engine.updateRequests);
+    reg.add(reg.counter(n::kEngBusyCycles), s.engine.busyCycles);
+    reg.add(reg.counter(n::kEngQueueFullStalls),
+            s.engine.queueFullStalls);
+    reg.add(reg.counter(n::kEngStallCycles), s.engine.stallCycles);
+    reg.add(reg.counter(n::kEngSpillEvents), s.engine.spillEvents);
+    reg.add(reg.counter(n::kEngSpillBits), s.engine.spillBits);
+    reg.add(reg.counter(n::kEngFillEvents), s.engine.fillEvents);
+    reg.add(reg.counter(n::kEngFillBits), s.engine.fillBits);
+    reg.add(reg.counter(n::kEngCheckLatencySum),
+            s.engine.checkLatencySum);
+    reg.add(reg.counter(n::kEngCheckLatencyCount),
+            s.engine.checkLatencyCount);
+    reg.setMax(reg.gauge(n::kEngFramesDepth), s.engine.framesDepth);
+    reg.add(reg.counter(n::kEngDepthClamps), s.engine.depthClamps);
+    reg.add(reg.counter(n::kEngAccountingClamps),
+            s.engine.accountingClamps);
+    reg.add(reg.counter(n::kRingOverflowFlushes),
+            s.ringOverflowFlushes);
+    reg.add(reg.counter(n::kRingFaultDrops), s.ringFaultDrops);
+    reg.add(reg.counter(n::kRingFaultDups), s.ringFaultDups);
+}
+
+void
+exportFaultStats(const FaultStats &s, MetricsRegistry &reg)
+{
+    namespace n = names;
+    reg.add(reg.counter(n::kFaultMemTampers), s.memTampers);
+    reg.add(reg.counter(n::kFaultBsvFlips), s.bsvFlips);
+    reg.add(reg.counter(n::kFaultCtxSwitches), s.ctxSwitches);
+    reg.add(reg.counter(n::kFaultRingDrops), s.ringDrops);
+    reg.add(reg.counter(n::kFaultRingDups), s.ringDups);
+}
+
+} // namespace obs
+} // namespace ipds

@@ -1,0 +1,43 @@
+#ifndef IPDS_OBS_EXPORT_H
+#define IPDS_OBS_EXPORT_H
+
+/**
+ * @file
+ * Stats-to-registry exporters under the shared naming scheme
+ * (obs/names.h). Every consumer of a stats block — the live Session
+ * join, offline replay, and the detection service — goes through
+ * these so the metric names AND registration order match everywhere;
+ * bit-identity checks diff the toText() output line for line.
+ *
+ * They live in ipds_obs (not the Session facade) because the service
+ * layer sits below session and needs them too. The stats structs are
+ * plain data, so this only depends on their headers.
+ */
+
+#include <cstdint>
+
+#include "inject/fault.h"
+#include "ipds/detector.h"
+#include "obs/metrics.h"
+#include "timing/cpu.h"
+
+namespace ipds {
+namespace obs {
+
+/**
+ * Export @p s into @p reg under the shared naming scheme
+ * (obs/names.h, ipds.detector.*). @p alarms is the alarm count.
+ */
+void exportDetectorStats(const DetectorStats &s, uint64_t alarms,
+                         MetricsRegistry &reg);
+
+/** Export @p s into @p reg (ipds.cpu.*, ipds.ring.*, ipds.engine.*). */
+void exportTimingStats(const TimingStats &s, MetricsRegistry &reg);
+
+/** Export @p s into @p reg (ipds.fault.*). */
+void exportFaultStats(const FaultStats &s, MetricsRegistry &reg);
+
+} // namespace obs
+} // namespace ipds
+
+#endif // IPDS_OBS_EXPORT_H

@@ -127,8 +127,44 @@ inline constexpr const char *kReplayEventsPerSec = ///< gauge
     "ipds.replay.events_per_sec";
 inline constexpr const char *kReplayCrcFailures =
     "ipds.replay.crc_failures";
+inline constexpr const char *kReplayTruncatedChunks =
+    "ipds.replay.truncated_chunks";
 inline constexpr const char *kReplayVersionMismatches =
     "ipds.replay.version_mismatches";
+
+// Detection service, per-tenant transport meters (src/serve).
+// Each tenant's registry otherwise mirrors the offline-replay
+// registration order exactly, so `/statsz` sections diff cleanly
+// against `run_protected --replay --stats` output.
+inline constexpr const char *kTenantStreams = "ipds.tenant.streams";
+inline constexpr const char *kTenantFrames = "ipds.tenant.frames";
+inline constexpr const char *kTenantBytes = "ipds.tenant.bytes";
+inline constexpr const char *kTenantBackpressureStalls =
+    "ipds.tenant.backpressure_stalls";
+inline constexpr const char *kTenantAlarms = "ipds.tenant.alarms";
+
+// Detection service, server-wide (src/serve/server.h)
+inline constexpr const char *kServeStreamsAccepted =
+    "ipds.serve.streams_accepted";
+inline constexpr const char *kServeStreamsCompleted =
+    "ipds.serve.streams_completed";
+inline constexpr const char *kServeStreamsFailed =
+    "ipds.serve.streams_failed";
+inline constexpr const char *kServeFramesIn = "ipds.serve.frames_in";
+inline constexpr const char *kServeBytesIn = "ipds.serve.bytes_in";
+inline constexpr const char *kServeFrameCrcFailures =
+    "ipds.serve.frame_crc_failures";
+inline constexpr const char *kServeOversizedFrames =
+    "ipds.serve.oversized_frames";
+inline constexpr const char *kServeBadFrames =
+    "ipds.serve.bad_frames";
+inline constexpr const char *kServeBackpressureStalls =
+    "ipds.serve.backpressure_stalls";
+inline constexpr const char *kServeResumes = "ipds.serve.resumes";
+inline constexpr const char *kServeMaxActiveStreams = ///< gauge
+    "ipds.serve.max_active_streams";
+inline constexpr const char *kServeIngestLatencyHist = ///< histogram
+    "ipds.serve.ingest_latency_us_hist";
 
 // Attack campaigns (attack/campaign.h)
 inline constexpr const char *kCampAttacks = "ipds.campaign.attacks";

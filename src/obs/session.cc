@@ -3,86 +3,17 @@
 #include <chrono>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
 
 #include "obs/names.h"
 #include "replay/replay.h"
+#include "serve/server.h"
 #include "support/diag.h"
 #include "support/threadpool.h"
 
 namespace ipds {
-
-namespace obs {
-
-void
-exportDetectorStats(const DetectorStats &s, uint64_t alarms,
-                    MetricsRegistry &reg)
-{
-    namespace n = names;
-    reg.add(reg.counter(n::kDetBranchesSeen), s.branchesSeen);
-    reg.add(reg.counter(n::kDetChecksEnqueued), s.checksEnqueued);
-    reg.add(reg.counter(n::kDetUpdatesApplied), s.updatesApplied);
-    reg.add(reg.counter(n::kDetActionsApplied), s.actionsApplied);
-    reg.add(reg.counter(n::kDetFramesPushed), s.framesPushed);
-    reg.setMax(reg.gauge(n::kDetMaxStackDepth), s.maxStackDepth);
-    reg.add(reg.counter(n::kDetAlarms), alarms);
-}
-
-void
-exportTimingStats(const TimingStats &s, MetricsRegistry &reg)
-{
-    namespace n = names;
-    reg.add(reg.counter(n::kCpuInstructions), s.instructions);
-    reg.add(reg.counter(n::kCpuCycles), s.cycles);
-    reg.add(reg.counter(n::kCpuBranches), s.branches);
-    reg.add(reg.counter(n::kCpuMispredicts), s.mispredicts);
-    reg.add(reg.counter(n::kCpuL1iMisses), s.l1iMisses);
-    reg.add(reg.counter(n::kCpuL1dMisses), s.l1dMisses);
-    reg.add(reg.counter(n::kCpuL2Misses), s.l2Misses);
-    reg.add(reg.counter(n::kCpuTlbMisses), s.tlbMisses);
-    reg.add(reg.counter(n::kCpuIpdsStallCycles), s.ipdsStallCycles);
-    reg.setMax(reg.gauge(n::kRingMaxOccupancy), s.ringMaxOccupancy);
-    reg.add(reg.counter(n::kRingDrains), s.ringDrains);
-    reg.add(reg.counter(n::kEngRequests), s.engine.requests);
-    reg.add(reg.counter(n::kEngCheckRequests),
-            s.engine.checkRequests);
-    reg.add(reg.counter(n::kEngUpdateRequests),
-            s.engine.updateRequests);
-    reg.add(reg.counter(n::kEngBusyCycles), s.engine.busyCycles);
-    reg.add(reg.counter(n::kEngQueueFullStalls),
-            s.engine.queueFullStalls);
-    reg.add(reg.counter(n::kEngStallCycles), s.engine.stallCycles);
-    reg.add(reg.counter(n::kEngSpillEvents), s.engine.spillEvents);
-    reg.add(reg.counter(n::kEngSpillBits), s.engine.spillBits);
-    reg.add(reg.counter(n::kEngFillEvents), s.engine.fillEvents);
-    reg.add(reg.counter(n::kEngFillBits), s.engine.fillBits);
-    reg.add(reg.counter(n::kEngCheckLatencySum),
-            s.engine.checkLatencySum);
-    reg.add(reg.counter(n::kEngCheckLatencyCount),
-            s.engine.checkLatencyCount);
-    reg.setMax(reg.gauge(n::kEngFramesDepth), s.engine.framesDepth);
-    reg.add(reg.counter(n::kEngDepthClamps), s.engine.depthClamps);
-    reg.add(reg.counter(n::kEngAccountingClamps),
-            s.engine.accountingClamps);
-    reg.add(reg.counter(n::kRingOverflowFlushes),
-            s.ringOverflowFlushes);
-    reg.add(reg.counter(n::kRingFaultDrops), s.ringFaultDrops);
-    reg.add(reg.counter(n::kRingFaultDups), s.ringFaultDups);
-}
-
-void
-exportFaultStats(const FaultStats &s, MetricsRegistry &reg)
-{
-    namespace n = names;
-    reg.add(reg.counter(n::kFaultMemTampers), s.memTampers);
-    reg.add(reg.counter(n::kFaultBsvFlips), s.bsvFlips);
-    reg.add(reg.counter(n::kFaultCtxSwitches), s.ctxSwitches);
-    reg.add(reg.counter(n::kFaultRingDrops), s.ringDrops);
-    reg.add(reg.counter(n::kFaultRingDups), s.ringDups);
-}
-
-} // namespace obs
 
 Session::Builder
 Session::builder()
@@ -100,9 +31,23 @@ Session::Builder::build()
     if (o.shards > 1 && !o.extraObservers.empty())
         fatal("Session: observe() requires a single shard (observers "
               "would be shared across shard threads)");
+    if (o.planCount > 1)
+        fatal("Session: plans are mutually exclusive — configure "
+              "exactly one plan()");
     if (!o.capturePath.empty() && !o.replayPath.empty())
         fatal("Session: captureTo() and replayFrom() are mutually "
               "exclusive");
+    if (!o.servePath.empty()) {
+        // Only reachable by mixing plan(ServePlan) with the
+        // deprecated shims; the plan types themselves cannot express
+        // these combinations.
+        if (!o.capturePath.empty() || !o.replayPath.empty())
+            fatal("Session: a ServePlan is mutually exclusive with "
+                  "capture/replay");
+        if (o.hasTamper || o.hasFault || !o.extraObservers.empty())
+            fatal("Session: a ServePlan run has no VM — tamper(), "
+                  "faultPlan() and observe() do not apply");
+    }
     if (!o.replayPath.empty()) {
         if (o.hasFault)
             fatal("Session: replayFrom() cannot combine with "
@@ -319,6 +264,8 @@ Session::runShard(uint32_t shard, ShardOut &out,
 Session &
 Session::run()
 {
+    if (!opt.servePath.empty())
+        return runServe();
     if (!opt.replayPath.empty())
         return runReplay();
 
@@ -493,10 +440,85 @@ Session::runReplay()
                  replay::headerBytes(m));
     registry.add(registry.counter(n::kReplaySessions), m.sessions);
     registry.add(registry.counter(n::kReplayCrcFailures), 0);
+    registry.add(registry.counter(n::kReplayTruncatedChunks), 0);
     registry.add(registry.counter(n::kReplayVersionMismatches), 0);
     registry.set(registry.gauge(n::kReplayEventsPerSec),
                  secs > 0.0 ? static_cast<uint64_t>(totalEvents / secs)
                             : 0);
+    return *this;
+}
+
+// Held via shared_ptr so stopServing() from another thread stays safe
+// while the Session object itself may be moved; srv is only non-null
+// for the duration of runServe()'s serving window.
+struct Session::ServeHandle
+{
+    std::mutex m;
+    serve::Server *srv = nullptr;
+};
+
+void
+Session::stopServing()
+{
+    std::shared_ptr<ServeHandle> h = serveHandle;
+    if (!h)
+        return;
+    std::lock_guard<std::mutex> lk(h->m);
+    if (h->srv)
+        h->srv->requestStop();
+}
+
+Session &
+Session::runServe()
+{
+    alarmList.clear();
+    detStat = {};
+    timStat = {};
+    fltStat = {};
+    firstResult = {};
+    registry = {};
+    traceLog.clear();
+    traceLost = 0;
+    serveStatszText.clear();
+
+    serve::ServerConfig cfg;
+    cfg.socketPath = opt.servePath;
+    cfg.threads = opt.threads;
+    if (opt.serveMaxFrame)
+        cfg.maxFrameBytes = opt.serveMaxFrame;
+    if (opt.servePendingCap)
+        cfg.pendingChunkCap = opt.servePendingCap;
+
+    serve::Server srv(*opt.prog, cfg);
+    serveHandle = std::make_shared<ServeHandle>();
+    {
+        std::lock_guard<std::mutex> lk(serveHandle->m);
+        serveHandle->srv = &srv;
+    }
+    srv.start();
+    // stopAfter == 0 means serve until stopServing(); waitForStreams
+    // returns early once the server stops.
+    srv.waitForStreams(opt.serveStopAfter ? opt.serveStopAfter
+                                          : UINT64_MAX);
+    {
+        std::lock_guard<std::mutex> lk(serveHandle->m);
+        serveHandle->srv = nullptr;
+    }
+    serveHandle.reset();
+    srv.stopAndJoin();
+    serveStatszText = srv.statszText();
+
+    // Deterministic join, like the live and replay paths: tenants in
+    // name order (snapshot() sorts), streams in completion order
+    // within each tenant.
+    for (const serve::TenantSnapshot &t : srv.snapshot()) {
+        detStat.merge(t.det);
+        timStat.merge(t.tim);
+        fltStat.merge(t.fault);
+        alarmList.insert(alarmList.end(), t.alarms.begin(),
+                         t.alarms.end());
+        registry.merge(t.reg);
+    }
     return *this;
 }
 

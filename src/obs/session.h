@@ -30,6 +30,30 @@
  *                         .build();
  *   TimingStats t = s.run().timingStats();
  *
+ * What a run DOES with the event stream is one typed plan:
+ *
+ *   - ExecPlan    — execute the VM (optionally tampered / fault-
+ *                   injected / observed);
+ *   - CapturePlan — execute AND record an IPDS trace file;
+ *   - ReplayPlan  — re-detect a recorded trace, no VM in the loop;
+ *   - ServePlan   — accept recorded streams over a socket and detect
+ *                   at ingest (the multi-tenant detection service).
+ *
+ *   ipds::Session cap = ipds::Session::builder()
+ *                           .program(prog).inputs(in)
+ *                           .plan(ipds::CapturePlan("run.ipds")
+ *                                     .exec(ipds::ExecPlan()
+ *                                               .tamper(spec)))
+ *                           .build();
+ *
+ * The plan types make incompatible recipes unrepresentable: a
+ * ReplayPlan has nowhere to hang a tamper() (the tamper's effects are
+ * already in the recorded stream), a ServePlan has no observer hook.
+ * The pre-plan mode setters (tamper(), faultPlan(), recordTrace(),
+ * observe(), captureTo(), replayFrom()) remain as deprecated shims
+ * that forward into the equivalent plan; mixing them badly still
+ * fails at build() with the original diagnostics.
+ *
  * Sharding semantics match the fig9 harness exactly: the session
  * stream splits into a FIXED number of shards (never derived from the
  * thread count), each shard owns its CpuModel / detectors / metrics /
@@ -48,6 +72,7 @@
 #include "core/program.h"
 #include "inject/fault.h"
 #include "ipds/detector.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "replay/writer.h"
@@ -57,22 +82,164 @@
 
 namespace ipds {
 
-namespace obs {
+namespace serve {
+class Server;
+} // namespace serve
 
 /**
- * Export @p s into @p reg under the shared naming scheme
- * (obs/names.h, ipds.detector.*). @p alarms is the alarm count.
+ * Execution plan: run the VM over the configured sessions. All knobs
+ * are optional; a default ExecPlan is the plain benign run (and what
+ * a Builder with no plan() call gets).
  */
-void exportDetectorStats(const DetectorStats &s, uint64_t alarms,
-                         MetricsRegistry &reg);
+struct ExecPlan
+{
+    /** Arm a memory tamper (applied to every session). */
+    ExecPlan &tamper(const TamperSpec &spec)
+    {
+        hasTamper = true;
+        tamperSpec = spec;
+        return *this;
+    }
 
-/** Export @p s into @p reg (ipds.cpu.*, ipds.ring.*, ipds.engine.*). */
-void exportTimingStats(const TimingStats &s, MetricsRegistry &reg);
+    /**
+     * Arm a fault-injection plan (src/inject/fault.h). A disabled
+     * plan (seed 0) is a no-op. When timing() is configured the
+     * plan's config-level classes (spill pressure) are applied to the
+     * TimingConfig at build(); per-run faults are salted with the
+     * session index, so results are a pure function of
+     * (program, inputs, plan, sessions, shards).
+     */
+    ExecPlan &faults(const FaultPlan &p)
+    {
+        hasFault = p.enabled();
+        fault = p;
+        return *this;
+    }
 
-/** Export @p s into @p reg (ipds.fault.*). */
-void exportFaultStats(const FaultStats &s, MetricsRegistry &reg);
+    /**
+     * Record the VM branch trace in result() (defaults to on for
+     * single-session runs, off for multi-session runs).
+     */
+    ExecPlan &recordTrace(bool on)
+    {
+        recordTraceOn = on;
+        recordTraceSet = true;
+        return *this;
+    }
 
-} // namespace obs
+    /**
+     * Attach an extra ExecObserver to every Vm (not owned). Only
+     * valid for single-shard runs: a shared observer across shard
+     * threads would race.
+     */
+    ExecPlan &observe(ExecObserver *obs)
+    {
+        observers.push_back(obs);
+        return *this;
+    }
+
+    bool hasTamper = false;
+    TamperSpec tamperSpec;
+    bool hasFault = false;
+    FaultPlan fault;
+    bool recordTraceSet = false;
+    bool recordTraceOn = true;
+    std::vector<ExecObserver *> observers;
+};
+
+/**
+ * Capture plan: execute (per the nested ExecPlan) AND record the
+ * committed event stream into an IPDS trace file at @p path
+ * (src/replay format). The recorder attaches after the detector and
+ * timing model, so it observes without perturbing any result: the
+ * run's alarms, stats and metrics are unchanged, and a later
+ * ReplayPlan over the file reproduces them bit-identically. Timing
+ * runs capture the full instruction stream; detector-only runs
+ * capture the compact branch stream.
+ */
+struct CapturePlan
+{
+    explicit CapturePlan(std::string path_) : path(std::move(path_)) {}
+
+    /** Execution knobs for the recorded run (default: benign). */
+    CapturePlan &exec(ExecPlan e)
+    {
+        execPlan = std::move(e);
+        return *this;
+    }
+
+    std::string path;
+    ExecPlan execPlan;
+};
+
+/**
+ * Replay plan: re-detect a trace recorded by a CapturePlan instead of
+ * executing the VM. The trace header supplies sessions, shards and
+ * the TimingConfig (so sessions()/shards()/timing() are ignored);
+ * threads() still selects replay parallelism, with the usual
+ * shard-order deterministic join. Alarms, DetectorStats, TimingStats,
+ * FaultStats and the shared metrics come out bit-identical to the
+ * capture run; result() stays empty (there is no VM output to
+ * reproduce). There is deliberately nothing else to configure here —
+ * faults and tampers are captured, not re-injected. Corrupt,
+ * truncated, version-skewed or foreign-module traces raise
+ * FatalError.
+ */
+struct ReplayPlan
+{
+    explicit ReplayPlan(std::string path_) : path(std::move(path_)) {}
+
+    std::string path;
+};
+
+/**
+ * Serve plan: run the multi-tenant detection service. The session
+ * binds a stream socket at @p socketPath, accepts framed trace
+ * streams from concurrent clients (ipds_client / serve::Client), and
+ * runs detection at ingest — bit-identical to a ReplayPlan over the
+ * same bytes. run() blocks until stopAfterStreams() streams finished
+ * (or stopServing() is called from another thread), then aggregates
+ * every tenant's results in tenant-name order. threads() sizes the
+ * ingest worker pool. For an open-ended daemon with its own signal
+ * handling, use serve::Server (src/serve/server.h) directly — this
+ * plan wraps it.
+ */
+struct ServePlan
+{
+    explicit ServePlan(std::string socketPath_)
+        : socketPath(std::move(socketPath_))
+    {}
+
+    /** Reject frames larger than @p n bytes (0 = wire default). */
+    ServePlan &maxFrameBytes(size_t n)
+    {
+        maxFrame = n;
+        return *this;
+    }
+
+    /**
+     * Admission control: per-stream decoded chunks allowed in flight
+     * before the server stops reading that client's socket
+     * (0 = default). Backpressure is counted, never a deadlock.
+     */
+    ServePlan &pendingChunkCap(size_t n)
+    {
+        pendingCap = n;
+        return *this;
+    }
+
+    /** Stop serving after @p n streams (0 = until stopServing()). */
+    ServePlan &stopAfterStreams(uint64_t n)
+    {
+        stopAfter = n;
+        return *this;
+    }
+
+    std::string socketPath;
+    size_t maxFrame = 0;
+    size_t pendingCap = 0;
+    uint64_t stopAfter = 0;
+};
 
 class Session
 {
@@ -130,6 +297,17 @@ class Session
     /** Events lost to ring wraparound across all shards. */
     uint64_t traceDropped() const { return traceLost; }
 
+    // ---- ServePlan runs ---------------------------------------------
+
+    /**
+     * Ask a blocking ServePlan run() (in another thread) to stop
+     * accepting and return. Thread-safe; a no-op when not serving.
+     */
+    void stopServing();
+
+    /** Final /statsz snapshot of a ServePlan run ("" otherwise). */
+    const std::string &serveStatsz() const { return serveStatszText; }
+
   private:
     friend class Builder;
 
@@ -154,18 +332,27 @@ class Session
         std::vector<ExecObserver *> extraObservers;
         uint32_t traceCategories = 0; ///< 0: tracing off
         uint32_t traceCapacity = 4096;
-        std::string capturePath; ///< record a trace (captureTo)
-        std::string replayPath;  ///< replay a trace (replayFrom)
+        std::string capturePath; ///< record a trace (CapturePlan)
+        std::string replayPath;  ///< replay a trace (ReplayPlan)
+        std::string servePath;   ///< serve a socket (ServePlan)
+        size_t serveMaxFrame = 0;
+        size_t servePendingCap = 0;
+        uint64_t serveStopAfter = 0;
+        int planCount = 0; ///< plan() calls seen by the Builder
     };
 
     explicit Session(Options o);
 
     struct ShardOut;
+    struct ServeHandle;
     void runShard(uint32_t shard, ShardOut &out,
                   replay::TraceWriter *capture) const;
     Session &runReplay();
+    Session &runServe();
 
     Options opt;
+    std::shared_ptr<ServeHandle> serveHandle;
+    std::string serveStatszText;
 
     // Results.
     std::vector<Alarm> alarmList;
@@ -251,51 +438,6 @@ class Session::Builder
         return *this;
     }
 
-    /** Arm a memory tamper (applied to every session). */
-    Builder &tamper(const TamperSpec &spec)
-    {
-        o.hasTamper = true;
-        o.tamperSpec = spec;
-        return *this;
-    }
-
-    /**
-     * Arm a fault-injection plan (src/inject/fault.h). A disabled
-     * plan (seed 0) is a no-op. When timing() is configured the
-     * plan's config-level classes (spill pressure) are applied to the
-     * TimingConfig at build(); per-run faults are salted with the
-     * session index, so results are a pure function of
-     * (program, inputs, plan, sessions, shards).
-     */
-    Builder &faultPlan(const FaultPlan &p)
-    {
-        o.hasFault = p.enabled();
-        o.fault = p;
-        return *this;
-    }
-
-    /**
-     * Record the VM branch trace in result() (defaults to on for
-     * single-session runs, off for multi-session runs).
-     */
-    Builder &recordTrace(bool on)
-    {
-        o.recordTrace = on;
-        o.recordTraceExplicit = true;
-        return *this;
-    }
-
-    /**
-     * Attach an extra ExecObserver to every Vm (not owned). Only
-     * valid for single-shard runs: a shared observer across shard
-     * threads would race.
-     */
-    Builder &observe(ExecObserver *obs)
-    {
-        o.extraObservers.push_back(obs);
-        return *this;
-    }
-
     /**
      * Enable structured tracing for the given category mask
      * (obs::TraceCat bits, intersected with the compiled-in mask) and
@@ -308,34 +450,97 @@ class Session::Builder
         return *this;
     }
 
-    /**
-     * Record the run's committed event stream into an IPDS trace file
-     * at @p path (src/replay format). The capture attaches after the
-     * detector and timing model, so it observes without perturbing
-     * any result: the run's alarms, stats and metrics are unchanged,
-     * and a later replayFrom() of the file reproduces them
-     * bit-identically. Timing runs capture the full instruction
-     * stream; detector-only runs capture the compact branch stream.
-     */
+    // ---- the run's plan (configure exactly one) ---------------------
+
+    /** Execute the VM with the given knobs (the default plan). */
+    Builder &plan(ExecPlan p)
+    {
+        o.planCount++;
+        applyExec(std::move(p));
+        return *this;
+    }
+
+    /** Execute AND record an IPDS trace file (see CapturePlan). */
+    Builder &plan(CapturePlan p)
+    {
+        o.planCount++;
+        o.capturePath = std::move(p.path);
+        applyExec(std::move(p.execPlan));
+        return *this;
+    }
+
+    /** Re-detect a recorded trace, no VM (see ReplayPlan). */
+    Builder &plan(ReplayPlan p)
+    {
+        o.planCount++;
+        o.replayPath = std::move(p.path);
+        return *this;
+    }
+
+    /** Run the multi-tenant detection service (see ServePlan). */
+    Builder &plan(ServePlan p)
+    {
+        o.planCount++;
+        o.servePath = std::move(p.socketPath);
+        o.serveMaxFrame = p.maxFrame;
+        o.servePendingCap = p.pendingCap;
+        o.serveStopAfter = p.stopAfter;
+        return *this;
+    }
+
+    // ---- deprecated pre-plan mode setters ---------------------------
+    //
+    // Shims for source compatibility: each forwards into the same
+    // Options fields its plan-based replacement writes, and build()
+    // still rejects the historically-invalid combinations with the
+    // original diagnostics. New code composes a typed plan instead —
+    // the plan types make those combinations unrepresentable.
+
+    /** @deprecated Use plan(ExecPlan().tamper(spec)). */
+    [[deprecated("use plan(ExecPlan().tamper(spec))")]]
+    Builder &tamper(const TamperSpec &spec)
+    {
+        o.hasTamper = true;
+        o.tamperSpec = spec;
+        return *this;
+    }
+
+    /** @deprecated Use plan(ExecPlan().faults(p)). */
+    [[deprecated("use plan(ExecPlan().faults(p))")]]
+    Builder &faultPlan(const FaultPlan &p)
+    {
+        o.hasFault = p.enabled();
+        o.fault = p;
+        return *this;
+    }
+
+    /** @deprecated Use plan(ExecPlan().recordTrace(on)). */
+    [[deprecated("use plan(ExecPlan().recordTrace(on))")]]
+    Builder &recordTrace(bool on)
+    {
+        o.recordTrace = on;
+        o.recordTraceExplicit = true;
+        return *this;
+    }
+
+    /** @deprecated Use plan(ExecPlan().observe(obs)). */
+    [[deprecated("use plan(ExecPlan().observe(obs))")]]
+    Builder &observe(ExecObserver *obs)
+    {
+        o.extraObservers.push_back(obs);
+        return *this;
+    }
+
+    /** @deprecated Use plan(CapturePlan(path)). */
+    [[deprecated("use plan(CapturePlan(path))")]]
     Builder &captureTo(const std::string &path)
     {
         o.capturePath = path;
         return *this;
     }
 
-    /**
-     * Replay a trace recorded with captureTo() instead of executing
-     * the VM. The trace header supplies sessions, shards and the
-     * TimingConfig (so sessions()/shards()/timing() are ignored);
-     * threads() still selects replay parallelism, with the usual
-     * shard-order deterministic join. Alarms, DetectorStats,
-     * TimingStats, FaultStats and the shared metrics come out
-     * bit-identical to the capture run; result() stays empty (there
-     * is no VM output to reproduce). Incompatible with faultPlan()
-     * (faults are captured, not re-injected), tamper() and observe().
-     * Corrupt, truncated, version-skewed or foreign-module traces
-     * raise FatalError.
-     */
+    /** @deprecated Use plan(ReplayPlan(path)). */
+    [[deprecated("use plan(ReplayPlan(path))")]]
     Builder &replayFrom(const std::string &path)
     {
         o.replayPath = path;
@@ -346,6 +551,19 @@ class Session::Builder
     Session build();
 
   private:
+    void applyExec(ExecPlan p)
+    {
+        o.hasTamper = p.hasTamper;
+        o.tamperSpec = p.tamperSpec;
+        o.hasFault = p.hasFault;
+        o.fault = p.fault;
+        if (p.recordTraceSet) {
+            o.recordTrace = p.recordTraceOn;
+            o.recordTraceExplicit = true;
+        }
+        o.extraObservers = std::move(p.observers);
+    }
+
     Session::Options o;
 };
 

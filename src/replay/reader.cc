@@ -37,7 +37,101 @@ defect(ValidateResult *issues, uint64_t *tally, const char *msg,
         issues->error = strprintf("%s (at byte %zu)", msg, where);
 }
 
+/** Set *err (when non-null) to @p msg, and @p at to the defect byte. */
+ParseStatus
+parseFail(ParseStatus st, std::string *err, const char *msg,
+          size_t &at, size_t where)
+{
+    if (err)
+        *err = msg;
+    at = where;
+    return st;
+}
+
 } // namespace
+
+ParseStatus
+parseHeader(const uint8_t *p, size_t n, TraceMeta &meta,
+            size_t &consumed, std::string *err)
+{
+    size_t have = n < sizeof kTraceMagic ? n : sizeof kTraceMagic;
+    if (std::memcmp(p, kTraceMagic, have) != 0)
+        return parseFail(ParseStatus::Malformed, err,
+                        "not an IPDS trace (bad magic)", consumed, 0);
+    if (n < kHeaderBytes)
+        return parseFail(ParseStatus::NeedMore, err,
+                        "truncated trace header", consumed, 0);
+    meta.version = getU32(p + 8);
+    if (meta.version != kTraceVersion) {
+        if (err)
+            *err = strprintf("format version %u, expected %u",
+                             meta.version, kTraceVersion);
+        consumed = 8;
+        return ParseStatus::VersionSkew;
+    }
+    uint32_t hdrCrc = getU32(p + 36);
+    if (crc32(p, 36) != hdrCrc)
+        return parseFail(ParseStatus::ChunkCrcMismatch, err,
+                        "header CRC mismatch", consumed, 36);
+    meta.flags = getU32(p + 12);
+    meta.moduleHash = getU64(p + 16);
+    meta.sessions = getU32(p + 24);
+    meta.shards = getU32(p + 28);
+    uint32_t timingWords = getU32(p + 32);
+    if (timingWords != 0 && timingWords != kTimingConfigWords)
+        return parseFail(ParseStatus::Malformed, err,
+                        "bad timing block size", consumed, 32);
+    if (meta.sessions == 0 || meta.shards == 0 ||
+        meta.shards > meta.sessions)
+        return parseFail(ParseStatus::Malformed, err,
+                        "impossible session/shard counts", consumed,
+                        24);
+    meta.hasTiming = timingWords != 0;
+    size_t off = kHeaderBytes;
+    if (meta.hasTiming) {
+        if (n < off + 4 * kTimingConfigWords)
+            return parseFail(ParseStatus::NeedMore, err,
+                            "truncated timing block", consumed, off);
+        uint32_t words[kTimingConfigWords];
+        for (uint32_t i = 0; i < kTimingConfigWords; ++i)
+            words[i] = getU32(p + off + 4 * i);
+        meta.timing = unpackTimingConfig(words);
+        off += 4 * kTimingConfigWords;
+    }
+    consumed = off;
+    return ParseStatus::Ok;
+}
+
+ParseStatus
+parseChunk(const uint8_t *p, size_t n, ChunkRef &out,
+           size_t &consumed, std::string *err)
+{
+    if (n < kChunkHeaderBytes)
+        return parseFail(ParseStatus::NeedMore, err,
+                        "truncated chunk header", consumed, 0);
+    out.payloadLen = getU32(p);
+    out.events = getU32(p + 4);
+    out.session = getU32(p + 8);
+    uint32_t crc = getU32(p + 12);
+    // A corrupt length must not make a streamed ingest wait forever
+    // for bytes that will never come: writers cap payloads at
+    // kChunkPayloadCap, so anything far past it is Malformed, not
+    // NeedMore.
+    if (out.payloadLen == 0 || out.payloadLen > 4 * kChunkPayloadCap)
+        return parseFail(ParseStatus::Malformed, err,
+                        "impossible chunk payload length", consumed,
+                        0);
+    if (n - kChunkHeaderBytes < out.payloadLen)
+        return parseFail(ParseStatus::NeedMore, err,
+                        "truncated chunk payload", consumed, 0);
+    out.payloadOff = kChunkHeaderBytes;
+    if (crc32(p + kChunkHeaderBytes, out.payloadLen) != crc)
+        return parseFail(ParseStatus::ChunkCrcMismatch, err,
+                        "chunk CRC mismatch", consumed,
+                        kChunkHeaderBytes);
+    consumed = kChunkHeaderBytes + out.payloadLen;
+    return ParseStatus::Ok;
+}
 
 void
 TraceFile::parse(ValidateResult *issues)
@@ -45,77 +139,52 @@ TraceFile::parse(ValidateResult *issues)
     const uint8_t *b = bytes_.data();
     const size_t n = bytes_.size();
 
-    if (n < kHeaderBytes ||
-        std::memcmp(b, kTraceMagic, sizeof kTraceMagic) != 0) {
-        defect(issues, nullptr, "not an IPDS trace (bad magic)", 0);
+    std::string err;
+    size_t at = 0;
+    switch (parseHeader(b, n, meta_, at, &err)) {
+      case ParseStatus::Ok:
+        break;
+      case ParseStatus::NeedMore:
+        defect(issues, issues ? &issues->truncatedChunks : nullptr,
+               err.c_str(), at);
         return;
-    }
-    meta_.version = getU32(b + 8);
-    if (meta_.version != kTraceVersion) {
+      case ParseStatus::ChunkCrcMismatch:
+        defect(issues, issues ? &issues->crcFailures : nullptr,
+               err.c_str(), at);
+        return;
+      case ParseStatus::VersionSkew:
         if (!issues)
             fatal("trace: format version %u, this build reads "
                   "version %u — re-record the trace",
                   meta_.version, kTraceVersion);
         issues->versionMismatches++;
         if (issues->error.empty())
-            issues->error = strprintf(
-                "format version %u, expected %u", meta_.version,
-                kTraceVersion);
+            issues->error = err;
+        return;
+      case ParseStatus::Malformed:
+        defect(issues, nullptr, err.c_str(), at);
         return;
     }
-    uint32_t hdrCrc = getU32(b + 36);
-    if (crc32(b, 36) != hdrCrc) {
-        defect(issues, issues ? &issues->crcFailures : nullptr,
-               "header CRC mismatch", 36);
-        return;
-    }
-    meta_.flags = getU32(b + 12);
-    meta_.moduleHash = getU64(b + 16);
-    meta_.sessions = getU32(b + 24);
-    meta_.shards = getU32(b + 28);
-    uint32_t timingWords = getU32(b + 32);
-    if (timingWords != 0 && timingWords != kTimingConfigWords) {
-        defect(issues, nullptr, "bad timing block size", 32);
-        return;
-    }
-    if (meta_.sessions == 0 || meta_.shards == 0 ||
-        meta_.shards > meta_.sessions) {
-        defect(issues, nullptr, "impossible session/shard counts", 24);
-        return;
-    }
-    meta_.hasTiming = timingWords != 0;
-    size_t off = kHeaderBytes;
-    if (meta_.hasTiming) {
-        if (n < off + 4 * kTimingConfigWords) {
-            defect(issues, nullptr, "truncated timing block", off);
-            return;
-        }
-        uint32_t words[kTimingConfigWords];
-        for (uint32_t i = 0; i < kTimingConfigWords; ++i)
-            words[i] = getU32(b + off + 4 * i);
-        meta_.timing = unpackTimingConfig(words);
-        off += 4 * kTimingConfigWords;
-    }
+    size_t off = at;
 
     uint32_t prevSession = 0;
     bool first = true;
     while (off < n) {
-        if (n - off < kChunkHeaderBytes) {
-            defect(issues, nullptr, "truncated chunk header", off);
-            return;
-        }
         ChunkRef c;
-        c.payloadLen = getU32(b + off);
-        c.events = getU32(b + off + 4);
-        c.session = getU32(b + off + 8);
-        uint32_t crc = getU32(b + off + 12);
-        if (c.payloadLen == 0 || n - off - kChunkHeaderBytes <
-            c.payloadLen) {
-            defect(issues, nullptr, "truncated chunk payload", off);
+        size_t used = 0;
+        ParseStatus st = parseChunk(b + off, n - off, c, used, &err);
+        if (st == ParseStatus::NeedMore) {
+            defect(issues,
+                   issues ? &issues->truncatedChunks : nullptr,
+                   err.c_str(), off + used);
             return;
         }
-        c.payloadOff = off + kChunkHeaderBytes;
-        off = c.payloadOff + c.payloadLen;
+        if (st == ParseStatus::Malformed) {
+            defect(issues, nullptr, err.c_str(), off + used);
+            return;
+        }
+        size_t payloadOff = off + kChunkHeaderBytes;
+        off = payloadOff + c.payloadLen;
         if (c.session >= meta_.sessions ||
             (!first && c.session < prevSession)) {
             defect(issues, nullptr, "chunk session out of order", off);
@@ -123,11 +192,12 @@ TraceFile::parse(ValidateResult *issues)
         }
         prevSession = c.session;
         first = false;
-        if (crc32(b + c.payloadOff, c.payloadLen) != crc) {
+        if (st == ParseStatus::ChunkCrcMismatch) {
             defect(issues, issues ? &issues->crcFailures : nullptr,
-                   "chunk CRC mismatch", c.payloadOff);
+                   err.c_str(), payloadOff);
             continue; // tally mode: skip the corrupt chunk
         }
+        c.payloadOff = payloadOff; // rebase from parse window to file
         index.push_back(c);
     }
     if (index.empty())

@@ -40,10 +40,54 @@ struct ChunkRef
 struct ValidateResult
 {
     bool ok = false;
-    uint64_t crcFailures = 0;
+    uint64_t crcFailures = 0;      ///< header/chunk CRC mismatches
+    uint64_t truncatedChunks = 0;  ///< bytes ran out mid-structure
     uint64_t versionMismatches = 0;
     std::string error; ///< first problem found ("" when ok)
 };
+
+// ---- incremental framing (streamed ingest) ------------------------------
+//
+// The detection service parses the v1 byte stream as it arrives off a
+// socket, so "not enough bytes yet" and "bytes are corrupt" MUST be
+// distinguishable: the first means wait for more (retry), the second
+// means reject the stream. TraceFile::parse shares these helpers, so
+// a truncated file reports TruncatedChunk (the tail was cut — the
+// transfer can be resumed/retried) while a CRC failure reports
+// ChunkCrcMismatch (the data itself is bad), both in the FatalError
+// text and in the ipds.replay.* counters.
+
+enum class ParseStatus : uint8_t
+{
+    Ok,               ///< structure complete and valid
+    NeedMore,         ///< truncated here: feed more bytes and retry
+    TruncatedChunk = NeedMore, ///< alias: EOF mid-structure
+    ChunkCrcMismatch, ///< framing intact, payload bytes corrupt
+    VersionSkew,      ///< header from another format version
+    Malformed,        ///< structurally impossible (reject)
+};
+
+/**
+ * Parse a trace file header from the first @p n bytes of @p p. On Ok,
+ * @p meta is filled and @p consumed is the full header size
+ * (including the timing block). On any other status @p err (optional)
+ * receives a one-line description; NeedMore means the prefix is
+ * consistent but incomplete. A header CRC failure reports
+ * ChunkCrcMismatch (same retry-vs-reject contract).
+ */
+ParseStatus parseHeader(const uint8_t *p, size_t n, TraceMeta &meta,
+                        size_t &consumed, std::string *err);
+
+/**
+ * Parse one chunk (header + payload) from the first @p n bytes of
+ * @p p. On Ok, @p out describes the chunk with payloadOff relative to
+ * @p p and @p consumed is the chunk's total size; the payload CRC has
+ * been verified. NeedMore/TruncatedChunk means the chunk is
+ * incomplete (wait for more bytes); ChunkCrcMismatch means the
+ * payload is corrupt (reject — retrying the same bytes cannot help).
+ */
+ParseStatus parseChunk(const uint8_t *p, size_t n, ChunkRef &out,
+                       size_t &consumed, std::string *err);
 
 class TraceFile
 {

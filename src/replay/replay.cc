@@ -1,7 +1,5 @@
 #include "replay/replay.h"
 
-#include <optional>
-
 #include "support/diag.h"
 
 namespace ipds {
@@ -9,10 +7,23 @@ namespace replay {
 
 ReplayEngine::ReplayEngine(const TraceFile &f,
                            const CompiledProgram &p)
-    : file(f), prog(p)
+    : file_(&f), prog(p), meta_(f.meta())
+{
+    buildPcIndex();
+}
+
+ReplayEngine::ReplayEngine(const TraceMeta &m,
+                           const CompiledProgram &p)
+    : file_(nullptr), prog(p), meta_(m)
+{
+    buildPcIndex();
+}
+
+void
+ReplayEngine::buildPcIndex()
 {
     const Module &mod = prog.mod;
-    if (file.meta().moduleHash != moduleContentHash(mod))
+    if (meta_.moduleHash != moduleContentHash(mod))
         fatal("trace: recorded from a different program (module "
               "content hash mismatch) — re-record the trace");
 
@@ -56,265 +67,287 @@ isMemOp(Op op)
 
 } // namespace
 
-void
-ReplayEngine::replayShard(uint32_t shard, ReplayShardResult &out) const
+ReplayEngine::ShardCursor::ShardCursor(const ReplayEngine &e,
+                                       uint32_t shard)
+    : eng(e), shard_(shard)
 {
-    const TraceMeta &m = file.meta();
+    const TraceMeta &m = eng.meta_;
     if (shard >= m.shards)
         fatal("replay: shard %u of %u", shard, m.shards);
-    const uint32_t begin =
-        static_cast<uint32_t>(uint64_t(shard) * m.sessions / m.shards);
-    const uint32_t end = static_cast<uint32_t>(
-        uint64_t(shard + 1) * m.sessions / m.shards);
-
-    std::optional<CpuModel> cpu;
+    begin_ = static_cast<uint32_t>(uint64_t(shard) * m.sessions /
+                                   m.shards);
+    end_ = static_cast<uint32_t>(uint64_t(shard + 1) * m.sessions /
+                                 m.shards);
+    expectNext = begin_;
     if (m.hasTiming)
         cpu.emplace(m.timing);
-    const bool detOn = m.detectorOn();
-    std::optional<Detector> det;
+}
 
-    // Shadow call stack: validated BEFORE the detector sees an event,
-    // so corrupt-but-CRC-valid traces fail with FatalError instead of
-    // tripping the detector's internal invariants.
-    std::vector<FuncId> funcStack;
-    bool open = false;
-    uint32_t expectNext = begin;
+void
+ReplayEngine::ShardCursor::feed(const ChunkRef &c,
+                                const uint8_t *payload)
+{
+    if (finished)
+        fatal("replay: feed() after finish()");
+    if (c.session < begin_ || c.session >= end_)
+        fatal("replay: chunk for session %u routed to shard %u "
+              "[%u, %u)",
+              c.session, shard_, begin_, end_);
+    out.chunks++;
+    out.bytes += kChunkHeaderBytes + c.payloadLen;
+    out.events += c.events;
 
+    const bool detOn = eng.meta_.detectorOn();
+    TraceReader r(payload, c.payloadLen);
+    uint64_t prevPc = 0;
+    uint64_t prevAddr = 0;
+    uint64_t remaining = c.events;
+    auto take = [&](uint64_t k) {
+        if (k > remaining)
+            fatal("trace: chunk event count mismatch");
+        remaining -= k;
+    };
     auto requireOpen = [&] {
         if (!open)
             fatal("trace: event record outside a session");
     };
 
-    for (const ChunkRef &c : file.chunks()) {
-        if (c.session < begin || c.session >= end)
-            continue;
-        out.chunks++;
-        out.bytes += kChunkHeaderBytes + c.payloadLen;
-        out.events += c.events;
-
-        TraceReader r(file.payload(c), c.payloadLen);
-        uint64_t prevPc = 0;
-        uint64_t prevAddr = 0;
-        uint64_t remaining = c.events;
-        auto take = [&](uint64_t k) {
-            if (k > remaining)
-                fatal("trace: chunk event count mismatch");
-            remaining -= k;
-        };
-
-        while (!r.atEnd()) {
-            switch (Tag t = r.tag(); t) {
-              case Tag::SessionStart: {
-                take(1);
-                uint64_t idx = r.var();
-                uint8_t ringFault = r.byte();
-                uint32_t drop = 0;
-                uint32_t dup = 0;
-                uint64_t seed = 0;
-                if (ringFault) {
-                    drop = static_cast<uint32_t>(r.var());
-                    dup = static_cast<uint32_t>(r.var());
-                    seed = r.var();
-                }
-                if (open)
-                    fatal("trace: SessionStart inside an open "
-                          "session");
-                if (idx != c.session || idx != expectNext)
-                    fatal("trace: session %llu out of order "
-                          "(expected %u)",
-                          static_cast<unsigned long long>(idx),
-                          expectNext);
-                open = true;
-                expectNext = static_cast<uint32_t>(idx) + 1;
-                if (detOn) {
-                    // One Detector per shard, reset() between
-                    // sessions (the pooled-frames fast path): replay
-                    // pays decode + detection per event, not a
-                    // detector rebuild per session.
-                    if (!det)
-                        det.emplace(prog);
-                    else
-                        det->reset();
-                    if (cpu)
-                        det->setRequestRing(&cpu->requestRing());
-                }
-                if (ringFault) {
-                    if (!cpu)
-                        fatal("trace: ring-fault arming without a "
-                              "timing model");
-                    cpu->requestRing().setFault(drop, dup, seed);
-                }
-                break;
-              }
-              case Tag::SessionEnd: {
-                take(1);
-                uint64_t steps = r.var();
-                uint64_t inputEvents = r.var();
-                uint64_t memTampers = r.var();
-                uint64_t instructions = r.var();
-                uint64_t blocks = r.var();
-                uint64_t flushes = r.var();
-                requireOpen();
-                open = false;
-                out.runs++;
-                out.steps += steps;
-                out.inputEvents += inputEvents;
-                out.fault.memTampers += memTampers;
-                out.vmInstructions += instructions;
-                out.vmBlocks += blocks;
-                out.vmFlushes += flushes;
-                if (det) {
-                    out.det.merge(det->stats());
-                    out.alarms.insert(out.alarms.end(),
-                                      det->alarms().begin(),
-                                      det->alarms().end());
-                }
-                funcStack.clear();
-                break;
-              }
-              case Tag::FuncEnter: {
-                take(1);
-                uint64_t f = r.var();
-                requireOpen();
-                if (f >= prog.mod.functions.size())
-                    fatal("trace: function id %llu out of range",
-                          static_cast<unsigned long long>(f));
-                funcStack.push_back(static_cast<FuncId>(f));
-                if (det)
-                    det->onFunctionEnter(static_cast<FuncId>(f));
-                if (cpu)
-                    cpu->onFunctionEnter(static_cast<FuncId>(f));
-                break;
-              }
-              case Tag::FuncExit: {
-                take(1);
-                uint64_t f = r.var();
-                requireOpen();
-                if (funcStack.empty() || funcStack.back() != f)
-                    fatal("trace: unbalanced function exit");
-                funcStack.pop_back();
-                if (det)
-                    det->onFunctionExit(static_cast<FuncId>(f));
-                if (cpu)
-                    cpu->onFunctionExit(static_cast<FuncId>(f));
-                break;
-              }
-              case Tag::BranchTaken:
-              case Tag::BranchNotTaken: {
-                take(1);
-                uint64_t pc =
-                    prevPc + static_cast<uint64_t>(r.svar()) * 4;
-                requireOpen();
-                const PcEntry &e = at(pc);
-                if (e.inst->op != Op::Br)
-                    fatal("trace: branch record at non-branch pc");
-                if (funcStack.empty() || funcStack.back() != e.func)
-                    fatal("trace: branch outside its function's "
-                          "activation");
-                bool taken = t == Tag::BranchTaken;
-                if (det)
-                    det->onBranch(e.func, pc, taken);
-                if (cpu) {
-                    cpu->onBranch(e.func, pc, taken);
-                    cpu->onInst(*e.inst, 0, 0, false);
-                }
-                prevPc = pc;
-                break;
-              }
-              case Tag::Inst: {
-                take(1);
-                uint64_t pc =
-                    prevPc + static_cast<uint64_t>(r.svar()) * 4;
-                requireOpen();
-                const PcEntry &e = at(pc);
-                if (e.inst->op == Op::Br || isMemOp(e.inst->op))
-                    fatal("trace: plain record for a branch/memory "
-                          "instruction");
-                if (cpu)
-                    cpu->onInst(*e.inst, 0, 0, false);
-                prevPc = pc;
-                break;
-              }
-              case Tag::InstRun: {
-                uint64_t n = r.var();
-                take(n); // also rejects absurd counts up front
-                requireOpen();
-                for (uint64_t i = 0; i < n; i++) {
-                    uint64_t pc = prevPc + 4;
-                    const PcEntry &e = at(pc);
-                    if (e.inst->op == Op::Br || isMemOp(e.inst->op))
-                        fatal("trace: plain record for a "
-                              "branch/memory instruction");
-                    if (cpu)
-                        cpu->onInst(*e.inst, 0, 0, false);
-                    prevPc = pc;
-                }
-                break;
-              }
-              case Tag::MemInst: {
-                take(1);
-                uint64_t pc =
-                    prevPc + static_cast<uint64_t>(r.svar()) * 4;
-                uint64_t addr =
-                    prevAddr + static_cast<uint64_t>(r.svar());
-                requireOpen();
-                const PcEntry &e = at(pc);
-                if (!isMemOp(e.inst->op))
-                    fatal("trace: data-access record at a "
-                          "non-memory instruction");
-                if (cpu)
-                    cpu->onInst(
-                        *e.inst, addr,
-                        static_cast<uint32_t>(e.inst->size),
-                        e.inst->op == Op::Load ||
-                            e.inst->op == Op::LoadInd);
-                prevPc = pc;
-                prevAddr = addr;
-                break;
-              }
-              case Tag::BsvFlip: {
-                take(1);
-                uint64_t slot = r.var();
-                uint8_t state = r.byte();
-                requireOpen();
-                if (state > 2)
-                    fatal("trace: bad BSV state %u", state);
-                if (det &&
-                    det->injectBsvState(
-                        static_cast<uint32_t>(slot),
-                        static_cast<BsvState>(state)))
-                    out.fault.bsvFlips++;
-                break;
-              }
-              case Tag::CtxSwitch: {
-                take(1);
-                uint8_t lazy = r.byte();
-                requireOpen();
-                if (!cpu)
-                    fatal("trace: context switch without a timing "
-                          "model");
-                cpu->contextSwitch(lazy != 0);
-                out.fault.ctxSwitches++;
-                break;
-              }
+    while (!r.atEnd()) {
+        switch (Tag t = r.tag(); t) {
+          case Tag::SessionStart: {
+            take(1);
+            uint64_t idx = r.var();
+            uint8_t ringFault = r.byte();
+            uint32_t drop = 0;
+            uint32_t dup = 0;
+            uint64_t seed = 0;
+            if (ringFault) {
+                drop = static_cast<uint32_t>(r.var());
+                dup = static_cast<uint32_t>(r.var());
+                seed = r.var();
             }
+            if (open)
+                fatal("trace: SessionStart inside an open "
+                      "session");
+            if (idx != c.session || idx != expectNext)
+                fatal("trace: session %llu out of order "
+                      "(expected %u)",
+                      static_cast<unsigned long long>(idx),
+                      expectNext);
+            open = true;
+            expectNext = static_cast<uint32_t>(idx) + 1;
+            if (detOn) {
+                // One Detector per shard, reset() between
+                // sessions (the pooled-frames fast path): replay
+                // pays decode + detection per event, not a
+                // detector rebuild per session.
+                if (!det)
+                    det.emplace(eng.prog);
+                else
+                    det->reset();
+                if (cpu)
+                    det->setRequestRing(&cpu->requestRing());
+            }
+            if (ringFault) {
+                if (!cpu)
+                    fatal("trace: ring-fault arming without a "
+                          "timing model");
+                cpu->requestRing().setFault(drop, dup, seed);
+            }
+            break;
+          }
+          case Tag::SessionEnd: {
+            take(1);
+            uint64_t steps = r.var();
+            uint64_t inputEvents = r.var();
+            uint64_t memTampers = r.var();
+            uint64_t instructions = r.var();
+            uint64_t blocks = r.var();
+            uint64_t flushes = r.var();
+            requireOpen();
+            open = false;
+            out.runs++;
+            out.steps += steps;
+            out.inputEvents += inputEvents;
+            out.fault.memTampers += memTampers;
+            out.vmInstructions += instructions;
+            out.vmBlocks += blocks;
+            out.vmFlushes += flushes;
+            if (det) {
+                out.det.merge(det->stats());
+                out.alarms.insert(out.alarms.end(),
+                                  det->alarms().begin(),
+                                  det->alarms().end());
+            }
+            funcStack.clear();
+            break;
+          }
+          case Tag::FuncEnter: {
+            take(1);
+            uint64_t f = r.var();
+            requireOpen();
+            if (f >= eng.prog.mod.functions.size())
+                fatal("trace: function id %llu out of range",
+                      static_cast<unsigned long long>(f));
+            funcStack.push_back(static_cast<FuncId>(f));
+            if (det)
+                det->onFunctionEnter(static_cast<FuncId>(f));
+            if (cpu)
+                cpu->onFunctionEnter(static_cast<FuncId>(f));
+            break;
+          }
+          case Tag::FuncExit: {
+            take(1);
+            uint64_t f = r.var();
+            requireOpen();
+            if (funcStack.empty() || funcStack.back() != f)
+                fatal("trace: unbalanced function exit");
+            funcStack.pop_back();
+            if (det)
+                det->onFunctionExit(static_cast<FuncId>(f));
+            if (cpu)
+                cpu->onFunctionExit(static_cast<FuncId>(f));
+            break;
+          }
+          case Tag::BranchTaken:
+          case Tag::BranchNotTaken: {
+            take(1);
+            uint64_t pc =
+                prevPc + static_cast<uint64_t>(r.svar()) * 4;
+            requireOpen();
+            const PcEntry &e = eng.at(pc);
+            if (e.inst->op != Op::Br)
+                fatal("trace: branch record at non-branch pc");
+            if (funcStack.empty() || funcStack.back() != e.func)
+                fatal("trace: branch outside its function's "
+                      "activation");
+            bool taken = t == Tag::BranchTaken;
+            if (det)
+                det->onBranch(e.func, pc, taken);
+            if (cpu) {
+                cpu->onBranch(e.func, pc, taken);
+                cpu->onInst(*e.inst, 0, 0, false);
+            }
+            prevPc = pc;
+            break;
+          }
+          case Tag::Inst: {
+            take(1);
+            uint64_t pc =
+                prevPc + static_cast<uint64_t>(r.svar()) * 4;
+            requireOpen();
+            const PcEntry &e = eng.at(pc);
+            if (e.inst->op == Op::Br || isMemOp(e.inst->op))
+                fatal("trace: plain record for a branch/memory "
+                      "instruction");
+            if (cpu)
+                cpu->onInst(*e.inst, 0, 0, false);
+            prevPc = pc;
+            break;
+          }
+          case Tag::InstRun: {
+            uint64_t n = r.var();
+            take(n); // also rejects absurd counts up front
+            requireOpen();
+            for (uint64_t i = 0; i < n; i++) {
+                uint64_t pc = prevPc + 4;
+                const PcEntry &e = eng.at(pc);
+                if (e.inst->op == Op::Br || isMemOp(e.inst->op))
+                    fatal("trace: plain record for a "
+                          "branch/memory instruction");
+                if (cpu)
+                    cpu->onInst(*e.inst, 0, 0, false);
+                prevPc = pc;
+            }
+            break;
+          }
+          case Tag::MemInst: {
+            take(1);
+            uint64_t pc =
+                prevPc + static_cast<uint64_t>(r.svar()) * 4;
+            uint64_t addr =
+                prevAddr + static_cast<uint64_t>(r.svar());
+            requireOpen();
+            const PcEntry &e = eng.at(pc);
+            if (!isMemOp(e.inst->op))
+                fatal("trace: data-access record at a "
+                      "non-memory instruction");
+            if (cpu)
+                cpu->onInst(
+                    *e.inst, addr,
+                    static_cast<uint32_t>(e.inst->size),
+                    e.inst->op == Op::Load ||
+                        e.inst->op == Op::LoadInd);
+            prevPc = pc;
+            prevAddr = addr;
+            break;
+          }
+          case Tag::BsvFlip: {
+            take(1);
+            uint64_t slot = r.var();
+            uint8_t state = r.byte();
+            requireOpen();
+            if (state > 2)
+                fatal("trace: bad BSV state %u", state);
+            if (det &&
+                det->injectBsvState(
+                    static_cast<uint32_t>(slot),
+                    static_cast<BsvState>(state)))
+                out.fault.bsvFlips++;
+            break;
+          }
+          case Tag::CtxSwitch: {
+            take(1);
+            uint8_t lazy = r.byte();
+            requireOpen();
+            if (!cpu)
+                fatal("trace: context switch without a timing "
+                      "model");
+            cpu->contextSwitch(lazy != 0);
+            out.fault.ctxSwitches++;
+            break;
+          }
         }
-        if (remaining != 0)
-            fatal("trace: chunk event count mismatch");
     }
+    if (remaining != 0)
+        fatal("trace: chunk event count mismatch");
+}
+
+void
+ReplayEngine::ShardCursor::finish()
+{
+    if (finished)
+        fatal("replay: finish() called twice");
+    finished = true;
     if (open)
         fatal("trace: truncated (a session has no end record)");
-    if (out.runs != end - begin)
-        fatal("trace: shard %u replayed %llu of %u sessions", shard,
-              static_cast<unsigned long long>(out.runs), end - begin);
+    if (out.runs != end_ - begin_)
+        fatal("trace: shard %u replayed %llu of %u sessions", shard_,
+              static_cast<unsigned long long>(out.runs),
+              end_ - begin_);
 
     if (cpu) {
         out.tim = cpu->stats();
-        if (m.faultCaptured()) {
+        if (eng.meta_.faultCaptured()) {
             out.fault.ringDrops = cpu->requestRing().faultDropCount();
             out.fault.ringDups = cpu->requestRing().faultDupCount();
         }
     }
+}
+
+void
+ReplayEngine::replayShard(uint32_t shard, ReplayShardResult &out) const
+{
+    if (!file_)
+        fatal("replay: replayShard on a streaming engine");
+    ShardCursor cur(*this, shard);
+    for (const ChunkRef &c : file_->chunks()) {
+        if (c.session < cur.begin() || c.session >= cur.end())
+            continue;
+        cur.feed(c, file_->payload(c));
+    }
+    cur.finish();
+    out = std::move(cur.result());
 }
 
 } // namespace replay

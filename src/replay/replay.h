@@ -23,6 +23,13 @@
  * split the file at chunk boundaries. Results merge in shard order —
  * deterministic for any worker-thread count, like the Session facade.
  *
+ * The decode loop lives in ShardCursor, a push-style consumer fed one
+ * chunk at a time. Offline replayShard() iterates a loaded TraceFile
+ * into a cursor; the detection service (src/serve) feeds the same
+ * cursor from socket bytes as they arrive — one decode loop, so
+ * ingest-time detection is bit-identical to offline replay by
+ * construction, not by parallel maintenance.
+ *
  * Defensive decoding: the engine validates every PC against the
  * module's instruction index, every function id, and its own shadow
  * call stack BEFORE forwarding to the detector, so a corrupt-but-
@@ -31,6 +38,7 @@
  */
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/program.h"
@@ -74,16 +82,77 @@ class ReplayEngine
      */
     ReplayEngine(const TraceFile &file, const CompiledProgram &prog);
 
+    /**
+     * Streaming variant: geometry and flags come from an
+     * already-parsed header, chunks arrive later through
+     * ShardCursor::feed(). @p prog must outlive the engine; @p meta
+     * is copied. Same module content-hash check as the file ctor.
+     */
+    ReplayEngine(const TraceMeta &meta, const CompiledProgram &prog);
+
     /** Session/shard geometry recorded at capture time. */
-    uint32_t sessions() const { return file.meta().sessions; }
-    uint32_t shards() const { return file.meta().shards; }
+    uint32_t sessions() const { return meta_.sessions; }
+    uint32_t shards() const { return meta_.shards; }
+    const TraceMeta &meta() const { return meta_; }
 
     /**
      * Replay shard @p shard (sessions [shard*S/K, (shard+1)*S/K))
      * into @p out. Const and self-contained: shards replay
-     * concurrently. Throws FatalError on malformed records.
+     * concurrently. Throws FatalError on malformed records. Requires
+     * the TraceFile ctor (streaming engines use ShardCursor).
      */
     void replayShard(uint32_t shard, ReplayShardResult &out) const;
+
+    /**
+     * Push-style decoder for one shard: feed() chunks in file order,
+     * then finish() once. The chunk-iteration body of replayShard()
+     * and the service's ingest actors are the same code path. Holds a
+     * reference to the engine; not movable across the engine's
+     * lifetime. Throws FatalError on malformed records — after a
+     * throw the cursor is poisoned and must be discarded.
+     */
+    class ShardCursor
+    {
+      public:
+        ShardCursor(const ReplayEngine &eng, uint32_t shard);
+
+        /** First / one-past-last session this shard owns. */
+        uint32_t begin() const { return begin_; }
+        uint32_t end() const { return end_; }
+
+        /**
+         * Decode one chunk. @p payload points at c.payloadLen bytes
+         * (CRC already verified by the framing layer); the chunk's
+         * session must be in [begin(), end()) and arrive in
+         * non-decreasing session order.
+         */
+        void feed(const ChunkRef &c, const uint8_t *payload);
+
+        /**
+         * Seal the shard: verifies every owned session ran to its
+         * end record and harvests timing/fault stats into result().
+         */
+        void finish();
+
+        ReplayShardResult &result() { return out; }
+        const ReplayShardResult &result() const { return out; }
+
+      private:
+        const ReplayEngine &eng;
+        uint32_t shard_;
+        uint32_t begin_;
+        uint32_t end_;
+        std::optional<CpuModel> cpu;
+        std::optional<Detector> det;
+        // Shadow call stack: validated BEFORE the detector sees an
+        // event, so corrupt-but-CRC-valid traces fail with FatalError
+        // instead of tripping the detector's internal invariants.
+        std::vector<FuncId> funcStack;
+        bool open = false;
+        bool finished = false;
+        uint32_t expectNext;
+        ReplayShardResult out;
+    };
 
   private:
     struct PcEntry
@@ -95,8 +164,11 @@ class ReplayEngine
     /** Decoded instruction at @p pc; FatalError if out of range. */
     const PcEntry &at(uint64_t pc) const;
 
-    const TraceFile &file;
+    void buildPcIndex();
+
+    const TraceFile *file_; ///< null for streaming engines
     const CompiledProgram &prog;
+    TraceMeta meta_;
     /** Flat (pc - basePc) / 4 index over every instruction. */
     std::vector<PcEntry> pcIndex;
     uint64_t basePc = 0;

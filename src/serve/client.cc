@@ -1,0 +1,218 @@
+#include "serve/client.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/diag.h"
+
+namespace ipds {
+namespace serve {
+
+Client::~Client()
+{
+    close();
+}
+
+void
+Client::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+void
+Client::connect(const std::string &socketPath)
+{
+    if (fd >= 0)
+        fatal("client: already connected");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof addr.sun_path)
+        fatal("client: socket path too long: '%s'",
+              socketPath.c_str());
+    std::memcpy(addr.sun_path, socketPath.c_str(),
+                socketPath.size() + 1);
+    int s = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (s < 0)
+        fatal("client: socket(): %s", std::strerror(errno));
+    if (::connect(s, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) < 0) {
+        int e = errno;
+        ::close(s);
+        fatal("client: cannot connect '%s': %s", socketPath.c_str(),
+              std::strerror(e));
+    }
+    fd = s;
+}
+
+void
+Client::writeAll(const uint8_t *p, size_t bytes)
+{
+    if (fd < 0)
+        fatal("client: not connected");
+    size_t off = 0;
+    while (off < bytes) {
+        // MSG_NOSIGNAL: a server that rejects the stream closes its
+        // end while we may still be sending — that must surface as
+        // EPIPE, not kill the process with SIGPIPE.
+        ssize_t w = ::send(fd, p + off, bytes - off, MSG_NOSIGNAL);
+        if (w > 0) {
+            off += static_cast<size_t>(w);
+            continue;
+        }
+        if (w < 0 && errno == EINTR)
+            continue;
+        if (w < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+            // The peer hung up. On AF_UNIX any verdict it sent before
+            // closing (the Error frame) is still buffered for us to
+            // read, so stop sending and let the next readFrame()
+            // report what the server actually said.
+            return;
+        }
+        fatal("client: write failed: %s", std::strerror(errno));
+    }
+}
+
+void
+Client::sendRaw(const std::vector<uint8_t> &bytes)
+{
+    writeAll(bytes.data(), bytes.size());
+}
+
+void
+Client::hello(const std::string &tenant)
+{
+    std::vector<uint8_t> f =
+        wire::encodeTextFrame(wire::FrameType::Hello, tenant);
+    writeAll(f.data(), f.size());
+}
+
+void
+Client::sendTraceBytes(const uint8_t *p, size_t bytes,
+                       size_t frameBytes)
+{
+    if (frameBytes == 0)
+        frameBytes = 64 * 1024;
+    std::vector<uint8_t> f;
+    for (size_t off = 0; off < bytes; off += frameBytes) {
+        size_t n = std::min(frameBytes, bytes - off);
+        f.clear();
+        wire::appendFrame(f, wire::FrameType::TraceData, p + off, n);
+        writeAll(f.data(), f.size());
+    }
+}
+
+void
+Client::sendTraceFile(const std::string &path, size_t frameBytes)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("client: cannot open trace '%s'", path.c_str());
+    std::vector<uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (in.bad())
+        fatal("client: read error on '%s'", path.c_str());
+    sendTraceBytes(bytes.data(), bytes.size(), frameBytes);
+}
+
+wire::FrameType
+Client::readFrame(std::vector<uint8_t> &payload)
+{
+    wire::Frame f;
+    uint8_t buf[16384];
+    for (;;) {
+        wire::DecodeStatus st = dec.next(f);
+        if (st == wire::DecodeStatus::Frame) {
+            payload.assign(f.payload, f.payload + f.payloadLen);
+            return f.type;
+        }
+        if (st != wire::DecodeStatus::NeedMore)
+            fatal("client: malformed server frame");
+        ssize_t r = read(fd, buf, sizeof buf);
+        if (r > 0) {
+            dec.append(buf, static_cast<size_t>(r));
+            continue;
+        }
+        if (r < 0 && errno == EINTR)
+            continue;
+        fatal("client: connection closed by server%s",
+              dec.buffered() ? " mid-frame (truncated)" : "");
+    }
+}
+
+namespace {
+
+/** "key value" line scanner over the server's text report. */
+uint64_t
+reportField(const std::string &text, const std::string &key,
+            int base = 10)
+{
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        if (text.compare(pos, key.size(), key) == 0 &&
+            pos + key.size() < eol &&
+            text[pos + key.size()] == ' ') {
+            return std::strtoull(
+                text.c_str() + pos + key.size() + 1, nullptr, base);
+        }
+        pos = eol + 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+StreamResult
+Client::end()
+{
+    std::vector<uint8_t> f =
+        wire::encodeTextFrame(wire::FrameType::StreamEnd, "");
+    writeAll(f.data(), f.size());
+
+    std::vector<uint8_t> payload;
+    wire::FrameType t = readFrame(payload);
+    StreamResult r;
+    r.text.assign(payload.begin(), payload.end());
+    if (t == wire::FrameType::Result) {
+        r.ok = reportField(r.text, "ok") == 1;
+        r.sessions = reportField(r.text, "sessions");
+        r.alarms = reportField(r.text, "alarms");
+        r.alarmDigest = reportField(r.text, "alarm_digest", 16);
+    } else if (t == wire::FrameType::Error) {
+        r.ok = false;
+    } else {
+        fatal("client: unexpected frame type %u from server",
+              static_cast<unsigned>(t));
+    }
+    return r;
+}
+
+std::string
+Client::statsz()
+{
+    std::vector<uint8_t> f =
+        wire::encodeTextFrame(wire::FrameType::StatsReq, "");
+    writeAll(f.data(), f.size());
+    std::vector<uint8_t> payload;
+    wire::FrameType t = readFrame(payload);
+    if (t != wire::FrameType::Stats)
+        fatal("client: expected Stats frame, got %u",
+              static_cast<unsigned>(t));
+    return std::string(payload.begin(), payload.end());
+}
+
+} // namespace serve
+} // namespace ipds

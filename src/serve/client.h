@@ -1,0 +1,99 @@
+#ifndef IPDS_SERVE_CLIENT_H
+#define IPDS_SERVE_CLIENT_H
+
+/**
+ * @file
+ * Blocking client for the detection service: connect, name your
+ * tenant, stream a recorded trace, read the verdict.
+ *
+ *   serve::Client c;
+ *   c.connect("/tmp/ipds.sock");
+ *   c.hello("tenant-a");
+ *   c.sendTraceFile("run.ipds");
+ *   serve::StreamResult r = c.end();
+ *   if (!r.ok) ...            // server rejected the stream
+ *   if (r.alarms > 0) ...     // detection fired at ingest
+ *
+ * The client is intentionally dumb: it frames bytes (serve/wire.h)
+ * and parses the server's text report. All detection intelligence is
+ * server-side; the trace bytes travel unmodified, so what the server
+ * detects is exactly what offline replay of the same file detects.
+ * One Client is one connection; not thread-safe.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/wire.h"
+
+namespace ipds {
+namespace serve {
+
+/** Parsed Result/Error report for one streamed trace. */
+struct StreamResult
+{
+    bool ok = false;          ///< stream accepted and fully detected
+    uint64_t sessions = 0;    ///< sessions the server replayed
+    uint64_t alarms = 0;      ///< alarms raised at ingest
+    uint64_t alarmDigest = 0; ///< order-sensitive FNV digest
+    std::string text;         ///< full report (metrics text after ok)
+};
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect to the server socket. FatalError on failure. */
+    void connect(const std::string &socketPath);
+
+    /** Open a stream as @p tenant (first frame on the wire). */
+    void hello(const std::string &tenant);
+
+    /**
+     * Stream raw trace bytes, split into TraceData frames of at most
+     * @p frameBytes payload (0 = 64 KiB; must not exceed the
+     * server's frame cap).
+     */
+    void sendTraceBytes(const uint8_t *p, size_t bytes,
+                        size_t frameBytes = 0);
+
+    /** sendTraceBytes() over a whole trace file. */
+    void sendTraceFile(const std::string &path,
+                       size_t frameBytes = 0);
+
+    /**
+     * Close the stream (StreamEnd) and block for the server's
+     * Result/Error report. FatalError only on transport failure —
+     * a rejected stream returns ok = false with the diagnostic in
+     * text.
+     */
+    StreamResult end();
+
+    /** Fetch the server's /statsz text (StatsReq/Stats). */
+    std::string statsz();
+
+    /** Send pre-encoded bytes verbatim (tests: malformed frames). */
+    void sendRaw(const std::vector<uint8_t> &bytes);
+
+    void close();
+    bool connected() const { return fd >= 0; }
+
+  private:
+    void writeAll(const uint8_t *p, size_t bytes);
+    /** Block for the next frame; payload copied into @p payload. */
+    wire::FrameType readFrame(std::vector<uint8_t> &payload);
+
+    int fd = -1;
+    wire::FrameDecoder dec;
+};
+
+} // namespace serve
+} // namespace ipds
+
+#endif // IPDS_SERVE_CLIENT_H

@@ -1,0 +1,1011 @@
+#include "serve/server.h"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <thread>
+#include <unordered_map>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/export.h"
+#include "obs/names.h"
+#include "replay/replay.h"
+#include "support/diag.h"
+#include "support/threadpool.h"
+
+namespace ipds {
+namespace serve {
+
+namespace n = obs::names;
+using Clock = std::chrono::steady_clock;
+
+uint64_t
+alarmDigest(const std::vector<Alarm> &alarms)
+{
+    uint64_t h = 0xcbf29ce484222325ull; // FNV-1a
+    auto mix = [&h](uint64_t v) {
+        for (int i = 0; i < 8; i++) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    for (const Alarm &a : alarms) {
+        mix(a.func);
+        mix(a.pc);
+        mix(a.actualTaken ? 1 : 0);
+        mix(static_cast<uint64_t>(a.expected));
+        mix(a.branchIndex);
+    }
+    return h;
+}
+
+namespace {
+
+/** Self-pipe messages: actors -> ingest thread. */
+enum class Msg : uint8_t
+{
+    Done = 1,   ///< stream finished OK: send its Result frame
+    Fail = 2,   ///< stream rejected: send its Error frame, close
+    Resume = 3, ///< queue drained: re-enable POLLIN on the conn
+    Stop = 4,   ///< requestStop(): shut the ingest loop down
+};
+
+/** One TraceData payload (or the end-of-stream marker). */
+struct Segment
+{
+    std::vector<uint8_t> bytes;
+    Clock::time_point enq;
+    bool eof = false;
+};
+
+/** Per-stream state. The ingest thread frames; one actor decodes. */
+struct Stream
+{
+    uint32_t connId = 0;
+    std::string tenant;
+    Clock::time_point started;
+
+    // Actor-only decode state (the actor invariant — at most one
+    // scheduled task per stream — is the only lock it needs).
+    std::vector<uint8_t> tbuf;
+    size_t tpos = 0;
+    bool haveHeader = false;
+    std::unique_ptr<replay::ReplayEngine> engine;
+    std::unique_ptr<replay::ReplayEngine::ShardCursor> cursor;
+    uint32_t curShard = 0;
+    std::vector<replay::ReplayShardResult> shardResults;
+    uint64_t truncatedChunks = 0;
+    uint64_t chunkCrcFailures = 0;
+
+    // Shared queue + flags (guarded by m).
+    std::mutex m;
+    std::deque<Segment> q;
+    bool scheduled = false;
+    bool pausedByServer = false;
+    bool failed = false;
+    bool finished = false;
+
+    // Written by the finishing actor before it posts Done/Fail; read
+    // by the ingest thread after (the self-pipe is the fence).
+    std::string reportText;
+
+    // Transport meters (ingest thread until finish, then published).
+    uint64_t frames = 0;
+    uint64_t bytes = 0;
+    uint64_t stalls = 0;
+};
+
+struct Conn
+{
+    int fd = -1;
+    uint32_t id = 0;
+    std::unique_ptr<wire::FrameDecoder> dec;
+    std::vector<uint8_t> outbuf;
+    size_t outOff = 0;
+    std::shared_ptr<Stream> stream;
+    bool paused = false;  ///< POLLIN off (admission control)
+    bool closing = false; ///< flush outbuf, then close
+};
+
+struct TenantState
+{
+    uint64_t streams = 0;
+    std::vector<Alarm> alarms;
+    DetectorStats det;
+    TimingStats tim;
+    FaultStats fault;
+    obs::MetricsRegistry reg; ///< replay-shaped, merged per stream
+    uint64_t frames = 0;
+    uint64_t bytes = 0;
+    uint64_t stalls = 0;
+};
+
+void
+setNonBlock(int fd)
+{
+    int fl = fcntl(fd, F_GETFL, 0);
+    if (fl >= 0)
+        fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+}
+
+} // namespace
+
+struct Server::Impl
+{
+    const CompiledProgram &prog;
+    ServerConfig cfg;
+    ThreadPool pool;
+
+    int listenFd = -1;
+    int pipeRd = -1;
+    int pipeWr = -1;
+    std::thread ingest;
+    bool started = false;
+    bool joined = false;
+
+    // Ingest-thread-only state.
+    std::unordered_map<uint32_t, Conn> conns;
+    uint32_t nextConnId = 1;
+
+    // Shared state.
+    mutable std::mutex mtx;
+    std::condition_variable cv;
+    bool stopped = false; ///< ingest loop exited
+    uint64_t completed = 0;
+    uint64_t failedStreams = 0;
+    std::map<std::string, TenantState> tenants;
+    obs::MetricsRegistry reg;
+    std::vector<uint64_t> latencySamples;
+    obs::MetricHandle hAccepted, hCompleted, hFailed, hFrames,
+        hBytes, hFrameCrc, hOversized, hBadFrames, hStalls, hResumes,
+        hMaxActive, hLatency;
+
+    Impl(const CompiledProgram &p, ServerConfig c)
+        : prog(p), cfg(std::move(c)), pool(cfg.threads)
+    {
+        hAccepted = reg.counter(n::kServeStreamsAccepted);
+        hCompleted = reg.counter(n::kServeStreamsCompleted);
+        hFailed = reg.counter(n::kServeStreamsFailed);
+        hFrames = reg.counter(n::kServeFramesIn);
+        hBytes = reg.counter(n::kServeBytesIn);
+        hFrameCrc = reg.counter(n::kServeFrameCrcFailures);
+        hOversized = reg.counter(n::kServeOversizedFrames);
+        hBadFrames = reg.counter(n::kServeBadFrames);
+        hStalls = reg.counter(n::kServeBackpressureStalls);
+        hResumes = reg.counter(n::kServeResumes);
+        hMaxActive = reg.gauge(n::kServeMaxActiveStreams);
+        hLatency = reg.histogram(n::kServeIngestLatencyHist);
+        if (cfg.maxFrameBytes == 0)
+            cfg.maxFrameBytes = wire::kDefaultMaxFrameBytes;
+        if (cfg.pendingChunkCap == 0)
+            cfg.pendingChunkCap = 64;
+    }
+
+    // ---- self-pipe ---------------------------------------------------
+
+    void postMsg(Msg t, uint32_t connId)
+    {
+        uint8_t b[5];
+        b[0] = static_cast<uint8_t>(t);
+        replay::putU32(b + 1, connId);
+        // Non-blocking by design: a full pipe would mean thousands of
+        // unread 5-byte messages; dropping a resume/done there is
+        // recovered by the close path, never a hang.
+        ssize_t rc = write(pipeWr, b, sizeof b);
+        (void)rc;
+    }
+
+    // ---- actor side --------------------------------------------------
+
+    void runActor(const std::shared_ptr<Stream> &s)
+    {
+        for (;;) {
+            Segment seg;
+            bool resume = false;
+            {
+                std::lock_guard<std::mutex> lk(s->m);
+                if (s->q.empty()) {
+                    s->scheduled = false;
+                    return;
+                }
+                seg = std::move(s->q.front());
+                s->q.pop_front();
+                if (s->pausedByServer &&
+                    s->q.size() <= cfg.pendingChunkCap / 2) {
+                    s->pausedByServer = false;
+                    resume = true;
+                }
+            }
+            if (resume)
+                postMsg(Msg::Resume, s->connId);
+
+            bool skip;
+            {
+                std::lock_guard<std::mutex> lk(s->m);
+                skip = s->failed || s->finished;
+            }
+            if (!skip) {
+                try {
+                    if (seg.eof)
+                        finishStream(s);
+                    else
+                        ingestBytes(*s, seg.bytes);
+                } catch (const FatalError &e) {
+                    failStream(s, e.what());
+                }
+                uint64_t us = static_cast<uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::microseconds>(Clock::now() -
+                                                   seg.enq)
+                        .count());
+                std::lock_guard<std::mutex> lk(mtx);
+                reg.observe(hLatency, us);
+                latencySamples.push_back(us);
+            }
+        }
+    }
+
+    /** Advance the shard cursor chain to own @p session. */
+    void advanceShard(Stream &s, uint32_t session)
+    {
+        while (session >= s.cursor->end()) {
+            s.cursor->finish();
+            s.shardResults[s.curShard] =
+                std::move(s.cursor->result());
+            s.curShard++;
+            if (s.curShard >= s.engine->shards())
+                fatal("trace: chunk session %u past the last shard",
+                      session);
+            s.cursor = std::make_unique<
+                replay::ReplayEngine::ShardCursor>(*s.engine,
+                                                   s.curShard);
+        }
+    }
+
+    void ingestBytes(Stream &s, const std::vector<uint8_t> &bytes)
+    {
+        s.tbuf.insert(s.tbuf.end(), bytes.begin(), bytes.end());
+        std::string err;
+        if (!s.haveHeader) {
+            replay::TraceMeta meta;
+            size_t used = 0;
+            switch (replay::parseHeader(s.tbuf.data(), s.tbuf.size(),
+                                        meta, used, &err)) {
+              case replay::ParseStatus::Ok:
+                s.engine = std::make_unique<replay::ReplayEngine>(
+                    meta, prog); // foreign-module check throws here
+                s.cursor = std::make_unique<
+                    replay::ReplayEngine::ShardCursor>(*s.engine, 0);
+                s.shardResults.resize(meta.shards);
+                s.tpos = used;
+                s.haveHeader = true;
+                break;
+              case replay::ParseStatus::NeedMore:
+                return;
+              default:
+                fatal("trace: %s", err.c_str());
+            }
+        }
+        for (;;) {
+            replay::ChunkRef c;
+            size_t used = 0;
+            replay::ParseStatus st = replay::parseChunk(
+                s.tbuf.data() + s.tpos, s.tbuf.size() - s.tpos, c,
+                used, &err);
+            if (st == replay::ParseStatus::NeedMore)
+                break;
+            if (st == replay::ParseStatus::ChunkCrcMismatch) {
+                s.chunkCrcFailures++;
+                fatal("trace: %s", err.c_str());
+            }
+            if (st != replay::ParseStatus::Ok)
+                fatal("trace: %s", err.c_str());
+            advanceShard(s, c.session);
+            s.cursor->feed(c, s.tbuf.data() + s.tpos + c.payloadOff);
+            s.tpos += used;
+        }
+        // Keep at most one partial chunk buffered.
+        if (s.tpos > 0) {
+            s.tbuf.erase(s.tbuf.begin(),
+                         s.tbuf.begin() +
+                             static_cast<ptrdiff_t>(s.tpos));
+            s.tpos = 0;
+        }
+    }
+
+    void finishStream(const std::shared_ptr<Stream> &s)
+    {
+        if (!s->haveHeader) {
+            s->truncatedChunks++;
+            fatal("trace: truncated trace header at stream end");
+        }
+        if (s->tpos != s->tbuf.size()) {
+            s->truncatedChunks++;
+            fatal("trace: truncated chunk at stream end");
+        }
+        // Seal the remaining shards; finish() fatals if any owned
+        // session never ran to its end record.
+        for (;;) {
+            s->cursor->finish();
+            s->shardResults[s->curShard] =
+                std::move(s->cursor->result());
+            s->curShard++;
+            if (s->curShard >= s->engine->shards())
+                break;
+            s->cursor = std::make_unique<
+                replay::ReplayEngine::ShardCursor>(*s->engine,
+                                                   s->curShard);
+        }
+
+        const replay::TraceMeta &m = s->engine->meta();
+        double secs = std::chrono::duration<double>(Clock::now() -
+                                                    s->started)
+                          .count();
+
+        // Aggregate in shard order, building the per-stream registry
+        // in EXACTLY the offline-replay registration order — the
+        // bit-identity contract is checked by diffing this text
+        // against Session ReplayPlan metrics.
+        DetectorStats det;
+        TimingStats tim;
+        FaultStats fault;
+        std::vector<Alarm> alarms;
+        obs::MetricsRegistry sreg;
+        uint64_t totalEvents = 0;
+        uint64_t sessionsRun = 0;
+        for (const replay::ReplayShardResult &r : s->shardResults) {
+            det.merge(r.det);
+            tim.merge(r.tim);
+            fault.merge(r.fault);
+            alarms.insert(alarms.end(), r.alarms.begin(),
+                          r.alarms.end());
+            totalEvents += r.events;
+            sessionsRun += r.runs;
+
+            obs::MetricsRegistry reg1;
+            reg1.add(reg1.counter(n::kSessRuns), r.runs);
+            reg1.add(reg1.counter(n::kSessSteps), r.steps);
+            reg1.add(reg1.counter(n::kSessInputEvents),
+                     r.inputEvents);
+            reg1.add(reg1.counter(n::kSessTraceDropped), 0);
+            reg1.add(reg1.counter(n::kVmInstructions),
+                     r.vmInstructions);
+            reg1.add(reg1.counter(n::kVmBlocks), r.vmBlocks);
+            reg1.add(reg1.counter(n::kVmEventBatchFlushes),
+                     r.vmFlushes);
+            if (m.detectorOn())
+                obs::exportDetectorStats(r.det, r.alarms.size(),
+                                         reg1);
+            if (m.hasTiming)
+                obs::exportTimingStats(r.tim, reg1);
+            if (m.faultCaptured())
+                obs::exportFaultStats(r.fault, reg1);
+            reg1.add(reg1.counter(n::kReplayChunks), r.chunks);
+            reg1.add(reg1.counter(n::kReplayBytes), r.bytes);
+            reg1.add(reg1.counter(n::kReplayEvents), r.events);
+            sreg.merge(reg1);
+        }
+        sreg.add(sreg.counter(n::kReplayBytes),
+                 replay::headerBytes(m));
+        sreg.add(sreg.counter(n::kReplaySessions), m.sessions);
+        sreg.add(sreg.counter(n::kReplayCrcFailures),
+                 s->chunkCrcFailures);
+        sreg.add(sreg.counter(n::kReplayTruncatedChunks),
+                 s->truncatedChunks);
+        sreg.add(sreg.counter(n::kReplayVersionMismatches), 0);
+        sreg.set(sreg.gauge(n::kReplayEventsPerSec),
+                 secs > 0.0
+                     ? static_cast<uint64_t>(totalEvents / secs)
+                     : 0);
+
+        std::string report = strprintf(
+            "ok 1\ntenant %s\nsessions %llu\nalarms %llu\n"
+            "alarm_digest 0x%016llx\n",
+            s->tenant.c_str(),
+            static_cast<unsigned long long>(sessionsRun),
+            static_cast<unsigned long long>(alarms.size()),
+            static_cast<unsigned long long>(alarmDigest(alarms)));
+        report += sreg.toText();
+
+        uint64_t frames, bytes, stalls;
+        {
+            std::lock_guard<std::mutex> lk(s->m);
+            s->finished = true;
+            s->reportText = std::move(report);
+            frames = s->frames;
+            bytes = s->bytes;
+            stalls = s->stalls;
+        }
+        // Post Done BEFORE waking waitForStreams(): a waiter may call
+        // requestStop() the moment the count trips, and the self-pipe
+        // is FIFO — posting first guarantees the ingest thread sends
+        // this stream's Result frame before it sees Stop.
+        postMsg(Msg::Done, s->connId);
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            TenantState &t = tenants[s->tenant];
+            t.streams++;
+            t.det.merge(det);
+            t.tim.merge(tim);
+            t.fault.merge(fault);
+            t.alarms.insert(t.alarms.end(), alarms.begin(),
+                            alarms.end());
+            t.reg.merge(sreg);
+            t.frames += frames;
+            t.bytes += bytes;
+            t.stalls += stalls;
+            completed++;
+            reg.add(hCompleted);
+            cv.notify_all();
+        }
+    }
+
+    void failStream(const std::shared_ptr<Stream> &s,
+                    const std::string &why)
+    {
+        uint64_t frames, bytes, stalls;
+        {
+            std::lock_guard<std::mutex> lk(s->m);
+            if (s->failed || s->finished)
+                return;
+            s->failed = true;
+            s->reportText = why;
+            frames = s->frames;
+            bytes = s->bytes;
+            stalls = s->stalls;
+        }
+        // Same ordering contract as finishStream: the Error frame's
+        // Fail message must precede any Stop a woken waiter posts.
+        postMsg(Msg::Fail, s->connId);
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            if (!s->tenant.empty()) {
+                TenantState &t = tenants[s->tenant];
+                t.frames += frames;
+                t.bytes += bytes;
+                t.stalls += stalls;
+            }
+            failedStreams++;
+            reg.add(hFailed);
+            cv.notify_all();
+        }
+    }
+
+    // ---- ingest thread -----------------------------------------------
+
+    void sendFrame(Conn &c, wire::FrameType t, const std::string &text)
+    {
+        wire::appendFrame(
+            c.outbuf, t,
+            reinterpret_cast<const uint8_t *>(text.data()),
+            text.size());
+        flushOut(c);
+    }
+
+    /** Write as much of outbuf as the socket takes (rest on POLLOUT). */
+    void flushOut(Conn &c)
+    {
+        while (c.outOff < c.outbuf.size()) {
+            // MSG_NOSIGNAL: a client that drops mid-reply must give
+            // EPIPE, never SIGPIPE the whole server.
+            ssize_t w = ::send(c.fd, c.outbuf.data() + c.outOff,
+                               c.outbuf.size() - c.outOff,
+                               MSG_NOSIGNAL);
+            if (w > 0) {
+                c.outOff += static_cast<size_t>(w);
+                continue;
+            }
+            if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                return;
+            // Peer vanished mid-write: drop the rest, close below.
+            c.closing = true;
+            c.outOff = c.outbuf.size();
+            return;
+        }
+        c.outbuf.clear();
+        c.outOff = 0;
+    }
+
+    void closeConn(uint32_t id)
+    {
+        auto it = conns.find(id);
+        if (it == conns.end())
+            return;
+        if (it->second.stream) {
+            // A dropped client mid-stream is a failed stream — give
+            // the actor path the one-transition guard so a stream
+            // that already finished/failed is not re-counted.
+            std::shared_ptr<Stream> s = it->second.stream;
+            bool active;
+            {
+                std::lock_guard<std::mutex> lk(s->m);
+                active = !s->failed && !s->finished;
+            }
+            if (active)
+                failStream(s, "connection dropped mid-stream "
+                              "(truncated)");
+        }
+        close(it->second.fd);
+        conns.erase(it);
+    }
+
+    void rejectConn(Conn &c, const std::string &why, bool crc,
+                    bool oversized)
+    {
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            if (crc)
+                reg.add(hFrameCrc);
+            else if (oversized)
+                reg.add(hOversized);
+            else
+                reg.add(hBadFrames);
+        }
+        sendFrame(c, wire::FrameType::Error, why);
+        c.closing = true;
+    }
+
+    void handleFrame(Conn &c, const wire::Frame &f)
+    {
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            reg.add(hFrames);
+            reg.add(hBytes,
+                    wire::kFrameHeaderBytes + f.payloadLen);
+        }
+        switch (f.type) {
+          case wire::FrameType::Hello: {
+            if (c.stream) {
+                rejectConn(c, "protocol: duplicate Hello", false,
+                           false);
+                return;
+            }
+            if (f.payloadLen == 0 || f.payloadLen > 256) {
+                rejectConn(c, "protocol: bad tenant name", false,
+                           false);
+                return;
+            }
+            c.stream = std::make_shared<Stream>();
+            c.stream->connId = c.id;
+            c.stream->tenant.assign(
+                reinterpret_cast<const char *>(f.payload),
+                f.payloadLen);
+            c.stream->started = Clock::now();
+            std::lock_guard<std::mutex> lk(mtx);
+            reg.add(hAccepted);
+            uint64_t active = 0;
+            for (const auto &kv : conns)
+                if (kv.second.stream)
+                    active++;
+            reg.setMax(hMaxActive, active);
+            break;
+          }
+          case wire::FrameType::TraceData:
+          case wire::FrameType::StreamEnd: {
+            if (!c.stream) {
+                rejectConn(c, "protocol: no Hello", false, false);
+                return;
+            }
+            std::shared_ptr<Stream> s = c.stream;
+            Segment seg;
+            seg.enq = Clock::now();
+            if (f.type == wire::FrameType::StreamEnd)
+                seg.eof = true;
+            else
+                seg.bytes.assign(f.payload,
+                                 f.payload + f.payloadLen);
+            bool schedule = false;
+            bool stalled = false;
+            {
+                std::lock_guard<std::mutex> lk(s->m);
+                s->frames++;
+                s->bytes += wire::kFrameHeaderBytes + f.payloadLen;
+                s->q.push_back(std::move(seg));
+                if (!s->scheduled) {
+                    s->scheduled = true;
+                    schedule = true;
+                }
+                if (s->q.size() >= cfg.pendingChunkCap &&
+                    !c.paused) {
+                    s->pausedByServer = true;
+                    c.paused = true;
+                    s->stalls++;
+                    stalled = true;
+                }
+            }
+            if (stalled) {
+                std::lock_guard<std::mutex> lk(mtx);
+                reg.add(hStalls);
+            }
+            // Outside s->m: with a single-worker pool submit() runs
+            // the actor inline on this thread, and it takes s->m.
+            if (schedule)
+                pool.submit([this, s] { runActor(s); });
+            break;
+          }
+          case wire::FrameType::StatsReq:
+            sendFrame(c, wire::FrameType::Stats, statszLocked());
+            break;
+          default:
+            rejectConn(c, "protocol: unexpected frame type", false,
+                       false);
+            break;
+        }
+    }
+
+    void readConn(Conn &c)
+    {
+        uint8_t buf[16384];
+        for (;;) {
+            ssize_t r = read(c.fd, buf, sizeof buf);
+            if (r > 0) {
+                c.dec->append(buf, static_cast<size_t>(r));
+                wire::Frame f;
+                for (;;) {
+                    wire::DecodeStatus st = c.dec->next(f);
+                    if (st == wire::DecodeStatus::Frame) {
+                        handleFrame(c, f);
+                        if (c.closing)
+                            return;
+                        continue;
+                    }
+                    if (st == wire::DecodeStatus::NeedMore)
+                        break;
+                    const char *why =
+                        st == wire::DecodeStatus::CrcMismatch
+                        ? "frame CRC mismatch"
+                        : st == wire::DecodeStatus::Oversized
+                            ? "oversized frame"
+                            : "bad frame";
+                    if (c.stream)
+                        failStream(c.stream,
+                                   std::string("transport: ") + why);
+                    rejectConn(
+                        c, std::string("transport: ") + why,
+                        st == wire::DecodeStatus::CrcMismatch,
+                        st == wire::DecodeStatus::Oversized);
+                    return;
+                }
+                if (c.paused)
+                    return; // admission control: stop reading
+                continue;
+            }
+            if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                return;
+            if (r < 0 && errno == EINTR)
+                continue;
+            // EOF (or hard error). A partial frame here is the
+            // "connection drop mid-frame" failure path.
+            closeConn(c.id);
+            return;
+        }
+    }
+
+    void handleMsg(Msg t, uint32_t connId, bool &stopSeen)
+    {
+        if (t == Msg::Stop) {
+            stopSeen = true;
+            return;
+        }
+        auto it = conns.find(connId);
+        if (it == conns.end())
+            return;
+        Conn &c = it->second;
+        switch (t) {
+          case Msg::Resume: {
+            if (c.paused) {
+                c.paused = false;
+                std::lock_guard<std::mutex> lk(mtx);
+                reg.add(hResumes);
+            }
+            break;
+          }
+          case Msg::Done:
+          case Msg::Fail: {
+            std::string report;
+            if (c.stream) {
+                std::lock_guard<std::mutex> lk(c.stream->m);
+                report = c.stream->reportText;
+            }
+            sendFrame(c,
+                      t == Msg::Done ? wire::FrameType::Result
+                                     : wire::FrameType::Error,
+                      report);
+            if (t == Msg::Fail)
+                c.closing = true;
+            else
+                c.stream.reset(); // stream done; conn may StatsReq
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    void ingestLoop()
+    {
+        bool stopSeen = false;
+        std::vector<pollfd> pfds;
+        std::vector<uint32_t> ids;
+        while (!stopSeen) {
+            pfds.clear();
+            ids.clear();
+            pfds.push_back({pipeRd, POLLIN, 0});
+            pfds.push_back({listenFd, POLLIN, 0});
+            for (auto &kv : conns) {
+                short ev = 0;
+                if (!kv.second.paused && !kv.second.closing)
+                    ev |= POLLIN;
+                if (kv.second.outOff < kv.second.outbuf.size())
+                    ev |= POLLOUT;
+                if (ev == 0 && kv.second.closing)
+                    ev = POLLOUT; // wake to close
+                pfds.push_back({kv.second.fd, ev, 0});
+                ids.push_back(kv.first);
+            }
+            if (poll(pfds.data(),
+                     static_cast<nfds_t>(pfds.size()), -1) < 0) {
+                if (errno == EINTR)
+                    continue;
+                break;
+            }
+            if (pfds[0].revents & POLLIN) {
+                uint8_t b[5 * 64];
+                ssize_t r = read(pipeRd, b, sizeof b);
+                for (ssize_t i = 0; i + 5 <= r; i += 5)
+                    handleMsg(static_cast<Msg>(b[i]),
+                              replay::getU32(b + i + 1), stopSeen);
+            }
+            if (pfds[1].revents & POLLIN) {
+                for (;;) {
+                    int fd = accept(listenFd, nullptr, nullptr);
+                    if (fd < 0)
+                        break;
+                    setNonBlock(fd);
+                    Conn c;
+                    c.fd = fd;
+                    c.id = nextConnId++;
+                    c.dec = std::make_unique<wire::FrameDecoder>(
+                        cfg.maxFrameBytes);
+                    conns.emplace(c.id, std::move(c));
+                }
+            }
+            for (size_t i = 0; i < ids.size(); i++) {
+                auto it = conns.find(ids[i]);
+                if (it == conns.end())
+                    continue;
+                Conn &c = it->second;
+                short re = pfds[i + 2].revents;
+                if (re & POLLOUT)
+                    flushOut(c);
+                if (c.closing && c.outOff >= c.outbuf.size()) {
+                    closeConn(c.id);
+                    continue;
+                }
+                if (re & POLLIN)
+                    readConn(c); // may erase the conn
+                it = conns.find(ids[i]);
+                if (it != conns.end() &&
+                    (re & (POLLHUP | POLLERR)) &&
+                    !(re & POLLIN))
+                    closeConn(ids[i]);
+            }
+        }
+        // Shutdown: best-effort drain of queued replies first — a
+        // Result/Error frame that hit EAGAIN just before Stop must
+        // still reach its client before the socket closes.
+        for (int round = 0; round < 100; round++) {
+            bool pending = false;
+            for (auto &kv : conns) {
+                Conn &c = kv.second;
+                if (c.outOff >= c.outbuf.size())
+                    continue;
+                pollfd p{c.fd, POLLOUT, 0};
+                poll(&p, 1, 10);
+                flushOut(c);
+                if (c.outOff < c.outbuf.size())
+                    pending = true;
+            }
+            if (!pending)
+                break;
+        }
+        // Then close every socket; in-flight actors finish on the
+        // pool (their late Done/Fail messages land in a pipe nobody
+        // reads, which is fine — results are already merged).
+        std::vector<uint32_t> all;
+        for (auto &kv : conns)
+            all.push_back(kv.first);
+        for (uint32_t id : all)
+            closeConn(id);
+        close(listenFd);
+        listenFd = -1;
+        unlink(cfg.socketPath.c_str());
+        std::lock_guard<std::mutex> lk(mtx);
+        stopped = true;
+        cv.notify_all();
+    }
+
+    // ---- statsz ------------------------------------------------------
+
+    std::string statszLocked() const
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        std::string out = "# ipds_serve statsz\n";
+        out += reg.toText();
+        for (const auto &kv : tenants) {
+            const TenantState &t = kv.second;
+            out += strprintf("# tenant %s\n", kv.first.c_str());
+            obs::MetricsRegistry tr = t.reg;
+            tr.add(tr.counter(n::kTenantStreams), t.streams);
+            tr.add(tr.counter(n::kTenantFrames), t.frames);
+            tr.add(tr.counter(n::kTenantBytes), t.bytes);
+            tr.add(tr.counter(n::kTenantBackpressureStalls),
+                   t.stalls);
+            tr.add(tr.counter(n::kTenantAlarms), t.alarms.size());
+            out += tr.toText();
+        }
+        return out;
+    }
+};
+
+Server::Server(const CompiledProgram &prog, ServerConfig cfg)
+    : impl(std::make_unique<Impl>(prog, std::move(cfg)))
+{}
+
+Server::~Server()
+{
+    stopAndJoin();
+    int rd = impl->pipeRd;
+    int wr = impl->pipeWr;
+    // Destroy Impl FIRST: its ThreadPool drains queued actors, and a
+    // draining actor may still postMsg — the pipe fds must outlive
+    // the pool, so they close last.
+    impl.reset();
+    if (rd >= 0)
+        close(rd);
+    if (wr >= 0)
+        close(wr);
+}
+
+void
+Server::start()
+{
+    Impl &im = *impl;
+    if (im.started)
+        fatal("serve: start() called twice");
+    if (im.cfg.socketPath.empty())
+        fatal("serve: no socket path configured");
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (im.cfg.socketPath.size() >= sizeof addr.sun_path)
+        fatal("serve: socket path too long: '%s'",
+              im.cfg.socketPath.c_str());
+    std::memcpy(addr.sun_path, im.cfg.socketPath.c_str(),
+                im.cfg.socketPath.size() + 1);
+
+    int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("serve: socket(): %s", std::strerror(errno));
+    unlink(im.cfg.socketPath.c_str());
+    if (bind(fd, reinterpret_cast<sockaddr *>(&addr),
+             sizeof addr) < 0) {
+        int e = errno;
+        close(fd);
+        fatal("serve: cannot bind '%s': %s",
+              im.cfg.socketPath.c_str(), std::strerror(e));
+    }
+    if (listen(fd, im.cfg.listenBacklog) < 0) {
+        int e = errno;
+        close(fd);
+        fatal("serve: listen(): %s", std::strerror(e));
+    }
+    setNonBlock(fd);
+    im.listenFd = fd;
+
+    int p[2];
+    if (pipe(p) < 0) {
+        close(fd);
+        fatal("serve: pipe(): %s", std::strerror(errno));
+    }
+    im.pipeRd = p[0];
+    im.pipeWr = p[1];
+    setNonBlock(im.pipeWr);
+
+    im.started = true;
+    im.ingest = std::thread([&im] { im.ingestLoop(); });
+}
+
+void
+Server::requestStop()
+{
+    if (impl->started)
+        impl->postMsg(Msg::Stop, 0);
+}
+
+void
+Server::waitForStreams(uint64_t n)
+{
+    Impl &im = *impl;
+    std::unique_lock<std::mutex> lk(im.mtx);
+    im.cv.wait(lk, [&] {
+        return im.stopped || im.completed + im.failedStreams >= n;
+    });
+}
+
+void
+Server::stopAndJoin()
+{
+    Impl &im = *impl;
+    if (!im.started || im.joined)
+        return;
+    requestStop();
+    im.ingest.join();
+    im.joined = true;
+}
+
+uint64_t
+Server::streamsCompleted() const
+{
+    std::lock_guard<std::mutex> lk(impl->mtx);
+    return impl->completed;
+}
+
+uint64_t
+Server::streamsFailed() const
+{
+    std::lock_guard<std::mutex> lk(impl->mtx);
+    return impl->failedStreams;
+}
+
+std::vector<TenantSnapshot>
+Server::snapshot() const
+{
+    std::lock_guard<std::mutex> lk(impl->mtx);
+    std::vector<TenantSnapshot> out;
+    for (const auto &kv : impl->tenants) {
+        TenantSnapshot s;
+        s.name = kv.first;
+        s.streams = kv.second.streams;
+        s.alarms = kv.second.alarms;
+        s.det = kv.second.det;
+        s.tim = kv.second.tim;
+        s.fault = kv.second.fault;
+        s.reg = kv.second.reg;
+        s.reg.add(s.reg.counter(n::kTenantStreams),
+                  kv.second.streams);
+        s.reg.add(s.reg.counter(n::kTenantFrames), kv.second.frames);
+        s.reg.add(s.reg.counter(n::kTenantBytes), kv.second.bytes);
+        s.reg.add(s.reg.counter(n::kTenantBackpressureStalls),
+                  kv.second.stalls);
+        s.reg.add(s.reg.counter(n::kTenantAlarms),
+                  kv.second.alarms.size());
+        out.push_back(std::move(s));
+    }
+    return out; // std::map iteration is already name-sorted
+}
+
+std::string
+Server::statszText() const
+{
+    return impl->statszLocked();
+}
+
+std::vector<uint64_t>
+Server::ingestLatencySamplesMicros() const
+{
+    std::lock_guard<std::mutex> lk(impl->mtx);
+    return impl->latencySamples;
+}
+
+} // namespace serve
+} // namespace ipds

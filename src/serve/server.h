@@ -1,0 +1,141 @@
+#ifndef IPDS_SERVE_SERVER_H
+#define IPDS_SERVE_SERVER_H
+
+/**
+ * @file
+ * The multi-tenant detection service.
+ *
+ * One Server owns a stream socket (AF_UNIX) and detects recorded
+ * trace streams AT INGEST, as the bytes arrive, for many concurrent
+ * clients. Architecture (DESIGN.md "Detection service"):
+ *
+ *   clients ──► ingest thread ──► per-stream actor tasks ──► tenants
+ *              (poll + framing)     (ThreadPool::submit)     (merge)
+ *
+ *  - ONE ingest thread owns every socket: it accepts connections,
+ *    decodes the wire framing (serve/wire.h), and appends TraceData
+ *    payload segments to the owning stream's queue. It never touches
+ *    trace decoding, so a slow decode cannot stall accept/read.
+ *  - Each stream is an ACTOR: at most one worker task processes its
+ *    queue at a time (chunks decode strictly in arrival order), while
+ *    different streams decode concurrently on the shared ThreadPool.
+ *    The decode loop is ReplayEngine::ShardCursor — the same code
+ *    offline replay runs — so ingest-time alarms, DetectorStats and
+ *    per-tenant metrics are bit-identical to a ReplayPlan over the
+ *    same bytes (modulo the transport-only ipds.tenant.* meters and
+ *    the events_per_sec gauge, which measures wall-clock).
+ *  - Admission control mirrors the RequestRing design: bounded
+ *    per-stream queue; when a client outruns its actor the server
+ *    PAUSES reading that one socket (counted, ipds.serve.
+ *    backpressure_stalls) and resumes when the actor drains — the
+ *    slow client backs up on its own socket, never deadlocks the
+ *    server, never starves other tenants.
+ *  - Cross-thread signalling is a self-pipe: actors post
+ *    done/fail/resume messages; requestStop() posts stop. The ingest
+ *    thread is the only writer to any socket.
+ *
+ * Failure taxonomy is the reader satellite's retry-vs-reject
+ * contract end to end: a short frame at connection drop or a trace
+ * that ends mid-chunk is truncation (stream failed, counted in
+ * truncated meters), a frame/chunk CRC mismatch is corruption
+ * (rejected with an Error frame naming "CRC"), an oversized frame is
+ * rejected before buffering, and a foreign-module trace is rejected
+ * by the same content-hash check offline replay applies.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/program.h"
+#include "inject/fault.h"
+#include "ipds/detector.h"
+#include "obs/metrics.h"
+#include "serve/wire.h"
+#include "timing/cpu.h"
+
+namespace ipds {
+namespace serve {
+
+struct ServerConfig
+{
+    std::string socketPath;
+    /** Worker pool size, including none spare (0 = one per core). */
+    unsigned threads = 0;
+    /** Reject frames larger than this before buffering. */
+    size_t maxFrameBytes = wire::kDefaultMaxFrameBytes;
+    /** Per-stream ingest segments in flight before pausing reads. */
+    size_t pendingChunkCap = 64;
+    int listenBacklog = 16;
+};
+
+/** One tenant's aggregate, merged over its completed streams. */
+struct TenantSnapshot
+{
+    std::string name;
+    uint64_t streams = 0;
+    std::vector<Alarm> alarms; ///< stream order, shard order within
+    DetectorStats det;
+    TimingStats tim;
+    FaultStats fault;
+    /** Replay-shaped metrics + ipds.tenant.* transport meters. */
+    obs::MetricsRegistry reg;
+};
+
+/** FNV-1a digest of an alarm list (order-sensitive, like the list). */
+uint64_t alarmDigest(const std::vector<Alarm> &alarms);
+
+class Server
+{
+  public:
+    /** @p prog must outlive the server. */
+    Server(const CompiledProgram &prog, ServerConfig cfg);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind the socket and start the ingest thread. FatalError if the
+     * path cannot be bound. An existing socket file is replaced.
+     */
+    void start();
+
+    /** Ask the ingest loop to shut down. Thread-safe, idempotent. */
+    void requestStop();
+
+    /**
+     * Block until @p n streams FINISHED (completed + failed) since
+     * start(), or the server stopped.
+     */
+    void waitForStreams(uint64_t n);
+
+    /** requestStop() + join the ingest thread. Idempotent. */
+    void stopAndJoin();
+
+    uint64_t streamsCompleted() const;
+    uint64_t streamsFailed() const;
+
+    /** Per-tenant aggregates, sorted by tenant name. */
+    std::vector<TenantSnapshot> snapshot() const;
+
+    /** The /statsz text: server section + per-tenant sections. */
+    std::string statszText() const;
+
+    /**
+     * Per-segment ingest latencies (enqueue to decoded) in
+     * microseconds, in completion order. For the bench harness.
+     */
+    std::vector<uint64_t> ingestLatencySamplesMicros() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+};
+
+} // namespace serve
+} // namespace ipds
+
+#endif // IPDS_SERVE_SERVER_H

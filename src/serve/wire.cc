@@ -1,0 +1,90 @@
+#include "serve/wire.h"
+
+#include <cstring>
+
+#include "replay/format.h"
+
+namespace ipds {
+namespace serve {
+namespace wire {
+
+void
+FrameDecoder::append(const uint8_t *p, size_t n)
+{
+    // Compact before growing: the steady state keeps the buffer at
+    // one partial frame, not the whole connection history.
+    if (consumed > 0 && consumed == buf.size()) {
+        buf.clear();
+        consumed = 0;
+    } else if (consumed > 4096 && consumed > buf.size() / 2) {
+        buf.erase(buf.begin(),
+                  buf.begin() + static_cast<ptrdiff_t>(consumed));
+        consumed = 0;
+    }
+    buf.insert(buf.end(), p, p + n);
+}
+
+DecodeStatus
+FrameDecoder::next(Frame &out)
+{
+    if (poisoned != DecodeStatus::NeedMore)
+        return poisoned;
+    const size_t have = buf.size() - consumed;
+    if (have < kFrameHeaderBytes)
+        return DecodeStatus::NeedMore;
+    const uint8_t *h = buf.data() + consumed;
+    if (replay::getU32(h) != kFrameMagic)
+        return poisoned = DecodeStatus::BadMagic;
+    uint8_t type = h[4];
+    if (type < static_cast<uint8_t>(FrameType::Hello) ||
+        type > static_cast<uint8_t>(FrameType::Stats))
+        return poisoned = DecodeStatus::BadType;
+    uint32_t len = replay::getU32(h + 8);
+    if (len > maxBytes)
+        return poisoned = DecodeStatus::Oversized;
+    if (have - kFrameHeaderBytes < len)
+        return DecodeStatus::NeedMore;
+    uint32_t crc = replay::getU32(h + 12);
+    const uint8_t *payload = h + kFrameHeaderBytes;
+    if (replay::crc32(payload, len) != crc)
+        return poisoned = DecodeStatus::CrcMismatch;
+    out.type = static_cast<FrameType>(type);
+    out.payload = payload;
+    out.payloadLen = len;
+    consumed += kFrameHeaderBytes + len;
+    return DecodeStatus::Frame;
+}
+
+void
+appendFrame(std::vector<uint8_t> &out, FrameType type,
+            const uint8_t *payload, size_t payloadLen)
+{
+    uint8_t h[kFrameHeaderBytes] = {};
+    replay::putU32(h, kFrameMagic);
+    h[4] = static_cast<uint8_t>(type);
+    replay::putU32(h + 8, static_cast<uint32_t>(payloadLen));
+    replay::putU32(h + 12, replay::crc32(payload, payloadLen));
+    out.insert(out.end(), h, h + kFrameHeaderBytes);
+    out.insert(out.end(), payload, payload + payloadLen);
+}
+
+std::vector<uint8_t>
+encodeFrame(FrameType type, const uint8_t *payload, size_t payloadLen)
+{
+    std::vector<uint8_t> out;
+    out.reserve(kFrameHeaderBytes + payloadLen);
+    appendFrame(out, type, payload, payloadLen);
+    return out;
+}
+
+std::vector<uint8_t>
+encodeTextFrame(FrameType type, const std::string &text)
+{
+    return encodeFrame(
+        type, reinterpret_cast<const uint8_t *>(text.data()),
+        text.size());
+}
+
+} // namespace wire
+} // namespace serve
+} // namespace ipds

@@ -1,0 +1,124 @@
+#ifndef IPDS_SERVE_WIRE_H
+#define IPDS_SERVE_WIRE_H
+
+/**
+ * @file
+ * Transport framing for the detection service.
+ *
+ * A client session is a sequence of FRAMES over a stream socket. The
+ * frame envelope is deliberately independent of the trace format it
+ * carries: the v1 trace bytes (replay/format.h) travel inside
+ * TraceData frames unchanged, so the server's detection input is the
+ * exact byte stream a CapturePlan wrote — ingest-time detection can
+ * be diffed against offline replay of the same file byte for byte.
+ *
+ * Frame layout (little-endian):
+ *
+ *   u32 magic      "IPF1" (kFrameMagic)
+ *   u8  type       (FrameType)
+ *   u8  pad[3]     zero
+ *   u32 payloadLen (<= negotiated max, kDefaultMaxFrameBytes default)
+ *   u32 payloadCrc (crc32 of the payload bytes)
+ *   u8  payload[payloadLen]
+ *
+ * Client->server: Hello (payload = tenant name), TraceData (payload =
+ * raw trace bytes, any split), StreamEnd (empty), StatsReq (empty).
+ * Server->client: Result (text report), Error (text diagnostic),
+ * Stats (the /statsz text).
+ *
+ * Error taxonomy mirrors the reader satellite's retry-vs-reject
+ * contract: a SHORT frame at connection drop is truncation (the
+ * stream failed, nothing to retry within it), a frame whose CRC does
+ * not match is corruption (reject), and a frame whose length exceeds
+ * the negotiated max is rejected before buffering (admission
+ * control, not trust-the-length).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipds {
+namespace serve {
+namespace wire {
+
+inline constexpr uint32_t kFrameMagic = 0x31465049u; ///< "IPF1" LE
+inline constexpr size_t kFrameHeaderBytes = 16;
+inline constexpr size_t kDefaultMaxFrameBytes = 1u << 20;
+
+enum class FrameType : uint8_t
+{
+    Hello = 1,     ///< client: tenant name (UTF-8, 1..256 bytes)
+    TraceData = 2, ///< client: raw trace bytes
+    StreamEnd = 3, ///< client: stream complete, report back
+    Result = 4,    ///< server: per-stream detection report (text)
+    Error = 5,     ///< server: stream rejected (text diagnostic)
+    StatsReq = 6,  ///< client: request /statsz
+    Stats = 7,     ///< server: /statsz text
+};
+
+/** A decoded frame (payload is a view into the decoder's buffer). */
+struct Frame
+{
+    FrameType type = FrameType::Hello;
+    const uint8_t *payload = nullptr;
+    uint32_t payloadLen = 0;
+};
+
+enum class DecodeStatus : uint8_t
+{
+    Frame,       ///< out filled; call again for the next frame
+    NeedMore,    ///< feed more bytes
+    BadMagic,    ///< not a frame stream — reject connection
+    BadType,     ///< unknown frame type — reject connection
+    Oversized,   ///< payloadLen exceeds the configured max — reject
+    CrcMismatch, ///< payload corrupt — reject connection
+};
+
+/**
+ * Incremental frame decoder: append() socket bytes as they arrive,
+ * then next() until NeedMore. Any reject status is sticky. A frame's
+ * payload view stays valid until the next append()/next() call.
+ */
+class FrameDecoder
+{
+  public:
+    explicit FrameDecoder(size_t maxFrameBytes = kDefaultMaxFrameBytes)
+        : maxBytes(maxFrameBytes)
+    {}
+
+    void append(const uint8_t *p, size_t n);
+
+    DecodeStatus next(Frame &out);
+
+    /** Bytes buffered but not yet consumed by next(). */
+    size_t buffered() const { return buf.size() - consumed; }
+
+    /** True when the stream ended cleanly between frames. */
+    bool atFrameBoundary() const { return buffered() == 0; }
+
+  private:
+    size_t maxBytes;
+    std::vector<uint8_t> buf;
+    size_t consumed = 0;
+    DecodeStatus poisoned = DecodeStatus::NeedMore; ///< sticky reject
+};
+
+/** Append one encoded frame to @p out. */
+void appendFrame(std::vector<uint8_t> &out, FrameType type,
+                 const uint8_t *payload, size_t payloadLen);
+
+/** Encode one frame (convenience over appendFrame). */
+std::vector<uint8_t> encodeFrame(FrameType type, const uint8_t *payload,
+                                 size_t payloadLen);
+
+/** Encode a text frame (Hello / Result / Error / Stats). */
+std::vector<uint8_t> encodeTextFrame(FrameType type,
+                                     const std::string &text);
+
+} // namespace wire
+} // namespace serve
+} // namespace ipds
+
+#endif // IPDS_SERVE_WIRE_H

@@ -1,0 +1,192 @@
+#include "support/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ipds {
+namespace cli {
+
+ArgParser::ArgParser(std::string prog_, std::string summary_)
+    : prog(std::move(prog_)), summary(std::move(summary_))
+{}
+
+void
+ArgParser::positional(const char *name, std::string *dst,
+                      const char *help)
+{
+    positionals.push_back({name, dst, help});
+}
+
+void
+ArgParser::strOpt(const char *name, std::string *dst,
+                  const char *help)
+{
+    opts.push_back({name, Kind::Str, dst, help});
+}
+
+void
+ArgParser::uintOpt(const char *name, uint32_t *dst, const char *help)
+{
+    opts.push_back({name, Kind::Uint, dst, help});
+}
+
+void
+ArgParser::u64Opt(const char *name, uint64_t *dst, const char *help)
+{
+    opts.push_back({name, Kind::U64, dst, help});
+}
+
+void
+ArgParser::sizeOpt(const char *name, size_t *dst, const char *help)
+{
+    opts.push_back({name, Kind::Size, dst, help});
+}
+
+void
+ArgParser::boolOpt(const char *name, bool *dst, const char *help)
+{
+    opts.push_back({name, Kind::Bool, dst, help});
+}
+
+void
+ArgParser::threadsOpt(unsigned *dst)
+{
+    // unsigned and uint32_t are the same object representation on
+    // every platform this builds on; keep one parser kind.
+    static_assert(sizeof(unsigned) == sizeof(uint32_t));
+    opts.push_back({"threads", Kind::Uint, dst,
+                    "worker threads (0 = one per hardware core)"});
+}
+
+void
+ArgParser::jsonOpt(std::string *dst)
+{
+    opts.push_back({"json", Kind::Str, dst,
+                    "write a machine-readable JSON report to PATH"});
+}
+
+const ArgParser::Opt *
+ArgParser::find(const std::string &name) const
+{
+    for (const Opt &o : opts)
+        if (o.name == name)
+            return &o;
+    return nullptr;
+}
+
+std::string
+ArgParser::usageText() const
+{
+    std::string u = "usage: " + prog;
+    for (const Pos &p : positionals)
+        u += " <" + p.name + ">";
+    for (const Opt &o : opts) {
+        u += " [--" + o.name;
+        if (o.kind != Kind::Bool)
+            u += " N";
+        u += "]";
+    }
+    u += "\n  " + summary + "\n";
+    for (const Pos &p : positionals)
+        u += "  <" + p.name + ">  " + p.help + "\n";
+    for (const Opt &o : opts)
+        u += "  --" + o.name + (o.kind == Kind::Bool ? "" : " N") +
+            "  " + o.help + "\n";
+    return u;
+}
+
+bool
+ArgParser::fail(const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n%s", prog.c_str(), msg.c_str(),
+                 usageText().c_str());
+    code = 1;
+    return false;
+}
+
+bool
+ArgParser::parse(int argc, char **argv)
+{
+    size_t nextPos = 0;
+    for (int i = 1; i < argc; i++) {
+        std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            std::fputs(usageText().c_str(), stdout);
+            code = 0;
+            return false;
+        }
+        if (a.rfind("--", 0) != 0) {
+            if (nextPos >= positionals.size())
+                return fail("unexpected operand '" + a + "'");
+            *positionals[nextPos++].dst = a;
+            continue;
+        }
+        std::string name = a.substr(2);
+        std::string value;
+        bool haveValue = false;
+        size_t eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            haveValue = true;
+        }
+        const Opt *o = find(name);
+        if (!o)
+            return fail("unknown option '--" + name + "'");
+        if (o->kind == Kind::Bool) {
+            if (haveValue)
+                return fail("--" + name + " takes no value");
+            *static_cast<bool *>(o->dst) = true;
+            continue;
+        }
+        if (!haveValue) {
+            if (i + 1 >= argc)
+                return fail("--" + name + " needs a value");
+            value = argv[++i];
+        }
+        char *endp = nullptr;
+        switch (o->kind) {
+          case Kind::Str:
+            *static_cast<std::string *>(o->dst) = value;
+            break;
+          case Kind::Uint: {
+            unsigned long long v =
+                std::strtoull(value.c_str(), &endp, 0);
+            if (*endp || v > 0xffffffffull)
+                return fail("--" + name + ": bad number '" + value +
+                            "'");
+            *static_cast<uint32_t *>(o->dst) =
+                static_cast<uint32_t>(v);
+            break;
+          }
+          case Kind::U64: {
+            unsigned long long v =
+                std::strtoull(value.c_str(), &endp, 0);
+            if (*endp)
+                return fail("--" + name + ": bad number '" + value +
+                            "'");
+            *static_cast<uint64_t *>(o->dst) = v;
+            break;
+          }
+          case Kind::Size: {
+            unsigned long long v =
+                std::strtoull(value.c_str(), &endp, 0);
+            if (*endp)
+                return fail("--" + name + ": bad number '" + value +
+                            "'");
+            *static_cast<size_t *>(o->dst) =
+                static_cast<size_t>(v);
+            break;
+          }
+          case Kind::Bool:
+            break; // handled above
+        }
+    }
+    if (nextPos < positionals.size())
+        return fail("missing <" + positionals[nextPos].name +
+                    "> operand");
+    return true;
+}
+
+} // namespace cli
+} // namespace ipds

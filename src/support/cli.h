@@ -1,0 +1,109 @@
+#ifndef IPDS_SUPPORT_CLI_H
+#define IPDS_SUPPORT_CLI_H
+
+/**
+ * @file
+ * The one command-line argument parser, shared by every harness.
+ *
+ * Before this layer, run_protected, fig7_detection and
+ * fig9_performance each hand-rolled their own strcmp chains with
+ * subtly different conventions (usage exit codes, `--flag value` only
+ * vs `--flag=value`, inconsistent error text). ArgParser gives them —
+ * and the ipds_serve / ipds_client service tools — one declarative
+ * surface:
+ *
+ *   cli::ArgParser args("fig9_performance",
+ *                       "Figure 9: normalized performance");
+ *   uint32_t sessions = 300;
+ *   unsigned threads = 0;
+ *   std::string json;
+ *   args.uintOpt("sessions", &sessions, "benign sessions per benchmark");
+ *   args.threadsOpt(&threads);
+ *   args.jsonOpt(&json);
+ *   if (!args.parse(argc, argv))
+ *       return args.exitCode();
+ *
+ * Conventions enforced for every tool:
+ *  - `--flag value` and `--flag=value` both work;
+ *  - `--help` prints the generated usage text and exits 0;
+ *  - an unknown flag or missing operand prints usage to stderr and
+ *    parse() returns false with exitCode() == 1;
+ *  - the shared spellings are `--threads` and `--json` (threadsOpt /
+ *    jsonOpt), so no harness drifts back to `--jobs` or `--out`.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipds {
+namespace cli {
+
+class ArgParser
+{
+  public:
+    ArgParser(std::string prog, std::string summary);
+
+    /** Required positional operand (consumed in declaration order). */
+    void positional(const char *name, std::string *dst,
+                    const char *help);
+
+    /** `--name <value>` options; the pointee holds the default. */
+    void strOpt(const char *name, std::string *dst, const char *help);
+    void uintOpt(const char *name, uint32_t *dst, const char *help);
+    void u64Opt(const char *name, uint64_t *dst, const char *help);
+    void sizeOpt(const char *name, size_t *dst, const char *help);
+
+    /** Presence flag: `--name` sets *dst = true. */
+    void boolOpt(const char *name, bool *dst, const char *help);
+
+    /** The shared `--threads N` spelling (0 = one per core). */
+    void threadsOpt(unsigned *dst);
+    /** The shared `--json PATH` spelling (machine-readable report). */
+    void jsonOpt(std::string *dst);
+
+    /**
+     * Parse @p argv. Returns true on success; on `--help` or an
+     * error it prints (usage to stdout for help, to stderr plus a
+     * one-line diagnostic for errors) and returns false with
+     * exitCode() set to 0 or 1 respectively.
+     */
+    bool parse(int argc, char **argv);
+
+    int exitCode() const { return code; }
+
+    /** The generated usage text. */
+    std::string usageText() const;
+
+  private:
+    enum class Kind : uint8_t { Str, Uint, U64, Size, Bool };
+
+    struct Opt
+    {
+        std::string name;
+        Kind kind = Kind::Str;
+        void *dst = nullptr;
+        std::string help;
+    };
+
+    struct Pos
+    {
+        std::string name;
+        std::string *dst = nullptr;
+        std::string help;
+    };
+
+    const Opt *find(const std::string &name) const;
+    bool fail(const std::string &msg);
+
+    std::string prog;
+    std::string summary;
+    std::vector<Opt> opts;
+    std::vector<Pos> positionals;
+    int code = 0;
+};
+
+} // namespace cli
+} // namespace ipds
+
+#endif // IPDS_SUPPORT_CLI_H

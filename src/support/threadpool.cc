@@ -53,22 +53,60 @@ ThreadPool::workerLoop()
 {
     uint64_t seenGen = 0;
     for (;;) {
+        bool haveJob = false;
+        std::function<void()> task;
         {
             std::unique_lock<std::mutex> lk(mtx);
             cvStart.wait(lk, [&] {
-                return stopping || jobGen != seenGen;
+                return stopping || jobGen != seenGen ||
+                    !tasks.empty();
             });
-            if (stopping)
-                return;
-            seenGen = jobGen;
+            if (!tasks.empty()) {
+                // One-shot tasks win ties: a parallelFor job has the
+                // calling thread helping already, an actor task has
+                // nobody else.
+                task = std::move(tasks.front());
+                tasks.pop_front();
+            } else if (stopping) {
+                return; // queue drained, shutdown
+            } else {
+                haveJob = true;
+                seenGen = jobGen;
+            }
         }
-        runIndices();
-        {
+        if (task) {
+            task();
+            continue;
+        }
+        if (haveJob) {
+            runIndices();
             std::lock_guard<std::mutex> lk(mtx);
             if (--activeWorkers == 0)
                 cvDone.notify_all();
         }
     }
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (threads.empty()) {
+        // No workers to hand off to: synchronous degradation.
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        tasks.push_back(std::move(task));
+    }
+    cvStart.notify_one();
+}
+
+size_t
+ThreadPool::pendingTasks() const
+{
+    std::lock_guard<std::mutex> lk(mtx);
+    return tasks.size();
 }
 
 void

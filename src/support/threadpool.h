@@ -13,11 +13,20 @@
  *  2. Zero dependencies — std::thread only.
  *  3. Simplicity — one job at a time; the calling thread participates
  *     as a worker, so ThreadPool(1) degrades to an inline loop.
+ *
+ * The detection service (src/serve/) layers an asynchronous executor
+ * on the same workers: submit() enqueues a one-shot task that any
+ * idle worker picks up. Tasks and parallelFor jobs share the pool;
+ * submitted tasks never block on pool-internal state, so the two
+ * modes compose. Determinism in the service comes from the callers
+ * (per-stream actors serialize their own chunk order), not from the
+ * executor.
  */
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -55,6 +64,20 @@ class ThreadPool
      */
     void parallelFor(uint32_t n, const std::function<void(uint32_t)> &fn);
 
+    /**
+     * Enqueue a one-shot task for any idle worker (the service
+     * ingest path). Runs inline when the pool has no worker threads
+     * (workers == 1), so a single-threaded service degrades to
+     * synchronous ingest instead of deadlocking. The task must not
+     * throw — a throwing task is an internal error (PanicError
+     * semantics); service actors catch their own FatalErrors.
+     * The destructor drains every queued task before joining.
+     */
+    void submit(std::function<void()> task);
+
+    /** Tasks submitted but not yet finished (racy snapshot; tests). */
+    size_t pendingTasks() const;
+
     /** hardware_concurrency(), clamped to at least 1. */
     static unsigned defaultWorkers();
 
@@ -63,11 +86,12 @@ class ThreadPool
     void runIndices();
 
     std::vector<std::thread> threads;
-    std::mutex mtx;
+    mutable std::mutex mtx;
     std::condition_variable cvStart;
     std::condition_variable cvDone;
     uint64_t jobGen = 0;
     bool stopping = false;
+    std::deque<std::function<void()>> tasks;
 
     // Current job (valid while activeWorkers > 0 or inside parallelFor).
     const std::function<void(uint32_t)> *jobFn = nullptr;

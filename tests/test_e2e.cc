@@ -168,7 +168,7 @@ TEST(EndToEnd, Figure2TamperIsDetected)
     Session s = Session::builder()
                     .program(prog)
                     .inputs({"-5"})
-                    .tamper(spec)
+                    .plan(ExecPlan().tamper(spec))
                     .build();
     s.run();
     EXPECT_TRUE(s.result().tamper.fired);
@@ -223,7 +223,7 @@ void main() {
         Session s = Session::builder()
                         .program(prog)
                         .inputs({"a", "b", "c", "d"})
-                        .tamper(spec)
+                        .plan(ExecPlan().tamper(spec))
                         .build();
         s.run();
         EXPECT_TRUE(s.result().tamper.fired);

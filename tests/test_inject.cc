@@ -580,7 +580,7 @@ TEST(FaultSession, PlanRunsShardedAndExportsMetrics)
             .program(prog)
             .inputs(wl.benignInputs)
             .timing(TimingConfig{})
-            .faultPlan(plan)
+            .plan(ExecPlan().faults(plan))
             .sessions(6)
             .shards(3)
             .threads(threads)
@@ -625,7 +625,7 @@ TEST(FaultSession, CleanRunsStayAlarmFreeUnderBenignFaults)
                         .program(prog)
                         .inputs(wl.benignInputs)
                         .timing(TimingConfig{})
-                        .faultPlan(plan)
+                        .plan(ExecPlan().faults(plan))
                         .sessions(3)
                         .build();
         s.run();

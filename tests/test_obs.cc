@@ -411,7 +411,7 @@ TEST(Session, TamperedRunAlarmsAndTraceRecordsTheCause)
     Session s = Session::builder()
                     .program(prog)
                     .inputs({"7", "1", "2", "3", "4"})
-                    .tamper(spec)
+                    .plan(ExecPlan().tamper(spec))
                     .trace(obs::kCatAll)
                     .build();
     s.run();
@@ -487,13 +487,12 @@ TEST(Session, ExportedNamesFollowTheSchemeAndAreRegistered)
         .program(prog)
         .inputs({"7", "1", "2", "3", "4"})
         .timing(table1Config())
-        .faultPlan(plan)
         .sessions(2)
-        .captureTo(trc)
+        .plan(CapturePlan(trc).exec(ExecPlan().faults(plan)))
         .build()
         .run();
     Session rep =
-        Session::builder().program(prog).replayFrom(trc).build();
+        Session::builder().program(prog).plan(ReplayPlan(trc)).build();
     rep.run();
     std::remove(trc.c_str());
 
@@ -525,6 +524,7 @@ TEST(Session, ExportedNamesFollowTheSchemeAndAreRegistered)
         names::kReplayChunks, names::kReplayBytes,
         names::kReplayEvents, names::kReplaySessions,
         names::kReplayEventsPerSec, names::kReplayCrcFailures,
+        names::kReplayTruncatedChunks,
         names::kReplayVersionMismatches, names::kCampAttacks,
         names::kCampFired, names::kCampCfChanged,
         names::kCampDetected, names::kCampFalsePositives,

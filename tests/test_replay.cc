@@ -192,13 +192,13 @@ TEST(ReplayRoundTrip, AllWorkloadsDetectorOnly)
                            .inputs(wl.benignInputs)
                            .sessions(3)
                            .shards(2)
-                           .captureTo(path)
+                           .plan(CapturePlan(path))
                            .build();
         live.run();
 
         Session rep = Session::builder()
                           .program(prog)
-                          .replayFrom(path)
+                          .plan(ReplayPlan(path))
                           .build();
         rep.run();
 
@@ -225,13 +225,13 @@ TEST(ReplayRoundTrip, AllWorkloadsTiming)
                            .timing(table1Config())
                            .sessions(2)
                            .shards(2)
-                           .captureTo(path)
+                           .plan(CapturePlan(path))
                            .build();
         live.run();
 
         Session rep = Session::builder()
                           .program(prog)
-                          .replayFrom(path)
+                          .plan(ReplayPlan(path))
                           .build();
         rep.run();
 
@@ -259,7 +259,7 @@ TEST(ReplayRoundTrip, MetricsMatchModuloReplayMeters)
                        .timing(table1Config())
                        .sessions(4)
                        .shards(2)
-                       .captureTo(path)
+                       .plan(CapturePlan(path))
                        .build();
     live.run();
 
@@ -269,7 +269,7 @@ TEST(ReplayRoundTrip, MetricsMatchModuloReplayMeters)
                       .program(prog)
                       .sessions(999)
                       .shards(7)
-                      .replayFrom(path)
+                      .plan(ReplayPlan(path))
                       .build();
     rep.run();
 
@@ -301,7 +301,7 @@ TEST(ReplayRoundTrip, ShardedReplayIsThreadCountInvariant)
         .timing(table1Config())
         .sessions(8)
         .shards(4)
-        .captureTo(path)
+        .plan(CapturePlan(path))
         .build()
         .run();
 
@@ -309,7 +309,7 @@ TEST(ReplayRoundTrip, ShardedReplayIsThreadCountInvariant)
         Session s = Session::builder()
                         .program(prog)
                         .threads(threads)
-                        .replayFrom(path)
+                        .plan(ReplayPlan(path))
                         .build();
         s.run();
         // events_per_sec is wall-clock; everything else — including
@@ -396,10 +396,10 @@ TEST(ReplayFault, FaultPlanComposesAndReplaysIdentically)
                        .program(prog)
                        .inputs(wl.benignInputs)
                        .timing(table1Config())
-                       .faultPlan(plan)
                        .sessions(3)
                        .shards(1)
-                       .captureTo(path)
+                       .plan(CapturePlan(path).exec(
+                           ExecPlan().faults(plan)))
                        .build();
     live.run();
     EXPECT_GT(live.faultStats().bsvFlips +
@@ -409,7 +409,7 @@ TEST(ReplayFault, FaultPlanComposesAndReplaysIdentically)
 
     Session rep = Session::builder()
                       .program(prog)
-                      .replayFrom(path)
+                      .plan(ReplayPlan(path))
                       .build();
     rep.run();
 
@@ -435,15 +435,15 @@ TEST(ReplayFault, TamperedRunAlarmsIdenticallyOnReplay)
     Session live = Session::builder()
                        .program(prog)
                        .inputs(kLoopInputs)
-                       .tamper(spec)
-                       .captureTo(path)
+                       .plan(CapturePlan(path).exec(
+                           ExecPlan().tamper(spec)))
                        .build();
     live.run();
     ASSERT_TRUE(live.alarmed());
 
     Session rep = Session::builder()
                       .program(prog)
-                      .replayFrom(path)
+                      .plan(ReplayPlan(path))
                       .build();
     rep.run();
     ASSERT_TRUE(rep.alarmed());
@@ -454,34 +454,87 @@ TEST(ReplayFault, TamperedRunAlarmsIdenticallyOnReplay)
 
 // --------------------------------------------------- recipe guards
 
+namespace {
+
+void
+expectBuildFatal(Session::Builder b, const char *what)
+{
+    try {
+        b.build();
+        FAIL() << "expected FatalError: " << what;
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find(what),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+} // namespace
+
+// The pre-plan setters remain as deprecated shims; they must still
+// compile, behave identically, and hit the same build()-time guards.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 TEST(ReplayBuilder, IncompatibleRecipesAreRejected)
 {
     CompiledProgram prog =
         compileAndAnalyze(kLoopProgram, "replay_loop");
-    auto expectFatal = [](Session::Builder b, const char *what) {
-        try {
-            b.build();
-            FAIL() << "expected FatalError: " << what;
-        } catch (const FatalError &e) {
-            EXPECT_NE(std::string(e.what()).find(what),
-                      std::string::npos)
-                << e.what();
-        }
-    };
-    expectFatal(Session::builder()
-                    .program(prog)
-                    .captureTo("a.trc")
-                    .replayFrom("b.trc"),
-                "mutually exclusive");
-    expectFatal(Session::builder()
-                    .program(prog)
-                    .replayFrom("b.trc")
-                    .faultPlan(FaultPlan::fromSeed(3)),
-                "faultPlan");
+    expectBuildFatal(Session::builder()
+                         .program(prog)
+                         .captureTo("a.trc")
+                         .replayFrom("b.trc"),
+                     "mutually exclusive");
+    expectBuildFatal(Session::builder()
+                         .program(prog)
+                         .replayFrom("b.trc")
+                         .faultPlan(FaultPlan::fromSeed(3)),
+                     "faultPlan");
     TamperSpec spec;
-    expectFatal(Session::builder().program(prog).replayFrom(
-                    "b.trc").tamper(spec),
-                "tamper");
+    expectBuildFatal(Session::builder().program(prog).replayFrom(
+                         "b.trc").tamper(spec),
+                     "tamper");
+}
+
+TEST(ReplayBuilder, DeprecatedShimsStillCaptureAndReplay)
+{
+    // The one retained exercise of the old spelling end to end: a
+    // shim-built capture must stay bit-identical to a plan-built
+    // replay (and vice versa), so migration is purely mechanical.
+    CompiledProgram prog =
+        compileAndAnalyze(kLoopProgram, "replay_loop");
+    std::string path = tmpTracePath("shim");
+    Session live = Session::builder()
+                       .program(prog)
+                       .inputs(kLoopInputs)
+                       .sessions(2)
+                       .captureTo(path)
+                       .build();
+    live.run();
+    Session rep = Session::builder()
+                      .program(prog)
+                      .plan(ReplayPlan(path))
+                      .build();
+    rep.run();
+    EXPECT_TRUE(rep.detectorStats() == live.detectorStats());
+    EXPECT_TRUE(sameAlarms(rep.alarms(), live.alarms()));
+    std::remove(path.c_str());
+}
+#pragma GCC diagnostic pop
+
+TEST(ReplayBuilder, MixedPlansAreRejected)
+{
+    CompiledProgram prog =
+        compileAndAnalyze(kLoopProgram, "replay_loop");
+    expectBuildFatal(Session::builder()
+                         .program(prog)
+                         .plan(CapturePlan("a.trc"))
+                         .plan(ReplayPlan("b.trc")),
+                     "mutually exclusive");
+    expectBuildFatal(Session::builder()
+                         .program(prog)
+                         .plan(ExecPlan())
+                         .plan(ServePlan("s.sock")),
+                     "mutually exclusive");
 }
 
 // ------------------------------------------------- corrupt traces
@@ -495,7 +548,7 @@ captureSmallTrace(const CompiledProgram &prog)
         .program(prog)
         .inputs(kLoopInputs)
         .sessions(2)
-        .captureTo(path)
+        .plan(CapturePlan(path))
         .build()
         .run();
     std::vector<uint8_t> bytes = readBytes(path);
@@ -658,7 +711,7 @@ TEST(ReplayGolden, FixtureBytesArePinnedToFormatVersion)
         .inputs(kLoopInputs)
         .sessions(2)
         .shards(2)
-        .captureTo(path)
+        .plan(CapturePlan(path))
         .build()
         .run();
     std::vector<uint8_t> fresh = readBytes(path);

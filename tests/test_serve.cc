@@ -1,0 +1,859 @@
+/**
+ * @file
+ * Detection-service suite (`ctest -L service`).
+ *
+ * The tentpole guarantee under test: a trace streamed to ipds_serve
+ * over the framed transport is detected AT INGEST bit-identically to
+ * offline replay of the same file — same alarms, same DetectorStats,
+ * same metric lines (modulo the wall-clock events_per_sec gauge and
+ * the transport-only ipds.tenant.* meters).
+ *
+ * Around it, the failure taxonomy of the transport (the reader
+ * satellite's retry-vs-reject contract lifted to the wire): partial
+ * frame at connection drop is truncation, frame/chunk CRC mismatch is
+ * corruption, an oversized frame is rejected before buffering, and a
+ * slow client is paused — counted, never deadlocked, never able to
+ * starve other tenants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/program.h"
+#include "inject/fault.h"
+#include "obs/names.h"
+#include "obs/session.h"
+#include "replay/format.h"
+#include "replay/reader.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "support/diag.h"
+#include "timing/config.h"
+#include "vm/vm.h"
+
+using namespace ipds;
+
+namespace {
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "ipds_serve_" + name;
+}
+
+std::vector<uint8_t>
+readBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+}
+
+/** The replay suite's correlated-privilege-flag program: tampering
+ *  `role` after input #2 walks an infeasible path every iteration. */
+const char *kLoopProgram = R"(
+void main() {
+    int role;
+    int req;
+    role = 0;
+    if (input_int() == 42) {
+        role = 1;
+    }
+    req = 0;
+    while (req < 4) {
+        if (role == 1) {
+            print_str("p\n");
+        } else {
+            print_str("n\n");
+        }
+        input_int();
+        req = req + 1;
+    }
+}
+)";
+
+const std::vector<std::string> kLoopInputs{"7", "1", "2", "3", "4"};
+
+/** Capture a trace through the public facade; returns its path. */
+std::string
+capture(const CompiledProgram &prog, const std::string &name,
+        uint32_t sessions, bool timing, bool tamper = false)
+{
+    std::string path = tmpPath(name + ".trc");
+    Session::Builder b = Session::builder();
+    b.program(prog).inputs(kLoopInputs).sessions(sessions);
+    if (timing)
+        b.timing(table1Config());
+    ExecPlan exec;
+    if (tamper) {
+        TamperSpec spec;
+        spec.randomStackTarget = false;
+        spec.afterInputEvent = 2;
+        spec.addr = Vm(prog.mod).entryLocalAddr("role");
+        spec.bytes = {1, 0, 0, 0, 0, 0, 0, 0};
+        exec.tamper(spec);
+    }
+    b.plan(CapturePlan(path).exec(exec));
+    b.build().run();
+    return path;
+}
+
+/** Connect with retries — the server thread may still be binding. */
+void
+connectRetry(serve::Client &c, const std::string &sock)
+{
+    for (int i = 0;; i++) {
+        try {
+            c.connect(sock);
+            return;
+        } catch (const FatalError &) {
+            if (i > 200)
+                throw;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+    }
+}
+
+/** Metric lines of a text blob, minus the wall-clock gauge. */
+std::string
+metricLines(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string out, line;
+    while (std::getline(in, line)) {
+        if (line.rfind("ipds.", 0) != 0)
+            continue;
+        if (line.find(obs::names::kReplayEventsPerSec) == 0)
+            continue;
+        if (line.find("ipds.tenant.") == 0)
+            continue;
+        out += line + "\n";
+    }
+    return out;
+}
+
+} // namespace
+
+// ------------------------------------------ truncation vs corruption
+
+TEST(ReaderContract, HeaderTruncationIsRetryableNotCorrupt)
+{
+    CompiledProgram prog = compileAndAnalyze(kLoopProgram, "svc_loop");
+    std::string path = capture(prog, "hdr", 1, false);
+    std::vector<uint8_t> bytes = readBytes(path);
+    std::remove(path.c_str());
+
+    replay::TraceMeta meta;
+    size_t consumed = 0;
+    std::string err;
+
+    // Too short: NeedMore — the streaming alias for TruncatedChunk —
+    // means "wait for bytes", never "reject".
+    EXPECT_EQ(replay::parseHeader(bytes.data(), 10, meta, consumed,
+                                  &err),
+              replay::ParseStatus::NeedMore);
+    EXPECT_EQ(replay::ParseStatus::NeedMore,
+              replay::ParseStatus::TruncatedChunk);
+    EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+
+    // Complete: Ok, consumed = the header size.
+    EXPECT_EQ(replay::parseHeader(bytes.data(), bytes.size(), meta,
+                                  consumed, &err),
+              replay::ParseStatus::Ok);
+    EXPECT_EQ(consumed, replay::headerBytes(meta));
+
+    // Corrupt (a moduleHash byte — covered by the header CRC, past
+    // the magic/version prefix): CRC mismatch is a reject, not a
+    // retry.
+    std::vector<uint8_t> bad = bytes;
+    bad[13] ^= 0x40;
+    EXPECT_EQ(replay::parseHeader(bad.data(), bad.size(), meta,
+                                  consumed, &err),
+              replay::ParseStatus::ChunkCrcMismatch);
+    EXPECT_NE(err.find("CRC"), std::string::npos) << err;
+}
+
+TEST(ReaderContract, ChunkTruncationCorruptionAndMalformedLengths)
+{
+    CompiledProgram prog = compileAndAnalyze(kLoopProgram, "svc_loop");
+    std::string path = capture(prog, "chk", 1, false);
+    std::vector<uint8_t> bytes = readBytes(path);
+    std::remove(path.c_str());
+
+    replay::TraceMeta meta;
+    size_t consumed = 0;
+    std::string err;
+    ASSERT_EQ(replay::parseHeader(bytes.data(), bytes.size(), meta,
+                                  consumed, &err),
+              replay::ParseStatus::Ok);
+    const uint8_t *chunk = bytes.data() + consumed;
+    size_t avail = bytes.size() - consumed;
+    ASSERT_GT(avail, replay::kChunkHeaderBytes);
+
+    replay::ChunkRef ref;
+    size_t used = 0;
+
+    // Short header and short payload: both NeedMore.
+    EXPECT_EQ(replay::parseChunk(chunk, 7, ref, used, &err),
+              replay::ParseStatus::NeedMore);
+    EXPECT_EQ(replay::parseChunk(chunk, avail - 3, ref, used, &err),
+              replay::ParseStatus::NeedMore);
+    EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+
+    // Complete: Ok, payload offset relative to the chunk start.
+    ASSERT_EQ(replay::parseChunk(chunk, avail, ref, used, &err),
+              replay::ParseStatus::Ok);
+    EXPECT_EQ(used, avail);
+    EXPECT_EQ(ref.payloadOff, replay::kChunkHeaderBytes);
+
+    // Payload corruption: CRC mismatch, defect offset points at the
+    // payload, not at zero.
+    std::vector<uint8_t> bad(chunk, chunk + avail);
+    bad[replay::kChunkHeaderBytes + 2] ^= 0x01;
+    EXPECT_EQ(replay::parseChunk(bad.data(), bad.size(), ref, used,
+                                 &err),
+              replay::ParseStatus::ChunkCrcMismatch);
+    EXPECT_NE(err.find("CRC"), std::string::npos) << err;
+
+    // An impossible declared length must be Malformed, not NeedMore:
+    // a corrupt length would otherwise stall a streaming ingest
+    // forever waiting for bytes that never come.
+    std::vector<uint8_t> huge(chunk, chunk + avail);
+    replay::putU32(huge.data(), 0xFFFFFFFFu);
+    EXPECT_EQ(replay::parseChunk(huge.data(), huge.size(), ref, used,
+                                 &err),
+              replay::ParseStatus::Malformed);
+}
+
+TEST(ReaderContract, ValidateDistinguishesTruncationFromCorruption)
+{
+    CompiledProgram prog = compileAndAnalyze(kLoopProgram, "svc_loop");
+    std::string path = capture(prog, "val", 2, false);
+    std::vector<uint8_t> bytes = readBytes(path);
+    std::remove(path.c_str());
+
+    // Cut mid-chunk: truncation tallies, CRC stays clean.
+    std::vector<uint8_t> cut(bytes.begin(), bytes.end() - 5);
+    replay::ValidateResult vr = replay::TraceFile::validateBytes(cut);
+    EXPECT_FALSE(vr.ok);
+    EXPECT_EQ(vr.truncatedChunks, 1u);
+    EXPECT_EQ(vr.crcFailures, 0u);
+
+    // Flip a payload byte: corruption tallies, truncation stays clean.
+    std::vector<uint8_t> bad = bytes;
+    bad[bad.size() - 5] ^= 0x10;
+    vr = replay::TraceFile::validateBytes(bad);
+    EXPECT_EQ(vr.crcFailures, 1u);
+    EXPECT_EQ(vr.truncatedChunks, 0u);
+}
+
+// --------------------------------------------------- frame envelope
+
+TEST(Wire, RoundTripAndSplitDelivery)
+{
+    std::vector<uint8_t> payload;
+    for (int i = 0; i < 300; i++)
+        payload.push_back(static_cast<uint8_t>(i * 7));
+    std::vector<uint8_t> enc;
+    serve::wire::appendFrame(enc, serve::wire::FrameType::TraceData,
+                             payload.data(), payload.size());
+    serve::wire::appendFrame(enc, serve::wire::FrameType::StreamEnd,
+                             nullptr, 0);
+
+    // Byte-at-a-time delivery: one NeedMore per missing byte, then
+    // both frames intact.
+    serve::wire::FrameDecoder dec;
+    serve::wire::Frame f;
+    int frames = 0;
+    for (uint8_t b : enc) {
+        dec.append(&b, 1);
+        while (dec.next(f) == serve::wire::DecodeStatus::Frame) {
+            if (++frames == 1) {
+                ASSERT_EQ(f.payloadLen, payload.size());
+                EXPECT_EQ(0, std::memcmp(f.payload, payload.data(),
+                                         payload.size()));
+            }
+        }
+    }
+    EXPECT_EQ(frames, 2);
+    EXPECT_TRUE(dec.atFrameBoundary());
+}
+
+TEST(Wire, RejectStatusesAreSticky)
+{
+    serve::wire::Frame f;
+    {
+        serve::wire::FrameDecoder dec;
+        std::vector<uint8_t> junk(20, 0x5a);
+        dec.append(junk.data(), junk.size());
+        EXPECT_EQ(dec.next(f), serve::wire::DecodeStatus::BadMagic);
+        // Sticky: even appending a valid frame cannot revive it.
+        std::vector<uint8_t> ok = serve::wire::encodeTextFrame(
+            serve::wire::FrameType::Hello, "t");
+        dec.append(ok.data(), ok.size());
+        EXPECT_EQ(dec.next(f), serve::wire::DecodeStatus::BadMagic);
+    }
+    {
+        serve::wire::FrameDecoder dec(64); // tiny negotiated max
+        std::vector<uint8_t> big(256, 1);
+        std::vector<uint8_t> enc = serve::wire::encodeFrame(
+            serve::wire::FrameType::TraceData, big.data(), big.size());
+        dec.append(enc.data(), enc.size());
+        EXPECT_EQ(dec.next(f), serve::wire::DecodeStatus::Oversized);
+    }
+    {
+        serve::wire::FrameDecoder dec;
+        std::vector<uint8_t> enc = serve::wire::encodeTextFrame(
+            serve::wire::FrameType::Hello, "tenant");
+        enc[serve::wire::kFrameHeaderBytes + 1] ^= 0x80;
+        dec.append(enc.data(), enc.size());
+        EXPECT_EQ(dec.next(f), serve::wire::DecodeStatus::CrcMismatch);
+    }
+    {
+        serve::wire::FrameDecoder dec;
+        std::vector<uint8_t> enc = serve::wire::encodeTextFrame(
+            serve::wire::FrameType::Hello, "t");
+        enc[4] = 0x7f; // unknown frame type
+        dec.append(enc.data(), enc.size());
+        EXPECT_EQ(dec.next(f), serve::wire::DecodeStatus::BadType);
+    }
+}
+
+// ------------------------------------------------ ingest bit-identity
+
+TEST(Service, StreamDetectionMatchesOfflineReplayBitForBit)
+{
+    CompiledProgram prog = compileAndAnalyze(kLoopProgram, "svc_loop");
+    std::string path =
+        capture(prog, "ident", 3, false, /*tamper=*/true);
+
+    Session off = Session::builder()
+                      .program(prog)
+                      .plan(ReplayPlan(path))
+                      .build();
+    off.run();
+    ASSERT_TRUE(off.alarmed());
+
+    serve::ServerConfig cfg;
+    cfg.socketPath = tmpPath("ident.sock");
+    cfg.threads = 2;
+    serve::Server srv(prog, cfg);
+    srv.start();
+
+    serve::Client c;
+    connectRetry(c, cfg.socketPath);
+    c.hello("tenant-a");
+    // Tiny frames: the trace header itself spans several frames, so
+    // ingest exercises the NeedMore path on every boundary.
+    c.sendTraceFile(path, 64);
+    serve::StreamResult r = c.end();
+    srv.stopAndJoin();
+
+    ASSERT_TRUE(r.ok) << r.text;
+    EXPECT_EQ(r.sessions, 3u);
+    EXPECT_EQ(r.alarms, off.alarms().size());
+    EXPECT_EQ(r.alarmDigest, serve::alarmDigest(off.alarms()));
+    // Every metric line but the wall-clock gauge matches offline.
+    EXPECT_EQ(metricLines(r.text), metricLines(off.metricsText()));
+
+    // The server-side aggregate carries the same alarms in order.
+    auto snap = srv.snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].name, "tenant-a");
+    EXPECT_EQ(serve::alarmDigest(snap[0].alarms),
+              serve::alarmDigest(off.alarms()));
+    EXPECT_TRUE(snap[0].det == off.detectorStats());
+    std::remove(path.c_str());
+}
+
+TEST(Service, TimingTraceStreamsBitIdentically)
+{
+    CompiledProgram prog = compileAndAnalyze(kLoopProgram, "svc_loop");
+    std::string path = capture(prog, "timing", 2, /*timing=*/true);
+
+    Session off = Session::builder()
+                      .program(prog)
+                      .plan(ReplayPlan(path))
+                      .build();
+    off.run();
+
+    serve::ServerConfig cfg;
+    cfg.socketPath = tmpPath("timing.sock");
+    serve::Server srv(prog, cfg);
+    srv.start();
+    serve::Client c;
+    connectRetry(c, cfg.socketPath);
+    c.hello("t");
+    c.sendTraceFile(path);
+    serve::StreamResult r = c.end();
+    srv.stopAndJoin();
+
+    ASSERT_TRUE(r.ok) << r.text;
+    EXPECT_EQ(metricLines(r.text), metricLines(off.metricsText()));
+    auto snap = srv.snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_TRUE(snap[0].tim == off.timingStats());
+    std::remove(path.c_str());
+}
+
+TEST(Service, FourConcurrentStreamsTwoTenants)
+{
+    CompiledProgram prog = compileAndAnalyze(kLoopProgram, "svc_loop");
+    std::string clean = capture(prog, "conc_clean", 2, false);
+    std::string dirty =
+        capture(prog, "conc_dirty", 2, false, /*tamper=*/true);
+
+    Session offClean =
+        Session::builder().program(prog).plan(ReplayPlan(clean))
+            .build();
+    offClean.run();
+    Session offDirty =
+        Session::builder().program(prog).plan(ReplayPlan(dirty))
+            .build();
+    offDirty.run();
+    ASSERT_FALSE(offClean.alarmed());
+    ASSERT_TRUE(offDirty.alarmed());
+
+    serve::ServerConfig cfg;
+    cfg.socketPath = tmpPath("conc.sock");
+    cfg.threads = 4;
+    serve::Server srv(prog, cfg);
+    srv.start();
+
+    // 4 simultaneous client threads, 2 per tenant; tenant "alice"
+    // streams clean traces, tenant "bob" alarmed ones.
+    std::atomic<int> okCount{0}, alarmTotal{0};
+    auto stream = [&](const char *tenant, const std::string &file) {
+        serve::Client c;
+        connectRetry(c, cfg.socketPath);
+        c.hello(tenant);
+        c.sendTraceFile(file, 128);
+        serve::StreamResult r = c.end();
+        if (r.ok)
+            okCount++;
+        alarmTotal += static_cast<int>(r.alarms);
+    };
+    std::vector<std::thread> ts;
+    ts.emplace_back(stream, "alice", clean);
+    ts.emplace_back(stream, "alice", clean);
+    ts.emplace_back(stream, "bob", dirty);
+    ts.emplace_back(stream, "bob", dirty);
+    for (auto &t : ts)
+        t.join();
+    srv.waitForStreams(4);
+    srv.stopAndJoin();
+
+    EXPECT_EQ(okCount.load(), 4);
+    EXPECT_EQ(srv.streamsCompleted(), 4u);
+    EXPECT_EQ(srv.streamsFailed(), 0u);
+    EXPECT_EQ(alarmTotal.load(),
+              2 * static_cast<int>(offDirty.alarms().size()));
+
+    // Tenants aggregate separately, sorted by name.
+    auto snap = srv.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].name, "alice");
+    EXPECT_EQ(snap[0].streams, 2u);
+    EXPECT_TRUE(snap[0].alarms.empty());
+    EXPECT_EQ(snap[1].name, "bob");
+    EXPECT_EQ(snap[1].streams, 2u);
+    EXPECT_EQ(snap[1].alarms.size(), 2 * offDirty.alarms().size());
+
+    // The /statsz page names both tenants and the transport meters.
+    std::string statsz = srv.statszText();
+    EXPECT_NE(statsz.find("# tenant alice"), std::string::npos);
+    EXPECT_NE(statsz.find("# tenant bob"), std::string::npos);
+    EXPECT_NE(statsz.find(obs::names::kTenantStreams),
+              std::string::npos);
+    EXPECT_NE(statsz.find(obs::names::kServeFramesIn),
+              std::string::npos);
+    std::remove(clean.c_str());
+    std::remove(dirty.c_str());
+}
+
+TEST(Service, InterleavedTenantsOnTheSameWireStaySeparate)
+{
+    CompiledProgram prog = compileAndAnalyze(kLoopProgram, "svc_loop");
+    std::string clean = capture(prog, "il_clean", 1, false);
+    std::string dirty =
+        capture(prog, "il_dirty", 1, false, /*tamper=*/true);
+    std::vector<uint8_t> cleanBytes = readBytes(clean);
+    std::vector<uint8_t> dirtyBytes = readBytes(dirty);
+    std::remove(clean.c_str());
+    std::remove(dirty.c_str());
+
+    serve::ServerConfig cfg;
+    cfg.socketPath = tmpPath("il.sock");
+    serve::Server srv(prog, cfg);
+    srv.start();
+
+    // Two connections alternate tiny sends, so the server's ingest
+    // loop sees the tenants' bytes interleaved at frame granularity.
+    serve::Client a, b;
+    connectRetry(a, cfg.socketPath);
+    connectRetry(b, cfg.socketPath);
+    a.hello("alice");
+    b.hello("bob");
+    size_t offA = 0, offB = 0;
+    const size_t step = 48;
+    while (offA < cleanBytes.size() || offB < dirtyBytes.size()) {
+        if (offA < cleanBytes.size()) {
+            size_t n = std::min(step, cleanBytes.size() - offA);
+            a.sendTraceBytes(cleanBytes.data() + offA, n, n);
+            offA += n;
+        }
+        if (offB < dirtyBytes.size()) {
+            size_t n = std::min(step, dirtyBytes.size() - offB);
+            b.sendTraceBytes(dirtyBytes.data() + offB, n, n);
+            offB += n;
+        }
+    }
+    serve::StreamResult ra = a.end();
+    serve::StreamResult rb = b.end();
+    srv.stopAndJoin();
+
+    ASSERT_TRUE(ra.ok) << ra.text;
+    ASSERT_TRUE(rb.ok) << rb.text;
+    EXPECT_EQ(ra.alarms, 0u);
+    EXPECT_GT(rb.alarms, 0u);
+}
+
+// ------------------------------------------------- failure taxonomy
+
+TEST(Service, PartialFrameAtDropFailsTheStreamAsTruncation)
+{
+    CompiledProgram prog = compileAndAnalyze(kLoopProgram, "svc_loop");
+    std::string path = capture(prog, "drop", 1, false);
+    std::vector<uint8_t> bytes = readBytes(path);
+    std::remove(path.c_str());
+
+    serve::ServerConfig cfg;
+    cfg.socketPath = tmpPath("drop.sock");
+    serve::Server srv(prog, cfg);
+    srv.start();
+
+    serve::Client c;
+    connectRetry(c, cfg.socketPath);
+    c.hello("t");
+    // A full TraceData frame, then HALF of another: drop mid-frame.
+    std::vector<uint8_t> wireBytes;
+    serve::wire::appendFrame(wireBytes,
+                             serve::wire::FrameType::TraceData,
+                             bytes.data(), bytes.size() / 2);
+    std::vector<uint8_t> second = serve::wire::encodeFrame(
+        serve::wire::FrameType::TraceData,
+        bytes.data() + bytes.size() / 2,
+        bytes.size() - bytes.size() / 2);
+    wireBytes.insert(wireBytes.end(), second.begin(),
+                     second.begin() +
+                         static_cast<long>(second.size() / 2));
+    c.sendRaw(wireBytes);
+    c.close();
+
+    srv.waitForStreams(1);
+    srv.stopAndJoin();
+    EXPECT_EQ(srv.streamsCompleted(), 0u);
+    EXPECT_EQ(srv.streamsFailed(), 1u);
+    EXPECT_NE(srv.statszText().find("ipds.serve.streams_failed"),
+              std::string::npos);
+}
+
+TEST(Service, OversizedFrameIsRejectedBeforeBuffering)
+{
+    CompiledProgram prog = compileAndAnalyze(kLoopProgram, "svc_loop");
+    serve::ServerConfig cfg;
+    cfg.socketPath = tmpPath("big.sock");
+    cfg.maxFrameBytes = 1024;
+    serve::Server srv(prog, cfg);
+    srv.start();
+
+    serve::Client c;
+    connectRetry(c, cfg.socketPath);
+    c.hello("t");
+    std::vector<uint8_t> big(4096, 0xab);
+    c.sendRaw(serve::wire::encodeFrame(
+        serve::wire::FrameType::TraceData, big.data(), big.size()));
+    serve::StreamResult r = c.end();
+    srv.stopAndJoin();
+
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(srv.streamsFailed(), 1u);
+    std::istringstream in(srv.statszText());
+    std::string line;
+    uint64_t oversized = 0;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string name;
+        uint64_t v = 0;
+        ls >> name >> v;
+        if (name == obs::names::kServeOversizedFrames)
+            oversized = v;
+    }
+    EXPECT_EQ(oversized, 1u);
+}
+
+TEST(Service, FrameCrcMismatchRejectsTheStream)
+{
+    CompiledProgram prog = compileAndAnalyze(kLoopProgram, "svc_loop");
+    std::string path = capture(prog, "fcrc", 1, false);
+    std::vector<uint8_t> bytes = readBytes(path);
+    std::remove(path.c_str());
+
+    serve::ServerConfig cfg;
+    cfg.socketPath = tmpPath("fcrc.sock");
+    serve::Server srv(prog, cfg);
+    srv.start();
+
+    serve::Client c;
+    connectRetry(c, cfg.socketPath);
+    c.hello("t");
+    std::vector<uint8_t> frame = serve::wire::encodeFrame(
+        serve::wire::FrameType::TraceData, bytes.data(), bytes.size());
+    frame[serve::wire::kFrameHeaderBytes + 20] ^= 0x04;
+    c.sendRaw(frame);
+    serve::StreamResult r = c.end();
+    srv.stopAndJoin();
+
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.text.find("CRC"), std::string::npos) << r.text;
+    EXPECT_EQ(srv.streamsFailed(), 1u);
+}
+
+TEST(Service, ChunkCrcMismatchInsideValidFramesRejectsTheStream)
+{
+    // The frame CRC is clean — the corruption is in the carried trace
+    // chunk, caught by the SAME check offline replay applies.
+    CompiledProgram prog = compileAndAnalyze(kLoopProgram, "svc_loop");
+    std::string path = capture(prog, "ccrc", 1, false);
+    std::vector<uint8_t> bytes = readBytes(path);
+    std::remove(path.c_str());
+    bytes[bytes.size() - 5] ^= 0x10; // payload byte of the last chunk
+
+    serve::ServerConfig cfg;
+    cfg.socketPath = tmpPath("ccrc.sock");
+    serve::Server srv(prog, cfg);
+    srv.start();
+    serve::Client c;
+    connectRetry(c, cfg.socketPath);
+    c.hello("t");
+    c.sendTraceBytes(bytes.data(), bytes.size());
+    serve::StreamResult r = c.end();
+    srv.stopAndJoin();
+
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.text.find("CRC"), std::string::npos) << r.text;
+}
+
+TEST(Service, TruncatedTraceAtCleanFrameBoundaryIsTruncation)
+{
+    // All frames arrive intact and the client closes cleanly — but
+    // the trace inside ends mid-chunk. TruncatedChunk, not CRC.
+    CompiledProgram prog = compileAndAnalyze(kLoopProgram, "svc_loop");
+    std::string path = capture(prog, "tr", 1, false);
+    std::vector<uint8_t> bytes = readBytes(path);
+    std::remove(path.c_str());
+    bytes.resize(bytes.size() - 5);
+
+    serve::ServerConfig cfg;
+    cfg.socketPath = tmpPath("tr.sock");
+    serve::Server srv(prog, cfg);
+    srv.start();
+    serve::Client c;
+    connectRetry(c, cfg.socketPath);
+    c.hello("t");
+    c.sendTraceBytes(bytes.data(), bytes.size());
+    serve::StreamResult r = c.end();
+    srv.stopAndJoin();
+
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.text.find("truncated"), std::string::npos) << r.text;
+    EXPECT_EQ(r.text.find("CRC"), std::string::npos) << r.text;
+}
+
+TEST(Service, ForeignModuleTraceIsRejected)
+{
+    CompiledProgram prog = compileAndAnalyze(kLoopProgram, "svc_loop");
+    const char *other =
+        "void main() { if (input_int() == 1) { print_str(\"y\\n\"); } }";
+    CompiledProgram otherProg = compileAndAnalyze(other, "other");
+    std::string path = tmpPath("foreign.trc");
+    Session::builder()
+        .program(otherProg)
+        .inputs({"1"})
+        .plan(CapturePlan(path))
+        .build()
+        .run();
+
+    serve::ServerConfig cfg;
+    cfg.socketPath = tmpPath("foreign.sock");
+    serve::Server srv(prog, cfg);
+    srv.start();
+    serve::Client c;
+    connectRetry(c, cfg.socketPath);
+    c.hello("t");
+    c.sendTraceFile(path);
+    serve::StreamResult r = c.end();
+    srv.stopAndJoin();
+
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.text.find("different program"), std::string::npos)
+        << r.text;
+    std::remove(path.c_str());
+}
+
+TEST(Service, SlowClientIsPausedCountedAndNeverDeadlocked)
+{
+    CompiledProgram prog = compileAndAnalyze(kLoopProgram, "svc_loop");
+    std::string path = capture(prog, "slow", 40, false);
+    std::vector<uint8_t> bytes = readBytes(path);
+    std::remove(path.c_str());
+
+    serve::ServerConfig cfg;
+    cfg.socketPath = tmpPath("slow.sock");
+    cfg.pendingChunkCap = 1; // admission control at its tightest
+    cfg.threads = 1;         // and a single worker, worst case
+    serve::Server srv(prog, cfg);
+    srv.start();
+
+    serve::Client c;
+    connectRetry(c, cfg.socketPath);
+    c.hello("t");
+    c.sendTraceBytes(bytes.data(), bytes.size(), 64);
+    serve::StreamResult r = c.end();
+    srv.stopAndJoin();
+
+    // The stream completes — backpressure pauses the socket, it never
+    // wedges the server — and the stall accounting shows it happened.
+    ASSERT_TRUE(r.ok) << r.text;
+    EXPECT_EQ(r.sessions, 40u);
+    std::string statsz = srv.statszText();
+    std::istringstream in(statsz);
+    std::string line;
+    uint64_t stalls = 0, resumes = 0;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string name;
+        uint64_t v = 0;
+        ls >> name >> v;
+        if (name == obs::names::kServeBackpressureStalls)
+            stalls = v;
+        if (name == obs::names::kServeResumes)
+            resumes = v;
+    }
+    EXPECT_GT(stalls, 0u) << statsz;
+    EXPECT_EQ(stalls, resumes) << statsz;
+}
+
+// ------------------------------------------------- Session facade
+
+TEST(Service, ServePlanAggregatesTenantsLikeOfflineReplay)
+{
+    CompiledProgram prog = compileAndAnalyze(kLoopProgram, "svc_loop");
+    std::string dirty =
+        capture(prog, "plan_dirty", 2, false, /*tamper=*/true);
+    Session off = Session::builder()
+                      .program(prog)
+                      .plan(ReplayPlan(dirty))
+                      .build();
+    off.run();
+
+    std::string sock = tmpPath("plan.sock");
+    Session srvSession = Session::builder()
+                             .program(prog)
+                             .threads(2)
+                             .plan(ServePlan(sock)
+                                       .stopAfterStreams(2))
+                             .build();
+    std::thread t([&] { srvSession.run(); });
+
+    // A client-side throw must still join the server thread — an
+    // exception unwinding past a joinable std::thread aborts.
+    try {
+        for (const char *tenant : {"a", "b"}) {
+            serve::Client c;
+            connectRetry(c, sock);
+            c.hello(tenant);
+            c.sendTraceFile(dirty);
+            serve::StreamResult r = c.end();
+            EXPECT_TRUE(r.ok) << r.text;
+        }
+    } catch (...) {
+        srvSession.stopServing();
+        t.join();
+        throw;
+    }
+    t.join();
+
+    // Two tenants, one alarmed stream each: the session aggregate is
+    // the offline result twice over.
+    EXPECT_EQ(srvSession.alarms().size(), 2 * off.alarms().size());
+    EXPECT_EQ(srvSession.detectorStats().branchesSeen,
+              2 * off.detectorStats().branchesSeen);
+    EXPECT_NE(srvSession.serveStatsz().find("# tenant a"),
+              std::string::npos);
+    EXPECT_NE(srvSession.serveStatsz().find("# tenant b"),
+              std::string::npos);
+    std::remove(dirty.c_str());
+}
+
+TEST(Service, StopServingUnblocksAnOpenEndedServePlan)
+{
+    CompiledProgram prog = compileAndAnalyze(kLoopProgram, "svc_loop");
+    std::string path = capture(prog, "stop", 1, false);
+    std::string sock = tmpPath("stop.sock");
+    Session srvSession = Session::builder()
+                             .program(prog)
+                             .plan(ServePlan(sock)) // open-ended
+                             .build();
+    std::thread t([&] { srvSession.run(); });
+
+    try {
+        serve::Client c;
+        connectRetry(c, sock);
+        c.hello("t");
+        c.sendTraceFile(path);
+        serve::StreamResult r = c.end();
+        EXPECT_TRUE(r.ok) << r.text;
+        c.close();
+    } catch (...) {
+        srvSession.stopServing();
+        t.join();
+        throw;
+    }
+
+    srvSession.stopServing();
+    t.join();
+    EXPECT_EQ(srvSession.detectorStats().branchesSeen > 0, true);
+    std::remove(path.c_str());
+}
+
+TEST(Service, ServePlanRejectsVmOnlyKnobs)
+{
+    CompiledProgram prog = compileAndAnalyze(kLoopProgram, "svc_loop");
+    TamperSpec spec;
+    try {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+        Session::builder()
+            .program(prog)
+            .plan(ServePlan("x.sock"))
+            .tamper(spec)
+            .build();
+#pragma GCC diagnostic pop
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("ServePlan"),
+                  std::string::npos)
+            << e.what();
+    }
+}
