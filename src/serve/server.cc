@@ -143,7 +143,6 @@ struct Server::Impl
 {
     const CompiledProgram &prog;
     ServerConfig cfg;
-    ThreadPool pool;
 
     int listenFd = -1;
     int pipeRd = -1;
@@ -151,10 +150,12 @@ struct Server::Impl
     std::thread ingest;
     bool started = false;
     bool joined = false;
+    std::atomic<std::thread::id> ingestTid{};
 
     // Ingest-thread-only state.
     std::unordered_map<uint32_t, Conn> conns;
     uint32_t nextConnId = 1;
+    std::deque<std::pair<Msg, uint32_t>> selfMsgs;
 
     // Shared state.
     mutable std::mutex mtx;
@@ -164,10 +165,17 @@ struct Server::Impl
     uint64_t failedStreams = 0;
     std::map<std::string, TenantState> tenants;
     obs::MetricsRegistry reg;
-    std::vector<uint64_t> latencySamples;
+    std::vector<uint64_t> latencySamples; ///< ring of the newest cap
+    size_t latencyNext = 0; ///< overwrite slot once the ring is full
     obs::MetricHandle hAccepted, hCompleted, hFailed, hFrames,
         hBytes, hFrameCrc, hOversized, hBadFrames, hStalls, hResumes,
         hMaxActive, hLatency;
+
+    // Declared LAST: ~Impl destroys members in reverse order, and
+    // ~ThreadPool drains in-flight stream actors that still lock mtx
+    // and touch tenants/reg/latencySamples — the pool must go first,
+    // while all of that shared state is still alive.
+    ThreadPool pool;
 
     Impl(const CompiledProgram &p, ServerConfig c)
         : prog(p), cfg(std::move(c)), pool(cfg.threads)
@@ -194,14 +202,44 @@ struct Server::Impl
 
     void postMsg(Msg t, uint32_t connId)
     {
+        if (std::this_thread::get_id() == ingestTid.load()) {
+            // The ingest thread is the pipe's only reader, so a
+            // blocked write here would deadlock it — and actors DO
+            // run on it (submit() is inline with a 1-worker pool).
+            // Queue locally instead; the loop drains selfMsgs at
+            // the top of every iteration, before the pipe.
+            selfMsgs.emplace_back(t, connId);
+            return;
+        }
         uint8_t b[5];
         b[0] = static_cast<uint8_t>(t);
         replay::putU32(b + 1, connId);
-        // Non-blocking by design: a full pipe would mean thousands of
-        // unread 5-byte messages; dropping a resume/done there is
-        // recovered by the close path, never a hang.
-        ssize_t rc = write(pipeWr, b, sizeof b);
-        (void)rc;
+        for (;;) {
+            // <= PIPE_BUF, so the write is atomic: 5 bytes or none.
+            ssize_t rc = write(pipeWr, b, sizeof b);
+            if (rc == static_cast<ssize_t>(sizeof b))
+                return;
+            if (rc < 0 && errno == EINTR)
+                continue;
+            if (rc < 0 &&
+                (errno == EAGAIN || errno == EWOULDBLOCK)) {
+                // Full pipe (thousands of unread messages). A
+                // dropped Done/Resume would hang that client
+                // forever, so wait for the ingest thread to drain —
+                // unless it already exited, in which case nobody
+                // reads the pipe and the message is moot (results
+                // were merged before Done is ever posted).
+                {
+                    std::lock_guard<std::mutex> lk(mtx);
+                    if (stopped)
+                        return;
+                }
+                pollfd p{pipeWr, POLLOUT, 0};
+                poll(&p, 1, 10);
+                continue;
+            }
+            return; // EBADF/EPIPE teardown race: nothing to signal
+        }
     }
 
     // ---- actor side --------------------------------------------------
@@ -249,7 +287,19 @@ struct Server::Impl
                         .count());
                 std::lock_guard<std::mutex> lk(mtx);
                 reg.observe(hLatency, us);
-                latencySamples.push_back(us);
+                // Bounded ring: an open-ended daemon must not grow
+                // memory per frame served. The histogram above keeps
+                // the full-run aggregate.
+                if (cfg.latencySampleCap > 0) {
+                    if (latencySamples.size() <
+                        cfg.latencySampleCap) {
+                        latencySamples.push_back(us);
+                    } else {
+                        latencySamples[latencyNext] = us;
+                        latencyNext = (latencyNext + 1) %
+                                      cfg.latencySampleCap;
+                    }
+                }
             }
         }
     }
@@ -425,11 +475,9 @@ struct Server::Impl
             bytes = s->bytes;
             stalls = s->stalls;
         }
-        // Post Done BEFORE waking waitForStreams(): a waiter may call
-        // requestStop() the moment the count trips, and the self-pipe
-        // is FIFO — posting first guarantees the ingest thread sends
-        // this stream's Result frame before it sees Stop.
-        postMsg(Msg::Done, s->connId);
+        // Merge the tenant aggregate BEFORE posting Done: the Result
+        // frame is the client's signal that the stream landed, so
+        // snapshot()/statsz taken after it must already see it.
         {
             std::lock_guard<std::mutex> lk(mtx);
             TenantState &t = tenants[s->tenant];
@@ -443,6 +491,15 @@ struct Server::Impl
             t.frames += frames;
             t.bytes += bytes;
             t.stalls += stalls;
+        }
+        // Post Done BEFORE bumping the completion count: a waiter in
+        // waitForStreams() may call requestStop() the moment the
+        // count trips, and messages are ordered — counting after the
+        // post guarantees the ingest thread sends this stream's
+        // Result frame before it can ever see Stop.
+        postMsg(Msg::Done, s->connId);
+        {
+            std::lock_guard<std::mutex> lk(mtx);
             completed++;
             reg.add(hCompleted);
             cv.notify_all();
@@ -463,9 +520,9 @@ struct Server::Impl
             bytes = s->bytes;
             stalls = s->stalls;
         }
-        // Same ordering contract as finishStream: the Error frame's
-        // Fail message must precede any Stop a woken waiter posts.
-        postMsg(Msg::Fail, s->connId);
+        // Same shape as finishStream: merge first (an Error frame
+        // implies the meters landed), count + notify only after the
+        // post so a woken waiter's Stop cannot overtake the Fail.
         {
             std::lock_guard<std::mutex> lk(mtx);
             if (!s->tenant.empty()) {
@@ -474,6 +531,10 @@ struct Server::Impl
                 t.bytes += bytes;
                 t.stalls += stalls;
             }
+        }
+        postMsg(Msg::Fail, s->connId);
+        {
+            std::lock_guard<std::mutex> lk(mtx);
             failedStreams++;
             reg.add(hFailed);
             cv.notify_all();
@@ -538,18 +599,21 @@ struct Server::Impl
         conns.erase(it);
     }
 
+    void noteBadFrame(bool crc, bool oversized)
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        if (crc)
+            reg.add(hFrameCrc);
+        else if (oversized)
+            reg.add(hOversized);
+        else
+            reg.add(hBadFrames);
+    }
+
     void rejectConn(Conn &c, const std::string &why, bool crc,
                     bool oversized)
     {
-        {
-            std::lock_guard<std::mutex> lk(mtx);
-            if (crc)
-                reg.add(hFrameCrc);
-            else if (oversized)
-                reg.add(hOversized);
-            else
-                reg.add(hBadFrames);
-        }
+        noteBadFrame(crc, oversized);
         sendFrame(c, wire::FrameType::Error, why);
         c.closing = true;
     }
@@ -660,19 +724,27 @@ struct Server::Impl
                     }
                     if (st == wire::DecodeStatus::NeedMore)
                         break;
+                    const bool crc =
+                        st == wire::DecodeStatus::CrcMismatch;
+                    const bool oversized =
+                        st == wire::DecodeStatus::Oversized;
                     const char *why =
-                        st == wire::DecodeStatus::CrcMismatch
-                        ? "frame CRC mismatch"
-                        : st == wire::DecodeStatus::Oversized
-                            ? "oversized frame"
-                            : "bad frame";
-                    if (c.stream)
+                        crc ? "frame CRC mismatch"
+                            : oversized ? "oversized frame"
+                                        : "bad frame";
+                    if (c.stream) {
+                        // One Error frame per connection: the
+                        // Msg::Fail path sends it (with reportText)
+                        // and closes; rejectConn's immediate frame
+                        // would make it two.
+                        noteBadFrame(crc, oversized);
                         failStream(c.stream,
                                    std::string("transport: ") + why);
-                    rejectConn(
-                        c, std::string("transport: ") + why,
-                        st == wire::DecodeStatus::CrcMismatch,
-                        st == wire::DecodeStatus::Oversized);
+                    } else {
+                        rejectConn(c,
+                                   std::string("transport: ") + why,
+                                   crc, oversized);
+                    }
                     return;
                 }
                 if (c.paused)
@@ -733,10 +805,23 @@ struct Server::Impl
 
     void ingestLoop()
     {
+        ingestTid.store(std::this_thread::get_id());
         bool stopSeen = false;
         std::vector<pollfd> pfds;
         std::vector<uint32_t> ids;
         while (!stopSeen) {
+            // Messages this thread posted to itself (inline actors,
+            // failStream from the read path). Drained before pfds
+            // are built so a Fail's closing flag masks POLLIN for
+            // the same iteration, and before the pipe so Done keeps
+            // its posted-before-Stop ordering.
+            while (!selfMsgs.empty()) {
+                std::pair<Msg, uint32_t> m = selfMsgs.front();
+                selfMsgs.pop_front();
+                handleMsg(m.first, m.second, stopSeen);
+            }
+            if (stopSeen)
+                break;
             pfds.clear();
             ids.clear();
             pfds.push_back({pipeRd, POLLIN, 0});
@@ -1004,7 +1089,19 @@ std::vector<uint64_t>
 Server::ingestLatencySamplesMicros() const
 {
     std::lock_guard<std::mutex> lk(impl->mtx);
-    return impl->latencySamples;
+    const std::vector<uint64_t> &ring = impl->latencySamples;
+    std::vector<uint64_t> out;
+    out.reserve(ring.size());
+    // Rotate so the oldest retained sample comes first (latencyNext
+    // is 0 until the ring wraps, so this is a plain copy then).
+    out.insert(out.end(),
+               ring.begin() +
+                   static_cast<ptrdiff_t>(impl->latencyNext),
+               ring.end());
+    out.insert(out.end(), ring.begin(),
+               ring.begin() +
+                   static_cast<ptrdiff_t>(impl->latencyNext));
+    return out;
 }
 
 } // namespace serve

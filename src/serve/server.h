@@ -69,6 +69,14 @@ struct ServerConfig
     /** Per-stream ingest segments in flight before pausing reads. */
     size_t pendingChunkCap = 64;
     int listenBacklog = 16;
+    /**
+     * Newest per-segment latency samples retained for
+     * ingestLatencySamplesMicros() (ring buffer; 0 disables). Keeps
+     * an open-ended daemon's memory bounded — the
+     * ipds.serve.ingest_latency_us histogram still aggregates every
+     * segment.
+     */
+    size_t latencySampleCap = 1u << 16;
 };
 
 /** One tenant's aggregate, merged over its completed streams. */
@@ -126,7 +134,8 @@ class Server
 
     /**
      * Per-segment ingest latencies (enqueue to decoded) in
-     * microseconds, in completion order. For the bench harness.
+     * microseconds — the newest ServerConfig::latencySampleCap
+     * samples, oldest first. For the bench harness.
      */
     std::vector<uint64_t> ingestLatencySamplesMicros() const;
 

@@ -481,6 +481,48 @@ TEST(Service, FourConcurrentStreamsTwoTenants)
     std::remove(dirty.c_str());
 }
 
+TEST(Service, DestroyWhileStreamsStillDecoding)
+{
+    // Regression: destroying the Server while stream actors are
+    // still decoding on the pool. ~Impl must join the pool BEFORE
+    // the shared state those actors touch (mtx, tenants, registry,
+    // latency ring) is destroyed — member order, caught by ASan if
+    // it regresses.
+    CompiledProgram prog = compileAndAnalyze(kLoopProgram, "svc_loop");
+    std::string path = capture(prog, "dtor", 2, false);
+    std::vector<uint8_t> bytes = readBytes(path);
+    std::remove(path.c_str());
+
+    for (int round = 0; round < 8; round++) {
+        serve::ServerConfig cfg;
+        cfg.socketPath = tmpPath("dtor.sock");
+        cfg.threads = 4;
+        std::vector<std::thread> ts;
+        {
+            serve::Server srv(prog, cfg);
+            srv.start();
+            for (int i = 0; i < 4; i++)
+                ts.emplace_back([&, i] {
+                    try {
+                        serve::Client c;
+                        connectRetry(c, cfg.socketPath);
+                        c.hello("t" + std::to_string(i));
+                        c.sendTraceBytes(bytes.data(), bytes.size(),
+                                         64);
+                        c.end(); // server may stop mid-stream
+                    } catch (const FatalError &) {
+                        // expected for streams cut off by the stop
+                    }
+                });
+            // As soon as ONE stream lands, tear the server down —
+            // the other three are (likely) still mid-decode.
+            srv.waitForStreams(1);
+        }
+        for (auto &t : ts)
+            t.join();
+    }
+}
+
 TEST(Service, InterleavedTenantsOnTheSameWireStaySeparate)
 {
     CompiledProgram prog = compileAndAnalyze(kLoopProgram, "svc_loop");
