@@ -22,10 +22,17 @@
  * compared — the speedup is only reported over demonstrably
  * equivalent drivers ("equivalent" in the JSON).
  *
- * Emits machine-readable JSON (events/sec per workload per driver +
- * replay speedups), default BENCH_replay.json.
+ * The parallel sweep (--par-threads, default 1,2,4,8) replays the
+ * same trace through ReplayPlan::parallel(N) — the v2 chunk-index
+ * fan-out — and reports events/s and per-worker events/s for each
+ * worker count, with an embedded sequential-vs-parallel equivalence
+ * check (alarms + DetectorStats bit-identical) gating the numbers.
  *
- * Usage: abl_replay [--repeat N] [--quick] [--json PATH]
+ * Emits machine-readable JSON (events/sec per workload per driver +
+ * replay speedups + the parallel sweep), default BENCH_replay.json.
+ *
+ * Usage: abl_replay [--repeat N] [--quick] [--par-threads CSV]
+ *                   [--json PATH]
  */
 
 #include <algorithm>
@@ -39,6 +46,7 @@
 
 #include "core/program.h"
 #include "ipds/detector.h"
+#include "obs/names.h"
 #include "obs/session.h"
 #include "replay/reader.h"
 #include "replay/replay.h"
@@ -86,11 +94,18 @@ runLive(const CompiledProgram &prog,
     vm.run();
 }
 
+struct ParPoint
+{
+    unsigned workers = 1;
+    double eps = 0; ///< replay events/s at this worker count
+};
+
 struct Row
 {
     std::string name;
     uint64_t events = 0; ///< committed branches per session
     double epsSwitch = 0, epsThreaded = 0, epsReplay = 0;
+    std::vector<ParPoint> par;
 };
 
 } // namespace
@@ -101,18 +116,37 @@ main(int argc, char **argv)
     uint32_t repeat = 200;
     uint32_t trials = 5;
     std::string jsonPath = "BENCH_replay.json";
+    std::vector<unsigned> parSweep = {1, 2, 4, 8};
     for (int i = 1; i < argc; i++) {
         if (!std::strcmp(argv[i], "--repeat") && i + 1 < argc)
             repeat = static_cast<uint32_t>(std::atoi(argv[++i]));
         else if (!std::strcmp(argv[i], "--quick")) {
             repeat = 3;
             trials = 2;
+        } else if (!std::strcmp(argv[i], "--par-threads") &&
+                   i + 1 < argc) {
+            parSweep.clear();
+            for (const char *p = argv[++i]; *p;) {
+                unsigned w = static_cast<unsigned>(std::strtoul(
+                    p, const_cast<char **>(&p), 10));
+                if (w)
+                    parSweep.push_back(w);
+                if (*p == ',')
+                    p++;
+                else
+                    break;
+            }
+            if (parSweep.empty()) {
+                std::fprintf(stderr,
+                             "--par-threads wants e.g. 1,2,4,8\n");
+                return 2;
+            }
         } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
             jsonPath = argv[++i];
         else {
             std::fprintf(stderr,
                          "usage: %s [--repeat N] [--quick] "
-                         "[--json PATH]\n",
+                         "[--par-threads CSV] [--json PATH]\n",
                          argv[0]);
             return 2;
         }
@@ -184,7 +218,6 @@ main(int argc, char **argv)
 
         replay::TraceFile file = replay::TraceFile::load(tracePath);
         replay::ReplayEngine eng(file, prog);
-        std::remove(tracePath.c_str());
 
         // Timed loops, interleaved within each trial: the live
         // drivers execute the repeat sessions VM-by-VM, the replay
@@ -223,6 +256,41 @@ main(int argc, char **argv)
                     row.epsThreaded > 0
                         ? row.epsReplay / row.epsThreaded
                         : 0.0);
+
+        // Parallel sweep over the v2 chunk index. The session's own
+        // events_per_sec gauge times just the replay section (load
+        // excluded), the same window as the sequential loop above;
+        // every parallel run is equivalence-checked against the
+        // sequential replay before its number counts.
+        for (unsigned w : parSweep) {
+            ParPoint pt;
+            pt.workers = w;
+            for (uint32_t trial = 0; trial < trials; trial++) {
+                Session par =
+                    Session::builder()
+                        .program(prog)
+                        .plan(ReplayPlan(tracePath).parallel(w))
+                        .build();
+                par.run();
+                if (!(par.detectorStats() == rep.detectorStats()) ||
+                    !sameAlarms(par.alarms(), rep.alarms())) {
+                    std::fprintf(stderr,
+                                 "MISMATCH: %s parallel(%u) diverges "
+                                 "from sequential replay\n",
+                                 wl.name.c_str(), w);
+                    mismatch = true;
+                }
+                const obs::MetricsRegistry &m = par.metrics();
+                pt.eps = std::max(
+                    pt.eps,
+                    double(m.value(m.find(
+                        obs::names::kReplayEventsPerSec))));
+            }
+            row.par.push_back(pt);
+            std::printf("  par %2uw %36.0f e/s %13.0f e/s/w\n", w,
+                        pt.eps, pt.eps / w);
+        }
+        std::remove(tracePath.c_str());
         rows.push_back(std::move(row));
     }
 
@@ -242,6 +310,28 @@ main(int argc, char **argv)
     std::printf("%-10s %9s %14s %15s %14s %8.2fx\n", "geomean", "-",
                 "-", "-", "-", geoVsThreaded);
 
+    // Parallel scaling geomean: best sweep point vs the 1-worker
+    // point of the same sweep (same code path, same timing window).
+    double geoPar = 1.0;
+    size_t geoParRows = 0;
+    for (const Row &r : rows) {
+        double base = 0, peak = 0;
+        for (const ParPoint &p : r.par) {
+            if (p.workers == 1)
+                base = p.eps;
+            peak = std::max(peak, p.eps);
+        }
+        if (base > 0 && peak > 0) {
+            geoPar *= peak / base;
+            geoParRows++;
+        }
+    }
+    if (geoParRows)
+        geoPar = std::pow(geoPar, 1.0 / geoParRows);
+    if (!rows.empty() && !rows.front().par.empty())
+        std::printf("%-10s parallel scaling geomean %8.2fx\n",
+                    "geomean", geoPar);
+
     FILE *js = std::fopen(jsonPath.c_str(), "w");
     if (!js) {
         std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
@@ -256,18 +346,27 @@ main(int argc, char **argv)
             js,
             "    {\"name\": \"%s\", \"events\": %llu, "
             "\"live_switch_eps\": %.0f, \"live_threaded_eps\": %.0f, "
-            "\"replay_eps\": %.0f, \"speedup\": %.3f}%s\n",
+            "\"replay_eps\": %.0f, \"speedup\": %.3f,\n"
+            "     \"parallel\": [",
             r.name.c_str(),
             static_cast<unsigned long long>(r.events), r.epsSwitch,
             r.epsThreaded, r.epsReplay,
-            r.epsThreaded > 0 ? r.epsReplay / r.epsThreaded : 0.0,
-            i + 1 < rows.size() ? "," : "");
+            r.epsThreaded > 0 ? r.epsReplay / r.epsThreaded : 0.0);
+        for (size_t j = 0; j < r.par.size(); j++)
+            std::fprintf(js,
+                         "{\"workers\": %u, \"eps\": %.0f, "
+                         "\"eps_per_worker\": %.0f}%s",
+                         r.par[j].workers, r.par[j].eps,
+                         r.par[j].eps / r.par[j].workers,
+                         j + 1 < r.par.size() ? ", " : "");
+        std::fprintf(js, "]}%s\n", i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(js,
                  "  ],\n  \"geomean_speedup_vs_switch\": %.3f,\n"
                  "  \"geomean_speedup\": %.3f,\n"
+                 "  \"geomean_parallel_scaling\": %.3f,\n"
                  "  \"equivalent\": %s\n}\n",
-                 geoVsSwitch, geoVsThreaded,
+                 geoVsSwitch, geoVsThreaded, geoPar,
                  mismatch ? "false" : "true");
     bool writeFailed = std::ferror(js) != 0;
     writeFailed |= std::fclose(js) != 0;

@@ -4,13 +4,17 @@
  * workflow a downstream user of this library automates. The run is
  * assembled through the ipds::Session facade and its typed plans:
  * `--attack`/`--fault-seed` configure an ExecPlan, `--record` wraps
- * it in a CapturePlan, `--replay` swaps in a ReplayPlan. --stats
- * prints the session's metrics export (the same JSON the benches
- * publish); --json writes it to a file.
+ * it in a CapturePlan (`--sessions` repeats the session stream into
+ * a multi-session trace), `--replay` swaps in a ReplayPlan
+ * (`--par-threads`, `--seek-session` and `--seek-chunk` select its
+ * parallel and seek modes). --stats prints the session's metrics
+ * export (the same JSON the benches publish); --json writes it to a
+ * file.
  *
  * Exit code: 0 clean run, 2 IPDS alarm, 1 usage/compile error.
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -65,6 +69,10 @@ main(int argc, char **argv)
     uint64_t faultSeed = 0;
     std::string recordPath;
     std::string replayPath;
+    uint32_t sessions = 1;
+    uint32_t parThreads = UINT32_MAX;   // sentinel: flag not given
+    uint32_t seekSession = UINT32_MAX;  // sentinel: flag not given
+    uint64_t seekChunk = UINT64_MAX;    // sentinel: flag not given
     unsigned threads = 1;
     std::string jsonPath;
     args.positional("prog", &target,
@@ -83,8 +91,19 @@ main(int argc, char **argv)
                 "run under the fault plan derived from this seed");
     args.strOpt("record", &recordPath,
                 "capture the run's event stream into an IPDS trace");
+    args.uintOpt("sessions", &sessions,
+                 "repeat the session stream N times (default 1)");
     args.strOpt("replay", &replayPath,
                 "re-detect a recorded trace instead of executing");
+    args.uintOpt("par-threads", &parThreads,
+                 "replay in parallel through the trace's chunk index "
+                 "on N workers (0 = one per core)");
+    args.uintOpt("seek-session", &seekSession,
+                 "start --replay at this session, skipping every "
+                 "earlier chunk");
+    args.u64Opt("seek-chunk", &seekChunk,
+                "start --replay at this chunk, resuming from the "
+                "nearest detector snapshot");
     args.threadsOpt(&threads);
     args.jsonOpt(&jsonPath);
     if (!args.parse(argc, argv))
@@ -120,6 +139,14 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "--replay excludes --fault-seed and --attack "
                      "(record them with --record instead)\n");
+        return 1;
+    }
+    if (replayPath.empty() &&
+        (parThreads != UINT32_MAX || seekSession != UINT32_MAX ||
+         seekChunk != UINT64_MAX)) {
+        std::fprintf(stderr,
+                     "--par-threads/--seek-session/--seek-chunk "
+                     "require --replay\n");
         return 1;
     }
 
@@ -169,6 +196,8 @@ main(int argc, char **argv)
 
         Session::Builder builder = Session::builder();
         builder.program(prog).inputs(inputs).threads(threads);
+        if (sessions > 1)
+            builder.sessions(sessions);
 
         ExecPlan exec;
         if (!attackVar.empty()) {
@@ -210,7 +239,14 @@ main(int argc, char **argv)
             std::fprintf(stderr, "[ipds] recording trace to %s\n",
                          recordPath.c_str());
         } else if (!replayPath.empty()) {
-            builder.plan(ReplayPlan(replayPath));
+            ReplayPlan plan(replayPath);
+            if (parThreads != UINT32_MAX)
+                plan.parallel(parThreads);
+            if (seekSession != UINT32_MAX)
+                plan.seekSession(seekSession);
+            if (seekChunk != UINT64_MAX)
+                plan.seekChunk(seekChunk);
+            builder.plan(plan);
         } else {
             builder.plan(exec);
         }

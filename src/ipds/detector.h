@@ -103,6 +103,27 @@ struct DetectorStats
 };
 
 /**
+ * Portable image of a detector's live state at one instant of a
+ * session: the BSV frame stack (bottom→top, each frame reduced to its
+ * known slots) plus the running counters. Captured by the trace
+ * writer's periodic snapshots (replay/snapshot.h) and restored by
+ * seekable replay to resume mid-session without re-feeding the prefix.
+ */
+struct DetectorSnapshot
+{
+    struct Activation
+    {
+        FuncId func = kNoFunc;
+        /** (slot, BsvState) pairs for every non-Unknown slot,
+         *  ascending by slot. */
+        std::vector<std::pair<uint32_t, uint8_t>> slots;
+    };
+    std::vector<Activation> activations; ///< bottom→top
+    DetectorStats stats;
+    uint64_t alarmsSoFar = 0;
+};
+
+/**
  * Functional IPDS detector; attach to a Vm as an ExecObserver.
  *
  * The class is final and its event handlers are defined inline below:
@@ -177,6 +198,24 @@ class Detector final : public ExecObserver
 
     /** Frames ever allocated (pool growth; tests assert reuse). */
     size_t allocatedFrames() const { return framesAllocated; }
+
+    /**
+     * Capture the live frame stack + counters into @p out (see
+     * DetectorSnapshot). The alarm list itself is not serialized —
+     * only its count — so a restored detector reports alarms raised
+     * after the snapshot point.
+     */
+    void captureState(DetectorSnapshot &out) const;
+
+    /**
+     * Replace this detector's state with @p snap: reset(), then
+     * re-acquire pooled frames for each recorded activation (no entry
+     * actions, requests or tracing — the snapshot already reflects
+     * them) and restore the known slots and counters. FatalError on a
+     * snapshot naming functions or slots this program does not have
+     * (foreign/corrupt snapshot blob).
+     */
+    void restoreState(const DetectorSnapshot &snap);
 
     /** Hash space of the live top frame (0 if none) — the valid slot
      *  range for injectBsvState (fault injection). */

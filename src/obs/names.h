@@ -131,6 +131,15 @@ inline constexpr const char *kReplayTruncatedChunks =
     "ipds.replay.truncated_chunks";
 inline constexpr const char *kReplayVersionMismatches =
     "ipds.replay.version_mismatches";
+inline constexpr const char *kReplayIndexMissing =
+    "ipds.replay.index_missing";
+inline constexpr const char *kReplaySeeks = "ipds.replay.seeks";
+inline constexpr const char *kReplaySnapshotsWritten =
+    "ipds.replay.snapshots_written";
+inline constexpr const char *kReplaySnapshotsUsed =
+    "ipds.replay.snapshots_used";
+inline constexpr const char *kReplayWorkers = ///< gauge (run config)
+    "ipds.replay.workers";
 
 // Detection service, per-tenant transport meters (src/serve).
 // Each tenant's registry otherwise mirrors the offline-replay

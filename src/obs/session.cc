@@ -9,9 +9,12 @@
 
 #include "obs/names.h"
 #include "replay/replay.h"
+#include "replay/snapshot.h"
 #include "serve/server.h"
 #include "support/diag.h"
 #include "support/threadpool.h"
+
+#include <algorithm>
 
 namespace ipds {
 
@@ -60,6 +63,31 @@ Session::Builder::build()
         if (!o.extraObservers.empty())
             fatal("Session: replayFrom() cannot combine with "
                   "observe() — replay has no VM to observe");
+        if ((o.replayParallel ? 1 : 0) +
+                (o.replaySeekSessionSet ? 1 : 0) +
+                (o.replaySeekChunkSet ? 1 : 0) > 1)
+            fatal("Session: ReplayPlan parallel(), seekSession() and "
+                  "seekChunk() are mutually exclusive");
+        // Recipe checks that need the capture's geometry read just
+        // the header now, so a bad plan fails at build() instead of
+        // mid-replay.
+        if ((o.replayParallel && o.replayWorkers > 0) ||
+            o.replaySeekChunkSet) {
+            replay::TraceMeta m =
+                replay::readTraceHeader(o.replayPath);
+            if (o.replayParallel && m.hasTiming &&
+                o.replayWorkers > m.shards)
+                fatal("Session: parallel(%u) exceeds the capture "
+                      "shard geometry — a timing trace parallelizes "
+                      "per capture shard and '%s' was recorded with "
+                      "%u shard(s)",
+                      o.replayWorkers, o.replayPath.c_str(),
+                      m.shards);
+            if (o.replaySeekChunkSet && m.hasTiming)
+                fatal("Session: seekChunk() is not available for "
+                      "timing traces (the CPU scoreboard is not "
+                      "snapshotted) — use seekSession()");
+        }
     }
     if (!o.detectorExplicit && o.useTiming)
         o.detectorOn = o.timingCfg.ipdsEnabled;
@@ -149,6 +177,29 @@ Session::runShard(uint32_t shard, ShardOut &out,
             if (trc)
                 det.setTracer(trc);
         }
+
+        // Snapshot provider: the writer invokes it inside its
+        // function-event hooks, where the detector/CpuModel state
+        // corresponds exactly to the bytes recorded so far (the
+        // recorder attaches last). Re-armed per session so the lambda
+        // sees this session's detector.
+        if (capture)
+            capture->setSnapshotProvider(
+                [&](std::vector<uint8_t> &blob) {
+                    replay::SnapshotData sd;
+                    if (opt.detectorOn) {
+                        sd.hasDetector = true;
+                        det.captureState(sd.det);
+                    }
+                    if (cpu) {
+                        sd.hasTiming = true;
+                        sd.tim = cpu->stats();
+                        cpu->ipdsEngine().captureState(sd.engine);
+                    }
+                    if (!sd.hasDetector && !sd.hasTiming)
+                        return; // nothing to resume from
+                    replay::encodeSnapshot(sd, blob);
+                });
 
         // Fault injection interposes: the injector is the Vm's only
         // observer and forwards to the same targets in the same
@@ -284,6 +335,8 @@ Session::run()
     // shard order at the join (chunk session ids stay monotonic).
     const bool capturing = !opt.capturePath.empty();
     std::ofstream capFile;
+    uint64_t capHeaderBytes = 0;
+    uint64_t capSnapsWritten = 0;
     std::vector<std::unique_ptr<std::ostringstream>> capBufs;
     std::vector<std::unique_ptr<replay::TraceWriter>> capWriters;
     if (capturing) {
@@ -309,6 +362,7 @@ Session::run()
         replay::encodeHeader(meta, hdr.data());
         capFile.write(reinterpret_cast<const char *>(hdr.data()),
                       static_cast<std::streamsize>(hdr.size()));
+        capHeaderBytes = hdr.size();
         auto mode = opt.useTiming
             ? replay::TraceWriter::Mode::Full
             : replay::TraceWriter::Mode::BranchesOnly;
@@ -321,6 +375,8 @@ Session::run()
             }
             capWriters.push_back(
                 std::make_unique<replay::TraceWriter>(*sink, mode));
+            capWriters.back()->snapshotEvery(
+                opt.captureSnapshotEvery);
         }
     }
     auto captureFor = [&](uint32_t s) {
@@ -347,6 +403,25 @@ Session::run()
                               static_cast<std::streamsize>(
                                   chunkBytes.size()));
             }
+        // v2 chunk-index footer: each writer's entries carry
+        // stream-relative offsets; rebase into file offsets as the
+        // shard streams concatenate in shard order behind the header.
+        uint64_t fileOff = capHeaderBytes;
+        std::vector<replay::ChunkIndexEntry> idx;
+        for (uint32_t s = 0; s < opt.shards; s++) {
+            for (replay::ChunkIndexEntry e :
+                 capWriters[s]->indexEntries()) {
+                e.fileOffset += fileOff;
+                idx.push_back(e);
+            }
+            fileOff += capWriters[s]->bytesWritten();
+            capSnapsWritten += capWriters[s]->snapshotsWritten();
+        }
+        std::vector<uint8_t> footer;
+        replay::appendIndexFooter(footer, idx.data(), idx.size(),
+                                  fileOff);
+        capFile.write(reinterpret_cast<const char *>(footer.data()),
+                      static_cast<std::streamsize>(footer.size()));
         capFile.close();
         if (!capFile)
             fatal("Session: error writing capture file '%s'",
@@ -368,6 +443,10 @@ Session::run()
         if (out.hasFirst)
             firstResult = std::move(out.firstResult);
     }
+    if (capturing)
+        registry.add(
+            registry.counter(obs::names::kReplaySnapshotsWritten),
+            capSnapsWritten);
     return *this;
 }
 
@@ -383,22 +462,212 @@ Session::runReplay()
     traceLog.clear();
     traceLost = 0;
 
-    replay::TraceFile tf = replay::TraceFile::load(opt.replayPath);
+    const bool wantIndex = opt.replayParallel ||
+        opt.replaySeekSessionSet || opt.replaySeekChunkSet;
+    replay::IndexedLoad idxInfo;
+    replay::TraceFile tf = wantIndex
+        ? replay::TraceFile::loadIndexed(opt.replayPath, &idxInfo)
+        : replay::TraceFile::load(opt.replayPath);
     replay::ReplayEngine eng(tf, *opt.prog);
     const replay::TraceMeta &m = tf.meta();
+    const std::vector<replay::ChunkRef> &chunks = tf.chunks();
 
-    // Shard partition comes from the capture (aggregates are a pure
-    // function of (sessions, shards)); threads only selects replay
-    // parallelism, joined in shard order like the live path.
-    std::vector<replay::ReplayShardResult> outs(m.shards);
+    const uint64_t indexMissing =
+        (wantIndex ? idxInfo.usedIndex : tf.hasIndexFooter()) ? 0 : 1;
+    uint64_t seeks = 0;
+    uint64_t snapshotsUsed = 0;
+    uint64_t workersUsed = 1;
+
+    // Chunks sit in non-decreasing session order (shard streams
+    // concatenate in shard order), so a session's chunks are one
+    // contiguous range.
+    auto firstChunkOf = [&](uint32_t sess) {
+        return static_cast<size_t>(
+            std::lower_bound(chunks.begin(), chunks.end(), sess,
+                             [](const replay::ChunkRef &c,
+                                uint32_t s) {
+                                 return c.session < s;
+                             }) -
+            chunks.begin());
+    };
+
+    // Every mode funnels its results into per-capture-shard slots and
+    // through the same registry block below, so the export shape (and
+    // the serve mirror) never forks.
+    std::vector<replay::ReplayShardResult> outs;
     auto t0 = std::chrono::steady_clock::now();
-    if (m.shards == 1 && opt.threads == 1) {
-        eng.replayShard(0, outs[0]);
+
+    if (opt.replaySeekSessionSet || opt.replaySeekChunkSet) {
+        // ---- seek: one span cursor over the trace tail; earlier
+        // chunks are never read (the chunk meter proves the skip).
+        outs.resize(1);
+        seeks = 1;
+        if (opt.replaySeekSessionSet) {
+            uint32_t s = opt.replaySeekSession;
+            if (s >= m.sessions)
+                fatal("Session: seekSession(%u) out of range (trace "
+                      "has %u sessions)",
+                      s, m.sessions);
+            eng.replayChunkRange(firstChunkOf(s), chunks.size(), s,
+                                 m.sessions, outs[0]);
+        } else {
+            if (opt.replaySeekChunk >= chunks.size())
+                fatal("Session: seekChunk(%llu) out of range (trace "
+                      "has %zu chunks)",
+                      static_cast<unsigned long long>(
+                          opt.replaySeekChunk),
+                      chunks.size());
+            if (m.hasTiming)
+                fatal("Session: seekChunk() is not available for "
+                      "timing traces (the CPU scoreboard is not "
+                      "snapshotted) — use seekSession()");
+            const size_t k =
+                static_cast<size_t>(opt.replaySeekChunk);
+            const uint32_t sess = chunks[k].session;
+            size_t sessStart = k;
+            while (sessStart > 0 &&
+                   chunks[sessStart - 1].session == sess)
+                sessStart--;
+
+            // Nearest preceding snapshot-opened chunk of the same
+            // session; a damaged snapshot degrades to replaying the
+            // session from its start.
+            size_t from = sessStart;
+            bool resumed = false;
+            replay::SnapshotData sd;
+            for (size_t i = k + 1; i-- > sessStart;) {
+                if (!(chunks[i].flags & replay::kChunkHasSnapshot))
+                    continue;
+                try {
+                    if (tf.crcDeferred())
+                        tf.checkChunkCrc(chunks[i]);
+                    replay::TraceReader r(tf.payload(chunks[i]),
+                                          chunks[i].payloadLen);
+                    if (r.tag() != replay::Tag::Snapshot)
+                        fatal("trace: snapshot flag without a "
+                              "snapshot record");
+                    uint64_t len = r.var();
+                    const uint8_t *blob =
+                        r.bytes(static_cast<size_t>(len));
+                    replay::decodeSnapshot(
+                        blob, static_cast<size_t>(len), sd);
+                    from = i;
+                    resumed = true;
+                } catch (const FatalError &) {
+                    // fall back to the session start
+                }
+                break;
+            }
+
+            replay::ReplayEngine::ShardCursor cur(eng, sess,
+                                                  m.sessions);
+            if (resumed && sd.hasDetector && from > sessStart) {
+                cur.resume(sess, sd.det);
+                snapshotsUsed = 1;
+            } else {
+                from = sessStart;
+            }
+            for (size_t i = from; i < chunks.size(); i++) {
+                if (tf.crcDeferred())
+                    tf.checkChunkCrc(chunks[i]);
+                cur.feed(chunks[i], tf.payload(chunks[i]));
+            }
+            cur.finish();
+            outs[0] = std::move(cur.result());
+        }
+    } else if (opt.replayParallel && idxInfo.usedIndex) {
+        // ---- parallel: detector-only traces split per session (each
+        // session's detector starts fresh); timing traces split per
+        // capture shard (the CpuModel persists across a shard's
+        // sessions). Units merge back into capture-shard slots in
+        // session order, so every aggregate is bit-identical to the
+        // sequential replay at any worker count.
+        struct Unit
+        {
+            size_t chunkBegin, chunkEnd;
+            uint32_t sessBegin, sessEnd;
+        };
+        std::vector<Unit> units;
+        if (m.hasTiming) {
+            for (uint32_t s = 0; s < m.shards; s++) {
+                uint32_t b = static_cast<uint32_t>(
+                    uint64_t(s) * m.sessions / m.shards);
+                uint32_t e = static_cast<uint32_t>(
+                    uint64_t(s + 1) * m.sessions / m.shards);
+                if (b == e)
+                    continue;
+                units.push_back(
+                    {firstChunkOf(b), firstChunkOf(e), b, e});
+            }
+        } else {
+            for (uint32_t s = 0; s < m.sessions; s++)
+                units.push_back(
+                    {firstChunkOf(s), firstChunkOf(s + 1), s, s + 1});
+        }
+
+        unsigned workers = opt.replayWorkers
+            ? opt.replayWorkers
+            : ThreadPool::defaultWorkers();
+        if (workers > units.size())
+            workers = static_cast<unsigned>(units.size());
+        if (workers == 0)
+            workers = 1;
+        workersUsed = workers;
+
+        std::vector<replay::ReplayShardResult> unitOuts(units.size());
+        {
+            ThreadPool pool(workers);
+            pool.parallelFor(
+                static_cast<uint32_t>(units.size()),
+                [&](uint32_t u) {
+                    const Unit &w = units[u];
+                    eng.replayChunkRange(w.chunkBegin, w.chunkEnd,
+                                         w.sessBegin, w.sessEnd,
+                                         unitOuts[u]);
+                });
+        }
+
+        outs.resize(m.shards);
+        size_t u = 0;
+        for (uint32_t s = 0; s < m.shards; s++) {
+            const uint32_t e = static_cast<uint32_t>(
+                uint64_t(s + 1) * m.sessions / m.shards);
+            replay::ReplayShardResult &dst = outs[s];
+            for (; u < units.size() && units[u].sessEnd <= e; u++) {
+                replay::ReplayShardResult &src = unitOuts[u];
+                dst.det.merge(src.det);
+                dst.tim.merge(src.tim);
+                dst.fault.merge(src.fault);
+                dst.alarms.insert(dst.alarms.end(),
+                                  src.alarms.begin(),
+                                  src.alarms.end());
+                dst.runs += src.runs;
+                dst.steps += src.steps;
+                dst.inputEvents += src.inputEvents;
+                dst.vmInstructions += src.vmInstructions;
+                dst.vmBlocks += src.vmBlocks;
+                dst.vmFlushes += src.vmFlushes;
+                dst.chunks += src.chunks;
+                dst.bytes += src.bytes;
+                dst.events += src.events;
+                dst.snapshots += src.snapshots;
+            }
+        }
     } else {
-        ThreadPool pool(opt.threads);
-        pool.parallelFor(m.shards, [&](uint32_t s) {
-            eng.replayShard(s, outs[s]);
-        });
+        // ---- sequential (also the v1 / damaged-footer fallback).
+        // Shard partition comes from the capture (aggregates are a
+        // pure function of (sessions, shards)); threads only selects
+        // replay parallelism, joined in shard order like the live
+        // path.
+        outs.resize(m.shards);
+        if (m.shards == 1 && opt.threads == 1) {
+            eng.replayShard(0, outs[0]);
+        } else {
+            ThreadPool pool(opt.threads);
+            pool.parallelFor(m.shards, [&](uint32_t s) {
+                eng.replayShard(s, outs[s]);
+            });
+        }
     }
     double secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
@@ -434,14 +703,21 @@ Session::runReplay()
         reg.add(reg.counter(n::kReplayChunks), r.chunks);
         reg.add(reg.counter(n::kReplayBytes), r.bytes);
         reg.add(reg.counter(n::kReplayEvents), r.events);
+        reg.add(reg.counter(n::kReplaySnapshotsWritten), r.snapshots);
         registry.merge(reg);
     }
     registry.add(registry.counter(n::kReplayBytes),
-                 replay::headerBytes(m));
+                 replay::headerBytes(m) + tf.indexBytes());
     registry.add(registry.counter(n::kReplaySessions), m.sessions);
     registry.add(registry.counter(n::kReplayCrcFailures), 0);
     registry.add(registry.counter(n::kReplayTruncatedChunks), 0);
     registry.add(registry.counter(n::kReplayVersionMismatches), 0);
+    registry.add(registry.counter(n::kReplayIndexMissing),
+                 indexMissing);
+    registry.add(registry.counter(n::kReplaySeeks), seeks);
+    registry.add(registry.counter(n::kReplaySnapshotsUsed),
+                 snapshotsUsed);
+    registry.set(registry.gauge(n::kReplayWorkers), workersUsed);
     registry.set(registry.gauge(n::kReplayEventsPerSec),
                  secs > 0.0 ? static_cast<uint64_t>(totalEvents / secs)
                             : 0);

@@ -168,8 +168,22 @@ struct CapturePlan
         return *this;
     }
 
+    /**
+     * Detector-state snapshot cadence: embed a resumable snapshot
+     * record (replay/snapshot.h) roughly every @p n data chunks of
+     * each session, at the next function-event boundary. Snapshots
+     * are what make `--seek-chunk` O(1); they do not perturb replayed
+     * results. 0 disables (default 4).
+     */
+    CapturePlan &snapshotEvery(uint32_t n)
+    {
+        snapEvery = n;
+        return *this;
+    }
+
     std::string path;
     ExecPlan execPlan;
+    uint32_t snapEvery = 4;
 };
 
 /**
@@ -189,7 +203,54 @@ struct ReplayPlan
 {
     explicit ReplayPlan(std::string path_) : path(std::move(path_)) {}
 
+    /**
+     * Parallel mode: load the trace through its v2 chunk-index footer
+     * and replay per-session (detector-only) or per-capture-shard
+     * (timing) work units on @p workers ThreadPool workers
+     * (0 = one per hardware core). Results merge in session order and
+     * are bit-identical to the sequential replay at any worker count.
+     * v1 traces (no footer) degrade to the sequential path with
+     * ipds.replay.index_missing = 1. Mutually exclusive with the seek
+     * entry points below.
+     */
+    ReplayPlan &parallel(unsigned workers = 0)
+    {
+        parallelSet = true;
+        parallelWorkers = workers;
+        return *this;
+    }
+
+    /** Start replay at session @p s, skipping every earlier chunk
+     *  (the index makes the skip O(1) in decoded bytes). */
+    ReplayPlan &seekSession(uint32_t s)
+    {
+        hasSeekSession = true;
+        seekSessionIdx = s;
+        return *this;
+    }
+
+    /**
+     * Start replay mid-session at chunk @p k of the file, resuming
+     * the detector from the nearest preceding snapshot record of the
+     * same session (or that session's start when none precedes it).
+     * Alarms before the resume point are not re-raised; session-end
+     * stats are exact (the snapshot carries the running counters).
+     * Rejected for timing traces at build().
+     */
+    ReplayPlan &seekChunk(uint64_t k)
+    {
+        hasSeekChunk = true;
+        seekChunkIdx = k;
+        return *this;
+    }
+
     std::string path;
+    bool parallelSet = false;
+    unsigned parallelWorkers = 0;
+    bool hasSeekSession = false;
+    uint32_t seekSessionIdx = 0;
+    bool hasSeekChunk = false;
+    uint64_t seekChunkIdx = 0;
 };
 
 /**
@@ -333,7 +394,14 @@ class Session
         uint32_t traceCategories = 0; ///< 0: tracing off
         uint32_t traceCapacity = 4096;
         std::string capturePath; ///< record a trace (CapturePlan)
+        uint32_t captureSnapshotEvery = 4;
         std::string replayPath;  ///< replay a trace (ReplayPlan)
+        bool replayParallel = false;
+        unsigned replayWorkers = 0;
+        bool replaySeekSessionSet = false;
+        uint32_t replaySeekSession = 0;
+        bool replaySeekChunkSet = false;
+        uint64_t replaySeekChunk = 0;
         std::string servePath;   ///< serve a socket (ServePlan)
         size_t serveMaxFrame = 0;
         size_t servePendingCap = 0;
@@ -465,6 +533,7 @@ class Session::Builder
     {
         o.planCount++;
         o.capturePath = std::move(p.path);
+        o.captureSnapshotEvery = p.snapEvery;
         applyExec(std::move(p.execPlan));
         return *this;
     }
@@ -474,6 +543,12 @@ class Session::Builder
     {
         o.planCount++;
         o.replayPath = std::move(p.path);
+        o.replayParallel = p.parallelSet;
+        o.replayWorkers = p.parallelWorkers;
+        o.replaySeekSessionSet = p.hasSeekSession;
+        o.replaySeekSession = p.seekSessionIdx;
+        o.replaySeekChunkSet = p.hasSeekChunk;
+        o.replaySeekChunk = p.seekChunkIdx;
         return *this;
     }
 

@@ -226,5 +226,54 @@ encodeHeader(const TraceMeta &meta, uint8_t *out)
     }
 }
 
+void
+encodeIndexEntry(const ChunkIndexEntry &e, uint8_t *out)
+{
+    putU64(out, e.fileOffset);
+    putU32(out + 8, e.payloadLen);
+    putU32(out + 12, e.events);
+    putU32(out + 16, e.session);
+    putU32(out + 20, e.flags);
+    putU64(out + 24, e.firstSeq);
+    putU64(out + 32, e.endSeq);
+}
+
+ChunkIndexEntry
+decodeIndexEntry(const uint8_t *p)
+{
+    ChunkIndexEntry e;
+    e.fileOffset = getU64(p);
+    e.payloadLen = getU32(p + 8);
+    e.events = getU32(p + 12);
+    e.session = getU32(p + 16);
+    e.flags = getU32(p + 20);
+    e.firstSeq = getU64(p + 24);
+    e.endSeq = getU64(p + 32);
+    return e;
+}
+
+void
+appendIndexFooter(std::vector<uint8_t> &out,
+                  const ChunkIndexEntry *entries, size_t count,
+                  uint64_t footerFileOff)
+{
+    const size_t payloadLen = count * kIndexEntryBytes;
+    const size_t base = out.size();
+    out.resize(base + kChunkHeaderBytes + payloadLen +
+               kIndexTrailerBytes);
+    uint8_t *p = out.data() + base;
+    putU32(p, static_cast<uint32_t>(payloadLen));
+    putU32(p + 4, static_cast<uint32_t>(count));
+    putU32(p + 8, kIndexSession);
+    uint8_t *payload = p + kChunkHeaderBytes;
+    for (size_t i = 0; i < count; ++i)
+        encodeIndexEntry(entries[i], payload + i * kIndexEntryBytes);
+    putU32(p + 12, crc32(payload, payloadLen));
+    uint8_t *trailer = payload + payloadLen;
+    for (size_t i = 0; i < 8; ++i)
+        trailer[i] = kIndexTrailerMagic[i];
+    putU64(trailer + 8, footerFileOff);
+}
+
 } // namespace replay
 } // namespace ipds

@@ -51,6 +51,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "timing/config.h"
 
@@ -65,7 +66,10 @@ inline constexpr unsigned char kTraceMagic[8] = {'I', 'P', 'D', 'S',
                                                  'T', 'R', 'C', 0};
 
 /** Bump on ANY encoding change (see versioning policy above). */
-inline constexpr uint32_t kTraceVersion = 1;
+inline constexpr uint32_t kTraceVersion = 2;
+
+/** Oldest version readers still accept (v1 replays sequentially). */
+inline constexpr uint32_t kMinTraceVersion = 1;
 
 /** Fixed byte counts of the framing structures. */
 inline constexpr size_t kHeaderBytes = 40; ///< before the timing block
@@ -96,10 +100,94 @@ enum class Tag : uint8_t
                        ///< [varint dropPermille, dupPermille, seed]
     SessionEnd = 11,  ///< varint steps, inputEvents, memTampers,
                       ///< instructions, blocks, batchFlushes
+    Snapshot = 12,    ///< varint blobLen, u8 blob[] (v2; see snapshot.h)
 };
 
 /** Payload bytes buffered before a chunk is flushed. */
 inline constexpr size_t kChunkPayloadCap = 48 * 1024;
+
+// ---- v2 chunk-index footer ----------------------------------------------
+//
+// A v2 writer appends, after the last data chunk, one *index chunk*
+// reusing the ordinary chunk framing with the reserved session index
+// kIndexSession (so a v1-era scanner that ignores it still sees a
+// well-formed chunk), followed by a fixed 16-byte trailer:
+//
+//   footer   : u32 payloadLen           (entryCount * kIndexEntryBytes)
+//              u32 recordCount          (= entryCount)
+//              u32 session              (kIndexSession sentinel)
+//              u32 payloadCrc           (crc32 of the entry payload —
+//                                        the "CRC of the index itself")
+//              entry[entryCount]        (one per data chunk, in order)
+//   trailer  : magic[8] "IPDSIDX\0"
+//              u64 footerOffset         (file offset of the footer's
+//                                        chunk header)
+//
+// Each 40-byte entry describes one data chunk:
+//
+//   u64 fileOffset   (of the chunk header)
+//   u32 payloadLen
+//   u32 events       (recordCount of the chunk)
+//   u32 session
+//   u32 flags        (kChunkHasSnapshot: payload opens with a
+//                     Tag::Snapshot record)
+//   u64 firstSeq     (events recorded in this session before the chunk)
+//   u64 endSeq       (= firstSeq + events)
+//
+// The footer is strictly advisory: a reader that finds it missing,
+// truncated, or corrupt falls back to the sequential scan (which
+// recomputes the identical index) instead of failing the file.
+
+/** Reserved chunk session index marking the footer chunk (v2). */
+inline constexpr uint32_t kIndexSession = 0xFFFFFFFFu;
+
+/** Trailing magic closing a v2 file with an index footer. */
+inline constexpr unsigned char kIndexTrailerMagic[8] = {
+    'I', 'P', 'D', 'S', 'I', 'D', 'X', 0};
+
+inline constexpr size_t kIndexTrailerBytes = 16;
+inline constexpr size_t kIndexEntryBytes = 40;
+
+/** Sanity cap on the footer payload (≈1.6M chunks ≈ 80 GiB trace). */
+inline constexpr size_t kIndexPayloadCap = 64 * 1024 * 1024;
+
+/** ChunkIndexEntry::flags bits. */
+inline constexpr uint32_t kChunkHasSnapshot = 1u << 0;
+
+/** One data chunk as described by the index footer. */
+struct ChunkIndexEntry
+{
+    uint64_t fileOffset = 0; ///< of the chunk header
+    uint32_t payloadLen = 0;
+    uint32_t events = 0;
+    uint32_t session = 0;
+    uint32_t flags = 0;
+    uint64_t firstSeq = 0; ///< session-relative event sequence
+    uint64_t endSeq = 0;   ///< firstSeq + events
+
+    bool
+    operator==(const ChunkIndexEntry &o) const
+    {
+        return fileOffset == o.fileOffset &&
+            payloadLen == o.payloadLen && events == o.events &&
+            session == o.session && flags == o.flags &&
+            firstSeq == o.firstSeq && endSeq == o.endSeq;
+    }
+};
+
+/** Encode/decode one index entry (kIndexEntryBytes each). */
+void encodeIndexEntry(const ChunkIndexEntry &e, uint8_t *out);
+ChunkIndexEntry decodeIndexEntry(const uint8_t *p);
+
+/**
+ * Append the footer chunk + trailer for @p entries to @p out, which
+ * must already hold the header and all data chunks. @p footerFileOff
+ * is the file offset the footer chunk header lands at (i.e. the
+ * current size of @p out's stream).
+ */
+void appendIndexFooter(std::vector<uint8_t> &out,
+                       const ChunkIndexEntry *entries, size_t count,
+                       uint64_t footerFileOff);
 
 // ---- primitive encoding -------------------------------------------------
 

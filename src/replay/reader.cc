@@ -62,10 +62,13 @@ parseHeader(const uint8_t *p, size_t n, TraceMeta &meta,
         return parseFail(ParseStatus::NeedMore, err,
                         "truncated trace header", consumed, 0);
     meta.version = getU32(p + 8);
-    if (meta.version != kTraceVersion) {
+    if (meta.version < kMinTraceVersion ||
+        meta.version > kTraceVersion) {
         if (err)
-            *err = strprintf("format version %u, expected %u",
-                             meta.version, kTraceVersion);
+            *err = strprintf("format version %u, this reader handles "
+                             "%u..%u",
+                             meta.version, kMinTraceVersion,
+                             kTraceVersion);
         consumed = 8;
         return ParseStatus::VersionSkew;
     }
@@ -116,8 +119,12 @@ parseChunk(const uint8_t *p, size_t n, ChunkRef &out,
     // A corrupt length must not make a streamed ingest wait forever
     // for bytes that will never come: writers cap payloads at
     // kChunkPayloadCap, so anything far past it is Malformed, not
-    // NeedMore.
-    if (out.payloadLen == 0 || out.payloadLen > 4 * kChunkPayloadCap)
+    // NeedMore. The one exception is the v2 index footer chunk
+    // (session == kIndexSession), whose payload scales with the chunk
+    // count and is capped separately.
+    size_t cap = out.session == kIndexSession ? kIndexPayloadCap
+                                              : 4 * kChunkPayloadCap;
+    if (out.payloadLen == 0 || out.payloadLen > cap)
         return parseFail(ParseStatus::Malformed, err,
                         "impossible chunk payload length", consumed,
                         0);
@@ -169,10 +176,64 @@ TraceFile::parse(ValidateResult *issues)
 
     uint32_t prevSession = 0;
     bool first = true;
+    uint32_t seqSession = 0;
+    uint64_t seq = 0;
     while (off < n) {
+        // v2 files close with a 16-byte index trailer; at a chunk
+        // boundary its magic cannot be mistaken for a chunk header
+        // (a payloadLen spelling "IPDS" is far past every length cap).
+        if (meta_.version >= 2 && n - off >= 8 &&
+            std::memcmp(b + off, kIndexTrailerMagic, 8) == 0) {
+            size_t rem = n - off;
+            size_t used =
+                rem < kIndexTrailerBytes ? rem : kIndexTrailerBytes;
+            if (rem < kIndexTrailerBytes && issues)
+                issues->indexDefects++;
+            indexBytes_ += used;
+            off += used;
+            if (off < n) {
+                defect(issues, nullptr, "bytes after index trailer",
+                       off);
+                return;
+            }
+            break;
+        }
         ChunkRef c;
         size_t used = 0;
         ParseStatus st = parseChunk(b + off, n - off, c, used, &err);
+        // The v2 index footer chunk is advisory: any defect in it
+        // degrades to "no usable index" (it is recomputed by this very
+        // scan), never to a failed file. It is only recognized when
+        // enough of the chunk header is present to read the sentinel.
+        bool footer = meta_.version >= 2 && n - off >= 12 &&
+            getU32(b + off + 8) == kIndexSession;
+        if (footer) {
+            if (st == ParseStatus::Ok) {
+                if (c.payloadLen % kIndexEntryBytes == 0 &&
+                    static_cast<uint64_t>(c.events) *
+                            kIndexEntryBytes == c.payloadLen)
+                    hasFooter_ = true;
+                else if (issues)
+                    issues->indexDefects++;
+                indexBytes_ += used;
+                off += used;
+                continue;
+            }
+            if (issues)
+                issues->indexDefects++;
+            if (st == ParseStatus::ChunkCrcMismatch) {
+                // parseFail overloaded `used` with the defect offset;
+                // the skip distance is recomputed from the header.
+                size_t skip = kChunkHeaderBytes + c.payloadLen;
+                indexBytes_ += skip;
+                off += skip;
+                continue;
+            }
+            // Truncated or impossible footer: it is the last
+            // structure in the file, so consume the tail and stop.
+            indexBytes_ += n - off;
+            break;
+        }
         if (st == ParseStatus::NeedMore) {
             defect(issues,
                    issues ? &issues->truncatedChunks : nullptr,
@@ -192,12 +253,25 @@ TraceFile::parse(ValidateResult *issues)
         }
         prevSession = c.session;
         first = false;
+        // Session-relative event sequence: the scan computes the same
+        // values the footer records, so the two indexes are
+        // field-for-field interchangeable.
+        if (c.session != seqSession) {
+            seqSession = c.session;
+            seq = 0;
+        }
+        c.firstSeq = seq;
+        seq += c.events;
+        c.endSeq = seq;
         if (st == ParseStatus::ChunkCrcMismatch) {
             defect(issues, issues ? &issues->crcFailures : nullptr,
                    err.c_str(), payloadOff);
             continue; // tally mode: skip the corrupt chunk
         }
         c.payloadOff = payloadOff; // rebase from parse window to file
+        if (meta_.version >= 2 && c.payloadLen > 0 &&
+            b[payloadOff] == static_cast<uint8_t>(Tag::Snapshot))
+            c.flags |= kChunkHasSnapshot;
         index.push_back(c);
     }
     if (index.empty())
@@ -217,6 +291,161 @@ TraceFile
 TraceFile::load(const std::string &path)
 {
     return fromBytes(readFile(path));
+}
+
+bool
+TraceFile::parseFromFooter(std::string *reason)
+{
+    auto bail = [&](const char *why) {
+        if (reason)
+            *reason = why;
+        return false;
+    };
+
+    const uint8_t *b = bytes_.data();
+    const size_t n = bytes_.size();
+
+    std::string err;
+    size_t hdr = 0;
+    if (parseHeader(b, n, meta_, hdr, &err) != ParseStatus::Ok)
+        return bail("header unreadable");
+    if (meta_.version < 2)
+        return bail("v1 trace has no index footer");
+    if (n < hdr + kChunkHeaderBytes + kIndexEntryBytes +
+                kIndexTrailerBytes)
+        return bail("file too short for an index footer");
+
+    const uint8_t *trailer = b + n - kIndexTrailerBytes;
+    if (std::memcmp(trailer, kIndexTrailerMagic, 8) != 0)
+        return bail("index trailer missing");
+    uint64_t footerOff = getU64(trailer + 8);
+    if (footerOff < hdr ||
+        footerOff + kChunkHeaderBytes + kIndexTrailerBytes > n)
+        return bail("index trailer offset out of range");
+
+    ChunkRef fc;
+    size_t used = 0;
+    if (parseChunk(b + footerOff, n - kIndexTrailerBytes - footerOff,
+                   fc, used, &err) != ParseStatus::Ok)
+        return bail("index footer chunk corrupt");
+    if (fc.session != kIndexSession)
+        return bail("index footer sentinel missing");
+    if (footerOff + used + kIndexTrailerBytes != n)
+        return bail("index footer does not reach the trailer");
+    if (fc.payloadLen % kIndexEntryBytes != 0 ||
+        static_cast<uint64_t>(fc.events) * kIndexEntryBytes !=
+            fc.payloadLen ||
+        fc.payloadLen == 0)
+        return bail("index footer geometry inconsistent");
+
+    const size_t count = fc.payloadLen / kIndexEntryBytes;
+    const uint8_t *payload = b + footerOff + fc.payloadOff;
+    std::vector<ChunkRef> idx;
+    idx.reserve(count);
+    uint64_t expectOff = hdr;
+    uint32_t prevSession = 0;
+    uint64_t prevEnd = 0;
+    for (size_t i = 0; i < count; ++i) {
+        ChunkIndexEntry e =
+            decodeIndexEntry(payload + i * kIndexEntryBytes);
+        if (e.fileOffset != expectOff)
+            return bail("index entries not contiguous");
+        if (e.payloadLen == 0 || e.payloadLen > 4 * kChunkPayloadCap)
+            return bail("index entry payload length impossible");
+        if (e.session >= meta_.sessions ||
+            (i > 0 && e.session < prevSession))
+            return bail("index entry sessions out of order");
+        bool newSession = i == 0 || e.session != prevSession;
+        if (e.firstSeq != (newSession ? 0 : prevEnd) ||
+            e.endSeq != e.firstSeq + e.events)
+            return bail("index entry sequence numbers inconsistent");
+        prevSession = e.session;
+        prevEnd = e.endSeq;
+        expectOff = e.fileOffset + kChunkHeaderBytes + e.payloadLen;
+        ChunkRef c;
+        c.payloadOff = e.fileOffset + kChunkHeaderBytes;
+        c.payloadLen = e.payloadLen;
+        c.events = e.events;
+        c.session = e.session;
+        c.flags = e.flags;
+        c.firstSeq = e.firstSeq;
+        c.endSeq = e.endSeq;
+        idx.push_back(c);
+    }
+    if (expectOff != footerOff)
+        return bail("index does not cover every data chunk");
+
+    index = std::move(idx);
+    hasFooter_ = true;
+    indexBytes_ = n - footerOff;
+    crcDeferred_ = true;
+    return true;
+}
+
+TraceFile
+TraceFile::fromBytesIndexed(std::vector<uint8_t> bytes,
+                            IndexedLoad *info)
+{
+    TraceFile f;
+    f.bytes_ = std::move(bytes);
+    std::string reason;
+    if (f.parseFromFooter(&reason)) {
+        if (info) {
+            info->usedIndex = true;
+            info->reason.clear();
+        }
+        return f;
+    }
+    // Degrade to the strict sequential scan (which throws on real
+    // defects, exactly like load()).
+    f.meta_ = TraceMeta{};
+    f.index.clear();
+    f.hasFooter_ = false;
+    f.indexBytes_ = 0;
+    f.crcDeferred_ = false;
+    f.parse(nullptr);
+    if (info) {
+        info->usedIndex = false;
+        info->reason = reason;
+    }
+    return f;
+}
+
+TraceFile
+TraceFile::loadIndexed(const std::string &path, IndexedLoad *info)
+{
+    return fromBytesIndexed(readFile(path), info);
+}
+
+void
+TraceFile::checkChunkCrc(const ChunkRef &c) const
+{
+    uint32_t stored = getU32(bytes_.data() + c.payloadOff - 4);
+    if (crc32(bytes_.data() + c.payloadOff, c.payloadLen) != stored)
+        fatal("trace: chunk CRC mismatch (at byte %zu)",
+              c.payloadOff);
+}
+
+TraceMeta
+readTraceHeader(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("trace: cannot open '%s'", path.c_str());
+    uint8_t buf[kHeaderBytes + 4 * kTimingConfigWords];
+    in.read(reinterpret_cast<char *>(buf), sizeof buf);
+    size_t got = static_cast<size_t>(in.gcount());
+    TraceMeta meta;
+    std::string err;
+    size_t at = 0;
+    switch (parseHeader(buf, got, meta, at, &err)) {
+      case ParseStatus::Ok:
+        return meta;
+      case ParseStatus::VersionSkew:
+        fatal("trace: %s — re-record the trace", err.c_str());
+      default:
+        fatal("trace: %s (at byte %zu)", err.c_str(), at);
+    }
 }
 
 ValidateResult
@@ -247,7 +476,7 @@ TraceReader::tag()
 {
     uint8_t t = byte();
     if (t < static_cast<uint8_t>(Tag::FuncEnter) ||
-        t > static_cast<uint8_t>(Tag::SessionEnd))
+        t > static_cast<uint8_t>(Tag::Snapshot))
         fatal("trace: unknown record tag %u (at payload byte %zu)", t,
               off - 1);
     return static_cast<Tag>(t);
@@ -277,6 +506,24 @@ TraceReader::byte()
     if (off == n_)
         truncated();
     return p_[off++];
+}
+
+const uint8_t *
+TraceReader::bytes(size_t n)
+{
+    if (n_ - off < n)
+        truncated();
+    const uint8_t *r = p_ + off;
+    off += n;
+    return r;
+}
+
+void
+TraceReader::skip(size_t n)
+{
+    if (n_ - off < n)
+        truncated();
+    off += n;
 }
 
 void

@@ -34,6 +34,9 @@ struct ChunkRef
     uint32_t payloadLen = 0;
     uint32_t events = 0;  ///< logical events (InstRun expanded)
     uint32_t session = 0; ///< every record belongs to this session
+    uint32_t flags = 0;   ///< kChunkHasSnapshot etc. (v2)
+    uint64_t firstSeq = 0; ///< session events preceding this chunk
+    uint64_t endSeq = 0;   ///< firstSeq + events
 };
 
 /** Outcome of a non-throwing integrity scan. */
@@ -43,6 +46,9 @@ struct ValidateResult
     uint64_t crcFailures = 0;      ///< header/chunk CRC mismatches
     uint64_t truncatedChunks = 0;  ///< bytes ran out mid-structure
     uint64_t versionMismatches = 0;
+    /** Footer/trailer defects. Advisory only — the index is always
+     *  recomputable by the sequential scan, so these never clear ok. */
+    uint64_t indexDefects = 0;
     std::string error; ///< first problem found ("" when ok)
 };
 
@@ -89,6 +95,13 @@ ParseStatus parseHeader(const uint8_t *p, size_t n, TraceMeta &meta,
 ParseStatus parseChunk(const uint8_t *p, size_t n, ChunkRef &out,
                        size_t &consumed, std::string *err);
 
+/** How an indexed load resolved (see TraceFile::loadIndexed). */
+struct IndexedLoad
+{
+    bool usedIndex = false;
+    std::string reason; ///< why the footer was unusable ("" when used)
+};
+
 class TraceFile
 {
   public:
@@ -97,6 +110,21 @@ class TraceFile
 
     /** Parse an in-memory image (tests). Throws FatalError. */
     static TraceFile fromBytes(std::vector<uint8_t> bytes);
+
+    /**
+     * Load @p path through the v2 chunk-index footer when present and
+     * valid: the chunk index comes straight from the footer (one
+     * CRC-checked read) and per-chunk payload CRC verification is
+     * deferred to first touch (checkChunkCrc) — the single-pass win
+     * parallel replay splits across its workers. A missing, truncated
+     * or inconsistent footer degrades to the full sequential scan
+     * (info->usedIndex=false with the reason); it never fails a file
+     * the strict loader would accept.
+     */
+    static TraceFile loadIndexed(const std::string &path,
+                                 IndexedLoad *info);
+    static TraceFile fromBytesIndexed(std::vector<uint8_t> bytes,
+                                      IndexedLoad *info);
 
     /** Integrity scan of @p path without throwing. */
     static ValidateResult validate(const std::string &path);
@@ -110,6 +138,18 @@ class TraceFile
     }
     size_t fileBytes() const { return bytes_.size(); }
 
+    /** True when a CRC-valid index footer chunk was present. */
+    bool hasIndexFooter() const { return hasFooter_; }
+    /** Bytes of footer chunk + trailer (0 for v1 traces). */
+    uint64_t indexBytes() const { return indexBytes_; }
+
+    /** True for indexed loads: payload CRCs were not verified at load
+     *  time and each consumer must call checkChunkCrc before decoding
+     *  a chunk. */
+    bool crcDeferred() const { return crcDeferred_; }
+    /** Verify @p c's payload CRC now; FatalError on mismatch. */
+    void checkChunkCrc(const ChunkRef &c) const;
+
   private:
     /**
      * Shared parser. With @p issues null the first defect is a
@@ -118,10 +158,23 @@ class TraceFile
      */
     void parse(ValidateResult *issues);
 
+    /** Try to build `index` from the footer; false = fall back. */
+    bool parseFromFooter(std::string *reason);
+
     TraceMeta meta_;
     std::vector<ChunkRef> index;
     std::vector<uint8_t> bytes_;
+    bool hasFooter_ = false;
+    uint64_t indexBytes_ = 0;
+    bool crcDeferred_ = false;
 };
+
+/**
+ * Read and verify just the header of @p path (geometry validation
+ * before committing to a full load). Throws FatalError on any header
+ * defect.
+ */
+TraceMeta readTraceHeader(const std::string &path);
 
 /**
  * Bounds-checked decoder over one chunk payload. Usage:
@@ -149,6 +202,12 @@ class TraceReader
 
     /** One raw byte. */
     uint8_t byte();
+
+    /** Borrow @p n raw bytes (snapshot blobs). FatalError if short. */
+    const uint8_t *bytes(size_t n);
+
+    /** Skip @p n raw bytes. FatalError if short. */
+    void skip(size_t n);
 
   private:
     [[noreturn]] void truncated() const;

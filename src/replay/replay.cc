@@ -83,6 +83,51 @@ ReplayEngine::ShardCursor::ShardCursor(const ReplayEngine &e,
         cpu.emplace(m.timing);
 }
 
+ReplayEngine::ShardCursor::ShardCursor(const ReplayEngine &e,
+                                       uint32_t begin_session,
+                                       uint32_t end_session)
+    : eng(e), shard_(0xFFFFFFFFu)
+{
+    const TraceMeta &m = eng.meta_;
+    if (begin_session >= end_session || end_session > m.sessions)
+        fatal("replay: session span [%u, %u) of %u", begin_session,
+              end_session, m.sessions);
+    begin_ = begin_session;
+    end_ = end_session;
+    expectNext = begin_;
+    if (m.hasTiming)
+        cpu.emplace(m.timing);
+}
+
+void
+ReplayEngine::ShardCursor::resume(uint32_t session,
+                                  const DetectorSnapshot &snap)
+{
+    if (finished)
+        fatal("replay: resume() after finish()");
+    if (cpu)
+        fatal("replay: mid-session seek is not available for timing "
+              "traces (the CPU scoreboard is not snapshotted) — use "
+              "--seek-session");
+    if (session < begin_ || session >= end_)
+        fatal("replay: resume session %u outside span [%u, %u)",
+              session, begin_, end_);
+    if (open || expectNext != session)
+        fatal("replay: resume session %u but cursor expects %u",
+              session, expectNext);
+    open = true;
+    expectNext = session + 1;
+    if (eng.meta_.detectorOn()) {
+        if (!det)
+            det.emplace(eng.prog);
+        det->restoreState(snap);
+    }
+    funcStack.clear();
+    funcStack.reserve(snap.activations.size());
+    for (const auto &a : snap.activations)
+        funcStack.push_back(a.func);
+}
+
 void
 ReplayEngine::ShardCursor::feed(const ChunkRef &c,
                                 const uint8_t *payload)
@@ -307,6 +352,20 @@ ReplayEngine::ShardCursor::feed(const ChunkRef &c,
             out.fault.ctxSwitches++;
             break;
           }
+          case Tag::Snapshot: {
+            // Resume metadata, not an event: sequential replay and
+            // parallel spans that already cover the prefix skip the
+            // blob (counted — ipds.replay.snapshots_written must
+            // round-trip); only the seek path decodes one.
+            if (eng.meta_.version < 2)
+                fatal("trace: snapshot record in a v%u trace",
+                      eng.meta_.version);
+            requireOpen();
+            uint64_t len = r.var();
+            r.skip(static_cast<size_t>(len));
+            out.snapshots++;
+            break;
+          }
         }
     }
     if (remaining != 0)
@@ -344,6 +403,32 @@ ReplayEngine::replayShard(uint32_t shard, ReplayShardResult &out) const
     for (const ChunkRef &c : file_->chunks()) {
         if (c.session < cur.begin() || c.session >= cur.end())
             continue;
+        if (file_->crcDeferred())
+            file_->checkChunkCrc(c);
+        cur.feed(c, file_->payload(c));
+    }
+    cur.finish();
+    out = std::move(cur.result());
+}
+
+void
+ReplayEngine::replayChunkRange(size_t chunkBegin, size_t chunkEnd,
+                               uint32_t begin_session,
+                               uint32_t end_session,
+                               ReplayShardResult &out) const
+{
+    if (!file_)
+        fatal("replay: replayChunkRange on a streaming engine");
+    ShardCursor cur(*this, begin_session, end_session);
+    const std::vector<ChunkRef> &chunks = file_->chunks();
+    if (chunkEnd > chunks.size())
+        chunkEnd = chunks.size();
+    for (size_t i = chunkBegin; i < chunkEnd; ++i) {
+        const ChunkRef &c = chunks[i];
+        if (c.session < begin_session || c.session >= end_session)
+            continue;
+        if (file_->crcDeferred())
+            file_->checkChunkCrc(c);
         cur.feed(c, file_->payload(c));
     }
     cur.finish();

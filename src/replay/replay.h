@@ -70,6 +70,7 @@ struct ReplayShardResult
     uint64_t chunks = 0;
     uint64_t bytes = 0;
     uint64_t events = 0;
+    uint64_t snapshots = 0; ///< Tag::Snapshot records seen
 };
 
 class ReplayEngine
@@ -104,6 +105,19 @@ class ReplayEngine
     void replayShard(uint32_t shard, ReplayShardResult &out) const;
 
     /**
+     * Replay chunks [chunkBegin, chunkEnd) of the loaded file that
+     * belong to sessions [begin_session, end_session) into @p out —
+     * the parallel-mode work unit. Chunk payload CRCs deferred by an
+     * indexed load are verified here, inside the worker's span, so
+     * integrity checking parallelizes with decoding. Const and
+     * self-contained: ranges replay concurrently.
+     */
+    void replayChunkRange(size_t chunkBegin, size_t chunkEnd,
+                          uint32_t begin_session,
+                          uint32_t end_session,
+                          ReplayShardResult &out) const;
+
+    /**
      * Push-style decoder for one shard: feed() chunks in file order,
      * then finish() once. The chunk-iteration body of replayShard()
      * and the service's ingest actors are the same code path. Holds a
@@ -116,9 +130,29 @@ class ReplayEngine
       public:
         ShardCursor(const ReplayEngine &eng, uint32_t shard);
 
+        /**
+         * Span mode: own sessions [begin_session, end_session)
+         * directly instead of a capture shard's partition (parallel
+         * work units, --seek-session).
+         */
+        ShardCursor(const ReplayEngine &eng, uint32_t begin_session,
+                    uint32_t end_session);
+
         /** First / one-past-last session this shard owns. */
         uint32_t begin() const { return begin_; }
         uint32_t end() const { return end_; }
+
+        /**
+         * Prime the cursor to resume session @p session mid-stream
+         * from @p snap (--seek-chunk): the session is opened as if
+         * its prefix had been fed, the detector state is restored,
+         * and the next feed() may start at any chunk of @p session —
+         * typically the snapshot-flagged chunk @p snap was read from.
+         * FatalError for timing traces (the CpuModel scoreboard is
+         * not part of the snapshot) or when events for @p session
+         * were already fed.
+         */
+        void resume(uint32_t session, const DetectorSnapshot &snap);
 
         /**
          * Decode one chunk. @p payload points at c.payloadLen bytes

@@ -38,6 +38,16 @@ TraceWriter::flushChunk()
     flushRun();
     if (payload.empty())
         return;
+    ChunkIndexEntry e;
+    e.fileOffset = bytesOut; // stream-relative; Session rebases
+    e.payloadLen = static_cast<uint32_t>(payload.size());
+    e.events = chunkEvents;
+    e.session = curSession;
+    e.flags = chunkStartsWithSnap ? kChunkHasSnapshot : 0;
+    e.firstSeq = sessSeq;
+    e.endSeq = sessSeq + chunkEvents;
+    entries_.push_back(e);
+    sessSeq += chunkEvents;
     uint8_t hdr[kChunkHeaderBytes];
     putU32(hdr, static_cast<uint32_t>(payload.size()));
     putU32(hdr + 4, chunkEvents);
@@ -48,6 +58,8 @@ TraceWriter::flushChunk()
               static_cast<std::streamsize>(payload.size()));
     bytesOut += sizeof hdr + payload.size();
     chunksOut++;
+    chunksSinceSnap++;
+    chunkStartsWithSnap = false;
     payload.clear();
     chunkEvents = 0;
     prevPc = 0;
@@ -64,10 +76,42 @@ TraceWriter::sealRecord(uint32_t events_in_record)
 }
 
 void
+TraceWriter::setSnapshotProvider(
+    std::function<void(std::vector<uint8_t> &)> provider)
+{
+    snapProvider = std::move(provider);
+}
+
+void
+TraceWriter::maybeSnapshot()
+{
+    if (!snapProvider || snapEvery == 0 || !sessOpen ||
+        chunksSinceSnap < snapEvery)
+        return;
+    flushChunk();
+    std::vector<uint8_t> blob;
+    snapProvider(blob);
+    if (blob.empty())
+        return;
+    chunkStartsWithSnap = true;
+    tag(Tag::Snapshot);
+    putVar(blob.size());
+    payload.insert(payload.end(), blob.begin(), blob.end());
+    // Snapshots are resume metadata, not events: the record does not
+    // advance the session event sequence.
+    sealRecord(0);
+    chunksSinceSnap = 0;
+    snapsOut++;
+}
+
+void
 TraceWriter::beginSession(uint32_t index)
 {
     flushChunk();
     curSession = index;
+    sessSeq = 0;
+    chunksSinceSnap = 0;
+    sessOpen = true;
     tag(Tag::SessionStart);
     putVar(index);
     payload.push_back(0);
@@ -80,6 +124,9 @@ TraceWriter::beginSession(uint32_t index, uint32_t drop_permille,
 {
     flushChunk();
     curSession = index;
+    sessSeq = 0;
+    chunksSinceSnap = 0;
+    sessOpen = true;
     tag(Tag::SessionStart);
     putVar(index);
     payload.push_back(1);
@@ -103,6 +150,7 @@ TraceWriter::endSession(uint64_t steps, uint64_t input_events,
     putVar(blocks);
     putVar(batch_flushes);
     sealRecord();
+    sessOpen = false;
     flushChunk();
 }
 
@@ -119,6 +167,7 @@ TraceWriter::onFunctionEnter(FuncId f)
     tag(Tag::FuncEnter);
     putVar(f);
     sealRecord();
+    maybeSnapshot();
 }
 
 void
@@ -128,6 +177,7 @@ TraceWriter::onFunctionExit(FuncId f)
     tag(Tag::FuncExit);
     putVar(f);
     sealRecord();
+    maybeSnapshot();
 }
 
 void

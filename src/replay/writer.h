@@ -26,6 +26,7 @@
  */
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <vector>
 
@@ -77,6 +78,36 @@ class TraceWriter final : public ExecObserver, public FaultEventSink
     /** Flush any buffered partial chunk. Idempotent. */
     void finish();
 
+    // ---- v2 snapshots + chunk index -----------------------------------
+
+    /**
+     * Arm periodic detector-state snapshots: every @p every data
+     * chunks within a session, the writer flushes the current chunk
+     * and opens the next one with a Tag::Snapshot record whose blob
+     * the provider fills (replay/snapshot.h encoding). 0 disables.
+     *
+     * The pending snapshot is emitted only at the end of a function
+     * enter/exit event — those are direct calls in both per-event and
+     * batched delivery, and with the writer attached last the
+     * detector/CpuModel state there corresponds exactly to the bytes
+     * written so far. That keeps captures byte-identical across
+     * delivery modes and makes the blob a valid resume point for the
+     * chunk it opens.
+     */
+    void setSnapshotProvider(
+        std::function<void(std::vector<uint8_t> &)> provider);
+    void snapshotEvery(uint32_t every) { snapEvery = every; }
+
+    /** Per-chunk index entries accumulated so far, with fileOffset
+     *  relative to this writer's stream (the Session layer rebases
+     *  them when concatenating shard streams). */
+    const std::vector<ChunkIndexEntry> &indexEntries() const
+    {
+        return entries_;
+    }
+
+    uint64_t snapshotsWritten() const { return snapsOut; }
+
     // ---- ExecObserver -------------------------------------------------
 
     bool wantsInstEvents() const override { return md == Mode::Full; }
@@ -110,6 +141,9 @@ class TraceWriter final : public ExecObserver, public FaultEventSink
     void flushChunk();
     /** flushRun + count an event + chunk-cap check. */
     void sealRecord(uint32_t events_in_record = 1);
+    /** Emit a due snapshot at a function-event boundary (see
+     *  setSnapshotProvider). */
+    void maybeSnapshot();
 
     std::ostream &out;
     Mode md;
@@ -125,6 +159,16 @@ class TraceWriter final : public ExecObserver, public FaultEventSink
     uint64_t bytesOut = 0;
     uint64_t chunksOut = 0;
     uint64_t eventsOut = 0;
+
+    // v2 snapshot + index state.
+    std::function<void(std::vector<uint8_t> &)> snapProvider;
+    uint32_t snapEvery = 0;
+    uint32_t chunksSinceSnap = 0;
+    bool sessOpen = false;
+    bool chunkStartsWithSnap = false;
+    uint64_t sessSeq = 0; ///< events flushed for curSession so far
+    std::vector<ChunkIndexEntry> entries_;
+    uint64_t snapsOut = 0;
 };
 
 } // namespace replay

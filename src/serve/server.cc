@@ -85,6 +85,8 @@ struct Stream
     std::vector<replay::ReplayShardResult> shardResults;
     uint64_t truncatedChunks = 0;
     uint64_t chunkCrcFailures = 0;
+    bool sawFooter = false;    ///< valid v2 index footer chunk seen
+    uint64_t indexBytes = 0;   ///< footer chunk + trailer bytes
 
     // Shared queue + flags (guarded by m).
     std::mutex m;
@@ -346,13 +348,56 @@ struct Server::Impl
             }
         }
         for (;;) {
+            const uint8_t *p = s.tbuf.data() + s.tpos;
+            const size_t avail = s.tbuf.size() - s.tpos;
+            // v2 index trailer: 16 bytes of metadata after the last
+            // chunk. At a chunk boundary its magic cannot be mistaken
+            // for a chunk header (a payloadLen spelling "IPDS" is far
+            // past every length cap).
+            if (s.engine->meta().version >= 2 && avail >= 8 &&
+                std::memcmp(p, replay::kIndexTrailerMagic, 8) == 0) {
+                if (avail < replay::kIndexTrailerBytes)
+                    break; // wait for the rest (or stream end)
+                s.indexBytes += replay::kIndexTrailerBytes;
+                s.tpos += replay::kIndexTrailerBytes;
+                continue;
+            }
             replay::ChunkRef c;
             size_t used = 0;
             replay::ParseStatus st = replay::parseChunk(
-                s.tbuf.data() + s.tpos, s.tbuf.size() - s.tpos, c,
-                used, &err);
+                p, avail, c, used, &err);
             if (st == replay::ParseStatus::NeedMore)
                 break;
+            // The v2 index footer chunk is advisory metadata — ingest
+            // detection never reads it, so like the offline scan a
+            // defect in it degrades to "no index", not to a failed
+            // stream.
+            const bool footer = s.engine->meta().version >= 2 &&
+                avail >= 12 &&
+                replay::getU32(p + 8) == replay::kIndexSession;
+            if (footer) {
+                if (st == replay::ParseStatus::Ok) {
+                    if (c.payloadLen % replay::kIndexEntryBytes ==
+                            0 &&
+                        static_cast<uint64_t>(c.events) *
+                                replay::kIndexEntryBytes ==
+                            c.payloadLen)
+                        s.sawFooter = true;
+                    s.indexBytes += used;
+                    s.tpos += used;
+                    continue;
+                }
+                if (st == replay::ParseStatus::ChunkCrcMismatch) {
+                    // parseFail overloaded `used` with the defect
+                    // offset; recompute the skip from the header.
+                    size_t skip =
+                        replay::kChunkHeaderBytes + c.payloadLen;
+                    s.indexBytes += skip;
+                    s.tpos += skip;
+                    continue;
+                }
+                fatal("trace: %s", err.c_str());
+            }
             if (st == replay::ParseStatus::ChunkCrcMismatch) {
                 s.chunkCrcFailures++;
                 fatal("trace: %s", err.c_str());
@@ -379,8 +424,23 @@ struct Server::Impl
             fatal("trace: truncated trace header at stream end");
         }
         if (s->tpos != s->tbuf.size()) {
-            s->truncatedChunks++;
-            fatal("trace: truncated chunk at stream end");
+            // A tail that is recognizably the v2 index (truncated
+            // footer chunk or trailer) is advisory metadata, exactly
+            // as in TraceFile's scan — the stream's data chunks all
+            // landed, so the stream still succeeds (without an index).
+            const uint8_t *p = s->tbuf.data() + s->tpos;
+            const size_t rem = s->tbuf.size() - s->tpos;
+            const bool idxTail = s->engine->meta().version >= 2 &&
+                ((rem >= 8 &&
+                  std::memcmp(p, replay::kIndexTrailerMagic, 8) ==
+                      0) ||
+                 (rem >= 12 &&
+                  replay::getU32(p + 8) == replay::kIndexSession));
+            if (!idxTail) {
+                s->truncatedChunks++;
+                fatal("trace: truncated chunk at stream end");
+            }
+            s->indexBytes += rem;
         }
         // Seal the remaining shards; finish() fatals if any owned
         // session never ran to its end record.
@@ -442,16 +502,23 @@ struct Server::Impl
             reg1.add(reg1.counter(n::kReplayChunks), r.chunks);
             reg1.add(reg1.counter(n::kReplayBytes), r.bytes);
             reg1.add(reg1.counter(n::kReplayEvents), r.events);
+            reg1.add(reg1.counter(n::kReplaySnapshotsWritten),
+                     r.snapshots);
             sreg.merge(reg1);
         }
         sreg.add(sreg.counter(n::kReplayBytes),
-                 replay::headerBytes(m));
+                 replay::headerBytes(m) + s->indexBytes);
         sreg.add(sreg.counter(n::kReplaySessions), m.sessions);
         sreg.add(sreg.counter(n::kReplayCrcFailures),
                  s->chunkCrcFailures);
         sreg.add(sreg.counter(n::kReplayTruncatedChunks),
                  s->truncatedChunks);
         sreg.add(sreg.counter(n::kReplayVersionMismatches), 0);
+        sreg.add(sreg.counter(n::kReplayIndexMissing),
+                 s->sawFooter ? 0 : 1);
+        sreg.add(sreg.counter(n::kReplaySeeks), 0);
+        sreg.add(sreg.counter(n::kReplaySnapshotsUsed), 0);
+        sreg.set(sreg.gauge(n::kReplayWorkers), 1);
         sreg.set(sreg.gauge(n::kReplayEventsPerSec),
                  secs > 0.0
                      ? static_cast<uint64_t>(totalEvents / secs)

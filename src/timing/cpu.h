@@ -165,6 +165,11 @@ class CpuModel final : public ExecObserver
     /** Finalized statistics. */
     TimingStats stats() const;
 
+    /** Direct access to the IPDS engine (trace snapshots capture and
+     *  restore its state; see timing/engine.h EngineSnapshot). */
+    IpdsEngine &ipdsEngine() { return engine; }
+    const IpdsEngine &ipdsEngine() const { return engine; }
+
   private:
     uint64_t curCycle() const { return lastCommitTick / cfg.commitWidth; }
 

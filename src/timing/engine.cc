@@ -93,6 +93,32 @@ IpdsEngine::cost(const IpdsRequest &rq)
     return cfg.tableLatency;
 }
 
+void
+IpdsEngine::captureState(EngineSnapshot &out) const
+{
+    out.inflight.assign(inflight.begin(), inflight.end());
+    out.engineFree = engineFree;
+    out.frames.clear();
+    out.frames.reserve(frames.size());
+    for (const FrameBits &fr : frames)
+        out.frames.push_back({fr.bits, fr.spilled});
+    out.residentBits = residentBits;
+    out.stats = stat;
+}
+
+void
+IpdsEngine::restoreState(const EngineSnapshot &snap)
+{
+    inflight.assign(snap.inflight.begin(), snap.inflight.end());
+    engineFree = snap.engineFree;
+    frames.clear();
+    frames.reserve(snap.frames.size());
+    for (const EngineSnapshot::FrameBits &fr : snap.frames)
+        frames.push_back({fr.bits, fr.spilled});
+    residentBits = snap.residentBits;
+    stat = snap.stats;
+}
+
 uint64_t
 IpdsEngine::contextSwitch(bool lazy)
 {

@@ -96,6 +96,27 @@ struct EngineStats
 };
 
 /**
+ * Portable image of the engine's live state (trace snapshots): the
+ * queued completion times, the table-stack frames with their
+ * spill bits, and the running counters. TimingConfig is not part of
+ * the image — a snapshot only resumes against the same config the
+ * trace header carries.
+ */
+struct EngineSnapshot
+{
+    std::vector<uint64_t> inflight; ///< oldest first
+    uint64_t engineFree = 0;
+    struct FrameBits
+    {
+        uint64_t bits = 0;
+        bool spilled = false;
+    };
+    std::vector<FrameBits> frames;
+    uint64_t residentBits = 0;
+    EngineStats stats;
+};
+
+/**
  * The engine. The CPU model calls enqueue() at the commit cycle of the
  * triggering instruction; the return value is the number of cycles the
  * CPU must stall (nonzero only when the request queue is full).
@@ -133,6 +154,10 @@ class IpdsEngine
     uint64_t residentTableBits() const { return residentBits; }
     /** Tracked table-stack depth (bounded by cfg.maxFrameDepth). */
     size_t frameDepth() const { return frames.size(); }
+
+    /** Capture/restore the full engine state (trace snapshots). */
+    void captureState(EngineSnapshot &out) const;
+    void restoreState(const EngineSnapshot &snap);
 
   private:
     /** Service cost of one request, including spill/fill effects. */

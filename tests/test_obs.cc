@@ -525,7 +525,10 @@ TEST(Session, ExportedNamesFollowTheSchemeAndAreRegistered)
         names::kReplayEvents, names::kReplaySessions,
         names::kReplayEventsPerSec, names::kReplayCrcFailures,
         names::kReplayTruncatedChunks,
-        names::kReplayVersionMismatches, names::kCampAttacks,
+        names::kReplayVersionMismatches, names::kReplayIndexMissing,
+        names::kReplaySeeks, names::kReplaySnapshotsWritten,
+        names::kReplaySnapshotsUsed, names::kReplayWorkers,
+        names::kCampAttacks,
         names::kCampFired, names::kCampCfChanged,
         names::kCampDetected, names::kCampFalsePositives,
         names::kCampDetectionBranchHist,

@@ -31,6 +31,7 @@
 #include "replay/format.h"
 #include "replay/reader.h"
 #include "replay/replay.h"
+#include "replay/snapshot.h"
 #include "replay/writer.h"
 #include "support/diag.h"
 #include "timing/config.h"
@@ -273,8 +274,10 @@ TEST(ReplayRoundTrip, MetricsMatchModuloReplayMeters)
                       .build();
     rep.run();
 
+    // Both sides strip ipds.replay.*: the replay side's meters and
+    // the capture side's snapshots_written are replay-domain lines.
     EXPECT_EQ(stripReplayLines(rep.metricsText()),
-              live.metricsText());
+              stripReplayLines(live.metricsText()));
     namespace n = obs::names;
     const obs::MetricsRegistry &m = rep.metrics();
     EXPECT_EQ(m.value(m.find(n::kSessRuns)), 4u);
@@ -588,8 +591,13 @@ TEST(ReplayReject, TruncationIsRecoverable)
     CompiledProgram prog =
         compileAndAnalyze(kLoopProgram, "replay_loop");
     std::vector<uint8_t> bytes = captureSmallTrace(prog);
+    const size_t footerOff = static_cast<size_t>(
+        replay::getU64(bytes.data() + bytes.size() - 8));
 
-    std::vector<uint8_t> cut(bytes.begin(), bytes.end() - 5);
+    // Cut into the last DATA chunk (the trailer locates the index
+    // footer; everything before it is data): a hard truncation.
+    std::vector<uint8_t> cut(bytes.begin(),
+                             bytes.begin() + footerOff - 5);
     try {
         replay::TraceFile::fromBytes(cut);
         FAIL() << "expected FatalError";
@@ -603,6 +611,25 @@ TEST(ReplayReject, TruncationIsRecoverable)
     // Cutting mid-header must also stay recoverable.
     std::vector<uint8_t> stub(bytes.begin(), bytes.begin() + 10);
     EXPECT_THROW(replay::TraceFile::fromBytes(stub), FatalError);
+
+    // Cutting inside the index is NOT a failure: the footer and
+    // trailer are advisory (the sequential scan recomputes them).
+    std::vector<uint8_t> noTrailerTail(bytes.begin(),
+                                       bytes.end() - 5);
+    replay::TraceFile t1 =
+        replay::TraceFile::fromBytes(noTrailerTail);
+    EXPECT_TRUE(t1.hasIndexFooter()); // footer chunk itself intact
+
+    // (the cut must leave the footer header's session sentinel
+    // readable — a shorter stub is indistinguishable from a cut data
+    // chunk and stays a hard truncation)
+    std::vector<uint8_t> midFooter(
+        bytes.begin(),
+        bytes.begin() + footerOff + replay::kChunkHeaderBytes + 5);
+    replay::TraceFile t2 = replay::TraceFile::fromBytes(midFooter);
+    EXPECT_FALSE(t2.hasIndexFooter());
+    EXPECT_EQ(t2.chunks().size(),
+              replay::TraceFile::fromBytes(bytes).chunks().size());
 }
 
 TEST(ReplayReject, VersionSkewIsRecoverable)
@@ -718,7 +745,7 @@ TEST(ReplayGolden, FixtureBytesArePinnedToFormatVersion)
     std::remove(path.c_str());
 
     const std::string goldenPath =
-        std::string(IPDS_TEST_DATA_DIR) + "/golden_v1.trc";
+        std::string(IPDS_TEST_DATA_DIR) + "/golden_v2.trc";
     if (std::getenv("IPDS_REGEN_GOLDEN")) {
         writeBytes(goldenPath, fresh);
         GTEST_SKIP() << "regenerated " << goldenPath;
@@ -737,6 +764,400 @@ TEST(ReplayGolden, FixtureBytesArePinnedToFormatVersion)
     replay::TraceFile file =
         replay::TraceFile::fromBytes(std::move(golden));
     EXPECT_EQ(file.meta().version, replay::kTraceVersion);
+    EXPECT_TRUE(file.hasIndexFooter());
+    EXPECT_EQ(file.meta().sessions, 2u);
+    EXPECT_EQ(file.meta().shards, 2u);
+    replay::ReplayEngine eng(file, prog);
+    replay::ReplayShardResult s0, s1;
+    eng.replayShard(0, s0);
+    eng.replayShard(1, s1);
+    EXPECT_EQ(s0.runs + s1.runs, 2u);
+    EXPECT_GT(s0.det.branchesSeen, 0u);
+    EXPECT_TRUE(s0.alarms.empty());
+    EXPECT_TRUE(s1.alarms.empty());
+}
+
+// ------------------------------------- v2: snapshots & chunk index
+
+TEST(ReplaySnapshot, BlobRoundTripsHandBuiltVectors)
+{
+    replay::SnapshotData sd;
+    sd.hasDetector = true;
+    DetectorSnapshot::Activation a;
+    a.func = 3;
+    a.slots = {{0, 1}, {5, 2}, {130, 1}};
+    sd.det.activations.push_back(a);
+    DetectorSnapshot::Activation b;
+    b.func = 0;
+    sd.det.activations.push_back(b);
+    sd.det.stats.branchesSeen = 12345;
+    sd.det.stats.checksEnqueued = 1u << 20;
+    sd.det.stats.updatesApplied = 7;
+    sd.det.stats.actionsApplied = 1;
+    sd.det.stats.framesPushed = 99;
+    sd.det.stats.maxStackDepth = 4;
+    sd.det.alarmsSoFar = 2;
+    sd.hasTiming = true;
+    sd.tim.instructions = 1000000;
+    sd.tim.cycles = 1234567;
+    sd.tim.mispredicts = 42;
+    sd.tim.engine.requests = 500;
+    sd.engine.inflight = {10, 20, 900};
+    sd.engine.engineFree = 77;
+    sd.engine.frames = {{64, false}, {128, true}};
+    sd.engine.residentBits = 192;
+    sd.engine.stats.requests = 500;
+    sd.engine.stats.checkLatencySum = 5850;
+    sd.engine.stats.checkLatencyCount = 500;
+
+    std::vector<uint8_t> blob;
+    replay::encodeSnapshot(sd, blob);
+    ASSERT_FALSE(blob.empty());
+    EXPECT_EQ(blob[0], replay::kSnapshotVersion);
+
+    replay::SnapshotData back;
+    replay::decodeSnapshot(blob.data(), blob.size(), back);
+    EXPECT_TRUE(back.hasDetector);
+    EXPECT_TRUE(back.hasTiming);
+    ASSERT_EQ(back.det.activations.size(), 2u);
+    EXPECT_EQ(back.det.activations[0].func, 3u);
+    EXPECT_EQ(back.det.activations[0].slots, a.slots);
+    EXPECT_TRUE(back.det.activations[1].slots.empty());
+    EXPECT_EQ(back.det.stats.branchesSeen, 12345u);
+    EXPECT_EQ(back.det.stats.maxStackDepth, 4u);
+    EXPECT_EQ(back.det.alarmsSoFar, 2u);
+    EXPECT_EQ(back.tim.cycles, 1234567u);
+    EXPECT_EQ(back.engine.inflight, sd.engine.inflight);
+    ASSERT_EQ(back.engine.frames.size(), 2u);
+    EXPECT_EQ(back.engine.frames[0].bits, 64u);
+    EXPECT_TRUE(back.engine.frames[1].spilled);
+    EXPECT_EQ(back.engine.residentBits, 192u);
+    EXPECT_EQ(back.engine.stats.checkLatencySum, 5850u);
+
+    // Re-encoding the decoded form is byte-identical: the layout is
+    // canonical, so the golden v2 fixture pins it transitively.
+    std::vector<uint8_t> blob2;
+    replay::encodeSnapshot(back, blob2);
+    EXPECT_EQ(blob, blob2);
+}
+
+TEST(ReplaySnapshot, TruncatedOrSkewedBlobIsRecoverable)
+{
+    replay::SnapshotData sd;
+    sd.hasDetector = true;
+    sd.det.stats.branchesSeen = 77;
+    sd.det.alarmsSoFar = 1;
+    std::vector<uint8_t> blob;
+    replay::encodeSnapshot(sd, blob);
+    ASSERT_GT(blob.size(), 4u);
+
+    replay::SnapshotData out;
+    for (size_t cut : {blob.size() - 1, blob.size() / 2, size_t(1)})
+        EXPECT_THROW(replay::decodeSnapshot(blob.data(), cut, out),
+                     FatalError)
+            << "cut at " << cut;
+
+    std::vector<uint8_t> skew = blob;
+    skew[0] = replay::kSnapshotVersion + 9;
+    EXPECT_THROW(
+        replay::decodeSnapshot(skew.data(), skew.size(), out),
+        FatalError);
+}
+
+TEST(ReplayIndex, FooterAndScanIndexesAgreeFieldForField)
+{
+    CompiledProgram prog =
+        compileAndAnalyze(kLoopProgram, "replay_loop");
+    std::vector<uint8_t> bytes = captureSmallTrace(prog);
+
+    replay::TraceFile scan = replay::TraceFile::fromBytes(bytes);
+    ASSERT_TRUE(scan.hasIndexFooter());
+    EXPECT_FALSE(scan.crcDeferred());
+
+    replay::IndexedLoad info;
+    replay::TraceFile idx =
+        replay::TraceFile::fromBytesIndexed(bytes, &info);
+    EXPECT_TRUE(info.usedIndex) << info.reason;
+    EXPECT_TRUE(idx.crcDeferred());
+    EXPECT_EQ(idx.indexBytes(), scan.indexBytes());
+    ASSERT_EQ(idx.chunks().size(), scan.chunks().size());
+    for (size_t i = 0; i < idx.chunks().size(); i++) {
+        const replay::ChunkRef &f = idx.chunks()[i];
+        const replay::ChunkRef &s = scan.chunks()[i];
+        EXPECT_EQ(f.payloadOff, s.payloadOff) << i;
+        EXPECT_EQ(f.payloadLen, s.payloadLen) << i;
+        EXPECT_EQ(f.events, s.events) << i;
+        EXPECT_EQ(f.session, s.session) << i;
+        EXPECT_EQ(f.flags, s.flags) << i;
+        EXPECT_EQ(f.firstSeq, s.firstSeq) << i;
+        EXPECT_EQ(f.endSeq, s.endSeq) << i;
+        EXPECT_NO_THROW(idx.checkChunkCrc(f)) << i;
+    }
+}
+
+TEST(ReplayIndex, CorruptedFooterDegradesToSequentialScan)
+{
+    CompiledProgram prog =
+        compileAndAnalyze(kLoopProgram, "replay_loop");
+    std::vector<uint8_t> bytes = captureSmallTrace(prog);
+    const size_t nChunks =
+        replay::TraceFile::fromBytes(bytes).chunks().size();
+    const size_t footerOff = static_cast<size_t>(
+        replay::getU64(bytes.data() + bytes.size() - 8));
+
+    // Flip one byte inside the footer payload: its CRC no longer
+    // matches, so the index is unusable — but the data chunks are
+    // intact and the footer stays strictly advisory.
+    bytes[footerOff + replay::kChunkHeaderBytes + 3] ^= 0xff;
+
+    replay::ValidateResult vr =
+        replay::TraceFile::validateBytes(bytes);
+    EXPECT_TRUE(vr.ok) << vr.error;
+    EXPECT_GE(vr.indexDefects, 1u);
+
+    replay::IndexedLoad info;
+    replay::TraceFile idx =
+        replay::TraceFile::fromBytesIndexed(bytes, &info);
+    EXPECT_FALSE(info.usedIndex);
+    EXPECT_FALSE(info.reason.empty());
+    EXPECT_FALSE(idx.crcDeferred());
+    EXPECT_EQ(idx.chunks().size(), nChunks);
+
+    // End to end: a parallel ReplayPlan over the damaged file falls
+    // back to the sequential path, flags the miss, and still gets the
+    // right answer.
+    std::string path = tmpTracePath("bad_footer");
+    writeBytes(path, bytes);
+    Session rep = Session::builder()
+                      .program(prog)
+                      .plan(ReplayPlan(path).parallel(2))
+                      .build();
+    rep.run();
+    namespace n = obs::names;
+    const obs::MetricsRegistry &m = rep.metrics();
+    EXPECT_EQ(m.value(m.find(n::kReplayIndexMissing)), 1u);
+    EXPECT_EQ(m.value(m.find(n::kSessRuns)), 2u);
+    EXPECT_GT(rep.detectorStats().branchesSeen, 0u);
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------- seek & snapshots
+//
+// A program whose sessions span several chunks (the loop crosses the
+// 48 KiB payload cap) with function-call boundaries inside the loop —
+// the points where the capture writer may emit a snapshot record.
+const char *kSnapProgram = R"(
+int step(int x) {
+    if (x > 5) {
+        return 1;
+    }
+    return 0;
+}
+
+void main() {
+    int i;
+    int t;
+    int acc;
+    acc = 0;
+    i = input_int();
+    while (i < 9000) {
+        t = step(i);
+        acc = acc + t;
+        i = i + 1;
+    }
+    if (acc > 9000) {
+        print_str("impossible\n");
+    }
+    print_str("done\n");
+}
+)";
+
+TEST(ReplaySeek, SeekSessionSkipsEarlierChunks)
+{
+    CompiledProgram prog =
+        compileAndAnalyze(kSnapProgram, "snap_prog");
+    std::string path = tmpTracePath("seek_sess");
+    Session::builder()
+        .program(prog)
+        .inputs({"3"})
+        .sessions(2)
+        .plan(CapturePlan(path))
+        .build()
+        .run();
+
+    Session full = Session::builder()
+                       .program(prog)
+                       .plan(ReplayPlan(path))
+                       .build();
+    full.run();
+    namespace n = obs::names;
+    const obs::MetricsRegistry &mf = full.metrics();
+    const uint64_t fullChunks = mf.value(mf.find(n::kReplayChunks));
+    ASSERT_GT(fullChunks, 2u);
+
+    Session part = Session::builder()
+                       .program(prog)
+                       .plan(ReplayPlan(path).seekSession(1))
+                       .build();
+    part.run();
+    const obs::MetricsRegistry &mp = part.metrics();
+    EXPECT_EQ(mp.value(mp.find(n::kReplaySeeks)), 1u);
+    EXPECT_EQ(mp.value(mp.find(n::kReplaySnapshotsUsed)), 0u);
+    // The chunk meter proves the earlier session was never read.
+    EXPECT_LT(mp.value(mp.find(n::kReplayChunks)), fullChunks);
+    EXPECT_GT(mp.value(mp.find(n::kReplayChunks)), 0u);
+    // The two captured sessions are identical, so the sought tail is
+    // exactly half the full replay's detector work.
+    EXPECT_EQ(part.detectorStats().branchesSeen * 2,
+              full.detectorStats().branchesSeen);
+    EXPECT_EQ(mp.value(mp.find(n::kSessRuns)), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(ReplaySeek, SeekChunkResumesFromNearestSnapshot)
+{
+    CompiledProgram prog =
+        compileAndAnalyze(kSnapProgram, "snap_prog");
+    std::string path = tmpTracePath("seek_chunk");
+    Session::builder()
+        .program(prog)
+        .inputs({"3"})
+        .sessions(2)
+        .plan(CapturePlan(path).snapshotEvery(1))
+        .build()
+        .run();
+
+    replay::TraceFile tf = replay::TraceFile::load(path);
+    const std::vector<replay::ChunkRef> &chunks = tf.chunks();
+    size_t sessStart = SIZE_MAX, flagged = SIZE_MAX;
+    for (size_t i = 0; i < chunks.size(); i++) {
+        if (chunks[i].session != 1)
+            continue;
+        if (sessStart == SIZE_MAX)
+            sessStart = i;
+        if (chunks[i].flags & replay::kChunkHasSnapshot)
+            flagged = i;
+    }
+    ASSERT_NE(sessStart, SIZE_MAX);
+    ASSERT_NE(flagged, SIZE_MAX)
+        << "capture produced no snapshot chunk";
+    ASSERT_GT(flagged, sessStart);
+    const size_t target = chunks.size() - 1;
+    ASSERT_GE(target, flagged);
+
+    Session full = Session::builder()
+                       .program(prog)
+                       .plan(ReplayPlan(path))
+                       .build();
+    full.run();
+
+    Session part = Session::builder()
+                       .program(prog)
+                       .plan(ReplayPlan(path).seekChunk(
+                           static_cast<uint64_t>(target)))
+                       .build();
+    part.run();
+    namespace n = obs::names;
+    const obs::MetricsRegistry &mp = part.metrics();
+    EXPECT_EQ(mp.value(mp.find(n::kReplaySeeks)), 1u);
+    EXPECT_EQ(mp.value(mp.find(n::kReplaySnapshotsUsed)), 1u);
+    // Resumption starts at the snapshot chunk, not the session start.
+    EXPECT_EQ(mp.value(mp.find(n::kReplayChunks)),
+              chunks.size() - flagged);
+    // The snapshot restores the session-so-far counters, so the
+    // resumed session finishes with its exact full-replay stats.
+    EXPECT_EQ(part.detectorStats().branchesSeen * 2,
+              full.detectorStats().branchesSeen);
+    EXPECT_TRUE(part.alarms().empty());
+    std::remove(path.c_str());
+}
+
+TEST(ReplaySeek, DamagedSnapshotFallsBackToSessionStart)
+{
+    CompiledProgram prog =
+        compileAndAnalyze(kSnapProgram, "snap_prog");
+    std::string path = tmpTracePath("seek_damaged");
+    Session::builder()
+        .program(prog)
+        .inputs({"3"})
+        .sessions(2)
+        .plan(CapturePlan(path).snapshotEvery(1))
+        .build()
+        .run();
+    std::vector<uint8_t> bytes = readBytes(path);
+
+    size_t sessStart = SIZE_MAX, flagged = SIZE_MAX, nChunks = 0;
+    {
+        replay::TraceFile tf = replay::TraceFile::fromBytes(bytes);
+        const std::vector<replay::ChunkRef> &chunks = tf.chunks();
+        nChunks = chunks.size();
+        for (size_t i = 0; i < chunks.size(); i++) {
+            if (chunks[i].session != 1)
+                continue;
+            if (sessStart == SIZE_MAX)
+                sessStart = i;
+            if (chunks[i].flags & replay::kChunkHasSnapshot)
+                flagged = i;
+        }
+        ASSERT_NE(flagged, SIZE_MAX);
+        ASSERT_GT(flagged, sessStart);
+
+        // Damage the snapshot BLOB (bump its version byte) and
+        // re-seal the chunk CRC: the record still frames — replay
+        // skips over it — but a seek can no longer resume from it.
+        const replay::ChunkRef &c = tf.chunks()[flagged];
+        replay::TraceReader r(tf.payload(c), c.payloadLen);
+        ASSERT_EQ(r.tag(), replay::Tag::Snapshot);
+        r.var(); // blob length
+        bytes[c.payloadOff + r.offset()] =
+            replay::kSnapshotVersion + 9;
+        replay::putU32(
+            bytes.data() + c.payloadOff - 4,
+            replay::crc32(bytes.data() + c.payloadOff,
+                          c.payloadLen));
+    }
+    writeBytes(path, bytes);
+
+    Session full = Session::builder()
+                       .program(prog)
+                       .plan(ReplayPlan(path))
+                       .build();
+    full.run(); // feed() skips the blob: full replay is unaffected
+
+    const size_t target = nChunks - 1;
+    Session part = Session::builder()
+                       .program(prog)
+                       .plan(ReplayPlan(path).seekChunk(
+                           static_cast<uint64_t>(target)))
+                       .build();
+    part.run();
+    namespace n = obs::names;
+    const obs::MetricsRegistry &mp = part.metrics();
+    EXPECT_EQ(mp.value(mp.find(n::kReplaySeeks)), 1u);
+    EXPECT_EQ(mp.value(mp.find(n::kReplaySnapshotsUsed)), 0u);
+    // Fallback replays the damaged session from its first chunk.
+    EXPECT_EQ(mp.value(mp.find(n::kReplayChunks)),
+              nChunks - sessStart);
+    EXPECT_EQ(part.detectorStats().branchesSeen * 2,
+              full.detectorStats().branchesSeen);
+    std::remove(path.c_str());
+}
+
+TEST(ReplayGolden, V1FixtureStillReplays)
+{
+    // Traces recorded before the chunk-index footer existed (format
+    // v1) must keep replaying through the sequential path.
+    const std::string goldenPath =
+        std::string(IPDS_TEST_DATA_DIR) + "/golden_v1.trc";
+    std::vector<uint8_t> golden = readBytes(goldenPath);
+    ASSERT_FALSE(golden.empty()) << "missing fixture " << goldenPath;
+
+    CompiledProgram prog =
+        compileAndAnalyze(kLoopProgram, "golden_loop");
+    replay::TraceFile file =
+        replay::TraceFile::fromBytes(std::move(golden));
+    EXPECT_EQ(file.meta().version, 1u);
+    EXPECT_FALSE(file.hasIndexFooter());
     EXPECT_EQ(file.meta().sessions, 2u);
     EXPECT_EQ(file.meta().shards, 2u);
     replay::ReplayEngine eng(file, prog);

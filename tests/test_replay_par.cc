@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Parallel replay suite (ctest label `replay-par`).
+ *
+ * The standing contract: parallel replay over the v2 chunk index is a
+ * pure optimization — alarms, DetectorStats, TimingStats, FaultStats
+ * and the metrics export are BIT-IDENTICAL to the sequential replay at
+ * every worker count, on every workload, for detector-only and timing
+ * traces alike. The suite also pins the builder's up-front geometry
+ * guards: parallel()/seekSession()/seekChunk() are mutually exclusive,
+ * a timing trace cannot be split wider than its capture shards, and
+ * seekChunk() is rejected for timing traces at build() time.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/program.h"
+#include "obs/names.h"
+#include "obs/session.h"
+#include "replay/format.h"
+#include "replay/reader.h"
+#include "support/diag.h"
+#include "timing/config.h"
+#include "vm/vm.h"
+#include "workloads/workloads.h"
+
+namespace ipds {
+namespace {
+
+std::string
+tmpTracePath(const std::string &name)
+{
+    return testing::TempDir() + "ipds_par_" + name + ".trc";
+}
+
+bool
+sameAlarms(const std::vector<Alarm> &a, const std::vector<Alarm> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); i++) {
+        if (a[i].func != b[i].func || a[i].pc != b[i].pc ||
+            a[i].actualTaken != b[i].actualTaken ||
+            a[i].expected != b[i].expected ||
+            a[i].branchIndex != b[i].branchIndex)
+            return false;
+    }
+    return true;
+}
+
+/** metricsText() minus the two lines a worker count may legitimately
+ *  change: the wall-clock rate gauge and the worker-count gauge.
+ *  Every other line — including the rest of ipds.replay.* — must be a
+ *  pure function of the trace. */
+std::string
+stripVariantLines(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string out, line;
+    while (std::getline(in, line)) {
+        if (line.find("events_per_sec") != std::string::npos)
+            continue;
+        if (line.rfind("ipds.replay.workers", 0) == 0)
+            continue;
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+struct ReplayOutcome
+{
+    std::string metrics;
+    DetectorStats det;
+    TimingStats tim;
+    std::vector<Alarm> alarms;
+};
+
+ReplayOutcome
+replaySeq(const CompiledProgram &prog, const std::string &path)
+{
+    Session s = Session::builder()
+                    .program(prog)
+                    .plan(ReplayPlan(path))
+                    .build();
+    s.run();
+    return {stripVariantLines(s.metricsText()), s.detectorStats(),
+            s.timingStats(), s.alarms()};
+}
+
+ReplayOutcome
+replayPar(const CompiledProgram &prog, const std::string &path,
+          unsigned workers)
+{
+    Session s = Session::builder()
+                    .program(prog)
+                    .plan(ReplayPlan(path).parallel(workers))
+                    .build();
+    s.run();
+    namespace n = obs::names;
+    const obs::MetricsRegistry &m = s.metrics();
+    EXPECT_GE(m.value(m.find(n::kReplayWorkers)), 1u);
+    EXPECT_EQ(m.value(m.find(n::kReplayIndexMissing)), 0u);
+    return {stripVariantLines(s.metricsText()), s.detectorStats(),
+            s.timingStats(), s.alarms()};
+}
+
+void
+expectSame(const ReplayOutcome &seq, const ReplayOutcome &par,
+           const std::string &tag)
+{
+    EXPECT_EQ(seq.metrics, par.metrics) << tag;
+    EXPECT_TRUE(seq.det == par.det) << tag;
+    EXPECT_TRUE(seq.tim == par.tim) << tag;
+    EXPECT_TRUE(sameAlarms(seq.alarms, par.alarms)) << tag;
+}
+
+const unsigned kWorkerCounts[] = {1, 2, 4, 8};
+
+// ------------------------------------------------- bit-identity
+
+TEST(ReplayPar, DetectorOnlyMatchesSequentialOnAllWorkloads)
+{
+    for (const Workload &wl : allWorkloads()) {
+        CompiledProgram prog =
+            compileAndAnalyze(wl.source, wl.name);
+        std::string path = tmpTracePath("det_" + wl.name);
+        Session::builder()
+            .program(prog)
+            .inputs(wl.benignInputs)
+            .sessions(4)
+            .shards(2)
+            .plan(CapturePlan(path))
+            .build()
+            .run();
+
+        ReplayOutcome seq = replaySeq(prog, path);
+        for (unsigned w : kWorkerCounts)
+            expectSame(seq, replayPar(prog, path, w),
+                       wl.name + " @" + std::to_string(w));
+        std::remove(path.c_str());
+    }
+}
+
+TEST(ReplayPar, TimingMatchesSequentialOnAllWorkloads)
+{
+    // A timing trace parallelizes per capture shard (the CpuModel
+    // carries state across a shard's sessions), so the sweep stays
+    // within the capture geometry; parallel(0) auto-sizes and clamps.
+    for (const Workload &wl : allWorkloads()) {
+        CompiledProgram prog =
+            compileAndAnalyze(wl.source, wl.name);
+        std::string path = tmpTracePath("tim_" + wl.name);
+        Session::builder()
+            .program(prog)
+            .inputs(wl.benignInputs)
+            .timing(table1Config())
+            .sessions(4)
+            .shards(2)
+            .plan(CapturePlan(path))
+            .build()
+            .run();
+
+        ReplayOutcome seq = replaySeq(prog, path);
+        expectSame(seq, replayPar(prog, path, 1), wl.name + " @1");
+        expectSame(seq, replayPar(prog, path, 2), wl.name + " @2");
+        std::remove(path.c_str());
+    }
+}
+
+TEST(ReplayPar, TamperedTraceAlarmsIdenticallyInParallel)
+{
+    // Alarms must merge back in session order, not completion order.
+    const char *prog_src = R"(
+void main() {
+    int role;
+    int req;
+    role = 0;
+    if (input_int() == 42) {
+        role = 1;
+    }
+    req = 0;
+    while (req < 4) {
+        if (role == 1) {
+            print_str("p\n");
+        } else {
+            print_str("n\n");
+        }
+        input_int();
+        req = req + 1;
+    }
+}
+)";
+    CompiledProgram prog = compileAndAnalyze(prog_src, "par_tamper");
+    std::string path = tmpTracePath("tamper");
+
+    TamperSpec spec;
+    spec.randomStackTarget = false;
+    spec.afterInputEvent = 2;
+    spec.addr = Vm(prog.mod).entryLocalAddr("role");
+    spec.bytes = {1, 0, 0, 0, 0, 0, 0, 0};
+
+    Session live =
+        Session::builder()
+            .program(prog)
+            .inputs({"7", "1", "2", "3", "4"})
+            .sessions(4)
+            .shards(2)
+            .plan(CapturePlan(path).exec(ExecPlan().tamper(spec)))
+            .build();
+    live.run();
+    ASSERT_TRUE(live.alarmed());
+
+    ReplayOutcome seq = replaySeq(prog, path);
+    ASSERT_FALSE(seq.alarms.empty());
+    for (unsigned w : kWorkerCounts)
+        expectSame(seq, replayPar(prog, path, w),
+                   "tamper @" + std::to_string(w));
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------- builder guards
+
+TEST(ReplayPar, ParallelAndSeekModesAreMutuallyExclusive)
+{
+    const Workload &wl = workloadByName("telnetd");
+    CompiledProgram prog = compileAndAnalyze(wl.source, wl.name);
+    std::string path = tmpTracePath("excl");
+    Session::builder()
+        .program(prog)
+        .inputs(wl.benignInputs)
+        .sessions(2)
+        .plan(CapturePlan(path))
+        .build()
+        .run();
+
+    auto expectFatal = [&](ReplayPlan plan, const char *what) {
+        try {
+            Session::builder().program(prog).plan(plan).build();
+            FAIL() << "expected FatalError: " << what;
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find(what),
+                      std::string::npos)
+                << e.what();
+        }
+    };
+    expectFatal(ReplayPlan(path).parallel(2).seekSession(1),
+                "mutually exclusive");
+    expectFatal(ReplayPlan(path).parallel(2).seekChunk(0),
+                "mutually exclusive");
+    expectFatal(ReplayPlan(path).seekSession(1).seekChunk(0),
+                "mutually exclusive");
+    std::remove(path.c_str());
+}
+
+TEST(ReplayPar, TimingTraceRejectsWorkersBeyondShardGeometry)
+{
+    const Workload &wl = workloadByName("telnetd");
+    CompiledProgram prog = compileAndAnalyze(wl.source, wl.name);
+    std::string path = tmpTracePath("geom");
+    Session::builder()
+        .program(prog)
+        .inputs(wl.benignInputs)
+        .timing(table1Config())
+        .sessions(4)
+        .shards(2)
+        .plan(CapturePlan(path))
+        .build()
+        .run();
+
+    // The guard is up-front (build() reads the trace header), names
+    // the geometry, and fires before any replay work happens.
+    try {
+        Session::builder()
+            .program(prog)
+            .plan(ReplayPlan(path).parallel(4))
+            .build();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("shard geometry"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // seekChunk() cannot resume a CPU scoreboard: rejected up front
+    // for timing traces too.
+    try {
+        Session::builder()
+            .program(prog)
+            .plan(ReplayPlan(path).seekChunk(1))
+            .build();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("timing traces"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // Within the geometry the same plans build and run fine.
+    Session ok = Session::builder()
+                     .program(prog)
+                     .plan(ReplayPlan(path).parallel(2))
+                     .build();
+    ok.run();
+    EXPECT_GT(ok.detectorStats().branchesSeen, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(ReplayPar, V1TraceFallsBackToSequentialWithIndexMissing)
+{
+    // A v1 trace has no footer: a parallel plan must still replay
+    // (sequentially) and flag the degradation in the metrics.
+    const Workload &wl = workloadByName("telnetd");
+    CompiledProgram prog = compileAndAnalyze(wl.source, wl.name);
+    std::string path = tmpTracePath("v1fallback");
+    Session::builder()
+        .program(prog)
+        .inputs(wl.benignInputs)
+        .sessions(2)
+        .plan(CapturePlan(path))
+        .build()
+        .run();
+
+    // Strip the trace back to v1: drop the index footer + trailer and
+    // reseal the header with version 1.
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::vector<uint8_t> bytes(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        in.close();
+        size_t footerOff = static_cast<size_t>(
+            replay::getU64(bytes.data() + bytes.size() - 8));
+        bytes.resize(footerOff);
+        replay::putU32(bytes.data() + 8, 1); // version word
+        replay::putU32(bytes.data() + 36,
+                       replay::crc32(bytes.data(), 36));
+        std::ofstream out(path,
+                          std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    Session rep = Session::builder()
+                      .program(prog)
+                      .plan(ReplayPlan(path).parallel(4))
+                      .build();
+    rep.run();
+    namespace n = obs::names;
+    const obs::MetricsRegistry &m = rep.metrics();
+    EXPECT_EQ(m.value(m.find(n::kReplayIndexMissing)), 1u);
+    EXPECT_EQ(m.value(m.find(n::kReplayWorkers)), 1u);
+    EXPECT_EQ(m.value(m.find(n::kSessRuns)), 2u);
+    EXPECT_GT(rep.detectorStats().branchesSeen, 0u);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace ipds

@@ -200,6 +200,11 @@ TEST(ReaderContract, ChunkTruncationCorruptionAndMalformedLengths)
     size_t avail = bytes.size() - consumed;
     ASSERT_GT(avail, replay::kChunkHeaderBytes);
 
+    // The capture now ends with the v2 index footer + trailer; this
+    // test frames the first data chunk only.
+    avail = replay::kChunkHeaderBytes + replay::getU32(chunk);
+    ASSERT_LE(avail, bytes.size() - consumed);
+
     replay::ChunkRef ref;
     size_t used = 0;
 
@@ -242,8 +247,14 @@ TEST(ReaderContract, ValidateDistinguishesTruncationFromCorruption)
     std::vector<uint8_t> bytes = readBytes(path);
     std::remove(path.c_str());
 
+    // The trailer's last 8 bytes locate the index footer — everything
+    // before it is data chunks.
+    const size_t footerOff = static_cast<size_t>(
+        replay::getU64(bytes.data() + bytes.size() - 8));
+
     // Cut mid-chunk: truncation tallies, CRC stays clean.
-    std::vector<uint8_t> cut(bytes.begin(), bytes.end() - 5);
+    std::vector<uint8_t> cut(bytes.begin(),
+                             bytes.begin() + footerOff - 5);
     replay::ValidateResult vr = replay::TraceFile::validateBytes(cut);
     EXPECT_FALSE(vr.ok);
     EXPECT_EQ(vr.truncatedChunks, 1u);
@@ -251,10 +262,17 @@ TEST(ReaderContract, ValidateDistinguishesTruncationFromCorruption)
 
     // Flip a payload byte: corruption tallies, truncation stays clean.
     std::vector<uint8_t> bad = bytes;
-    bad[bad.size() - 5] ^= 0x10;
+    bad[footerOff - 5] ^= 0x10;
     vr = replay::TraceFile::validateBytes(bad);
     EXPECT_EQ(vr.crcFailures, 1u);
     EXPECT_EQ(vr.truncatedChunks, 0u);
+
+    // Cut inside the index itself: advisory — the scan recomputes the
+    // index, so the file stays valid with the defect tallied.
+    std::vector<uint8_t> idxCut(bytes.begin(), bytes.end() - 5);
+    vr = replay::TraceFile::validateBytes(idxCut);
+    EXPECT_TRUE(vr.ok) << vr.error;
+    EXPECT_GE(vr.indexDefects, 1u);
 }
 
 // --------------------------------------------------- frame envelope
@@ -679,7 +697,12 @@ TEST(Service, ChunkCrcMismatchInsideValidFramesRejectsTheStream)
     std::string path = capture(prog, "ccrc", 1, false);
     std::vector<uint8_t> bytes = readBytes(path);
     std::remove(path.c_str());
-    bytes[bytes.size() - 5] ^= 0x10; // payload byte of the last chunk
+    // Payload byte of the last data chunk (the trailer's last 8 bytes
+    // locate the index footer — corrupting past it would only degrade
+    // the advisory index, not reject the stream).
+    bytes[static_cast<size_t>(
+              replay::getU64(bytes.data() + bytes.size() - 8)) -
+          5] ^= 0x10;
 
     serve::ServerConfig cfg;
     cfg.socketPath = tmpPath("ccrc.sock");
@@ -704,7 +727,10 @@ TEST(Service, TruncatedTraceAtCleanFrameBoundaryIsTruncation)
     std::string path = capture(prog, "tr", 1, false);
     std::vector<uint8_t> bytes = readBytes(path);
     std::remove(path.c_str());
-    bytes.resize(bytes.size() - 5);
+    // Cut into the last data chunk, not the advisory index tail.
+    bytes.resize(static_cast<size_t>(
+                     replay::getU64(bytes.data() + bytes.size() - 8)) -
+                 5);
 
     serve::ServerConfig cfg;
     cfg.socketPath = tmpPath("tr.sock");
