@@ -19,10 +19,18 @@
  *   p50/p99_ingest  per-frame ingest latency (enqueue -> detected),
  *                   microseconds, from the server's own histogram
  *
+ * With --tcp the transport is a loopback TCP listener (ephemeral
+ * port) and the clients use the versioned hello; each workload then
+ * also runs a RECONNECT STORM — one stream killed and resumed
+ * between every slice of the trace — reporting storm_eps and the
+ * reconnect count. The storm verdict is digest-checked against
+ * offline replay like every other stream: resume is only benched
+ * where it is bit-identical.
+ *
  * Emits machine-readable JSON, default BENCH_service.json.
  *
  * Usage: abl_service [--sessions N] [--clients N] [--trials N]
- *                    [--quick] [--threads N] [--json PATH]
+ *                    [--quick] [--tcp] [--threads N] [--json PATH]
  */
 
 #include <algorithm>
@@ -35,6 +43,7 @@
 
 #include "core/program.h"
 #include "obs/session.h"
+#include "replay/format.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "support/cli.h"
@@ -85,6 +94,8 @@ struct Row
     uint64_t events = 0; ///< detection events per stream
     double eps = 0;      ///< aggregate events/sec across streams
     uint64_t p50us = 0, p99us = 0;
+    double stormEps = 0;         ///< --tcp: eps through the storm
+    uint64_t stormReconnects = 0; ///< --tcp: resumes in the storm
 };
 
 } // namespace
@@ -99,6 +110,7 @@ main(int argc, char **argv)
     uint32_t clients = 4;
     uint32_t trials = 3;
     bool quick = false;
+    bool tcp = false;
     unsigned threads = 0;
     std::string jsonPath = "BENCH_service.json";
     args.uintOpt("sessions", &sessions,
@@ -108,6 +120,8 @@ main(int argc, char **argv)
     args.uintOpt("trials", &trials, "trials; fastest wins");
     args.boolOpt("quick", &quick,
                  "smoke footprint (4 sessions, 1 trial)");
+    args.boolOpt("tcp", &tcp,
+                 "loopback TCP transport + reconnect-storm runs");
     args.threadsOpt(&threads);
     args.jsonOpt(&jsonPath);
     if (!args.parse(argc, argv))
@@ -127,11 +141,17 @@ main(int argc, char **argv)
     std::printf("=== Service ablation: concurrent ingest-time "
                 "detection vs offline replay ===\n");
     std::printf("(%u-session trace per workload, %u concurrent "
-                "streams, best of %u trials)\n\n",
-                sessions, clients, trials);
-    std::printf("%-10s %9s %7s %14s %10s %10s\n", "benchmark",
-                "events", "streams", "ingest-e/s", "p50-us",
-                "p99-us");
+                "streams, best of %u trials, %s transport)\n\n",
+                sessions, clients, trials,
+                tcp ? "loopback TCP" : "unix-socket");
+    if (tcp)
+        std::printf("%-10s %9s %7s %14s %10s %10s %14s %6s\n",
+                    "benchmark", "events", "streams", "ingest-e/s",
+                    "p50-us", "p99-us", "storm-e/s", "drops");
+    else
+        std::printf("%-10s %9s %7s %14s %10s %10s\n", "benchmark",
+                    "events", "streams", "ingest-e/s", "p50-us",
+                    "p99-us");
 
     std::vector<Row> rows;
     bool mismatch = false;
@@ -156,15 +176,22 @@ main(int argc, char **argv)
         std::vector<uint8_t> trace = readBytes(tracePath);
         std::remove(tracePath.c_str());
 
+        const uint64_t modHash = replay::moduleContentHash(prog.mod);
         std::string sock = "abl_service_" + wl.name + ".sock";
         double best = 1e100;
         std::vector<uint64_t> latencies;
         for (uint32_t trial = 0; trial < trials; trial++) {
             serve::ServerConfig cfg;
-            cfg.socketPath = sock;
+            if (tcp) {
+                cfg.tcpHost = "127.0.0.1";
+                cfg.tcpPort = 0; // ephemeral
+            } else {
+                cfg.socketPath = sock;
+            }
             cfg.threads = threads;
             serve::Server srv(prog, cfg);
             srv.start();
+            const uint16_t port = tcp ? srv.boundTcpPort() : 0;
 
             auto t0 = std::chrono::steady_clock::now();
             std::vector<std::thread> ts;
@@ -173,8 +200,14 @@ main(int argc, char **argv)
                 ts.emplace_back([&, i] {
                     try {
                         serve::Client c;
-                        c.connect(sock);
-                        c.hello("tenant" + std::to_string(i));
+                        if (tcp) {
+                            c.connectTcp("127.0.0.1", port);
+                            c.helloV2("tenant" + std::to_string(i),
+                                      modHash);
+                        } else {
+                            c.connect(sock);
+                            c.hello("tenant" + std::to_string(i));
+                        }
                         c.sendTraceBytes(trace.data(), trace.size(),
                                          0);
                         serve::StreamResult r = c.end();
@@ -209,12 +242,61 @@ main(int argc, char **argv)
                       : 0;
         row.p50us = percentile(latencies, 0.50);
         row.p99us = percentile(latencies, 0.99);
-        std::printf("%-10s %9llu %7u %14.0f %10llu %10llu\n",
-                    row.name.c_str(),
-                    static_cast<unsigned long long>(row.events),
-                    clients, row.eps,
-                    static_cast<unsigned long long>(row.p50us),
-                    static_cast<unsigned long long>(row.p99us));
+
+        if (tcp) {
+            // Reconnect storm: the same trace through one stream
+            // killed between every slice — the cost of resume
+            // (redial, re-feed, server-side dedup) under fire.
+            serve::ServerConfig cfg;
+            cfg.tcpHost = "127.0.0.1";
+            cfg.threads = threads;
+            serve::Server srv(prog, cfg);
+            srv.start();
+            auto t0 = std::chrono::steady_clock::now();
+            try {
+                serve::Client c;
+                c.connectTcp("127.0.0.1", srv.boundTcpPort());
+                c.helloV2("storm", modHash);
+                const size_t slice = trace.size() / 16 + 1;
+                for (size_t off = 0; off < trace.size();
+                     off += slice) {
+                    c.sendTraceBytes(trace.data() + off,
+                                     std::min(slice,
+                                              trace.size() - off),
+                                     0);
+                    c.abortConnection();
+                }
+                serve::StreamResult r = c.end();
+                if (!r.ok || r.alarmDigest != wantDigest)
+                    mismatch = true;
+                row.stormReconnects = c.reconnects();
+            } catch (const FatalError &) {
+                mismatch = true;
+            }
+            double elapsed = seconds(t0);
+            srv.stopAndJoin();
+            if (srv.streamsFailed() != 0)
+                mismatch = true;
+            row.stormEps =
+                elapsed > 0 ? double(events) / elapsed : 0;
+        }
+
+        if (tcp)
+            std::printf(
+                "%-10s %9llu %7u %14.0f %10llu %10llu %14.0f %6llu\n",
+                row.name.c_str(),
+                static_cast<unsigned long long>(row.events), clients,
+                row.eps, static_cast<unsigned long long>(row.p50us),
+                static_cast<unsigned long long>(row.p99us),
+                row.stormEps,
+                static_cast<unsigned long long>(row.stormReconnects));
+        else
+            std::printf("%-10s %9llu %7u %14.0f %10llu %10llu\n",
+                        row.name.c_str(),
+                        static_cast<unsigned long long>(row.events),
+                        clients, row.eps,
+                        static_cast<unsigned long long>(row.p50us),
+                        static_cast<unsigned long long>(row.p99us));
         rows.push_back(std::move(row));
     }
 
@@ -230,20 +312,27 @@ main(int argc, char **argv)
     std::fprintf(js,
                  "{\n  \"bench\": \"abl_service\",\n"
                  "  \"sessions\": %u,\n  \"clients\": %u,\n"
+                 "  \"transport\": \"%s\",\n"
                  "  \"workloads\": [\n",
-                 sessions, clients);
+                 sessions, clients, tcp ? "tcp" : "unix");
     for (size_t i = 0; i < rows.size(); i++) {
         const Row &r = rows[i];
         std::fprintf(
             js,
             "    {\"name\": \"%s\", \"events\": %llu, "
             "\"ingest_eps\": %.0f, \"p50_ingest_us\": %llu, "
-            "\"p99_ingest_us\": %llu}%s\n",
+            "\"p99_ingest_us\": %llu",
             r.name.c_str(),
             static_cast<unsigned long long>(r.events), r.eps,
             static_cast<unsigned long long>(r.p50us),
-            static_cast<unsigned long long>(r.p99us),
-            i + 1 < rows.size() ? "," : "");
+            static_cast<unsigned long long>(r.p99us));
+        if (tcp)
+            std::fprintf(
+                js,
+                ", \"storm_eps\": %.0f, \"storm_reconnects\": %llu",
+                r.stormEps,
+                static_cast<unsigned long long>(r.stormReconnects));
+        std::fprintf(js, "}%s\n", i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(js, "  ],\n  \"equivalent\": %s\n}\n",
                  mismatch ? "false" : "true");

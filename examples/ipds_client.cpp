@@ -11,15 +11,29 @@
  * the server's current /statsz page is fetched instead of (or after)
  * streaming.
  *
+ * By default the stream opens with the versioned hello: the module
+ * hash is read from the trace file header (or computed from a
+ * --module source), routing the stream to the matching program on a
+ * multi-program server, and reconnect/resume is armed — a dropped
+ * connection redials and resumes from the server's last ack instead
+ * of failing. --legacy-hello forces the v1 handshake (first
+ * registered module, fail on drop).
+ *
  * Exit code: 0 clean stream, 2 the server raised alarms, 1 on
  * usage/transport error or a server-side reject.
  */
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
+#include "core/program.h"
+#include "replay/format.h"
+#include "replay/reader.h"
 #include "serve/client.h"
 #include "support/cli.h"
 #include "support/diag.h"
+#include "workloads/workloads.h"
 
 using namespace ipds;
 
@@ -30,18 +44,28 @@ main(int argc, char **argv)
                         "Stream a recorded trace to ipds_serve");
     std::string trace;
     std::string socketPath = "/tmp/ipds.sock";
+    std::string tcpSpec;
     std::string tenant = "default";
+    std::string moduleSrc;
     size_t frameBytes = 0;
     bool statszOnly = false;
     bool wantStatsz = false;
+    bool legacyHello = false;
     args.positional("trace", &trace,
                     "IPDS trace file to stream ('-' with --statsz-only"
                     " to skip streaming)");
     args.strOpt("socket", &socketPath, "ipds_serve socket path");
+    args.strOpt("tcp", &tcpSpec,
+                "connect to HOST:PORT instead of the unix socket");
     args.strOpt("tenant", &tenant,
                 "tenant name this stream accounts under");
+    args.strOpt("module", &moduleSrc,
+                "route by this workload/source's content hash "
+                "instead of the trace header's");
     args.sizeOpt("frame-bytes", &frameBytes,
                  "transport frame payload size (0 = 64KiB)");
+    args.boolOpt("legacy-hello", &legacyHello,
+                 "use the v1 hello (no routing, no resume)");
     args.boolOpt("statsz", &wantStatsz,
                  "also fetch the server /statsz page after the "
                  "stream");
@@ -52,17 +76,72 @@ main(int argc, char **argv)
 
     try {
         serve::Client cl;
-        cl.connect(socketPath);
+        if (!tcpSpec.empty()) {
+            size_t colon = tcpSpec.rfind(':');
+            if (colon == std::string::npos) {
+                std::fprintf(stderr,
+                             "--tcp wants HOST:PORT, got %s\n",
+                             tcpSpec.c_str());
+                return 1;
+            }
+            cl.connectTcp(tcpSpec.substr(0, colon),
+                          static_cast<uint16_t>(std::stoul(
+                              tcpSpec.substr(colon + 1))));
+        } else {
+            cl.connect(socketPath);
+        }
         if (statszOnly) {
             std::fputs(cl.statsz().c_str(), stdout);
             return 0;
         }
-        cl.hello(tenant);
+
+        if (legacyHello) {
+            cl.hello(tenant);
+        } else {
+            uint64_t hash = 0;
+            if (!moduleSrc.empty()) {
+                std::string source;
+                bool found = false;
+                for (const auto &wl : allWorkloads()) {
+                    if (wl.name == moduleSrc) {
+                        source = wl.source;
+                        found = true;
+                    }
+                }
+                if (!found) {
+                    std::ifstream in(moduleSrc);
+                    if (!in) {
+                        std::fprintf(stderr, "cannot open %s\n",
+                                     moduleSrc.c_str());
+                        return 1;
+                    }
+                    std::ostringstream ss;
+                    ss << in.rdbuf();
+                    source = ss.str();
+                }
+                CompiledProgram prog =
+                    compileAndAnalyze(source, moduleSrc);
+                hash = replay::moduleContentHash(prog.mod);
+            } else {
+                // The trace header records which program produced
+                // it; the server routes the stream to that module.
+                hash = replay::readTraceHeader(trace).moduleHash;
+            }
+            cl.helloV2(tenant, hash);
+        }
         cl.sendTraceFile(trace, frameBytes);
         serve::StreamResult r = cl.end();
         std::fputs(r.text.c_str(), stdout);
+        if (cl.reconnects())
+            std::fprintf(stderr,
+                         "[ipds_client] resumed over %llu "
+                         "reconnect(s)\n",
+                         static_cast<unsigned long long>(
+                             cl.reconnects()));
         if (!r.ok) {
-            std::fprintf(stderr, "[ipds_client] stream rejected\n");
+            std::fprintf(stderr, "[ipds_client] stream rejected%s%s\n",
+                         r.errorCode.empty() ? "" : ": ",
+                         r.errorCode.c_str());
             return 1;
         }
         if (wantStatsz)

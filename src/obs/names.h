@@ -170,6 +170,16 @@ inline constexpr const char *kServeBadFrames =
 inline constexpr const char *kServeBackpressureStalls =
     "ipds.serve.backpressure_stalls";
 inline constexpr const char *kServeResumes = "ipds.serve.resumes";
+inline constexpr const char *kServeReconnects =
+    "ipds.serve.reconnects";
+inline constexpr const char *kServeResumedChunks =
+    "ipds.serve.resumed_chunks";
+inline constexpr const char *kServeUnknownModule =
+    "ipds.serve.unknown_module";
+inline constexpr const char *kServeAcceptErrors =
+    "ipds.serve.accept_errors";
+inline constexpr const char *kServeDroppedReplyBytes =
+    "ipds.serve.dropped_reply_bytes";
 inline constexpr const char *kServeMaxActiveStreams = ///< gauge
     "ipds.serve.max_active_streams";
 inline constexpr const char *kServeIngestLatencyHist = ///< histogram

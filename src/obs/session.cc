@@ -40,7 +40,10 @@ Session::Builder::build()
     if (!o.capturePath.empty() && !o.replayPath.empty())
         fatal("Session: captureTo() and replayFrom() are mutually "
               "exclusive");
-    if (!o.servePath.empty()) {
+    if (o.isServe) {
+        if (o.servePath.empty() && o.serveTcpHost.empty())
+            fatal("Session: a ServePlan needs a listener — a unix "
+                  "socket path and/or tcp(host, port)");
         // Only reachable by mixing plan(ServePlan) with the
         // deprecated shims; the plan types themselves cannot express
         // these combinations.
@@ -315,7 +318,7 @@ Session::runShard(uint32_t shard, ShardOut &out,
 Session &
 Session::run()
 {
-    if (!opt.servePath.empty())
+    if (opt.isServe || !opt.servePath.empty())
         return runServe();
     if (!opt.replayPath.empty())
         return runReplay();
@@ -759,6 +762,8 @@ Session::runServe()
 
     serve::ServerConfig cfg;
     cfg.socketPath = opt.servePath;
+    cfg.tcpHost = opt.serveTcpHost;
+    cfg.tcpPort = opt.serveTcpPort;
     cfg.threads = opt.threads;
     if (opt.serveMaxFrame)
         cfg.maxFrameBytes = opt.serveMaxFrame;
@@ -766,6 +771,8 @@ Session::runServe()
         cfg.pendingChunkCap = opt.servePendingCap;
 
     serve::Server srv(*opt.prog, cfg);
+    for (const CompiledProgram *extra : opt.serveExtras)
+        srv.registerModule(*extra);
     serveHandle = std::make_shared<ServeHandle>();
     {
         std::lock_guard<std::mutex> lk(serveHandle->m);

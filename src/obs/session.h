@@ -267,9 +267,35 @@ struct ReplayPlan
  */
 struct ServePlan
 {
-    explicit ServePlan(std::string socketPath_)
+    /** @p socketPath "" = no unix listener (configure tcp()). */
+    explicit ServePlan(std::string socketPath_ = "")
         : socketPath(std::move(socketPath_))
     {}
+
+    /**
+     * Also listen on TCP at @p host (IPv4 dotted quad; "0.0.0.0"
+     * for all interfaces), port @p port (0 = ephemeral). Both
+     * listeners share one poll loop and actor pool.
+     */
+    ServePlan &tcp(std::string host, uint16_t port)
+    {
+        tcpHost = std::move(host);
+        tcpPort = port;
+        return *this;
+    }
+
+    /**
+     * Register an additional module in the server's registry, keyed
+     * by FNV-1a content hash: Hello v2 streams route to the module
+     * matching their hash. The Builder's program() is always
+     * registered (and serves v1 Hello streams). @p prog must outlive
+     * run().
+     */
+    ServePlan &alsoServe(const CompiledProgram &prog)
+    {
+        extraModules.push_back(&prog);
+        return *this;
+    }
 
     /** Reject frames larger than @p n bytes (0 = wire default). */
     ServePlan &maxFrameBytes(size_t n)
@@ -297,6 +323,9 @@ struct ServePlan
     }
 
     std::string socketPath;
+    std::string tcpHost;
+    uint16_t tcpPort = 0;
+    std::vector<const CompiledProgram *> extraModules;
     size_t maxFrame = 0;
     size_t pendingCap = 0;
     uint64_t stopAfter = 0;
@@ -402,7 +431,11 @@ class Session
         uint32_t replaySeekSession = 0;
         bool replaySeekChunkSet = false;
         uint64_t replaySeekChunk = 0;
+        bool isServe = false;    ///< a ServePlan was configured
         std::string servePath;   ///< serve a socket (ServePlan)
+        std::string serveTcpHost;
+        uint16_t serveTcpPort = 0;
+        std::vector<const CompiledProgram *> serveExtras;
         size_t serveMaxFrame = 0;
         size_t servePendingCap = 0;
         uint64_t serveStopAfter = 0;
@@ -556,7 +589,11 @@ class Session::Builder
     Builder &plan(ServePlan p)
     {
         o.planCount++;
+        o.isServe = true;
         o.servePath = std::move(p.socketPath);
+        o.serveTcpHost = std::move(p.tcpHost);
+        o.serveTcpPort = p.tcpPort;
+        o.serveExtras = std::move(p.extraModules);
         o.serveMaxFrame = p.maxFrame;
         o.servePendingCap = p.pendingCap;
         o.serveStopAfter = p.stopAfter;

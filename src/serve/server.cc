@@ -9,8 +9,12 @@
 #include <map>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -57,6 +61,7 @@ enum class Msg : uint8_t
     Fail = 2,   ///< stream rejected: send its Error frame, close
     Resume = 3, ///< queue drained: re-enable POLLIN on the conn
     Stop = 4,   ///< requestStop(): shut the ingest loop down
+    Ack = 5,    ///< sealed watermark advanced: send a ChunkAck
 };
 
 /** One TraceData payload (or the end-of-stream marker). */
@@ -65,14 +70,28 @@ struct Segment
     std::vector<uint8_t> bytes;
     Clock::time_point enq;
     bool eof = false;
+    /** Absolute trace offset of bytes[0] (the resume dedup key). */
+    uint64_t absStart = 0;
 };
 
 /** Per-stream state. The ingest thread frames; one actor decodes. */
 struct Stream
 {
-    uint32_t connId = 0;
     std::string tenant;
     Clock::time_point started;
+
+    // Routing + resume identity. Written once at Hello (before any
+    // segment is queued — the queue mutex is the fence), read-only
+    // after.
+    const CompiledProgram *prog = nullptr;
+    uint64_t moduleHash = 0;
+    bool resumable = false; ///< client declared a resume token
+    uint64_t resumeToken = 0;
+
+    // Ingest-thread-only transport state.
+    uint64_t rxPos = 0; ///< abs trace offset of the next TraceData
+    Clock::time_point parkDeadline{}; ///< while parked for resume
+    bool resultSent = false; ///< Result/Error delivered (dedup)
 
     // Actor-only decode state (the actor invariant — at most one
     // scheduled task per stream — is the only lock it needs).
@@ -87,6 +106,10 @@ struct Stream
     uint64_t chunkCrcFailures = 0;
     bool sawFooter = false;    ///< valid v2 index footer chunk seen
     uint64_t indexBytes = 0;   ///< footer chunk + trailer bytes
+    uint64_t absNext = 0;      ///< abs offset after the last ingested
+                               ///< byte (actor's dedup watermark)
+    uint64_t sealedChunks = 0; ///< data chunks fed to the cursor
+    uint64_t lastAckChunks = 0; ///< sealedChunks at the last ack
 
     // Shared queue + flags (guarded by m).
     std::mutex m;
@@ -95,6 +118,12 @@ struct Stream
     bool pausedByServer = false;
     bool failed = false;
     bool finished = false;
+    uint32_t connId = 0; ///< 0 while parked (acks have no target)
+    // Sealed watermark, published by the actor for the ingest
+    // thread's ChunkAck frames and resume-attach validation.
+    uint64_t pubSealedBytes = 0;
+    uint64_t pubSealedChunks = 0;
+    uint64_t pubAbsNext = 0;
 
     // Written by the finishing actor before it posts Done/Fail; read
     // by the ingest thread after (the self-pipe is the fence).
@@ -143,10 +172,16 @@ setNonBlock(int fd)
 
 struct Server::Impl
 {
-    const CompiledProgram &prog;
     ServerConfig cfg;
 
+    // Module registry: immutable once start() runs, so actors read it
+    // without a lock. regOrder.front() serves v1 Hello streams.
+    std::unordered_map<uint64_t, const CompiledProgram *> modules;
+    std::vector<const CompiledProgram *> regOrder;
+
     int listenFd = -1;
+    int tcpFd = -1;
+    uint16_t tcpBoundPort = 0;
     int pipeRd = -1;
     int pipeWr = -1;
     std::thread ingest;
@@ -158,6 +193,12 @@ struct Server::Impl
     std::unordered_map<uint32_t, Conn> conns;
     uint32_t nextConnId = 1;
     std::deque<std::pair<Msg, uint32_t>> selfMsgs;
+    /** Dropped resumable streams awaiting a reconnect, by token. */
+    std::unordered_map<uint64_t, std::shared_ptr<Stream>> parked;
+    /** Tokens owned by a live or parked stream (collision guard). */
+    std::unordered_set<uint64_t> activeTokens;
+    /** Shutdown in progress: closeConn fails instead of parking. */
+    bool draining = false;
 
     // Shared state.
     mutable std::mutex mtx;
@@ -171,7 +212,8 @@ struct Server::Impl
     size_t latencyNext = 0; ///< overwrite slot once the ring is full
     obs::MetricHandle hAccepted, hCompleted, hFailed, hFrames,
         hBytes, hFrameCrc, hOversized, hBadFrames, hStalls, hResumes,
-        hMaxActive, hLatency;
+        hReconnects, hResumedChunks, hUnknownModule, hAcceptErrors,
+        hDroppedReply, hMaxActive, hLatency;
 
     // Declared LAST: ~Impl destroys members in reverse order, and
     // ~ThreadPool drains in-flight stream actors that still lock mtx
@@ -179,8 +221,8 @@ struct Server::Impl
     // while all of that shared state is still alive.
     ThreadPool pool;
 
-    Impl(const CompiledProgram &p, ServerConfig c)
-        : prog(p), cfg(std::move(c)), pool(cfg.threads)
+    explicit Impl(ServerConfig c)
+        : cfg(std::move(c)), pool(cfg.threads)
     {
         hAccepted = reg.counter(n::kServeStreamsAccepted);
         hCompleted = reg.counter(n::kServeStreamsCompleted);
@@ -192,12 +234,19 @@ struct Server::Impl
         hBadFrames = reg.counter(n::kServeBadFrames);
         hStalls = reg.counter(n::kServeBackpressureStalls);
         hResumes = reg.counter(n::kServeResumes);
+        hReconnects = reg.counter(n::kServeReconnects);
+        hResumedChunks = reg.counter(n::kServeResumedChunks);
+        hUnknownModule = reg.counter(n::kServeUnknownModule);
+        hAcceptErrors = reg.counter(n::kServeAcceptErrors);
+        hDroppedReply = reg.counter(n::kServeDroppedReplyBytes);
         hMaxActive = reg.gauge(n::kServeMaxActiveStreams);
         hLatency = reg.histogram(n::kServeIngestLatencyHist);
         if (cfg.maxFrameBytes == 0)
             cfg.maxFrameBytes = wire::kDefaultMaxFrameBytes;
         if (cfg.pendingChunkCap == 0)
             cfg.pendingChunkCap = 64;
+        if (cfg.ackEveryChunks == 0)
+            cfg.ackEveryChunks = 4;
     }
 
     // ---- self-pipe ---------------------------------------------------
@@ -251,6 +300,8 @@ struct Server::Impl
         for (;;) {
             Segment seg;
             bool resume = false;
+            uint32_t resumeConn = 0;
+            bool skip;
             {
                 std::lock_guard<std::mutex> lk(s->m);
                 if (s->q.empty()) {
@@ -263,24 +314,25 @@ struct Server::Impl
                     s->q.size() <= cfg.pendingChunkCap / 2) {
                     s->pausedByServer = false;
                     resume = true;
+                    resumeConn = s->connId;
                 }
-            }
-            if (resume)
-                postMsg(Msg::Resume, s->connId);
-
-            bool skip;
-            {
-                std::lock_guard<std::mutex> lk(s->m);
                 skip = s->failed || s->finished;
             }
+            if (resume && resumeConn != 0)
+                postMsg(Msg::Resume, resumeConn);
+
             if (!skip) {
                 try {
                     if (seg.eof)
                         finishStream(s);
                     else
-                        ingestBytes(*s, seg.bytes);
+                        ingestSegment(s, seg);
                 } catch (const FatalError &e) {
-                    failStream(s, e.what());
+                    const char *w = e.what();
+                    failStream(s, w,
+                               std::strncmp(w, "transport:", 10) == 0
+                                   ? wire::ErrorCode::Transport
+                                   : wire::ErrorCode::Trace);
                 }
                 uint64_t us = static_cast<uint64_t>(
                     std::chrono::duration_cast<
@@ -323,9 +375,64 @@ struct Server::Impl
         }
     }
 
-    void ingestBytes(Stream &s, const std::vector<uint8_t> &bytes)
+    /**
+     * Dedup, ingest, publish. After a resume the client re-feeds
+     * from the last acked watermark, so a segment may overlap bytes
+     * this actor already ingested — absNext (bytes ever appended) is
+     * the authoritative cut: drop the duplicate prefix, ingest the
+     * rest. Bytes enter the detector exactly once, which is what
+     * keeps the final Result bit-identical to an uninterrupted
+     * stream.
+     */
+    void ingestSegment(const std::shared_ptr<Stream> &s,
+                       const Segment &seg)
     {
-        s.tbuf.insert(s.tbuf.end(), bytes.begin(), bytes.end());
+        const uint8_t *p = seg.bytes.data();
+        uint64_t n = seg.bytes.size();
+        const uint64_t start = seg.absStart;
+        if (start > s->absNext)
+            fatal("transport: resume gap — client offset %llu past "
+                  "the received stream (%llu)",
+                  static_cast<unsigned long long>(start),
+                  static_cast<unsigned long long>(s->absNext));
+        if (start + n <= s->absNext) {
+            n = 0; // whole segment already ingested
+        } else if (start < s->absNext) {
+            const uint64_t dup = s->absNext - start;
+            p += dup;
+            n -= dup;
+        }
+        if (n > 0) {
+            s->absNext += n;
+            ingestBytes(*s, p, static_cast<size_t>(n));
+        }
+        if (!s->resumable)
+            return;
+        // Publish the sealed watermark; ack at the configured
+        // cadence so a reconnecting client knows where to re-feed
+        // from.
+        bool ack = false;
+        uint32_t ackConn = 0;
+        {
+            std::lock_guard<std::mutex> lk(s->m);
+            s->pubAbsNext = s->absNext;
+            s->pubSealedBytes =
+                s->absNext - (s->tbuf.size() - s->tpos);
+            s->pubSealedChunks = s->sealedChunks;
+            if (s->sealedChunks - s->lastAckChunks >=
+                cfg.ackEveryChunks) {
+                s->lastAckChunks = s->sealedChunks;
+                ack = true;
+                ackConn = s->connId;
+            }
+        }
+        if (ack && ackConn != 0)
+            postMsg(Msg::Ack, ackConn);
+    }
+
+    void ingestBytes(Stream &s, const uint8_t *data, size_t len)
+    {
+        s.tbuf.insert(s.tbuf.end(), data, data + len);
         std::string err;
         if (!s.haveHeader) {
             replay::TraceMeta meta;
@@ -334,7 +441,7 @@ struct Server::Impl
                                         meta, used, &err)) {
               case replay::ParseStatus::Ok:
                 s.engine = std::make_unique<replay::ReplayEngine>(
-                    meta, prog); // foreign-module check throws here
+                    meta, *s.prog); // foreign-module check throws here
                 s.cursor = std::make_unique<
                     replay::ReplayEngine::ShardCursor>(*s.engine, 0);
                 s.shardResults.resize(meta.shards);
@@ -407,6 +514,7 @@ struct Server::Impl
             advanceShard(s, c.session);
             s.cursor->feed(c, s.tbuf.data() + s.tpos + c.payloadOff);
             s.tpos += used;
+            s.sealedChunks++;
         }
         // Keep at most one partial chunk buffered.
         if (s.tpos > 0) {
@@ -534,6 +642,7 @@ struct Server::Impl
         report += sreg.toText();
 
         uint64_t frames, bytes, stalls;
+        uint32_t connId;
         {
             std::lock_guard<std::mutex> lk(s->m);
             s->finished = true;
@@ -541,6 +650,7 @@ struct Server::Impl
             frames = s->frames;
             bytes = s->bytes;
             stalls = s->stalls;
+            connId = s->connId;
         }
         // Merge the tenant aggregate BEFORE posting Done: the Result
         // frame is the client's signal that the stream landed, so
@@ -564,7 +674,7 @@ struct Server::Impl
         // count trips, and messages are ordered — counting after the
         // post guarantees the ingest thread sends this stream's
         // Result frame before it can ever see Stop.
-        postMsg(Msg::Done, s->connId);
+        postMsg(Msg::Done, connId);
         {
             std::lock_guard<std::mutex> lk(mtx);
             completed++;
@@ -574,18 +684,21 @@ struct Server::Impl
     }
 
     void failStream(const std::shared_ptr<Stream> &s,
-                    const std::string &why)
+                    const std::string &why,
+                    wire::ErrorCode code = wire::ErrorCode::Trace)
     {
         uint64_t frames, bytes, stalls;
+        uint32_t connId;
         {
             std::lock_guard<std::mutex> lk(s->m);
             if (s->failed || s->finished)
                 return;
             s->failed = true;
-            s->reportText = why;
+            s->reportText = wire::taggedError(code, why);
             frames = s->frames;
             bytes = s->bytes;
             stalls = s->stalls;
+            connId = s->connId;
         }
         // Same shape as finishStream: merge first (an Error frame
         // implies the meters landed), count + notify only after the
@@ -599,7 +712,7 @@ struct Server::Impl
                 t.stalls += stalls;
             }
         }
-        postMsg(Msg::Fail, s->connId);
+        postMsg(Msg::Fail, connId);
         {
             std::lock_guard<std::mutex> lk(mtx);
             failedStreams++;
@@ -610,13 +723,18 @@ struct Server::Impl
 
     // ---- ingest thread -----------------------------------------------
 
+    void sendFrameBytes(Conn &c, wire::FrameType t, const uint8_t *p,
+                        size_t n)
+    {
+        wire::appendFrame(c.outbuf, t, p, n);
+        flushOut(c);
+    }
+
     void sendFrame(Conn &c, wire::FrameType t, const std::string &text)
     {
-        wire::appendFrame(
-            c.outbuf, t,
-            reinterpret_cast<const uint8_t *>(text.data()),
+        sendFrameBytes(
+            c, t, reinterpret_cast<const uint8_t *>(text.data()),
             text.size());
-        flushOut(c);
     }
 
     /** Write as much of outbuf as the socket takes (rest on POLLOUT). */
@@ -634,7 +752,13 @@ struct Server::Impl
             }
             if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
                 return;
-            // Peer vanished mid-write: drop the rest, close below.
+            // Peer vanished mid-write: drop the rest (counted so an
+            // operator can see replies that never landed), close
+            // below.
+            {
+                std::lock_guard<std::mutex> lk(mtx);
+                reg.add(hDroppedReply, c.outbuf.size() - c.outOff);
+            }
             c.closing = true;
             c.outOff = c.outbuf.size();
             return;
@@ -649,18 +773,30 @@ struct Server::Impl
         if (it == conns.end())
             return;
         if (it->second.stream) {
-            // A dropped client mid-stream is a failed stream — give
-            // the actor path the one-transition guard so a stream
-            // that already finished/failed is not re-counted.
+            // A dropped client mid-stream: a stream that declared a
+            // resume token is PARKED for the grace period (the
+            // client may reconnect and re-feed from the last ack);
+            // anything else is a failed stream — with the actor
+            // path's one-transition guard so a stream that already
+            // finished/failed is not re-counted.
             std::shared_ptr<Stream> s = it->second.stream;
             bool active;
             {
                 std::lock_guard<std::mutex> lk(s->m);
                 active = !s->failed && !s->finished;
+                s->connId = 0; // detach: acks have no target now
             }
-            if (active)
-                failStream(s, "connection dropped mid-stream "
-                              "(truncated)");
+            if (s->resumable && !s->resultSent && !draining) {
+                s->parkDeadline =
+                    Clock::now() +
+                    std::chrono::milliseconds(cfg.resumeGraceMs);
+                parked[s->resumeToken] = s;
+            } else if (active) {
+                failStream(s,
+                           "transport: connection dropped "
+                           "mid-stream (truncated)",
+                           wire::ErrorCode::Transport);
+            }
         }
         close(it->second.fd);
         conns.erase(it);
@@ -677,11 +813,19 @@ struct Server::Impl
             reg.add(hBadFrames);
     }
 
-    void rejectConn(Conn &c, const std::string &why, bool crc,
-                    bool oversized)
+    void rejectConn(Conn &c, wire::ErrorCode code,
+                    const std::string &why, bool crc, bool oversized)
     {
         noteBadFrame(crc, oversized);
-        sendFrame(c, wire::FrameType::Error, why);
+        sendError(c, code, why);
+    }
+
+    /** Typed Error frame + close, without the bad-frame meters. */
+    void sendError(Conn &c, wire::ErrorCode code,
+                   const std::string &why)
+    {
+        sendFrame(c, wire::FrameType::Error,
+                  wire::taggedError(code, why));
         c.closing = true;
     }
 
@@ -696,44 +840,48 @@ struct Server::Impl
         switch (f.type) {
           case wire::FrameType::Hello: {
             if (c.stream) {
-                rejectConn(c, "protocol: duplicate Hello", false,
+                rejectConn(c, wire::ErrorCode::Protocol,
+                           "protocol: duplicate Hello", false,
                            false);
                 return;
             }
             if (f.payloadLen == 0 || f.payloadLen > 256) {
-                rejectConn(c, "protocol: bad tenant name", false,
+                rejectConn(c, wire::ErrorCode::Protocol,
+                           "protocol: bad tenant name", false,
                            false);
                 return;
             }
-            c.stream = std::make_shared<Stream>();
-            c.stream->connId = c.id;
-            c.stream->tenant.assign(
-                reinterpret_cast<const char *>(f.payload),
-                f.payloadLen);
-            c.stream->started = Clock::now();
-            std::lock_guard<std::mutex> lk(mtx);
-            reg.add(hAccepted);
-            uint64_t active = 0;
-            for (const auto &kv : conns)
-                if (kv.second.stream)
-                    active++;
-            reg.setMax(hMaxActive, active);
+            // v1 Hello carries no module hash: route to the first
+            // registered module (single-program servers keep their
+            // PR 6 wire behavior).
+            openStream(c,
+                       std::string(reinterpret_cast<const char *>(
+                                       f.payload),
+                                   f.payloadLen),
+                       regOrder.front(), 0, 0);
             break;
           }
+          case wire::FrameType::Hello2:
+            handleHello2(c, f);
+            break;
           case wire::FrameType::TraceData:
           case wire::FrameType::StreamEnd: {
             if (!c.stream) {
-                rejectConn(c, "protocol: no Hello", false, false);
+                rejectConn(c, wire::ErrorCode::Protocol,
+                           "protocol: no Hello", false, false);
                 return;
             }
             std::shared_ptr<Stream> s = c.stream;
             Segment seg;
             seg.enq = Clock::now();
-            if (f.type == wire::FrameType::StreamEnd)
+            if (f.type == wire::FrameType::StreamEnd) {
                 seg.eof = true;
-            else
+            } else {
                 seg.bytes.assign(f.payload,
                                  f.payload + f.payloadLen);
+                seg.absStart = s->rxPos;
+                s->rxPos += f.payloadLen;
+            }
             bool schedule = false;
             bool stalled = false;
             {
@@ -767,10 +915,145 @@ struct Server::Impl
             sendFrame(c, wire::FrameType::Stats, statszLocked());
             break;
           default:
-            rejectConn(c, "protocol: unexpected frame type", false,
+            rejectConn(c, wire::ErrorCode::Protocol,
+                       "protocol: unexpected frame type", false,
                        false);
             break;
         }
+    }
+
+    /** Attach a fresh stream to @p c (both Hello versions land here). */
+    void openStream(Conn &c, std::string tenant,
+                    const CompiledProgram *prog, uint64_t moduleHash,
+                    uint64_t resumeToken)
+    {
+        c.stream = std::make_shared<Stream>();
+        c.stream->connId = c.id;
+        c.stream->tenant = std::move(tenant);
+        c.stream->started = Clock::now();
+        c.stream->prog = prog;
+        c.stream->moduleHash = moduleHash;
+        c.stream->resumeToken = resumeToken;
+        c.stream->resumable = resumeToken != 0;
+        if (resumeToken != 0)
+            activeTokens.insert(resumeToken);
+        std::lock_guard<std::mutex> lk(mtx);
+        reg.add(hAccepted);
+        uint64_t active = 0;
+        for (const auto &kv : conns)
+            if (kv.second.stream)
+                active++;
+        reg.setMax(hMaxActive, active);
+    }
+
+    void handleHello2(Conn &c, const wire::Frame &f)
+    {
+        if (c.stream) {
+            rejectConn(c, wire::ErrorCode::Protocol,
+                       "protocol: duplicate Hello", false, false);
+            return;
+        }
+        wire::HelloV2 h;
+        if (!wire::decodeHello2(f.payload, f.payloadLen, h)) {
+            rejectConn(c, wire::ErrorCode::Protocol,
+                       "protocol: malformed Hello2", false, false);
+            return;
+        }
+        if (h.resume) {
+            attachResume(c, h);
+            return;
+        }
+        auto mit = modules.find(h.moduleHash);
+        if (mit == modules.end()) {
+            // Typed reject; the connection carried a well-formed
+            // frame, so the bad-frame meters stay untouched and no
+            // tenant aggregate is created.
+            {
+                std::lock_guard<std::mutex> lk(mtx);
+                reg.add(hUnknownModule);
+            }
+            sendError(c, wire::ErrorCode::UnknownModule,
+                      strprintf("serve: module %016llx is not "
+                                "registered",
+                                static_cast<unsigned long long>(
+                                    h.moduleHash)));
+            return;
+        }
+        if (h.resumeToken != 0 &&
+            (activeTokens.count(h.resumeToken) ||
+             parked.count(h.resumeToken))) {
+            rejectConn(c, wire::ErrorCode::Protocol,
+                       "protocol: resume token already in use",
+                       false, false);
+            return;
+        }
+        openStream(c, std::move(h.tenant), mit->second, h.moduleHash,
+                   h.resumeToken);
+    }
+
+    void attachResume(Conn &c, const wire::HelloV2 &h)
+    {
+        auto pit = parked.find(h.resumeToken);
+        if (pit == parked.end()) {
+            sendError(c, wire::ErrorCode::UnknownResume,
+                      "serve: unknown or expired resume token");
+            return;
+        }
+        std::shared_ptr<Stream> s = pit->second;
+        if (s->tenant != h.tenant || s->moduleHash != h.moduleHash) {
+            sendError(c, wire::ErrorCode::UnknownResume,
+                      "serve: resume token does not match the "
+                      "stream's tenant/module");
+            return;
+        }
+        bool finished, failed;
+        uint64_t pubBytes, pubChunks, pubNext;
+        {
+            std::lock_guard<std::mutex> lk(s->m);
+            finished = s->finished;
+            failed = s->failed;
+            pubBytes = s->pubSealedBytes;
+            pubChunks = s->pubSealedChunks;
+            pubNext = s->pubAbsNext;
+        }
+        if (!finished && !failed && h.resumeOffset > pubNext) {
+            // The client claims bytes this server never received.
+            // Leave the stream parked (an honest retry with a real
+            // watermark can still attach within the grace period).
+            sendError(c, wire::ErrorCode::UnknownResume,
+                      "serve: resume offset past the received "
+                      "stream");
+            return;
+        }
+        parked.erase(pit);
+        {
+            std::lock_guard<std::mutex> lk(s->m);
+            s->connId = c.id;
+            s->pausedByServer = false;
+        }
+        c.stream = s;
+        s->rxPos = h.resumeOffset;
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            reg.add(hReconnects);
+            if (pubChunks >= h.resumeChunks)
+                reg.add(hResumedChunks, pubChunks - h.resumeChunks);
+        }
+        // A stream that reached its verdict while parked gets it
+        // now; the selfMsgs queue keeps the ingest thread the only
+        // frame writer and resultSent dedupes against the actor's
+        // own (dropped) Done/Fail post.
+        if (finished || failed) {
+            selfMsgs.emplace_back(finished ? Msg::Done : Msg::Fail,
+                                  c.id);
+            return;
+        }
+        // First frame back is the watermark the re-feed is judged
+        // against.
+        std::vector<uint8_t> ack =
+            wire::encodeChunkAck(pubBytes, pubChunks);
+        sendFrameBytes(c, wire::FrameType::ChunkAck, ack.data(),
+                       ack.size());
     }
 
     void readConn(Conn &c)
@@ -806,9 +1089,10 @@ struct Server::Impl
                         // would make it two.
                         noteBadFrame(crc, oversized);
                         failStream(c.stream,
-                                   std::string("transport: ") + why);
+                                   std::string("transport: ") + why,
+                                   wire::ErrorCode::Transport);
                     } else {
-                        rejectConn(c,
+                        rejectConn(c, wire::ErrorCode::Transport,
                                    std::string("transport: ") + why,
                                    crc, oversized);
                     }
@@ -848,10 +1132,29 @@ struct Server::Impl
             }
             break;
           }
+          case Msg::Ack: {
+            if (!c.stream || c.stream->resultSent)
+                break;
+            uint64_t b, k;
+            {
+                std::lock_guard<std::mutex> lk(c.stream->m);
+                b = c.stream->pubSealedBytes;
+                k = c.stream->pubSealedChunks;
+            }
+            std::vector<uint8_t> p = wire::encodeChunkAck(b, k);
+            sendFrameBytes(c, wire::FrameType::ChunkAck, p.data(),
+                           p.size());
+            break;
+          }
           case Msg::Done:
           case Msg::Fail: {
+            if (c.stream && c.stream->resultSent)
+                break; // resume race: verdict already delivered
             std::string report;
             if (c.stream) {
+                c.stream->resultSent = true;
+                if (c.stream->resumeToken != 0)
+                    activeTokens.erase(c.stream->resumeToken);
                 std::lock_guard<std::mutex> lk(c.stream->m);
                 report = c.stream->reportText;
             }
@@ -889,10 +1192,36 @@ struct Server::Impl
             }
             if (stopSeen)
                 break;
+            // Parked streams whose resume grace ran out fail as
+            // truncation — exactly what a non-resumable drop gets.
+            if (!parked.empty()) {
+                Clock::time_point now = Clock::now();
+                for (auto it = parked.begin();
+                     it != parked.end();) {
+                    if (now >= it->second->parkDeadline) {
+                        std::shared_ptr<Stream> s = it->second;
+                        activeTokens.erase(it->first);
+                        it = parked.erase(it);
+                        failStream(s,
+                                   "transport: resume grace "
+                                   "expired after a dropped "
+                                   "connection (truncated)",
+                                   wire::ErrorCode::Transport);
+                    } else {
+                        ++it;
+                    }
+                }
+            }
             pfds.clear();
             ids.clear();
             pfds.push_back({pipeRd, POLLIN, 0});
-            pfds.push_back({listenFd, POLLIN, 0});
+            std::vector<int> lfds;
+            if (listenFd >= 0)
+                lfds.push_back(listenFd);
+            if (tcpFd >= 0)
+                lfds.push_back(tcpFd);
+            for (int lfd : lfds)
+                pfds.push_back({lfd, POLLIN, 0});
             for (auto &kv : conns) {
                 short ev = 0;
                 if (!kv.second.paused && !kv.second.closing)
@@ -904,8 +1233,10 @@ struct Server::Impl
                 pfds.push_back({kv.second.fd, ev, 0});
                 ids.push_back(kv.first);
             }
-            if (poll(pfds.data(),
-                     static_cast<nfds_t>(pfds.size()), -1) < 0) {
+            // Finite timeout only while a parked stream's grace
+            // deadline needs watching.
+            if (poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                     parked.empty() ? -1 : 50) < 0) {
                 if (errno == EINTR)
                     continue;
                 break;
@@ -917,12 +1248,37 @@ struct Server::Impl
                     handleMsg(static_cast<Msg>(b[i]),
                               replay::getU32(b + i + 1), stopSeen);
             }
-            if (pfds[1].revents & POLLIN) {
+            for (size_t li = 0; li < lfds.size(); li++) {
+                if (!(pfds[1 + li].revents & POLLIN))
+                    continue;
+                const int lfd = lfds[li];
+                const bool isTcp = lfd == tcpFd;
                 for (;;) {
-                    int fd = accept(listenFd, nullptr, nullptr);
-                    if (fd < 0)
+                    int fd = accept(lfd, nullptr, nullptr);
+                    if (fd < 0) {
+                        if (errno == EINTR ||
+                            errno == ECONNABORTED)
+                            continue; // transient; keep draining
+                        if (errno == EAGAIN ||
+                            errno == EWOULDBLOCK)
+                            break; // backlog drained
+                        // EMFILE/ENFILE/…: count it — a silently
+                        // abandoned drain reads as "no connections",
+                        // which is exactly how fd exhaustion hides.
+                        // poll() is level-triggered, so the backlog
+                        // is retried next iteration.
+                        {
+                            std::lock_guard<std::mutex> lk(mtx);
+                            reg.add(hAcceptErrors);
+                        }
                         break;
+                    }
                     setNonBlock(fd);
+                    if (isTcp) {
+                        int one = 1;
+                        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY,
+                                   &one, sizeof one);
+                    }
                     Conn c;
                     c.fd = fd;
                     c.id = nextConnId++;
@@ -936,7 +1292,7 @@ struct Server::Impl
                 if (it == conns.end())
                     continue;
                 Conn &c = it->second;
-                short re = pfds[i + 2].revents;
+                short re = pfds[i + 1 + lfds.size()].revents;
                 if (re & POLLOUT)
                     flushOut(c);
                 if (c.closing && c.outOff >= c.outbuf.size()) {
@@ -952,10 +1308,25 @@ struct Server::Impl
                     closeConn(ids[i]);
             }
         }
-        // Shutdown: best-effort drain of queued replies first — a
-        // Result/Error frame that hit EAGAIN just before Stop must
-        // still reach its client before the socket closes.
-        for (int round = 0; round < 100; round++) {
+        // Shutdown: parked streams cannot survive the server — fail
+        // them now so their meters land and waiters see the count.
+        draining = true;
+        {
+            std::unordered_map<uint64_t, std::shared_ptr<Stream>>
+                still = std::move(parked);
+            parked.clear();
+            activeTokens.clear();
+            for (auto &kv : still)
+                failStream(kv.second,
+                           "transport: server stopped before the "
+                           "stream could resume (truncated)",
+                           wire::ErrorCode::Transport);
+        }
+        // Best-effort drain of queued replies — a Result/Error frame
+        // that hit EAGAIN just before Stop must still reach its
+        // client before the socket closes.
+        for (unsigned round = 0; round < cfg.shutdownDrainRounds;
+             round++) {
             bool pending = false;
             for (auto &kv : conns) {
                 Conn &c = kv.second;
@@ -970,6 +1341,22 @@ struct Server::Impl
             if (!pending)
                 break;
         }
+        // Whatever the drain could not deliver is dropped — counted,
+        // never silent: an operator diffing statsz must be able to
+        // see replies that never landed.
+        {
+            uint64_t leftover = 0;
+            for (auto &kv : conns)
+                if (kv.second.outOff < kv.second.outbuf.size())
+                    leftover +=
+                        kv.second.outbuf.size() - kv.second.outOff;
+            if (leftover > 0) {
+                std::lock_guard<std::mutex> lk(mtx);
+                reg.add(hDroppedReply, leftover);
+            }
+            for (auto &kv : conns) // closeConn must not re-count
+                kv.second.outOff = kv.second.outbuf.size();
+        }
         // Then close every socket; in-flight actors finish on the
         // pool (their late Done/Fail messages land in a pipe nobody
         // reads, which is fine — results are already merged).
@@ -978,9 +1365,15 @@ struct Server::Impl
             all.push_back(kv.first);
         for (uint32_t id : all)
             closeConn(id);
-        close(listenFd);
-        listenFd = -1;
-        unlink(cfg.socketPath.c_str());
+        if (listenFd >= 0) {
+            close(listenFd);
+            listenFd = -1;
+            unlink(cfg.socketPath.c_str());
+        }
+        if (tcpFd >= 0) {
+            close(tcpFd);
+            tcpFd = -1;
+        }
         std::lock_guard<std::mutex> lk(mtx);
         stopped = true;
         cv.notify_all();
@@ -1009,9 +1402,32 @@ struct Server::Impl
     }
 };
 
-Server::Server(const CompiledProgram &prog, ServerConfig cfg)
-    : impl(std::make_unique<Impl>(prog, std::move(cfg)))
+Server::Server(ServerConfig cfg)
+    : impl(std::make_unique<Impl>(std::move(cfg)))
 {}
+
+Server::Server(const CompiledProgram &prog, ServerConfig cfg)
+    : Server(std::move(cfg))
+{
+    registerModule(prog);
+}
+
+void
+Server::registerModule(const CompiledProgram &prog)
+{
+    Impl &im = *impl;
+    if (im.started)
+        fatal("serve: registerModule() after start()");
+    uint64_t h = replay::moduleContentHash(prog.mod);
+    if (im.modules.emplace(h, &prog).second)
+        im.regOrder.push_back(&prog);
+}
+
+uint16_t
+Server::boundTcpPort() const
+{
+    return impl->tcpBoundPort;
+}
 
 Server::~Server()
 {
@@ -1034,40 +1450,102 @@ Server::start()
     Impl &im = *impl;
     if (im.started)
         fatal("serve: start() called twice");
-    if (im.cfg.socketPath.empty())
-        fatal("serve: no socket path configured");
+    if (im.cfg.socketPath.empty() && im.cfg.tcpHost.empty())
+        fatal("serve: no listener configured (socketPath or "
+              "tcpHost)");
+    if (im.regOrder.empty())
+        fatal("serve: no module registered");
 
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (im.cfg.socketPath.size() >= sizeof addr.sun_path)
-        fatal("serve: socket path too long: '%s'",
-              im.cfg.socketPath.c_str());
-    std::memcpy(addr.sun_path, im.cfg.socketPath.c_str(),
-                im.cfg.socketPath.size() + 1);
+    if (!im.cfg.socketPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (im.cfg.socketPath.size() >= sizeof addr.sun_path)
+            fatal("serve: socket path too long: '%s'",
+                  im.cfg.socketPath.c_str());
+        std::memcpy(addr.sun_path, im.cfg.socketPath.c_str(),
+                    im.cfg.socketPath.size() + 1);
 
-    int fd = socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0)
-        fatal("serve: socket(): %s", std::strerror(errno));
-    unlink(im.cfg.socketPath.c_str());
-    if (bind(fd, reinterpret_cast<sockaddr *>(&addr),
-             sizeof addr) < 0) {
-        int e = errno;
-        close(fd);
-        fatal("serve: cannot bind '%s': %s",
-              im.cfg.socketPath.c_str(), std::strerror(e));
+        int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            fatal("serve: socket(): %s", std::strerror(errno));
+        unlink(im.cfg.socketPath.c_str());
+        if (bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                 sizeof addr) < 0) {
+            int e = errno;
+            close(fd);
+            fatal("serve: cannot bind '%s': %s",
+                  im.cfg.socketPath.c_str(), std::strerror(e));
+        }
+        if (listen(fd, im.cfg.listenBacklog) < 0) {
+            int e = errno;
+            close(fd);
+            fatal("serve: listen(): %s", std::strerror(e));
+        }
+        setNonBlock(fd);
+        im.listenFd = fd;
     }
-    if (listen(fd, im.cfg.listenBacklog) < 0) {
-        int e = errno;
-        close(fd);
-        fatal("serve: listen(): %s", std::strerror(e));
+
+    if (!im.cfg.tcpHost.empty()) {
+        auto bail = [&im](const char *what, int e) {
+            if (im.listenFd >= 0) {
+                close(im.listenFd);
+                im.listenFd = -1;
+                unlink(im.cfg.socketPath.c_str());
+            }
+            fatal("serve: %s: %s", what, std::strerror(e));
+        };
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(im.cfg.tcpPort);
+        if (inet_pton(AF_INET, im.cfg.tcpHost.c_str(),
+                      &addr.sin_addr) != 1) {
+            if (im.listenFd >= 0) {
+                close(im.listenFd);
+                im.listenFd = -1;
+                unlink(im.cfg.socketPath.c_str());
+            }
+            fatal("serve: bad TCP address '%s' (IPv4 dotted quad "
+                  "expected)",
+                  im.cfg.tcpHost.c_str());
+        }
+        int fd = socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            bail("socket()", errno);
+        int one = 1;
+        setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        if (bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                 sizeof addr) < 0) {
+            int e = errno;
+            close(fd);
+            bail("cannot bind TCP listener", e);
+        }
+        if (listen(fd, im.cfg.listenBacklog) < 0) {
+            int e = errno;
+            close(fd);
+            bail("listen()", e);
+        }
+        sockaddr_in bound{};
+        socklen_t blen = sizeof bound;
+        if (getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                        &blen) == 0)
+            im.tcpBoundPort = ntohs(bound.sin_port);
+        setNonBlock(fd);
+        im.tcpFd = fd;
     }
-    setNonBlock(fd);
-    im.listenFd = fd;
 
     int p[2];
     if (pipe(p) < 0) {
-        close(fd);
-        fatal("serve: pipe(): %s", std::strerror(errno));
+        int e = errno;
+        if (im.listenFd >= 0) {
+            close(im.listenFd);
+            im.listenFd = -1;
+            unlink(im.cfg.socketPath.c_str());
+        }
+        if (im.tcpFd >= 0) {
+            close(im.tcpFd);
+            im.tcpFd = -1;
+        }
+        fatal("serve: pipe(): %s", std::strerror(e));
     }
     im.pipeRd = p[0];
     im.pipeWr = p[1];

@@ -5,9 +5,17 @@
  * @file
  * The multi-tenant detection service.
  *
- * One Server owns a stream socket (AF_UNIX) and detects recorded
- * trace streams AT INGEST, as the bytes arrive, for many concurrent
- * clients. Architecture (DESIGN.md "Detection service"):
+ * One Server owns its listeners (AF_UNIX and/or TCP, both sharing
+ * one poll loop) and detects recorded trace streams AT INGEST, as
+ * the bytes arrive, for many concurrent clients. It hosts a
+ * MULTI-PROGRAM registry: N compiled modules keyed by FNV-1a content
+ * hash; Hello v2 routes each stream to its module, unknown hashes
+ * are rejected with a typed Error (code unknown_module). Streams
+ * that declare a resume token get periodic ChunkAck watermarks and
+ * may reconnect after a drop: the server parks the stream for a
+ * grace period, dedupes re-sent bytes by absolute trace offset, and
+ * the final Result stays bit-identical to an uninterrupted stream.
+ * Architecture (DESIGN.md "Detection service"):
  *
  *   clients ──► ingest thread ──► per-stream actor tasks ──► tenants
  *              (poll + framing)     (ThreadPool::submit)     (merge)
@@ -61,7 +69,16 @@ namespace serve {
 
 struct ServerConfig
 {
+    /** AF_UNIX listener path ("" = no unix listener). */
     std::string socketPath;
+    /**
+     * TCP listener: IPv4 address to bind ("" = no TCP listener;
+     * "0.0.0.0" for all interfaces). Both listeners may be active at
+     * once, sharing the poll loop and actor pool.
+     */
+    std::string tcpHost;
+    /** TCP port (0 = ephemeral; read back with boundTcpPort()). */
+    uint16_t tcpPort = 0;
     /** Worker pool size, including none spare (0 = one per core). */
     unsigned threads = 0;
     /** Reject frames larger than this before buffering. */
@@ -69,6 +86,23 @@ struct ServerConfig
     /** Per-stream ingest segments in flight before pausing reads. */
     size_t pendingChunkCap = 64;
     int listenBacklog = 16;
+    /**
+     * Send a ChunkAck after this many newly sealed chunks on streams
+     * that declared a resume token (Hello v2). The ack is the
+     * client's re-feed watermark after a reconnect.
+     */
+    uint64_t ackEveryChunks = 4;
+    /**
+     * How long a dropped resumable stream stays parked awaiting a
+     * reconnect before it is failed as truncated.
+     */
+    uint64_t resumeGraceMs = 30000;
+    /**
+     * Shutdown drain: rounds of 10ms flush attempts for queued reply
+     * bytes before they are dropped (and counted in
+     * ipds.serve.dropped_reply_bytes).
+     */
+    unsigned shutdownDrainRounds = 100;
     /**
      * Newest per-segment latency samples retained for
      * ingestLatencySamplesMicros() (ring buffer; 0 disables). Keeps
@@ -98,7 +132,9 @@ uint64_t alarmDigest(const std::vector<Alarm> &alarms);
 class Server
 {
   public:
-    /** @p prog must outlive the server. */
+    /** Empty registry; registerModule() before start(). */
+    explicit Server(ServerConfig cfg);
+    /** Convenience: registry of one. @p prog must outlive the server. */
     Server(const CompiledProgram &prog, ServerConfig cfg);
     ~Server();
 
@@ -106,10 +142,24 @@ class Server
     Server &operator=(const Server &) = delete;
 
     /**
-     * Bind the socket and start the ingest thread. FatalError if the
-     * path cannot be bound. An existing socket file is replaced.
+     * Add @p prog to the module registry, keyed by its FNV-1a content
+     * hash (replay::moduleContentHash). Hello v2 streams route to the
+     * module matching their hash; v1 Hello streams get the first
+     * registered module. Must be called before start(); @p prog must
+     * outlive the server. Re-registering the same hash is a no-op.
+     */
+    void registerModule(const CompiledProgram &prog);
+
+    /**
+     * Bind the configured listeners and start the ingest thread.
+     * FatalError if neither listener is configured, the registry is
+     * empty, or a bind fails. An existing unix socket file is
+     * replaced.
      */
     void start();
+
+    /** Bound TCP port after start() (resolves tcpPort == 0). */
+    uint16_t boundTcpPort() const;
 
     /** Ask the ingest loop to shut down. Thread-safe, idempotent. */
     void requestStop();

@@ -37,7 +37,7 @@ FrameDecoder::next(Frame &out)
         return poisoned = DecodeStatus::BadMagic;
     uint8_t type = h[4];
     if (type < static_cast<uint8_t>(FrameType::Hello) ||
-        type > static_cast<uint8_t>(FrameType::Stats))
+        type > static_cast<uint8_t>(FrameType::ChunkAck))
         return poisoned = DecodeStatus::BadType;
     uint32_t len = replay::getU32(h + 8);
     if (len > maxBytes)
@@ -83,6 +83,112 @@ encodeTextFrame(FrameType type, const std::string &text)
     return encodeFrame(
         type, reinterpret_cast<const uint8_t *>(text.data()),
         text.size());
+}
+
+const char *
+errorCodeSlug(ErrorCode c)
+{
+    switch (c) {
+    case ErrorCode::Protocol:
+        return "protocol";
+    case ErrorCode::Transport:
+        return "transport";
+    case ErrorCode::Trace:
+        return "trace";
+    case ErrorCode::UnknownModule:
+        return "unknown_module";
+    case ErrorCode::UnknownResume:
+        return "unknown_resume";
+    case ErrorCode::None:
+        break;
+    }
+    return "";
+}
+
+std::string
+parseErrorCode(const std::string &payload)
+{
+    if (payload.compare(0, 5, "code ") != 0)
+        return "";
+    size_t eol = payload.find('\n');
+    if (eol == std::string::npos)
+        eol = payload.size();
+    return payload.substr(5, eol - 5);
+}
+
+std::string
+taggedError(ErrorCode c, const std::string &why)
+{
+    std::string out = "code ";
+    out += errorCodeSlug(c);
+    out += '\n';
+    out += why;
+    return out;
+}
+
+std::vector<uint8_t>
+encodeHello2(const HelloV2 &h)
+{
+    std::vector<uint8_t> out(kHello2FixedBytes + h.tenant.size());
+    out[0] = h.version;
+    out[1] = h.resume ? 1 : 0;
+    out[2] = static_cast<uint8_t>(h.tenant.size() & 0xff);
+    out[3] = static_cast<uint8_t>((h.tenant.size() >> 8) & 0xff);
+    replay::putU64(out.data() + 4, h.moduleHash);
+    replay::putU64(out.data() + 12, h.resumeToken);
+    replay::putU64(out.data() + 20, h.resumeOffset);
+    replay::putU64(out.data() + 28, h.resumeChunks);
+    std::memcpy(out.data() + kHello2FixedBytes, h.tenant.data(),
+                h.tenant.size());
+    return out;
+}
+
+bool
+decodeHello2(const uint8_t *p, size_t n, HelloV2 &out)
+{
+    if (n < kHello2FixedBytes)
+        return false;
+    out.version = p[0];
+    if (out.version != 2)
+        return false;
+    uint8_t flags = p[1];
+    if (flags & ~uint8_t(1))
+        return false;
+    out.resume = (flags & 1) != 0;
+    size_t tenantLen = size_t(p[2]) | (size_t(p[3]) << 8);
+    if (tenantLen == 0 || tenantLen > 256 ||
+        n != kHello2FixedBytes + tenantLen)
+        return false;
+    out.moduleHash = replay::getU64(p + 4);
+    out.resumeToken = replay::getU64(p + 12);
+    out.resumeOffset = replay::getU64(p + 20);
+    out.resumeChunks = replay::getU64(p + 28);
+    if (out.resume && out.resumeToken == 0)
+        return false;
+    out.tenant.assign(
+        reinterpret_cast<const char *>(p + kHello2FixedBytes),
+        tenantLen);
+    return true;
+}
+
+std::vector<uint8_t>
+encodeChunkAck(uint64_t sealedBytes, uint64_t sealedChunks)
+{
+    std::vector<uint8_t> out(16);
+    replay::putU64(out.data(), sealedBytes);
+    replay::putU64(out.data() + 8, sealedChunks);
+    return out;
+}
+
+bool
+decodeChunkAck(const uint8_t *p, size_t n, uint64_t &sealedBytes,
+               uint64_t &sealedChunks)
+{
+    if (n != 16)
+        return false;
+    sealedBytes = replay::getU64(p);
+    sealedChunks = replay::getU64(p + 8);
+    return true;
 }
 
 } // namespace wire

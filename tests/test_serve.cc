@@ -347,6 +347,98 @@ TEST(Wire, RejectStatusesAreSticky)
     }
 }
 
+TEST(Wire, CompactionEraseKeepsAPartialFrameDecodable)
+{
+    // The decoder compacts its buffer on append() once the consumed
+    // prefix passes 4 KiB — via erase() when a partial frame is still
+    // buffered. The erased prefix must not shift the partial frame's
+    // bytes out from under the next decode.
+    auto mkFrame = [](int idx) {
+        std::vector<uint8_t> payload(600);
+        for (size_t i = 0; i < payload.size(); i++)
+            payload[i] = static_cast<uint8_t>(idx * 31 + i);
+        return serve::wire::encodeFrame(
+            serve::wire::FrameType::TraceData, payload.data(),
+            payload.size());
+    };
+
+    serve::wire::FrameDecoder dec;
+    serve::wire::Frame f;
+    // Eight full frames (8 * 616 bytes) and the first half of a
+    // ninth, consumed as one batch: consumed ends at 4928 (> 4096)
+    // with the partial ninth still pending.
+    std::vector<uint8_t> batch;
+    for (int i = 0; i < 8; i++) {
+        std::vector<uint8_t> fr = mkFrame(i);
+        batch.insert(batch.end(), fr.begin(), fr.end());
+    }
+    std::vector<uint8_t> ninth = mkFrame(8);
+    batch.insert(batch.end(), ninth.begin(),
+                 ninth.begin() + static_cast<long>(ninth.size() / 2));
+    dec.append(batch.data(), batch.size());
+    for (int i = 0; i < 8; i++) {
+        ASSERT_EQ(dec.next(f), serve::wire::DecodeStatus::Frame);
+        ASSERT_EQ(f.payloadLen, 600u);
+        EXPECT_EQ(f.payload[0], static_cast<uint8_t>(i * 31)) << i;
+    }
+    EXPECT_EQ(dec.next(f), serve::wire::DecodeStatus::NeedMore);
+    EXPECT_FALSE(dec.atFrameBoundary());
+
+    // This append triggers the erase-compaction (consumed 4928 > 4096
+    // and > half the buffer). The ninth frame must come out intact.
+    dec.append(ninth.data() + ninth.size() / 2,
+               ninth.size() - ninth.size() / 2);
+    ASSERT_EQ(dec.next(f), serve::wire::DecodeStatus::Frame);
+    ASSERT_EQ(f.payloadLen, 600u);
+    for (size_t i = 0; i < 600; i++)
+        ASSERT_EQ(f.payload[i], static_cast<uint8_t>(8 * 31 + i)) << i;
+    EXPECT_EQ(dec.next(f), serve::wire::DecodeStatus::NeedMore);
+    EXPECT_TRUE(dec.atFrameBoundary());
+}
+
+TEST(Wire, OddSizedChopsAcrossCompactionsKeepEveryPayloadIntact)
+{
+    // Long-haul: 200 frames of varied sizes delivered in odd-sized
+    // chops that never align with frame boundaries, so the decoder
+    // crosses both compaction paths (full-consume clear and the
+    // erase-with-partial-frame) many times. Every payload byte must
+    // survive; payload views are only read before the next append(),
+    // per the documented contract.
+    std::vector<uint8_t> stream;
+    std::vector<std::vector<uint8_t>> expect;
+    for (int i = 0; i < 200; i++) {
+        std::vector<uint8_t> payload((i * 97) % 1500 + 1);
+        for (size_t j = 0; j < payload.size(); j++)
+            payload[j] = static_cast<uint8_t>(i + 7 * j);
+        expect.push_back(payload);
+        serve::wire::appendFrame(stream,
+                                 serve::wire::FrameType::TraceData,
+                                 payload.data(), payload.size());
+    }
+
+    serve::wire::FrameDecoder dec;
+    serve::wire::Frame f;
+    size_t got = 0, pos = 0;
+    int chop = 1;
+    while (pos < stream.size()) {
+        size_t n = std::min(static_cast<size_t>(chop),
+                            stream.size() - pos);
+        chop = chop % 613 + 7; // 7, 14, ... never a frame multiple
+        dec.append(stream.data() + pos, n);
+        pos += n;
+        while (dec.next(f) == serve::wire::DecodeStatus::Frame) {
+            ASSERT_LT(got, expect.size());
+            ASSERT_EQ(f.payloadLen, expect[got].size()) << got;
+            ASSERT_EQ(0, std::memcmp(f.payload, expect[got].data(),
+                                     f.payloadLen))
+                << got;
+            got++;
+        }
+    }
+    EXPECT_EQ(got, expect.size());
+    EXPECT_TRUE(dec.atFrameBoundary());
+}
+
 // ------------------------------------------------ ingest bit-identity
 
 TEST(Service, StreamDetectionMatchesOfflineReplayBitForBit)
