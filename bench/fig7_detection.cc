@@ -11,6 +11,12 @@
  * (the paper's headline 59.3%) and the false-positive row (must be 0).
  *
  * Usage: fig7_detection [--attacks N] [--threads T] [--json PATH]
+ *                       [--gen-seeds A:B]
+ *
+ * --gen-seeds A:B registers the generated corpus programs (src/gen)
+ * for the inclusive seed range into the workload registry, so the
+ * campaign sweeps them alongside — and identically to — the ten
+ * hand-written paper workloads.
  *
  * --json writes a machine-readable report (BENCH_fig7.json in CI):
  * the per-workload table plus the campaign aggregates exported
@@ -24,6 +30,7 @@
 
 #include "attack/campaign.h"
 #include "core/program.h"
+#include "gen/gen.h"
 #include "obs/metrics.h"
 #include "support/cli.h"
 #include "support/diag.h"
@@ -97,12 +104,35 @@ main(int argc, char **argv)
                         "attacks");
     uint32_t attacks = 100;
     unsigned threads = 0; // one worker per core; results unchanged
-    std::string jsonPath;
+    std::string jsonPath, genSeeds;
     args.uintOpt("attacks", &attacks, "attacks per benchmark");
+    args.strOpt("gen-seeds", &genSeeds,
+                "also campaign generated programs for seed range A:B");
     args.threadsOpt(&threads);
     args.jsonOpt(&jsonPath);
     if (!args.parse(argc, argv))
         return args.exitCode();
+
+    if (!genSeeds.empty()) {
+        // Generated corpus programs join the registry and flow
+        // through the identical campaign loop below.
+        size_t colon = genSeeds.find(':');
+        char *endp = nullptr;
+        uint64_t lo = std::strtoull(genSeeds.c_str(), &endp, 0);
+        bool okLo = colon != std::string::npos &&
+            endp == genSeeds.c_str() + colon;
+        uint64_t hi =
+            std::strtoull(genSeeds.c_str() + colon + 1, &endp, 0);
+        if (!okLo || *endp || lo > hi) {
+            std::fprintf(stderr,
+                         "fig7_detection: bad --gen-seeds '%s' "
+                         "(want A:B with A <= B)\n",
+                         genSeeds.c_str());
+            return 1;
+        }
+        std::vector<Workload> corpus = gen::corpusWorkloads(lo, hi);
+        registerWorkloads(corpus);
+    }
 
     setQuiet(true);
     std::printf("=== Figure 7: detection rate for simulated attacks "

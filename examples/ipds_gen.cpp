@@ -1,0 +1,253 @@
+/**
+ * @file
+ * ipds_gen: the corpus generator's command-line face.
+ *
+ * One seed → one synthetic protocol server (MiniC source + benign
+ * session script + typed attack recipes), deterministically:
+ *
+ *   ipds_gen --seed 7                  # summary of one program
+ *   ipds_gen --seed 7 --emit DIR       # write source/script/recipes
+ *   ipds_gen --seed 7 --diff           # differential oracles, 1 seed
+ *   ipds_gen --seed-range 1:100 --diff # ... the whole corpus
+ *   ipds_gen --seed-range 1:100 --campaign --json corpus.json
+ *
+ * `--diff` runs every program through the differential harness
+ * (gen/corpus.h): switch vs threaded VM, fast vs reference detector,
+ * live capture vs trace replay — exit 1 names the first seed whose
+ * implementations disagree. `--campaign` runs the fig7-style
+ * attack-recipe campaign over the range and prints the per-kind
+ * detection table.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gen/corpus.h"
+#include "gen/gen.h"
+#include "support/cli.h"
+#include "support/diag.h"
+
+using namespace ipds;
+
+namespace {
+
+/** Parse "A:B" (inclusive). Returns false on malformed input. */
+bool
+parseRange(const std::string &s, uint64_t *lo, uint64_t *hi)
+{
+    size_t colon = s.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= s.size())
+        return false;
+    char *endp = nullptr;
+    const std::string a = s.substr(0, colon);
+    const std::string b = s.substr(colon + 1);
+    if (a[0] == '-' || b[0] == '-')
+        return false;
+    *lo = std::strtoull(a.c_str(), &endp, 0);
+    if (*endp)
+        return false;
+    *hi = std::strtoull(b.c_str(), &endp, 0);
+    return !*endp && *lo <= *hi;
+}
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    return !(std::fclose(f) || !ok);
+}
+
+/** Write <dir>/gen-<seed>.{minic,inputs,recipes}. */
+bool
+emitProgram(const gen::GeneratedProgram &gp, const std::string &dir)
+{
+    const std::string base =
+        dir + "/" + gp.workload.name;
+    std::string script;
+    for (const std::string &line : gp.workload.benignInputs)
+        script += line + "\n";
+    std::string recipes;
+    for (const gen::AttackRecipe &r : gp.recipes)
+        recipes += gen::recipeToString(r) + "\n";
+    return writeFile(base + ".minic", gp.workload.source) &&
+        writeFile(base + ".inputs", script) &&
+        writeFile(base + ".recipes", recipes);
+}
+
+std::string
+campaignJson(const gen::CorpusCampaignResult &res, uint64_t lo,
+             uint64_t hi)
+{
+    std::string j = "{\n";
+    j += strprintf("  \"first_seed\": %llu,\n",
+                   static_cast<unsigned long long>(lo));
+    j += strprintf("  \"last_seed\": %llu,\n",
+                   static_cast<unsigned long long>(hi));
+    j += strprintf("  \"programs\": %u,\n", res.numPrograms());
+    j += strprintf("  \"compiled\": %u,\n", res.numCompiled());
+    j += strprintf("  \"false_positives\": %u,\n",
+                   res.numFalsePositives());
+    j += strprintf("  \"attacks\": %u,\n", res.attacks());
+    j += strprintf("  \"cf_changed\": %u,\n", res.numCfChanged());
+    j += strprintf("  \"detected\": %u,\n", res.numDetected());
+    j += strprintf("  \"pct_detected_of_cf\": %.1f,\n",
+                   res.pctDetectedOfCf());
+    j += "  \"kinds\": {\n";
+    for (size_t k = 0; k < gen::kNumRecipeKinds; k++) {
+        auto kind = static_cast<gen::RecipeKind>(k);
+        j += strprintf(
+            "    \"%s\": {\"attacks\": %u, \"cf_changed\": %u, "
+            "\"detected\": %u, \"pct_detected_of_cf\": %.1f}%s\n",
+            gen::recipeKindName(kind), res.attacksOf(kind),
+            res.cfChangedOf(kind), res.detectedOf(kind),
+            res.pctDetectedOfCfOf(kind),
+            k + 1 < gen::kNumRecipeKinds ? "," : "");
+    }
+    j += "  },\n";
+    j += strprintf("  \"branches_seen\": %llu,\n",
+                   static_cast<unsigned long long>(
+                       res.totalBranchesSeen()));
+    j += strprintf("  \"vm_steps\": %llu\n",
+                   static_cast<unsigned long long>(res.totalSteps()));
+    j += "}\n";
+    return j;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    cli::ArgParser args(
+        "ipds_gen",
+        "seeded MiniC corpus generator & differential fuzzing "
+        "harness");
+    uint64_t seed = 1;
+    std::string range, emitDir, json;
+    bool doDiff = false, doCampaign = false;
+    unsigned threads = 1;
+    args.seedOpt("seed", &seed, "generate this single seed");
+    args.strOpt("seed-range", &range,
+                "inclusive seed range A:B (overrides --seed)");
+    args.strOpt("emit", &emitDir,
+                "write gen-<seed>.{minic,inputs,recipes} under DIR");
+    args.boolOpt("diff", &doDiff,
+                 "run the differential oracles on every seed");
+    args.boolOpt("campaign", &doCampaign,
+                 "run the attack-recipe campaign over the range");
+    args.threadsOpt(&threads);
+    args.jsonOpt(&json);
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+
+    uint64_t lo = seed, hi = seed;
+    if (!range.empty() && !parseRange(range, &lo, &hi)) {
+        std::fprintf(stderr,
+                     "ipds_gen: --seed-range: bad range '%s' "
+                     "(want A:B with A <= B)\n",
+                     range.c_str());
+        return 1;
+    }
+
+    try {
+        // Per-seed actions: summary, --emit, --diff.
+        uint32_t diffFailures = 0;
+        for (uint64_t s = lo; s <= hi; s++) {
+            gen::GeneratedProgram gp = gen::generate(s);
+            if (!doCampaign)
+                std::printf(
+                    "%s: %zu source bytes, %u input events, "
+                    "%zu recipes, fingerprint %016llx\n",
+                    gp.workload.name.c_str(),
+                    gp.workload.source.size(), gp.totalInputEvents,
+                    gp.recipes.size(),
+                    static_cast<unsigned long long>(
+                        gen::fingerprint(gp)));
+            if (!emitDir.empty() && !emitProgram(gp, emitDir)) {
+                std::fprintf(stderr,
+                             "ipds_gen: cannot write under %s\n",
+                             emitDir.c_str());
+                return 1;
+            }
+            if (doDiff) {
+                char tmpl[] = "/tmp/ipds_gen.XXXXXX";
+                char *tmp = mkdtemp(tmpl);
+                gen::DiffResult dr =
+                    gen::diffOne(s, tmp ? tmp : "", {});
+                if (tmp) {
+                    const std::string cleanup =
+                        std::string("rm -rf ") + tmp;
+                    if (std::system(cleanup.c_str()) != 0)
+                        warn("ipds_gen: could not remove %s", tmp);
+                }
+                if (!dr.ok) {
+                    std::fprintf(stderr, "ipds_gen: DIFF FAIL %s\n",
+                                 dr.firstMismatch.c_str());
+                    diffFailures++;
+                } else {
+                    std::printf("  diff ok (%u runs compared)\n",
+                                dr.runsCompared);
+                }
+            }
+        }
+        if (diffFailures) {
+            std::fprintf(stderr,
+                         "ipds_gen: %u/%llu seeds diverged\n",
+                         diffFailures,
+                         static_cast<unsigned long long>(
+                             hi - lo + 1));
+            return 1;
+        }
+
+        if (doCampaign) {
+            gen::CorpusCampaignConfig cfg;
+            cfg.firstSeed = lo;
+            cfg.lastSeed = hi;
+            cfg.numThreads = threads;
+            gen::CorpusCampaignResult res =
+                gen::runCorpusCampaign(cfg);
+            std::printf(
+                "corpus campaign: %u programs (%u compiled), "
+                "%u attacks\n",
+                res.numPrograms(), res.numCompiled(), res.attacks());
+            std::printf("  false positives: %u (must be 0)\n",
+                        res.numFalsePositives());
+            std::printf("  %-15s %8s %10s %9s %14s\n", "kind",
+                        "attacks", "cf-changed", "detected",
+                        "det-of-cf %");
+            for (size_t k = 0; k < gen::kNumRecipeKinds; k++) {
+                auto kind = static_cast<gen::RecipeKind>(k);
+                std::printf("  %-15s %8u %10u %9u %13.1f%%\n",
+                            gen::recipeKindName(kind),
+                            res.attacksOf(kind),
+                            res.cfChangedOf(kind),
+                            res.detectedOf(kind),
+                            res.pctDetectedOfCfOf(kind));
+            }
+            std::printf("  %-15s %8u %10u %9u %13.1f%%\n", "all",
+                        res.attacks(), res.numCfChanged(),
+                        res.numDetected(), res.pctDetectedOfCf());
+            if (!json.empty() &&
+                !writeFile(json, campaignJson(res, lo, hi))) {
+                std::fprintf(stderr,
+                             "ipds_gen: cannot write %s\n",
+                             json.c_str());
+                return 1;
+            }
+            if (res.numFalsePositives() ||
+                res.numCompiled() != res.numPrograms())
+                return 1;
+        }
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "ipds_gen: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -87,7 +87,7 @@ main(int argc, char **argv)
                 "also write the program image here");
     args.boolOpt("stats", &wantStats,
                  "print session metrics as JSON to stderr");
-    args.u64Opt("fault-seed", &faultSeed,
+    args.seedOpt("fault-seed", &faultSeed,
                 "run under the fault plan derived from this seed");
     args.strOpt("record", &recordPath,
                 "capture the run's event stream into an IPDS trace");

@@ -1,0 +1,425 @@
+#include "gen/corpus.h"
+
+#include <algorithm>
+
+#include "ipds/reference.h"
+#include "obs/session.h"
+#include "support/diag.h"
+#include "support/threadpool.h"
+
+namespace ipds {
+namespace gen {
+
+namespace {
+
+uint32_t
+countIf(const std::vector<CorpusProgramResult> &ps, auto pred)
+{
+    uint32_t n = 0;
+    for (const CorpusProgramResult &p : ps)
+        for (const RecipeOutcome &o : p.outcomes)
+            n += pred(o) ? 1 : 0;
+    return n;
+}
+
+/** One instrumented run: both detectors attached to one Vm. */
+struct DualRun
+{
+    RunResult res;
+    std::vector<Alarm> fastAlarms;
+    DetectorStats fastStats;
+    std::vector<Alarm> refAlarms;
+    DetectorStats refStats;
+};
+
+DualRun
+runDual(const CompiledProgram &prog,
+        const std::vector<std::string> &inputs, VmEngine engine,
+        const AttackRecipe *recipe, uint64_t fuel)
+{
+    Vm vm(prog.mod);
+    vm.setEngine(engine);
+    vm.setInputs(inputs);
+    vm.setFuel(fuel);
+    Detector fast(prog);
+    ReferenceDetector ref(prog);
+    vm.addObserver(&fast);
+    vm.addObserver(&ref);
+    if (recipe)
+        armRecipe(vm, *recipe);
+    DualRun d;
+    d.res = vm.run();
+    d.fastAlarms = fast.alarms();
+    d.fastStats = fast.stats();
+    d.refAlarms = ref.alarms();
+    d.refStats = ref.stats();
+    return d;
+}
+
+bool
+alarmsEqual(const std::vector<Alarm> &a, const std::vector<Alarm> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); i++)
+        if (a[i].func != b[i].func || a[i].pc != b[i].pc ||
+            a[i].actualTaken != b[i].actualTaken ||
+            a[i].expected != b[i].expected ||
+            a[i].branchIndex != b[i].branchIndex)
+            return false;
+    return true;
+}
+
+/** First field on which two runs disagree ("" if none). */
+std::string
+compareRuns(const DualRun &a, const DualRun &b, const char *what)
+{
+    auto miss = [&](const char *field) {
+        return strprintf("%s: %s differs between engines", what,
+                         field);
+    };
+    if (a.res.exit != b.res.exit)
+        return miss("exit kind");
+    if (a.res.exitCode != b.res.exitCode)
+        return miss("exit code");
+    if (a.res.output != b.res.output)
+        return miss("program output");
+    if (a.res.steps != b.res.steps)
+        return miss("instruction count");
+    if (a.res.inputEventCount != b.res.inputEventCount)
+        return miss("input event count");
+    if (!(a.res.inputEventPcs == b.res.inputEventPcs))
+        return miss("input event pcs");
+    if (!(a.res.branchTrace == b.res.branchTrace))
+        return miss("branch trace");
+    if (a.res.faultTampers.size() != b.res.faultTampers.size())
+        return miss("fired tamper count");
+    for (size_t i = 0; i < a.res.faultTampers.size(); i++)
+        if (a.res.faultTampers[i].addr != b.res.faultTampers[i].addr ||
+            a.res.faultTampers[i].newBytes !=
+                b.res.faultTampers[i].newBytes)
+            return miss("tamper records");
+    if (!alarmsEqual(a.fastAlarms, b.fastAlarms))
+        return miss("detector alarms");
+    if (!(a.fastStats == b.fastStats))
+        return miss("detector stats");
+    return "";
+}
+
+/** Fast-vs-reference disagreement inside one run ("" if none). */
+std::string
+compareDetectors(const DualRun &d, const char *what)
+{
+    if (!alarmsEqual(d.fastAlarms, d.refAlarms))
+        return strprintf("%s: fast and reference detector alarms "
+                         "differ", what);
+    if (!(d.fastStats == d.refStats))
+        return strprintf("%s: fast and reference detector stats "
+                         "differ", what);
+    return "";
+}
+
+/**
+ * Oracle (c): capture the run to a trace file through the Session
+ * facade, replay it, and require identical alarms and stats.
+ */
+std::string
+compareLiveReplay(const CompiledProgram &prog,
+                  const std::vector<std::string> &inputs,
+                  const AttackRecipe *recipe, uint64_t fuel,
+                  const std::string &path, const char *what)
+{
+    ExecPlan exec;
+    if (recipe) {
+        Vm addrVm(prog.mod); // entry-frame layout is deterministic
+        for (const TamperSpec &spec : recipeSpecs(addrVm, *recipe))
+            exec.addTamper(spec);
+    }
+    Session live = Session::builder()
+                       .program(prog)
+                       .inputs(inputs)
+                       .fuel(fuel)
+                       .plan(CapturePlan(path).exec(std::move(exec)))
+                       .build();
+    live.run();
+
+    Session rep = Session::builder()
+                      .program(prog)
+                      .plan(ReplayPlan(path))
+                      .build();
+    rep.run();
+
+    if (!alarmsEqual(live.alarms(), rep.alarms()))
+        return strprintf("%s: live and replay alarms differ", what);
+    if (!(live.detectorStats() == rep.detectorStats()))
+        return strprintf("%s: live and replay detector stats differ",
+                         what);
+    return "";
+}
+
+} // namespace
+
+uint32_t
+CorpusCampaignResult::numCompiled() const
+{
+    uint32_t n = 0;
+    for (const CorpusProgramResult &p : programs)
+        n += p.compiled ? 1 : 0;
+    return n;
+}
+
+uint32_t
+CorpusCampaignResult::numFalsePositives() const
+{
+    uint32_t n = 0;
+    for (const CorpusProgramResult &p : programs)
+        n += p.falsePositive ? 1 : 0;
+    return n;
+}
+
+uint32_t
+CorpusCampaignResult::attacks() const
+{
+    return countIf(programs, [](const RecipeOutcome &) {
+        return true;
+    });
+}
+
+uint32_t
+CorpusCampaignResult::numCfChanged() const
+{
+    return countIf(programs, [](const RecipeOutcome &o) {
+        return o.cfChanged;
+    });
+}
+
+uint32_t
+CorpusCampaignResult::numDetected() const
+{
+    return countIf(programs, [](const RecipeOutcome &o) {
+        return o.detected;
+    });
+}
+
+uint32_t
+CorpusCampaignResult::attacksOf(RecipeKind k) const
+{
+    return countIf(programs, [k](const RecipeOutcome &o) {
+        return o.kind == k;
+    });
+}
+
+uint32_t
+CorpusCampaignResult::cfChangedOf(RecipeKind k) const
+{
+    return countIf(programs, [k](const RecipeOutcome &o) {
+        return o.kind == k && o.cfChanged;
+    });
+}
+
+uint32_t
+CorpusCampaignResult::detectedOf(RecipeKind k) const
+{
+    return countIf(programs, [k](const RecipeOutcome &o) {
+        return o.kind == k && o.detected;
+    });
+}
+
+double
+CorpusCampaignResult::pctCfChanged() const
+{
+    uint32_t n = attacks();
+    return n ? 100.0 * numCfChanged() / n : 0.0;
+}
+
+double
+CorpusCampaignResult::pctDetected() const
+{
+    uint32_t n = attacks();
+    return n ? 100.0 * numDetected() / n : 0.0;
+}
+
+double
+CorpusCampaignResult::pctDetectedOfCf() const
+{
+    uint32_t cf = numCfChanged();
+    return cf ? 100.0 * numDetected() / cf : 0.0;
+}
+
+double
+CorpusCampaignResult::pctDetectedOfCfOf(RecipeKind k) const
+{
+    uint32_t cf = cfChangedOf(k);
+    return cf ? 100.0 * detectedOf(k) / cf : 0.0;
+}
+
+uint64_t
+CorpusCampaignResult::totalBranchesSeen() const
+{
+    uint64_t n = 0;
+    for (const CorpusProgramResult &p : programs)
+        n += p.branchesSeen;
+    return n;
+}
+
+uint64_t
+CorpusCampaignResult::totalSteps() const
+{
+    uint64_t n = 0;
+    for (const CorpusProgramResult &p : programs)
+        n += p.totalSteps;
+    return n;
+}
+
+CorpusCampaignResult
+runCorpusCampaign(const CorpusCampaignConfig &cfg)
+{
+    if (cfg.firstSeed > cfg.lastSeed)
+        fatal("corpus: empty seed range %llu:%llu",
+              static_cast<unsigned long long>(cfg.firstSeed),
+              static_cast<unsigned long long>(cfg.lastSeed));
+    const uint64_t count = cfg.lastSeed - cfg.firstSeed + 1;
+
+    CorpusCampaignResult res;
+    res.programs.resize(count);
+
+    // Seeds are mutually independent: each slot owns its program,
+    // Vms and detectors, so sharding across workers reproduces the
+    // sequential results exactly (cf. runCampaign).
+    ThreadPool pool(cfg.numThreads);
+    pool.parallelFor(static_cast<uint32_t>(count), [&](uint32_t i) {
+        CorpusProgramResult &pr = res.programs[i];
+        pr.seed = cfg.firstSeed + i;
+
+        GeneratedProgram gp = generate(pr.seed, cfg.gen);
+        CompiledProgram prog;
+        try {
+            prog = compileGenerated(gp, cfg.corr);
+        } catch (const FatalError &e) {
+            pr.error = e.what();
+            return;
+        }
+        pr.compiled = true;
+
+        // Golden run: benign session under the detector.
+        std::vector<BranchEvent> golden;
+        {
+            Vm vm(prog.mod);
+            vm.setInputs(gp.workload.benignInputs);
+            vm.setFuel(cfg.fuel);
+            Detector det(prog);
+            vm.addObserver(&det);
+            RunResult r = vm.run();
+            if (r.exit == ExitKind::OutOfFuel)
+                warn("corpus: seed %llu golden run hit the fuel "
+                     "limit",
+                     static_cast<unsigned long long>(pr.seed));
+            pr.falsePositive = det.alarmed();
+            pr.goldenSteps = r.steps;
+            pr.goldenInputEvents = r.inputEventCount;
+            pr.branchesSeen += det.stats().branchesSeen;
+            pr.totalSteps += r.steps;
+            golden = std::move(r.branchTrace);
+        }
+
+        for (const AttackRecipe &recipe : gp.recipes) {
+            Vm vm(prog.mod);
+            vm.setInputs(gp.workload.benignInputs);
+            vm.setFuel(cfg.fuel);
+            Detector det(prog);
+            vm.addObserver(&det);
+            armRecipe(vm, recipe);
+            RunResult r = vm.run();
+
+            RecipeOutcome out;
+            out.kind = recipe.kind;
+            out.fired =
+                r.faultTampers.size() == recipe.writes.size();
+            out.cfChanged = !(r.branchTrace == golden);
+            out.detected = det.alarmed();
+            pr.outcomes.push_back(out);
+            pr.branchesSeen += det.stats().branchesSeen;
+            pr.totalSteps += r.steps;
+        }
+    });
+    return res;
+}
+
+DiffResult
+diffOne(uint64_t seed, const std::string &tmpDir, const GenConfig &cfg)
+{
+    DiffResult dr;
+    dr.seed = seed;
+
+    GeneratedProgram gp = generate(seed, cfg);
+    CompiledProgram prog;
+    try {
+        prog = compileGenerated(gp, {});
+    } catch (const FatalError &e) {
+        dr.firstMismatch = e.what();
+        return dr;
+    }
+    const std::vector<std::string> &in = gp.workload.benignInputs;
+    constexpr uint64_t kFuel = 2'000'000;
+
+    // Oracles (a) + (b): benign session plus every recipe, each run
+    // on both engines with both detectors attached.
+    auto check = [&](const AttackRecipe *recipe,
+                     const std::string &what) {
+        DualRun sw =
+            runDual(prog, in, VmEngine::Switch, recipe, kFuel);
+        DualRun th =
+            runDual(prog, in, VmEngine::Threaded, recipe, kFuel);
+        dr.runsCompared += 2;
+        std::string m = compareDetectors(sw, what.c_str());
+        if (m.empty())
+            m = compareDetectors(th, what.c_str());
+        if (m.empty())
+            m = compareRuns(sw, th, what.c_str());
+        return m;
+    };
+
+    std::string m = check(nullptr, "benign");
+    for (size_t i = 0; m.empty() && i < gp.recipes.size(); i++)
+        m = check(&gp.recipes[i],
+                  strprintf("recipe %zu (%s)", i,
+                            recipeKindName(gp.recipes[i].kind)));
+
+    // Oracle (c): capture/replay round trips for the benign session
+    // and the first recipe of each kind.
+    if (m.empty() && !tmpDir.empty()) {
+        const AttackRecipe *byKind[kNumRecipeKinds] = {};
+        for (const AttackRecipe &r : gp.recipes) {
+            auto k = static_cast<size_t>(r.kind);
+            if (!byKind[k])
+                byKind[k] = &r;
+        }
+        auto roundTrip = [&](const AttackRecipe *recipe,
+                             const std::string &tag) {
+            std::string path = tmpDir + "/diff-" +
+                std::to_string(seed) + "-" + tag + ".ipds";
+            dr.runsCompared += 2;
+            return compareLiveReplay(prog, in, recipe, kFuel, path,
+                                     tag.c_str());
+        };
+        m = roundTrip(nullptr, "benign");
+        for (size_t k = 0; m.empty() && k < kNumRecipeKinds; k++)
+            if (byKind[k])
+                m = roundTrip(
+                    byKind[k],
+                    recipeKindName(static_cast<RecipeKind>(k)));
+    }
+
+    if (!m.empty()) {
+        dr.firstMismatch =
+            strprintf("seed %llu: %s",
+                      static_cast<unsigned long long>(seed),
+                      m.c_str());
+        return dr;
+    }
+    dr.ok = true;
+    return dr;
+}
+
+} // namespace gen
+} // namespace ipds

@@ -1,0 +1,632 @@
+#include "gen/gen.h"
+
+#include <algorithm>
+
+#include "support/diag.h"
+#include "support/rng.h"
+
+namespace ipds {
+namespace gen {
+
+namespace {
+
+// FNV-1a, matching the trace-format and module-hash idiom.
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+uint64_t
+fnv1a(uint64_t h, const void *p, size_t n)
+{
+    const uint8_t *b = static_cast<const uint8_t *>(p);
+    for (size_t i = 0; i < n; i++) {
+        h ^= b[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+uint64_t
+fnv1aStr(uint64_t h, const std::string &s)
+{
+    h = fnv1a(h, s.data(), s.size());
+    // Separator byte so {"ab","c"} and {"a","bc"} differ.
+    uint8_t sep = 0;
+    return fnv1a(h, &sep, 1);
+}
+
+/** Protocol command ids: fixed semantics, per-seed spellings. */
+enum Cmd : int
+{
+    kCmdOpen = 1,
+    kCmdStep = 2,
+    kCmdPut = 3,
+    kCmdGet = 4,
+    kCmdCalc = 5,
+    kCmdClose = 6,
+};
+
+const char *const kOpenNames[] = {"open", "begin", "start", "init"};
+const char *const kStepNames[] = {"step", "next", "advance", "tick"};
+const char *const kPutNames[] = {"put", "store", "reg", "add"};
+const char *const kGetNames[] = {"get", "load", "query", "find"};
+const char *const kCalcNames[] = {"calc", "sum", "work", "crunch"};
+const char *const kCloseNames[] = {"close", "shut", "finish", "drop"};
+const char *const kAdminUsers[] = {"root", "admin", "oper", "super"};
+const char *const kAdminPass[] = {"toor", "s3cret", "rsa-ok",
+                                  "letmein"};
+const char *const kGuestUsers[] = {"guest", "anon", "user", "demo"};
+
+template <size_t N>
+const char *
+pick(Rng &rng, const char *const (&list)[N])
+{
+    return list[rng.below(N)];
+}
+
+/**
+ * The per-seed program shape. Drawn up front from the source RNG so
+ * the emitter, the script writer and the recipe planner agree on one
+ * geometry without re-deriving it.
+ */
+struct Shape
+{
+    std::string adminUser, adminPass, guestUser;
+    std::string cmdName[7]; ///< indexed by Cmd (0 unused)
+    uint32_t rounds = 5;    ///< session-loop iterations
+    int maxState = 3;       ///< protocol states run 0..maxState
+    int quota = 4;          ///< per-session store quota (audit bound)
+    int storeCap = 8;       ///< global table capacity
+    int recurDepth = 3;     ///< depth_sum() argument
+    bool hasStore = true;   ///< put/get + global tables
+    bool hasRecur = true;   ///< calc + recursion helper
+    bool hasQuota = true;   ///< sent counter + quota audit
+    int scratch = 2;        ///< cf-irrelevant tmp locals
+};
+
+Shape
+drawShape(Rng &rng)
+{
+    Shape s;
+    s.adminUser = pick(rng, kAdminUsers);
+    s.adminPass = pick(rng, kAdminPass);
+    s.guestUser = pick(rng, kGuestUsers);
+    s.cmdName[kCmdOpen] = pick(rng, kOpenNames);
+    s.cmdName[kCmdStep] = pick(rng, kStepNames);
+    s.cmdName[kCmdPut] = pick(rng, kPutNames);
+    s.cmdName[kCmdGet] = pick(rng, kGetNames);
+    s.cmdName[kCmdCalc] = pick(rng, kCalcNames);
+    s.cmdName[kCmdClose] = pick(rng, kCloseNames);
+    s.rounds = 4 + static_cast<uint32_t>(rng.below(4));   // 4..7
+    s.maxState = 3 + static_cast<int>(rng.below(3));      // 3..5
+    s.quota = 3 + static_cast<int>(rng.below(4));         // 3..6
+    s.storeCap = rng.chance(0.5) ? 8 : 4;
+    s.recurDepth = 3 + static_cast<int>(rng.below(4));    // 3..6
+    s.hasStore = rng.chance(0.75);
+    s.hasRecur = rng.chance(0.75);
+    s.hasQuota = rng.chance(0.75);
+    s.scratch = 2 + static_cast<int>(rng.below(3));       // 2..4
+    return s;
+}
+
+/**
+ * Emit the MiniC source for @p s. The emitted idioms mirror the
+ * hand-written workloads on purpose: string-compared principals,
+ * privilege levels returned by a login helper, constant-bounded
+ * state transitions and audit branches that are infeasible unless
+ * the underlying local is corrupted — the correlated branches the
+ * detector protects.
+ */
+std::string
+emitSource(const Shape &s)
+{
+    std::string src;
+    auto ln = [&](const char *fmt, auto... a) {
+        src += strprintf(fmt, a...);
+        src += '\n';
+    };
+
+    if (s.hasStore) {
+        ln("int store_key[%d];", s.storeCap);
+        ln("int store_val[%d];", s.storeCap);
+    }
+    ln("int served;");
+    ln("");
+
+    // Login helper: returns the privilege level {0,1,2} — the
+    // interprocedural range the audit branches correlate against.
+    ln("int check_login(char *u, char *p) {");
+    ln("    if (strcmp(u, \"%s\") == 0) {", s.adminUser.c_str());
+    ln("        if (strcmp(p, \"%s\") == 0) {", s.adminPass.c_str());
+    ln("            return 2;");
+    ln("        }");
+    ln("        return 0;");
+    ln("    }");
+    ln("    if (strcmp(u, \"%s\") == 0) {", s.guestUser.c_str());
+    ln("        return 1;");
+    ln("    }");
+    ln("    return 0;");
+    ln("}");
+    ln("");
+
+    // Command classifier: strcmp chain over the per-seed spellings.
+    ln("int classify(char *c) {");
+    for (int id = kCmdOpen; id <= kCmdClose; id++) {
+        if (id == kCmdPut || id == kCmdGet) {
+            if (!s.hasStore)
+                continue;
+        }
+        if (id == kCmdCalc && !s.hasRecur)
+            continue;
+        ln("    if (strcmp(c, \"%s\") == 0) {",
+           s.cmdName[id].c_str());
+        ln("        return %d;", id);
+        ln("    }");
+    }
+    ln("    return 0;");
+    ln("}");
+    ln("");
+
+    if (s.hasRecur) {
+        ln("int depth_sum(int n) {");
+        ln("    int r;");
+        ln("    if (n <= 0) {");
+        ln("        return 0;");
+        ln("    }");
+        ln("    r = depth_sum(n - 1);");
+        ln("    return r + n;");
+        ln("}");
+        ln("");
+    }
+
+    ln("void main() {");
+    ln("    char user[16];");
+    ln("    char pass[16];");
+    ln("    char cmd[16];");
+    ln("    char arg[16];");
+    ln("    int level;");
+    ln("    int auth;");
+    ln("    int state;");
+    if (s.hasQuota)
+        ln("    int sent;");
+    if (s.hasStore) {
+        ln("    int used;");
+        ln("    int k;");
+        ln("    int i;");
+        ln("    int found;");
+    }
+    if (s.hasRecur)
+        ln("    int d;");
+    ln("    int id;");
+    ln("    int round;");
+    for (int t = 0; t < s.scratch; t++)
+        ln("    int tmp%d;", t);
+    ln("");
+    ln("    served = served + 1;");
+    ln("    level = 0;");
+    ln("    auth = 0;");
+    ln("    state = 0;");
+    if (s.hasQuota)
+        ln("    sent = 0;");
+    if (s.hasStore)
+        ln("    used = 0;");
+    for (int t = 0; t < s.scratch; t++)
+        ln("    tmp%d = %d;", t, t + 1);
+    ln("");
+    ln("    get_input_n(user, 16);");
+    ln("    get_input_n(pass, 16);");
+    ln("    level = check_login(user, pass);");
+    ln("    if (level > 0) {");
+    ln("        auth = 1;");
+    ln("        print_str(\"welcome\\n\");");
+    ln("    } else {");
+    ln("        print_str(\"denied\\n\");");
+    ln("    }");
+    ln("");
+    ln("    round = 0;");
+    ln("    while (round < %u) {", s.rounds);
+    ln("        get_input_n(cmd, 16);");
+    ln("        get_input_n(arg, 16);");
+    ln("        id = classify(cmd);");
+    ln("");
+    // Audit block: every branch here is infeasible on any benign
+    // path — the detector's bread and butter once a local is
+    // tampered out of its correlated range.
+    ln("        if (state > %d) {", s.maxState);
+    ln("            print_str(\"audit: state out of range\\n\");");
+    ln("        }");
+    ln("        if (state < 0) {");
+    ln("            print_str(\"audit: negative state\\n\");");
+    ln("        }");
+    ln("        if (level > 2) {");
+    ln("            print_str(\"audit: impossible level\\n\");");
+    ln("        }");
+    ln("        if (auth > 1) {");
+    ln("            print_str(\"audit: auth bits corrupt\\n\");");
+    ln("        }");
+    if (s.hasQuota) {
+        ln("        if (sent > %d) {", s.quota);
+        ln("            print_str(\"audit: quota overrun\\n\");");
+        ln("        }");
+    }
+    if (s.hasStore) {
+        ln("        if (used > %d) {", s.storeCap);
+        ln("            print_str(\"audit: table overflow\\n\");");
+        ln("        }");
+    }
+    ln("");
+    ln("        if (id == %d) {", kCmdOpen);
+    ln("            if (auth == 1) {");
+    ln("                if (state == 0) {");
+    ln("                    state = 1;");
+    ln("                    print_str(\"opened\\n\");");
+    ln("                } else {");
+    ln("                    print_str(\"already open\\n\");");
+    ln("                }");
+    ln("            } else {");
+    ln("                print_str(\"need login\\n\");");
+    ln("            }");
+    ln("        }");
+    ln("        if (id == %d) {", kCmdStep);
+    ln("            if (state >= 1) {");
+    ln("                if (state < %d) {", s.maxState);
+    ln("                    state = state + 1;");
+    ln("                }");
+    ln("                print_str(\"step\\n\");");
+    ln("                tmp0 = tmp0 + state;");
+    ln("            } else {");
+    ln("                print_str(\"not open\\n\");");
+    ln("            }");
+    ln("        }");
+    if (s.hasStore) {
+        ln("        if (id == %d) {", kCmdPut);
+        ln("            if (state >= 1) {");
+        ln("                k = atoi(arg);");
+        ln("                if (k > 0) {");
+        ln("                    if (used < %d) {", s.storeCap);
+        ln("                        store_key[used] = k;");
+        ln("                        store_val[used] = round;");
+        ln("                        used = used + 1;");
+        if (s.hasQuota)
+            ln("                        sent = sent + 1;");
+        ln("                        print_str(\"stored\\n\");");
+        ln("                    } else {");
+        ln("                        print_str(\"full\\n\");");
+        ln("                    }");
+        ln("                } else {");
+        ln("                    print_str(\"bad key\\n\");");
+        ln("                }");
+        ln("            } else {");
+        ln("                print_str(\"not open\\n\");");
+        ln("            }");
+        ln("        }");
+        ln("        if (id == %d) {", kCmdGet);
+        ln("            k = atoi(arg);");
+        ln("            found = 0;");
+        ln("            i = 0;");
+        ln("            while (i < used) {");
+        ln("                if (store_key[i] == k) {");
+        ln("                    print_int(store_val[i]);");
+        ln("                    print_str(\"\\n\");");
+        ln("                    found = 1;");
+        ln("                    i = used;");
+        ln("                } else {");
+        ln("                    i = i + 1;");
+        ln("                }");
+        ln("            }");
+        ln("            if (found == 0) {");
+        ln("                print_str(\"miss\\n\");");
+        ln("            }");
+        ln("        }");
+    }
+    if (s.hasRecur) {
+        ln("        if (id == %d) {", kCmdCalc);
+        ln("            d = depth_sum(%d);", s.recurDepth);
+        ln("            print_int(d);");
+        ln("            print_str(\"\\n\");");
+        ln("            tmp1 = tmp1 + d;");
+        ln("        }");
+    }
+    // The privileged operation re-checks the principal name against
+    // the privilege level — the sshd-style correlated pair.
+    ln("        if (id == %d) {", kCmdClose);
+    ln("            if (level == 2) {");
+    ln("                if (strcmp(user, \"%s\") == 0) {",
+       s.adminUser.c_str());
+    ln("                    print_str(\"# closed by admin\\n\");");
+    ln("                    state = 0;");
+    ln("                } else {");
+    ln("                    print_str(\"audit: priv/user "
+       "mismatch\\n\");");
+    ln("                }");
+    ln("            } else {");
+    ln("                print_str(\"close denied\\n\");");
+    ln("            }");
+    ln("        }");
+    ln("        if (id == 0) {");
+    ln("            print_str(\"?\\n\");");
+    ln("        }");
+    ln("        round = round + 1;");
+    ln("    }");
+    ln("    print_int(served);");
+    ln("    print_str(\" done\\n\");");
+    ln("}");
+    return src;
+}
+
+/** The benign session script: login then @p s.rounds command/arg
+ *  pairs that drive the state machine without ever taking an audit
+ *  branch. Every round consumes exactly two input events. */
+std::vector<std::string>
+emitInputs(const Shape &s, Rng &rng)
+{
+    std::vector<std::string> in;
+    const bool asAdmin = rng.chance(0.5);
+    if (asAdmin) {
+        in.push_back(s.adminUser);
+        in.push_back(s.adminPass);
+    } else {
+        in.push_back(s.guestUser);
+        in.push_back("pw");
+    }
+
+    int putKeys[8];
+    int numPut = 0;
+    for (uint32_t r = 0; r < s.rounds; r++) {
+        std::string cmd, arg = "0";
+        if (r == 0) {
+            cmd = s.cmdName[kCmdOpen];
+        } else {
+            // Weighted command mix over whatever this seed supports.
+            std::vector<int> menu = {kCmdStep, kCmdStep};
+            if (s.hasStore) {
+                menu.push_back(kCmdPut);
+                menu.push_back(numPut ? kCmdGet : kCmdPut);
+            }
+            if (s.hasRecur)
+                menu.push_back(kCmdCalc);
+            if (asAdmin)
+                menu.push_back(kCmdClose);
+            if (rng.chance(0.15))
+                menu.push_back(0); // unknown command
+            int id = menu[rng.below(menu.size())];
+            cmd = id == 0 ? "noop" : s.cmdName[id];
+            if (id == kCmdPut) {
+                int key = 1 + static_cast<int>(rng.below(99));
+                arg = strprintf("%d", key);
+                if (numPut < 8)
+                    putKeys[numPut++] = key;
+            } else if (id == kCmdGet) {
+                // Mostly hit an existing key, sometimes miss.
+                int key = numPut && rng.chance(0.7)
+                    ? putKeys[rng.below(
+                          static_cast<uint64_t>(numPut))]
+                    : 777;
+                arg = strprintf("%d", key);
+            }
+            // A close can re-open later rounds only via open.
+            if (id == kCmdClose && r + 1 < s.rounds && numPut == 0)
+                cmd = s.cmdName[kCmdStep];
+        }
+        in.push_back(cmd);
+        in.push_back(arg);
+    }
+    return in;
+}
+
+/** In-range-ish tamper value for @p var: decision variables get
+ *  values straddling their legal range (some writes are no-ops or
+ *  non-CF on purpose, mirroring the paper's ~half-relevant rate). */
+int64_t
+valueFor(const Shape &s, const std::string &var, Rng &rng)
+{
+    if (var == "state")
+        return rng.range(-3, s.maxState + 4);
+    if (var == "level" || var == "auth")
+        return rng.range(0, 5);
+    if (var == "sent")
+        return rng.range(-2, s.quota + 5);
+    if (var == "used")
+        return rng.range(-2, s.storeCap + 6);
+    return rng.range(-9, 999); // scratch
+}
+
+std::vector<AttackRecipe>
+planRecipes(const Shape &s, uint32_t total, uint32_t totalEvents,
+            const std::vector<std::string> &decision, Rng &rng)
+{
+    std::vector<std::string> scratch;
+    for (int t = 0; t < s.scratch; t++)
+        scratch.push_back(strprintf("tmp%d", t));
+
+    auto anyVar = [&]() -> const std::string & {
+        // Decision-heavy but not exclusively: scratch writes keep a
+        // share of recipes control-flow-irrelevant, like the paper's
+        // random pokes.
+        if (rng.chance(0.65) || scratch.empty())
+            return decision[rng.below(decision.size())];
+        return scratch[rng.below(scratch.size())];
+    };
+    auto event = [&]() {
+        return 1 + static_cast<uint32_t>(rng.below(totalEvents));
+    };
+
+    std::vector<AttackRecipe> out;
+    for (uint32_t n = 0; n < total; n++) {
+        AttackRecipe r;
+        r.kind = static_cast<RecipeKind>(n % kNumRecipeKinds);
+        switch (r.kind) {
+          case RecipeKind::SingleWord: {
+            const std::string &v = anyVar();
+            r.writes.push_back({v, valueFor(s, v, rng), event()});
+            break;
+          }
+          case RecipeKind::MultiWrite: {
+            // One payload, several neighbouring locals, one event.
+            uint32_t e = event();
+            uint32_t k = 2 + static_cast<uint32_t>(rng.below(3));
+            for (uint32_t j = 0; j < k; j++) {
+                const std::string &v = anyVar();
+                r.writes.push_back({v, valueFor(s, v, rng), e});
+            }
+            break;
+          }
+          case RecipeKind::DecisionChain: {
+            // Staged escalation: strictly increasing events, every
+            // target a decision variable.
+            uint32_t k = std::min<uint32_t>(
+                2 + static_cast<uint32_t>(rng.below(2)),
+                totalEvents);
+            uint32_t e = 1 + static_cast<uint32_t>(rng.below(
+                totalEvents - k + 1));
+            for (uint32_t j = 0; j < k; j++) {
+                // Cap so the remaining writes still fit strictly
+                // below totalEvents — keeps the chain increasing.
+                e = std::min(e, totalEvents - (k - 1 - j));
+                const std::string &v =
+                    decision[rng.below(decision.size())];
+                r.writes.push_back({v, valueFor(s, v, rng), e});
+                e += 1 + static_cast<uint32_t>(rng.below(3));
+            }
+            break;
+          }
+        }
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+} // namespace
+
+const char *
+recipeKindName(RecipeKind k)
+{
+    switch (k) {
+      case RecipeKind::SingleWord:
+        return "single_word";
+      case RecipeKind::MultiWrite:
+        return "multi_write";
+      case RecipeKind::DecisionChain:
+        return "decision_chain";
+    }
+    return "unknown";
+}
+
+std::string
+recipeToString(const AttackRecipe &r)
+{
+    std::string out = recipeKindName(r.kind);
+    out += ':';
+    for (size_t i = 0; i < r.writes.size(); i++) {
+        const RecipeWrite &w = r.writes[i];
+        if (i)
+            out += ',';
+        out += strprintf("%s=%lld@%u", w.var.c_str(),
+                         static_cast<long long>(w.value),
+                         w.afterInputEvent);
+    }
+    return out;
+}
+
+GeneratedProgram
+generate(uint64_t seed, const GenConfig &cfg)
+{
+    // Three independent streams so a tweak to (say) the recipe
+    // planner cannot shift the emitted source of every seed.
+    Rng srcRng(seed);
+    Rng inRng(seed ^ 0x9e3779b97f4a7c15ull);
+    Rng recRng(seed * 0x2545f4914f6cdd1dull + 0x1905);
+
+    Shape s = drawShape(srcRng);
+
+    GeneratedProgram gp;
+    gp.seed = seed;
+    gp.workload.name = strprintf("gen-%llu",
+                                 static_cast<unsigned long long>(
+                                     seed));
+    gp.workload.vulnerability = "synthetic protocol server";
+    gp.workload.source = emitSource(s);
+    gp.workload.benignInputs = emitInputs(s, inRng);
+    gp.totalInputEvents =
+        static_cast<uint32_t>(gp.workload.benignInputs.size());
+
+    gp.decisionVars = {"level", "auth", "state"};
+    if (s.hasQuota)
+        gp.decisionVars.push_back("sent");
+    if (s.hasStore)
+        gp.decisionVars.push_back("used");
+
+    gp.recipes = planRecipes(s, cfg.recipesPerProgram,
+                             gp.totalInputEvents, gp.decisionVars,
+                             recRng);
+    return gp;
+}
+
+CompiledProgram
+compileGenerated(const GeneratedProgram &gp, const CorrOptions &opts)
+{
+    try {
+        return compileAndAnalyze(gp.workload.source,
+                                 gp.workload.name, opts);
+    } catch (const FatalError &e) {
+        fatal("gen: seed %llu emitted uncompilable MiniC — %s",
+              static_cast<unsigned long long>(gp.seed), e.what());
+    } catch (const PanicError &e) {
+        // An internal compiler invariant tripping on generated input
+        // must still be recoverable for the sweep reporting it.
+        fatal("gen: seed %llu hit an internal compiler fault — %s",
+              static_cast<unsigned long long>(gp.seed), e.what());
+    }
+}
+
+uint64_t
+fingerprint(const GeneratedProgram &gp)
+{
+    uint64_t h = kFnvOffset;
+    h = fnv1aStr(h, gp.workload.source);
+    for (const std::string &line : gp.workload.benignInputs)
+        h = fnv1aStr(h, line);
+    for (const AttackRecipe &r : gp.recipes)
+        h = fnv1aStr(h, recipeToString(r));
+    return h;
+}
+
+std::vector<TamperSpec>
+recipeSpecs(const Vm &vm, const AttackRecipe &r)
+{
+    std::vector<TamperSpec> out;
+    for (const RecipeWrite &w : r.writes) {
+        TamperSpec spec;
+        spec.randomStackTarget = false;
+        spec.afterInputEvent = w.afterInputEvent;
+        spec.addr = vm.entryLocalAddr(w.var);
+        spec.bytes.resize(8);
+        const uint64_t v = static_cast<uint64_t>(w.value);
+        for (int b = 0; b < 8; b++)
+            spec.bytes[b] = static_cast<uint8_t>(v >> (8 * b));
+        out.push_back(std::move(spec));
+    }
+    return out;
+}
+
+void
+armRecipe(Vm &vm, const AttackRecipe &r)
+{
+    for (const TamperSpec &spec : recipeSpecs(vm, r))
+        vm.addTamper(spec);
+}
+
+std::vector<Workload>
+corpusWorkloads(uint64_t first, uint64_t last, const GenConfig &cfg)
+{
+    if (first > last)
+        fatal("gen: empty seed range %llu:%llu",
+              static_cast<unsigned long long>(first),
+              static_cast<unsigned long long>(last));
+    std::vector<Workload> out;
+    for (uint64_t seed = first; seed <= last; seed++)
+        out.push_back(generate(seed, cfg).workload);
+    return out;
+}
+
+} // namespace gen
+} // namespace ipds

@@ -35,6 +35,8 @@
  *   - timing/cpu.h         Table 1 performance model
  *   - attack/campaign.h    attack experiments (pokes)
  *   - attack/overflow.h    attack experiments (planted overflows)
+ *   - gen/gen.h            seeded workload & attack-recipe generator
+ *   - gen/corpus.h         corpus campaigns + differential oracles
  *   - opt/passes.h         optional IR optimizations
  *   - baseline/stide.h     learned-model baseline
  *   - obs/metrics.h        named counters/gauges/histograms
@@ -45,6 +47,8 @@
 #include "attack/campaign.h"
 #include "attack/overflow.h"
 #include "baseline/stide.h"
+#include "gen/corpus.h"
+#include "gen/gen.h"
 #include "core/image.h"
 #include "core/program.h"
 #include "frontend/codegen.h"

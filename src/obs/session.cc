@@ -50,7 +50,8 @@ Session::Builder::build()
         if (!o.capturePath.empty() || !o.replayPath.empty())
             fatal("Session: a ServePlan is mutually exclusive with "
                   "capture/replay");
-        if (o.hasTamper || o.hasFault || !o.extraObservers.empty())
+        if (o.hasTamper || !o.extraTampers.empty() || o.hasFault ||
+            !o.extraObservers.empty())
             fatal("Session: a ServePlan run has no VM — tamper(), "
                   "faultPlan() and observe() do not apply");
     }
@@ -59,7 +60,7 @@ Session::Builder::build()
             fatal("Session: replayFrom() cannot combine with "
                   "faultPlan() — faults are captured into the trace "
                   "and reproduced from it");
-        if (o.hasTamper)
+        if (o.hasTamper || !o.extraTampers.empty())
             fatal("Session: replayFrom() cannot combine with "
                   "tamper() (the tamper's effects are already in the "
                   "recorded stream)");
@@ -157,6 +158,8 @@ Session::runShard(uint32_t shard, ShardOut &out,
             vm.setTracer(trc, s);
         if (opt.hasTamper)
             vm.setTamper(opt.tamperSpec);
+        for (const TamperSpec &spec : opt.extraTampers)
+            vm.addTamper(spec);
 
         // Capture brackets the session; when the ring-fault filter is
         // armed below, the same parameters go into the record so

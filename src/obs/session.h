@@ -102,6 +102,19 @@ struct ExecPlan
     }
 
     /**
+     * Arm an additional tamper via Vm::addTamper (applied to every
+     * session): step-triggered (atStep > 0) or input-event-triggered
+     * (afterInputEvent > 0). Unlike tamper() these stack, so a
+     * multi-write attack recipe (src/gen) rides one ExecPlan; fired
+     * records land in result().faultTampers.
+     */
+    ExecPlan &addTamper(const TamperSpec &spec)
+    {
+        extraTampers.push_back(spec);
+        return *this;
+    }
+
+    /**
      * Arm a fault-injection plan (src/inject/fault.h). A disabled
      * plan (seed 0) is a no-op. When timing() is configured the
      * plan's config-level classes (spill pressure) are applied to the
@@ -140,6 +153,7 @@ struct ExecPlan
 
     bool hasTamper = false;
     TamperSpec tamperSpec;
+    std::vector<TamperSpec> extraTampers;
     bool hasFault = false;
     FaultPlan fault;
     bool recordTraceSet = false;
@@ -415,6 +429,7 @@ class Session
         uint64_t fuel = 50'000'000;
         bool hasTamper = false;
         TamperSpec tamperSpec;
+        std::vector<TamperSpec> extraTampers;
         bool hasFault = false;
         FaultPlan fault;
         bool recordTrace = true;
@@ -667,6 +682,7 @@ class Session::Builder
     {
         o.hasTamper = p.hasTamper;
         o.tamperSpec = p.tamperSpec;
+        o.extraTampers = std::move(p.extraTampers);
         o.hasFault = p.hasFault;
         o.fault = p.fault;
         if (p.recordTraceSet) {

@@ -1,5 +1,7 @@
 #include "support/cli.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -46,6 +48,12 @@ void
 ArgParser::boolOpt(const char *name, bool *dst, const char *help)
 {
     opts.push_back({name, Kind::Bool, dst, help});
+}
+
+void
+ArgParser::seedOpt(const char *name, uint64_t *dst, const char *help)
+{
+    opts.push_back({name, Kind::Seed, dst, help});
 }
 
 void
@@ -176,6 +184,24 @@ ArgParser::parse(int argc, char **argv)
                             "'");
             *static_cast<size_t *>(o->dst) =
                 static_cast<size_t>(v);
+            break;
+          }
+          case Kind::Seed: {
+            // strtoull silently wraps "-1" to 2^64-1 and tolerates
+            // leading whitespace/'+'; a seed flag wants none of that.
+            if (value.empty() || value[0] == '-' || value[0] == '+' ||
+                std::isspace(static_cast<unsigned char>(value[0])))
+                return fail("--" + std::string(o->name) +
+                            ": bad seed '" + value +
+                            "' (want an unsigned 64-bit integer)");
+            errno = 0;
+            unsigned long long v =
+                std::strtoull(value.c_str(), &endp, 0);
+            if (*endp || endp == value.c_str() || errno == ERANGE)
+                return fail("--" + std::string(o->name) +
+                            ": bad seed '" + value +
+                            "' (want an unsigned 64-bit integer)");
+            *static_cast<uint64_t *>(o->dst) = v;
             break;
           }
           case Kind::Bool:

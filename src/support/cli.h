@@ -57,6 +57,15 @@ class ArgParser
     /** Presence flag: `--name` sets *dst = true. */
     void boolOpt(const char *name, bool *dst, const char *help);
 
+    /**
+     * Range-checked u64 seed option (`--name SEED`). Stricter than
+     * u64Opt: rejects negative values (which strtoull would silently
+     * wrap), overflow past 2^64-1 and trailing garbage, and the parse
+     * error names the flag — the shared spelling for `--seed`,
+     * `--fault-seed` and friends.
+     */
+    void seedOpt(const char *name, uint64_t *dst, const char *help);
+
     /** The shared `--threads N` spelling (0 = one per core). */
     void threadsOpt(unsigned *dst);
     /** The shared `--json PATH` spelling (machine-readable report). */
@@ -76,7 +85,7 @@ class ArgParser
     std::string usageText() const;
 
   private:
-    enum class Kind : uint8_t { Str, Uint, U64, Size, Bool };
+    enum class Kind : uint8_t { Str, Uint, U64, Size, Bool, Seed };
 
     struct Opt
     {

@@ -107,10 +107,13 @@ Vm::setTamper(const TamperSpec &spec)
 void
 Vm::addTamper(const TamperSpec &spec)
 {
-    if (spec.atStep == 0)
-        fatal("Vm::addTamper: extra tampers must be step-triggered "
-              "(atStep > 0)");
-    extraTampers.push_back(spec);
+    if (spec.atStep == 0 && spec.afterInputEvent == 0)
+        fatal("Vm::addTamper: extra tampers need a trigger "
+              "(atStep > 0 or afterInputEvent > 0)");
+    if (spec.atStep > 0)
+        extraTampers.push_back(spec);
+    else
+        eventTampers.push_back(spec);
 }
 
 void
@@ -201,6 +204,11 @@ Vm::run()
                          return a.atStep < b.atStep;
                      });
     extraFired = 0;
+    std::stable_sort(eventTampers.begin(), eventTampers.end(),
+                     [](const TamperSpec &a, const TamperSpec &b) {
+                         return a.afterInputEvent < b.afterInputEvent;
+                     });
+    eventFired = 0;
     try {
         pushFrame(mod.entry, {}, kNoVreg);
         if (engineKind == VmEngine::Threaded) {
@@ -964,6 +972,18 @@ Vm::fireDueExtraTampers()
 }
 
 void
+Vm::fireDueEventTampers()
+{
+    while (eventFired < eventTampers.size() &&
+           inputEvents >= eventTampers[eventFired].afterInputEvent) {
+        extraRecords.emplace_back();
+        fireTamperSpec(eventTampers[eventFired],
+                       extraRecords.back());
+        eventFired++;
+    }
+}
+
+void
 Vm::fireTamperSpec(const TamperSpec &spec, TamperRecord &rec)
 {
     rec.fired = true;
@@ -1068,6 +1088,7 @@ Vm::execBuiltin(Frame &fr, const Inst &in, RunResult &res)
         mem.writeBytes(uarg(0), line.data(), line.size());
         mem.writeByte(uarg(0) + line.size(), 0);
         maybeFireTamper(res, true);
+        fireDueEventTampers();
         break;
       }
       case Builtin::GetInputN: {
@@ -1080,12 +1101,14 @@ Vm::execBuiltin(Frame &fr, const Inst &in, RunResult &res)
             mem.writeByte(uarg(0) + len, 0);
         }
         maybeFireTamper(res, true);
+        fireDueEventTampers();
         break;
       }
       case Builtin::InputInt: {
         const std::string &line = nextInput();
         fr.regs[in.dst] = std::strtoll(line.c_str(), nullptr, 10);
         maybeFireTamper(res, true);
+        fireDueEventTampers();
         break;
       }
       case Builtin::Strcpy: {

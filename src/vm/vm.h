@@ -240,13 +240,16 @@ class Vm
     void setTamper(const TamperSpec &spec);
 
     /**
-     * Arm an additional step-triggered memory tamper (fault
-     * injection). Unlike setTamper there may be any number of these;
-     * each fires once when the step count reaches its atStep (which
-     * must be nonzero — input-event triggers are setTamper-only).
-     * Both engines fire them at identical step boundaries, so runs
-     * stay bit-identical across switch/threaded/batched execution.
-     * Fired records land in RunResult::faultTampers in firing order.
+     * Arm an additional memory tamper (fault injection, attack
+     * recipes). Unlike setTamper there may be any number of these;
+     * each fires once at its trigger — atStep > 0 fires at that
+     * absolute instruction count, otherwise afterInputEvent > 0
+     * fires when the Nth input event commits (a spec with neither is
+     * a FatalError). Step triggers fire at identical step boundaries
+     * in both engines; input-event triggers fire inside the shared
+     * builtin path, so multi-write attack sequences stay bit-
+     * identical across switch/threaded/batched execution. Fired
+     * records land in RunResult::faultTampers in firing order.
      */
     void addTamper(const TamperSpec &spec);
 
@@ -336,6 +339,8 @@ class Vm
     void fireTamperSpec(const TamperSpec &spec, TamperRecord &rec);
     /** Fire every armed extra tamper whose atStep has been reached. */
     void fireDueExtraTampers();
+    /** Fire every armed extra tamper due at the current input event. */
+    void fireDueEventTampers();
 
     [[noreturn]] void trap(const std::string &why);
 
@@ -370,6 +375,9 @@ class Vm
     /** addTamper() specs, sorted by atStep at run() entry. */
     std::vector<TamperSpec> extraTampers;
     size_t extraFired = 0; ///< extraTampers[0..extraFired) have fired
+    /** addTamper() input-event specs, sorted by afterInputEvent. */
+    std::vector<TamperSpec> eventTampers;
+    size_t eventFired = 0; ///< eventTampers[0..eventFired) have fired
     std::vector<TamperRecord> extraRecords;
 
     /** Events buffered per block before one onBatch flush. */

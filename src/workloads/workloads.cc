@@ -970,13 +970,22 @@ makeWorkloads()
     return out;
 }
 
+// The registry: seeded once with the ten paper workloads, extended
+// by registerWorkloads(). Mutation happens during harness setup
+// (single-threaded), so a plain function-local static suffices.
+std::vector<Workload> &
+registry()
+{
+    static std::vector<Workload> wls = makeWorkloads();
+    return wls;
+}
+
 } // namespace
 
 const std::vector<Workload> &
 allWorkloads()
 {
-    static const std::vector<Workload> wls = makeWorkloads();
-    return wls;
+    return registry();
 }
 
 const Workload &
@@ -986,6 +995,31 @@ workloadByName(const std::string &name)
         if (w.name == name)
             return w;
     fatal("unknown workload '%s'", name.c_str());
+}
+
+void
+registerWorkloads(std::span<const Workload> extra)
+{
+    std::vector<Workload> &wls = registry();
+    // Validate the whole batch before mutating: a duplicate halfway
+    // through must not leave the registry half-extended.
+    for (const Workload &w : extra) {
+        for (const Workload &have : wls)
+            if (have.name == w.name)
+                fatal("registerWorkloads: duplicate workload '%s'",
+                      w.name.c_str());
+        for (const Workload &other : extra)
+            if (&other != &w && other.name == w.name)
+                fatal("registerWorkloads: duplicate workload '%s'",
+                      w.name.c_str());
+    }
+    wls.insert(wls.end(), extra.begin(), extra.end());
+}
+
+void
+resetWorkloadRegistry()
+{
+    registry() = makeWorkloads();
 }
 
 } // namespace ipds

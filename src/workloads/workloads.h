@@ -15,6 +15,7 @@
  * of random tamperings are control-flow-relevant at all).
  */
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -29,11 +30,29 @@ struct Workload
     std::vector<std::string> benignInputs; ///< scripted session
 };
 
-/** The ten workloads, in the paper's order. */
+/**
+ * The workload registry: the ten paper workloads (in the paper's
+ * order) plus everything added via registerWorkloads(). Every harness
+ * that iterates allWorkloads() — fig7 campaigns, fault sweeps, the
+ * service benches — picks up registered programs with no plumbing of
+ * its own.
+ */
 const std::vector<Workload> &allWorkloads();
 
 /** Find one by name; throws FatalError if missing. */
 const Workload &workloadByName(const std::string &name);
+
+/**
+ * Append @p extra to the registry behind allWorkloads(). A name that
+ * collides with an existing workload (bundled or registered) is a
+ * FatalError and registers nothing. Not thread-safe: register during
+ * harness setup, before any worker threads iterate the registry.
+ */
+void registerWorkloads(std::span<const Workload> extra);
+
+/** Drop every registered workload, restoring the ten-workload
+ *  default set (test isolation). */
+void resetWorkloadRegistry();
 
 } // namespace ipds
 
